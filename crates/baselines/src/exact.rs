@@ -1,0 +1,234 @@
+//! Exact minimum edge dominating set by branch and bound.
+//!
+//! Intended for the small instances used in tests and ratio experiments
+//! (tens of edges); the problem is NP-hard (Yannakakis–Gavril), so no
+//! polynomial algorithm exists unless P = NP.
+//!
+//! The search branches on an undominated edge `e = {u, v}`: any feasible
+//! solution must contain an edge incident to `u` or `v`. The lower bound
+//! prunes with a greedy packing of undominated edges whose dominator sets
+//! are pairwise disjoint.
+
+use pn_graph::{EdgeId, NodeId, SimpleGraph};
+
+/// Exact minimum edge dominating set of `g`.
+///
+/// Returns an optimal edge set (empty iff the graph has no edges). For
+/// graphs with more than a few dozen edges this gets exponentially slow —
+/// it is a test oracle, not a production solver.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::generators;
+/// use eds_baselines::exact::minimum_edge_dominating_set;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = generators::path(4)?; // 3 edges: the middle edge dominates all
+/// let opt = minimum_edge_dominating_set(&g);
+/// assert_eq!(opt.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_edge_dominating_set(g: &SimpleGraph) -> Vec<EdgeId> {
+    let m = g.edge_count();
+    if m == 0 {
+        return Vec::new();
+    }
+    // Candidate dominators of each edge: itself plus adjacent edges.
+    let dominators: Vec<Vec<EdgeId>> = g
+        .edges()
+        .map(|(e, u, v)| {
+            let mut dom: Vec<EdgeId> = g
+                .incident_edges(u)
+                .chain(g.incident_edges(v))
+                .collect();
+            dom.push(e);
+            dom.sort_unstable();
+            dom.dedup();
+            dom
+        })
+        .collect();
+
+    let mut best: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect(); // all edges: feasible
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    // dominated-count per edge (by how many chosen edges).
+    let mut dominated = vec![0usize; m];
+    let mut node_deg_selected = vec![0usize; g.node_count()];
+
+    fn choose(
+        g: &SimpleGraph,
+        e: EdgeId,
+        dominated: &mut [usize],
+        node_deg_selected: &mut [usize],
+        delta: isize,
+    ) {
+        let (u, v) = g.endpoints(e);
+        for w in [u, v] {
+            for f in g.incident_edges(w) {
+                dominated[f.index()] = (dominated[f.index()] as isize + delta) as usize;
+            }
+        }
+        // The edge dominates itself once via each endpoint; it was counted
+        // twice above, which is fine for a >0 test, but keep the node
+        // degree tally for feasibility bookkeeping.
+        node_deg_selected[u.index()] = (node_deg_selected[u.index()] as isize + delta) as usize;
+        node_deg_selected[v.index()] = (node_deg_selected[v.index()] as isize + delta) as usize;
+    }
+
+    fn lower_bound(g: &SimpleGraph, dominated: &[usize], dominators: &[Vec<EdgeId>]) -> usize {
+        // Greedy packing: pick undominated edges whose dominator sets are
+        // pairwise disjoint; each needs its own dominator.
+        let mut blocked = vec![false; g.edge_count()];
+        let mut lb = 0;
+        for (e, _, _) in g.edges() {
+            if dominated[e.index()] > 0 || blocked[e.index()] {
+                continue;
+            }
+            lb += 1;
+            for &f in &dominators[e.index()] {
+                // Block every edge sharing a potential dominator.
+                let (fu, fv) = g.endpoints(f);
+                for w in [fu, fv] {
+                    for h in g.incident_edges(w) {
+                        blocked[h.index()] = true;
+                    }
+                }
+                blocked[f.index()] = true;
+            }
+        }
+        lb
+    }
+
+    fn search(
+        g: &SimpleGraph,
+        dominators: &[Vec<EdgeId>],
+        chosen: &mut Vec<EdgeId>,
+        dominated: &mut Vec<usize>,
+        node_deg_selected: &mut Vec<usize>,
+        best: &mut Vec<EdgeId>,
+    ) {
+        if chosen.len() + 1 > best.len() {
+            return;
+        }
+        // Find the undominated edge with the fewest candidate dominators
+        // (fail-first ordering).
+        let mut pick: Option<EdgeId> = None;
+        let mut pick_size = usize::MAX;
+        for (e, _, _) in g.edges() {
+            if dominated[e.index()] == 0 {
+                let size = dominators[e.index()].len();
+                if size < pick_size {
+                    pick = Some(e);
+                    pick_size = size;
+                }
+            }
+        }
+        let Some(e) = pick else {
+            // Everything dominated: feasible solution.
+            if chosen.len() < best.len() {
+                *best = chosen.clone();
+            }
+            return;
+        };
+        if chosen.len() + lower_bound(g, dominated, dominators) >= best.len() {
+            return;
+        }
+        for &f in &dominators[e.index()] {
+            chosen.push(f);
+            choose(g, f, dominated, node_deg_selected, 1);
+            search(g, dominators, chosen, dominated, node_deg_selected, best);
+            choose(g, f, dominated, node_deg_selected, -1);
+            chosen.pop();
+        }
+    }
+
+    search(
+        g,
+        &dominators,
+        &mut chosen,
+        &mut dominated,
+        &mut node_deg_selected,
+        &mut best,
+    );
+    best.sort_unstable();
+    best
+}
+
+/// Checks whether `edges` is an edge dominating set of `g`.
+pub fn is_edge_dominating_set(g: &SimpleGraph, edges: &[EdgeId]) -> bool {
+    let mut covered = vec![false; g.node_count()];
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        covered[u.index()] = true;
+        covered[v.index()] = true;
+    }
+    g.edges()
+        .all(|(_, u, v)| covered[u.index()] || covered[v.index()])
+}
+
+/// The minimum edge dominating set *size* (convenience wrapper).
+pub fn minimum_eds_size(g: &SimpleGraph) -> usize {
+    minimum_edge_dominating_set(g).len()
+}
+
+/// Exhaustive check helper: nodes covered by an edge set.
+pub fn covered_by(g: &SimpleGraph, edges: &[EdgeId]) -> Vec<NodeId> {
+    let mut covered = vec![false; g.node_count()];
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        covered[u.index()] = true;
+        covered[v.index()] = true;
+    }
+    (0..g.node_count())
+        .map(NodeId::new)
+        .filter(|v| covered[v.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::generators;
+
+    #[test]
+    fn known_optima() {
+        // Path P4 (3 edges): 1. Cycle C5: 2. K4: 2. Star: 1. Petersen: 3.
+        assert_eq!(minimum_eds_size(&generators::path(4).unwrap()), 1);
+        assert_eq!(minimum_eds_size(&generators::cycle(5).unwrap()), 2);
+        assert_eq!(minimum_eds_size(&generators::complete(4).unwrap()), 2);
+        assert_eq!(minimum_eds_size(&generators::star(6).unwrap()), 1);
+        assert_eq!(minimum_eds_size(&generators::petersen()), 3);
+    }
+
+    #[test]
+    fn cycles_need_ceil_n_over_3() {
+        for n in 3..=9 {
+            let g = generators::cycle(n).unwrap();
+            assert_eq!(minimum_eds_size(&g), n.div_ceil(3), "C{n}");
+        }
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        for seed in 0..6 {
+            let g = generators::gnp(9, 0.35, seed).unwrap();
+            let opt = minimum_edge_dominating_set(&g);
+            assert!(is_edge_dominating_set(&g, &opt));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimpleGraph::new(5);
+        assert!(minimum_edge_dominating_set(&g).is_empty());
+    }
+
+    #[test]
+    fn optimum_no_larger_than_any_maximal_matching() {
+        for seed in 0..6 {
+            let g = generators::gnp(10, 0.3, 100 + seed).unwrap();
+            let mm = pn_graph::matching::greedy_maximal_matching(&g);
+            assert!(minimum_eds_size(&g) <= mm.len());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Baselines for the identifier model.
+//!
+//! The paper contrasts the port-numbering model with networks that have
+//! unique node identifiers, where maximal matchings are computable in
+//! `O(log⁴ n)` (Hańćkowiak et al.) or `O(Δ + log* n)` (Panconesi–Rizzi)
+//! rounds. What those algorithms *output* is a maximal matching whose
+//! choice depends on the identifier assignment; the round structure is
+//! irrelevant to solution quality. We model the family by a deterministic
+//! sequential process over identifier-ordered edges, which reproduces the
+//! achievable quality (a 2-approximation) for any identifier assignment.
+
+use pn_graph::{EdgeId, SimpleGraph};
+
+/// A maximal matching computed greedily over edges ordered by their
+/// endpoint identifiers `(min(id_u, id_v), max(id_u, id_v), edge id)` —
+/// the canonical outcome of an identifier-based distributed matching
+/// algorithm.
+///
+/// `ids[v]` is the unique identifier of node `v`.
+///
+/// # Panics
+///
+/// Panics if `ids` has the wrong length or contains duplicates.
+pub fn id_greedy_matching(g: &SimpleGraph, ids: &[u64]) -> Vec<EdgeId> {
+    assert_eq!(ids.len(), g.node_count(), "one identifier per node");
+    {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "identifiers must be unique");
+    }
+    let mut order: Vec<(u64, u64, EdgeId)> = g
+        .edges()
+        .map(|(e, u, v)| {
+            let a = ids[u.index()];
+            let b = ids[v.index()];
+            (a.min(b), a.max(b), e)
+        })
+        .collect();
+    order.sort_unstable();
+    let mut covered = vec![false; g.node_count()];
+    let mut matching = Vec::new();
+    for (_, _, e) in order {
+        let (u, v) = g.endpoints(e);
+        if !covered[u.index()] && !covered[v.index()] {
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// Runs [`id_greedy_matching`] with the identity identifier assignment.
+pub fn id_greedy_matching_default(g: &SimpleGraph) -> Vec<EdgeId> {
+    let ids: Vec<u64> = (0..g.node_count() as u64).collect();
+    id_greedy_matching(g, &ids)
+}
+
+/// The best and worst matching sizes over `samples` random identifier
+/// permutations (seeded) — quantifies how much identifier choice affects
+/// the ID-model baseline.
+pub fn id_sensitivity(g: &SimpleGraph, samples: usize, seed: u64) -> (usize, usize) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut best = usize::MAX;
+    let mut worst = 0;
+    for _ in 0..samples.max(1) {
+        let mut ids: Vec<u64> = (0..g.node_count() as u64).collect();
+        ids.shuffle(&mut rng);
+        let size = id_greedy_matching(g, &ids).len();
+        best = best.min(size);
+        worst = worst.max(size);
+    }
+    (best, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmm::is_maximal_matching;
+    use pn_graph::generators;
+
+    #[test]
+    fn produces_maximal_matchings() {
+        for seed in 0..5 {
+            let g = generators::gnp(12, 0.3, seed).unwrap();
+            let m = id_greedy_matching_default(&g);
+            if g.edge_count() > 0 {
+                assert!(is_maximal_matching(&g, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn identifier_assignment_changes_output() {
+        // On a path, processing from one end vs the middle gives different
+        // matchings.
+        let g = generators::path(5).unwrap();
+        let a = id_greedy_matching(&g, &[0, 1, 2, 3, 4]);
+        let b = id_greedy_matching(&g, &[4, 0, 1, 2, 3]);
+        assert!(is_maximal_matching(&g, &a));
+        assert!(is_maximal_matching(&g, &b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sensitivity_bounds_are_ordered() {
+        let g = generators::petersen();
+        let (best, worst) = id_sensitivity(&g, 20, 7);
+        assert!(best <= worst);
+        // Petersen: maximal matchings have size 3..=5.
+        assert!(best >= 3 && worst <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_rejected() {
+        let g = generators::path(3).unwrap();
+        let _ = id_greedy_matching(&g, &[1, 1, 2]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Exact minimum *maximal matching* by branch and bound.
+//!
+//! A minimum maximal matching is also a minimum edge dominating set
+//! (paper Section 1.1, after Allan–Laskar and Yannakakis–Gavril), which
+//! makes this solver an independent oracle for cross-checking
+//! [`crate::exact`]: the two optima must coincide on every graph.
+
+use pn_graph::{EdgeId, SimpleGraph};
+
+/// Exact minimum maximal matching of `g`.
+///
+/// Branches on an edge with both endpoints unmatched: a maximal matching
+/// must contain some edge incident to one of those endpoints. When no
+/// such edge exists, the current matching is maximal.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::generators;
+/// use eds_baselines::mmm::minimum_maximal_matching;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = generators::cycle(6)?;
+/// assert_eq!(minimum_maximal_matching(&g).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_maximal_matching(g: &SimpleGraph) -> Vec<EdgeId> {
+    let mut best: Vec<EdgeId> = pn_graph::matching::greedy_maximal_matching(g);
+    let mut chosen = Vec::new();
+    let mut matched = vec![false; g.node_count()];
+
+    fn search(
+        g: &SimpleGraph,
+        chosen: &mut Vec<EdgeId>,
+        matched: &mut Vec<bool>,
+        best: &mut Vec<EdgeId>,
+    ) {
+        if chosen.len() >= best.len() {
+            return;
+        }
+        // An edge with both endpoints free forces a branch.
+        let mut free_edge = None;
+        for (e, u, v) in g.edges() {
+            if !matched[u.index()] && !matched[v.index()] {
+                free_edge = Some((e, u, v));
+                break;
+            }
+        }
+        let Some((_, u, v)) = free_edge else {
+            // Matching is maximal.
+            if chosen.len() < best.len() {
+                *best = chosen.clone();
+            }
+            return;
+        };
+        // Some edge incident to u or v must be matched; enumerate the
+        // candidates with both endpoints currently free.
+        let mut candidates: Vec<EdgeId> = Vec::new();
+        for w in [u, v] {
+            for f in g.incident_edges(w) {
+                let (a, b) = g.endpoints(f);
+                if !matched[a.index()] && !matched[b.index()] && !candidates.contains(&f) {
+                    candidates.push(f);
+                }
+            }
+        }
+        for f in candidates {
+            let (a, b) = g.endpoints(f);
+            matched[a.index()] = true;
+            matched[b.index()] = true;
+            chosen.push(f);
+            search(g, chosen, matched, best);
+            chosen.pop();
+            matched[a.index()] = false;
+            matched[b.index()] = false;
+        }
+    }
+
+    search(g, &mut chosen, &mut matched, &mut best);
+    best.sort_unstable();
+    best
+}
+
+/// Checks whether `edges` is a maximal matching of `g`.
+pub fn is_maximal_matching(g: &SimpleGraph, edges: &[EdgeId]) -> bool {
+    if !pn_graph::matching::is_matching(g, edges) {
+        return false;
+    }
+    let covered = pn_graph::matching::covered_nodes(g, edges);
+    g.edges()
+        .all(|(_, u, v)| covered[u.index()] || covered[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::minimum_eds_size;
+    use pn_graph::generators;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(minimum_maximal_matching(&generators::path(4).unwrap()).len(), 1);
+        assert_eq!(minimum_maximal_matching(&generators::cycle(5).unwrap()).len(), 2);
+        assert_eq!(minimum_maximal_matching(&generators::complete(4).unwrap()).len(), 2);
+        assert_eq!(minimum_maximal_matching(&generators::petersen()).len(), 3);
+    }
+
+    #[test]
+    fn output_is_maximal_matching() {
+        for seed in 0..8 {
+            let g = generators::gnp(9, 0.4, seed).unwrap();
+            let mm = minimum_maximal_matching(&g);
+            assert!(is_maximal_matching(&g, &mm));
+        }
+    }
+
+    #[test]
+    fn equals_minimum_eds_yannakakis_gavril() {
+        // The theorem: min maximal matching size = min EDS size.
+        for seed in 0..10 {
+            let g = generators::gnp(9, 0.35, 300 + seed).unwrap();
+            assert_eq!(
+                minimum_maximal_matching(&g).len(),
+                minimum_eds_size(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimpleGraph::new(3);
+        assert!(minimum_maximal_matching(&g).is_empty());
+    }
+
+    #[test]
+    fn maximality_checker_rejects_non_maximal() {
+        let g = generators::path(5).unwrap(); // edges 0-1,1-2,2-3,3-4
+        // Empty is a matching but not maximal.
+        assert!(!is_maximal_matching(&g, &[]));
+        // Edge 1 (nodes 1-2) alone leaves edge 3-4 undominated.
+        assert!(!is_maximal_matching(&g, &[EdgeId::new(1)]));
+        // Edges 0 and 2 cover everything.
+        assert!(is_maximal_matching(&g, &[EdgeId::new(0), EdgeId::new(2)]));
+    }
+}

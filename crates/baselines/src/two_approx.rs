@@ -1,0 +1,122 @@
+//! The classical centralised 2-approximation and the Yannakakis–Gavril
+//! conversion between edge dominating sets and maximal matchings.
+//!
+//! * any maximal matching is an edge dominating set of size at most
+//!   `2 · OPT` (paper Section 1.2);
+//! * conversely, from any edge dominating set `D` one can construct a
+//!   maximal matching with at most `|D|` edges (paper Section 1.1) — the
+//!   constructive direction of "minimum maximal matching = minimum EDS".
+
+use pn_graph::matching::{greedy_maximal_matching, greedy_maximal_matching_in};
+use pn_graph::{EdgeId, SimpleGraph};
+
+/// The classical 2-approximation: any maximal matching (greedy here).
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::generators;
+/// use eds_baselines::two_approx::two_approximation;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = generators::cycle(9)?;
+/// let d = two_approximation(&g);
+/// // OPT = 3 for C9; a maximal matching has at most 2*3 edges... and at
+/// // least 3.
+/// assert!(d.len() >= 3 && d.len() <= 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn two_approximation(g: &SimpleGraph) -> Vec<EdgeId> {
+    greedy_maximal_matching(g)
+}
+
+/// Converts an edge dominating set into a maximal matching of size at
+/// most `|D|` (Yannakakis–Gavril, via the Allan–Laskar argument in the
+/// claw-free line graph).
+///
+/// Construction: take a maximal matching inside `D`, then extend greedily
+/// to a maximal matching of the whole graph. Each extension edge charges
+/// a distinct unused `D`-edge, so the size never exceeds `|D|`.
+///
+/// # Panics
+///
+/// Debug-asserts that `d` is actually an edge dominating set.
+pub fn eds_to_maximal_matching(g: &SimpleGraph, d: &[EdgeId]) -> Vec<EdgeId> {
+    debug_assert!(
+        crate::exact::is_edge_dominating_set(g, d),
+        "input must be an edge dominating set"
+    );
+    let in_d: std::collections::HashSet<EdgeId> = d.iter().copied().collect();
+    // Phase 1: maximal matching within D (greedy over D in edge order).
+    let mut matching = greedy_maximal_matching_in(g, |e| in_d.contains(&e));
+    // Phase 2: extend to a maximal matching of G.
+    let mut covered = pn_graph::matching::covered_nodes(g, &matching);
+    for (e, u, v) in g.edges() {
+        if !covered[u.index()] && !covered[v.index()] {
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// End-to-end 2-approximation quality report: `(|D|, opt)` on demand for
+/// experiments; `opt` computed by the exact solver, so keep graphs small.
+pub fn ratio_against_exact(g: &SimpleGraph) -> (usize, usize) {
+    let approx = two_approximation(g);
+    let opt = crate::exact::minimum_eds_size(g);
+    (approx.len(), opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmm::is_maximal_matching;
+    use pn_graph::generators;
+
+    #[test]
+    fn two_approx_is_feasible_and_within_factor_two() {
+        for seed in 0..8 {
+            let g = generators::gnp(9, 0.4, seed).unwrap();
+            let d = two_approximation(&g);
+            assert!(crate::exact::is_edge_dominating_set(&g, &d));
+            let opt = crate::exact::minimum_eds_size(&g);
+            assert!(d.len() <= 2 * opt.max(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn conversion_never_grows() {
+        for seed in 0..8 {
+            let g = generators::gnp(10, 0.35, 50 + seed).unwrap();
+            if g.is_edgeless() {
+                continue;
+            }
+            // Use a deliberately sloppy EDS: all edges incident to node 0
+            // plus a maximal matching of the rest.
+            let d = crate::exact::minimum_edge_dominating_set(&g);
+            let mm = eds_to_maximal_matching(&g, &d);
+            assert!(is_maximal_matching(&g, &mm), "seed {seed}");
+            assert!(mm.len() <= d.len(), "seed {seed}: {} > {}", mm.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn conversion_on_non_matching_eds() {
+        // A star's EDS {all edges} converts to a single-edge maximal
+        // matching.
+        let g = generators::star(5).unwrap();
+        let d: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+        let mm = eds_to_maximal_matching(&g, &d);
+        assert_eq!(mm.len(), 1);
+    }
+
+    #[test]
+    fn ratio_report() {
+        let g = generators::cycle(9).unwrap();
+        let (approx, opt) = ratio_against_exact(&g);
+        assert_eq!(opt, 3);
+        assert!(approx >= opt && approx <= 2 * opt);
+    }
+}

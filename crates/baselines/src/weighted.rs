@@ -1,0 +1,335 @@
+//! Weighted edge dominating sets (paper Section 1.2).
+//!
+//! The weighted problem is strictly harder: approximating minimum-weight
+//! edge *covers* is as hard as minimum-weight vertex cover, and the best
+//! known polynomial guarantee for minimum-weight EDS is the
+//! Fujito–Nagamochi 2-approximation. This module provides
+//!
+//! * an exact branch-and-bound solver for minimum-weight EDS (test
+//!   oracle, small instances);
+//! * a weight-aware greedy heuristic (cheapest dominator per undominated
+//!   edge), which carries no worst-case guarantee but performs well and
+//!   gives the experiments a comparison point;
+//! * uniform-weight consistency: with all weights 1 the exact solver
+//!   agrees with the unweighted one.
+
+use pn_graph::{EdgeId, SimpleGraph};
+
+/// Per-edge weights, indexed by [`EdgeId`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeWeights {
+    weights: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Creates weights from a vector indexed by edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the graph when later used.
+    pub fn new(weights: Vec<u64>) -> Self {
+        EdgeWeights { weights }
+    }
+
+    /// Uniform weights (all 1) for a graph.
+    pub fn uniform(g: &SimpleGraph) -> Self {
+        EdgeWeights {
+            weights: vec![1; g.edge_count()],
+        }
+    }
+
+    /// Seeded random integer weights in `1..=max`.
+    pub fn random(g: &SimpleGraph, max: u64, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        EdgeWeights {
+            weights: (0..g.edge_count()).map(|_| rng.gen_range(1..=max)).collect(),
+        }
+    }
+
+    /// The weight of one edge.
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// Total weight of an edge set.
+    pub fn total(&self, edges: &[EdgeId]) -> u64 {
+        edges.iter().map(|&e| self.weight(e)).sum()
+    }
+
+    /// Number of weighted edges.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if there are no weights.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Exact minimum-weight edge dominating set by branch and bound.
+///
+/// Branches on an undominated edge over its candidate dominators in
+/// increasing weight order; prunes with a packing bound (disjoint
+/// undominated regions each need their own cheapest dominator).
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::generators;
+/// use eds_baselines::weighted::{minimum_weight_eds, EdgeWeights};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = generators::path(4)?;
+/// let w = EdgeWeights::new(vec![10, 1, 10]);
+/// let (eds, weight) = minimum_weight_eds(&g, &w);
+/// assert_eq!(weight, 1); // the cheap middle edge dominates everything
+/// assert_eq!(eds.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_weight_eds(g: &SimpleGraph, w: &EdgeWeights) -> (Vec<EdgeId>, u64) {
+    assert_eq!(w.len(), g.edge_count(), "one weight per edge");
+    let m = g.edge_count();
+    if m == 0 {
+        return (Vec::new(), 0);
+    }
+    // Candidate dominators per edge, cheapest first.
+    let dominators: Vec<Vec<EdgeId>> = g
+        .edges()
+        .map(|(e, u, v)| {
+            let mut dom: Vec<EdgeId> = g
+                .incident_edges(u)
+                .chain(g.incident_edges(v))
+                .chain(std::iter::once(e))
+                .collect();
+            dom.sort_unstable();
+            dom.dedup();
+            dom.sort_by_key(|&f| w.weight(f));
+            dom
+        })
+        .collect();
+
+    let all: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+    let mut best: Vec<EdgeId> = all.clone();
+    let mut best_weight: u64 = w.total(&all);
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut dominated = vec![0usize; m];
+
+    fn apply(g: &SimpleGraph, e: EdgeId, dominated: &mut [usize], delta: isize) {
+        let (u, v) = g.endpoints(e);
+        for x in [u, v] {
+            for f in g.incident_edges(x) {
+                dominated[f.index()] = (dominated[f.index()] as isize + delta) as usize;
+            }
+        }
+    }
+
+    fn lower_bound(
+        g: &SimpleGraph,
+        w: &EdgeWeights,
+        dominated: &[usize],
+        dominators: &[Vec<EdgeId>],
+    ) -> u64 {
+        let mut blocked = vec![false; g.edge_count()];
+        let mut lb = 0u64;
+        for (e, _, _) in g.edges() {
+            if dominated[e.index()] > 0 || blocked[e.index()] {
+                continue;
+            }
+            // This edge needs a dominator costing at least its cheapest.
+            lb += dominators[e.index()]
+                .first()
+                .map(|&f| w.weight(f))
+                .unwrap_or(0);
+            for &f in &dominators[e.index()] {
+                let (fu, fv) = g.endpoints(f);
+                for x in [fu, fv] {
+                    for h in g.incident_edges(x) {
+                        blocked[h.index()] = true;
+                    }
+                }
+                blocked[f.index()] = true;
+            }
+        }
+        lb
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        g: &SimpleGraph,
+        w: &EdgeWeights,
+        dominators: &[Vec<EdgeId>],
+        chosen: &mut Vec<EdgeId>,
+        chosen_weight: u64,
+        dominated: &mut Vec<usize>,
+        best: &mut Vec<EdgeId>,
+        best_weight: &mut u64,
+    ) {
+        let pick = g
+            .edges()
+            .filter(|(e, _, _)| dominated[e.index()] == 0)
+            .min_by_key(|(e, _, _)| dominators[e.index()].len())
+            .map(|(e, _, _)| e);
+        let Some(e) = pick else {
+            if chosen_weight < *best_weight {
+                *best = chosen.clone();
+                *best_weight = chosen_weight;
+            }
+            return;
+        };
+        if chosen_weight + lower_bound(g, w, dominated, dominators) >= *best_weight {
+            return;
+        }
+        for &f in &dominators[e.index()] {
+            let fw = w.weight(f);
+            if chosen_weight + fw >= *best_weight {
+                // Dominators are sorted by weight: nothing cheaper follows.
+                break;
+            }
+            chosen.push(f);
+            apply(g, f, dominated, 1);
+            search(
+                g,
+                w,
+                dominators,
+                chosen,
+                chosen_weight + fw,
+                dominated,
+                best,
+                best_weight,
+            );
+            apply(g, f, dominated, -1);
+            chosen.pop();
+        }
+    }
+
+    search(
+        g,
+        w,
+        &dominators,
+        &mut chosen,
+        0,
+        &mut dominated,
+        &mut best,
+        &mut best_weight,
+    );
+    best.sort_unstable();
+    (best, best_weight)
+}
+
+/// Weight-aware greedy heuristic: repeatedly dominate the currently
+/// undominated edge whose cheapest dominator is cheapest, taking that
+/// dominator.
+///
+/// No worst-case guarantee (the weighted problem needs the
+/// Fujito–Nagamochi primal–dual machinery for a factor 2); useful as an
+/// experimental baseline.
+pub fn greedy_weighted_eds(g: &SimpleGraph, w: &EdgeWeights) -> Vec<EdgeId> {
+    assert_eq!(w.len(), g.edge_count(), "one weight per edge");
+    let mut dominated = vec![false; g.edge_count()];
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    loop {
+        // Cheapest dominator over all undominated edges.
+        let mut pick: Option<(u64, EdgeId)> = None;
+        for (e, u, v) in g.edges() {
+            if dominated[e.index()] {
+                continue;
+            }
+            for f in g
+                .incident_edges(u)
+                .chain(g.incident_edges(v))
+                .chain(std::iter::once(e))
+            {
+                let cand = (w.weight(f), f);
+                if pick.is_none() || cand < pick.expect("checked") {
+                    pick = Some(cand);
+                }
+            }
+        }
+        let Some((_, f)) = pick else { break };
+        chosen.push(f);
+        let (u, v) = g.endpoints(f);
+        for x in [u, v] {
+            for h in g.incident_edges(x) {
+                dominated[h.index()] = true;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{is_edge_dominating_set, minimum_eds_size};
+    use pn_graph::generators;
+
+    #[test]
+    fn uniform_weights_match_unweighted_optimum() {
+        for seed in 0..6 {
+            let g = generators::gnp(8, 0.4, seed).unwrap();
+            let w = EdgeWeights::uniform(&g);
+            let (eds, weight) = minimum_weight_eds(&g, &w);
+            assert!(is_edge_dominating_set(&g, &eds));
+            assert_eq!(weight as usize, minimum_eds_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cheap_middle_edge_wins() {
+        let g = generators::path(4).unwrap();
+        let w = EdgeWeights::new(vec![5, 1, 5]);
+        let (eds, weight) = minimum_weight_eds(&g, &w);
+        assert_eq!(weight, 1);
+        assert_eq!(eds, vec![EdgeId::new(1)]);
+    }
+
+    #[test]
+    fn expensive_middle_edge_avoided() {
+        // Path of 4 edges: picking the two cheap outer edges (1 + 1)
+        // beats the one expensive centre (100).
+        let g = generators::path(5).unwrap();
+        let w = EdgeWeights::new(vec![1, 100, 100, 1]);
+        let (eds, weight) = minimum_weight_eds(&g, &w);
+        assert!(is_edge_dominating_set(&g, &eds));
+        assert_eq!(weight, 2);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_no_better_than_exact() {
+        for seed in 0..6 {
+            let g = generators::gnp(9, 0.35, 70 + seed).unwrap();
+            let w = EdgeWeights::random(&g, 10, seed);
+            let greedy = greedy_weighted_eds(&g, &w);
+            assert!(is_edge_dominating_set(&g, &greedy), "seed {seed}");
+            let (_, opt) = minimum_weight_eds(&g, &w);
+            assert!(w.total(&greedy) >= opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weights_accessors() {
+        let g = generators::path(3).unwrap();
+        let w = EdgeWeights::new(vec![3, 4]);
+        assert_eq!(w.weight(EdgeId::new(0)), 3);
+        assert_eq!(w.total(&[EdgeId::new(0), EdgeId::new(1)]), 7);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        let r1 = EdgeWeights::random(&g, 5, 1);
+        let r2 = EdgeWeights::random(&g, 5, 1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimpleGraph::new(3);
+        let w = EdgeWeights::uniform(&g);
+        let (eds, weight) = minimum_weight_eds(&g, &w);
+        assert!(eds.is_empty());
+        assert_eq!(weight, 0);
+        assert!(greedy_weighted_eds(&g, &w).is_empty());
+    }
+}

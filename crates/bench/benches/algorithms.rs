@@ -1,0 +1,108 @@
+//! Criterion benchmarks for the paper's three algorithms: wall-clock
+//! scaling in `n` (at fixed degree) and in `d`/`Δ` (at fixed `n`), for
+//! both the centralised references and the full message-passing
+//! protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_core::bounded_degree::bounded_degree_reference;
+use eds_core::distributed::{BoundedDegreeNode, RegularOddNode};
+use eds_core::port_one::{port_one_reference, PortOneNode};
+use eds_core::regular_odd::regular_odd_reference;
+use pn_graph::{generators, ports, PortNumberedGraph};
+use pn_runtime::Simulator;
+
+fn regular_instance(n: usize, d: usize, seed: u64) -> PortNumberedGraph {
+    let g = generators::random_regular(n, d, seed).expect("regular graph");
+    ports::shuffled_ports(&g, seed ^ 0xabc).expect("ports")
+}
+
+fn bench_port_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("port_one");
+    for n in [64usize, 256, 1024] {
+        let pg = regular_instance(n, 4, n as u64);
+        group.bench_with_input(BenchmarkId::new("reference", n), &pg, |b, pg| {
+            b.iter(|| port_one_reference(pg))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", n), &pg, |b, pg| {
+            b.iter(|| Simulator::new(pg).run(PortOneNode::new).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_regular_odd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regular_odd");
+    // Scaling in n at d = 3.
+    for n in [64usize, 256, 1024] {
+        let pg = regular_instance(n, 3, n as u64);
+        group.bench_with_input(BenchmarkId::new("reference_n", n), &pg, |b, pg| {
+            b.iter(|| regular_odd_reference(pg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_n", n), &pg, |b, pg| {
+            b.iter(|| Simulator::new(pg).run(RegularOddNode::new).unwrap())
+        });
+    }
+    // Scaling in d at n = 128.
+    for d in [3usize, 5, 7, 9] {
+        let pg = regular_instance(128, d, d as u64);
+        group.bench_with_input(BenchmarkId::new("reference_d", d), &pg, |b, pg| {
+            b.iter(|| regular_odd_reference(pg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_d", d), &pg, |b, pg| {
+            b.iter(|| Simulator::new(pg).run(RegularOddNode::new).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_degree");
+    for n in [64usize, 256, 1024] {
+        let g = generators::random_bounded_degree(n, 5, 0.8, n as u64).expect("graph");
+        let pg = ports::shuffled_ports(&g, 5).expect("ports");
+        group.bench_with_input(BenchmarkId::new("reference_n", n), &pg, |b, pg| {
+            b.iter(|| bounded_degree_reference(pg, 5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_n", n), &pg, |b, pg| {
+            b.iter(|| {
+                Simulator::new(pg)
+                    .run(|deg: usize| BoundedDegreeNode::new(5, deg))
+                    .unwrap()
+            })
+        });
+    }
+    for delta in [3usize, 5, 7] {
+        let g = generators::random_bounded_degree(128, delta, 0.8, delta as u64)
+            .expect("graph");
+        let pg = ports::shuffled_ports(&g, 7).expect("ports");
+        group.bench_with_input(BenchmarkId::new("reference_delta", delta), &pg, |b, pg| {
+            b.iter(|| bounded_degree_reference(pg, delta).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("distributed_delta", delta),
+            &pg,
+            |b, pg| {
+                b.iter(|| {
+                    Simulator::new(pg)
+                        .run(|deg: usize| BoundedDegreeNode::new(delta, deg))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_port_one, bench_regular_odd, bench_bounded_degree
+}
+criterion_main!(benches);

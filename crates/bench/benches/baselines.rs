@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the baselines: the exact branch-and-bound
+//! solvers (exponential — small instances only), the classical greedy
+//! 2-approximation, and the identifier-model matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_baselines::weighted::{greedy_weighted_eds, minimum_weight_eds, EdgeWeights};
+use eds_baselines::{exact, id_based, mmm, two_approx};
+use eds_core::vertex_cover::vertex_cover_reference;
+use pn_graph::{generators, ports};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    for n in [8usize, 10, 12] {
+        let g = generators::gnp(n, 0.4, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("min_eds", n), &g, |b, g| {
+            b.iter(|| exact::minimum_edge_dominating_set(g))
+        });
+        group.bench_with_input(BenchmarkId::new("min_maximal_matching", n), &g, |b, g| {
+            b.iter(|| mmm::minimum_maximal_matching(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for n in [256usize, 1024] {
+        let g = generators::random_regular(n, 6, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("greedy_2approx", n), &g, |b, g| {
+            b.iter(|| two_approx::two_approximation(g))
+        });
+        group.bench_with_input(BenchmarkId::new("id_greedy", n), &g, |b, g| {
+            b.iter(|| id_based::id_greedy_matching_default(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion");
+    for n in [128usize, 512] {
+        let g = generators::random_regular(n, 4, n as u64).expect("graph");
+        let d = two_approx::two_approximation(&g);
+        group.bench_with_input(
+            BenchmarkId::new("eds_to_maximal_matching", n),
+            &(g, d),
+            |b, (g, d)| b.iter(|| two_approx::eds_to_maximal_matching(g, d)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted");
+    for n in [8usize, 10] {
+        let g = generators::gnp(n, 0.4, n as u64).expect("graph");
+        let w = EdgeWeights::random(&g, 10, 7);
+        group.bench_with_input(BenchmarkId::new("exact_min_weight", n), &(g, w), |b, (g, w)| {
+            b.iter(|| minimum_weight_eds(g, w))
+        });
+    }
+    let g = generators::random_regular(256, 4, 99).expect("graph");
+    let w = EdgeWeights::random(&g, 10, 8);
+    group.bench_with_input(
+        BenchmarkId::new("greedy_weighted", 256),
+        &(g, w),
+        |b, (g, w)| b.iter(|| greedy_weighted_eds(g, w)),
+    );
+    group.finish();
+}
+
+fn bench_vertex_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_cover");
+    for n in [128usize, 512] {
+        let g = generators::random_regular(n, 4, n as u64).expect("graph");
+        let pg = ports::shuffled_ports(&g, 3).expect("ports");
+        group.bench_with_input(BenchmarkId::new("three_approx", n), &pg, |b, pg| {
+            b.iter(|| vertex_cover_reference(pg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_baselines(c: &mut Criterion) {
+    use eds_baselines::distributed_mm::id_matching_distributed;
+    use eds_baselines::randomized_mm::randomized_matching_distributed;
+    let mut group = c.benchmark_group("distributed_baselines");
+    for n in [128usize, 512] {
+        let g = generators::random_regular(n, 4, n as u64).expect("graph");
+        let pg = ports::shuffled_ports(&g, 5).expect("ports");
+        let ids: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("id_matching", n),
+            &(pg.clone(), ids),
+            |b, (pg, ids)| b.iter(|| id_matching_distributed(pg, 4, ids).unwrap()),
+        );
+        let seeds: Vec<u64> = (0..n as u64).map(|i| i * 77 + 13).collect();
+        group.bench_with_input(
+            BenchmarkId::new("randomized_matching", n),
+            &(pg, seeds),
+            |b, (pg, seeds)| b.iter(|| randomized_matching_distributed(pg, seeds).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_exact, bench_heuristics, bench_conversion, bench_weighted,
+        bench_vertex_cover, bench_distributed_baselines
+}
+criterion_main!(benches);

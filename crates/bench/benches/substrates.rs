@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the substrate machinery: Euler circuits,
+//! Petersen 2-factorisation, Hopcroft–Karp, port assignment, covering-map
+//! verification and lifts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pn_graph::covering::{cyclic_lift, identity_map};
+use pn_graph::euler::euler_circuits;
+use pn_graph::factorization::two_factorize_simple;
+use pn_graph::matching::{greedy_maximal_matching, hopcroft_karp, Bipartite};
+use pn_graph::{generators, ports, MultiGraph};
+
+fn bench_euler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euler");
+    for n in [64usize, 256, 1024] {
+        let g = generators::random_regular(n, 6, n as u64).expect("graph");
+        let m = MultiGraph::from_simple(&g);
+        group.bench_with_input(BenchmarkId::new("circuits", n), &m, |b, m| {
+            b.iter(|| euler_circuits(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_factorize");
+    for n in [32usize, 128, 512] {
+        let g = generators::random_regular(n, 6, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("d6", n), &g, |b, g| {
+            b.iter(|| two_factorize_simple(g).unwrap())
+        });
+    }
+    for d in [2usize, 4, 8] {
+        let g = generators::random_regular(128, d, d as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("n128_d", d), &g, |b, g| {
+            b.iter(|| two_factorize_simple(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [64usize, 256, 1024] {
+        // 4-regular bipartite graph for Hopcroft-Karp.
+        let mut bip = Bipartite::new(n, n);
+        for u in 0..n {
+            for s in 0..4 {
+                bip.add_edge(u, (u * 3 + s * 7) % n, 0);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &bip, |b, bip| {
+            b.iter(|| hopcroft_karp(bip))
+        });
+        let g = generators::random_regular(n, 4, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("greedy_maximal", n), &g, |b, g| {
+            b.iter(|| greedy_maximal_matching(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ports_and_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ports_covering");
+    for n in [64usize, 256] {
+        let g = generators::random_regular(n, 4, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("two_factor_ports", n), &g, |b, g| {
+            b.iter(|| ports::two_factor_ports(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("shuffled_ports", n), &g, |b, g| {
+            b.iter(|| ports::shuffled_ports(g, 1).unwrap())
+        });
+        let pg = ports::canonical_ports(&g).expect("ports");
+        group.bench_with_input(BenchmarkId::new("covering_verify", n), &pg, |b, pg| {
+            let f = identity_map(pg);
+            b.iter(|| f.verify(pg, pg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_lift_x4", n), &pg, |b, pg| {
+            b.iter(|| cyclic_lift(pg, 4))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_euler, bench_factorization, bench_matching, bench_ports_and_covering
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark for the Table 1 pipeline: constructing each
+//! lower-bound instance and running its tight algorithm. One benchmark
+//! per table row family, parameterised by the degree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_core::distributed::{bounded_degree_distributed, regular_odd_distributed};
+use eds_core::port_one::port_one_reference;
+use eds_lower_bounds::{even, odd};
+
+fn bench_even_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_even");
+    for d in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("construct", d), &d, |b, &d| {
+            b.iter(|| even::build(d).unwrap())
+        });
+        let inst = even::build(d).unwrap();
+        group.bench_with_input(BenchmarkId::new("port_one", d), &inst, |b, inst| {
+            b.iter(|| port_one_reference(&inst.graph))
+        });
+    }
+    group.finish();
+}
+
+fn bench_odd_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_odd");
+    for d in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("construct", d), &d, |b, &d| {
+            b.iter(|| odd::build(d).unwrap())
+        });
+        let inst = odd::build(d).unwrap();
+        group.bench_with_input(BenchmarkId::new("thm4_protocol", d), &inst, |b, inst| {
+            b.iter(|| regular_odd_distributed(&inst.graph).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_bounded");
+    for delta in [4usize, 6, 8] {
+        let inst = even::build(2 * (delta / 2)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("a_delta_protocol", delta),
+            &inst,
+            |b, inst| b.iter(|| bounded_degree_distributed(&inst.graph, delta).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_even_rows, bench_odd_rows, bench_bounded_rows
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablation **X-ports**: how much of the lower bound is the *wiring*?
+//!
+//! The Theorem 1/2 instances are ordinary graphs plus a very specific
+//! port numbering (ports threaded along oriented 2-factors, which makes
+//! all nodes locally identical). This ablation runs the same algorithms
+//! on the same *graphs* under three numberings:
+//!
+//! * `adversarial` — the paper's 2-factorised numbering (the instance);
+//! * `canonical`   — adjacency order;
+//! * `random`      — seeded shuffles (best/worst over 20 seeds).
+//!
+//! The measured ratios show where the hardness lives: the adversarial
+//! wiring forces the published worst case, while benign wirings of the
+//! identical topology are often far cheaper. This is the paper's
+//! Section 1.5 point — in edge-based covering problems the edges only
+//! "look identical" if the adversary wires them so.
+//!
+//! Run with: `cargo run --release -p eds-bench --bin ablation_ports`
+
+use eds_bench::Table;
+use eds_core::port_one::port_one_reference;
+use eds_core::regular_odd::regular_odd_reference;
+use eds_lower_bounds::{even, odd};
+use pn_graph::{ports, PortNumberedGraph, SimpleGraph};
+
+/// Which of the paper's regular-graph algorithms to run.
+#[derive(Clone, Copy)]
+enum Algo {
+    PortOne,
+    RegularOdd,
+}
+
+fn measure(pg: &PortNumberedGraph, algo: Algo) -> usize {
+    match algo {
+        Algo::PortOne => port_one_reference(pg).len(),
+        Algo::RegularOdd => {
+            regular_odd_reference(pg)
+                .expect("simple graph")
+                .dominating_set
+                .len()
+        }
+    }
+}
+
+struct AblationRow {
+    adversarial: usize,
+    canonical: usize,
+    random_best: usize,
+    random_worst: usize,
+}
+
+fn ablate(instance: &PortNumberedGraph, graph: &SimpleGraph, algo: Algo) -> AblationRow {
+    let adversarial = measure(instance, algo);
+    let canonical = measure(&ports::canonical_ports(graph).expect("ports"), algo);
+    let mut random_best = usize::MAX;
+    let mut random_worst = 0usize;
+    for seed in 0..20u64 {
+        let size = measure(&ports::shuffled_ports(graph, seed).expect("ports"), algo);
+        random_best = random_best.min(size);
+        random_worst = random_worst.max(size);
+    }
+    AblationRow {
+        adversarial,
+        canonical,
+        random_best,
+        random_worst,
+    }
+}
+
+fn main() {
+    println!("Ablation: same graph, different port numberings");
+    println!("(cells are ratios |D| / |OPT|; 20 random numberings per row)");
+    println!();
+
+    let mut table = Table::new(vec![
+        "instance",
+        "bound",
+        "adversarial",
+        "canonical",
+        "random best",
+        "random worst",
+    ]);
+    let ratio = |size: usize, opt: usize| format!("{:.4}", size as f64 / opt as f64);
+
+    for d in [4usize, 6, 8] {
+        let inst = even::build(d).expect("construction");
+        let graph = inst.graph.to_simple().expect("simple");
+        let row = ablate(&inst.graph, &graph, Algo::PortOne);
+        let opt = inst.optimal_size();
+        assert_eq!(
+            row.adversarial,
+            2 * d - 1,
+            "adversarial numbering must force a full 2-factor"
+        );
+        table.row(vec![
+            format!("Thm-1 graph d={d} (port-1 alg)"),
+            format!("{:.4}", 4.0 - 2.0 / d as f64),
+            ratio(row.adversarial, opt),
+            ratio(row.canonical, opt),
+            ratio(row.random_best, opt),
+            ratio(row.random_worst, opt),
+        ]);
+    }
+
+    for d in [3usize, 5, 7] {
+        let inst = odd::build(d).expect("construction");
+        let graph = inst.graph.to_simple().expect("simple");
+        let row = ablate(&inst.graph, &graph, Algo::RegularOdd);
+        let opt = inst.optimal_size();
+        assert_eq!(
+            row.adversarial,
+            (2 * d - 1) * d,
+            "adversarial numbering must force (2d-1)d edges"
+        );
+        table.row(vec![
+            format!("Thm-2 graph d={d} (Thm-4 alg)"),
+            format!("{:.4}", 4.0 - 6.0 / (d as f64 + 1.0)),
+            ratio(row.adversarial, opt),
+            ratio(row.canonical, opt),
+            ratio(row.random_best, opt),
+            ratio(row.random_worst, opt),
+        ]);
+    }
+
+    print!("{table}");
+    println!();
+    println!(
+        "the adversarial 2-factorised numbering forces the published worst \
+         case on every instance; benign numberings of the same topology are \
+         substantially cheaper"
+    );
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Figure 8** of the paper: the distinguishable matchings
+//! `M_G(i, j)` of a 3-regular port-numbered graph, and the two phases of
+//! the Theorem 4 algorithm on it.
+//!
+//! Run with: `cargo run -p eds-bench --bin figure8 [seed]`
+
+use eds_bench::Table;
+use eds_core::labels::Labels;
+use eds_core::regular_odd::regular_odd_with_labels;
+use pn_graph::{generators, ports};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    // A 3-regular graph with a scrambled port numbering, like the
+    // figure's example.
+    let g = generators::petersen();
+    let pg = ports::shuffled_ports(&g, seed).expect("valid ports");
+    let simple = pg.to_simple().expect("simple");
+    let labels = Labels::compute(&pg).expect("simple graph");
+
+    println!("=== Figure 8(a): distinguishable neighbours (3-regular, seed {seed}) ===");
+    for v in pg.nodes() {
+        match labels.distinguishable_neighbor(v) {
+            Some((u, _)) => println!("  node {v}: distinguishable neighbour {u}"),
+            None => println!("  node {v}: none"),
+        }
+    }
+
+    println!();
+    println!("=== Figure 8(b): the matchings M(i, j) ===");
+    let mut table = Table::new(vec!["pair", "edges", "is matching"]);
+    for (i, j, m) in labels.pairs() {
+        let edges: Vec<String> = m
+            .iter()
+            .map(|&e| {
+                let (u, v) = pg.edge(e).nodes();
+                format!("{u}-{v}")
+            })
+            .collect();
+        table.row(vec![
+            format!("M({i},{j})"),
+            if edges.is_empty() {
+                "-".to_owned()
+            } else {
+                edges.join(" ")
+            },
+            pn_graph::matching::is_matching(&simple, m).to_string(),
+        ]);
+    }
+    print!("{table}");
+
+    let result = regular_odd_with_labels(&pg, &labels).expect("runs");
+    println!();
+    println!("=== Figure 8(c): Phase I — spanning-forest edge cover ===");
+    println!(
+        "  {} edges: {}",
+        result.phase1.len(),
+        render_edges(&pg, &result.phase1)
+    );
+    println!(
+        "  forest: {}, edge cover: {}",
+        eds_verify::check_forest(&simple, &result.phase1).is_ok(),
+        eds_verify::check_edge_cover(&simple, &result.phase1).is_ok(),
+    );
+
+    println!();
+    println!("=== Figure 8(d): Phase II — star-forest edge dominating set ===");
+    println!(
+        "  {} edges: {}",
+        result.dominating_set.len(),
+        render_edges(&pg, &result.dominating_set)
+    );
+    println!(
+        "  star forest: {}, edge cover: {}, dominating: {}",
+        eds_verify::check_star_forest(&simple, &result.dominating_set).is_ok(),
+        eds_verify::check_edge_cover(&simple, &result.dominating_set).is_ok(),
+        eds_verify::check_edge_dominating_set(&simple, &result.dominating_set).is_ok(),
+    );
+    let d = 3;
+    println!(
+        "  size bound |D| <= d|V|/(d+1): {} <= {}",
+        result.dominating_set.len(),
+        d * pg.node_count() / (d + 1)
+    );
+}
+
+fn render_edges(pg: &pn_graph::PortNumberedGraph, edges: &[pn_graph::EdgeId]) -> String {
+    edges
+        .iter()
+        .map(|&e| {
+            let (u, v) = pg.edge(e).nodes();
+            format!("{u}-{v}")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Figure 9** of the paper: the three phases of the
+//! Theorem 5 algorithm `A(Δ)` and the Section 7 accounting (internal
+//! nodes, costs, the edge sets `M`, `P`, `C`, `F`, weights, and the
+//! double-counting bound).
+//!
+//! Run with: `cargo run -p eds-bench --bin figure9 [n] [delta] [seed]`
+
+use eds_bench::Table;
+use eds_core::analysis::{EdgeClass, Section7Analysis};
+use eds_core::bounded_degree::{bounded_degree_reference, check_section7_properties};
+use pn_graph::matching::greedy_maximal_matching;
+use pn_graph::{generators, ports};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let delta: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let g = generators::random_bounded_degree(n, delta, 0.8, seed).expect("generator");
+    let pg = ports::shuffled_ports(&g, seed ^ 0xf19).expect("valid ports");
+    let simple = pg.to_simple().expect("simple");
+
+    println!("=== Figure 9: A(Δ) phases, n = {n}, Δ = {delta}, seed = {seed} ===");
+    println!(
+        "instance: {} nodes, {} edges, max degree {}",
+        pg.node_count(),
+        pg.edge_count(),
+        pg.max_degree()
+    );
+
+    let result = bounded_degree_reference(&pg, delta).expect("algorithm runs");
+    println!();
+    println!("Phase I   matching on distinguishable edges: {} edges", result.phase1.len());
+    for (idx, m_i) in result.phase2_added.iter().enumerate() {
+        println!("Phase II  B_{} maximal matching M_{}: {} edges", idx + 2, idx + 2, m_i.len());
+    }
+    println!("Matching M (phases I+II): {} edges", result.matching.len());
+    println!("Phase III 2-matching P: {} edges", result.two_matching.len());
+    println!("Output D = M ∪ P: {} edges", result.dominating_set.len());
+    println!();
+    println!(
+        "Section 7.3 properties (a)-(c): {}",
+        match check_section7_properties(&pg, &result) {
+            Ok(()) => "all hold".to_owned(),
+            Err(e) => format!("VIOLATED: {e}"),
+        }
+    );
+
+    // Section 7.4-7.8 accounting against a maximal matching D*.
+    let dstar = greedy_maximal_matching(&simple);
+    let analysis = Section7Analysis::build(&pg, &result, &dstar).expect("accounting");
+
+    println!();
+    println!("=== Section 7 accounting (D* = greedy maximal matching, {} edges) ===", dstar.len());
+    let class_count = |c: EdgeClass| analysis.classes.iter().filter(|&&x| x == c).count();
+    println!(
+        "edge partition: |M| = {}, |P| = {}, |C| = {}, |F| = {}",
+        class_count(EdgeClass::InM),
+        class_count(EdgeClass::InP),
+        class_count(EdgeClass::InC),
+        class_count(EdgeClass::InF),
+    );
+
+    let mut hist = Table::new(vec!["cost c(v)", "internal nodes I_x"]);
+    for (x, count) in analysis.histogram.iter().enumerate() {
+        hist.row(vec![format!("{}/2", x), count.to_string()]);
+    }
+    print!("{hist}");
+    println!(
+        "identities: |I| = 2|D*| = {}, Σ x I_x = 2|D| = {}",
+        2 * analysis.dstar_size,
+        2 * analysis.d_size
+    );
+    println!("total edge weight w(E) = {} (must be >= 0)", analysis.total_weight);
+    match analysis.verify(&pg, delta) {
+        Ok(()) => println!("every inequality of the Section 7 proof holds on this instance"),
+        Err(e) => {
+            println!("PROOF INEQUALITY VIOLATED: {e}");
+            std::process::exit(1);
+        }
+    }
+    let k = (delta / 2) as f64;
+    println!(
+        "ratio |D|/|D*| = {:.4} <= 4 - 1/k = {:.4}",
+        analysis.d_size as f64 / analysis.dstar_size as f64,
+        4.0 - 1.0 / k
+    );
+}

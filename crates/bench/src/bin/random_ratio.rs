@@ -1,0 +1,136 @@
+//! Extension experiment **X-random**: average-case approximation quality.
+//!
+//! The paper's ratios are worst-case over adversarial instances and port
+//! numberings; this binary measures how the algorithms behave on *random*
+//! instances, against the exact optimum (branch and bound) and the
+//! classical baselines. The worst-case bounds must never be exceeded; in
+//! practice the algorithms land far below them.
+//!
+//! Run with: `cargo run --release -p eds-bench --bin random_ratio [n] [samples]`
+
+use eds_bench::Table;
+use eds_core::bounded_degree::bounded_degree_reference;
+use eds_core::port_one::port_one_reference;
+use eds_core::regular_odd::regular_odd_reference;
+use eds_lower_bounds::bound::corollary1_bound;
+use pn_graph::{generators, ports};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let samples: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    println!("Average-case approximation ratios on random d-regular graphs");
+    println!("(n = {n}, {samples} seeds per row; OPT by branch and bound)");
+    println!();
+
+    let mut table = Table::new(vec![
+        "d",
+        "algorithm",
+        "worst-case bound",
+        "mean ratio",
+        "max ratio",
+        "mean |D|",
+        "mean OPT",
+        "2-approx mean",
+    ]);
+
+    for d in 2..=6usize {
+        let mut ratios = Vec::new();
+        let mut sizes = Vec::new();
+        let mut opts = Vec::new();
+        let mut greedy_ratios = Vec::new();
+        for seed in 0..samples {
+            let n_eff = if (n * d) % 2 == 1 { n + 1 } else { n };
+            let g = generators::random_regular(n_eff, d, seed * 131 + d as u64)
+                .expect("regular graph");
+            let pg = ports::shuffled_ports(&g, seed).expect("ports");
+            let simple = pg.to_simple().expect("simple");
+            let opt = eds_baselines::exact::minimum_eds_size(&simple);
+            let found = if d % 2 == 0 {
+                port_one_reference(&pg).len()
+            } else {
+                regular_odd_reference(&pg).expect("runs").dominating_set.len()
+            };
+            let greedy = eds_baselines::two_approx::two_approximation(&simple).len();
+            ratios.push(found as f64 / opt as f64);
+            greedy_ratios.push(greedy as f64 / opt as f64);
+            sizes.push(found as f64);
+            opts.push(opt as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+        let bound = if d % 2 == 0 {
+            4.0 - 2.0 / d as f64
+        } else {
+            4.0 - 6.0 / (d as f64 + 1.0)
+        };
+        let algo = if d % 2 == 0 { "port-1 (Thm 3)" } else { "Thm 4" };
+        assert!(
+            max(&ratios) <= bound + 1e-9,
+            "worst-case bound exceeded at d = {d}"
+        );
+        table.row(vec![
+            d.to_string(),
+            algo.to_owned(),
+            format!("{bound:.4}"),
+            format!("{:.4}", mean(&ratios)),
+            format!("{:.4}", max(&ratios)),
+            format!("{:.2}", mean(&sizes)),
+            format!("{:.2}", mean(&opts)),
+            format!("{:.4}", mean(&greedy_ratios)),
+        ]);
+    }
+    print!("{table}");
+
+    println!();
+    println!("Bounded-degree A(Δ) on random graphs of max degree Δ:");
+    let mut table2 = Table::new(vec![
+        "Δ",
+        "worst-case bound",
+        "mean ratio",
+        "max ratio",
+        "mean |D|",
+        "mean OPT",
+    ]);
+    for delta in 2..=6usize {
+        let mut ratios = Vec::new();
+        let mut sizes = Vec::new();
+        let mut opts = Vec::new();
+        for seed in 0..samples {
+            let g = generators::random_bounded_degree(n, delta, 0.8, seed * 17 + delta as u64)
+                .expect("bounded graph");
+            if g.is_edgeless() {
+                continue;
+            }
+            let pg = ports::shuffled_ports(&g, seed).expect("ports");
+            let simple = pg.to_simple().expect("simple");
+            let opt = eds_baselines::exact::minimum_eds_size(&simple);
+            let found = bounded_degree_reference(&pg, delta)
+                .expect("runs")
+                .dominating_set
+                .len();
+            ratios.push(found as f64 / opt as f64);
+            sizes.push(found as f64);
+            opts.push(opt as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+        let bound = corollary1_bound(delta).as_f64();
+        assert!(
+            max(&ratios) <= bound + 1e-9,
+            "worst-case bound exceeded at Δ = {delta}"
+        );
+        table2.row(vec![
+            delta.to_string(),
+            format!("{bound:.4}"),
+            format!("{:.4}", mean(&ratios)),
+            format!("{:.4}", max(&ratios)),
+            format!("{:.2}", mean(&sizes)),
+            format!("{:.2}", mean(&opts)),
+        ]);
+    }
+    print!("{table2}");
+    println!();
+    println!("all measured ratios stay within the paper's worst-case bounds");
+}

@@ -1,0 +1,141 @@
+//! Renders the paper's figures as Graphviz DOT files.
+//!
+//! Writes one `.dot` file per figure into the output directory
+//! (default `figures/`):
+//!
+//! * `figure1_{a,b,c,d}.dot` — EDS / maximal matching / minimum EDS /
+//!   minimum maximal matching on the Figure 1-style graph;
+//! * `figure2_multigraph.dot` — the two-node multigraph with port labels;
+//! * `figure4_even_d4.dot` — the Theorem 1 construction (optimal `S` in
+//!   red, factor `G(1)` — the forced output — in blue);
+//! * `figure5_component_d5.dot` — one `H(ℓ)` component of the Theorem 2
+//!   construction (matching `S(ℓ)` in red, star `R(ℓ)` in green);
+//! * `figure8_matchings.dot` — a 3-regular graph with the union of the
+//!   distinguishable matchings highlighted.
+//!
+//! Render with e.g. `dot -Tpng figures/figure4_even_d4.dot -o fig4.png`.
+//!
+//! Run with: `cargo run -p eds-bench --bin render_figures [out_dir]`
+
+use eds_core::labels::Labels;
+use eds_core::port_one::port_one_reference;
+use pn_graph::dot::{pn_to_dot, to_dot, EdgeClassStyle};
+use pn_graph::{generators, ports, Endpoint, PnGraphBuilder, Port, SimpleGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "figures".to_owned());
+    std::fs::create_dir_all(&out_dir)?;
+    let write = |name: &str, contents: String| -> std::io::Result<()> {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, contents)?;
+        println!("wrote {path}");
+        Ok(())
+    };
+
+    // --- Figure 1: the four panels on one graph. ---
+    let mut g = SimpleGraph::new(7);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (0, 6)] {
+        g.add_edge_ids(u, v)?;
+    }
+    let panel_a: Vec<_> = g
+        .incident_edges(pn_graph::NodeId::new(2))
+        .chain(g.incident_edges(pn_graph::NodeId::new(4)))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    write(
+        "figure1_a.dot",
+        to_dot(&g, "fig1a", &[EdgeClassStyle::new("eds", "red", panel_a)]),
+    )?;
+    let panel_b = eds_baselines::two_approx::two_approximation(&g);
+    write(
+        "figure1_b.dot",
+        to_dot(&g, "fig1b", &[EdgeClassStyle::new("maximal matching", "blue", panel_b)]),
+    )?;
+    let panel_c = eds_baselines::exact::minimum_edge_dominating_set(&g);
+    write(
+        "figure1_c.dot",
+        to_dot(&g, "fig1c", &[EdgeClassStyle::new("minimum eds", "red", panel_c)]),
+    )?;
+    let panel_d = eds_baselines::mmm::minimum_maximal_matching(&g);
+    write(
+        "figure1_d.dot",
+        to_dot(&g, "fig1d", &[EdgeClassStyle::new("minimum maximal matching", "blue", panel_d)]),
+    )?;
+
+    // --- Figure 2: the multigraph with ports. ---
+    let mut b = PnGraphBuilder::new();
+    let s = b.add_node(3);
+    let t = b.add_node(4);
+    b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))?;
+    b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))?;
+    b.fix_point(Endpoint::new(s, Port::new(3)))?;
+    b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))?;
+    let m = b.finish()?;
+    write("figure2_multigraph.dot", pn_to_dot(&m, "fig2", &[]))?;
+
+    // --- Figure 4: Theorem 1 construction at d = 4. ---
+    let inst = eds_lower_bounds::even::build(4)?;
+    let forced = port_one_reference(&inst.graph);
+    write(
+        "figure4_even_d4.dot",
+        pn_to_dot(
+            &inst.graph,
+            "fig4",
+            &[
+                EdgeClassStyle::new("forced 2-factor output", "blue", forced),
+                EdgeClassStyle::new("optimal S", "red", inst.optimal.clone()),
+            ],
+        ),
+    )?;
+
+    // --- Figure 5: one component of the Theorem 2 construction, d = 5. ---
+    let inst5 = eds_lower_bounds::odd::build(5)?;
+    let layout = eds_lower_bounds::odd::Layout::new(5);
+    let view = inst5.graph.to_simple()?;
+    // Collect H(1)'s internal edges and classify.
+    let mut s_edges = Vec::new();
+    let mut r_edges = Vec::new();
+    for t in 1..=layout.k {
+        s_edges.push(
+            view.find_edge(layout.a(1, 2 * t - 1), layout.a(1, 2 * t))
+                .expect("S(1) edge"),
+        );
+    }
+    for i in 1..=2 * layout.k {
+        r_edges.push(
+            view.find_edge(layout.c(1), layout.b(1, i))
+                .expect("R(1) edge"),
+        );
+    }
+    write(
+        "figure5_component_d5.dot",
+        pn_to_dot(
+            &inst5.graph,
+            "fig5",
+            &[
+                EdgeClassStyle::new("matching S(1)", "red", s_edges),
+                EdgeClassStyle::new("star R(1)", "green", r_edges),
+            ],
+        ),
+    )?;
+
+    // --- Figure 8: distinguishable matchings of a 3-regular graph. ---
+    let petersen = ports::shuffled_ports(&generators::petersen(), 1)?;
+    let labels = Labels::compute(&petersen)?;
+    write(
+        "figure8_matchings.dot",
+        pn_to_dot(
+            &petersen,
+            "fig8",
+            &[EdgeClassStyle::new(
+                "union of M(i,j)",
+                "purple",
+                labels.all_distinguishable_edges(),
+            )],
+        ),
+    )?;
+
+    println!("done: render with `dot -Tpng <file> -o <out>.png`");
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Workload construction shared by benches and experiment binaries.
+
+use pn_graph::{generators, ports, GraphError, PortNumberedGraph, SimpleGraph};
+
+/// A named instance: a port-numbered graph with a human-readable label.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name, e.g. `"random-regular n=64 d=4"`.
+    pub name: String,
+    /// The instance.
+    pub graph: PortNumberedGraph,
+}
+
+/// Random `d`-regular instances with shuffled ports, one per seed.
+///
+/// # Errors
+///
+/// Propagates generator errors for infeasible `(n, d)` combinations.
+pub fn regular_suite(
+    n: usize,
+    d: usize,
+    seeds: std::ops::Range<u64>,
+) -> Result<Vec<Workload>, GraphError> {
+    seeds
+        .map(|seed| {
+            let g = generators::random_regular(n, d, seed)?;
+            let graph = ports::shuffled_ports(&g, seed ^ 0x5eed)?;
+            Ok(Workload {
+                name: format!("random-regular n={n} d={d} seed={seed}"),
+                graph,
+            })
+        })
+        .collect()
+}
+
+/// Random bounded-degree instances with shuffled ports, one per seed.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn bounded_suite(
+    n: usize,
+    delta: usize,
+    density: f64,
+    seeds: std::ops::Range<u64>,
+) -> Result<Vec<Workload>, GraphError> {
+    seeds
+        .map(|seed| {
+            let g = generators::random_bounded_degree(n, delta, density, seed)?;
+            let graph = ports::shuffled_ports(&g, seed ^ 0xb0bb)?;
+            Ok(Workload {
+                name: format!("random-bounded n={n} Δ={delta} density={density} seed={seed}"),
+                graph,
+            })
+        })
+        .collect()
+}
+
+/// The classic fixed topologies used across the benches.
+///
+/// # Errors
+///
+/// Never fails for the built-in parameter choices.
+pub fn classic_suite() -> Result<Vec<Workload>, GraphError> {
+    let named: Vec<(&str, SimpleGraph)> = vec![
+        ("petersen", generators::petersen()),
+        ("hypercube-4", generators::hypercube(4)?),
+        ("torus-6x6", generators::torus(6, 6)?),
+        ("grid-8x8", generators::grid(8, 8)?),
+        ("cycle-48", generators::cycle(48)?),
+        ("crown-6", generators::crown(6)?),
+    ];
+    named
+        .into_iter()
+        .map(|(name, g)| {
+            Ok(Workload {
+                name: name.to_owned(),
+                graph: ports::canonical_ports(&g)?,
+            })
+        })
+        .collect()
+}
+
+/// A geometric "sensor network" instance: random points in the unit
+/// square, communication radius tuned so the expected degree is moderate,
+/// then truncated to maximum degree `delta` by dropping excess edges.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn sensor_network(
+    n: usize,
+    delta: usize,
+    seed: u64,
+) -> Result<(SimpleGraph, PortNumberedGraph), GraphError> {
+    let radius = (2.0 / (n as f64)).sqrt();
+    let full = generators::random_geometric(n, radius, seed)?;
+    // Truncate to the degree bound, keeping earlier edges.
+    let mut g = SimpleGraph::new(n);
+    for (_, u, v) in full.edges() {
+        if g.degree(u) < delta && g.degree(v) < delta {
+            g.add_edge(u, v)?;
+        }
+    }
+    let pg = ports::shuffled_ports(&g, seed ^ 0x6e0)?;
+    Ok((g, pg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_build() {
+        let r = regular_suite(12, 4, 0..3).unwrap();
+        assert_eq!(r.len(), 3);
+        for w in &r {
+            assert_eq!(w.graph.regular_degree(), Some(4));
+        }
+        let b = bounded_suite(20, 5, 0.7, 0..2).unwrap();
+        assert_eq!(b.len(), 2);
+        for w in &b {
+            assert!(w.graph.max_degree() <= 5);
+        }
+        let c = classic_suite().unwrap();
+        assert!(c.len() >= 5);
+    }
+
+    #[test]
+    fn sensor_network_respects_degree_bound() {
+        let (g, pg) = sensor_network(60, 4, 9).unwrap();
+        assert!(g.max_degree() <= 4);
+        assert_eq!(g.edge_count(), pg.edge_count());
+    }
+}

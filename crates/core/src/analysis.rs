@@ -1,0 +1,406 @@
+//! The Section 7 accounting: costs, weights, and the double-counting
+//! argument behind Theorem 5's approximation bound.
+//!
+//! Given the algorithm's output `D = M ∪ P` and an arbitrary maximal
+//! matching `D*` (e.g. a minimum one), the proof
+//!
+//! 1. classifies nodes as **internal** (covered by `D*`) or **external**;
+//! 2. charges each `D`-edge to internal nodes: 1 to the internal endpoint
+//!    of an internal–external edge, ½ to each endpoint of an
+//!    internal–internal edge — so `Σ c(v) = |D|` and `|I| = 2 |D*|`;
+//! 3. selects a set `C` of edges joining each odd-degree `P`-node to an
+//!    `M`-node (possible by property b), sets `F = E ∖ (M ∪ P ∪ C)`, and
+//!    assigns edge weights `w`:
+//!    * `w(e) = 2` for `e ∈ F ∪ C` touching an external `P`-node,
+//!    * `w(e) = 2 - d(u)` for `e ∈ P` with `u` its external `P`-node,
+//!    * `w(e) = 0` otherwise;
+//! 4. double counts: summed over external `P`-nodes the weight is
+//!    non-negative, while an internal node of cost `c(v)` carries at most
+//!    `-2, Δ-3, 2Δ-4, 2Δ-2` weight for `2c(v) = 4, 3, 2, ≤1`
+//!    respectively — which forces enough low-cost internal nodes to bound
+//!    the ratio by `4 - 1/k`.
+//!
+//! [`Section7Analysis::verify`] checks *every* inequality of the proof on
+//! a concrete instance; the property tests run it on thousands of random
+//! graphs.
+
+use pn_graph::{EdgeId, NodeId, PortNumberedGraph};
+
+use crate::bounded_degree::BoundedDegreeResult;
+
+/// Classification of one edge for the weight assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// In the matching `M` (phases I–II).
+    InM,
+    /// In the 2-matching `P` (phase III).
+    InP,
+    /// In the connector set `C` (joins an odd `P`-node to an `M`-node).
+    InC,
+    /// In the remainder `F = E ∖ (M ∪ P ∪ C)`.
+    InF,
+}
+
+/// The full Section 7 accounting for one instance.
+#[derive(Clone, Debug)]
+pub struct Section7Analysis {
+    /// Whether each node is internal (covered by `D*`).
+    pub internal: Vec<bool>,
+    /// Twice the cost `c(v)` of each node (0 for external nodes);
+    /// always in `{0, 1, 2, 3, 4}`.
+    pub cost2: Vec<u8>,
+    /// `I_x` = number of internal nodes with `2 c(v) = x`.
+    pub histogram: [usize; 5],
+    /// Edge classification (`M`, `P`, `C`, `F`).
+    pub classes: Vec<EdgeClass>,
+    /// The weight `w(e)` of each edge.
+    pub weights: Vec<i64>,
+    /// Total weight `w(E)`.
+    pub total_weight: i64,
+    /// `|D|` and `|D*|` for the ratio check.
+    pub d_size: usize,
+    /// Size of the reference maximal matching.
+    pub dstar_size: usize,
+}
+
+impl Section7Analysis {
+    /// Builds the accounting from an algorithm result and a maximal
+    /// matching `dstar`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated precondition if `dstar` is
+    /// not a maximal matching or the result is malformed.
+    pub fn build(
+        g: &PortNumberedGraph,
+        result: &BoundedDegreeResult,
+        dstar: &[EdgeId],
+    ) -> Result<Self, String> {
+        let n = g.node_count();
+
+        // D* must be a maximal matching.
+        let mut internal = vec![false; n];
+        for &e in dstar {
+            let (u, v) = g.edge(e).nodes();
+            if internal[u.index()] || internal[v.index()] {
+                return Err("D* is not a matching".to_owned());
+            }
+            internal[u.index()] = true;
+            internal[v.index()] = true;
+        }
+        for (_, shape) in g.edges() {
+            let (u, v) = shape.nodes();
+            if !internal[u.index()] && !internal[v.index()] {
+                return Err(format!("D* is not maximal: edge {u}-{v} uncovered"));
+            }
+        }
+
+        // Node roles under D.
+        let mut m_cover = vec![false; n];
+        for &e in &result.matching {
+            let (u, v) = g.edge(e).nodes();
+            m_cover[u.index()] = true;
+            m_cover[v.index()] = true;
+        }
+        let mut p_cover = vec![false; n];
+        for &e in &result.two_matching {
+            let (u, v) = g.edge(e).nodes();
+            p_cover[u.index()] = true;
+            p_cover[v.index()] = true;
+        }
+
+        // Costs.
+        let mut cost2 = vec![0u8; n];
+        let d_edges = &result.dominating_set;
+        for &e in d_edges {
+            let (u, v) = g.edge(e).nodes();
+            match (internal[u.index()], internal[v.index()]) {
+                (true, false) => cost2[u.index()] += 2,
+                (false, true) => cost2[v.index()] += 2,
+                (true, true) => {
+                    cost2[u.index()] += 1;
+                    cost2[v.index()] += 1;
+                }
+                (false, false) => {
+                    return Err(format!(
+                        "edge {u}-{v} has two external endpoints: D* not maximal"
+                    ))
+                }
+            }
+        }
+        let mut histogram = [0usize; 5];
+        for v in 0..n {
+            if internal[v] {
+                let x = cost2[v] as usize;
+                if x > 4 {
+                    return Err(format!("internal node n{v} has cost {x}/2 > 2"));
+                }
+                histogram[x] += 1;
+            } else if cost2[v] != 0 {
+                return Err(format!("external node n{v} was charged"));
+            }
+        }
+
+        // Edge classes: M, P, then C, then F.
+        let mut classes = vec![EdgeClass::InF; g.edge_count()];
+        for &e in &result.matching {
+            classes[e.index()] = EdgeClass::InM;
+        }
+        for &e in &result.two_matching {
+            classes[e.index()] = EdgeClass::InP;
+        }
+        // C: one edge per odd-degree P-node to an M-covered neighbour.
+        for v in g.nodes() {
+            if !p_cover[v.index()] || g.degree(v).is_multiple_of(2) {
+                continue;
+            }
+            let mut chosen = None;
+            for p in g.ports(v) {
+                let u = g.neighbor_through(v, p);
+                if m_cover[u.index()] {
+                    let e = g.edge_at(pn_graph::Endpoint::new(v, p));
+                    if classes[e.index()] == EdgeClass::InF {
+                        chosen = Some(e);
+                        break;
+                    }
+                }
+            }
+            match chosen {
+                Some(e) => classes[e.index()] = EdgeClass::InC,
+                None => {
+                    return Err(format!(
+                        "odd P-node {v} has no spare edge to an M-node (property b violated)"
+                    ))
+                }
+            }
+        }
+
+        // Weights.
+        let external_p =
+            |v: NodeId| p_cover[v.index()] && !internal[v.index()];
+        let mut weights = vec![0i64; g.edge_count()];
+        for (e, shape) in g.edges() {
+            let (u, v) = shape.nodes();
+            let w = match classes[e.index()] {
+                EdgeClass::InF | EdgeClass::InC => {
+                    if external_p(u) || external_p(v) {
+                        2
+                    } else {
+                        0
+                    }
+                }
+                EdgeClass::InP => {
+                    if external_p(u) {
+                        2 - g.degree(u) as i64
+                    } else if external_p(v) {
+                        2 - g.degree(v) as i64
+                    } else {
+                        0
+                    }
+                }
+                EdgeClass::InM => 0,
+            };
+            weights[e.index()] = w;
+        }
+        let total_weight = weights.iter().sum();
+
+        Ok(Section7Analysis {
+            internal,
+            cost2,
+            histogram,
+            classes,
+            weights,
+            total_weight,
+            d_size: d_edges.len(),
+            dstar_size: dstar.len(),
+        })
+    }
+
+    /// The per-node total weight `w(v)` (sum over incident edges).
+    pub fn node_weight(&self, g: &PortNumberedGraph, v: NodeId) -> i64 {
+        g.ports(v)
+            .map(|p| self.weights[g.edge_at(pn_graph::Endpoint::new(v, p)).index()])
+            .sum()
+    }
+
+    /// Verifies every inequality of the Section 7 proof for maximum
+    /// degree `delta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated inequality.
+    pub fn verify(&self, g: &PortNumberedGraph, delta: usize) -> Result<(), String> {
+        let n = g.node_count();
+        let internal_count: usize = self.internal.iter().filter(|&&b| b).count();
+
+        // Identity checks: |I| = 2|D*| and Σ x I_x = 2|D|.
+        if internal_count != 2 * self.dstar_size {
+            return Err("2|D*| != |I|".to_owned());
+        }
+        let weighted: usize = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| x * c)
+            .sum();
+        if weighted != 2 * self.d_size {
+            return Err(format!(
+                "Σ x I_x = {weighted} but 2|D| = {}",
+                2 * self.d_size
+            ));
+        }
+
+        // External P-nodes have non-negative weight.
+        let mut p_cover = vec![false; n];
+        for (e, shape) in g.edges() {
+            if self.classes[e.index()] == EdgeClass::InP {
+                let (u, v) = shape.nodes();
+                p_cover[u.index()] = true;
+                p_cover[v.index()] = true;
+            }
+        }
+        let delta_i = delta as i64;
+        let mut external_sum = 0i64;
+        let mut internal_sum = 0i64;
+        for v in g.nodes() {
+            let wv = self.node_weight(g, v);
+            if !self.internal[v.index()] {
+                if p_cover[v.index()] {
+                    if wv < 0 {
+                        return Err(format!("external P-node {v} has weight {wv} < 0"));
+                    }
+                    external_sum += wv;
+                } else if wv != 0 {
+                    return Err(format!("external non-P node {v} has weight {wv} != 0"));
+                }
+            } else {
+                internal_sum += wv;
+                // Per-cost weight caps.
+                let cap = match self.cost2[v.index()] {
+                    4 => -2,
+                    3 => delta_i - 3,
+                    2 => 2 * delta_i - 4,
+                    _ => 2 * delta_i - 2,
+                };
+                if wv > cap {
+                    return Err(format!(
+                        "internal node {v} with cost {}/2 has weight {wv} > cap {cap}",
+                        self.cost2[v.index()]
+                    ));
+                }
+            }
+        }
+        // Double counting: both sums equal the total weight.
+        if external_sum != self.total_weight || internal_sum != self.total_weight {
+            return Err(format!(
+                "double counting broken: external {external_sum}, internal {internal_sum}, total {}",
+                self.total_weight
+            ));
+        }
+        if self.total_weight < 0 {
+            return Err(format!("total weight {} < 0", self.total_weight));
+        }
+
+        // The aggregate bound W >= w(E) >= 0, hence
+        // 2 I_4 <= (Δ-3) I_3 + (2Δ-4) I_2 + (2Δ-2) I_1 + (2Δ-2) I_0.
+        let [i0, i1, i2, i3, i4] = self.histogram.map(|x| x as i64);
+        let rhs = (delta_i - 3) * i3 + (2 * delta_i - 4) * i2 + (2 * delta_i - 2) * (i1 + i0);
+        if 2 * i4 > rhs {
+            return Err(format!("aggregate bound violated: 2 I4 = {} > {rhs}", 2 * i4));
+        }
+
+        // The final ratio bound |D| <= (4 - 1/k) |D*| with k = ⌊Δ/2⌋
+        // (vacuous for Δ <= 1).
+        if delta >= 2 {
+            let k = (delta / 2) as u64;
+            let lhs = self.d_size as u64 * k;
+            let rhs = (4 * k - 1) * self.dstar_size as u64;
+            if lhs > rhs {
+                return Err(format!(
+                    "ratio bound violated: |D| = {}, |D*| = {}, k = {k}",
+                    self.d_size, self.dstar_size
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded_degree::bounded_degree_reference;
+    use pn_graph::matching::greedy_maximal_matching;
+    use pn_graph::{generators, ports};
+
+    fn analyse(g: &pn_graph::SimpleGraph, delta: usize, seed: u64) {
+        let pg = ports::shuffled_ports(g, seed).unwrap();
+        let result = bounded_degree_reference(&pg, delta).unwrap();
+        // Edge ids of the port-numbered graph follow slot order, so the
+        // maximal matching must be computed on its own simple view.
+        let dstar = greedy_maximal_matching(&pg.to_simple().unwrap());
+        let analysis = Section7Analysis::build(&pg, &result, &dstar).unwrap();
+        analysis.verify(&pg, delta).unwrap();
+    }
+
+    #[test]
+    fn grids() {
+        analyse(&generators::grid(4, 4).unwrap(), 4, 1);
+        analyse(&generators::grid(5, 3).unwrap(), 4, 2);
+    }
+
+    #[test]
+    fn random_regular() {
+        for d in [3usize, 4, 5] {
+            for seed in 0..5 {
+                let g = generators::random_regular(12, d, seed * 7 + d as u64).unwrap();
+                analyse(&g, d, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn random_bounded() {
+        for delta in [3usize, 5, 6] {
+            for seed in 0..5 {
+                let g = generators::random_bounded_degree(20, delta, 0.8, seed + 40).unwrap();
+                if g.is_edgeless() {
+                    continue;
+                }
+                analyse(&g, delta, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_maximal_dstar() {
+        let g = generators::path(4).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let result = bounded_degree_reference(&pg, 2).unwrap();
+        // Empty D* is not maximal for a non-empty graph.
+        assert!(Section7Analysis::build(&pg, &result, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_matching_dstar() {
+        let g = generators::path(3).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let result = bounded_degree_reference(&pg, 2).unwrap();
+        let both: Vec<pn_graph::EdgeId> =
+            vec![pn_graph::EdgeId::new(0), pn_graph::EdgeId::new(1)];
+        assert!(Section7Analysis::build(&pg, &result, &both).is_err());
+    }
+
+    #[test]
+    fn histogram_identities() {
+        let g = generators::petersen();
+        let pg = ports::shuffled_ports(&g, 3).unwrap();
+        let result = bounded_degree_reference(&pg, 3).unwrap();
+        let dstar = greedy_maximal_matching(&pg.to_simple().unwrap());
+        let a = Section7Analysis::build(&pg, &result, &dstar).unwrap();
+        let internal_count = a.internal.iter().filter(|&&b| b).count();
+        assert_eq!(internal_count, 2 * dstar.len());
+        let weighted: usize = a.histogram.iter().enumerate().map(|(x, &c)| x * c).sum();
+        assert_eq!(weighted, 2 * result.dominating_set.len());
+    }
+}

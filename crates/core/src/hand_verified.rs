@@ -1,0 +1,303 @@
+//! Hand-verified executions: small instances worked out on paper,
+//! asserted edge by edge.
+//!
+//! These tests pin the algorithms to manually derived ground truth —
+//! if a refactor changes any decision the algorithms make, these fail
+//! with a precise diff, unlike the property tests which only check
+//! invariants.
+
+#![cfg(test)]
+
+use pn_graph::{Endpoint, NodeId, PnGraphBuilder, Port, PortNumberedGraph};
+
+use crate::bounded_degree::bounded_degree_reference;
+use crate::labels::Labels;
+use crate::port_one::port_one_reference;
+use crate::regular_odd::regular_odd_reference;
+
+fn ep(v: usize, p: u32) -> Endpoint {
+    Endpoint::new(NodeId::new(v), Port::new(p))
+}
+
+/// `K₄` with the "mirror" numbering: every edge has label pair `{i, i}`.
+///
+/// Wiring (checked to be an involution):
+///   0-1 via (0,1)-(1,1);  0-2 via (0,2)-(2,2);  0-3 via (0,3)-(3,3);
+///   2-3 via (2,1)-(3,1);  1-3 via (1,2)-(3,2);  1-2 via (1,3)-(2,3).
+fn k4_mirror() -> PortNumberedGraph {
+    let mut b = PnGraphBuilder::new();
+    for _ in 0..4 {
+        b.add_node(3);
+    }
+    b.connect(ep(0, 1), ep(1, 1)).unwrap();
+    b.connect(ep(0, 2), ep(2, 2)).unwrap();
+    b.connect(ep(0, 3), ep(3, 3)).unwrap();
+    b.connect(ep(2, 1), ep(3, 1)).unwrap();
+    b.connect(ep(1, 2), ep(3, 2)).unwrap();
+    b.connect(ep(1, 3), ep(2, 3)).unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn k4_mirror_distinguishable_neighbours() {
+    // Every node sees three distinct pairs {1,1}, {2,2}, {3,3}; the
+    // minimum own-port edge is the {1,1} one.
+    let g = k4_mirror();
+    let labels = Labels::compute(&g).unwrap();
+    let dn = |v: usize| labels.distinguishable_neighbor(NodeId::new(v)).unwrap().0;
+    assert_eq!(dn(0), NodeId::new(1));
+    assert_eq!(dn(1), NodeId::new(0));
+    assert_eq!(dn(2), NodeId::new(3));
+    assert_eq!(dn(3), NodeId::new(2));
+}
+
+#[test]
+fn k4_mirror_matchings() {
+    // M(1,1) = {0-1, 2-3}; every other M(i,j) is empty.
+    let g = k4_mirror();
+    let labels = Labels::compute(&g).unwrap();
+    let m11 = labels.matching(Port::new(1), Port::new(1));
+    let nodes: Vec<(NodeId, NodeId)> = m11.iter().map(|&e| g.edge(e).nodes()).collect();
+    assert_eq!(
+        nodes,
+        vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+        ]
+    );
+    for (i, j, m) in labels.pairs() {
+        if (i.get(), j.get()) != (1, 1) {
+            assert!(m.is_empty(), "M({i},{j}) should be empty");
+        }
+    }
+}
+
+#[test]
+fn k4_mirror_theorem4_output_is_perfect_matching() {
+    // Phase I adds both M(1,1) edges; everyone is covered; phase II
+    // removes nothing (D-degrees are 1). D = {0-1, 2-3}: ratio 1.
+    let g = k4_mirror();
+    let result = regular_odd_reference(&g).unwrap();
+    let nodes: Vec<(NodeId, NodeId)> = result
+        .dominating_set
+        .iter()
+        .map(|&e| g.edge(e).nodes())
+        .collect();
+    assert_eq!(
+        nodes,
+        vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+        ]
+    );
+    assert_eq!(result.phase1, result.dominating_set);
+}
+
+#[test]
+fn k4_mirror_port_one_selects_three_edges() {
+    // Edges touching a port 1: 0-1 (ports 1/1), 2-3 (ports 1/1)... and
+    // nothing else has a port 1. D = {0-1, 2-3}: covers everything.
+    let g = k4_mirror();
+    let d = port_one_reference(&g);
+    let nodes: Vec<(NodeId, NodeId)> = d.iter().map(|&e| g.edge(e).nodes()).collect();
+    assert_eq!(
+        nodes,
+        vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+        ]
+    );
+}
+
+/// The path `0 - 1 - 2 - 3` with canonical ports:
+///   0: port 1 → 1;  1: port 1 → 0, port 2 → 2;
+///   2: port 1 → 1, port 2 → 3;  3: port 1 → 2.
+fn p4_canonical() -> PortNumberedGraph {
+    let mut b = PnGraphBuilder::new();
+    b.add_node(1);
+    b.add_node(2);
+    b.add_node(2);
+    b.add_node(1);
+    b.connect(ep(0, 1), ep(1, 1)).unwrap();
+    b.connect(ep(1, 2), ep(2, 1)).unwrap();
+    b.connect(ep(2, 2), ep(3, 1)).unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn p4_distinguishable_neighbours() {
+    // Label pairs: 0-1 is {1,1}; 1-2 is {2,1}; 2-3 is {2,1}.
+    // Node 2 sees {1,2} twice: no DN. Others have one.
+    let g = p4_canonical();
+    let labels = Labels::compute(&g).unwrap();
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(0)).unwrap().0,
+        NodeId::new(1)
+    );
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(1)).unwrap().0,
+        NodeId::new(0)
+    );
+    assert_eq!(labels.distinguishable_neighbor(NodeId::new(2)), None);
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(3)).unwrap().0,
+        NodeId::new(2)
+    );
+}
+
+#[test]
+fn p4_bounded_degree_walkthrough() {
+    // Phase I: M(1,1) = {0-1} added; M(1,2) = {2-3} (node 3's DN edge,
+    // p(3,1) = (2,2)) added. Everyone covered; phases II and III idle.
+    // D = {0-1, 2-3}; OPT = 1 (the middle edge); ratio 2 <= 3 = bound.
+    let g = p4_canonical();
+    let result = bounded_degree_reference(&g, 2).unwrap();
+    let nodes: Vec<(NodeId, NodeId)> = result
+        .dominating_set
+        .iter()
+        .map(|&e| g.edge(e).nodes())
+        .collect();
+    assert_eq!(
+        nodes,
+        vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+        ]
+    );
+    assert!(result.two_matching.is_empty());
+    assert!(result.phase2_added.iter().all(Vec::is_empty));
+}
+
+/// A graph engineered so every phase of `A(Δ)` contributes an edge.
+///
+/// Two symmetric 4-cycles (nodes 0–3 and 4–7, ports `1 → 2` around each)
+/// plus two bridge edges from node 0: `(0,3)-(4,3)` and `(0,4)-(5,3)`.
+/// Degrees: node 0 has 4; nodes 4 and 5 have 3; the rest have 2.
+///
+/// Hand-derived execution (Δ = 4):
+///
+/// * label pairs inside the cycles all repeat (`{1,2}` twice), so cycle
+///   nodes have no distinguishable neighbour; node 4 has the unique pair
+///   `{3,3}` (bridge to 0), node 5 the unique `{3,4}`; node 0 sees
+///   `{3,3}` and `{3,4}` — unique, min own-port 3 → DN(0) = 4;
+/// * **Phase I**: pair (3,3) adds bridge `{0,4}`; pair (3,4) skips
+///   `{0,5}` because 0 is now covered. `M = {{0,4}}`;
+/// * **Phase II**: `B₃ = {{5,6}}` (degrees 3 > 2, both uncovered; black
+///   node 5 proposes, white 6 accepts): `M += {{5,6}}`. `B₂` and `B₄`
+///   are empty;
+/// * **Phase III**: `H = {{1,2}, {2,3}}`. First proposal round: 1 → 2,
+///   2 → 3, 3 → 2; node 2 accepts its min-port offer (from 3), node 3
+///   accepts the offer from 2 — both acceptances select the same edge
+///   `{2,3}`. `P = {{2,3}}`.
+///
+/// Output `D = {{0,4}, {5,6}, {2,3}}`, which equals the optimum (3).
+fn three_phase_instance() -> PortNumberedGraph {
+    let mut b = PnGraphBuilder::new();
+    b.add_node(4); // 0
+    for _ in 1..4 {
+        b.add_node(2);
+    }
+    b.add_node(3); // 4
+    b.add_node(3); // 5
+    b.add_node(2); // 6
+    b.add_node(2); // 7
+    for v in 0..4 {
+        b.connect(ep(v, 1), ep((v + 1) % 4, 2)).unwrap();
+    }
+    for i in 0..4 {
+        b.connect(ep(4 + i, 1), ep(4 + (i + 1) % 4, 2)).unwrap();
+    }
+    b.connect(ep(0, 3), ep(4, 3)).unwrap();
+    b.connect(ep(0, 4), ep(5, 3)).unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn three_phase_walkthrough() {
+    let g = three_phase_instance();
+    let labels = Labels::compute(&g).unwrap();
+    // Distinguishable neighbours as derived above.
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(0)).unwrap().0,
+        NodeId::new(4)
+    );
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(4)).unwrap().0,
+        NodeId::new(0)
+    );
+    assert_eq!(
+        labels.distinguishable_neighbor(NodeId::new(5)).unwrap().0,
+        NodeId::new(0)
+    );
+    for v in [1usize, 2, 3, 6, 7] {
+        assert_eq!(
+            labels.distinguishable_neighbor(NodeId::new(v)),
+            None,
+            "cycle node {v}"
+        );
+    }
+
+    let result = bounded_degree_reference(&g, 4).unwrap();
+    let edge_nodes = |edges: &[pn_graph::EdgeId]| -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&e| {
+                let (a, b) = g.edge(e).nodes();
+                (a.index().min(b.index()), a.index().max(b.index()))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    // Phase I: exactly the bridge {0,4}.
+    assert_eq!(edge_nodes(&result.phase1), vec![(0, 4)]);
+    // Phase II: B3 contributes {5,6}; B2 and B4 are empty.
+    assert_eq!(result.phase2_added.len(), 3);
+    assert!(result.phase2_added[0].is_empty(), "B2 empty");
+    assert_eq!(edge_nodes(&result.phase2_added[1]), vec![(5, 6)]);
+    assert!(result.phase2_added[2].is_empty(), "B4 empty");
+    // Phase III: the single 2-matching edge {2,3}.
+    assert_eq!(edge_nodes(&result.two_matching), vec![(2, 3)]);
+    // Output D and its optimality.
+    assert_eq!(edge_nodes(&result.dominating_set), vec![(0, 4), (2, 3), (5, 6)]);
+    // The distributed protocol agrees, as always.
+    let distributed = crate::distributed::bounded_degree_distributed(&g, 4).unwrap();
+    assert_eq!(result.dominating_set, distributed);
+}
+
+/// `C₄` with the symmetric (2-factorised) numbering: port 1 → port 2
+/// around the cycle. No node has a distinguishable neighbour; Phase I
+/// does nothing; Phase III must dominate everything.
+fn c4_symmetric() -> PortNumberedGraph {
+    let mut b = PnGraphBuilder::new();
+    for _ in 0..4 {
+        b.add_node(2);
+    }
+    for v in 0..4 {
+        b.connect(ep(v, 1), ep((v + 1) % 4, 2)).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn c4_symmetric_phase3_takes_over() {
+    let g = c4_symmetric();
+    let labels = Labels::compute(&g).unwrap();
+    for v in g.nodes() {
+        assert_eq!(labels.distinguishable_neighbor(v), None);
+    }
+    let result = bounded_degree_reference(&g, 2).unwrap();
+    assert!(result.matching.is_empty(), "phases I-II find nothing");
+    assert!(!result.two_matching.is_empty(), "phase III must act");
+    // Walkthrough of phase III on the symmetric C4: in the first
+    // proposal round every node proposes through port 1 (to its
+    // successor); every node receives exactly one offer on port 2 and
+    // accepts it. P = all four edges — the 2-matching is the whole
+    // cycle, exactly the symmetry the lower bound exploits.
+    assert_eq!(result.two_matching.len(), 4);
+    // Feasible: everything dominated (OPT = 2, ratio 2 <= 3).
+    assert!(crate::bounded_degree::dominates_all_edges(
+        &g,
+        &result.dominating_set
+    ));
+}

@@ -1,0 +1,377 @@
+//! Distinguishable neighbours and the matchings `M_G(i, j)`
+//! (paper Section 5).
+//!
+//! In a simple port-numbered graph every edge `{v, u}` has a *label pair*
+//! `ℓ{v, u} = {ℓ(v, u), ℓ(u, v)}` — the two port numbers at its endpoints.
+//! An edge incident to `v` is **uniquely labelled** (at `v`) if no other
+//! edge at `v` has the same label pair. The **distinguishable neighbour**
+//! of `v` is the other endpoint of the uniquely labelled edge minimising
+//! `ℓ(v, ·)`.
+//!
+//! * Lemma 1: every node of odd degree has a distinguishable neighbour.
+//! * Lemma 2: the set `M_G(i, j)` of edges `{v, u}` with `p(v, i) = (u, j)`
+//!   and `u` the distinguishable neighbour of `v` is a matching.
+//!
+//! The positive results of the paper (Theorems 4 and 5) are built entirely
+//! on these matchings: they give anonymous networks a symmetry-breaking
+//! toehold that exists *without* identifiers.
+
+use pn_graph::{EdgeId, Endpoint, GraphError, NodeId, Port, PortNumberedGraph};
+
+/// An unordered pair of port numbers: the label of an edge.
+///
+/// # Examples
+///
+/// ```
+/// use eds_core::labels::LabelPair;
+/// use pn_graph::Port;
+/// let a = LabelPair::new(Port::new(3), Port::new(1));
+/// let b = LabelPair::new(Port::new(1), Port::new(3));
+/// assert_eq!(a, b); // unordered
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelPair {
+    lo: Port,
+    hi: Port,
+}
+
+impl LabelPair {
+    /// Creates the unordered pair `{a, b}`.
+    pub fn new(a: Port, b: Port) -> Self {
+        if a <= b {
+            LabelPair { lo: a, hi: b }
+        } else {
+            LabelPair { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller port of the pair.
+    pub fn lo(self) -> Port {
+        self.lo
+    }
+
+    /// The larger port of the pair.
+    pub fn hi(self) -> Port {
+        self.hi
+    }
+}
+
+/// Precomputed label structure of a simple port-numbered graph: label
+/// pairs, distinguishable neighbours, and the matchings `M_G(i, j)`.
+#[derive(Clone, Debug)]
+pub struct Labels {
+    /// Maximum degree of the graph (bounds the port numbers).
+    delta: usize,
+    /// For each edge, its two endpoints `(a, b)` with ports.
+    endpoints: Vec<(Endpoint, Endpoint)>,
+    /// For each node, the distinguishable neighbour (and connecting edge),
+    /// if one exists.
+    distinguishable: Vec<Option<(NodeId, EdgeId)>>,
+    /// `matchings[(i-1) * delta + (j-1)]` = the edge list of `M_G(i, j)`.
+    matchings: Vec<Vec<EdgeId>>,
+}
+
+impl Labels {
+    /// Computes the label structure of a **simple** port-numbered graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSimple`] if the graph has loops or
+    /// parallel edges (label pairs are defined for simple graphs).
+    pub fn compute(g: &PortNumberedGraph) -> Result<Self, GraphError> {
+        if !g.is_simple() {
+            return Err(GraphError::NotSimple {
+                detail: "label pairs are defined on simple port-numbered graphs".to_owned(),
+            });
+        }
+        let delta = g.max_degree();
+        let endpoints: Vec<(Endpoint, Endpoint)> =
+            g.edges().map(|(e, _)| g.edge_endpoints(e)).collect();
+
+        let mut distinguishable = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            distinguishable.push(distinguishable_neighbor(g, v));
+        }
+
+        let mut matchings = vec![Vec::new(); delta * delta];
+        for v in g.nodes() {
+            if let Some((u, e)) = distinguishable[v.index()] {
+                let i = g
+                    .port_toward(v, u)
+                    .expect("distinguishable neighbour is adjacent");
+                let j = g
+                    .port_toward(u, v)
+                    .expect("adjacency is symmetric");
+                let slot = (i.index()) * delta + j.index();
+                // Avoid duplicates when i == j and both endpoints name each
+                // other as distinguishable neighbours.
+                if !matchings[slot].contains(&e) {
+                    matchings[slot].push(e);
+                }
+            }
+        }
+        Ok(Labels {
+            delta,
+            endpoints,
+            distinguishable,
+            matchings,
+        })
+    }
+
+    /// The maximum degree the matchings are indexed by.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The distinguishable neighbour of `v` (Section 5), with the
+    /// connecting edge, if `v` has any uniquely labelled edge.
+    pub fn distinguishable_neighbor(&self, v: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.distinguishable[v.index()]
+    }
+
+    /// The matching `M_G(i, j)`: edges `{v, u}` such that `p(v, i) = (u, j)`
+    /// and `u` is the distinguishable neighbour of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port exceeds the maximum degree.
+    pub fn matching(&self, i: Port, j: Port) -> &[EdgeId] {
+        assert!(i.index() < self.delta && j.index() < self.delta);
+        &self.matchings[i.index() * self.delta + j.index()]
+    }
+
+    /// Iterates over all pairs `(i, j)` in the fixed lexicographic
+    /// processing order used by the algorithms, with the matching of each.
+    pub fn pairs(&self) -> impl Iterator<Item = (Port, Port, &[EdgeId])> + '_ {
+        (0..self.delta).flat_map(move |i| {
+            (0..self.delta).map(move |j| {
+                (
+                    Port::from_index(i),
+                    Port::from_index(j),
+                    self.matchings[i * self.delta + j].as_slice(),
+                )
+            })
+        })
+    }
+
+    /// The two endpoints (with ports) of edge `e`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (Endpoint, Endpoint) {
+        self.endpoints[e.index()]
+    }
+
+    /// The union of all matchings `M_G(i, j)`, deduplicated.
+    pub fn all_distinguishable_edges(&self) -> Vec<EdgeId> {
+        let mut mask = std::collections::BTreeSet::new();
+        for m in &self.matchings {
+            mask.extend(m.iter().copied());
+        }
+        mask.into_iter().collect()
+    }
+}
+
+/// The uniquely labelled edges of `v` (Section 5): incident edges whose
+/// label pair differs from the label pair of every other edge at `v`,
+/// returned in increasing own-port order.
+pub fn uniquely_labelled_edges(g: &PortNumberedGraph, v: NodeId) -> Vec<EdgeId> {
+    let pairs: Vec<LabelPair> = g
+        .ports(v)
+        .map(|i| LabelPair::new(i, g.connection(Endpoint::new(v, i)).port))
+        .collect();
+    g.ports(v)
+        .filter(|i| {
+            let mine = pairs[i.index()];
+            pairs.iter().filter(|&&p| p == mine).count() == 1
+        })
+        .map(|i| g.edge_at(Endpoint::new(v, i)))
+        .collect()
+}
+
+/// Computes the distinguishable neighbour of a single node directly from
+/// the graph: the other endpoint of the uniquely labelled edge minimising
+/// `ℓ(v, ·)`.
+///
+/// Returns `None` when every incident edge shares its label pair with
+/// another incident edge — by Lemma 1 this can only happen when
+/// `deg(v)` is even.
+pub fn distinguishable_neighbor(
+    g: &PortNumberedGraph,
+    v: NodeId,
+) -> Option<(NodeId, EdgeId)> {
+    let d = g.degree(v);
+    // Label pair of each incident edge, indexed by port.
+    let mut pairs: Vec<LabelPair> = Vec::with_capacity(d);
+    for i in g.ports(v) {
+        let there = g.connection(Endpoint::new(v, i));
+        pairs.push(LabelPair::new(i, there.port));
+    }
+    // Uniquely labelled = label pair occurs exactly once among incident
+    // edges; pick the edge with the minimum own-port among those.
+    for i in g.ports(v) {
+        let mine = pairs[i.index()];
+        let count = pairs.iter().filter(|&&p| p == mine).count();
+        if count == 1 {
+            let there = g.connection(Endpoint::new(v, i));
+            let e = g.edge_at(Endpoint::new(v, i));
+            return Some((there.node, e));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::{generators, ports, PnGraphBuilder};
+
+    /// A four-node graph in the spirit of paper Figure 2: one node (`a`)
+    /// whose incident label pairs all repeat — so it has *no*
+    /// distinguishable neighbour despite its neighbours having one.
+    ///
+    /// Edges and ports:
+    ///   a-b: (a,1)-(b,2);  a-c: (a,2)-(c,1);   both labelled {1,2}
+    ///   b-c: (b,1)-(c,3);  b-d: (b,3)-(d,1);   both labelled {1,3}
+    ///   c-d: (c,2)-(d,2);                      labelled {2,2}
+    fn figure2_like() -> PortNumberedGraph {
+        let mut bld = PnGraphBuilder::new();
+        let a = bld.add_node(2);
+        let b = bld.add_node(3);
+        let c = bld.add_node(3);
+        let d = bld.add_node(2);
+        let ep = Endpoint::new;
+        bld.connect(ep(a, Port::new(1)), ep(b, Port::new(2))).unwrap();
+        bld.connect(ep(a, Port::new(2)), ep(c, Port::new(1))).unwrap();
+        bld.connect(ep(b, Port::new(1)), ep(c, Port::new(3))).unwrap();
+        bld.connect(ep(b, Port::new(3)), ep(d, Port::new(1))).unwrap();
+        bld.connect(ep(c, Port::new(2)), ep(d, Port::new(2))).unwrap();
+        bld.finish().unwrap()
+    }
+
+    #[test]
+    fn figure2_like_distinguishable_neighbors() {
+        let h = figure2_like();
+        let (a, b, c, d) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let labels = Labels::compute(&h).unwrap();
+        // a sees {1,2} twice: no uniquely labelled edge, no DN — the
+        // even-degree exception the paper highlights.
+        assert_eq!(labels.distinguishable_neighbor(a), None);
+        // b: {1,2} unique (edge to a), {1,3} repeats: DN is a.
+        assert_eq!(labels.distinguishable_neighbor(b).map(|x| x.0), Some(a));
+        // c: all three pairs unique ({1,2}, {1,3}, {2,2}); min own-port is
+        // ℓ(c, a) = 1: DN is a.
+        assert_eq!(labels.distinguishable_neighbor(c).map(|x| x.0), Some(a));
+        // d: both pairs unique ({1,3}, {2,2}); min own-port ℓ(d, b) = 1:
+        // DN is b.
+        assert_eq!(labels.distinguishable_neighbor(d).map(|x| x.0), Some(b));
+    }
+
+    #[test]
+    fn lemma1_odd_degree_has_dn() {
+        // Exhaustively over all port numberings of K4 (3-regular: all
+        // degrees odd): every node has a distinguishable neighbour.
+        let g = generators::complete(4).unwrap();
+        for orders in pn_graph::ports::all_port_orders(&g).into_iter().step_by(7) {
+            let pg = pn_graph::ports::ports_from_orders(&g, &orders).unwrap();
+            for v in pg.nodes() {
+                assert!(
+                    distinguishable_neighbor(&pg, v).is_some(),
+                    "odd-degree node lacks distinguishable neighbour"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_mij_is_matching() {
+        let g = generators::petersen();
+        for seed in 0..10 {
+            let pg = ports::shuffled_ports(&g, seed).unwrap();
+            let labels = Labels::compute(&pg).unwrap();
+            let simple = pg.to_simple().unwrap();
+            for (_, _, m) in labels.pairs() {
+                assert!(
+                    pn_graph::matching::is_matching(&simple, m),
+                    "M(i,j) must be a matching (Lemma 2)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matchings_cover_odd_degree_nodes() {
+        // The union of M(i,j) covers all odd-degree nodes.
+        let g = generators::random_regular(12, 5, 3).unwrap();
+        let pg = ports::shuffled_ports(&g, 11).unwrap();
+        let labels = Labels::compute(&pg).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let all = labels.all_distinguishable_edges();
+        let covered = pn_graph::matching::covered_nodes(&simple, &all);
+        for v in simple.nodes() {
+            if simple.degree(v) % 2 == 1 {
+                assert!(covered[v.index()], "odd node {v} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn even_cycle_with_symmetric_ports_has_no_dn() {
+        // C4 with the 2-factorised numbering: every node sees label pairs
+        // {1,2} and {1,2} (port 1 -> port 2 both ways): no uniquely
+        // labelled edges anywhere.
+        let g = generators::cycle(4).unwrap();
+        let pg = pn_graph::ports::two_factor_ports(&g).unwrap();
+        let labels = Labels::compute(&pg).unwrap();
+        for v in pg.nodes() {
+            assert_eq!(labels.distinguishable_neighbor(v), None);
+        }
+        assert!(labels.all_distinguishable_edges().is_empty());
+    }
+
+    #[test]
+    fn uniquely_labelled_edges_consistency() {
+        // The distinguishable neighbour is always the far end of the
+        // first uniquely labelled edge.
+        let g = generators::random_regular(10, 5, 21).unwrap();
+        let pg = ports::shuffled_ports(&g, 22).unwrap();
+        for v in pg.nodes() {
+            let unique = uniquely_labelled_edges(&pg, v);
+            match distinguishable_neighbor(&pg, v) {
+                Some((_, e)) => assert_eq!(unique.first(), Some(&e)),
+                None => assert!(unique.is_empty()),
+            }
+        }
+        // In the figure2-like graph, node a has none, node c has all 3.
+        let h = figure2_like();
+        assert!(uniquely_labelled_edges(&h, NodeId::new(0)).is_empty());
+        assert_eq!(uniquely_labelled_edges(&h, NodeId::new(2)).len(), 3);
+        assert_eq!(uniquely_labelled_edges(&h, NodeId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn rejects_multigraphs() {
+        let mut b = PnGraphBuilder::new();
+        let x = b.add_node(2);
+        b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))
+            .unwrap();
+        let g = b.finish().unwrap();
+        assert!(Labels::compute(&g).is_err());
+    }
+
+    #[test]
+    fn label_pair_accessors() {
+        let p = LabelPair::new(Port::new(5), Port::new(2));
+        assert_eq!(p.lo(), Port::new(2));
+        assert_eq!(p.hi(), Port::new(5));
+    }
+
+    #[test]
+    fn pairs_iterate_in_lex_order() {
+        let g = generators::cycle(5).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let labels = Labels::compute(&pg).unwrap();
+        let order: Vec<(u32, u32)> = labels
+            .pairs()
+            .map(|(i, j, _)| (i.get(), j.get()))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (1, 2), (2, 1), (2, 2)]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Distributed approximation algorithms for minimum edge dominating sets
+//! in anonymous port-numbered networks.
+//!
+//! This crate is the core of a full reproduction of
+//!
+//! > Jukka Suomela. *Distributed Algorithms for Edge Dominating Sets.*
+//! > PODC 2010.
+//!
+//! It implements the paper's three tight algorithms, each both as a
+//! centralised reference and as a message-passing
+//! [`pn_runtime::NodeAlgorithm`]:
+//!
+//! | Where | Ratio | Time | Module |
+//! |---|---|---|---|
+//! | `d`-regular, even `d` | `4 - 2/d` | `O(1)` | [`port_one`] (Thm 3) |
+//! | `d`-regular, odd `d` | `4 - 6/(d+1)` | `O(d²)` | [`regular_odd`] (Thm 4) |
+//! | max degree `Δ` | `4 - 1/k`, `Δ ∈ {2k, 2k+1}` | `O(Δ²)` | [`bounded_degree`] (Thm 5) |
+//!
+//! Supporting machinery:
+//!
+//! * [`labels`] — label pairs, distinguishable neighbours and the
+//!   matchings `M_G(i, j)` (Section 5, Lemmas 1–2);
+//! * [`proposals`] — the deterministic proposal subroutines of Theorem 5
+//!   (bipartite maximal matching; double-cover 2-matching);
+//! * [`distributed`] — the full message-passing implementations;
+//! * [`analysis`] — the Section 7 cost/weight double-counting argument,
+//!   executable on concrete instances;
+//! * [`vertex_cover`] — the Polishchuk–Suomela local 3-approximation for
+//!   vertex cover (reference \[21\]), whose 2-matching machinery Phase III
+//!   reuses.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pn_graph::{generators, ports};
+//! use eds_core::bounded_degree::bounded_degree_reference;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A wireless-style topology with maximum degree 4.
+//! let g = generators::grid(6, 4)?;
+//! let pg = ports::canonical_ports(&g)?;
+//! let result = bounded_degree_reference(&pg, 4)?;
+//! // The output dominates every edge using a matching and a 2-matching.
+//! assert!(eds_core::bounded_degree::dominates_all_edges(&pg, &result.dominating_set));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+#[cfg(test)]
+mod hand_verified;
+pub mod bounded_degree;
+pub mod distributed;
+pub mod labels;
+pub mod port_one;
+pub mod proposals;
+pub mod regular_odd;
+pub mod vertex_cover;

@@ -1,0 +1,279 @@
+//! Proposal-based matching subroutines for the Theorem 5 algorithm.
+//!
+//! Two deterministic, port-order driven primitives:
+//!
+//! * [`black_white_proposal_matching`] — the Hańćkowiak–Karoński–Panconesi
+//!   style maximal matching in a 2-coloured bipartite subgraph, used in
+//!   Phase II: black nodes propose to white neighbours in increasing port
+//!   order; a white node accepts the first proposal it receives, breaking
+//!   simultaneous ties by its own port numbers.
+//! * [`double_cover_two_matching`] — the Polishchuk–Suomela 2-matching via
+//!   the bipartite double cover, used in Phase III: *every* node plays
+//!   both a proposer and an acceptor role (its two copies in the double
+//!   cover), so each node ends up with at most two incident result edges —
+//!   a 2-matching that dominates every eligible edge.
+//!
+//! Both functions are centralised but execute the exact synchronous
+//! round semantics, so the distributed implementations in
+//! [`crate::distributed`] produce identical outputs.
+
+use pn_graph::{EdgeId, Endpoint, PortNumberedGraph};
+
+/// Maximal matching by proposals in a black/white bipartite subgraph.
+///
+/// Only edges with `eligible[e] == true` participate; the caller
+/// guarantees that every eligible edge joins a black node
+/// (`is_black[v] == true`) and a white node. Black nodes propose along
+/// their eligible ports in increasing port order, one proposal per round;
+/// an unmatched white node accepts, among the proposals arriving in the
+/// same round, the one on its smallest port.
+///
+/// Returns the matched edges. The result is a maximal matching of the
+/// eligible subgraph: every eligible edge has a matched endpoint.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if an eligible edge joins two black or two
+/// white nodes.
+pub fn black_white_proposal_matching(
+    g: &PortNumberedGraph,
+    is_black: &[bool],
+    eligible: &[bool],
+) -> Vec<EdgeId> {
+    let n = g.node_count();
+    let mut matched = vec![false; n];
+    let mut result = Vec::new();
+
+    // Proposal cursor per black node: position in its eligible port list.
+    let mut cursors = vec![0usize; n];
+    let eligible_ports: Vec<Vec<Endpoint>> = g
+        .nodes()
+        .map(|v| {
+            if !is_black[v.index()] {
+                return Vec::new();
+            }
+            g.ports(v)
+                .map(|p| Endpoint::new(v, p))
+                .filter(|&ep| eligible[g.edge_at(ep).index()])
+                .collect()
+        })
+        .collect();
+
+    loop {
+        // Send proposals for this round.
+        let mut proposals: Vec<Vec<Endpoint>> = vec![Vec::new(); n]; // at white: sender endpoints (the *white-side* endpoint)
+        let mut any = false;
+        for v in g.nodes() {
+            if !is_black[v.index()] || matched[v.index()] {
+                continue;
+            }
+            let ports = &eligible_ports[v.index()];
+            if cursors[v.index()] >= ports.len() {
+                continue;
+            }
+            let from = ports[cursors[v.index()]];
+            cursors[v.index()] += 1;
+            let to = g.connection(from);
+            debug_assert!(
+                !is_black[to.node.index()],
+                "eligible edge joins two black nodes"
+            );
+            proposals[to.node.index()].push(to);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        // Accept phase: each unmatched white node takes its smallest-port
+        // proposal; the corresponding black node becomes matched.
+        for u in g.nodes() {
+            if matched[u.index()] || proposals[u.index()].is_empty() {
+                continue;
+            }
+            let best = proposals[u.index()]
+                .iter()
+                .min_by_key(|ep| ep.port)
+                .copied()
+                .expect("non-empty proposal list");
+            let proposer = g.connection(best);
+            matched[u.index()] = true;
+            matched[proposer.node.index()] = true;
+            result.push(g.edge_at(best));
+        }
+    }
+    result
+}
+
+/// A 2-matching dominating all eligible edges, via the bipartite double
+/// cover proposal scheme.
+///
+/// All nodes incident to an eligible edge participate in two independent
+/// roles: as **proposers** (white copy) they offer along eligible ports in
+/// increasing port order until some offer is accepted or the list is
+/// exhausted; as **acceptors** (black copy) they accept the first incoming
+/// offer, breaking same-round ties by their own port numbers. Each
+/// accepted offer adds the corresponding edge to the result.
+///
+/// Every node gains at most two incident result edges (one per role), so
+/// the result is a 2-matching; and every eligible edge ends up dominated
+/// (paper Section 7.2).
+pub fn double_cover_two_matching(
+    g: &PortNumberedGraph,
+    eligible: &[bool],
+) -> Vec<EdgeId> {
+    let n = g.node_count();
+    let mut proposer_done = vec![false; n]; // proposal accepted
+    let mut acceptor_done = vec![false; n]; // accepted someone
+    let mut cursors = vec![0usize; n];
+    let eligible_ports: Vec<Vec<Endpoint>> = g
+        .nodes()
+        .map(|v| {
+            g.ports(v)
+                .map(|p| Endpoint::new(v, p))
+                .filter(|&ep| eligible[g.edge_at(ep).index()])
+                .collect()
+        })
+        .collect();
+    let mut in_result = vec![false; g.edge_count()];
+
+    loop {
+        let mut offers: Vec<Vec<Endpoint>> = vec![Vec::new(); n]; // at acceptor: receiving endpoints
+        let mut any = false;
+        for v in g.nodes() {
+            if proposer_done[v.index()] {
+                continue;
+            }
+            let ports = &eligible_ports[v.index()];
+            if cursors[v.index()] >= ports.len() {
+                continue;
+            }
+            let from = ports[cursors[v.index()]];
+            cursors[v.index()] += 1;
+            let to = g.connection(from);
+            offers[to.node.index()].push(to);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        for u in g.nodes() {
+            if acceptor_done[u.index()] || offers[u.index()].is_empty() {
+                continue;
+            }
+            let best = offers[u.index()]
+                .iter()
+                .min_by_key(|ep| ep.port)
+                .copied()
+                .expect("non-empty offer list");
+            let proposer = g.connection(best);
+            acceptor_done[u.index()] = true;
+            proposer_done[proposer.node.index()] = true;
+            in_result[g.edge_at(best).index()] = true;
+        }
+    }
+
+    (0..g.edge_count())
+        .map(EdgeId::new)
+        .filter(|e| in_result[e.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::matching::is_matching;
+    use pn_graph::{generators, ports};
+
+    #[test]
+    fn black_white_matching_is_maximal() {
+        // K_{3,4}: left (0..3) black, right (3..7) white.
+        let g = generators::complete_bipartite(3, 4).unwrap();
+        let pg = ports::shuffled_ports(&g, 9).unwrap();
+        let is_black: Vec<bool> = (0..7).map(|v| v < 3).collect();
+        let eligible = vec![true; pg.edge_count()];
+        let m = black_white_proposal_matching(&pg, &is_black, &eligible);
+        let simple = pg.to_simple().unwrap();
+        assert!(is_matching(&simple, &m));
+        assert_eq!(m.len(), 3, "all black nodes must be matched in K_{{3,4}}");
+    }
+
+    #[test]
+    fn black_white_respects_eligibility() {
+        let g = generators::complete_bipartite(2, 2).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let is_black = vec![true, true, false, false];
+        let mut eligible = vec![false; pg.edge_count()];
+        eligible[0] = true; // only one edge participates
+        let m = black_white_proposal_matching(&pg, &is_black, &eligible);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].index(), 0);
+    }
+
+    #[test]
+    fn black_white_empty_when_nothing_eligible() {
+        let g = generators::complete_bipartite(2, 2).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let is_black = vec![true, true, false, false];
+        let eligible = vec![false; pg.edge_count()];
+        assert!(black_white_proposal_matching(&pg, &is_black, &eligible).is_empty());
+    }
+
+    #[test]
+    fn two_matching_degree_bound_and_domination() {
+        for seed in 0..6 {
+            let g = generators::random_regular(10, 4, 50 + seed).unwrap();
+            let pg = ports::shuffled_ports(&g, seed).unwrap();
+            let eligible = vec![true; pg.edge_count()];
+            let p = double_cover_two_matching(&pg, &eligible);
+            // Degree bound: at most 2 result edges per node.
+            let mut deg = vec![0usize; pg.node_count()];
+            for &e in &p {
+                let (u, v) = pg.edge(e).nodes();
+                deg[u.index()] += 1;
+                deg[v.index()] += 1;
+            }
+            assert!(deg.iter().all(|&x| x <= 2), "2-matching degree bound");
+            // Domination: every eligible edge has a P-covered endpoint.
+            let covered: Vec<bool> = deg.iter().map(|&x| x > 0).collect();
+            for (e, shape) in pg.edges() {
+                let _ = e;
+                let (u, v) = shape.nodes();
+                assert!(
+                    covered[u.index()] || covered[v.index()],
+                    "edge {u}-{v} not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_matching_on_path_takes_everything_needed() {
+        let g = generators::path(4).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        let eligible = vec![true; pg.edge_count()];
+        let p = double_cover_two_matching(&pg, &eligible);
+        // P dominates all three edges of the path.
+        let mut covered = [false; 4];
+        for &e in &p {
+            let (u, v) = pg.edge(e).nodes();
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+        }
+        for (_, u, v) in pg.to_simple().unwrap().edges() {
+            assert!(covered[u.index()] || covered[v.index()]);
+        }
+    }
+
+    #[test]
+    fn two_matching_restricted_to_subgraph() {
+        let g = generators::cycle(6).unwrap();
+        let pg = ports::canonical_ports(&g).unwrap();
+        // Only edges 0, 1, 2 eligible.
+        let mut eligible = vec![false; pg.edge_count()];
+        eligible[..3].fill(true);
+        let p = double_cover_two_matching(&pg, &eligible);
+        for &e in &p {
+            assert!(eligible[e.index()], "result must stay within H");
+        }
+    }
+}

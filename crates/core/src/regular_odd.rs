@@ -1,0 +1,257 @@
+//! Theorem 4: the `O(d²)`-time factor `4 - 6/(d+1)` algorithm for
+//! `d`-regular graphs with odd `d`.
+//!
+//! The algorithm runs in two phases over the distinguishable matchings
+//! `M_G(i, j)` of Section 5 (see [`crate::labels`]):
+//!
+//! * **Phase I** considers each port pair `(i, j)` sequentially and each
+//!   edge `e ∈ M_G(i, j)` in parallel: `e` joins `D` unless both its
+//!   endpoints are already covered. The result is a spanning forest that
+//!   is also an edge cover (all degrees are odd, so Lemma 1 covers every
+//!   node).
+//! * **Phase II** considers the pairs again and removes `e ∈ D ∩ M_G(i,j)`
+//!   whenever both endpoints remain covered by `D \ {e}`. The result is a
+//!   forest of node-disjoint **stars**: no path of three edges survives.
+//!
+//! Each star has at most `d` edges and covers its size + 1 nodes, so
+//! `|D| ≤ d |V| / (d+1) = 2|E| / (d+1) ≤ (4 - 6/(d+1)) |D*|`.
+
+use pn_graph::{EdgeId, GraphError, PortNumberedGraph};
+
+use crate::labels::Labels;
+
+/// The output of the Theorem 4 reference algorithm, with per-phase
+/// snapshots for inspection and testing.
+#[derive(Clone, Debug)]
+pub struct RegularOddResult {
+    /// The edge set after Phase I: a spanning-forest edge cover.
+    pub phase1: Vec<EdgeId>,
+    /// The final edge dominating set (a star-forest edge cover).
+    pub dominating_set: Vec<EdgeId>,
+}
+
+/// Runs the Theorem 4 algorithm (centralised reference, faithful to the
+/// round structure: edges within one matching `M(i, j)` are decided
+/// against the same snapshot, pairs are processed in lexicographic
+/// order).
+///
+/// The graph must be simple; the approximation guarantee additionally
+/// requires it to be `d`-regular for odd `d`, but the algorithm itself
+/// produces a feasible dominating set whenever every node has odd degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotSimple`] for multigraphs.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{generators, ports};
+/// use eds_core::regular_odd::regular_odd_reference;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = ports::canonical_ports(&generators::petersen())?; // 3-regular
+/// let result = regular_odd_reference(&g)?;
+/// assert!(!result.dominating_set.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn regular_odd_reference(
+    g: &PortNumberedGraph,
+) -> Result<RegularOddResult, GraphError> {
+    let labels = Labels::compute(g)?;
+    regular_odd_with_labels(g, &labels)
+}
+
+/// Same as [`regular_odd_reference`] with precomputed labels.
+pub fn regular_odd_with_labels(
+    g: &PortNumberedGraph,
+    labels: &Labels,
+) -> Result<RegularOddResult, GraphError> {
+    let n = g.node_count();
+    let mut in_d = vec![false; g.edge_count()];
+    let mut covered = vec![false; n];
+
+    // Phase I: greedy edge cover over the distinguishable matchings.
+    for (_, _, matching) in labels.pairs() {
+        // Parallel semantics: all edges of the matching observe the same
+        // coverage snapshot. Because M(i, j) is a matching (Lemma 2) the
+        // snapshot equals the live state, but we snapshot anyway to mirror
+        // the distributed execution exactly.
+        let decisions: Vec<EdgeId> = matching
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let (u, v) = g.edge(e).nodes();
+                !(covered[u.index()] && covered[v.index()])
+            })
+            .collect();
+        for e in decisions {
+            let (u, v) = g.edge(e).nodes();
+            in_d[e.index()] = true;
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+        }
+    }
+    let phase1: Vec<EdgeId> = (0..g.edge_count())
+        .map(EdgeId::new)
+        .filter(|e| in_d[e.index()])
+        .collect();
+
+    // Phase II: remove redundant edges; an endpoint is covered by
+    // D \ {e} iff it has at least two incident D-edges.
+    let mut d_degree = vec![0usize; n];
+    for &e in &phase1 {
+        let (u, v) = g.edge(e).nodes();
+        d_degree[u.index()] += 1;
+        d_degree[v.index()] += 1;
+    }
+    for (_, _, matching) in labels.pairs() {
+        let removals: Vec<EdgeId> = matching
+            .iter()
+            .copied()
+            .filter(|&e| {
+                if !in_d[e.index()] {
+                    return false;
+                }
+                let (u, v) = g.edge(e).nodes();
+                d_degree[u.index()] >= 2 && d_degree[v.index()] >= 2
+            })
+            .collect();
+        for e in removals {
+            let (u, v) = g.edge(e).nodes();
+            in_d[e.index()] = false;
+            d_degree[u.index()] -= 1;
+            d_degree[v.index()] -= 1;
+        }
+    }
+
+    let dominating_set: Vec<EdgeId> = (0..g.edge_count())
+        .map(EdgeId::new)
+        .filter(|e| in_d[e.index()])
+        .collect();
+    Ok(RegularOddResult {
+        phase1,
+        dominating_set,
+    })
+}
+
+/// The worst-case approximation ratio of Theorem 4 on `d`-regular graphs
+/// with odd `d`, as an exact fraction: `4 - 6/(d+1) = (4d - 2)/(d + 1)`.
+///
+/// # Panics
+///
+/// Panics if `d` is even or zero.
+pub fn regular_odd_ratio(d: usize) -> (u64, u64) {
+    assert!(d % 2 == 1, "ratio defined for odd d");
+    (4 * d as u64 - 2, d as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::analysis::is_forest;
+    use pn_graph::transform::edge_subgraph;
+    use pn_graph::{generators, ports};
+
+    fn check_star_forest(simple: &pn_graph::SimpleGraph, edges: &[EdgeId]) {
+        let (sub, _) = edge_subgraph(simple, edges);
+        assert!(is_forest(&sub), "output must be a forest");
+        // No path of three edges: every edge must have an endpoint of
+        // degree 1 in the subgraph... stronger: each component is a star,
+        // i.e. every edge has at most one endpoint of degree >= 2.
+        for (_, u, v) in sub.edges() {
+            assert!(
+                sub.degree(u) == 1 || sub.degree(v) == 1,
+                "edge {u}-{v} has two branching endpoints: not a star forest"
+            );
+        }
+    }
+
+    fn check_edge_cover(g: &PortNumberedGraph, edges: &[EdgeId]) {
+        let mut covered = vec![false; g.node_count()];
+        for &e in edges {
+            let (u, v) = g.edge(e).nodes();
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+        }
+        for v in g.nodes() {
+            assert!(covered[v.index()], "node {v} uncovered");
+        }
+    }
+
+    #[test]
+    fn petersen_output_is_star_forest_cover() {
+        for seed in 0..8 {
+            let pg = ports::shuffled_ports(&generators::petersen(), seed).unwrap();
+            let result = regular_odd_reference(&pg).unwrap();
+            let simple = pg.to_simple().unwrap();
+            check_edge_cover(&pg, &result.phase1);
+            assert!(is_forest(&edge_subgraph(&simple, &result.phase1).0));
+            check_edge_cover(&pg, &result.dominating_set);
+            check_star_forest(&simple, &result.dominating_set);
+            // Size bound |D| <= d|V|/(d+1).
+            let d = 3;
+            assert!(result.dominating_set.len() * (d + 1) <= d * pg.node_count());
+        }
+    }
+
+    #[test]
+    fn random_regular_odd_degrees() {
+        for (n, d) in [(8, 3), (12, 5), (16, 7), (10, 1)] {
+            for seed in 0..4 {
+                let g = generators::random_regular(n, d, seed * 31 + d as u64).unwrap();
+                let pg = ports::shuffled_ports(&g, seed).unwrap();
+                let result = regular_odd_reference(&pg).unwrap();
+                check_edge_cover(&pg, &result.dominating_set);
+                check_star_forest(&pg.to_simple().unwrap(), &result.dominating_set);
+                assert!(result.dominating_set.len() * (d + 1) <= d * n);
+            }
+        }
+    }
+
+    #[test]
+    fn d1_matching_graph_selects_everything() {
+        // In a perfect-matching graph every edge is its own M(1,1) entry:
+        // phase I adds all, phase II removes none.
+        let g = generators::disjoint_union(&[
+            generators::path(2).unwrap(),
+            generators::path(2).unwrap(),
+            generators::path(2).unwrap(),
+        ]);
+        let pg = ports::canonical_ports(&g).unwrap();
+        let result = regular_odd_reference(&pg).unwrap();
+        assert_eq!(result.dominating_set.len(), 3);
+    }
+
+    #[test]
+    fn phase2_shrinks_or_keeps() {
+        let g = generators::random_regular(14, 5, 77).unwrap();
+        let pg = ports::shuffled_ports(&g, 78).unwrap();
+        let result = regular_odd_reference(&pg).unwrap();
+        assert!(result.dominating_set.len() <= result.phase1.len());
+        for e in &result.dominating_set {
+            assert!(result.phase1.contains(e));
+        }
+    }
+
+    #[test]
+    fn ratio_values() {
+        assert_eq!(regular_odd_ratio(1), (2, 2)); // 1
+        assert_eq!(regular_odd_ratio(3), (10, 4)); // 2.5
+        assert_eq!(regular_odd_ratio(5), (18, 6)); // 3
+        assert_eq!(regular_odd_ratio(7), (26, 8)); // 3.25
+    }
+
+    #[test]
+    fn rejects_multigraph() {
+        let mut b = pn_graph::PnGraphBuilder::new();
+        let x = b.add_node(2);
+        b.connect(
+            pn_graph::Endpoint::new(x, pn_graph::Port::new(1)),
+            pn_graph::Endpoint::new(x, pn_graph::Port::new(2)),
+        )
+        .unwrap();
+        let g = b.finish().unwrap();
+        assert!(regular_odd_reference(&g).is_err());
+    }
+}

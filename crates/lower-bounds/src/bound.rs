@@ -1,0 +1,149 @@
+//! Empirical lower-bound checking and the Corollary 1 bounds.
+//!
+//! A lower-bound instance comes with a provably optimal solution; running
+//! *any* algorithm on it and dividing sizes gives an empirical ratio that
+//! the theory says cannot be smaller than the bound. The regenerators in
+//! `eds-bench` use [`empirical_ratio`] to produce the Table 1 rows.
+
+use pn_graph::EdgeId;
+
+/// An exact rational `p / q` with a few conveniences for comparing
+/// approximation ratios without floating-point error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator (non-zero).
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Creates `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be non-zero");
+        Ratio { num, den }
+    }
+
+    /// The ratio of two set sizes.
+    pub fn of_sizes(found: usize, optimal: usize) -> Self {
+        Ratio::new(found as u64, optimal as u64)
+    }
+
+    /// Floating-point value (for display only).
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact comparison `self >= other` by cross multiplication.
+    pub fn ge(self, other: Ratio) -> bool {
+        (self.num as u128) * (other.den as u128) >= (other.num as u128) * (self.den as u128)
+    }
+
+    /// Exact comparison `self <= other`.
+    pub fn le(self, other: Ratio) -> bool {
+        other.ge(self)
+    }
+
+    /// Exact equality by cross multiplication (tolerates different
+    /// normalisations).
+    pub fn eq_exact(self, other: Ratio) -> bool {
+        (self.num as u128) * (other.den as u128) == (other.num as u128) * (self.den as u128)
+    }
+}
+
+impl From<(u64, u64)> for Ratio {
+    fn from((num, den): (u64, u64)) -> Self {
+        Ratio::new(num, den)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ({:.4})", self.num, self.den, self.as_f64())
+    }
+}
+
+/// The empirical approximation ratio of an algorithm output against a
+/// known optimum.
+///
+/// # Panics
+///
+/// Panics if `optimal` is empty while `found` is not (division by zero —
+/// an empty optimum only happens on edgeless graphs).
+pub fn empirical_ratio(found: &[EdgeId], optimal: &[EdgeId]) -> Ratio {
+    assert!(
+        !optimal.is_empty() || found.is_empty(),
+        "non-empty output against empty optimum"
+    );
+    if optimal.is_empty() {
+        return Ratio::new(1, 1);
+    }
+    Ratio::of_sizes(found.len(), optimal.len())
+}
+
+/// Corollary 1: any algorithm family for bounded-degree graphs has
+/// `α(1) ≥ 1` and `α(2k+1) ≥ α(2k) ≥ 4 - 1/k`; returns the bound as an
+/// exact fraction.
+///
+/// # Panics
+///
+/// Panics if `delta == 0`.
+pub fn corollary1_bound(delta: usize) -> Ratio {
+    assert!(delta >= 1);
+    if delta == 1 {
+        return Ratio::new(1, 1);
+    }
+    let k = (delta / 2) as u64;
+    Ratio::new(4 * k - 1, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_comparisons_are_exact() {
+        let a = Ratio::new(10, 4); // 2.5
+        let b = Ratio::new(5, 2); // 2.5
+        assert!(a.eq_exact(b));
+        assert!(a.ge(b) && a.le(b));
+        let c = Ratio::new(7, 2); // 3.5
+        assert!(c.ge(a));
+        assert!(!a.ge(c));
+    }
+
+    #[test]
+    fn display_contains_decimal() {
+        let r = Ratio::new(7, 2);
+        let s = r.to_string();
+        assert!(s.contains("7/2") && s.contains("3.5"));
+    }
+
+    #[test]
+    fn corollary1_values() {
+        assert!(corollary1_bound(1).eq_exact(Ratio::new(1, 1)));
+        assert!(corollary1_bound(2).eq_exact(Ratio::new(3, 1)));
+        assert!(corollary1_bound(3).eq_exact(Ratio::new(3, 1)));
+        assert!(corollary1_bound(4).eq_exact(Ratio::new(7, 2)));
+        assert!(corollary1_bound(5).eq_exact(Ratio::new(7, 2)));
+        assert!(corollary1_bound(6).eq_exact(Ratio::new(11, 3)));
+    }
+
+    #[test]
+    fn empirical_ratio_basics() {
+        let found = vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)];
+        let opt = vec![EdgeId::new(3)];
+        assert!(empirical_ratio(&found, &opt).eq_exact(Ratio::new(3, 1)));
+        assert!(empirical_ratio(&[], &[]).eq_exact(Ratio::new(1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty optimum")]
+    fn empirical_ratio_rejects_empty_optimum() {
+        let _ = empirical_ratio(&[EdgeId::new(0)], &[]);
+    }
+}

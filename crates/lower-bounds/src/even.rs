@@ -1,0 +1,220 @@
+//! The Theorem 1 construction: for every even `d` there is a `d`-regular
+//! port-numbered graph on which **no** deterministic algorithm beats
+//! `4 - 2/d`.
+//!
+//! The graph (paper Section 3, Figure 4):
+//!
+//! * nodes `A = {a_1, ..., a_d}` and `B = {b_1, ..., b_{d-1}}`;
+//! * edges `S = {a_1 a_2, a_3 a_4, ...}` (a matching) and
+//!   `T = A × B` (complete bipartite `K_{d,d-1}`);
+//! * the port numbering threads ports `2i-1 → 2i` along an oriented
+//!   2-factorisation (Petersen's theorem guarantees one exists).
+//!
+//! `S` is an optimal edge dominating set (`|E| = (2d-1)|S|`, and one edge
+//! dominates at most `2d-1` edges). The constant covering map onto the
+//! one-node multigraph `M` (all ports `2i-1 ↔ 2i` looped) forces every
+//! node to produce the *same* output, so any algorithm selects an entire
+//! 2-factor — `|V| = 2d - 1` edges against `|S| = d/2`.
+
+use pn_graph::ports::two_factor_ports;
+use pn_graph::{
+    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port,
+    PortNumberedGraph, SimpleGraph,
+};
+
+/// The complete Theorem 1 instance for one even degree `d`.
+#[derive(Clone, Debug)]
+pub struct EvenLowerBound {
+    /// The `d`-regular port-numbered graph `G`.
+    pub graph: PortNumberedGraph,
+    /// The optimal edge dominating set `S` (edge ids of `graph`).
+    pub optimal: Vec<EdgeId>,
+    /// The one-node target multigraph `M`.
+    pub target: PortNumberedGraph,
+    /// The constant covering map `G → M`.
+    pub covering: CoveringMap,
+    /// The degree parameter.
+    pub d: usize,
+}
+
+impl EvenLowerBound {
+    /// The lower-bound ratio `4 - 2/d` as an exact fraction.
+    pub fn ratio(&self) -> (u64, u64) {
+        ratio(self.d)
+    }
+
+    /// `|S| = d / 2`.
+    pub fn optimal_size(&self) -> usize {
+        self.optimal.len()
+    }
+}
+
+/// The Theorem 1 lower-bound ratio `4 - 2/d = (4d - 2)/d` for even `d`.
+///
+/// # Panics
+///
+/// Panics if `d` is odd or zero.
+pub fn ratio(d: usize) -> (u64, u64) {
+    assert!(d >= 2 && d.is_multiple_of(2), "Theorem 1 needs even d >= 2");
+    (4 * d as u64 - 2, d as u64)
+}
+
+/// Builds the Theorem 1 instance for even `d ≥ 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for odd or zero `d`; internal
+/// construction errors cannot occur.
+///
+/// # Examples
+///
+/// ```
+/// use eds_lower_bounds::even::build;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let instance = build(6)?;
+/// assert_eq!(instance.graph.node_count(), 11); // 2d - 1
+/// assert_eq!(instance.optimal_size(), 3);      // d / 2
+/// instance.covering.verify(&instance.graph, &instance.target)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn build(d: usize) -> Result<EvenLowerBound, GraphError> {
+    if d < 2 || !d.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("Theorem 1 construction needs even d >= 2, got {d}"),
+        });
+    }
+    // Nodes: a_1..a_d are 0..d-1; b_1..b_{d-1} are d..2d-2.
+    let mut simple = SimpleGraph::new(2 * d - 1);
+    // S: the matching on A.
+    let mut s_pairs = Vec::with_capacity(d / 2);
+    for t in 0..d / 2 {
+        simple.add_edge_ids(2 * t, 2 * t + 1)?;
+        s_pairs.push((2 * t, 2 * t + 1));
+    }
+    // T: complete bipartite A x B.
+    for a in 0..d {
+        for b in 0..d - 1 {
+            simple.add_edge_ids(a, d + b)?;
+        }
+    }
+    debug_assert_eq!(simple.regular_degree(), Some(d));
+
+    // The adversarial port numbering via 2-factorisation.
+    let graph = two_factor_ports(&simple)?;
+
+    // Locate S in the port-numbered graph's edge ids.
+    let view = graph.to_simple()?;
+    let optimal: Vec<EdgeId> = s_pairs
+        .iter()
+        .map(|&(u, v)| {
+            view.find_edge(NodeId::new(u), NodeId::new(v))
+                .expect("S edges exist in G")
+        })
+        .collect();
+
+    // The one-node multigraph M: ports 2i-1 <-> 2i.
+    let mut b = PnGraphBuilder::new();
+    let x = b.add_node(d);
+    for i in 0..d / 2 {
+        b.connect(
+            Endpoint::new(x, Port::new(2 * i as u32 + 1)),
+            Endpoint::new(x, Port::new(2 * i as u32 + 2)),
+        )?;
+    }
+    let target = b.finish()?;
+    let covering = CoveringMap::constant(graph.node_count(), x);
+    covering.verify(&graph, &target)?;
+
+    Ok(EvenLowerBound {
+        graph,
+        optimal,
+        target,
+        covering,
+        d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_paper() {
+        for d in [2usize, 4, 6, 8, 10] {
+            let inst = build(d).unwrap();
+            assert_eq!(inst.graph.node_count(), 2 * d - 1);
+            assert_eq!(inst.graph.regular_degree(), Some(d));
+            // |E| = d/2 + d(d-1) = (2d-1) d/2 = (2d-1)|S|.
+            assert_eq!(inst.graph.edge_count(), (2 * d - 1) * d / 2);
+            assert_eq!(inst.optimal_size(), d / 2);
+        }
+    }
+
+    #[test]
+    fn s_is_an_edge_dominating_set() {
+        let inst = build(6).unwrap();
+        let view = inst.graph.to_simple().unwrap();
+        let mut covered = vec![false; view.node_count()];
+        for &e in &inst.optimal {
+            let (u, v) = view.endpoints(e);
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+        }
+        for (_, u, v) in view.edges() {
+            assert!(covered[u.index()] || covered[v.index()]);
+        }
+    }
+
+    #[test]
+    fn s_is_optimal_by_counting() {
+        // Each edge dominates at most 2d-1 edges, so any EDS has at least
+        // |E| / (2d-1) = |S| edges.
+        for d in [2usize, 4, 6] {
+            let inst = build(d).unwrap();
+            assert_eq!(
+                inst.graph.edge_count(),
+                (2 * d - 1) * inst.optimal_size()
+            );
+        }
+    }
+
+    #[test]
+    fn covering_map_verified() {
+        for d in [2usize, 4, 8] {
+            let inst = build(d).unwrap();
+            inst.covering
+                .verify(&inst.graph, &inst.target)
+                .unwrap();
+            assert_eq!(inst.target.node_count(), 1);
+        }
+    }
+
+    #[test]
+    fn port_pattern_is_uniform() {
+        // Every node's port 2i-1 connects to some port 2i: the wiring all
+        // nodes see is identical (that is what the covering map encodes).
+        let inst = build(8).unwrap();
+        for v in inst.graph.nodes() {
+            for i in 0..4u32 {
+                let out = inst
+                    .graph
+                    .connection(Endpoint::new(v, Port::new(2 * i + 1)));
+                assert_eq!(out.port, Port::new(2 * i + 2));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(build(0).is_err());
+        assert!(build(3).is_err());
+        assert!(build(7).is_err());
+    }
+
+    #[test]
+    fn ratio_fraction() {
+        assert_eq!(ratio(2), (6, 2));
+        assert_eq!(ratio(10), (38, 10));
+    }
+}

@@ -1,0 +1,33 @@
+//! Tight lower-bound constructions for edge dominating sets in the
+//! port-numbering model (Theorems 1 and 2 of Suomela, PODC 2010).
+//!
+//! * [`even`] — the Theorem 1 instance for even `d`: no deterministic
+//!   algorithm beats `4 - 2/d` on `d`-regular graphs;
+//! * [`odd`] — the Theorem 2 instance for odd `d`: no deterministic
+//!   algorithm beats `4 - 6/(d+1)`;
+//! * [`bound`] — exact rational ratios, the Corollary 1 bounds for
+//!   bounded-degree families, and empirical-ratio helpers.
+//!
+//! Each instance bundles the port-numbered graph, its provably optimal
+//! edge dominating set, the target multigraph, and the verified covering
+//! map — so tests and benchmarks can *measure* the indistinguishability
+//! argument rather than assume it.
+//!
+//! # Example
+//!
+//! ```
+//! use eds_lower_bounds::{even, bound::Ratio};
+//! # fn main() -> Result<(), pn_graph::GraphError> {
+//! let inst = even::build(4)?;
+//! // The paper's bound for d = 4 is 4 - 2/4 = 3.5.
+//! assert!(Ratio::from(inst.ratio()).eq_exact(Ratio::new(7, 2)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bound;
+pub mod even;
+pub mod odd;

@@ -1,0 +1,410 @@
+//! The Theorem 2 construction: for every odd `d` there is a `d`-regular
+//! port-numbered graph on which **no** deterministic algorithm beats
+//! `4 - 6/(d+1)`.
+//!
+//! With `k = (d-1)/2`, the graph (paper Section 4, Figures 5–6) consists
+//! of `d` components `H(ℓ)` plus hub nodes `P ∪ Q`:
+//!
+//! * `H(ℓ)` has nodes `A(ℓ) = {a_{ℓ,1..2k}}`, `B(ℓ) = {b_{ℓ,1..2k}}`,
+//!   `C(ℓ) = {c_ℓ}` and edges `R(ℓ)` (star at `c_ℓ`), `S(ℓ)` (matching on
+//!   `A(ℓ)`), `T(ℓ)` (crown between `A(ℓ)` and `B(ℓ)`); it is
+//!   `2k`-regular on `4k + 1 = 2d - 1` nodes and gets the 2-factorised
+//!   port numbering on ports `1..2k`;
+//! * `P = {p_1..p_d}`, `Q = {q_1..q_{2k}}`; every edge between `P ∪ Q` and
+//!   `H(ℓ)` joins port `ℓ` of the hub node to port `d` of the component
+//!   node.
+//!
+//! **Erratum.** The paper states the rule `(p_d, ℓ) ↔ (b_{ℓ,ℓ}, d)` for
+//! `ℓ = 1..d`, but `b_{d,d}` does not exist (`B(ℓ)` has only `2k = d-1`
+//! members); the degree count forces `ℓ = 1..d-1`, which is what we build.
+//!
+//! The optimal solution is `D* = Y ∪ ⋃_ℓ S(ℓ)` with
+//! `Y = {{p_ℓ, c_ℓ}}`, `|D*| = (k+1) d`. The covering map onto the
+//! `(d+1)`-node multigraph `M` makes all of `H(ℓ)` answer identically, so
+//! any algorithm pays `2d - 1` edges per component: `(2d-1) d` in total.
+
+use pn_graph::factorization::two_factorize_simple;
+use pn_graph::{
+    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port,
+    PortNumberedGraph, SimpleGraph,
+};
+
+/// The complete Theorem 2 instance for one odd degree `d`.
+#[derive(Clone, Debug)]
+pub struct OddLowerBound {
+    /// The `d`-regular port-numbered graph `G`.
+    pub graph: PortNumberedGraph,
+    /// The optimal edge dominating set `D* = Y ∪ ⋃ S(ℓ)`.
+    pub optimal: Vec<EdgeId>,
+    /// The `(d+1)`-node target multigraph `M`.
+    pub target: PortNumberedGraph,
+    /// The covering map `G → M` (component `H(ℓ)` to `x_ℓ`, hubs to `y`).
+    pub covering: CoveringMap,
+    /// The degree parameter.
+    pub d: usize,
+}
+
+impl OddLowerBound {
+    /// The lower-bound ratio `4 - 6/(d+1)` as an exact fraction.
+    pub fn ratio(&self) -> (u64, u64) {
+        ratio(self.d)
+    }
+
+    /// `|D*| = (k+1) d`.
+    pub fn optimal_size(&self) -> usize {
+        self.optimal.len()
+    }
+}
+
+/// The Theorem 2 lower-bound ratio `4 - 6/(d+1) = (4d-2)/(d+1)` for odd
+/// `d`.
+///
+/// # Panics
+///
+/// Panics if `d` is even or zero.
+pub fn ratio(d: usize) -> (u64, u64) {
+    assert!(d % 2 == 1, "Theorem 2 needs odd d");
+    (4 * d as u64 - 2, d as u64 + 1)
+}
+
+/// Node-id layout of the construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// `k = (d - 1) / 2`.
+    pub k: usize,
+    /// The degree `d = 2k + 1`.
+    pub d: usize,
+}
+
+impl Layout {
+    /// Creates the layout for odd `d`.
+    pub fn new(d: usize) -> Self {
+        Layout { k: (d - 1) / 2, d }
+    }
+
+    /// Size of one component `H(ℓ)`: `4k + 1`.
+    pub fn component_size(&self) -> usize {
+        4 * self.k + 1
+    }
+
+    /// Node `a_{ℓ,i}` (`ℓ`, `i` both 1-based).
+    pub fn a(&self, l: usize, i: usize) -> NodeId {
+        NodeId::new((l - 1) * self.component_size() + (i - 1))
+    }
+
+    /// Node `b_{ℓ,i}` (`ℓ`, `i` both 1-based).
+    pub fn b(&self, l: usize, i: usize) -> NodeId {
+        NodeId::new((l - 1) * self.component_size() + 2 * self.k + (i - 1))
+    }
+
+    /// Node `c_ℓ`.
+    pub fn c(&self, l: usize) -> NodeId {
+        NodeId::new((l - 1) * self.component_size() + 4 * self.k)
+    }
+
+    /// Node `p_ℓ` (1-based).
+    pub fn p(&self, l: usize) -> NodeId {
+        NodeId::new(self.d * self.component_size() + (l - 1))
+    }
+
+    /// Node `q_i` (1-based).
+    pub fn q(&self, i: usize) -> NodeId {
+        NodeId::new(self.d * self.component_size() + self.d + (i - 1))
+    }
+
+    /// Total number of nodes: `(d+1)(2d-1)`.
+    pub fn node_count(&self) -> usize {
+        self.d * self.component_size() + self.d + 2 * self.k
+    }
+
+    /// Which component (1-based) a node belongs to, or `None` for hubs.
+    pub fn component_of(&self, v: NodeId) -> Option<usize> {
+        let idx = v.index();
+        if idx < self.d * self.component_size() {
+            Some(idx / self.component_size() + 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds the Theorem 2 instance for odd `d ≥ 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for even or zero `d`.
+///
+/// # Examples
+///
+/// ```
+/// use eds_lower_bounds::odd::build;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let instance = build(5)?;
+/// assert_eq!(instance.graph.node_count(), 54); // (d+1)(2d-1)
+/// assert_eq!(instance.optimal_size(), 15);     // (k+1) d
+/// instance.covering.verify(&instance.graph, &instance.target)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn build(d: usize) -> Result<OddLowerBound, GraphError> {
+    if d == 0 || d.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("Theorem 2 construction needs odd d >= 1, got {d}"),
+        });
+    }
+    let layout = Layout::new(d);
+    let k = layout.k;
+
+    let mut builder = PnGraphBuilder::new();
+    for _ in 0..layout.node_count() {
+        builder.add_node(d);
+    }
+
+    // Internal wiring of each component H(ℓ): 2-factorise and thread
+    // ports 2f+1 -> 2f+2 along the oriented factors.
+    for l in 1..=d {
+        if k == 0 {
+            break; // d = 1: components are single nodes without edges.
+        }
+        // Local simple graph of H(ℓ): a_1..a_2k = 0..2k-1,
+        // b_1..b_2k = 2k..4k-1, c = 4k.
+        let mut h = SimpleGraph::new(layout.component_size());
+        // R(ℓ): star c - b_i.
+        for i in 0..2 * k {
+            h.add_edge_ids(4 * k, 2 * k + i)?;
+        }
+        // S(ℓ): matching a_{2t-1} a_{2t}.
+        for t in 0..k {
+            h.add_edge_ids(2 * t, 2 * t + 1)?;
+        }
+        // T(ℓ): crown a_i - b_j for i != j.
+        for i in 0..2 * k {
+            for j in 0..2 * k {
+                if i != j {
+                    h.add_edge_ids(i, 2 * k + j)?;
+                }
+            }
+        }
+        debug_assert_eq!(h.regular_degree(), Some(2 * k));
+        let factors = two_factorize_simple(&h)?;
+        let base = (l - 1) * layout.component_size();
+        for (f, factor) in factors.iter().enumerate() {
+            let out_port = Port::new(2 * f as u32 + 1);
+            let in_port = Port::new(2 * f as u32 + 2);
+            for (u, v, _) in factor.arcs() {
+                builder.connect(
+                    Endpoint::new(NodeId::new(base + u.index()), out_port),
+                    Endpoint::new(NodeId::new(base + v.index()), in_port),
+                )?;
+            }
+        }
+    }
+
+    // Hub wiring; every hub-to-component edge joins hub port ℓ to
+    // component port d.
+    let pd = Port::new(d as u32);
+    for l in 1..=d {
+        let pl = Port::new(l as u32);
+        // (p_ℓ, ℓ) <-> (c_ℓ, d).
+        builder.connect(
+            Endpoint::new(layout.p(l), pl),
+            Endpoint::new(layout.c(l), pd),
+        )?;
+        for i in 1..=2 * k {
+            // (q_i, ℓ) <-> (a_{ℓ,i}, d).
+            builder.connect(
+                Endpoint::new(layout.q(i), pl),
+                Endpoint::new(layout.a(l, i), pd),
+            )?;
+            // (p_i, ℓ) <-> (b_{ℓ,i}, d) for i != ℓ.
+            if i != l {
+                builder.connect(
+                    Endpoint::new(layout.p(i), pl),
+                    Endpoint::new(layout.b(l, i), pd),
+                )?;
+            }
+        }
+        // (p_d, ℓ) <-> (b_{ℓ,ℓ}, d) — erratum: only for ℓ <= 2k = d-1.
+        if l <= 2 * k {
+            builder.connect(
+                Endpoint::new(layout.p(d), pl),
+                Endpoint::new(layout.b(l, l), pd),
+            )?;
+        }
+    }
+    let graph = builder.finish()?;
+    debug_assert_eq!(graph.regular_degree(), Some(d));
+
+    // Optimal solution D* = Y ∪ ⋃ S(ℓ).
+    let view = graph.to_simple()?;
+    let mut optimal = Vec::with_capacity((k + 1) * d);
+    for l in 1..=d {
+        optimal.push(
+            view.find_edge(layout.p(l), layout.c(l))
+                .expect("Y edges exist"),
+        );
+        for t in 1..=k {
+            optimal.push(
+                view.find_edge(layout.a(l, 2 * t - 1), layout.a(l, 2 * t))
+                    .expect("S(ℓ) edges exist"),
+            );
+        }
+    }
+
+    // Target multigraph M: nodes x_1..x_d (ids 0..d-1) and y (id d).
+    let mut tb = PnGraphBuilder::new();
+    for _ in 0..=d {
+        tb.add_node(d);
+    }
+    let y = NodeId::new(d);
+    for l in 1..=d {
+        let xl = NodeId::new(l - 1);
+        for i in 0..k {
+            tb.connect(
+                Endpoint::new(xl, Port::new(2 * i as u32 + 1)),
+                Endpoint::new(xl, Port::new(2 * i as u32 + 2)),
+            )?;
+        }
+        tb.connect(
+            Endpoint::new(y, Port::new(l as u32)),
+            Endpoint::new(xl, pd),
+        )?;
+    }
+    let target = tb.finish()?;
+
+    // Covering map: component ℓ -> x_ℓ, hubs -> y.
+    let map: Vec<NodeId> = (0..layout.node_count())
+        .map(|idx| match layout.component_of(NodeId::new(idx)) {
+            Some(l) => NodeId::new(l - 1),
+            None => y,
+        })
+        .collect();
+    let covering = CoveringMap::new(map);
+    covering.verify(&graph, &target)?;
+
+    Ok(OddLowerBound {
+        graph,
+        optimal,
+        target,
+        covering,
+        d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_paper() {
+        for d in [1usize, 3, 5, 7] {
+            let k = (d - 1) / 2;
+            let inst = build(d).unwrap();
+            assert_eq!(inst.graph.node_count(), (d + 1) * (2 * d - 1));
+            assert_eq!(inst.graph.regular_degree(), Some(d), "d = {d}");
+            assert_eq!(inst.optimal_size(), (k + 1) * d);
+            assert_eq!(inst.target.node_count(), d + 1);
+        }
+    }
+
+    #[test]
+    fn dstar_is_edge_dominating() {
+        for d in [1usize, 3, 5] {
+            let inst = build(d).unwrap();
+            let view = inst.graph.to_simple().unwrap();
+            let mut covered = vec![false; view.node_count()];
+            for &e in &inst.optimal {
+                let (u, v) = view.endpoints(e);
+                covered[u.index()] = true;
+                covered[v.index()] = true;
+            }
+            for (_, u, v) in view.edges() {
+                assert!(
+                    covered[u.index()] || covered[v.index()],
+                    "edge {u}-{v} undominated for d = {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_dstar_edge_dominated_exactly_once() {
+        // Paper: "each edge e ∉ D* is adjacent to exactly one edge in D*."
+        let inst = build(5).unwrap();
+        let view = inst.graph.to_simple().unwrap();
+        let in_dstar: std::collections::HashSet<_> = inst.optimal.iter().copied().collect();
+        for (e, u, v) in view.edges() {
+            if in_dstar.contains(&e) {
+                continue;
+            }
+            let mut adjacent = 0;
+            for &f in &inst.optimal {
+                let (x, y) = view.endpoints(f);
+                if x == u || x == v || y == u || y == v {
+                    adjacent += 1;
+                }
+            }
+            assert_eq!(adjacent, 1, "edge {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn dstar_is_a_matching() {
+        let inst = build(7).unwrap();
+        let view = inst.graph.to_simple().unwrap();
+        assert!(pn_graph::matching::is_matching(&view, &inst.optimal));
+    }
+
+    #[test]
+    fn covering_map_verified() {
+        for d in [1usize, 3, 5, 7] {
+            let inst = build(d).unwrap();
+            inst.covering.verify(&inst.graph, &inst.target).unwrap();
+            // Fibres have uniform size 2d - 1.
+            for fiber in inst.covering.fibers(inst.target.node_count()) {
+                assert_eq!(fiber.len(), 2 * d - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_edges_use_port_d() {
+        let d = 5;
+        let inst = build(d).unwrap();
+        let layout = Layout::new(d);
+        // Every edge between a hub and a component joins hub port ℓ to
+        // component port d.
+        for (_, shape) in inst.graph.edges() {
+            if let pn_graph::EdgeShape::Link { a, b } = shape {
+                let ca = layout.component_of(a.node);
+                let cb = layout.component_of(b.node);
+                match (ca, cb) {
+                    (Some(l), None) => {
+                        assert_eq!(a.port.get() as usize, d);
+                        assert_eq!(b.port.get() as usize, l);
+                    }
+                    (None, Some(l)) => {
+                        assert_eq!(b.port.get() as usize, d);
+                        assert_eq!(a.port.get() as usize, l);
+                    }
+                    (Some(la), Some(lb)) => assert_eq!(la, lb, "no cross-component edges"),
+                    (None, None) => panic!("no hub-hub edges exist"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(build(0).is_err());
+        assert!(build(2).is_err());
+        assert!(build(6).is_err());
+    }
+
+    #[test]
+    fn ratio_fraction() {
+        assert_eq!(ratio(1), (2, 2)); // 1
+        assert_eq!(ratio(3), (10, 4)); // 2.5
+        assert_eq!(ratio(5), (18, 6)); // 3
+    }
+}

@@ -1,0 +1,269 @@
+//! Structural analysis helpers: connectivity, bipartiteness, degree
+//! statistics.
+
+use crate::{NodeId, SimpleGraph};
+
+/// The connected components of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `component[v]` is the 0-based component index of node `v`.
+    pub component: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// The nodes of each component.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            groups[c].push(NodeId::new(v));
+        }
+        groups
+    }
+
+    /// Returns `true` if `u` and `v` are in the same component.
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+}
+
+/// Computes connected components with a BFS sweep.
+pub fn connected_components(g: &SimpleGraph) -> Components {
+    let n = g.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        component[start] = count;
+        queue.clear();
+        queue.push(NodeId::new(start));
+        while let Some(v) = queue.pop() {
+            for &(u, _) in g.neighbors(v) {
+                if component[u.index()] == usize::MAX {
+                    component[u.index()] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { component, count }
+}
+
+/// Returns `true` if the graph is connected (the empty graph counts as
+/// connected).
+pub fn is_connected(g: &SimpleGraph) -> bool {
+    connected_components(g).count <= 1
+}
+
+/// 2-colours the graph if it is bipartite; returns the colour of each node
+/// or `None` if an odd cycle exists.
+pub fn bipartition(g: &SimpleGraph) -> Option<Vec<bool>> {
+    let n = g.node_count();
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if color[start].is_some() {
+            continue;
+        }
+        color[start] = Some(false);
+        queue.push_back(NodeId::new(start));
+        while let Some(v) = queue.pop_front() {
+            let cv = color[v.index()].expect("coloured before enqueue");
+            for &(u, _) in g.neighbors(v) {
+                match color[u.index()] {
+                    None => {
+                        color[u.index()] = Some(!cv);
+                        queue.push_back(u);
+                    }
+                    Some(cu) if cu == cv => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.expect("all coloured")).collect())
+}
+
+/// Returns `true` if the graph has no odd cycle.
+pub fn is_bipartite(g: &SimpleGraph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Returns `true` if the graph is a forest (acyclic).
+pub fn is_forest(g: &SimpleGraph) -> bool {
+    // A graph is a forest iff |E| = |V| - #components.
+    let comps = connected_components(g);
+    g.edge_count() + comps.count == g.node_count()
+}
+
+/// Histogram of node degrees: entry `d` counts the nodes of degree `d`.
+pub fn degree_histogram(g: &SimpleGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// BFS distances from `source`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &SimpleGraph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = dist[v.index()] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The diameter (longest shortest path); `None` for disconnected or
+/// empty graphs.
+///
+/// Runs a BFS from every node: `O(n (n + m))`. The paper's locality
+/// claims are relative to this quantity — the algorithms' horizons are
+/// `O(Δ²)` regardless of the diameter.
+pub fn diameter(g: &SimpleGraph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        for &d in &dist {
+            if d == usize::MAX {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// The girth (length of a shortest cycle); `None` for forests.
+///
+/// BFS from every node, detecting the first non-tree edge closing a
+/// cycle: `O(n (n + m))`.
+pub fn girth(g: &SimpleGraph) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for start in g.nodes() {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut parent_edge = vec![usize::MAX; g.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &(u, e) in g.neighbors(v) {
+                if e.index() == parent_edge[v.index()] {
+                    continue;
+                }
+                if dist[u.index()] == usize::MAX {
+                    dist[u.index()] = dist[v.index()] + 1;
+                    parent_edge[u.index()] = e.index();
+                    queue.push_back(u);
+                } else {
+                    // Cycle through `start` (or shorter elsewhere; still
+                    // an upper bound that some start node makes tight).
+                    let len = dist[v.index()] + dist[u.index()] + 1;
+                    best = Some(best.map_or(len, |b| b.min(len)));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_union() {
+        let u = generators::disjoint_union(&[
+            generators::cycle(3).unwrap(),
+            generators::path(4).unwrap(),
+            generators::star(2).unwrap(),
+        ]);
+        let c = connected_components(&u);
+        assert_eq!(c.count, 3);
+        assert!(c.connected(NodeId::new(0), NodeId::new(2)));
+        assert!(!c.connected(NodeId::new(0), NodeId::new(3)));
+        let groups = c.groups();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&generators::petersen()));
+        assert!(is_connected(&SimpleGraph::empty()));
+        assert!(!is_connected(&SimpleGraph::new(2)));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(is_bipartite(&generators::cycle(4).unwrap()));
+        assert!(!is_bipartite(&generators::cycle(5).unwrap()));
+        assert!(is_bipartite(&generators::complete_bipartite(3, 3).unwrap()));
+        assert!(!is_bipartite(&generators::petersen()));
+        let part = bipartition(&generators::path(5).unwrap()).unwrap();
+        assert_eq!(part, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn forest_detection() {
+        assert!(is_forest(&generators::path(6).unwrap()));
+        assert!(is_forest(&generators::star(5).unwrap()));
+        assert!(!is_forest(&generators::cycle(4).unwrap()));
+        assert!(is_forest(&SimpleGraph::new(3)));
+    }
+
+    #[test]
+    fn histogram() {
+        let s = generators::star(3).unwrap();
+        let h = degree_histogram(&s);
+        assert_eq!(h, vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let p = generators::path(5).unwrap();
+        let d = bfs_distances(&p, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(diameter(&p), Some(4));
+        assert_eq!(diameter(&generators::cycle(8).unwrap()), Some(4));
+        assert_eq!(diameter(&generators::petersen()), Some(2));
+        assert_eq!(diameter(&generators::complete(5).unwrap()), Some(1));
+        // Disconnected.
+        assert_eq!(diameter(&SimpleGraph::new(2)), None);
+        let u = generators::disjoint_union(&[
+            generators::path(2).unwrap(),
+            generators::path(2).unwrap(),
+        ]);
+        assert_eq!(diameter(&u), None);
+        let unreachable = bfs_distances(&u, NodeId::new(0));
+        assert_eq!(unreachable[2], usize::MAX);
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&generators::cycle(5).unwrap()), Some(5));
+        assert_eq!(girth(&generators::cycle(9).unwrap()), Some(9));
+        assert_eq!(girth(&generators::complete(4).unwrap()), Some(3));
+        assert_eq!(girth(&generators::petersen()), Some(5));
+        assert_eq!(girth(&generators::complete_bipartite(3, 3).unwrap()), Some(4));
+        assert_eq!(girth(&generators::hypercube(3).unwrap()), Some(4));
+        assert_eq!(girth(&generators::path(6).unwrap()), None);
+        assert_eq!(girth(&generators::star(4).unwrap()), None);
+    }
+}

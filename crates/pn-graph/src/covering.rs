@@ -1,0 +1,576 @@
+//! Covering maps between port-numbered graphs (paper Section 2.3).
+//!
+//! A surjection `f : V_H → V_G` is a *covering map* if it preserves degrees
+//! and connections: `p_H(v, i) = (u, j)` implies
+//! `p_G(f(v), i) = (f(u), j)`. The fundamental lemma — proved in Section
+//! 2.3 of the paper and checked empirically by `pn-runtime` tests — is that
+//! a deterministic distributed algorithm cannot distinguish `v` from
+//! `f(v)`: both produce identical outputs. All lower bounds in the paper
+//! rest on this.
+
+use crate::{Endpoint, GraphError, NodeId, PortNumberedGraph};
+
+/// A candidate covering map `f : V_H → V_G`, stored as a node table.
+///
+/// # Examples
+///
+/// Two nodes wired to each other cover the one-node multigraph with a
+/// single directed loop... no: a *link loop* needs two ports. The smallest
+/// honest example is the 2-cycle covering the one-node graph whose two
+/// ports are wired together:
+///
+/// ```
+/// use pn_graph::{PnGraphBuilder, CoveringMap, Endpoint, NodeId, Port};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// // H: two nodes, port 1 of each wired to port 2 of the other.
+/// let mut bh = PnGraphBuilder::new();
+/// let a = bh.add_node(2);
+/// let b = bh.add_node(2);
+/// bh.connect(Endpoint::new(a, Port::new(1)), Endpoint::new(b, Port::new(2)))?;
+/// bh.connect(Endpoint::new(b, Port::new(1)), Endpoint::new(a, Port::new(2)))?;
+/// let h = bh.finish()?;
+///
+/// // G: one node, port 1 wired to port 2.
+/// let mut bg = PnGraphBuilder::new();
+/// let x = bg.add_node(2);
+/// bg.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))?;
+/// let g = bg.finish()?;
+///
+/// let f = CoveringMap::constant(2, x);
+/// f.verify(&h, &g)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoveringMap {
+    map: Vec<NodeId>,
+}
+
+impl CoveringMap {
+    /// Creates a covering map from an explicit table: `map[v]` is `f(v)`.
+    pub fn new(map: Vec<NodeId>) -> Self {
+        CoveringMap { map }
+    }
+
+    /// The constant map sending all `h_nodes` nodes to `target`.
+    pub fn constant(h_nodes: usize, target: NodeId) -> Self {
+        CoveringMap {
+            map: vec![target; h_nodes],
+        }
+    }
+
+    /// Applies the map to a node of the covering graph.
+    pub fn apply(&self, v: NodeId) -> NodeId {
+        self.map[v.index()]
+    }
+
+    /// Number of nodes in the domain.
+    pub fn domain_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The fibre `f⁻¹(x)` of each node of `G`, indexed by `x`.
+    pub fn fibers(&self, g_nodes: usize) -> Vec<Vec<NodeId>> {
+        let mut fibers = vec![Vec::new(); g_nodes];
+        for (v, &x) in self.map.iter().enumerate() {
+            fibers[x.index()].push(NodeId::new(v));
+        }
+        fibers
+    }
+
+    /// Verifies that this is a covering map from `h` onto `g`:
+    /// surjectivity, degree preservation, and connection preservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotACoveringMap`] describing the first
+    /// violation found.
+    pub fn verify(
+        &self,
+        h: &PortNumberedGraph,
+        g: &PortNumberedGraph,
+    ) -> Result<(), GraphError> {
+        if self.map.len() != h.node_count() {
+            return Err(GraphError::NotACoveringMap {
+                detail: format!(
+                    "map has {} entries but H has {} nodes",
+                    self.map.len(),
+                    h.node_count()
+                ),
+            });
+        }
+        // Codomain range + surjectivity.
+        let mut hit = vec![false; g.node_count()];
+        for (v, &x) in self.map.iter().enumerate() {
+            if x.index() >= g.node_count() {
+                return Err(GraphError::NotACoveringMap {
+                    detail: format!("f(n{v}) = {x} is not a node of G"),
+                });
+            }
+            hit[x.index()] = true;
+        }
+        if let Some(x) = hit.iter().position(|&b| !b) {
+            return Err(GraphError::NotACoveringMap {
+                detail: format!("f is not surjective: node n{x} of G is not covered"),
+            });
+        }
+        // Degree preservation.
+        for v in h.nodes() {
+            let x = self.apply(v);
+            if h.degree(v) != g.degree(x) {
+                return Err(GraphError::NotACoveringMap {
+                    detail: format!(
+                        "degree mismatch: d_H({v}) = {} but d_G({x}) = {}",
+                        h.degree(v),
+                        g.degree(x)
+                    ),
+                });
+            }
+        }
+        // Connection preservation.
+        for v in h.nodes() {
+            for i in h.ports(v) {
+                let there = h.connection(Endpoint::new(v, i));
+                let expect = g.connection(Endpoint::new(self.apply(v), i));
+                let got = Endpoint::new(self.apply(there.node), there.port);
+                if got != expect {
+                    return Err(GraphError::NotACoveringMap {
+                        detail: format!(
+                            "connection mismatch at ({v}, {i}): \
+                             p_H maps to {there}, giving {got} under f, \
+                             but p_G(f({v}), {i}) = {expect}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if [`CoveringMap::verify`] succeeds.
+    pub fn is_covering_map(&self, h: &PortNumberedGraph, g: &PortNumberedGraph) -> bool {
+        self.verify(h, g).is_ok()
+    }
+}
+
+/// Builds the identity covering map (every graph covers itself).
+pub fn identity_map(g: &PortNumberedGraph) -> CoveringMap {
+    CoveringMap::new(g.nodes().collect())
+}
+
+/// Constructs the canonical `c`-fold *cyclic lift* of a port-numbered graph
+/// `g`: nodes `(v, layer)` for `layer ∈ 0..c`, where the connection
+/// `p(v,i) = (u,j)` lifts to layer-preserving links when `v ≠ u` and to a
+/// cyclic shift between layers for loops. The result covers `g` via
+/// "forget the layer".
+///
+/// This is a generic machine for manufacturing finite covering graphs in
+/// tests: lifting a multigraph yields (for large enough `c`) a simple
+/// graph.
+pub fn cyclic_lift(g: &PortNumberedGraph, c: usize) -> (PortNumberedGraph, CoveringMap) {
+    assert!(c >= 1, "lift must have at least one layer");
+    use crate::PnGraphBuilder;
+    let n = g.node_count();
+    let mut b = PnGraphBuilder::new();
+    for layer in 0..c {
+        let _ = layer;
+        for v in g.nodes() {
+            b.add_node(g.degree(v));
+        }
+    }
+    let node_at = |v: NodeId, layer: usize| NodeId::new(layer * n + v.index());
+    for v in g.nodes() {
+        for i in g.ports(v) {
+            let here = Endpoint::new(v, i);
+            let t = g.connection(here);
+            if t == here {
+                // Fixed point (directed loop). Pair layers 0-1, 2-3, ...;
+                // for odd c, the last layer keeps a fixed point.
+                let mut layer = 0;
+                while layer + 1 < c {
+                    let a = Endpoint::new(node_at(v, layer), i);
+                    let bb = Endpoint::new(node_at(v, layer + 1), i);
+                    b.connect(a, bb).expect("lift wiring is conflict-free");
+                    layer += 2;
+                }
+                if c % 2 == 1 {
+                    b.fix_point(Endpoint::new(node_at(v, c - 1), i))
+                        .expect("lift wiring is conflict-free");
+                }
+                continue;
+            }
+            // Wire each port pair once: skip the mirror side.
+            if t < here {
+                continue;
+            }
+            for layer in 0..c {
+                let (from_layer, to_layer) = if t.node == v {
+                    // Link loop: shift one layer so the lift is loop-free
+                    // when c > 1.
+                    (layer, (layer + 1) % c)
+                } else {
+                    (layer, layer)
+                };
+                let a = Endpoint::new(node_at(v, from_layer), i);
+                let bb = Endpoint::new(node_at(t.node, to_layer), t.port);
+                b.connect(a, bb).expect("lift wiring is conflict-free");
+            }
+        }
+    }
+    let lifted = b.finish().expect("lift connects every port");
+    let map = CoveringMap::new(
+        (0..c * n).map(|idx| NodeId::new(idx % n)).collect(),
+    );
+    (lifted, map)
+}
+
+/// Constructs a `layers`-fold **simple** covering graph of an arbitrary
+/// port-numbered multigraph, in the style of the paper's Figure 3: each
+/// edge class is lifted with its own layer shift, chosen so that parallel
+/// edges land on different layers and loops never close on themselves.
+///
+/// Requirements, checked at runtime:
+///
+/// * `layers` must exceed the largest parallel-edge multiplicity (plus
+///   one if the pair also needs to dodge shift 0 for loops);
+/// * if the graph has fixed-point loops (the paper's *directed loops*),
+///   `layers` must be even (a fixed point lifts to a pairing of layers
+///   at distance `layers / 2`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `layers` is too small or
+/// has the wrong parity for the input.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{PnGraphBuilder, covering::simple_lift, Endpoint, Port};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// // The Figure 2 multigraph: parallel links, a directed loop, a link loop.
+/// let mut b = PnGraphBuilder::new();
+/// let s = b.add_node(3);
+/// let t = b.add_node(4);
+/// b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))?;
+/// b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))?;
+/// b.fix_point(Endpoint::new(s, Port::new(3)))?;
+/// b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))?;
+/// let m = b.finish()?;
+///
+/// // A 4-fold simple cover, as in the paper's Figure 3.
+/// let (c, f) = simple_lift(&m, 4)?;
+/// assert!(c.is_simple());
+/// f.verify(&c, &m)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn simple_lift(
+    g: &PortNumberedGraph,
+    layers: usize,
+) -> Result<(PortNumberedGraph, CoveringMap), GraphError> {
+    use crate::{EdgeShape, PnGraphBuilder};
+    use std::collections::HashMap;
+
+    if layers < 2 {
+        return Err(GraphError::InvalidParameter {
+            detail: "a simple lift needs at least two layers".to_owned(),
+        });
+    }
+    let has_half_loop = g
+        .edges()
+        .any(|(_, s)| matches!(s, EdgeShape::HalfLoop { .. }));
+    if has_half_loop && layers % 2 != 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "directed loops require an even number of layers".to_owned(),
+        });
+    }
+
+    // Assign a distinct shift per edge within each unordered node pair.
+    // Loops (u == v) are subtler: a loop with shift `s` produces the layer
+    // pairs `{ℓ, ℓ+s}`, which coincide with those of shift `layers - s`
+    // (and self-coincide at `s = layers/2`), so loop shifts are drawn from
+    // `1 .. ⌈layers/2⌉` only. A directed (fixed-point) loop occupies the
+    // `layers/2` pairing; at most one is representable per node.
+    let mut next_shift: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut half_loops_at: HashMap<usize, usize> = HashMap::new();
+    let mut shift_of = vec![0usize; g.edge_count()];
+    for (e, shape) in g.edges() {
+        match shape {
+            EdgeShape::HalfLoop { at } => {
+                let count = half_loops_at.entry(at.node.index()).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    return Err(GraphError::InvalidParameter {
+                        detail: format!(
+                            "node {} has multiple directed loops; only one per node is supported",
+                            at.node
+                        ),
+                    });
+                }
+                shift_of[e.index()] = layers / 2;
+            }
+            EdgeShape::Link { a, b } => {
+                let (u, v) = (
+                    a.node.index().min(b.node.index()),
+                    a.node.index().max(b.node.index()),
+                );
+                let entry = next_shift.entry((u, v)).or_insert(if u == v { 1 } else { 0 });
+                let s = *entry;
+                let exhausted = if u == v {
+                    // Strictly below layers/2 (also keeps clear of the
+                    // directed-loop pairing).
+                    2 * s >= layers
+                } else {
+                    s >= layers
+                };
+                if exhausted {
+                    return Err(GraphError::InvalidParameter {
+                        detail: format!(
+                            "{layers} layers cannot separate the parallel edges between n{u} and n{v}"
+                        ),
+                    });
+                }
+                shift_of[e.index()] = s;
+                *entry += 1;
+            }
+        }
+    }
+
+    let n = g.node_count();
+    let mut builder = PnGraphBuilder::new();
+    for layer in 0..layers {
+        let _ = layer;
+        for v in g.nodes() {
+            builder.add_node(g.degree(v));
+        }
+    }
+    let node_at = |v: NodeId, layer: usize| NodeId::new(layer * n + v.index());
+    for (e, shape) in g.edges() {
+        let s = shift_of[e.index()];
+        match shape {
+            EdgeShape::Link { a, b } => {
+                for layer in 0..layers {
+                    builder.connect(
+                        Endpoint::new(node_at(a.node, layer), a.port),
+                        Endpoint::new(node_at(b.node, (layer + s) % layers), b.port),
+                    )?;
+                }
+            }
+            EdgeShape::HalfLoop { at } => {
+                // Pair layer ℓ with ℓ + layers/2; wire each pair once.
+                for layer in 0..layers / 2 {
+                    builder.connect(
+                        Endpoint::new(node_at(at.node, layer), at.port),
+                        Endpoint::new(node_at(at.node, layer + layers / 2), at.port),
+                    )?;
+                }
+            }
+        }
+    }
+    let lifted = builder.finish()?;
+    let map = CoveringMap::new((0..layers * n).map(|i| NodeId::new(i % n)).collect());
+    debug_assert!(map.verify(&lifted, g).is_ok());
+    Ok((lifted, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::canonical_ports;
+    use crate::{generators, PnGraphBuilder, Port};
+
+    /// Figure 3 of the paper: the 8-cycle-like simple graph C covering the
+    /// two-node multigraph M. We reconstruct the spirit of the example: a
+    /// multigraph M with two nodes (grey, white) of degree 4 joined by
+    /// four parallel edges, covered by an 8-node simple graph.
+    #[test]
+    fn figure3_style_cover() {
+        // M: grey g, white w, 4 parallel edges with ports:
+        // (g,1)-(w,2), (g,2)-(w,1), (g,3)-(w,4), (g,4)-(w,3).
+        let mut bm = PnGraphBuilder::new();
+        let gg = bm.add_node(4);
+        let ww = bm.add_node(4);
+        for (pg_, pw) in [(1u32, 2u32), (2, 1), (3, 4), (4, 3)] {
+            bm.connect(
+                Endpoint::new(gg, Port::new(pg_)),
+                Endpoint::new(ww, Port::new(pw)),
+            )
+            .unwrap();
+        }
+        let m = bm.finish().unwrap();
+        assert!(!m.is_simple());
+
+        let (c, f) = cyclic_lift(&m, 2);
+        f.verify(&c, &m).unwrap();
+        assert_eq!(c.node_count(), 4);
+    }
+
+    #[test]
+    fn identity_is_covering() {
+        let g = canonical_ports(&generators::cycle(5).unwrap()).unwrap();
+        identity_map(&g).verify(&g, &g).unwrap();
+    }
+
+    #[test]
+    fn cyclic_lift_of_simple_graph() {
+        let g = canonical_ports(&generators::complete(4).unwrap()).unwrap();
+        let (h, f) = cyclic_lift(&g, 3);
+        assert_eq!(h.node_count(), 12);
+        f.verify(&h, &g).unwrap();
+        assert!(h.is_simple());
+    }
+
+    #[test]
+    fn lift_of_loop_multigraph_is_simple() {
+        // One node, ports 1<->2 (a loop). The 3-fold lift is a 3-cycle.
+        let mut b = PnGraphBuilder::new();
+        let x = b.add_node(2);
+        b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))
+            .unwrap();
+        let g = b.finish().unwrap();
+        let (h, f) = cyclic_lift(&g, 3);
+        f.verify(&h, &g).unwrap();
+        assert!(h.is_simple());
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.edge_count(), 3);
+    }
+
+    #[test]
+    fn detects_degree_mismatch() {
+        let g = canonical_ports(&generators::cycle(4).unwrap()).unwrap();
+        let h = canonical_ports(&generators::path(4).unwrap()).unwrap();
+        let f = CoveringMap::new(h.nodes().collect());
+        assert!(matches!(
+            f.verify(&h, &g),
+            Err(GraphError::NotACoveringMap { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_non_surjective() {
+        let g = canonical_ports(&generators::cycle(4).unwrap()).unwrap();
+        let f = CoveringMap::constant(4, NodeId::new(0));
+        let err = f.verify(&g, &g).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("surjective"), "{msg}");
+    }
+
+    #[test]
+    fn detects_connection_mismatch() {
+        // Two disjoint 2-cycles with *different* port patterns cannot cover
+        // each other with a swap map.
+        let mut b1 = PnGraphBuilder::new();
+        let a = b1.add_node(2);
+        let bb = b1.add_node(2);
+        b1.connect(Endpoint::new(a, Port::new(1)), Endpoint::new(bb, Port::new(1)))
+            .unwrap();
+        b1.connect(Endpoint::new(a, Port::new(2)), Endpoint::new(bb, Port::new(2)))
+            .unwrap();
+        let h = b1.finish().unwrap();
+
+        let mut b2 = PnGraphBuilder::new();
+        let x = b2.add_node(2);
+        let y = b2.add_node(2);
+        b2.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(y, Port::new(2)))
+            .unwrap();
+        b2.connect(Endpoint::new(x, Port::new(2)), Endpoint::new(y, Port::new(1)))
+            .unwrap();
+        let g = b2.finish().unwrap();
+
+        let f = CoveringMap::new(vec![NodeId::new(0), NodeId::new(1)]);
+        assert!(matches!(
+            f.verify(&h, &g),
+            Err(GraphError::NotACoveringMap { .. })
+        ));
+    }
+
+    #[test]
+    fn simple_lift_of_figure2_multigraph() {
+        // The Figure 2 multigraph (parallel links + directed loop + link
+        // loop) has a simple 4-fold cover, like the paper's Figure 3.
+        let mut bm = PnGraphBuilder::new();
+        let s = bm.add_node(3);
+        let t = bm.add_node(4);
+        bm.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))
+            .unwrap();
+        bm.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))
+            .unwrap();
+        bm.fix_point(Endpoint::new(s, Port::new(3))).unwrap();
+        bm.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))
+            .unwrap();
+        let m = bm.finish().unwrap();
+        let (c, f) = simple_lift(&m, 4).unwrap();
+        assert!(c.is_simple(), "the 4-fold shifted lift must be simple");
+        assert_eq!(c.node_count(), 8);
+        f.verify(&c, &m).unwrap();
+        // Odd layer counts are rejected because of the directed loop.
+        assert!(simple_lift(&m, 3).is_err());
+        // One layer can never be simple for a multigraph.
+        assert!(simple_lift(&m, 1).is_err());
+    }
+
+    #[test]
+    fn simple_lift_of_heavy_parallel_edges() {
+        // Five parallel edges need at least five layers.
+        let mut b = PnGraphBuilder::new();
+        let u = b.add_node(5);
+        let v = b.add_node(5);
+        for i in 1..=5u32 {
+            b.connect(Endpoint::new(u, Port::new(i)), Endpoint::new(v, Port::new(i)))
+                .unwrap();
+        }
+        let m = b.finish().unwrap();
+        assert!(simple_lift(&m, 4).is_err());
+        let (c, f) = simple_lift(&m, 5).unwrap();
+        assert!(c.is_simple());
+        f.verify(&c, &m).unwrap();
+        assert_eq!(c.edge_count(), 25);
+    }
+
+    #[test]
+    fn simple_lift_rejects_colliding_loops() {
+        // Two link loops at one node: shifts 1 and 2 would collide at
+        // layers = 4 (pairs {ℓ, ℓ+2} self-coincide); 6 layers work.
+        let mut b = PnGraphBuilder::new();
+        let v = b.add_node(4);
+        b.connect(Endpoint::new(v, Port::new(1)), Endpoint::new(v, Port::new(2)))
+            .unwrap();
+        b.connect(Endpoint::new(v, Port::new(3)), Endpoint::new(v, Port::new(4)))
+            .unwrap();
+        let m = b.finish().unwrap();
+        assert!(simple_lift(&m, 4).is_err());
+        let (c, f) = simple_lift(&m, 6).unwrap();
+        assert!(c.is_simple(), "shifts 1 and 2 over 6 layers are disjoint");
+        f.verify(&c, &m).unwrap();
+
+        // Two directed loops at one node are not representable.
+        let mut b2 = PnGraphBuilder::new();
+        let w = b2.add_node(2);
+        b2.fix_point(Endpoint::new(w, Port::new(1))).unwrap();
+        b2.fix_point(Endpoint::new(w, Port::new(2))).unwrap();
+        let m2 = b2.finish().unwrap();
+        assert!(simple_lift(&m2, 4).is_err());
+    }
+
+    #[test]
+    fn simple_lift_of_simple_graph_is_layered_copy() {
+        let g = canonical_ports(&generators::petersen()).unwrap();
+        let (h, f) = simple_lift(&g, 2).unwrap();
+        assert!(h.is_simple());
+        f.verify(&h, &g).unwrap();
+        assert_eq!(h.node_count(), 20);
+    }
+
+    #[test]
+    fn fibers_partition_domain() {
+        let g = canonical_ports(&generators::cycle(3).unwrap()).unwrap();
+        let (h, f) = cyclic_lift(&g, 4);
+        let fibers = f.fibers(g.node_count());
+        assert_eq!(fibers.len(), 3);
+        let total: usize = fibers.iter().map(Vec::len).sum();
+        assert_eq!(total, h.node_count());
+        for fiber in fibers {
+            assert_eq!(fiber.len(), 4);
+        }
+    }
+}

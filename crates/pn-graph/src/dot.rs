@@ -1,0 +1,204 @@
+//! Graphviz DOT export for graphs and port-numbered graphs.
+//!
+//! The paper's figures are drawings of small graphs with highlighted edge
+//! sets (optimal solutions, matchings, factors). This module renders the
+//! same artefacts: plain graphs, port-numbered graphs with port labels on
+//! the edge ends, and any number of highlighted edge classes.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{EdgeId, EdgeShape, PortNumberedGraph, SimpleGraph};
+
+/// A named, styled class of edges to highlight in a DOT rendering.
+#[derive(Clone, Debug)]
+pub struct EdgeClassStyle {
+    /// Class name (used in the legend comment).
+    pub name: String,
+    /// Graphviz colour, e.g. `"red"` or `"#1f77b4"`.
+    pub color: String,
+    /// Pen width multiplier; the default edge width is 1.
+    pub penwidth: f64,
+    /// The edges of the class.
+    pub edges: Vec<EdgeId>,
+}
+
+impl EdgeClassStyle {
+    /// Creates a class with the given name, colour and edges, at pen
+    /// width 2.
+    pub fn new<S: Into<String>>(name: S, color: S, edges: Vec<EdgeId>) -> Self {
+        EdgeClassStyle {
+            name: name.into(),
+            color: color.into(),
+            penwidth: 2.0,
+            edges,
+        }
+    }
+}
+
+/// Renders a simple graph as Graphviz DOT, highlighting the given edge
+/// classes (later classes win on conflicts).
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{generators, dot::{to_dot, EdgeClassStyle}};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = generators::cycle(4)?;
+/// let dot = to_dot(&g, "c4", &[EdgeClassStyle::new("solution", "red", vec![])]);
+/// assert!(dot.starts_with("graph c4 {"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(g: &SimpleGraph, name: &str, classes: &[EdgeClassStyle]) -> String {
+    let styles = class_lookup(classes);
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for c in classes {
+        let _ = writeln!(out, "  // class {:?}: colour {}", c.name, c.color);
+    }
+    for v in g.nodes() {
+        let _ = writeln!(out, "  n{};", v.index());
+    }
+    for (e, u, v) in g.edges() {
+        let style = styles.get(&e);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{}{};",
+            u.index(),
+            v.index(),
+            style_attr(style)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a port-numbered graph as DOT with port numbers as head/tail
+/// labels (the paper's Figure 2(b) style), highlighting edge classes.
+pub fn pn_to_dot(
+    g: &PortNumberedGraph,
+    name: &str,
+    classes: &[EdgeClassStyle],
+) -> String {
+    let styles = class_lookup(classes);
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    let _ = writeln!(out, "  edge [fontsize=8 labeldistance=1.5];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  n{};", v.index());
+    }
+    for (e, shape) in g.edges() {
+        let style = styles.get(&e);
+        match shape {
+            EdgeShape::Link { a, b } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [taillabel=\"{}\" headlabel=\"{}\"{}];",
+                    a.node.index(),
+                    b.node.index(),
+                    a.port,
+                    b.port,
+                    style_suffix(style)
+                );
+            }
+            EdgeShape::HalfLoop { at } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [taillabel=\"{}\" style=dashed{}];",
+                    at.node.index(),
+                    at.node.index(),
+                    at.port,
+                    style_suffix(style)
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn class_lookup(classes: &[EdgeClassStyle]) -> HashMap<EdgeId, (&str, f64)> {
+    let mut map = HashMap::new();
+    for c in classes {
+        for &e in &c.edges {
+            map.insert(e, (c.color.as_str(), c.penwidth));
+        }
+    }
+    map
+}
+
+fn style_attr(style: Option<&(&str, f64)>) -> String {
+    match style {
+        Some((color, w)) => format!(" [color=\"{color}\" penwidth={w}]"),
+        None => String::new(),
+    }
+}
+
+fn style_suffix(style: Option<&(&str, f64)>) -> String {
+    match style {
+        Some((color, w)) => format!(" color=\"{color}\" penwidth={w}"),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, ports, Endpoint, PnGraphBuilder, Port};
+
+    #[test]
+    fn simple_graph_dot() {
+        let g = generators::path(3).unwrap();
+        let dot = to_dot(&g, "p3", &[]);
+        assert!(dot.contains("graph p3 {"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("n1 -- n2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlighted_classes_render() {
+        let g = generators::cycle(4).unwrap();
+        let sol: Vec<EdgeId> = vec![EdgeId::new(0), EdgeId::new(2)];
+        let dot = to_dot(
+            &g,
+            "c4",
+            &[EdgeClassStyle::new("matching", "red", sol)],
+        );
+        assert_eq!(dot.matches("color=\"red\"").count(), 2);
+        assert!(dot.contains("// class \"matching\""));
+    }
+
+    #[test]
+    fn pn_graph_dot_with_ports_and_loops() {
+        let mut b = PnGraphBuilder::new();
+        let s = b.add_node(3);
+        let t = b.add_node(4);
+        b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))
+            .unwrap();
+        b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))
+            .unwrap();
+        b.fix_point(Endpoint::new(s, Port::new(3))).unwrap();
+        b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))
+            .unwrap();
+        let g = b.finish().unwrap();
+        let dot = pn_to_dot(&g, "m", &[]);
+        assert!(dot.contains("taillabel=\"1\" headlabel=\"2\""));
+        assert!(dot.contains("style=dashed")); // the half-loop
+        assert!(dot.contains("n1 -- n1")); // the link loop
+    }
+
+    #[test]
+    fn pn_dot_highlights() {
+        let g = ports::canonical_ports(&generators::cycle(3).unwrap()).unwrap();
+        let dot = pn_to_dot(
+            &g,
+            "c3",
+            &[EdgeClassStyle::new("eds", "blue", vec![EdgeId::new(1)])],
+        );
+        assert_eq!(dot.matches("color=\"blue\"").count(), 1);
+    }
+}

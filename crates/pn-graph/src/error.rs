@@ -1,0 +1,183 @@
+//! Error types for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Endpoint, NodeId};
+
+/// Errors produced while building or validating graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// A port number exceeded the degree of its node.
+    PortOutOfRange {
+        /// The offending endpoint.
+        endpoint: Endpoint,
+        /// Degree of the node.
+        degree: usize,
+    },
+    /// A self-loop was inserted into a graph that does not allow them.
+    LoopNotAllowed {
+        /// The node at which the loop was attempted.
+        node: NodeId,
+    },
+    /// A parallel edge was inserted into a graph that does not allow them.
+    ParallelEdge {
+        /// First endpoint of the duplicated edge.
+        u: NodeId,
+        /// Second endpoint of the duplicated edge.
+        v: NodeId,
+    },
+    /// A port was connected twice while building a port-numbered graph.
+    PortAlreadyConnected {
+        /// The endpoint that already had a connection.
+        endpoint: Endpoint,
+    },
+    /// After building, some port was never connected (the involution must be
+    /// total over `P_G`).
+    PortUnconnected {
+        /// The endpoint left dangling.
+        endpoint: Endpoint,
+    },
+    /// The supplied port map is not an involution (`p(p(x)) != x`).
+    NotAnInvolution {
+        /// Endpoint at which the property fails.
+        endpoint: Endpoint,
+    },
+    /// An operation required a regular graph but degrees differ.
+    NotRegular {
+        /// A node with a deviating degree.
+        node: NodeId,
+        /// The degree found at `node`.
+        found: usize,
+        /// The degree expected everywhere.
+        expected: usize,
+    },
+    /// An operation required all degrees to be even (e.g. Euler circuits,
+    /// 2-factorisation).
+    OddDegree {
+        /// A node of odd degree.
+        node: NodeId,
+        /// Its degree.
+        degree: usize,
+    },
+    /// An operation required a simple graph but the graph has loops or
+    /// parallel edges.
+    NotSimple {
+        /// Human-readable detail of the violation.
+        detail: String,
+    },
+    /// A covering-map check failed.
+    NotACoveringMap {
+        /// Human-readable detail of the violation.
+        detail: String,
+    },
+    /// A requested construction does not exist for the given parameters.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+            GraphError::PortOutOfRange { endpoint, degree } => {
+                write!(
+                    f,
+                    "port {} exceeds degree {degree} of node {}",
+                    endpoint.port, endpoint.node
+                )
+            }
+            GraphError::LoopNotAllowed { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge {{{u}, {v}}} not allowed in a simple graph")
+            }
+            GraphError::PortAlreadyConnected { endpoint } => {
+                write!(f, "port {endpoint} is already connected")
+            }
+            GraphError::PortUnconnected { endpoint } => {
+                write!(f, "port {endpoint} was never connected")
+            }
+            GraphError::NotAnInvolution { endpoint } => {
+                write!(f, "port map is not an involution at {endpoint}")
+            }
+            GraphError::NotRegular {
+                node,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "graph is not regular: node {node} has degree {found}, expected {expected}"
+                )
+            }
+            GraphError::OddDegree { node, degree } => {
+                write!(f, "node {node} has odd degree {degree}")
+            }
+            GraphError::NotSimple { detail } => write!(f, "graph is not simple: {detail}"),
+            GraphError::NotACoveringMap { detail } => {
+                write!(f, "not a covering map: {detail}")
+            }
+            GraphError::InvalidParameter { detail } => {
+                write!(f, "invalid parameter: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Port;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = vec![
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(7),
+                nodes: 3,
+            },
+            GraphError::LoopNotAllowed {
+                node: NodeId::new(0),
+            },
+            GraphError::ParallelEdge {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+            },
+            GraphError::PortAlreadyConnected {
+                endpoint: Endpoint::new(NodeId::new(0), Port::new(1)),
+            },
+            GraphError::NotSimple {
+                detail: "loop at node 0".to_owned(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("graph"));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::InvalidParameter {
+            detail: "d must be even".to_owned(),
+        });
+        assert!(e.to_string().contains("d must be even"));
+    }
+}

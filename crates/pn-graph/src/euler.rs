@@ -1,0 +1,231 @@
+//! Euler circuits of multigraphs with all-even degrees.
+//!
+//! Euler circuits are the engine behind Petersen's 2-factorisation theorem
+//! ([`crate::factorization`]): orienting a `2k`-regular graph along Euler
+//! circuits gives every node out-degree and in-degree exactly `k`.
+
+use crate::{EdgeId, GraphError, MultiGraph, NodeId};
+
+/// One closed walk that uses a set of edges exactly once each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EulerCircuit {
+    /// The walk as a sequence of directed steps `from --edge--> to`;
+    /// consecutive steps share a node and the walk is closed
+    /// (`steps.last().to == steps.first().from`).
+    pub steps: Vec<EulerStep>,
+}
+
+/// One directed step of an Euler circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EulerStep {
+    /// Tail of the traversed edge.
+    pub from: NodeId,
+    /// Head of the traversed edge.
+    pub to: NodeId,
+    /// The traversed edge.
+    pub edge: EdgeId,
+}
+
+/// Computes Euler circuits covering every edge of `g` exactly once, one
+/// circuit per connected component that has edges.
+///
+/// Loops are traversed once (they contribute 2 to the degree, so the parity
+/// condition is unaffected).
+///
+/// # Errors
+///
+/// Returns [`GraphError::OddDegree`] if some node has odd degree; an Euler
+/// circuit through every edge then cannot exist.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{MultiGraph, euler::euler_circuits};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let mut g = MultiGraph::new(3);
+/// g.add_edge_ids(0, 1);
+/// g.add_edge_ids(1, 2);
+/// g.add_edge_ids(2, 0);
+/// let circuits = euler_circuits(&g)?;
+/// assert_eq!(circuits.len(), 1);
+/// assert_eq!(circuits[0].steps.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn euler_circuits(g: &MultiGraph) -> Result<Vec<EulerCircuit>, GraphError> {
+    for v in g.nodes() {
+        if !g.degree(v).is_multiple_of(2) {
+            return Err(GraphError::OddDegree {
+                node: v,
+                degree: g.degree(v),
+            });
+        }
+    }
+    let n = g.node_count();
+    let mut used = vec![false; g.edge_count()];
+    let mut cursor = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut circuits = Vec::new();
+
+    for start in g.nodes() {
+        if visited[start.index()] || g.degree(start) == 0 {
+            visited[start.index()] = true;
+            continue;
+        }
+        // Hierholzer, iterative: stack entries are (node, edge used to
+        // enter). Popped entries, reversed, form the circuit.
+        let mut stack: Vec<(NodeId, Option<EdgeId>)> = vec![(start, None)];
+        let mut walk: Vec<(NodeId, Option<EdgeId>)> = Vec::new();
+        while let Some(&(v, _)) = stack.last() {
+            visited[v.index()] = true;
+            let adj = g.neighbors(v);
+            let mut advanced = false;
+            while cursor[v.index()] < adj.len() {
+                let (u, e) = adj[cursor[v.index()]];
+                cursor[v.index()] += 1;
+                if !used[e.index()] {
+                    used[e.index()] = true;
+                    stack.push((u, Some(e)));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                walk.push(stack.pop().expect("stack is non-empty"));
+            }
+        }
+        walk.reverse();
+        let mut steps = Vec::with_capacity(walk.len().saturating_sub(1));
+        for w in walk.windows(2) {
+            let (from, _) = w[0];
+            let (to, entered_by) = w[1];
+            steps.push(EulerStep {
+                from,
+                to,
+                edge: entered_by.expect("every non-initial walk entry has an edge"),
+            });
+        }
+        circuits.push(EulerCircuit { steps });
+    }
+    Ok(circuits)
+}
+
+/// Orients every edge of `g` along Euler circuits.
+///
+/// Returns, for each edge id, the traversal direction `(tail, head)`. Every
+/// node ends up with out-degree equal to in-degree (half of its degree).
+///
+/// # Errors
+///
+/// Same as [`euler_circuits`].
+pub fn euler_orientation(g: &MultiGraph) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    let circuits = euler_circuits(g)?;
+    let mut orientation = vec![None; g.edge_count()];
+    for c in &circuits {
+        for s in &c.steps {
+            debug_assert!(orientation[s.edge.index()].is_none());
+            orientation[s.edge.index()] = Some((s.from, s.to));
+        }
+    }
+    Ok(orientation
+        .into_iter()
+        .map(|o| o.expect("euler circuits cover every edge"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_circuits(g: &MultiGraph) {
+        let circuits = euler_circuits(g).unwrap();
+        let mut seen = vec![false; g.edge_count()];
+        for c in &circuits {
+            assert!(!c.steps.is_empty());
+            // Closed and connected walk.
+            assert_eq!(c.steps.first().unwrap().from, c.steps.last().unwrap().to);
+            for w in c.steps.windows(2) {
+                assert_eq!(w[0].to, w[1].from);
+            }
+            for s in &c.steps {
+                assert!(!seen[s.edge.index()], "edge used twice");
+                seen[s.edge.index()] = true;
+                let (a, b) = g.endpoints(s.edge);
+                assert!(
+                    (s.from, s.to) == (a, b) || (s.from, s.to) == (b, a),
+                    "step uses edge endpoints"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "every edge covered");
+    }
+
+    #[test]
+    fn triangle() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge_ids(0, 1);
+        g.add_edge_ids(1, 2);
+        g.add_edge_ids(2, 0);
+        check_circuits(&g);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = MultiGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge_ids(u, v);
+        }
+        let circuits = euler_circuits(&g).unwrap();
+        assert_eq!(circuits.len(), 2);
+        check_circuits(&g);
+    }
+
+    #[test]
+    fn with_loops_and_parallels() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge_ids(0, 0); // loop
+        g.add_edge_ids(0, 1);
+        g.add_edge_ids(1, 0); // parallel
+        g.add_edge_ids(1, 1); // loop
+        check_circuits(&g);
+    }
+
+    #[test]
+    fn odd_degree_rejected() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge_ids(0, 1);
+        assert!(matches!(
+            euler_circuits(&g),
+            Err(GraphError::OddDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn k5_eulerian() {
+        // K5 is 4-regular, hence Eulerian.
+        let mut g = MultiGraph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge_ids(u, v);
+            }
+        }
+        check_circuits(&g);
+        let orientation = euler_orientation(&g).unwrap();
+        let mut out = [0usize; 5];
+        let mut inn = [0usize; 5];
+        for (t, h) in orientation {
+            out[t.index()] += 1;
+            inn[h.index()] += 1;
+        }
+        for v in 0..5 {
+            assert_eq!(out[v], 2);
+            assert_eq!(inn[v], 2);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_skipped() {
+        let g = MultiGraph::new(4);
+        assert!(euler_circuits(&g).unwrap().is_empty());
+    }
+}

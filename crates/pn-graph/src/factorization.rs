@@ -1,0 +1,310 @@
+//! Petersen's 2-factorisation theorem, constructively.
+//!
+//! A *2-factor* of a graph `G` is a 2-regular spanning subgraph; a
+//! *2-factorisation* partitions the edge set into 2-factors. Petersen
+//! (1891) proved that **every `2k`-regular multigraph has a
+//! 2-factorisation**. The lower-bound constructions of the paper (Theorems
+//! 1 and 2) use this to build adversarial port numberings: ports `2i-1` and
+//! `2i` are threaded along the directed cycles of factor `i`, which makes
+//! entire graphs look locally like tiny multigraphs.
+//!
+//! The construction implemented here is the textbook proof (Diestel,
+//! 3rd ed., p. 39):
+//!
+//! 1. orient every edge along Euler circuits ([`crate::euler`]); every node
+//!    now has out-degree and in-degree `k`;
+//! 2. form the bipartite graph `B` with a left copy `v⁺` and right copy
+//!    `v⁻` of every node and an edge `v⁺u⁻` per arc `v → u`; `B` is
+//!    `k`-regular;
+//! 3. peel `k` perfect matchings off `B` (a `k`-regular bipartite graph
+//!    always has one, by Hall's theorem); each matching assigns to every
+//!    node exactly one outgoing and one incoming arc — an **oriented
+//!    2-factor**.
+
+use crate::euler::euler_orientation;
+use crate::matching::{hopcroft_karp, Bipartite};
+use crate::{EdgeId, GraphError, MultiGraph, NodeId, SimpleGraph};
+
+/// A 2-factor together with an orientation into disjoint directed cycles.
+///
+/// Every node has exactly one outgoing arc (`successor`) and one incoming
+/// arc; following successors traces the directed cycles of the factor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrientedTwoFactor {
+    /// `out[v] = (successor of v, edge used)`.
+    out: Vec<(NodeId, EdgeId)>,
+}
+
+impl OrientedTwoFactor {
+    /// The successor of `v` and the edge to it.
+    pub fn successor(&self, v: NodeId) -> (NodeId, EdgeId) {
+        self.out[v.index()]
+    }
+
+    /// Iterates over all arcs `(from, to, edge)` of the factor.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .map(|(v, &(u, e))| (NodeId::new(v), u, e))
+    }
+
+    /// The edge identifiers of the factor, in node order of the tails.
+    pub fn edge_ids(&self) -> Vec<EdgeId> {
+        self.out.iter().map(|&(_, e)| e).collect()
+    }
+
+    /// Number of nodes spanned (every node of the host graph).
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Decomposes the factor into its directed cycles, each given as the
+    /// sequence of nodes in traversal order.
+    pub fn cycles(&self) -> Vec<Vec<NodeId>> {
+        let n = self.out.len();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut v = NodeId::new(start);
+            while !seen[v.index()] {
+                seen[v.index()] = true;
+                cycle.push(v);
+                v = self.out[v.index()].0;
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+}
+
+/// Computes an oriented 2-factorisation of a `2k`-regular multigraph.
+///
+/// Returns `k` oriented 2-factors whose edge sets partition the edges of
+/// `g`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotRegular`] if the graph is not regular and
+/// [`GraphError::OddDegree`] if the common degree is odd.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{MultiGraph, factorization::two_factorize};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// // K5 is 4-regular: it splits into two 2-factors.
+/// let mut g = MultiGraph::new(5);
+/// for u in 0..5 {
+///     for v in (u + 1)..5 {
+///         g.add_edge_ids(u, v);
+///     }
+/// }
+/// let factors = two_factorize(&g)?;
+/// assert_eq!(factors.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn two_factorize(g: &MultiGraph) -> Result<Vec<OrientedTwoFactor>, GraphError> {
+    let n = g.node_count();
+    let d = match g.regular_degree() {
+        Some(d) => d,
+        None => {
+            let dmax = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+            let bad = g
+                .nodes()
+                .find(|&v| g.degree(v) != dmax)
+                .expect("irregular graph has a deviating node");
+            return Err(GraphError::NotRegular {
+                node: bad,
+                found: g.degree(bad),
+                expected: dmax,
+            });
+        }
+    };
+    if d % 2 != 0 {
+        let v = g.nodes().next().expect("regular graph of odd degree is non-empty");
+        return Err(GraphError::OddDegree { node: v, degree: d });
+    }
+    let k = d / 2;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Step 1: Euler orientation.
+    let orientation = euler_orientation(g)?;
+
+    // Step 2: bipartite out/in graph; the tag of each bipartite edge is the
+    // original edge id.
+    let arcs: Vec<(NodeId, NodeId, EdgeId)> = orientation
+        .iter()
+        .enumerate()
+        .map(|(e, &(t, h))| (t, h, EdgeId::new(e)))
+        .collect();
+
+    let mut remaining: Vec<bool> = vec![true; arcs.len()];
+    let mut factors = Vec::with_capacity(k);
+
+    // Step 3: peel k perfect matchings.
+    for round in 0..k {
+        let mut b = Bipartite::new(n, n);
+        for (idx, &(t, h, _)) in arcs.iter().enumerate() {
+            if remaining[idx] {
+                b.add_edge(t.index(), h.index(), idx);
+            }
+        }
+        let matching = hopcroft_karp(&b);
+        let mut out: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        for (v, m) in matching.iter().enumerate() {
+            let (head, arc_idx) = m.unwrap_or_else(|| {
+                panic!(
+                    "Hall's theorem violated: no perfect matching in round {round} \
+                     of a {}-regular bipartite graph",
+                    k - round
+                )
+            });
+            remaining[arc_idx] = false;
+            out[v] = Some((NodeId::new(head), arcs[arc_idx].2));
+        }
+        factors.push(OrientedTwoFactor {
+            out: out
+                .into_iter()
+                .map(|o| o.expect("perfect matching covers every left vertex"))
+                .collect(),
+        });
+    }
+    debug_assert!(remaining.iter().all(|&r| !r), "factorisation partitions edges");
+    Ok(factors)
+}
+
+/// Convenience wrapper: 2-factorise a `2k`-regular [`SimpleGraph`].
+///
+/// Edge identifiers in the factors refer to the simple graph's edges.
+///
+/// # Errors
+///
+/// Same as [`two_factorize`].
+pub fn two_factorize_simple(g: &SimpleGraph) -> Result<Vec<OrientedTwoFactor>, GraphError> {
+    two_factorize(&MultiGraph::from_simple(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_factorization(g: &MultiGraph) {
+        let d = g.regular_degree().expect("test graphs are regular");
+        let k = d / 2;
+        let factors = two_factorize(g).unwrap();
+        assert_eq!(factors.len(), k);
+        let mut used = vec![0usize; g.edge_count()];
+        for f in &factors {
+            assert_eq!(f.node_count(), g.node_count());
+            let mut indeg = vec![0usize; g.node_count()];
+            for (from, to, e) in f.arcs() {
+                used[e.index()] += 1;
+                indeg[to.index()] += 1;
+                let (a, b) = g.endpoints(e);
+                assert!(
+                    (from, to) == (a, b) || (from, to) == (b, a),
+                    "arc uses a real edge"
+                );
+            }
+            assert!(indeg.iter().all(|&x| x == 1), "in-degree 1 everywhere");
+            // Cycles partition the node set.
+            let total: usize = f.cycles().iter().map(Vec::len).sum();
+            assert_eq!(total, g.node_count());
+        }
+        assert!(
+            used.iter().all(|&c| c == 1),
+            "every edge in exactly one factor"
+        );
+    }
+
+    #[test]
+    fn k5() {
+        let mut g = MultiGraph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge_ids(u, v);
+            }
+        }
+        check_factorization(&g);
+    }
+
+    #[test]
+    fn cycle_is_its_own_factor() {
+        let mut g = MultiGraph::new(5);
+        for v in 0..5 {
+            g.add_edge_ids(v, (v + 1) % 5);
+        }
+        let factors = two_factorize(&g).unwrap();
+        assert_eq!(factors.len(), 1);
+        assert_eq!(factors[0].cycles().len(), 1);
+    }
+
+    #[test]
+    fn multigraph_with_parallels() {
+        // Two nodes joined by 4 parallel edges: 4-regular.
+        let mut g = MultiGraph::new(2);
+        for _ in 0..4 {
+            g.add_edge_ids(0, 1);
+        }
+        check_factorization(&g);
+    }
+
+    #[test]
+    fn single_node_with_loops() {
+        // One node with two loops: degree 4.
+        let mut g = MultiGraph::new(1);
+        g.add_edge_ids(0, 0);
+        g.add_edge_ids(0, 0);
+        check_factorization(&g);
+    }
+
+    #[test]
+    fn odd_regular_rejected() {
+        let mut g = MultiGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)] {
+            g.add_edge_ids(u, v);
+        }
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(matches!(
+            two_factorize(&g),
+            Err(GraphError::OddDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn irregular_rejected() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge_ids(0, 1);
+        g.add_edge_ids(1, 2);
+        assert!(matches!(
+            two_factorize(&g),
+            Err(GraphError::NotRegular { .. })
+        ));
+    }
+
+    #[test]
+    fn complete_bipartite_k44_disjoint_from_matching() {
+        // K_{4,4} is 4-regular.
+        let mut g = MultiGraph::new(8);
+        for u in 0..4 {
+            for v in 4..8 {
+                g.add_edge_ids(u, v);
+            }
+        }
+        check_factorization(&g);
+    }
+
+    #[test]
+    fn edgeless_graph_has_no_factors() {
+        let g = MultiGraph::new(3);
+        assert!(two_factorize(&g).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! Deterministic classic graph families.
+
+use crate::{GraphError, NodeId, SimpleGraph};
+
+/// The path graph `P_n` on `n ≥ 1` nodes (`n - 1` edges).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn path(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "path needs at least one node".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n);
+    for v in 0..n.saturating_sub(1) {
+        g.add_edge_ids(v, v + 1)?;
+    }
+    Ok(g)
+}
+
+/// The cycle graph `C_n` on `n ≥ 3` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            detail: "cycle needs at least three nodes".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n);
+    for v in 0..n {
+        g.add_edge_ids(v, (v + 1) % n)?;
+    }
+    Ok(g)
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn complete(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "complete graph needs at least one node".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge_ids(u, v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The complete bipartite graph `K_{a,b}`: left nodes `0..a`, right nodes
+/// `a..a+b`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<SimpleGraph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "complete bipartite graph needs non-empty sides".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge_ids(u, a + v)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The crown graph `S_n⁰`: `K_{n,n}` minus a perfect matching
+/// (`{i, n+j}` for all `i ≠ j`). This is the subgraph `T(ℓ)` in the
+/// paper's Theorem 2 construction. Left nodes `0..n`, right `n..2n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2` (the crown on one
+/// pair has no edges).
+pub fn crown(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            detail: "crown graph needs n >= 2".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge_ids(i, n + j)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The star `K_{1,n}`: a hub (node 0) with `n ≥ 1` leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn star(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "star needs at least one leaf".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n + 1);
+    for v in 1..=n {
+        g.add_edge_ids(0, v)?;
+    }
+    Ok(g)
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` (a `dim`-regular graph on
+/// `2^dim` nodes).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `dim == 0` or `dim > 20`.
+pub fn hypercube(dim: usize) -> Result<SimpleGraph, GraphError> {
+    if dim == 0 || dim > 20 {
+        return Err(GraphError::InvalidParameter {
+            detail: "hypercube dimension must be in 1..=20".to_owned(),
+        });
+    }
+    let n = 1usize << dim;
+    let mut g = SimpleGraph::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                g.add_edge_ids(v, u)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The `w × h` grid graph (no wraparound). Node `(x, y)` has index
+/// `y * w + x`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is zero.
+pub fn grid(w: usize, h: usize) -> Result<SimpleGraph, GraphError> {
+    if w == 0 || h == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "grid needs positive dimensions".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                g.add_edge_ids(v, v + 1)?;
+            }
+            if y + 1 < h {
+                g.add_edge_ids(v, v + w)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The `w × h` torus (grid with wraparound): 4-regular when
+/// `w, h ≥ 3`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `w < 3` or `h < 3` (smaller
+/// wraparounds create parallel edges).
+pub fn torus(w: usize, h: usize) -> Result<SimpleGraph, GraphError> {
+    if w < 3 || h < 3 {
+        return Err(GraphError::InvalidParameter {
+            detail: "torus needs dimensions >= 3".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            let right = y * w + (x + 1) % w;
+            let down = ((y + 1) % h) * w + x;
+            g.add_edge_ids(v, right)?;
+            g.add_edge_ids(v, down)?;
+        }
+    }
+    Ok(g)
+}
+
+/// The Petersen graph: 3-regular, 10 nodes, girth 5 — a classic stress
+/// test for matching algorithms (it has no 1-factorisation).
+pub fn petersen() -> SimpleGraph {
+    let mut g = SimpleGraph::new(10);
+    // Outer 5-cycle.
+    for v in 0..5 {
+        g.add_edge_ids(v, (v + 1) % 5).expect("valid edge");
+    }
+    // Spokes.
+    for v in 0..5 {
+        g.add_edge_ids(v, v + 5).expect("valid edge");
+    }
+    // Inner pentagram.
+    for v in 0..5 {
+        g.add_edge_ids(5 + v, 5 + (v + 2) % 5).expect("valid edge");
+    }
+    g
+}
+
+/// The circulant graph `C_n(s_1, ..., s_k)`: node `v` is adjacent to
+/// `v ± s_i (mod n)` for every stride. With distinct strides
+/// `0 < s_i < n/2` the graph is `2k`-regular; a stride of exactly `n/2`
+/// (for even `n`) adds a perfect matching and one more degree.
+///
+/// Circulants generalise cycles (`C_n(1)`) and give deterministic regular
+/// workloads of any even degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for empty or out-of-range
+/// strides, duplicate strides, or `n < 3`.
+pub fn circulant(n: usize, strides: &[usize]) -> Result<SimpleGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            detail: "circulant needs at least three nodes".to_owned(),
+        });
+    }
+    if strides.is_empty() {
+        return Err(GraphError::InvalidParameter {
+            detail: "circulant needs at least one stride".to_owned(),
+        });
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &s in strides {
+        if s == 0 || s > n / 2 {
+            return Err(GraphError::InvalidParameter {
+                detail: format!("stride {s} out of range 1..={}", n / 2),
+            });
+        }
+        if !seen.insert(s) {
+            return Err(GraphError::InvalidParameter {
+                detail: format!("duplicate stride {s}"),
+            });
+        }
+    }
+    let mut g = SimpleGraph::new(n);
+    for &s in strides {
+        for v in 0..n {
+            let u = (v + s) % n;
+            if !g.has_edge(NodeId::new(v), NodeId::new(u)) {
+                g.add_edge_ids(v, u)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The wheel graph `W_n`: a cycle of `n ≥ 3` rim nodes (indices `0..n`)
+/// plus a hub (index `n`) adjacent to every rim node.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn wheel(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            detail: "wheel needs at least three rim nodes".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n + 1);
+    for v in 0..n {
+        g.add_edge_ids(v, (v + 1) % n)?;
+        g.add_edge_ids(v, n)?;
+    }
+    Ok(g)
+}
+
+/// The ladder graph `L_n`: two paths of `n ≥ 2` nodes joined by rungs.
+/// Node `(side, i)` has index `side * n + i`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn ladder(n: usize) -> Result<SimpleGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            detail: "ladder needs at least two rungs".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(2 * n);
+    for i in 0..n {
+        g.add_edge_ids(i, n + i)?;
+        if i + 1 < n {
+            g.add_edge_ids(i, i + 1)?;
+            g.add_edge_ids(n + i, n + i + 1)?;
+        }
+    }
+    Ok(g)
+}
+
+/// Disjoint union of graphs; node indices of the `i`-th graph are shifted
+/// by the total size of the preceding graphs.
+pub fn disjoint_union(parts: &[SimpleGraph]) -> SimpleGraph {
+    let total: usize = parts.iter().map(SimpleGraph::node_count).sum();
+    let mut g = SimpleGraph::new(total);
+    let mut offset = 0;
+    for part in parts {
+        for (_, u, v) in part.edges() {
+            g.add_edge(
+                NodeId::new(offset + u.index()),
+                NodeId::new(offset + v.index()),
+            )
+            .expect("disjoint parts cannot conflict");
+        }
+        offset += part.node_count();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5).unwrap();
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.max_degree(), 2);
+        let c = cycle(5).unwrap();
+        assert_eq!(c.edge_count(), 5);
+        assert_eq!(c.regular_degree(), Some(2));
+        assert!(cycle(2).is_err());
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn complete_graphs() {
+        let k5 = complete(5).unwrap();
+        assert_eq!(k5.edge_count(), 10);
+        assert_eq!(k5.regular_degree(), Some(4));
+        let k1 = complete(1).unwrap();
+        assert_eq!(k1.edge_count(), 0);
+    }
+
+    #[test]
+    fn bipartite_and_crown() {
+        let k34 = complete_bipartite(3, 4).unwrap();
+        assert_eq!(k34.edge_count(), 12);
+        assert_eq!(k34.degree_of(0), 4);
+        assert_eq!(k34.degree_of(3), 3);
+        // Crown on n=4: K_{4,4} minus matching: 12 edges, 3-regular.
+        let c = crown(4).unwrap();
+        assert_eq!(c.edge_count(), 12);
+        assert_eq!(c.regular_degree(), Some(3));
+        assert!(!c.has_edge(NodeId::new(0), NodeId::new(4)));
+        assert!(c.has_edge(NodeId::new(0), NodeId::new(5)));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let s = star(6).unwrap();
+        assert_eq!(s.degree_of(0), 6);
+        assert_eq!(s.degree_of(1), 1);
+        assert_eq!(s.edge_count(), 6);
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let q4 = hypercube(4).unwrap();
+        assert_eq!(q4.node_count(), 16);
+        assert_eq!(q4.regular_degree(), Some(4));
+        assert_eq!(q4.edge_count(), 32);
+    }
+
+    #[test]
+    fn grid_and_torus() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // 17
+        let t = torus(4, 5).unwrap();
+        assert_eq!(t.regular_degree(), Some(4));
+        assert_eq!(t.edge_count(), 2 * 20);
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let p = petersen();
+        assert_eq!(p.node_count(), 10);
+        assert_eq!(p.edge_count(), 15);
+        assert_eq!(p.regular_degree(), Some(3));
+    }
+
+    #[test]
+    fn circulant_degrees() {
+        // C_8(1, 2): 4-regular.
+        let g = circulant(8, &[1, 2]).unwrap();
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.edge_count(), 16);
+        // C_6(1, 3): stride 3 = n/2 contributes one edge per node: 3-regular.
+        let g = circulant(6, &[1, 3]).unwrap();
+        assert_eq!(g.regular_degree(), Some(3));
+        // C_n(1) is the cycle.
+        let g = circulant(7, &[1]).unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert!(circulant(6, &[0]).is_err());
+        assert!(circulant(6, &[4]).is_err());
+        assert!(circulant(6, &[1, 1]).is_err());
+        assert!(circulant(2, &[1]).is_err());
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(5).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.degree_of(5), 5); // hub
+        assert_eq!(g.degree_of(0), 3); // rim
+        assert!(wheel(2).is_err());
+    }
+
+    #[test]
+    fn ladder_structure() {
+        let g = ladder(4).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 4 + 2 * 3);
+        assert_eq!(g.degree_of(0), 2); // corner
+        assert_eq!(g.degree_of(1), 3); // interior
+        assert!(ladder(1).is_err());
+    }
+
+    #[test]
+    fn union_shifts_indices() {
+        let a = cycle(3).unwrap();
+        let b = path(2).unwrap();
+        let u = disjoint_union(&[a, b]);
+        assert_eq!(u.node_count(), 5);
+        assert_eq!(u.edge_count(), 4);
+        assert!(u.has_edge(NodeId::new(3), NodeId::new(4)));
+    }
+}

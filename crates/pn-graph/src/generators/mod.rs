@@ -1,0 +1,14 @@
+//! Graph generators: classic families and random models.
+//!
+//! These provide the workloads for tests, examples and benchmarks: the
+//! regular and bounded-degree families the paper's bounds are stated for,
+//! plus random models for average-case experiments.
+
+mod classic;
+mod random;
+
+pub use classic::{
+    circulant, complete, complete_bipartite, crown, cycle, disjoint_union, grid, hypercube,
+    ladder, path, petersen, star, torus, wheel,
+};
+pub use random::{gnp, random_bounded_degree, random_geometric, random_regular, random_tree};

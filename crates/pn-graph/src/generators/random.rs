@@ -1,0 +1,297 @@
+//! Seeded random graph models.
+//!
+//! All generators are deterministic for a fixed seed, so experiments are
+//! reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{GraphError, SimpleGraph};
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<SimpleGraph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("edge probability {p} not in [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SimpleGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge_ids(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A uniform-ish random `d`-regular simple graph on `n` nodes via the
+/// pairing (configuration) model with rejection: `n·d` half-edges are
+/// shuffled and paired; pairings with loops or parallel edges are
+/// discarded and retried.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n·d` is odd, `d ≥ n`, or no
+/// simple pairing is found within the retry budget (only plausible for
+/// extreme parameters).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<SimpleGraph, GraphError> {
+    if d >= n && !(d == 0 && n == 0) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("degree {d} must be smaller than node count {n}"),
+        });
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("n*d = {} must be even", n * d),
+        });
+    }
+    if d == 0 {
+        return Ok(SimpleGraph::new(n));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Steger–Wormald style: repeatedly pair two random remaining stubs;
+    // if the pairing is illegal, redraw; if the construction gets stuck,
+    // restart from scratch.
+    const MAX_RESTARTS: usize = 10_000;
+    for _ in 0..MAX_RESTARTS {
+        let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = SimpleGraph::new(n);
+        let mut stuck = false;
+        while !stubs.is_empty() {
+            // Try a bounded number of random draws before declaring this
+            // attempt stuck.
+            let mut paired = false;
+            for _ in 0..200 {
+                let i = rng.gen_range(0..stubs.len());
+                let mut j = rng.gen_range(0..stubs.len());
+                if stubs.len() > 1 {
+                    while j == i {
+                        j = rng.gen_range(0..stubs.len());
+                    }
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                if u == v || g.has_edge(crate::NodeId::new(u), crate::NodeId::new(v)) {
+                    continue;
+                }
+                g.add_edge_ids(u, v)?;
+                // Remove the larger index first so the smaller stays valid.
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                stubs.swap_remove(hi);
+                stubs.swap_remove(lo);
+                paired = true;
+                break;
+            }
+            if !paired {
+                stuck = true;
+                break;
+            }
+        }
+        if !stuck {
+            debug_assert_eq!(g.regular_degree(), Some(d));
+            return Ok(g);
+        }
+    }
+    Err(GraphError::InvalidParameter {
+        detail: format!("no simple {d}-regular pairing found for n = {n} after {MAX_RESTARTS} restarts"),
+    })
+}
+
+/// A random graph with maximum degree at most `delta`: edges are sampled
+/// uniformly and accepted while both endpoints have spare degree. The
+/// `density` parameter in `[0, 1]` scales how many candidate edges are
+/// tried (`density * n * delta / 2` accepted edges at most).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for `delta == 0` with `n > 1`
+/// or `density` outside `[0, 1]`.
+pub fn random_bounded_degree(
+    n: usize,
+    delta: usize,
+    density: f64,
+    seed: u64,
+) -> Result<SimpleGraph, GraphError> {
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("density {density} not in [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SimpleGraph::new(n);
+    if n < 2 || delta == 0 {
+        return Ok(g);
+    }
+    let target = ((n * delta) as f64 * density / 2.0).round() as usize;
+    let budget = target.saturating_mul(20).max(100);
+    let mut added = 0;
+    for _ in 0..budget {
+        if added >= target {
+            break;
+        }
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let (un, vn) = (crate::NodeId::new(u), crate::NodeId::new(v));
+        if g.degree(un) >= delta || g.degree(vn) >= delta || g.has_edge(un, vn) {
+            continue;
+        }
+        g.add_edge(un, vn)?;
+        added += 1;
+    }
+    debug_assert!(g.max_degree() <= delta);
+    Ok(g)
+}
+
+/// A uniformly random labelled tree on `n` nodes via a random Prüfer
+/// sequence.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<SimpleGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "tree needs at least one node".to_owned(),
+        });
+    }
+    let mut g = SimpleGraph::new(n);
+    if n == 1 {
+        return Ok(g);
+    }
+    if n == 2 {
+        g.add_edge_ids(0, 1)?;
+        return Ok(g);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    // Standard decoding with a sorted set of leaves.
+    let mut leaves: std::collections::BTreeSet<usize> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .collect();
+    for &x in &prufer {
+        let leaf = *leaves.iter().next().expect("a tree always has a leaf");
+        leaves.remove(&leaf);
+        g.add_edge_ids(leaf, x)?;
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            leaves.insert(x);
+        }
+    }
+    let mut rest = leaves.into_iter();
+    let (a, b) = (rest.next().unwrap(), rest.next().unwrap());
+    g.add_edge_ids(a, b)?;
+    Ok(g)
+}
+
+/// A random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance at most `radius`. Models the
+/// wireless-network setting that motivates local algorithms.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `radius` is negative.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<SimpleGraph, GraphError> {
+    if radius < 0.0 {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("radius {radius} must be non-negative"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let mut g = SimpleGraph::new(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge_ids(u, v)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::connected_components;
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(10, 0.0, 1).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, 1).unwrap();
+        assert_eq!(full.edge_count(), 45);
+        assert!(gnp(5, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        let a = gnp(20, 0.3, 7).unwrap();
+        let b = gnp(20, 0.3, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        for d in [1, 2, 3, 4, 5, 6] {
+            let n = if d % 2 == 0 { 11 } else { 12 };
+            let g = random_regular(n, d, 99 + d as u64).unwrap();
+            assert_eq!(g.regular_degree(), Some(d), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn random_regular_parity_check() {
+        assert!(random_regular(5, 3, 1).is_err()); // n*d odd
+        assert!(random_regular(4, 4, 1).is_err()); // d >= n
+        let g = random_regular(6, 0, 1).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        let g = random_bounded_degree(50, 4, 0.8, 3).unwrap();
+        assert!(g.max_degree() <= 4);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn tree_is_connected_and_acyclic() {
+        for n in [1usize, 2, 3, 10, 40] {
+            let g = random_tree(n, 5).unwrap();
+            assert_eq!(g.edge_count(), n - 1.min(n));
+            if n >= 1 {
+                let comps = connected_components(&g);
+                assert_eq!(comps.count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_radius_zero_and_full() {
+        let g0 = random_geometric(10, 0.0, 2).unwrap();
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = random_geometric(10, 2.0, 2).unwrap();
+        assert_eq!(g1.edge_count(), 45);
+    }
+}

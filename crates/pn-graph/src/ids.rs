@@ -1,0 +1,226 @@
+//! Strongly-typed identifiers for nodes, ports, and edges.
+//!
+//! The paper's model (Section 2.1) identifies a node's communication
+//! endpoints by *port numbers* `1, 2, ..., d(v)`. We keep the 1-based
+//! convention of the paper in [`Port`] so that code reads like the text
+//! (e.g. "port `2i-1` of `u` is connected to port `2i` of `v`"), and expose
+//! [`Port::index`] for 0-based array access.
+
+use std::fmt;
+
+/// Identifier of a node in a graph.
+///
+/// Node identifiers are *internal to the host program*: the distributed
+/// algorithms in this workspace never see them. They index into the node
+/// arrays of [`crate::SimpleGraph`], [`crate::MultiGraph`] and
+/// [`crate::PortNumberedGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a 0-based index.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the 0-based index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// A 1-based port number, exactly as in the paper.
+///
+/// A node `v` of degree `d` has ports `1, 2, ..., d`; the involution
+/// `p` of a [`crate::PortNumberedGraph`] connects ports to ports.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::Port;
+/// let p = Port::new(1);
+/// assert_eq!(p.get(), 1);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(Port::from_index(0), p);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from its 1-based number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number == 0`; the paper's ports start at 1.
+    pub fn new(number: u32) -> Self {
+        assert!(number >= 1, "port numbers are 1-based");
+        Port(number)
+    }
+
+    /// Creates a port from a 0-based index.
+    pub fn from_index(index: usize) -> Self {
+        Port(u32::try_from(index).expect("port index exceeds u32 range") + 1)
+    }
+
+    /// Returns the 1-based port number.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the 0-based index for array access.
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of an edge.
+///
+/// Edge identifiers index into the edge arrays of the owning graph. In a
+/// [`crate::MultiGraph`] parallel edges receive distinct identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from a 0-based index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
+    }
+
+    /// Returns the 0-based index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One endpoint of a potential connection: a `(node, port)` pair.
+///
+/// The set `P_G` of the paper is exactly the set of all endpoints; the
+/// involution `p_G : P_G → P_G` maps endpoints to endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{Endpoint, NodeId, Port};
+/// let e = Endpoint::new(NodeId::new(0), Port::new(2));
+/// assert_eq!(e.node.index(), 0);
+/// assert_eq!(e.port.get(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// The node that owns the port.
+    pub node: NodeId,
+    /// The 1-based port number at that node.
+    pub port: Port,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from a node and a port.
+    pub fn new(node: NodeId, port: Port) -> Self {
+        Endpoint { node, port }
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?},{:?})", self.node, self.port)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 17, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn port_one_based() {
+        let p = Port::new(5);
+        assert_eq!(p.get(), 5);
+        assert_eq!(p.index(), 4);
+        assert_eq!(Port::from_index(4), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn port_zero_rejected() {
+        let _ = Port::new(0);
+    }
+
+    #[test]
+    fn ordering_matches_numbers() {
+        assert!(Port::new(1) < Port::new(2));
+        assert!(NodeId::new(0) < NodeId::new(1));
+        assert!(EdgeId::new(3) < EdgeId::new(4));
+    }
+
+    #[test]
+    fn debug_representations_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(1)), "n1");
+        assert_eq!(format!("{:?}", Port::new(2)), "p2");
+        assert_eq!(format!("{:?}", EdgeId::new(3)), "e3");
+        let e = Endpoint::new(NodeId::new(1), Port::new(2));
+        assert_eq!(format!("{:?}", e), "(n1,p2)");
+        assert_eq!(format!("{}", e), "(1, 2)");
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text edge-list serialisation.
+//!
+//! The interchange format is one edge per line, `u v` with 0-based node
+//! indices; blank lines and `#` comments are ignored. An optional header
+//! line `nodes <n>` pins the node count (otherwise it is
+//! `1 + max index`), so isolated trailing nodes survive a round trip.
+
+use crate::{GraphError, NodeId, SimpleGraph};
+
+/// Parses an edge list into a [`SimpleGraph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on malformed lines, and the
+/// usual construction errors for loops or duplicate edges.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::io::parse_edge_list;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let g = parse_edge_list("# a triangle\n0 1\n1 2\n2 0\n")?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes") {
+            let n = rest.trim().parse::<usize>().map_err(|_| {
+                GraphError::InvalidParameter {
+                    detail: format!("line {}: malformed node count {rest:?}", lineno + 1),
+                }
+            })?;
+            declared_nodes = Some(n);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                return Err(GraphError::InvalidParameter {
+                    detail: format!("line {}: expected `u v`, got {line:?}", lineno + 1),
+                })
+            }
+        };
+        let parse = |s: &str| {
+            s.parse::<usize>().map_err(|_| GraphError::InvalidParameter {
+                detail: format!("line {}: {s:?} is not a node index", lineno + 1),
+            })
+        };
+        edges.push((parse(u)?, parse(v)?));
+    }
+    let needed = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
+    let n = match declared_nodes {
+        Some(n) if n < needed => {
+            return Err(GraphError::InvalidParameter {
+                detail: format!("declared {n} nodes but an edge references node {}", needed - 1),
+            })
+        }
+        Some(n) => n,
+        None => needed,
+    };
+    let mut g = SimpleGraph::new(n);
+    for (u, v) in edges {
+        g.add_edge(NodeId::new(u), NodeId::new(v))?;
+    }
+    Ok(g)
+}
+
+/// Writes a graph as an edge list (with a `nodes` header so isolated
+/// nodes round-trip).
+pub fn write_edge_list(g: &SimpleGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    for (_, u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip() {
+        let mut g = generators::petersen();
+        g.add_node(); // an isolated node must survive
+        let text = write_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for (_, u, v) in g.edges() {
+            assert!(back.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let g = parse_edge_list("\n# comment\n0 1 # trailing\n\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn header_allows_isolated_nodes() {
+        let g = parse_edge_list("nodes 5\n0 1\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("0 1 2\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+        assert!(parse_edge_list("nodes x\n").is_err());
+        assert!(parse_edge_list("nodes 1\n0 1\n").is_err());
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        assert!(matches!(
+            parse_edge_list("0 0\n"),
+            Err(GraphError::LoopNotAllowed { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("0 1\n1 0\n"),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

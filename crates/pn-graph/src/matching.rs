@@ -1,0 +1,318 @@
+//! Centralised matching algorithms.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`hopcroft_karp`] — maximum matching in a bipartite (multi)graph, used
+//!   by the 2-factorisation machinery to peel perfect matchings off a
+//!   `k`-regular bipartite graph;
+//! * [`greedy_maximal_matching`] — a maximal matching in an arbitrary
+//!   graph, the classical centralised 2-approximation for minimum edge
+//!   dominating sets (paper Section 1.2).
+
+use crate::{EdgeId, SimpleGraph};
+
+/// A bipartite graph given as adjacency lists from left vertices to
+/// `(right vertex, tag)` pairs. Parallel edges are allowed; `tag` lets the
+/// caller recover which parallel edge was matched.
+#[derive(Clone, Debug, Default)]
+pub struct Bipartite {
+    /// Number of right-side vertices.
+    pub right_count: usize,
+    /// `adj[u]` lists the right neighbours of left vertex `u` as
+    /// `(right, tag)`.
+    pub adj: Vec<Vec<(usize, usize)>>,
+}
+
+impl Bipartite {
+    /// Creates a bipartite graph with the given side sizes and no edges.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        Bipartite {
+            right_count,
+            adj: vec![Vec::new(); left_count],
+        }
+    }
+
+    /// Adds an edge from left vertex `u` to right vertex `v` with a caller
+    /// chosen `tag`.
+    pub fn add_edge(&mut self, u: usize, v: usize, tag: usize) {
+        assert!(u < self.adj.len(), "left vertex out of range");
+        assert!(v < self.right_count, "right vertex out of range");
+        self.adj[u].push((v, tag));
+    }
+
+    /// Number of left-side vertices.
+    pub fn left_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// A matching in a [`Bipartite`] graph: for each left vertex, the matched
+/// `(right, tag)` pair, if any.
+pub type BipartiteMatching = Vec<Option<(usize, usize)>>;
+
+const UNMATCHED: usize = usize::MAX;
+
+/// Hopcroft–Karp maximum bipartite matching, `O(E √V)`.
+///
+/// Returns for each left vertex its matched `(right, tag)` pair, or `None`.
+/// In a `k`-regular bipartite graph (`k ≥ 1`) the result is always a
+/// perfect matching — the property the 2-factorisation relies on.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::matching::{Bipartite, hopcroft_karp};
+/// let mut b = Bipartite::new(2, 2);
+/// b.add_edge(0, 0, 100);
+/// b.add_edge(0, 1, 101);
+/// b.add_edge(1, 0, 102);
+/// let m = hopcroft_karp(&b);
+/// assert!(m.iter().all(Option::is_some)); // perfect
+/// ```
+pub fn hopcroft_karp(g: &Bipartite) -> BipartiteMatching {
+    let n_left = g.left_count();
+    let n_right = g.right_count;
+    // match_left[u] = index into g.adj[u] of the matched edge, or UNMATCHED.
+    let mut match_left = vec![UNMATCHED; n_left];
+    // match_right[v] = matched left vertex, or UNMATCHED.
+    let mut match_right = vec![UNMATCHED; n_right];
+    let mut dist = vec![usize::MAX; n_left];
+    let mut queue = Vec::with_capacity(n_left);
+
+    loop {
+        // BFS: layer the free left vertices.
+        queue.clear();
+        for u in 0..n_left {
+            if match_left[u] == UNMATCHED {
+                dist[u] = 0;
+                queue.push(u);
+            } else {
+                dist[u] = usize::MAX;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &(v, _) in &g.adj[u] {
+                let w = match_right[v];
+                if w == UNMATCHED {
+                    found_augmenting_layer = true;
+                } else if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS phase: find a maximal set of shortest augmenting paths.
+        fn try_augment(
+            u: usize,
+            g: &Bipartite,
+            match_left: &mut [usize],
+            match_right: &mut [usize],
+            dist: &mut [usize],
+        ) -> bool {
+            for idx in 0..g.adj[u].len() {
+                let (v, _) = g.adj[u][idx];
+                let w = match_right[v];
+                let ok = if w == UNMATCHED {
+                    true
+                } else if dist[w] == dist[u] + 1 {
+                    try_augment(w, g, match_left, match_right, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    match_left[u] = idx;
+                    match_right[v] = u;
+                    return true;
+                }
+            }
+            dist[u] = usize::MAX;
+            false
+        }
+        let mut augmented = false;
+        for u in 0..n_left {
+            if match_left[u] == UNMATCHED
+                && try_augment(u, g, &mut match_left, &mut match_right, &mut dist)
+            {
+                augmented = true;
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+
+    (0..n_left)
+        .map(|u| {
+            let idx = match_left[u];
+            if idx == UNMATCHED {
+                None
+            } else {
+                Some(g.adj[u][idx])
+            }
+        })
+        .collect()
+}
+
+/// Greedy maximal matching over the edges of `g` in edge-id order.
+///
+/// The result is a *maximal* matching (no edge can be added), hence an edge
+/// dominating set of size at most twice the minimum (paper Section 1.1).
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{SimpleGraph, matching::greedy_maximal_matching};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let mut g = SimpleGraph::new(4);
+/// g.add_edge_ids(0, 1)?;
+/// g.add_edge_ids(1, 2)?;
+/// g.add_edge_ids(2, 3)?;
+/// let m = greedy_maximal_matching(&g);
+/// assert_eq!(m.len(), 2); // {0-1, 2-3}
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_maximal_matching(g: &SimpleGraph) -> Vec<EdgeId> {
+    greedy_maximal_matching_in(g, |_| true)
+}
+
+/// Greedy maximal matching restricted to edges accepted by `filter`.
+///
+/// The result is maximal *within the filtered edge set*: every accepted
+/// edge shares an endpoint with some matched edge.
+pub fn greedy_maximal_matching_in<F>(g: &SimpleGraph, mut filter: F) -> Vec<EdgeId>
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let mut covered = vec![false; g.node_count()];
+    let mut matching = Vec::new();
+    for (e, u, v) in g.edges() {
+        if !filter(e) {
+            continue;
+        }
+        if !covered[u.index()] && !covered[v.index()] {
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// Checks whether `edges` forms a matching in `g` (no two edges share a
+/// node).
+pub fn is_matching(g: &SimpleGraph, edges: &[EdgeId]) -> bool {
+    let mut covered = vec![false; g.node_count()];
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        if covered[u.index()] || covered[v.index()] {
+            return false;
+        }
+        covered[u.index()] = true;
+        covered[v.index()] = true;
+    }
+    true
+}
+
+/// The set of nodes covered by an edge set, as a boolean mask.
+pub fn covered_nodes(g: &SimpleGraph, edges: &[EdgeId]) -> Vec<bool> {
+    let mut covered = vec![false; g.node_count()];
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        covered[u.index()] = true;
+        covered[v.index()] = true;
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hopcroft_karp_perfect_on_regular() {
+        // 3-regular bipartite graph on 4+4 vertices: circulant.
+        let mut b = Bipartite::new(4, 4);
+        for u in 0..4 {
+            for s in 0..3 {
+                b.add_edge(u, (u + s) % 4, u * 10 + s);
+            }
+        }
+        let m = hopcroft_karp(&b);
+        assert!(m.iter().all(Option::is_some));
+        let mut rights: Vec<_> = m.iter().map(|x| x.unwrap().0).collect();
+        rights.sort_unstable();
+        assert_eq!(rights, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hopcroft_karp_maximum_not_just_maximal() {
+        // Path structure where greedy could pick the middle edge only:
+        // L0-R0, L1-R0, L1-R1. Maximum matching = 2.
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(0, 0, 0);
+        b.add_edge(1, 0, 1);
+        b.add_edge(1, 1, 2);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
+        assert_eq!(m[0], Some((0, 0)));
+        assert_eq!(m[1], Some((1, 2)));
+    }
+
+    #[test]
+    fn hopcroft_karp_with_parallel_edges() {
+        let mut b = Bipartite::new(1, 1);
+        b.add_edge(0, 0, 7);
+        b.add_edge(0, 0, 8);
+        let m = hopcroft_karp(&b);
+        assert_eq!(m[0].unwrap().0, 0);
+    }
+
+    #[test]
+    fn hopcroft_karp_empty() {
+        let b = Bipartite::new(3, 2);
+        let m = hopcroft_karp(&b);
+        assert!(m.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let mut g = SimpleGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            g.add_edge_ids(u, v).unwrap();
+        }
+        let m = greedy_maximal_matching(&g);
+        assert!(is_matching(&g, &m));
+        let covered = covered_nodes(&g, &m);
+        for (e, u, v) in g.edges() {
+            let _ = e;
+            assert!(covered[u.index()] || covered[v.index()], "maximality");
+        }
+    }
+
+    #[test]
+    fn filtered_greedy_respects_filter() {
+        let mut g = SimpleGraph::new(4);
+        let e0 = g.add_edge_ids(0, 1).unwrap();
+        let e1 = g.add_edge_ids(2, 3).unwrap();
+        let m = greedy_maximal_matching_in(&g, |e| e == e1);
+        assert_eq!(m, vec![e1]);
+        let _ = e0;
+    }
+
+    #[test]
+    fn is_matching_detects_conflicts() {
+        let mut g = SimpleGraph::new(3);
+        let a = g.add_edge_ids(0, 1).unwrap();
+        let b = g.add_edge_ids(1, 2).unwrap();
+        assert!(is_matching(&g, &[a]));
+        assert!(!is_matching(&g, &[a, b]));
+    }
+}

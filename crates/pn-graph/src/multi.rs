@@ -1,0 +1,232 @@
+//! Undirected multigraphs (loops and parallel edges allowed).
+//!
+//! Multigraphs appear in two roles in the reproduction:
+//!
+//! * as the *targets of covering maps* in the lower-bound proofs
+//!   (the one-node multigraph of Theorem 1, the `(d+1)`-node multigraph of
+//!   Theorem 2) — those are built directly as
+//!   [`crate::PortNumberedGraph`]s; and
+//! * as inputs to the Euler-tour and 2-factorisation machinery
+//!   ([`crate::euler`], [`crate::factorization`]), where intermediate
+//!   graphs may be non-simple even when the original graph is simple.
+
+use crate::{EdgeId, GraphError, NodeId, SimpleGraph};
+
+/// An undirected multigraph with stable edge identifiers.
+///
+/// Loops are allowed and contribute **2** to the degree of their node, the
+/// standard convention that keeps the handshake lemma (`Σ deg = 2|E|`) and
+/// Euler's theorem intact.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{MultiGraph, NodeId};
+/// let mut g = MultiGraph::new(2);
+/// g.add_edge_ids(0, 1);
+/// g.add_edge_ids(0, 1); // parallel edge: fine
+/// g.add_edge_ids(1, 1); // loop: fine
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// assert_eq!(g.degree(NodeId::new(1)), 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MultiGraph {
+    /// adjacency: for each node, (neighbour, edge id); loops appear twice.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl MultiGraph {
+    /// Creates a multigraph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        MultiGraph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a new isolated node, returning its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::new(self.adj.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (each loop counts once).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` (possibly a loop or a parallel
+    /// edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u.index() < self.node_count(), "node {u} out of range");
+        assert!(v.index() < self.node_count(), "node {v} out of range");
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push((u, v));
+        self.adj[u.index()].push((v, id));
+        self.adj[v.index()].push((u, id));
+        id
+    }
+
+    /// Convenience wrapper around [`MultiGraph::add_edge`] taking raw
+    /// indices.
+    pub fn add_edge_ids(&mut self, u: usize, v: usize) -> EdgeId {
+        self.add_edge(NodeId::new(u), NodeId::new(v))
+    }
+
+    /// Degree of `v`; loops count twice.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The endpoints of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Returns `true` if edge `e` is a loop.
+    pub fn is_loop(&self, e: EdgeId) -> bool {
+        let (u, v) = self.endpoints(e);
+        u == v
+    }
+
+    /// Neighbour list of `v` (loops appear twice), in insertion order.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges as `(EdgeId, u, v)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::new(i), u, v))
+    }
+
+    /// Returns `Some(d)` if the graph is `d`-regular, `None` otherwise.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let d = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        if self.adj.iter().all(|a| a.len() == d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the graph has no loops and no parallel edges.
+    pub fn is_simple(&self) -> bool {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for &(u, v) in &self.edges {
+            if u == v {
+                return false;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Converts to a [`SimpleGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSimple`] if the multigraph has loops or
+    /// parallel edges. Edge identifiers are preserved (edge `i` of the
+    /// multigraph becomes edge `i` of the simple graph).
+    pub fn to_simple(&self) -> Result<SimpleGraph, GraphError> {
+        let mut g = SimpleGraph::new(self.node_count());
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v).map_err(|e| GraphError::NotSimple {
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(g)
+    }
+
+    /// Builds a multigraph from a simple graph, preserving node and edge
+    /// identifiers.
+    pub fn from_simple(g: &SimpleGraph) -> Self {
+        let mut m = MultiGraph::new(g.node_count());
+        for (_, u, v) in g.edges() {
+            m.add_edge(u, v);
+        }
+        m
+    }
+}
+
+impl From<&SimpleGraph> for MultiGraph {
+    fn from(g: &SimpleGraph) -> Self {
+        MultiGraph::from_simple(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loops_count_twice() {
+        let mut g = MultiGraph::new(1);
+        g.add_edge_ids(0, 0);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert!(g.is_loop(EdgeId::new(0)));
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = MultiGraph::new(2);
+        let a = g.add_edge_ids(0, 1);
+        let b = g.add_edge_ids(1, 0);
+        assert_ne!(a, b);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let mut s = SimpleGraph::new(3);
+        s.add_edge_ids(0, 1).unwrap();
+        s.add_edge_ids(1, 2).unwrap();
+        let m = MultiGraph::from_simple(&s);
+        assert!(m.is_simple());
+        let back = m.to_simple().unwrap();
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.endpoints(EdgeId::new(0)), s.endpoints(EdgeId::new(0)));
+    }
+
+    #[test]
+    fn to_simple_rejects_loop() {
+        let mut g = MultiGraph::new(1);
+        g.add_edge_ids(0, 0);
+        assert!(matches!(g.to_simple(), Err(GraphError::NotSimple { .. })));
+    }
+
+    #[test]
+    fn regularity() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge_ids(0, 1);
+        g.add_edge_ids(0, 1);
+        assert_eq!(g.regular_degree(), Some(2));
+        g.add_edge_ids(0, 0);
+        assert_eq!(g.regular_degree(), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Simple undirected graphs (no loops, no parallel edges).
+//!
+//! [`SimpleGraph`] is the combinatorial substrate on which the edge
+//! dominating set problem is defined. Edges carry stable identifiers so that
+//! edge subsets (matchings, dominating sets, ...) can be stored as bit sets.
+
+use std::collections::HashSet;
+
+use crate::{EdgeId, GraphError, NodeId};
+
+/// An undirected simple graph with stable edge identifiers.
+///
+/// Nodes are `NodeId::new(0) .. NodeId::new(n-1)`. Neighbour lists preserve
+/// insertion order, which downstream code uses to derive *canonical* port
+/// numberings.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::SimpleGraph;
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let mut g = SimpleGraph::new(3);
+/// let e01 = g.add_edge_ids(0, 1)?;
+/// let e12 = g.add_edge_ids(1, 2)?;
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree_of(1), 2);
+/// assert_ne!(e01, e12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimpleGraph {
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<(NodeId, NodeId)>,
+    edge_set: HashSet<(u32, u32)>,
+}
+
+impl SimpleGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        SimpleGraph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Creates an empty graph (no nodes, no edges).
+    pub fn empty() -> Self {
+        Self::new(0)
+    }
+
+    /// Adds a new isolated node, returning its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::new(self.adj.len() - 1)
+    }
+
+    /// Adds `count` new isolated nodes, returning their identifiers.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LoopNotAllowed`] if `u == v`,
+    /// [`GraphError::ParallelEdge`] if the edge already exists, and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint does not exist.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let n = self.node_count();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node: w, nodes: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::LoopNotAllowed { node: u });
+        }
+        let key = Self::key(u, v);
+        if self.edge_set.contains(&key) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push((u, v));
+        self.edge_set.insert(key);
+        self.adj[u.index()].push((v, id));
+        self.adj[v.index()].push((u, id));
+        Ok(id)
+    }
+
+    /// Convenience wrapper around [`SimpleGraph::add_edge`] taking raw
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimpleGraph::add_edge`].
+    pub fn add_edge_ids(&mut self, u: usize, v: usize) -> Result<EdgeId, GraphError> {
+        self.add_edge(NodeId::new(u), NodeId::new(v))
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Degree of the node with raw index `v`.
+    pub fn degree_of(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `Δ` of the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree `δ` of the graph (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Returns `Some(d)` if the graph is `d`-regular, `None` otherwise.
+    ///
+    /// The empty graph is vacuously regular of degree 0.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let d = self.max_degree();
+        if self.adj.iter().all(|a| a.len() == d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Neighbours of `v` with the connecting edge ids, in insertion order.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// The endpoints of edge `e` (in insertion order of the call to
+    /// [`SimpleGraph::add_edge`]).
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Given an edge and one endpoint, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Returns `true` if the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.edge_set.contains(&Self::key(u, v))
+    }
+
+    /// Looks up the identifier of the edge `{u, v}` if it exists.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adj
+            .get(u.index())?
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges as `(EdgeId, u, v)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::new(i), u, v))
+    }
+
+    /// Iterates over the edge identifiers incident to `v`.
+    pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adj[v.index()].iter().map(|&(_, e)| e)
+    }
+
+    /// Sum of all degrees (`2 |E|` by the handshake lemma).
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    fn key(u: NodeId, v: NodeId) -> (u32, u32) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        (a.index() as u32, b.index() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_triangle() {
+        let mut g = SimpleGraph::new(3);
+        g.add_edge_ids(0, 1).unwrap();
+        g.add_edge_ids(1, 2).unwrap();
+        g.add_edge_ids(2, 0).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert_eq!(g.degree_sum(), 6);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(0)));
+    }
+
+    #[test]
+    fn rejects_loop() {
+        let mut g = SimpleGraph::new(2);
+        assert_eq!(
+            g.add_edge_ids(1, 1),
+            Err(GraphError::LoopNotAllowed {
+                node: NodeId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_parallel_edge_both_orientations() {
+        let mut g = SimpleGraph::new(2);
+        g.add_edge_ids(0, 1).unwrap();
+        assert!(matches!(
+            g.add_edge_ids(0, 1),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+        assert!(matches!(
+            g.add_edge_ids(1, 0),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = SimpleGraph::new(2);
+        assert!(matches!(
+            g.add_edge_ids(0, 5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn other_endpoint_works() {
+        let mut g = SimpleGraph::new(2);
+        let e = g.add_edge_ids(0, 1).unwrap();
+        assert_eq!(g.other_endpoint(e, NodeId::new(0)), NodeId::new(1));
+        assert_eq!(g.other_endpoint(e, NodeId::new(1)), NodeId::new(0));
+    }
+
+    #[test]
+    fn find_edge_and_neighbors() {
+        let mut g = SimpleGraph::new(4);
+        let e = g.add_edge_ids(0, 2).unwrap();
+        assert_eq!(g.find_edge(NodeId::new(0), NodeId::new(2)), Some(e));
+        assert_eq!(g.find_edge(NodeId::new(2), NodeId::new(0)), Some(e));
+        assert_eq!(g.find_edge(NodeId::new(0), NodeId::new(1)), None);
+        assert_eq!(g.neighbors(NodeId::new(0)), &[(NodeId::new(2), e)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let mut g = SimpleGraph::new(4);
+        g.add_edge_ids(0, 1).unwrap();
+        g.add_edge_ids(0, 2).unwrap();
+        g.add_edge_ids(0, 3).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.regular_degree(), None);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = SimpleGraph::empty();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.regular_degree(), Some(0));
+        assert!(g.is_edgeless());
+    }
+
+    #[test]
+    fn add_nodes_returns_fresh_ids() {
+        let mut g = SimpleGraph::new(1);
+        let ids = g.add_nodes(3);
+        assert_eq!(ids, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(g.node_count(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Graph transformations: line graphs, bipartite double covers, edge
+//! subgraphs.
+//!
+//! * The **line graph** connects the edge dominating set problem to the
+//!   dominating set problem (paper Section 1.1): dominating sets of `L(G)`
+//!   are exactly the edge dominating sets of `G`.
+//! * The **bipartite double cover** is the structure behind Phase III of
+//!   the Theorem 5 algorithm (the Polishchuk–Suomela 2-matching
+//!   construction).
+
+use crate::{EdgeId, NodeId, SimpleGraph};
+
+/// The line graph `L(G)`: one node per edge of `g`, adjacent iff the edges
+/// share an endpoint. Node `i` of the result corresponds to `EdgeId(i)` of
+/// the input.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{SimpleGraph, transform::line_graph};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let mut g = SimpleGraph::new(3);
+/// g.add_edge_ids(0, 1)?;
+/// g.add_edge_ids(1, 2)?;
+/// let l = line_graph(&g);
+/// assert_eq!(l.node_count(), 2);
+/// assert_eq!(l.edge_count(), 1); // the two edges share node 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn line_graph(g: &SimpleGraph) -> SimpleGraph {
+    let mut l = SimpleGraph::new(g.edge_count());
+    for v in g.nodes() {
+        let inc: Vec<EdgeId> = g.incident_edges(v).collect();
+        for i in 0..inc.len() {
+            for j in (i + 1)..inc.len() {
+                let a = NodeId::new(inc[i].index());
+                let b = NodeId::new(inc[j].index());
+                // Two edges can share both endpoints only in multigraphs,
+                // but they may share *two different* nodes of g via
+                // triangles; dedupe through has_edge.
+                if !l.has_edge(a, b) {
+                    l.add_edge(a, b).expect("line graph edge is valid");
+                }
+            }
+        }
+    }
+    l
+}
+
+/// The bipartite double cover `G × K₂`: nodes `(v, side)` for
+/// `side ∈ {0, 1}`, with `(u, 0)-(v, 1)` and `(v, 0)-(u, 1)` for every
+/// edge `{u, v}` of `g`. Node `(v, side)` has index `side * n + v`.
+///
+/// The result is always bipartite and has the same degrees as `g` on both
+/// copies.
+pub fn bipartite_double_cover(g: &SimpleGraph) -> SimpleGraph {
+    let n = g.node_count();
+    let mut d = SimpleGraph::new(2 * n);
+    for (_, u, v) in g.edges() {
+        d.add_edge(NodeId::new(u.index()), NodeId::new(n + v.index()))
+            .expect("double cover edge is valid");
+        d.add_edge(NodeId::new(v.index()), NodeId::new(n + u.index()))
+            .expect("double cover edge is valid");
+    }
+    d
+}
+
+/// The spanning subgraph of `g` containing exactly the edges selected by
+/// `keep`. Node set and node ids are unchanged; edge ids are renumbered
+/// (the mapping from new edge id to the original is returned alongside).
+pub fn edge_subgraph(g: &SimpleGraph, keep: &[EdgeId]) -> (SimpleGraph, Vec<EdgeId>) {
+    let mut s = SimpleGraph::new(g.node_count());
+    let mut back = Vec::with_capacity(keep.len());
+    for &e in keep {
+        let (u, v) = g.endpoints(e);
+        s.add_edge(u, v).expect("edge subgraph edge is valid");
+        back.push(e);
+    }
+    (s, back)
+}
+
+/// The complement edge set: all edge ids of `g` not contained in `exclude`.
+pub fn complement_edges(g: &SimpleGraph, exclude: &[EdgeId]) -> Vec<EdgeId> {
+    let mut mask = vec![false; g.edge_count()];
+    for &e in exclude {
+        mask[e.index()] = true;
+    }
+    (0..g.edge_count())
+        .map(EdgeId::new)
+        .filter(|e| !mask[e.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_bipartite;
+    use crate::generators;
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let s = generators::star(4).unwrap();
+        let l = line_graph(&s);
+        assert_eq!(l.node_count(), 4);
+        assert_eq!(l.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn line_graph_of_cycle_is_cycle() {
+        let c = generators::cycle(5).unwrap();
+        let l = line_graph(&c);
+        assert_eq!(l.node_count(), 5);
+        assert_eq!(l.edge_count(), 5);
+        assert_eq!(l.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn line_graph_of_triangle() {
+        // Triangle: edges pairwise adjacent -> K3. No duplicates despite
+        // sharing two nodes.
+        let t = generators::cycle(3).unwrap();
+        let l = line_graph(&t);
+        assert_eq!(l.edge_count(), 3);
+    }
+
+    #[test]
+    fn double_cover_is_bipartite_with_same_degrees() {
+        let g = generators::petersen();
+        let d = bipartite_double_cover(&g);
+        assert_eq!(d.node_count(), 20);
+        assert_eq!(d.edge_count(), 30);
+        assert!(is_bipartite(&d));
+        for v in g.nodes() {
+            assert_eq!(d.degree_of(v.index()), g.degree(v));
+            assert_eq!(d.degree_of(10 + v.index()), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn double_cover_of_bipartite_is_two_copies() {
+        let g = generators::complete_bipartite(2, 3).unwrap();
+        let d = bipartite_double_cover(&g);
+        let comps = crate::analysis::connected_components(&d);
+        assert_eq!(comps.count, 2);
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_nodes() {
+        let g = generators::complete(4).unwrap();
+        let keep: Vec<EdgeId> = vec![EdgeId::new(0), EdgeId::new(3)];
+        let (s, back) = edge_subgraph(&g, &keep);
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(back, keep);
+    }
+
+    #[test]
+    fn complement_partitions() {
+        let g = generators::complete(4).unwrap();
+        let some: Vec<EdgeId> = vec![EdgeId::new(1), EdgeId::new(4)];
+        let rest = complement_edges(&g, &some);
+        assert_eq!(rest.len(), g.edge_count() - 2);
+        assert!(!rest.contains(&EdgeId::new(1)));
+    }
+}

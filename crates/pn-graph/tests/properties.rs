@@ -1,0 +1,230 @@
+//! Property-based tests for the graph substrate: involutions, Euler
+//! circuits, 2-factorisations, covering lifts, ports and transforms over
+//! randomly generated inputs — including multigraphs with loops and
+//! parallel edges.
+
+use pn_graph::covering::cyclic_lift;
+use pn_graph::euler::{euler_circuits, euler_orientation};
+use pn_graph::factorization::two_factorize;
+use pn_graph::matching::{hopcroft_karp, Bipartite};
+use pn_graph::transform::{bipartite_double_cover, line_graph};
+use pn_graph::{generators, ports, MultiGraph, NodeId, SimpleGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random multigraph with all-even degrees, built by adding
+/// random closed walks (so the parity invariant holds by construction).
+/// Loops and parallel edges occur naturally.
+fn even_multigraph() -> impl Strategy<Value = MultiGraph> {
+    (2usize..10, proptest::collection::vec((0usize..1000, 2usize..6), 1..6)).prop_map(
+        |(n, walks)| {
+            let mut g = MultiGraph::new(n);
+            for (seed, len) in walks {
+                // A closed walk visiting pseudo-random nodes.
+                let mut prev = seed % n;
+                let start = prev;
+                for i in 0..len {
+                    let next = (seed / (i + 1) + 7 * i + 1) % n;
+                    g.add_edge_ids(prev, next);
+                    prev = next;
+                }
+                g.add_edge_ids(prev, start);
+            }
+            g
+        },
+    )
+}
+
+fn simple_graph() -> impl Strategy<Value = SimpleGraph> {
+    (3usize..14, 0.1f64..0.9, 0u64..10_000)
+        .prop_map(|(n, p, seed)| generators::gnp(n, p, seed).expect("gnp"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Euler circuits cover every edge exactly once and form closed walks.
+    #[test]
+    fn euler_covers_everything(g in even_multigraph()) {
+        let circuits = euler_circuits(&g).unwrap();
+        let mut used = vec![false; g.edge_count()];
+        for c in &circuits {
+            prop_assert!(!c.steps.is_empty());
+            prop_assert_eq!(c.steps.first().unwrap().from, c.steps.last().unwrap().to);
+            for w in c.steps.windows(2) {
+                prop_assert_eq!(w[0].to, w[1].from);
+            }
+            for s in &c.steps {
+                prop_assert!(!used[s.edge.index()]);
+                used[s.edge.index()] = true;
+            }
+        }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    /// Euler orientations balance in-degree and out-degree.
+    #[test]
+    fn euler_orientation_balances(g in even_multigraph()) {
+        let orientation = euler_orientation(&g).unwrap();
+        let mut out = vec![0usize; g.node_count()];
+        let mut inn = vec![0usize; g.node_count()];
+        for (t, h) in orientation {
+            out[t.index()] += 1;
+            inn[h.index()] += 1;
+        }
+        for v in 0..g.node_count() {
+            prop_assert_eq!(out[v], inn[v]);
+        }
+    }
+
+    /// Petersen 2-factorisation on *regular* even multigraphs: edges
+    /// partition into 2-regular spanning factors. (We regularise the
+    /// random multigraph by overlaying circulant walks.)
+    #[test]
+    fn factorization_on_circulant_multigraphs(n in 3usize..10, k in 1usize..4, seed in 0u64..100) {
+        // 2k-regular circulant multigraph: k closed walks covering all
+        // nodes, shifted by a seed-dependent stride (may create parallel
+        // edges — that is the point).
+        let mut g = MultiGraph::new(n);
+        for j in 0..k {
+            let stride = 1 + (seed as usize + j) % (n - 1);
+            for v in 0..n {
+                g.add_edge_ids(v, (v + stride) % n);
+            }
+        }
+        prop_assert_eq!(g.regular_degree(), Some(2 * k));
+        let factors = two_factorize(&g).unwrap();
+        prop_assert_eq!(factors.len(), k);
+        let mut used = vec![false; g.edge_count()];
+        for f in &factors {
+            let mut indeg = vec![0usize; n];
+            for (_, to, e) in f.arcs() {
+                prop_assert!(!used[e.index()]);
+                used[e.index()] = true;
+                indeg[to.index()] += 1;
+            }
+            prop_assert!(indeg.iter().all(|&x| x == 1));
+        }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    /// Hopcroft–Karp finds perfect matchings in k-regular bipartite
+    /// graphs (Hall's theorem, constructively).
+    #[test]
+    fn hopcroft_karp_regular_perfect(n in 2usize..20, k in 1usize..5, seed in 0u64..50) {
+        let k = k.min(n);
+        let mut b = Bipartite::new(n, n);
+        for u in 0..n {
+            for j in 0..k {
+                b.add_edge(u, (u + (seed as usize % n) + j) % n, u * 10 + j);
+            }
+        }
+        let m = hopcroft_karp(&b);
+        prop_assert!(m.iter().all(Option::is_some));
+        let mut rights: Vec<usize> = m.iter().map(|x| x.unwrap().0).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        prop_assert_eq!(rights.len(), n);
+    }
+
+    /// Every port assignment realises the same simple graph; the label
+    /// pair structure is permutation-invariant in the aggregate.
+    #[test]
+    fn port_assignments_realize(g in simple_graph(), seed in 0u64..1000) {
+        let canonical = ports::canonical_ports(&g).unwrap();
+        let shuffled = ports::shuffled_ports(&g, seed).unwrap();
+        prop_assert!(ports::realizes(&canonical, &g));
+        prop_assert!(ports::realizes(&shuffled, &g));
+        // Degrees are preserved by construction.
+        for v in g.nodes() {
+            prop_assert_eq!(canonical.degree(v), g.degree(v));
+            prop_assert_eq!(shuffled.degree(v), g.degree(v));
+        }
+    }
+
+    /// Cyclic lifts are covering graphs; lifting multiplies node and edge
+    /// counts by the layer count (for loop-free bases).
+    #[test]
+    fn lifts_cover(g in simple_graph(), layers in 1usize..5) {
+        let pg = ports::canonical_ports(&g).unwrap();
+        let (h, f) = cyclic_lift(&pg, layers);
+        prop_assert!(f.verify(&h, &pg).is_ok());
+        prop_assert_eq!(h.node_count(), layers * pg.node_count());
+        prop_assert_eq!(h.edge_count(), layers * pg.edge_count());
+        prop_assert!(h.is_simple());
+    }
+
+    /// Line graph: node count = edge count of the base; handshake-style
+    /// degree identity deg_L(e) = deg(u) + deg(v) - 2.
+    #[test]
+    fn line_graph_degrees(g in simple_graph()) {
+        let l = line_graph(&g);
+        prop_assert_eq!(l.node_count(), g.edge_count());
+        for (e, u, v) in g.edges() {
+            // Triangles would collapse parallel adjacencies, but in a
+            // simple graph two distinct edges share at most one node, so
+            // the degree identity is exact.
+            prop_assert_eq!(
+                l.degree(NodeId::new(e.index())),
+                g.degree(u) + g.degree(v) - 2
+            );
+        }
+    }
+
+    /// Bipartite double cover: always bipartite, degree-preserving, and
+    /// double the size.
+    #[test]
+    fn double_cover_props(g in simple_graph()) {
+        let d = bipartite_double_cover(&g);
+        prop_assert_eq!(d.node_count(), 2 * g.node_count());
+        prop_assert_eq!(d.edge_count(), 2 * g.edge_count());
+        prop_assert!(pn_graph::analysis::is_bipartite(&d));
+        for v in g.nodes() {
+            prop_assert_eq!(d.degree_of(v.index()), g.degree(v));
+            prop_assert_eq!(d.degree_of(g.node_count() + v.index()), g.degree(v));
+        }
+    }
+
+    /// Handshake lemma and basic accounting for random simple graphs.
+    #[test]
+    fn handshake(g in simple_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        let hist = pn_graph::analysis::degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    /// Edge-list serialisation round-trips arbitrary simple graphs.
+    #[test]
+    fn edge_list_round_trip(g in simple_graph()) {
+        let text = pn_graph::io::write_edge_list(&g);
+        let back = pn_graph::io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for (_, u, v) in g.edges() {
+            prop_assert!(back.has_edge(u, v));
+        }
+    }
+
+    /// DOT output mentions every node and edge exactly once.
+    #[test]
+    fn dot_mentions_everything(g in simple_graph()) {
+        let dot = pn_graph::dot::to_dot(&g, "g", &[]);
+        prop_assert_eq!(dot.matches(" -- ").count(), g.edge_count());
+        for v in g.nodes() {
+            let declared = dot.contains(&format!("n{};", v.index()));
+            let in_edge = dot.contains(&format!("n{} --", v.index()));
+            prop_assert!(declared || in_edge);
+        }
+    }
+
+    /// Random regular generation really is regular and simple.
+    #[test]
+    fn random_regular_valid(n0 in 4usize..20, d in 1usize..6, seed in 0u64..500) {
+        let d = d.min(n0 - 1);
+        let n = if (n0 * d) % 2 == 1 { n0 + 1 } else { n0 };
+        let g = generators::random_regular(n, d, seed).unwrap();
+        prop_assert_eq!(g.regular_degree(), Some(d));
+        // Simplicity is structural (SimpleGraph cannot hold loops or
+        // parallel edges), but verify the counts to be sure.
+        prop_assert_eq!(g.edge_count(), n * d / 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The node-algorithm abstraction for the port-numbering model.
+//!
+//! A deterministic distributed algorithm (paper Section 2.2) is a state
+//! machine replicated at every node. Initially a node knows **only its own
+//! degree** (and any parameters of the algorithm family, such as `Δ`). In
+//! each synchronous round every running node
+//!
+//! 1. performs local computation and sends one message per port
+//!    ([`NodeAlgorithm::send`]), then
+//! 2. receives one message per port and updates its state
+//!    ([`NodeAlgorithm::receive`]), optionally halting with an output.
+//!
+//! The simulator enforces that a node of degree `d` emits exactly `d`
+//! messages per round. Messages from already-halted neighbours arrive as
+//! `None`; the algorithms in this workspace are round-synchronised and
+//! never observe one, but the API keeps the case explicit.
+
+/// The state machine run by every node.
+///
+/// Implementations must be deterministic: all the information a node may
+/// use is its degree, the algorithm parameters captured at construction
+/// time, and the messages received so far. This is what makes the
+/// covering-map indistinguishability argument (paper Section 2.3) hold
+/// exactly in this runtime.
+pub trait NodeAlgorithm {
+    /// The message type exchanged over links.
+    type Message: Clone + std::fmt::Debug;
+    /// The local output announced when the node halts.
+    type Output: Clone + std::fmt::Debug;
+
+    /// Produces the outgoing messages for this round, one per port, in
+    /// port order (index 0 = port 1). Must return exactly `degree` many.
+    fn send(&mut self, round: usize) -> Vec<Self::Message>;
+
+    /// Consumes the incoming messages for this round (index 0 = port 1;
+    /// `None` marks a halted neighbour). Returns `Some(output)` to halt.
+    fn receive(
+        &mut self,
+        round: usize,
+        inbox: &[Option<Self::Message>],
+    ) -> Option<Self::Output>;
+}
+
+/// A factory constructing the per-node state machine from the node's
+/// degree. Implemented for closures.
+pub trait AlgorithmFactory {
+    /// The node state machine this factory builds.
+    type Algorithm: NodeAlgorithm;
+
+    /// Builds the state machine for a node of degree `degree`. All nodes
+    /// of the same degree must receive identical initial states —
+    /// anonymity is the whole point of the model.
+    fn create(&self, degree: usize) -> Self::Algorithm;
+}
+
+impl<F, A> AlgorithmFactory for F
+where
+    F: Fn(usize) -> A,
+    A: NodeAlgorithm,
+{
+    type Algorithm = A;
+
+    fn create(&self, degree: usize) -> A {
+        self(degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-round algorithm: every node immediately outputs its degree.
+    struct DegreeEcho {
+        degree: usize,
+    }
+
+    impl NodeAlgorithm for DegreeEcho {
+        type Message = ();
+        type Output = usize;
+
+        fn send(&mut self, _round: usize) -> Vec<()> {
+            vec![(); self.degree]
+        }
+
+        fn receive(&mut self, _round: usize, _inbox: &[Option<()>]) -> Option<usize> {
+            Some(self.degree)
+        }
+    }
+
+    #[test]
+    fn closures_are_factories() {
+        let factory = |d: usize| DegreeEcho { degree: d };
+        let mut a = factory.create(3);
+        assert_eq!(a.send(0).len(), 3);
+        assert_eq!(a.receive(0, &[None, None, None]), Some(3));
+    }
+}

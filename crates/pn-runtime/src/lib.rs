@@ -1,0 +1,68 @@
+//! Deterministic synchronous simulator for distributed algorithms in
+//! anonymous port-numbered networks.
+//!
+//! This crate implements the model of computation of Suomela, *Distributed
+//! Algorithms for Edge Dominating Sets* (PODC 2010), Section 2.2:
+//! synchronous rounds, one message per port per round, no node
+//! identifiers, nodes initially knowing only their own degree.
+//!
+//! * [`NodeAlgorithm`] — the per-node deterministic state machine;
+//! * [`Simulator`] — executes an algorithm on a
+//!   [`pn_graph::PortNumberedGraph`], routing messages through the port
+//!   involution and counting rounds and messages;
+//! * [`PortSet`], [`edge_set_from_outputs`] — the paper's output
+//!   convention for edge subsets, with the internal-consistency check;
+//! * [`fiber_agreement`] — executable covering-map indistinguishability.
+//!
+//! # Example
+//!
+//! The "port-1" algorithm of Theorem 3 in 15 lines: every node selects
+//! port 1 and any port whose counterpart announced itself as a port 1.
+//!
+//! ```
+//! use pn_graph::{generators, ports, Port};
+//! use pn_runtime::{edge_set_from_outputs, NodeAlgorithm, PortSet, Simulator};
+//!
+//! struct PortOne { degree: usize }
+//! impl NodeAlgorithm for PortOne {
+//!     type Message = bool; // "my end of this link is port 1"
+//!     type Output = PortSet;
+//!     fn send(&mut self, _r: usize) -> Vec<bool> {
+//!         (1..=self.degree).map(|i| i == 1).collect()
+//!     }
+//!     fn receive(&mut self, _r: usize, inbox: &[Option<bool>]) -> Option<PortSet> {
+//!         let mut x = PortSet::new();
+//!         x.insert(Port::new(1));
+//!         for (i, m) in inbox.iter().enumerate() {
+//!             if m == &Some(true) {
+//!                 x.insert(Port::from_index(i));
+//!             }
+//!         }
+//!         Some(x)
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = ports::canonical_ports(&generators::cycle(6)?)?;
+//! let run = Simulator::new(&g).run(|d| PortOne { degree: d })?;
+//! let edges = edge_set_from_outputs(&g, &run.outputs)?; // consistent!
+//! assert!(!edges.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod algorithm;
+mod error;
+mod output;
+mod parallel;
+mod simulator;
+mod trace;
+
+pub use algorithm::{AlgorithmFactory, NodeAlgorithm};
+pub use error::RuntimeError;
+pub use output::{edge_set_from_outputs, fiber_agreement, outputs_from_edge_set, PortSet};
+pub use simulator::{Run, RunOptions, Simulator};
+pub use trace::{HaltEvent, MessageEvent, Trace};

@@ -1,0 +1,362 @@
+//! Multi-threaded execution of the synchronous simulator.
+//!
+//! Each synchronous round is three embarrassingly parallel maps — send
+//! (per node), route (per receiving port, a gather through the
+//! involution), receive (per node) — with a barrier between them, so the
+//! execution parallelises without changing semantics:
+//! [`Simulator::run_parallel`] produces **bit-identical** results to
+//! [`Simulator::run`] (a property the tests assert, not just promise).
+//!
+//! Tracing is not supported in parallel mode; use the sequential driver
+//! when a transcript is needed.
+
+use pn_graph::NodeId;
+
+use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
+use crate::simulator::{Run, Simulator};
+use crate::RuntimeError;
+
+impl<'g> Simulator<'g> {
+    /// Runs the algorithm on `threads` OS threads (clamped to at least
+    /// 1). Results are identical to [`Simulator::run`]; wall-clock time
+    /// shrinks for large graphs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_parallel<F>(
+        &self,
+        factory: F,
+        threads: usize,
+    ) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+    where
+        F: AlgorithmFactory,
+        F::Algorithm: Send,
+        <F::Algorithm as NodeAlgorithm>::Message: Send + Sync,
+        <F::Algorithm as NodeAlgorithm>::Output: Send,
+    {
+        let g = self.graph();
+        let n = g.node_count();
+        let threads = threads.clamp(1, n.max(1));
+
+        type Msg<F> = <<F as AlgorithmFactory>::Algorithm as NodeAlgorithm>::Message;
+        type Out<F> = <<F as AlgorithmFactory>::Algorithm as NodeAlgorithm>::Output;
+
+        let mut states: Vec<Option<F::Algorithm>> = g
+            .nodes()
+            .map(|v| Some(factory.create(g.degree(v))))
+            .collect();
+        let mut outputs: Vec<Option<Out<F>>> = (0..n).map(|_| None).collect();
+        let mut halted_at = vec![0usize; n];
+        let mut running = n;
+        let mut messages = 0usize;
+        let mut rounds = 0usize;
+
+        // Slot offsets per node; node chunk boundaries with their slot
+        // boundaries.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for v in g.nodes() {
+            offsets.push(acc);
+            acc += g.degree(v);
+        }
+        offsets.push(acc);
+        let total_ports = acc;
+        let chunk = n.div_ceil(threads);
+        let node_bounds: Vec<(usize, usize)> = (0..threads)
+            .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
+            .collect();
+
+        let mut outbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+        let mut inbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+
+        while running > 0 {
+            if rounds >= self.options().max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: self.options().max_rounds,
+                    still_running: running,
+                });
+            }
+
+            // ---- Send phase: parallel over node chunks. ----
+            let send_results: Vec<Result<(), RuntimeError>> = {
+                let mut state_slices: Vec<&mut [Option<F::Algorithm>]> = Vec::new();
+                let mut out_slices: Vec<&mut [Option<Msg<F>>]> = Vec::new();
+                let mut s_rest = states.as_mut_slice();
+                let mut o_rest = outbox.as_mut_slice();
+                let mut consumed_nodes = 0usize;
+                let mut consumed_slots = 0usize;
+                for &(lo, hi) in &node_bounds {
+                    let (s_chunk, s_next) = s_rest.split_at_mut(hi - consumed_nodes);
+                    let slot_hi = offsets[hi];
+                    let (o_chunk, o_next) = o_rest.split_at_mut(slot_hi - consumed_slots);
+                    state_slices.push(s_chunk);
+                    out_slices.push(o_chunk);
+                    s_rest = s_next;
+                    o_rest = o_next;
+                    consumed_nodes = hi;
+                    consumed_slots = slot_hi;
+                    let _ = lo;
+                }
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (((lo, hi), s_chunk), o_chunk) in node_bounds
+                        .iter()
+                        .copied()
+                        .zip(state_slices)
+                        .zip(out_slices)
+                    {
+                        let offsets = &offsets;
+                        handles.push(scope.spawn(move || {
+                            for slot in o_chunk.iter_mut() {
+                                *slot = None;
+                            }
+                            let base = offsets[lo];
+                            for (idx, state) in s_chunk.iter_mut().enumerate() {
+                                let v = lo + idx;
+                                if let Some(state) = state.as_mut() {
+                                    let out = state.send(rounds);
+                                    let d = offsets[v + 1] - offsets[v];
+                                    if out.len() != d {
+                                        return Err(RuntimeError::WrongMessageCount {
+                                            node: NodeId::new(v),
+                                            got: out.len(),
+                                            expected: d,
+                                        });
+                                    }
+                                    for (i, m) in out.into_iter().enumerate() {
+                                        o_chunk[offsets[v] + i - base] = Some(m);
+                                    }
+                                }
+                            }
+                            let _ = hi;
+                            Ok(())
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("send thread panicked"))
+                        .collect()
+                })
+            };
+            for r in send_results {
+                r?;
+            }
+
+            // ---- Route phase: gather, parallel over receiver chunks. ----
+            let delivered: usize = {
+                let mut in_slices: Vec<&mut [Option<Msg<F>>]> = Vec::new();
+                let mut i_rest = inbox.as_mut_slice();
+                let mut consumed_slots = 0usize;
+                for &(_, hi) in &node_bounds {
+                    let slot_hi = offsets[hi];
+                    let (chunk_slice, next) = i_rest.split_at_mut(slot_hi - consumed_slots);
+                    in_slices.push(chunk_slice);
+                    i_rest = next;
+                    consumed_slots = slot_hi;
+                }
+                let outbox_ref = &outbox;
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for ((lo, hi), i_chunk) in node_bounds.iter().copied().zip(in_slices) {
+                        let offsets = &offsets;
+                        handles.push(scope.spawn(move || {
+                            let mut count = 0usize;
+                            let base = offsets[lo];
+                            for v in lo..hi {
+                                for i in 0..(offsets[v + 1] - offsets[v]) {
+                                    let here = pn_graph::Endpoint::new(
+                                        NodeId::new(v),
+                                        pn_graph::Port::from_index(i),
+                                    );
+                                    let from = self.graph().connection(here);
+                                    let from_slot =
+                                        offsets[from.node.index()] + from.port.index();
+                                    let m = outbox_ref[from_slot].clone();
+                                    if m.is_some() {
+                                        count += 1;
+                                    }
+                                    i_chunk[offsets[v] + i - base] = m;
+                                }
+                            }
+                            count
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("route thread panicked"))
+                        .sum()
+                })
+            };
+            messages += delivered;
+
+            // ---- Receive phase: parallel over node chunks. ----
+            let halts: Vec<Vec<(usize, Out<F>)>> = {
+                let mut state_slices: Vec<&mut [Option<F::Algorithm>]> = Vec::new();
+                let mut s_rest = states.as_mut_slice();
+                let mut consumed_nodes = 0usize;
+                for &(_, hi) in &node_bounds {
+                    let (chunk_slice, next) = s_rest.split_at_mut(hi - consumed_nodes);
+                    state_slices.push(chunk_slice);
+                    s_rest = next;
+                    consumed_nodes = hi;
+                }
+                let inbox_ref = &inbox;
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for ((lo, hi), s_chunk) in node_bounds.iter().copied().zip(state_slices) {
+                        let offsets = &offsets;
+                        handles.push(scope.spawn(move || {
+                            let mut halts = Vec::new();
+                            for (idx, state_slot) in s_chunk.iter_mut().enumerate() {
+                                let v = lo + idx;
+                                if let Some(state) = state_slot.as_mut() {
+                                    let window = &inbox_ref[offsets[v]..offsets[v + 1]];
+                                    if let Some(out) = state.receive(rounds, window) {
+                                        halts.push((v, out));
+                                        *state_slot = None;
+                                    }
+                                }
+                            }
+                            let _ = hi;
+                            halts
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("receive thread panicked"))
+                        .collect()
+                })
+            };
+            for (v, out) in halts.into_iter().flatten() {
+                outputs[v] = Some(out);
+                halted_at[v] = rounds + 1;
+                running -= 1;
+            }
+            rounds += 1;
+        }
+
+        Ok(Run {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
+            rounds: halted_at.iter().copied().max().unwrap_or(0),
+            halted_at,
+            messages,
+            trace: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NodeAlgorithm, Simulator};
+    use pn_graph::{generators, ports};
+
+    #[derive(Clone)]
+    struct Gossip {
+        degree: usize,
+        acc: u64,
+        left: usize,
+    }
+
+    impl NodeAlgorithm for Gossip {
+        type Message = u64;
+        type Output = u64;
+        fn send(&mut self, _r: usize) -> Vec<u64> {
+            (0..self.degree)
+                .map(|q| self.acc.wrapping_add(q as u64))
+                .collect()
+        }
+        fn receive(&mut self, _r: usize, inbox: &[Option<u64>]) -> Option<u64> {
+            for m in inbox.iter().flatten() {
+                self.acc = self.acc.rotate_left(5).wrapping_add(*m);
+            }
+            self.left -= 1;
+            (self.left == 0).then_some(self.acc)
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for (n, d, seed) in [(20usize, 4usize, 1u64), (37, 6, 2), (64, 3, 3)] {
+            let n = if (n * d) % 2 == 1 { n + 1 } else { n };
+            let g = generators::random_regular(n, d, seed).unwrap();
+            let pg = ports::shuffled_ports(&g, seed).unwrap();
+            let factory = |deg: usize| Gossip {
+                degree: deg,
+                acc: deg as u64,
+                left: 9,
+            };
+            let seq = Simulator::new(&pg).run(factory).unwrap();
+            for threads in [1usize, 2, 3, 8, 1000] {
+                let par = Simulator::new(&pg).run_parallel(factory, threads).unwrap();
+                assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
+                assert_eq!(par.rounds, seq.rounds);
+                assert_eq!(par.messages, seq.messages);
+                assert_eq!(par.halted_at, seq.halted_at);
+            }
+        }
+    }
+
+    struct PortOne {
+        degree: usize,
+    }
+
+    impl NodeAlgorithm for PortOne {
+        type Message = bool;
+        type Output = crate::PortSet;
+        fn send(&mut self, _r: usize) -> Vec<bool> {
+            (1..=self.degree).map(|i| i == 1).collect()
+        }
+        fn receive(&mut self, _r: usize, inbox: &[Option<bool>]) -> Option<crate::PortSet> {
+            let mut x = crate::PortSet::new();
+            if self.degree >= 1 {
+                x.insert(pn_graph::Port::new(1));
+            }
+            for (i, m) in inbox.iter().enumerate() {
+                if m == &Some(true) {
+                    x.insert(pn_graph::Port::from_index(i));
+                }
+            }
+            Some(x)
+        }
+    }
+
+    #[test]
+    fn parallel_runs_real_protocols() {
+        let g = ports::shuffled_ports(&generators::torus(6, 6).unwrap(), 4).unwrap();
+        let seq = Simulator::new(&g)
+            .run(|d: usize| PortOne { degree: d })
+            .unwrap();
+        let par = Simulator::new(&g)
+            .run_parallel(|d: usize| PortOne { degree: d }, 4)
+            .unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        let edges = crate::edge_set_from_outputs(&g, &par.outputs).unwrap();
+        assert!(!edges.is_empty());
+    }
+
+    #[test]
+    fn parallel_error_paths() {
+        struct Liar {
+            degree: usize,
+        }
+        impl NodeAlgorithm for Liar {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _r: usize) -> Vec<()> {
+                vec![(); self.degree + 1]
+            }
+            fn receive(&mut self, _r: usize, _i: &[Option<()>]) -> Option<()> {
+                Some(())
+            }
+        }
+        let g = ports::canonical_ports(&generators::cycle(5).unwrap()).unwrap();
+        let err = Simulator::new(&g)
+            .run_parallel(|d: usize| Liar { degree: d }, 3)
+            .unwrap_err();
+        assert!(matches!(err, crate::RuntimeError::WrongMessageCount { .. }));
+    }
+}

@@ -1,0 +1,507 @@
+//! The synchronous executor.
+
+use pn_graph::{Endpoint, NodeId, PortNumberedGraph};
+
+use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
+use crate::RuntimeError;
+
+/// Configuration for a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Abort with [`RuntimeError::RoundLimitExceeded`] if any node is
+    /// still running after this many rounds. Defaults to 1,000,000.
+    pub max_rounds: usize,
+    /// Record a full [`crate::Trace`] of message deliveries and halts
+    /// (costly; off by default).
+    pub record_trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_rounds: 1_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+/// The result of a completed run: every node has halted.
+#[derive(Clone, Debug)]
+pub struct Run<O> {
+    /// The output of each node, indexed by node.
+    pub outputs: Vec<O>,
+    /// The round in which each node halted (1-based count of executed
+    /// rounds).
+    pub halted_at: Vec<usize>,
+    /// The running time: maximum of `halted_at` (0 for an empty graph).
+    pub rounds: usize,
+    /// Total number of messages delivered from running nodes.
+    pub messages: usize,
+    /// The execution transcript, if requested via
+    /// [`RunOptions::record_trace`].
+    pub trace: Option<crate::Trace>,
+}
+
+/// Deterministic synchronous simulator for one port-numbered graph.
+///
+/// # Examples
+///
+/// Run a toy two-round "ping" algorithm on a cycle:
+///
+/// ```
+/// use pn_graph::{generators, ports};
+/// use pn_runtime::{NodeAlgorithm, Simulator};
+///
+/// struct Ping { degree: usize, got: usize }
+/// impl NodeAlgorithm for Ping {
+///     type Message = u64;
+///     type Output = usize;
+///     fn send(&mut self, _round: usize) -> Vec<u64> { vec![7; self.degree] }
+///     fn receive(&mut self, _round: usize, inbox: &[Option<u64>]) -> Option<usize> {
+///         self.got = inbox.iter().flatten().count();
+///         Some(self.got)
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = ports::canonical_ports(&generators::cycle(5)?)?;
+/// let run = Simulator::new(&g).run(|d| Ping { degree: d, got: 0 })?;
+/// assert_eq!(run.rounds, 1);
+/// assert!(run.outputs.iter().all(|&o| o == 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'g> {
+    graph: &'g PortNumberedGraph,
+    options: RunOptions,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` with default options.
+    pub fn new(graph: &'g PortNumberedGraph) -> Self {
+        Simulator {
+            graph,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Creates a simulator with explicit options.
+    pub fn with_options(graph: &'g PortNumberedGraph, options: RunOptions) -> Self {
+        Simulator { graph, options }
+    }
+
+    /// The graph this simulator executes on.
+    pub fn graph(&self) -> &PortNumberedGraph {
+        self.graph
+    }
+
+    /// The run options in effect.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Runs the algorithm built by `factory` at every node until all
+    /// nodes halt.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::WrongMessageCount`] if a node sends a number of
+    ///   messages different from its degree;
+    /// * [`RuntimeError::RoundLimitExceeded`] if the round limit is hit.
+    pub fn run<F>(&self, factory: F) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+    where
+        F: AlgorithmFactory,
+    {
+        self.run_states(
+            self.graph
+                .nodes()
+                .map(|v| factory.create(self.graph.degree(v)))
+                .collect(),
+        )
+    }
+
+    /// Runs an algorithm whose nodes receive **per-node inputs** in
+    /// addition to their degree — the *identifier model* and other
+    /// non-anonymous settings. `inputs[v]` is handed to the factory
+    /// together with the degree of node `v`.
+    ///
+    /// Anonymous algorithms should use [`Simulator::run`]; this entry
+    /// point deliberately breaks the symmetry the port-numbering model is
+    /// about, and exists to host the paper's identifier-model baselines.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn run_with_inputs<A, I>(
+        &self,
+        inputs: &[I],
+        factory: impl Fn(usize, &I) -> A,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm,
+    {
+        assert_eq!(
+            inputs.len(),
+            self.graph.node_count(),
+            "one input per node required"
+        );
+        self.run_states(
+            self.graph
+                .nodes()
+                .map(|v| factory(self.graph.degree(v), &inputs[v.index()]))
+                .collect(),
+        )
+    }
+
+    fn run_states<A>(&self, states: Vec<A>) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm,
+    {
+        let g = self.graph;
+        let n = g.node_count();
+        let mut states: Vec<Option<A>> = states.into_iter().map(Some).collect();
+        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+        let mut halted_at = vec![0usize; n];
+        let mut running = n;
+        let mut messages = 0usize;
+        let mut rounds = 0usize;
+        let mut trace = self.options.record_trace.then(crate::Trace::new);
+
+        // Flattened per-port outboxes/inboxes.
+        let total_ports = g.port_count();
+        let mut outbox: Vec<Option<A::Message>> = (0..total_ports).map(|_| None).collect();
+        let mut inbox: Vec<Option<A::Message>> = (0..total_ports).map(|_| None).collect();
+        // Slot offsets per node.
+        let mut offsets = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for v in g.nodes() {
+            offsets.push(acc);
+            acc += g.degree(v);
+        }
+
+        while running > 0 {
+            if rounds >= self.options.max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: self.options.max_rounds,
+                    still_running: running,
+                });
+            }
+            // Send phase.
+            for slot in outbox.iter_mut() {
+                *slot = None;
+            }
+            for v in 0..n {
+                if let Some(state) = states[v].as_mut() {
+                    let out = state.send(rounds);
+                    let d = g.degree(NodeId::new(v));
+                    if out.len() != d {
+                        return Err(RuntimeError::WrongMessageCount {
+                            node: NodeId::new(v),
+                            got: out.len(),
+                            expected: d,
+                        });
+                    }
+                    for (i, m) in out.into_iter().enumerate() {
+                        outbox[offsets[v] + i] = Some(m);
+                    }
+                }
+            }
+            // Route phase: inbox[p(v,i)] = outbox[(v,i)].
+            for slot in inbox.iter_mut() {
+                *slot = None;
+            }
+            for v in g.nodes() {
+                for i in g.ports(v) {
+                    let from = Endpoint::new(v, i);
+                    let from_slot = offsets[v.index()] + i.index();
+                    if outbox[from_slot].is_none() {
+                        continue;
+                    }
+                    let to = g.connection(from);
+                    let to_slot = offsets[to.node.index()] + to.port.index();
+                    if let Some(t) = trace.as_mut() {
+                        t.messages.push(crate::MessageEvent {
+                            round: rounds,
+                            from,
+                            to,
+                            message: format!("{:?}", outbox[from_slot].as_ref().expect("present")),
+                        });
+                    }
+                    inbox[to_slot] = outbox[from_slot].take();
+                    messages += 1;
+                }
+            }
+            // Receive phase.
+            for v in 0..n {
+                if let Some(state) = states[v].as_mut() {
+                    let d = g.degree(NodeId::new(v));
+                    let window = &inbox[offsets[v]..offsets[v] + d];
+                    if let Some(out) = state.receive(rounds, window) {
+                        if let Some(t) = trace.as_mut() {
+                            t.halts.push(crate::HaltEvent {
+                                round: rounds,
+                                node: NodeId::new(v),
+                                output: format!("{out:?}"),
+                            });
+                        }
+                        outputs[v] = Some(out);
+                        halted_at[v] = rounds + 1;
+                        states[v] = None;
+                        running -= 1;
+                    }
+                }
+            }
+            rounds += 1;
+        }
+
+        Ok(Run {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
+            rounds: halted_at.iter().copied().max().unwrap_or(0),
+            halted_at,
+            messages,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeAlgorithm;
+    use pn_graph::{generators, ports, PnGraphBuilder, Port};
+
+    /// Flood the minimum of an initial per-degree token for `t` rounds.
+    struct MinFlood {
+        degree: usize,
+        value: u64,
+        rounds_left: usize,
+    }
+
+    impl NodeAlgorithm for MinFlood {
+        type Message = u64;
+        type Output = u64;
+
+        fn send(&mut self, _round: usize) -> Vec<u64> {
+            vec![self.value; self.degree]
+        }
+
+        fn receive(&mut self, _round: usize, inbox: &[Option<u64>]) -> Option<u64> {
+            for m in inbox.iter().flatten() {
+                self.value = self.value.min(*m);
+            }
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                Some(self.value)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_on_path() {
+        // Degrees on a path: endpoints 1, middle 2. Min value = 1.
+        let g = ports::canonical_ports(&generators::path(6).unwrap()).unwrap();
+        let run = Simulator::new(&g)
+            .run(|d| MinFlood {
+                degree: d,
+                value: d as u64,
+                rounds_left: 6,
+            })
+            .unwrap();
+        assert_eq!(run.rounds, 6);
+        assert!(run.outputs.iter().all(|&v| v == 1));
+        // 2 * |E| messages per round while everyone runs.
+        assert_eq!(run.messages, 6 * 2 * 5);
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        struct Forever {
+            degree: usize,
+        }
+        impl NodeAlgorithm for Forever {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _round: usize) -> Vec<()> {
+                vec![(); self.degree]
+            }
+            fn receive(&mut self, _round: usize, _inbox: &[Option<()>]) -> Option<()> {
+                None
+            }
+        }
+        let g = ports::canonical_ports(&generators::cycle(3).unwrap()).unwrap();
+        let sim = Simulator::with_options(
+            &g,
+            RunOptions {
+                max_rounds: 5,
+                ..RunOptions::default()
+            },
+        );
+        let err = sim.run(|d| Forever { degree: d }).unwrap_err();
+        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 5, .. }));
+    }
+
+    #[test]
+    fn wrong_message_count_detected() {
+        struct Liar;
+        impl NodeAlgorithm for Liar {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _round: usize) -> Vec<()> {
+                vec![()] // always one message, regardless of degree
+            }
+            fn receive(&mut self, _round: usize, _inbox: &[Option<()>]) -> Option<()> {
+                Some(())
+            }
+        }
+        let g = ports::canonical_ports(&generators::star(3).unwrap()).unwrap();
+        let err = Simulator::new(&g).run(|_| Liar).unwrap_err();
+        assert!(matches!(err, RuntimeError::WrongMessageCount { .. }));
+    }
+
+    #[test]
+    fn half_loop_reflects_message() {
+        // One node, one port, fixed point: the node receives its own
+        // message back on the same port.
+        struct Echo {
+            degree: usize,
+        }
+        impl NodeAlgorithm for Echo {
+            type Message = u32;
+            type Output = u32;
+            fn send(&mut self, _round: usize) -> Vec<u32> {
+                vec![41; self.degree]
+            }
+            fn receive(&mut self, _round: usize, inbox: &[Option<u32>]) -> Option<u32> {
+                Some(inbox[0].unwrap() + 1)
+            }
+        }
+        let mut b = PnGraphBuilder::new();
+        let x = b.add_node(1);
+        b.fix_point(pn_graph::Endpoint::new(x, Port::new(1))).unwrap();
+        let g = b.finish().unwrap();
+        let run = Simulator::new(&g).run(|d| Echo { degree: d }).unwrap();
+        assert_eq!(run.outputs, vec![42]);
+    }
+
+    #[test]
+    fn staggered_halting_delivers_none() {
+        // Nodes halt after `degree` rounds; a degree-2 node sees None from
+        // a degree-1 neighbour that halted earlier.
+        struct Staggered {
+            degree: usize,
+            seen_none: bool,
+            round_count: usize,
+        }
+        impl NodeAlgorithm for Staggered {
+            type Message = u8;
+            type Output = bool;
+            fn send(&mut self, _round: usize) -> Vec<u8> {
+                vec![0; self.degree]
+            }
+            fn receive(&mut self, _round: usize, inbox: &[Option<u8>]) -> Option<bool> {
+                if inbox.iter().any(Option::is_none) {
+                    self.seen_none = true;
+                }
+                self.round_count += 1;
+                if self.round_count >= self.degree {
+                    Some(self.seen_none)
+                } else {
+                    None
+                }
+            }
+        }
+        let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+        let run = Simulator::new(&g)
+            .run(|d| Staggered {
+                degree: d,
+                seen_none: false,
+                round_count: 0,
+            })
+            .unwrap();
+        // Endpoints (degree 1) halt in round 1 without seeing None; the
+        // middle node (degree 2) runs a second round and sees None twice.
+        assert_eq!(run.outputs, vec![false, true, false]);
+        assert_eq!(run.halted_at, vec![1, 2, 1]);
+        assert_eq!(run.rounds, 2);
+    }
+
+    #[test]
+    fn trace_records_messages_and_halts() {
+        let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+        let sim = Simulator::with_options(
+            &g,
+            RunOptions {
+                record_trace: true,
+                ..RunOptions::default()
+            },
+        );
+        let run = sim
+            .run(|d| MinFlood {
+                degree: d,
+                value: d as u64,
+                rounds_left: 2,
+            })
+            .unwrap();
+        let trace = run.trace.expect("trace requested");
+        // 2 rounds x 2|E| messages.
+        assert_eq!(trace.message_count(), 2 * 2 * 2);
+        assert_eq!(trace.halts.len(), 3);
+        assert_eq!(trace.round_messages(0).count(), 4);
+        let rendered = trace.render();
+        assert!(rendered.contains("round 0:"));
+        assert!(rendered.contains("halt"));
+        // No trace without the flag.
+        let run = Simulator::new(&g)
+            .run(|d| MinFlood {
+                degree: d,
+                value: d as u64,
+                rounds_left: 2,
+            })
+            .unwrap();
+        assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let g = ports::shuffled_ports(&generators::petersen(), 3).unwrap();
+        let factory = |d: usize| MinFlood {
+            degree: d,
+            value: d as u64 * 17 % 5,
+            rounds_left: 6,
+        };
+        let a = Simulator::new(&g).run(factory).unwrap();
+        let b = Simulator::new(&g).run(factory).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially() {
+        let g = pn_graph::PortNumberedGraph::from_involution(vec![], vec![]).unwrap();
+        struct Never;
+        impl NodeAlgorithm for Never {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _r: usize) -> Vec<()> {
+                unreachable!()
+            }
+            fn receive(&mut self, _r: usize, _i: &[Option<()>]) -> Option<()> {
+                unreachable!()
+            }
+        }
+        let run = Simulator::new(&g).run(|_| Never).unwrap();
+        assert_eq!(run.rounds, 0);
+        assert!(run.outputs.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Execution traces: a record of every message delivery and halt event.
+//!
+//! Traces make the synchronous executions inspectable — which message
+//! crossed which link in which round — without changing algorithm
+//! behaviour. Messages are stored in their `Debug` rendering so the trace
+//! type is independent of the algorithm's message type.
+
+use pn_graph::{Endpoint, NodeId};
+
+/// One message delivery: sent from `from` in round `round`, received at
+/// `to` in the same round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageEvent {
+    /// 0-based round index.
+    pub round: usize,
+    /// Sending endpoint.
+    pub from: Endpoint,
+    /// Receiving endpoint (`p(from)`).
+    pub to: Endpoint,
+    /// `Debug` rendering of the message.
+    pub message: String,
+}
+
+/// One halt event: the node announced its output at the end of `round`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HaltEvent {
+    /// 0-based round index in which the node halted.
+    pub round: usize,
+    /// The halting node.
+    pub node: NodeId,
+    /// `Debug` rendering of the output.
+    pub output: String,
+}
+
+/// A complete execution transcript.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All message deliveries, in round order (and node/port order within
+    /// a round).
+    pub messages: Vec<MessageEvent>,
+    /// All halt events, in round order.
+    pub halts: Vec<HaltEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The messages of one round.
+    pub fn round_messages(&self, round: usize) -> impl Iterator<Item = &MessageEvent> + '_ {
+        self.messages.iter().filter(move |m| m.round == round)
+    }
+
+    /// The messages sent by one node (any round).
+    pub fn sent_by(&self, node: NodeId) -> impl Iterator<Item = &MessageEvent> + '_ {
+        self.messages.iter().filter(move |m| m.from.node == node)
+    }
+
+    /// The messages received by one node (any round).
+    pub fn received_by(&self, node: NodeId) -> impl Iterator<Item = &MessageEvent> + '_ {
+        self.messages.iter().filter(move |m| m.to.node == node)
+    }
+
+    /// Total number of recorded message deliveries.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Renders the transcript as readable text, one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max_round = self
+            .messages
+            .iter()
+            .map(|m| m.round)
+            .chain(self.halts.iter().map(|h| h.round))
+            .max();
+        let Some(max_round) = max_round else {
+            return "(empty trace)\n".to_owned();
+        };
+        for r in 0..=max_round {
+            let _ = writeln!(out, "round {r}:");
+            for m in self.round_messages(r) {
+                let _ = writeln!(out, "  {} -> {}: {}", m.from, m.to, m.message);
+            }
+            for h in self.halts.iter().filter(|h| h.round == r) {
+                let _ = writeln!(out, "  halt {:?}: {}", h.node, h.output);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::Port;
+
+    fn ev(round: usize, from: usize, to: usize) -> MessageEvent {
+        MessageEvent {
+            round,
+            from: Endpoint::new(NodeId::new(from), Port::new(1)),
+            to: Endpoint::new(NodeId::new(to), Port::new(1)),
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn filters_by_round_and_node() {
+        let t = Trace {
+            messages: vec![ev(0, 0, 1), ev(0, 1, 0), ev(1, 0, 1)],
+            halts: vec![HaltEvent {
+                round: 1,
+                node: NodeId::new(1),
+                output: "done".to_owned(),
+            }],
+        };
+        assert_eq!(t.round_messages(0).count(), 2);
+        assert_eq!(t.round_messages(1).count(), 1);
+        assert_eq!(t.sent_by(NodeId::new(0)).count(), 2);
+        assert_eq!(t.received_by(NodeId::new(0)).count(), 1);
+        assert_eq!(t.message_count(), 3);
+    }
+
+    #[test]
+    fn renders_readably() {
+        let t = Trace {
+            messages: vec![ev(0, 0, 1)],
+            halts: vec![HaltEvent {
+                round: 0,
+                node: NodeId::new(0),
+                output: "x".to_owned(),
+            }],
+        };
+        let s = t.render();
+        assert!(s.contains("round 0:"));
+        assert!(s.contains("halt n0: x"));
+        assert_eq!(Trace::new().render(), "(empty trace)\n");
+    }
+}

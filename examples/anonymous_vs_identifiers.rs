@@ -1,0 +1,70 @@
+//! The price of anonymity: port-numbering protocols vs identifier-based
+//! baselines on identical instances.
+//!
+//! With unique identifiers, a maximal matching — a 2-approximation of the
+//! minimum edge dominating set — is computable distributively
+//! (Hańćkowiak et al.; Panconesi–Rizzi). Without identifiers the paper
+//! proves that nothing better than `4 - 2/d` (even `d`) is achievable.
+//! This example measures both on the same graphs, showing the gap the
+//! theory predicts: the anonymous algorithms pay at most a factor ~2 over
+//! the ID-based baseline, and on the lower-bound instances they pay
+//! exactly the worst case while IDs stay near the optimum.
+//!
+//! Run with: `cargo run --example anonymous_vs_identifiers`
+
+use edge_dominating_sets::baselines::id_based;
+use edge_dominating_sets::lower_bounds::even;
+use edge_dominating_sets::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<28} {:>6} {:>11} {:>9} {:>6}",
+        "instance", "OPT", "anonymous", "with IDs", "gap"
+    );
+
+    // Random regular graphs: anonymity costs little on average.
+    for (n, d, seed) in [(12usize, 4usize, 1u64), (12, 4, 2), (14, 6, 3)] {
+        let g = generators::random_regular(n, d, seed)?;
+        let pg = ports::shuffled_ports(&g, seed)?;
+        let simple = pg.to_simple()?;
+        let anonymous = port_one_reference(&pg).len();
+        let with_ids = id_based::id_greedy_matching_default(&simple).len();
+        let opt = edge_dominating_sets::baselines::exact::minimum_eds_size(&simple);
+        println!(
+            "{:<28} {:>6} {:>11} {:>9} {:>5.2}x",
+            format!("random n={n} d={d} seed={seed}"),
+            opt,
+            anonymous,
+            with_ids,
+            anonymous as f64 / with_ids as f64
+        );
+    }
+
+    // The adversarial instances: anonymity is forced to its worst case.
+    for d in [4usize, 6, 8] {
+        let inst = even::build(d)?;
+        let simple = inst.graph.to_simple()?;
+        let anonymous = port_one_reference(&inst.graph).len();
+        let with_ids = id_based::id_greedy_matching_default(&simple).len();
+        println!(
+            "{:<28} {:>6} {:>11} {:>9} {:>5.2}x",
+            format!("Theorem-1 graph d={d}"),
+            inst.optimal_size(),
+            anonymous,
+            with_ids,
+            anonymous as f64 / with_ids as f64
+        );
+        // On these instances the anonymous ratio is exactly 4 - 2/d...
+        assert_eq!(anonymous, 2 * d - 1);
+        // ...while identifiers still reach a maximal matching within
+        // factor 2 of the optimum.
+        assert!(with_ids <= 2 * inst.optimal_size());
+    }
+
+    println!();
+    println!(
+        "on worst-case instances the anonymous algorithm pays the full \
+         4 - 2/d factor the paper proves unavoidable; identifiers escape it"
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Paper Figure 1: edge dominating sets and their relatives, side by
+//! side on one graph.
+//!
+//! * (a) an edge dominating set that is not a matching;
+//! * (b) a maximal matching — always an edge dominating set;
+//! * (c) a minimum edge dominating set;
+//! * (d) a minimum maximal matching — same size as (c), by
+//!   Yannakakis–Gavril.
+//!
+//! Run with: `cargo run --example figure1`
+
+use edge_dominating_sets::baselines::{exact, mmm, two_approx};
+use edge_dominating_sets::prelude::*;
+
+fn show(label: &str, g: &SimpleGraph, edges: &[EdgeId], note: &str) {
+    let list: Vec<String> = edges
+        .iter()
+        .map(|&e| {
+            let (u, v) = g.endpoints(e);
+            format!("{u}-{v}")
+        })
+        .collect();
+    println!("({label}) {note}: {{{}}}  [{} edges]", list.join(", "), edges.len());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A graph in the spirit of Figure 1: two triangles joined by a path.
+    //   0-1-2 triangle, 2-3 bridge, 3-4-5 triangle, pendant 6 on node 0.
+    let mut g = SimpleGraph::new(7);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (0, 6)] {
+        g.add_edge_ids(u, v)?;
+    }
+    println!(
+        "graph: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
+    println!();
+
+    // (a) An edge dominating set that is not a matching: all edges at
+    // node 2 and node 4 — feasible but redundant (a pair of stars).
+    let a: Vec<EdgeId> = g
+        .incident_edges(NodeId::new(2))
+        .chain(g.incident_edges(NodeId::new(4)))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    check_edge_dominating_set(&g, &a)?;
+    show("a", &g, &a, "an edge dominating set (not a matching)");
+
+    // (b) A maximal matching, hence another edge dominating set.
+    let b = two_approx::two_approximation(&g);
+    check_maximal_matching(&g, &b)?;
+    check_edge_dominating_set(&g, &b)?;
+    show("b", &g, &b, "a maximal matching (also an EDS)");
+
+    // (c) A minimum edge dominating set.
+    let c = exact::minimum_edge_dominating_set(&g);
+    check_edge_dominating_set(&g, &c)?;
+    show("c", &g, &c, "a minimum edge dominating set");
+
+    // (d) A minimum maximal matching.
+    let d = mmm::minimum_maximal_matching(&g);
+    check_maximal_matching(&g, &d)?;
+    show("d", &g, &d, "a minimum maximal matching");
+
+    println!();
+    println!(
+        "minimum EDS size = minimum maximal matching size: {} = {} (Section 1.1)",
+        c.len(),
+        d.len()
+    );
+    assert_eq!(c.len(), d.len());
+    Ok(())
+}

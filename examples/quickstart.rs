@@ -1,0 +1,53 @@
+//! Quickstart: find an edge dominating set with an anonymous distributed
+//! algorithm.
+//!
+//! Builds a bounded-degree network, runs the distributed `A(Δ)` protocol
+//! of Theorem 5 (Suomela, PODC 2010), verifies the result, and prints the
+//! approximation guarantee.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use edge_dominating_sets::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6x4 grid network: maximum degree 4. Nodes are anonymous; each
+    // refers to its neighbours only through port numbers 1..deg.
+    let g = generators::grid(6, 4)?;
+    let network = ports::canonical_ports(&g)?;
+    let delta = 4;
+
+    println!(
+        "network: {} nodes, {} links, max degree {}",
+        network.node_count(),
+        network.edge_count(),
+        network.max_degree()
+    );
+
+    // Run the message-passing protocol on the synchronous simulator.
+    let eds = bounded_degree_distributed(&network, delta)?;
+    println!("A({delta}) selected {} edges:", eds.len());
+    for &e in &eds {
+        let (u, v) = network.edge(e).nodes();
+        println!("  {u} -- {v}");
+    }
+
+    // Verify feasibility: every edge is dominated.
+    let simple = network.to_simple()?;
+    check_edge_dominating_set(&simple, &eds)?;
+    println!("feasible: every link is dominated");
+
+    // The paper's guarantee.
+    let (num, den) = bounded_degree_ratio(delta);
+    println!(
+        "worst-case guarantee: |D| <= {num}/{den} x OPT = {:.3} x OPT",
+        num as f64 / den as f64
+    );
+
+    // On small instances we can afford the exact optimum for comparison.
+    let opt = edge_dominating_sets::baselines::exact::minimum_eds_size(&simple);
+    println!(
+        "exact optimum: {opt}; achieved ratio: {:.3}",
+        eds.len() as f64 / opt as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! A wireless sensor network scenario: monitoring communication links
+//! with an anonymous local algorithm.
+//!
+//! Edge dominating sets model "link monitors": a set of links such that
+//! every link in the network is adjacent to a monitored one. In large
+//! sensor deployments there are no unique identifiers and no global
+//! coordination — exactly the port-numbering model. The `A(Δ)` protocol
+//! computes a constant-factor approximation in `O(Δ²)` rounds regardless
+//! of the network size.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use edge_dominating_sets::algorithms::distributed::{
+    bounded_schedule_length, BoundedDegreeNode,
+};
+use edge_dominating_sets::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let delta = 6;
+    println!("wireless sensor network, max radio degree Δ = {delta}");
+    println!();
+    println!(
+        "{:>6} {:>7} {:>9} {:>8} {:>9} {:>10}",
+        "nodes", "links", "monitors", "rounds", "messages", "2-approx"
+    );
+
+    for n in [50usize, 200, 800] {
+        // Random geometric placement, truncated to the degree bound.
+        let radius = (2.0 / n as f64).sqrt();
+        let full = generators::random_geometric(n, radius, n as u64)?;
+        let mut g = SimpleGraph::new(n);
+        for (_, u, v) in full.edges() {
+            if g.degree(u) < delta && g.degree(v) < delta {
+                g.add_edge(u, v)?;
+            }
+        }
+        let network = ports::shuffled_ports(&g, n as u64 ^ 0xcafe)?;
+
+        let run = Simulator::new(&network)
+            .run(|deg: usize| BoundedDegreeNode::new(delta, deg))?;
+        let monitors = edge_set_from_outputs(&network, &run.outputs)?;
+        let simple = network.to_simple()?;
+        check_edge_dominating_set(&simple, &monitors)?;
+
+        let greedy = edge_dominating_sets::baselines::two_approx::two_approximation(&simple);
+        println!(
+            "{:>6} {:>7} {:>9} {:>8} {:>9} {:>10}",
+            n,
+            network.edge_count(),
+            monitors.len(),
+            run.rounds,
+            run.messages,
+            greedy.len(),
+        );
+        assert_eq!(run.rounds, bounded_schedule_length(delta));
+    }
+
+    println!();
+    println!(
+        "the protocol finishes in exactly {} rounds at every scale — a local \
+         algorithm: its horizon is O(Δ²), independent of n",
+        bounded_schedule_length(delta)
+    );
+    Ok(())
+}

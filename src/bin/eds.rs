@@ -1,0 +1,304 @@
+//! `eds` — command-line edge dominating sets.
+//!
+//! Reads a graph as an edge list (one `u v` pair per line, `#` comments,
+//! optional `nodes <n>` header) from a file or stdin, runs the chosen
+//! algorithm, and prints the selected edges plus statistics.
+//!
+//! ```text
+//! usage: eds [options] [FILE]
+//!
+//!   --algorithm <name>   port1 | thm4 | adelta | greedy | exact | vc3
+//!                        (default: adelta)
+//!   --delta <k>          degree bound for adelta/vc3 (default: max degree)
+//!   --ports <spec>       canonical | random:<seed> | factorized
+//!   --quiet              print only the edge list
+//!   --help               this text
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! $ printf '0 1\n1 2\n2 0\n2 3\n' | cargo run --bin eds -- --algorithm thm4
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use edge_dominating_sets::algorithms::distributed::{
+    bounded_degree_distributed, regular_odd_distributed,
+};
+use edge_dominating_sets::algorithms::port_one::port_one_distributed;
+use edge_dominating_sets::algorithms::vertex_cover::vertex_cover_distributed;
+use edge_dominating_sets::baselines::{exact, two_approx};
+use edge_dominating_sets::graph::{io, ports, EdgeId, PortNumberedGraph, SimpleGraph};
+
+const USAGE: &str = "usage: eds [options] [FILE]
+
+  --algorithm <name>   port1 | thm4 | adelta | greedy | exact | vc3
+                       (default: adelta)
+  --delta <k>          degree bound for adelta/vc3 (default: max degree)
+  --ports <spec>       canonical | random:<seed> | factorized
+                       (default: canonical; factorized = the adversarial
+                       2-factorised numbering, 2k-regular graphs only)
+  --quiet              print only the edge list
+  --help               this text
+
+Reads an edge list (`u v` per line, `#` comments, optional `nodes <n>`
+header) from FILE or stdin and prints an edge dominating set.";
+
+#[derive(Debug)]
+struct Options {
+    algorithm: String,
+    delta: Option<usize>,
+    ports: String,
+    quiet: bool,
+    file: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        algorithm: "adelta".to_owned(),
+        delta: None,
+        ports: "canonical".to_owned(),
+        quiet: false,
+        file: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                options.algorithm = it
+                    .next()
+                    .ok_or("--algorithm needs a value")?
+                    .clone();
+            }
+            "--delta" => {
+                let v = it.next().ok_or("--delta needs a value")?;
+                options.delta =
+                    Some(v.parse().map_err(|_| format!("bad --delta value {v:?}"))?);
+            }
+            "--ports" => {
+                options.ports = it.next().ok_or("--ports needs a value")?.clone();
+            }
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n\n{USAGE}"))
+            }
+            other => {
+                if options.file.is_some() {
+                    return Err("at most one input file".to_owned());
+                }
+                options.file = Some(other.to_owned());
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn number_ports(g: &SimpleGraph, spec: &str) -> Result<PortNumberedGraph, String> {
+    if spec == "canonical" {
+        return ports::canonical_ports(g).map_err(|e| e.to_string());
+    }
+    if spec == "factorized" {
+        // The adversarial 2-factorised numbering (2k-regular graphs only).
+        return ports::two_factor_ports(g).map_err(|e| e.to_string());
+    }
+    if let Some(seed) = spec.strip_prefix("random:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad seed in --ports {spec:?}"))?;
+        return ports::shuffled_ports(g, seed).map_err(|e| e.to_string());
+    }
+    Err(format!("unknown --ports spec {spec:?}"))
+}
+
+fn run(options: &Options, input: &str) -> Result<String, String> {
+    let g = io::parse_edge_list(input).map_err(|e| e.to_string())?;
+    let pg = number_ports(&g, &options.ports)?;
+    let simple = pg.to_simple().map_err(|e| e.to_string())?;
+    let delta = options.delta.unwrap_or_else(|| pg.max_degree());
+
+    let (label, edges): (&str, Vec<EdgeId>) = match options.algorithm.as_str() {
+        "port1" => (
+            "Theorem 3 (port-1, O(1) rounds)",
+            port_one_distributed(&pg).map_err(|e| e.to_string())?,
+        ),
+        "thm4" => (
+            "Theorem 4 (O(d^2) rounds)",
+            regular_odd_distributed(&pg).map_err(|e| e.to_string())?,
+        ),
+        "adelta" => (
+            "Theorem 5 A(delta) (O(delta^2) rounds)",
+            bounded_degree_distributed(&pg, delta).map_err(|e| e.to_string())?,
+        ),
+        "greedy" => (
+            "greedy maximal matching (2-approximation)",
+            two_approx::two_approximation(&simple),
+        ),
+        "exact" => (
+            "exact branch and bound",
+            exact::minimum_edge_dominating_set(&simple),
+        ),
+        "vc3" => {
+            // Vertex cover mode: different output shape, handle inline.
+            let cover =
+                vertex_cover_distributed(&pg, delta).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            if !options.quiet {
+                out.push_str(&format!(
+                    "# vertex cover (3-approximation), {} nodes of {}\n",
+                    cover.len(),
+                    pg.node_count()
+                ));
+            }
+            for v in cover {
+                out.push_str(&format!("{}\n", v.index()));
+            }
+            return Ok(out);
+        }
+        other => return Err(format!("unknown algorithm {other:?}\n\n{USAGE}")),
+    };
+
+    // Sanity: every algorithm output must be a feasible EDS.
+    eds_verify::check_edge_dominating_set(&simple, &edges).map_err(|e| {
+        format!("internal error: output is not an edge dominating set: {e}")
+    })?;
+
+    let mut out = String::new();
+    if !options.quiet {
+        out.push_str(&format!(
+            "# {label}: {} of {} edges selected (graph: {} nodes, max degree {})\n",
+            edges.len(),
+            pg.edge_count(),
+            pg.node_count(),
+            pg.max_degree(),
+        ));
+    }
+    for e in edges {
+        let (u, v) = pg.edge(e).nodes();
+        out.push_str(&format!("{} {}\n", u.index(), v.index()));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match &options.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+    match run(&options, &input) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = opts(&["--algorithm", "thm4", "--delta", "5", "--quiet", "in.txt"]);
+        assert_eq!(o.algorithm, "thm4");
+        assert_eq!(o.delta, Some(5));
+        assert!(o.quiet);
+        assert_eq!(o.file.as_deref(), Some("in.txt"));
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        let args = vec!["--bogus".to_owned()];
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn runs_all_algorithms() {
+        // Path input for the degree-agnostic algorithms.
+        let path = "0 1\n1 2\n2 3\n";
+        for algo in ["port1", "adelta", "greedy", "exact", "vc3"] {
+            let o = opts(&["--algorithm", algo, "--quiet"]);
+            let out = run(&o, path).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(!out.is_empty(), "{algo} output");
+        }
+        // Theorem 4 needs a regular graph: a 5-cycle.
+        let cycle = "0 1\n1 2\n2 3\n3 4\n4 0\n";
+        let o = opts(&["--algorithm", "thm4", "--quiet"]);
+        assert!(!run(&o, cycle).unwrap().is_empty());
+    }
+
+    #[test]
+    fn thm4_rejects_irregular_input_cleanly() {
+        let o = opts(&["--algorithm", "thm4", "--quiet"]);
+        let err = run(&o, "0 1\n1 2\n2 3\n").unwrap_err();
+        assert!(err.contains("not regular"), "{err}");
+    }
+
+    #[test]
+    fn exact_beats_or_ties_adelta() {
+        let input = "0 1\n1 2\n2 3\n3 4\n4 5\n";
+        let count = |algo: &str| {
+            let o = opts(&["--algorithm", algo, "--quiet"]);
+            run(&o, input).unwrap().lines().count()
+        };
+        assert!(count("exact") <= count("adelta"));
+    }
+
+    #[test]
+    fn random_ports_accepted() {
+        let o = opts(&["--ports", "random:7", "--quiet"]);
+        assert!(run(&o, "0 1\n1 2\n").is_ok());
+        let bad = opts(&["--ports", "nope"]);
+        assert!(run(&bad, "0 1\n").is_err());
+    }
+
+    #[test]
+    fn factorized_ports_on_even_regular() {
+        // A 4-cycle is 2-regular: factorisable. The adversarial wiring
+        // forces port-1 to select every edge.
+        let cycle = "0 1\n1 2\n2 3\n3 0\n";
+        let o = opts(&["--ports", "factorized", "--algorithm", "port1", "--quiet"]);
+        let out = run(&o, cycle).unwrap();
+        assert_eq!(out.lines().count(), 4, "all edges selected");
+        // Odd-regular graphs cannot be 2-factorised.
+        let k4 = "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n";
+        assert!(run(&o, k4).is_err());
+    }
+
+    #[test]
+    fn malformed_input_reports_error() {
+        let o = opts(&["--quiet"]);
+        assert!(run(&o, "0\n").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # Edge Dominating Sets in Anonymous Networks
+//!
+//! A complete reproduction of
+//!
+//! > Jukka Suomela. *Distributed Algorithms for Edge Dominating Sets.*
+//! > Proc. 29th ACM Symposium on Principles of Distributed Computing
+//! > (PODC 2010).
+//!
+//! The paper characterises exactly how well deterministic distributed
+//! algorithms can approximate minimum edge dominating sets in anonymous
+//! **port-numbered networks**: tight ratios `4 - 2/d` (even `d`-regular),
+//! `4 - 6/(d+1)` (odd `d`-regular) and `4 - 1/k` (maximum degree
+//! `Δ ∈ {2k, 2k+1}`), with matching upper bounds (local algorithms,
+//! `O(1)`/`O(d²)`/`O(Δ²)` rounds) and lower bounds (covering-map
+//! constructions).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`graph`] ([`pn_graph`]) — port-numbered graphs, involutions, Euler
+//!   tours, Petersen 2-factorisation, covering maps, generators;
+//! * [`runtime`] ([`pn_runtime`]) — the deterministic synchronous
+//!   simulator for the model of Section 2.2;
+//! * [`algorithms`] ([`eds_core`]) — the paper's three algorithms,
+//!   centralised and distributed, plus the Section 5 and Section 7
+//!   machinery;
+//! * [`lower_bounds`] ([`eds_lower_bounds`]) — the Theorem 1/2 instances
+//!   with verified covering maps and known optima;
+//! * [`baselines`] ([`eds_baselines`]) — exact branch-and-bound solvers
+//!   and classical baselines;
+//! * [`verify`] ([`eds_verify`]) — structural property checkers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use edge_dominating_sets::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a bounded-degree network with an arbitrary port numbering.
+//! let g = generators::grid(5, 4)?;
+//! let pg = ports::canonical_ports(&g)?;
+//!
+//! // Run the distributed A(Δ) protocol of Theorem 5.
+//! let eds = bounded_degree_distributed(&pg, 4)?;
+//!
+//! // The output is always a feasible edge dominating set.
+//! check_edge_dominating_set(&pg.to_simple()?, &eds)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use eds_baselines as baselines;
+pub use eds_core as algorithms;
+pub use eds_lower_bounds as lower_bounds;
+pub use eds_verify as verify;
+pub use pn_graph as graph;
+pub use pn_runtime as runtime;
+
+/// Frequently used items in one import.
+pub mod prelude {
+    pub use eds_core::bounded_degree::{bounded_degree_reference, bounded_degree_ratio};
+    pub use eds_core::distributed::{bounded_degree_distributed, regular_odd_distributed};
+    pub use eds_core::port_one::{port_one_distributed, port_one_reference};
+    pub use eds_core::regular_odd::regular_odd_reference;
+    pub use eds_verify::{
+        check_edge_cover, check_edge_dominating_set, check_matching, check_maximal_matching,
+        check_star_forest,
+    };
+    pub use pn_graph::{
+        generators, ports, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port,
+        PortNumberedGraph, SimpleGraph,
+    };
+    pub use pn_runtime::{edge_set_from_outputs, NodeAlgorithm, PortSet, Simulator};
+}

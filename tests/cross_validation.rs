@@ -1,0 +1,179 @@
+//! Integration test: every algorithm against every oracle on a matrix of
+//! instances.
+//!
+//! * Feasibility (edge domination) always holds.
+//! * Approximation ratios never exceed the paper's bounds (checked
+//!   against the exact branch-and-bound optimum).
+//! * Distributed protocols produce exactly the reference outputs.
+//! * The two exact solvers agree (minimum EDS = minimum maximal
+//!   matching).
+
+use edge_dominating_sets::algorithms::bounded_degree::bounded_degree_reference;
+use edge_dominating_sets::algorithms::distributed::{
+    bounded_degree_distributed, regular_odd_distributed,
+};
+use edge_dominating_sets::algorithms::port_one::{port_one_distributed, port_one_reference};
+use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
+use edge_dominating_sets::baselines::{exact, mmm};
+use edge_dominating_sets::prelude::*;
+
+fn instances() -> Vec<(String, SimpleGraph)> {
+    let mut out: Vec<(String, SimpleGraph)> = vec![
+        ("petersen".into(), generators::petersen()),
+        ("k4".into(), generators::complete(4).unwrap()),
+        ("k5".into(), generators::complete(5).unwrap()),
+        ("cycle9".into(), generators::cycle(9).unwrap()),
+        ("path8".into(), generators::path(8).unwrap()),
+        ("grid3x4".into(), generators::grid(3, 4).unwrap()),
+        ("crown4".into(), generators::crown(4).unwrap()),
+        ("hypercube3".into(), generators::hypercube(3).unwrap()),
+        ("star7".into(), generators::star(7).unwrap()),
+    ];
+    for seed in 0..4u64 {
+        out.push((
+            format!("gnp seed {seed}"),
+            generators::gnp(10, 0.4, seed).unwrap(),
+        ));
+        out.push((
+            format!("bounded seed {seed}"),
+            generators::random_bounded_degree(14, 4, 0.8, seed).unwrap(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn bounded_degree_full_matrix() {
+    for (name, g) in instances() {
+        if g.is_edgeless() {
+            continue;
+        }
+        let delta = g.max_degree();
+        for seed in 0..3u64 {
+            let pg = ports::shuffled_ports(&g, seed).unwrap();
+            let simple = pg.to_simple().unwrap();
+            let reference = bounded_degree_reference(&pg, delta).unwrap();
+            let distributed = bounded_degree_distributed(&pg, delta).unwrap();
+            assert_eq!(
+                reference.dominating_set, distributed,
+                "{name}: distributed != reference"
+            );
+            check_edge_dominating_set(&simple, &distributed)
+                .unwrap_or_else(|e| panic!("{name}: infeasible: {e}"));
+            // Ratio bound vs exact optimum.
+            let opt = exact::minimum_eds_size(&simple);
+            let (num, den) = edge_dominating_sets::algorithms::bounded_degree::bounded_degree_ratio(delta);
+            assert!(
+                distributed.len() as u64 * den <= num * opt as u64,
+                "{name}: ratio bound violated ({} vs opt {opt}, Δ = {delta})",
+                distributed.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn regular_algorithms_on_regular_instances() {
+    for (n, d, seed) in [
+        (8usize, 3usize, 0u64),
+        (10, 3, 1),
+        (12, 5, 2),
+        (10, 4, 3),
+        (12, 6, 4),
+        (14, 7, 5),
+    ] {
+        let g = generators::random_regular(n, d, seed).unwrap();
+        let pg = ports::shuffled_ports(&g, seed).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let opt = exact::minimum_eds_size(&simple);
+        if d % 2 == 0 {
+            let reference = port_one_reference(&pg);
+            let distributed = port_one_distributed(&pg).unwrap();
+            assert_eq!(reference, distributed);
+            check_edge_dominating_set(&simple, &distributed).unwrap();
+            // 4 - 2/d bound.
+            assert!(distributed.len() * d <= (4 * d - 2) * opt);
+        } else {
+            let reference = regular_odd_reference(&pg).unwrap().dominating_set;
+            let distributed = regular_odd_distributed(&pg).unwrap();
+            assert_eq!(reference, distributed);
+            check_edge_dominating_set(&simple, &distributed).unwrap();
+            // 4 - 6/(d+1) bound.
+            assert!(distributed.len() * (d + 1) <= (4 * d - 2) * opt);
+        }
+    }
+}
+
+#[test]
+fn exact_solvers_agree() {
+    for (name, g) in instances() {
+        let eds = exact::minimum_edge_dominating_set(&g);
+        let matching = mmm::minimum_maximal_matching(&g);
+        assert_eq!(
+            eds.len(),
+            matching.len(),
+            "{name}: min EDS != min maximal matching"
+        );
+        assert!(exact::is_edge_dominating_set(&g, &eds));
+        if !g.is_edgeless() {
+            assert!(mmm::is_maximal_matching(&g, &matching));
+        }
+    }
+}
+
+#[test]
+fn outputs_are_internally_consistent_port_sets() {
+    // The simulator-level consistency check (Section 2.2) passes for all
+    // three protocols on a non-trivial instance.
+    let g = generators::random_regular(12, 5, 9).unwrap();
+    let pg = ports::shuffled_ports(&g, 9).unwrap();
+    let run = Simulator::new(&pg)
+        .run(edge_dominating_sets::algorithms::port_one::PortOneNode::new)
+        .unwrap();
+    edge_set_from_outputs(&pg, &run.outputs).unwrap();
+    let run = Simulator::new(&pg)
+        .run(edge_dominating_sets::algorithms::distributed::RegularOddNode::new)
+        .unwrap();
+    edge_set_from_outputs(&pg, &run.outputs).unwrap();
+    let run = Simulator::new(&pg)
+        .run(|d: usize| {
+            edge_dominating_sets::algorithms::distributed::BoundedDegreeNode::new(5, d)
+        })
+        .unwrap();
+    edge_set_from_outputs(&pg, &run.outputs).unwrap();
+}
+
+#[test]
+fn structural_claims_on_all_instances() {
+    // Theorem 4 phase structure on odd-regular graphs; Theorem 5 M/P
+    // structure everywhere.
+    for (n, d, seed) in [(10usize, 3usize, 7u64), (12, 5, 8), (14, 3, 9)] {
+        let g = generators::random_regular(n, d, seed).unwrap();
+        let pg = ports::shuffled_ports(&g, seed).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let result = regular_odd_reference(&pg).unwrap();
+        check_edge_cover(&simple, &result.phase1).unwrap();
+        edge_dominating_sets::verify::check_forest(&simple, &result.phase1).unwrap();
+        check_edge_cover(&simple, &result.dominating_set).unwrap();
+        check_star_forest(&simple, &result.dominating_set).unwrap();
+    }
+    for (name, g) in instances() {
+        if g.is_edgeless() {
+            continue;
+        }
+        let pg = ports::shuffled_ports(&g, 17).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let delta = g.max_degree();
+        let result = bounded_degree_reference(&pg, delta).unwrap();
+        check_matching(&simple, &result.matching)
+            .unwrap_or_else(|e| panic!("{name}: M not a matching: {e}"));
+        edge_dominating_sets::verify::check_k_matching(&simple, &result.two_matching, 2)
+            .unwrap_or_else(|e| panic!("{name}: P not a 2-matching: {e}"));
+        edge_dominating_sets::verify::check_node_disjoint(
+            &simple,
+            &result.matching,
+            &result.two_matching,
+        )
+        .unwrap_or_else(|e| panic!("{name}: M and P share a node: {e}"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration test: exhaustive verification over **all** port numberings
+//! of small graphs.
+//!
+//! The paper's guarantees are worst-case over the adversary's choice of
+//! port numbering. For graphs small enough to enumerate every numbering
+//! (`Π_v d(v)!` of them), we check feasibility and the ratio bound for
+//! every single one — no adversary can do worse than exhaustive search.
+
+use edge_dominating_sets::algorithms::bounded_degree::{
+    bounded_degree_ratio, bounded_degree_reference,
+};
+use edge_dominating_sets::algorithms::port_one::port_one_reference;
+use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
+use edge_dominating_sets::baselines::exact::minimum_eds_size;
+use edge_dominating_sets::prelude::*;
+use pn_graph::ports::{all_port_orders, ports_from_orders};
+
+fn exhaustive_check(g: &SimpleGraph, check: impl Fn(&PortNumberedGraph, usize)) {
+    let opt = minimum_eds_size(g);
+    let all = all_port_orders(g);
+    assert!(!all.is_empty());
+    for orders in all {
+        let pg = ports_from_orders(g, &orders).unwrap();
+        check(&pg, opt);
+    }
+}
+
+#[test]
+fn port_one_all_numberings_of_k4_minus_edge_cycle() {
+    // C4: 2-regular, 2^4 = 16 numberings.
+    let g = generators::cycle(4).unwrap();
+    exhaustive_check(&g, |pg, opt| {
+        let d = port_one_reference(pg);
+        let simple = pg.to_simple().unwrap();
+        check_edge_dominating_set(&simple, &d).unwrap();
+        // 4 - 2/2 = 3.
+        assert!(d.len() <= 3 * opt);
+    });
+}
+
+#[test]
+fn port_one_all_numberings_of_k5_cycle() {
+    let g = generators::cycle(5).unwrap();
+    exhaustive_check(&g, |pg, opt| {
+        let d = port_one_reference(pg);
+        check_edge_dominating_set(&pg.to_simple().unwrap(), &d).unwrap();
+        assert!(d.len() <= 3 * opt);
+    });
+}
+
+#[test]
+fn regular_odd_all_numberings_of_k4() {
+    // K4: 3-regular, (3!)^4 = 1296 numberings.
+    let g = generators::complete(4).unwrap();
+    exhaustive_check(&g, |pg, opt| {
+        let result = regular_odd_reference(pg).unwrap();
+        let simple = pg.to_simple().unwrap();
+        check_edge_cover(&simple, &result.dominating_set).unwrap();
+        check_star_forest(&simple, &result.dominating_set).unwrap();
+        // 4 - 6/4 = 2.5 = 10/4.
+        assert!(4 * result.dominating_set.len() <= 10 * opt);
+    });
+}
+
+#[test]
+fn regular_odd_all_numberings_of_k2_pairs() {
+    // Two disjoint edges: 1-regular, trivial numberings; ratio exactly 1.
+    let g = generators::disjoint_union(&[
+        generators::path(2).unwrap(),
+        generators::path(2).unwrap(),
+    ]);
+    exhaustive_check(&g, |pg, opt| {
+        let result = regular_odd_reference(pg).unwrap();
+        assert_eq!(result.dominating_set.len(), opt);
+    });
+}
+
+#[test]
+fn bounded_degree_all_numberings_of_paths() {
+    for n in [3usize, 4, 5] {
+        let g = generators::path(n).unwrap();
+        exhaustive_check(&g, |pg, opt| {
+            let result = bounded_degree_reference(pg, 2).unwrap();
+            let simple = pg.to_simple().unwrap();
+            check_edge_dominating_set(&simple, &result.dominating_set).unwrap();
+            let (num, den) = bounded_degree_ratio(2);
+            assert!(result.dominating_set.len() as u64 * den <= num * opt as u64);
+        });
+    }
+}
+
+#[test]
+fn bounded_degree_all_numberings_of_star_plus_edge() {
+    // Star K_{1,3} with a pendant path: degrees 1..3, Δ = 3.
+    let mut g = generators::star(3).unwrap();
+    let extra = g.add_node();
+    g.add_edge(NodeId::new(1), extra).unwrap();
+    exhaustive_check(&g, |pg, opt| {
+        let result = bounded_degree_reference(pg, 3).unwrap();
+        let simple = pg.to_simple().unwrap();
+        check_edge_dominating_set(&simple, &result.dominating_set).unwrap();
+        let (num, den) = bounded_degree_ratio(3);
+        assert!(result.dominating_set.len() as u64 * den <= num * opt as u64);
+    });
+}
+
+#[test]
+fn bounded_degree_all_numberings_of_triangle_with_tails() {
+    // Triangle with a tail at each corner: Δ = 3, mixes odd/even degrees.
+    let mut g = generators::cycle(3).unwrap();
+    for v in 0..3 {
+        let tail = g.add_node();
+        g.add_edge(NodeId::new(v), tail).unwrap();
+    }
+    exhaustive_check(&g, |pg, opt| {
+        let result = bounded_degree_reference(pg, 3).unwrap();
+        let simple = pg.to_simple().unwrap();
+        check_edge_dominating_set(&simple, &result.dominating_set).unwrap();
+        let (num, den) = bounded_degree_ratio(3);
+        assert!(result.dominating_set.len() as u64 * den <= num * opt as u64);
+    });
+}

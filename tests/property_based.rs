@@ -1,0 +1,203 @@
+//! Property-based integration tests (proptest): the paper's lemmas and
+//! guarantees over randomly generated graphs *and* randomly generated
+//! port numberings.
+
+use edge_dominating_sets::algorithms::bounded_degree::{
+    bounded_degree_reference, check_section7_properties,
+};
+use edge_dominating_sets::algorithms::distributed::bounded_degree_distributed;
+use edge_dominating_sets::algorithms::labels::Labels;
+use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
+use edge_dominating_sets::graph::factorization::two_factorize_simple;
+use edge_dominating_sets::graph::matching::{covered_nodes, is_matching};
+use edge_dominating_sets::graph::MultiGraph;
+use edge_dominating_sets::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph from the bounded-degree model plus a
+/// port-numbering seed.
+fn bounded_instance() -> impl Strategy<Value = (SimpleGraph, u64)> {
+    (4usize..24, 2usize..7, 0u64..1000, proptest::num::u64::ANY).prop_map(
+        |(n, delta, gseed, pseed)| {
+            let g = generators::random_bounded_degree(n, delta, 0.8, gseed)
+                .expect("generator succeeds");
+            (g, pseed)
+        },
+    )
+}
+
+fn regular_instance() -> impl Strategy<Value = (SimpleGraph, u64)> {
+    (4usize..16, 1usize..7, 0u64..1000, proptest::num::u64::ANY).prop_map(
+        |(n0, d, gseed, pseed)| {
+            let d = d.min(n0 - 1);
+            let n = if (n0 * d) % 2 == 1 { n0 + 1 } else { n0 };
+            let g = generators::random_regular(n, d, gseed).expect("generator succeeds");
+            (g, pseed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1: odd-degree nodes always have distinguishable neighbours;
+    /// Lemma 2: every M(i, j) is a matching.
+    #[test]
+    fn lemmas_1_and_2((g, pseed) in bounded_instance()) {
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        let labels = Labels::compute(&pg).unwrap();
+        let simple = pg.to_simple().unwrap();
+        for v in pg.nodes() {
+            if pg.degree(v) % 2 == 1 {
+                prop_assert!(labels.distinguishable_neighbor(v).is_some());
+            }
+        }
+        for (_, _, m) in labels.pairs() {
+            prop_assert!(is_matching(&simple, m));
+        }
+    }
+
+    /// A(Δ) output is always a feasible EDS; M is a matching; P a
+    /// 2-matching; the Section 7.3 properties hold; distributed equals
+    /// reference.
+    #[test]
+    fn theorem5_invariants((g, pseed) in bounded_instance()) {
+        let delta = g.max_degree().max(1);
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let result = bounded_degree_reference(&pg, delta).unwrap();
+        check_edge_dominating_set(&simple, &result.dominating_set).unwrap();
+        check_matching(&simple, &result.matching).unwrap();
+        edge_dominating_sets::verify::check_k_matching(&simple, &result.two_matching, 2).unwrap();
+        // Section 2's structural claim: a 2-matching induces node-disjoint
+        // paths and cycles.
+        edge_dominating_sets::verify::check_paths_and_cycles(&simple, &result.two_matching)
+            .unwrap();
+        check_section7_properties(&pg, &result).unwrap();
+        let distributed = bounded_degree_distributed(&pg, delta).unwrap();
+        prop_assert_eq!(result.dominating_set, distributed);
+    }
+
+    /// Theorem 4 on odd-regular graphs: star-forest edge cover within the
+    /// size bound.
+    #[test]
+    fn theorem4_invariants((g, pseed) in regular_instance()) {
+        let d = g.regular_degree().unwrap();
+        prop_assume!(d % 2 == 1);
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        let simple = pg.to_simple().unwrap();
+        let result = regular_odd_reference(&pg).unwrap();
+        check_edge_cover(&simple, &result.dominating_set).unwrap();
+        check_star_forest(&simple, &result.dominating_set).unwrap();
+        prop_assert!(result.dominating_set.len() * (d + 1) <= d * pg.node_count());
+    }
+
+    /// Petersen's theorem, constructively: every 2k-regular graph
+    /// 2-factorises; factors partition the edges and are 2-regular
+    /// spanning.
+    #[test]
+    fn petersen_factorization((g, _seed) in regular_instance()) {
+        let d = g.regular_degree().unwrap();
+        prop_assume!(d % 2 == 0 && d > 0);
+        let factors = two_factorize_simple(&g).unwrap();
+        prop_assert_eq!(factors.len(), d / 2);
+        let mut seen = vec![false; g.edge_count()];
+        for f in &factors {
+            let mut degree = vec![0usize; g.node_count()];
+            for (from, to, e) in f.arcs() {
+                prop_assert!(!seen[e.index()]);
+                seen[e.index()] = true;
+                degree[from.index()] += 1;
+                degree[to.index()] += 1;
+            }
+            prop_assert!(degree.iter().all(|&x| x == 2));
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    /// The port-one algorithm always covers every node, and its output
+    /// size never exceeds n.
+    #[test]
+    fn port_one_covers((g, pseed) in regular_instance()) {
+        prop_assume!(g.regular_degree().unwrap() >= 1);
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        let edges = port_one_reference(&pg);
+        prop_assert!(edges.len() <= pg.node_count());
+        let simple = pg.to_simple().unwrap();
+        let covered = covered_nodes(&simple, &edges);
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Any port numbering realises the same underlying simple graph, and
+    /// round-trips through the involution representation.
+    #[test]
+    fn port_numbering_round_trip((g, pseed) in bounded_instance()) {
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        prop_assert!(ports::realizes(&pg, &g));
+        let back = pg.to_simple().unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        // Same edge multiset.
+        for (_, u, v) in back.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    /// Exact solver sanity on small graphs: optimum is feasible and no
+    /// larger than any maximal matching.
+    #[test]
+    fn exact_oracle_sanity(n in 3usize..9, p in 0.15f64..0.6, seed in 0u64..500) {
+        let g = generators::gnp(n, p, seed).unwrap();
+        let opt = edge_dominating_sets::baselines::exact::minimum_edge_dominating_set(&g);
+        prop_assert!(edge_dominating_sets::baselines::exact::is_edge_dominating_set(&g, &opt));
+        let mm = edge_dominating_sets::baselines::two_approx::two_approximation(&g);
+        prop_assert!(opt.len() <= mm.len());
+        // And the 2-approximation bound.
+        prop_assert!(mm.len() <= 2 * opt.len().max(1));
+    }
+
+    /// The distributed identifier-model matching always produces a
+    /// maximal matching, for arbitrary graphs, port numberings and
+    /// identifier assignments.
+    #[test]
+    fn id_model_matching_is_maximal(
+        (g, pseed) in bounded_instance(),
+        id_seed in 0u64..10_000,
+    ) {
+        prop_assume!(!g.is_edgeless());
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        let delta = pg.max_degree();
+        // A scrambled but unique identifier assignment.
+        let mut ids: Vec<u64> = (0..g.node_count() as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ id_seed)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assume!(ids.len() == g.node_count());
+        let edges = edge_dominating_sets::baselines::distributed_mm::id_matching_distributed(
+            &pg, delta, &ids,
+        )
+        .unwrap();
+        let simple = pg.to_simple().unwrap();
+        check_maximal_matching(&simple, &edges).unwrap();
+    }
+
+    /// Euler orientation: in-degree equals out-degree at every node of an
+    /// even multigraph.
+    #[test]
+    fn euler_orientation_balanced((g, _s) in regular_instance()) {
+        let d = g.regular_degree().unwrap();
+        prop_assume!(d % 2 == 0 && d > 0);
+        let m = MultiGraph::from_simple(&g);
+        let orientation = edge_dominating_sets::graph::euler::euler_orientation(&m).unwrap();
+        let mut out = vec![0usize; g.node_count()];
+        let mut inn = vec![0usize; g.node_count()];
+        for (t, h) in orientation {
+            out[t.index()] += 1;
+            inn[h.index()] += 1;
+        }
+        for v in 0..g.node_count() {
+            prop_assert_eq!(out[v], inn[v]);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration test: the full Table 1 of the paper reproduces **exactly**.
+//!
+//! For every row, running the tight upper-bound algorithm on the matching
+//! lower-bound instance must give precisely the published ratio: the
+//! lower bound forbids less, the algorithm's guarantee forbids more.
+
+use edge_dominating_sets::algorithms::distributed::{
+    bounded_degree_distributed, regular_odd_distributed,
+};
+use edge_dominating_sets::algorithms::port_one::port_one_distributed;
+use edge_dominating_sets::lower_bounds::bound::{corollary1_bound, Ratio};
+use edge_dominating_sets::lower_bounds::{even, odd};
+
+#[test]
+fn even_rows_exact() {
+    for d in [2usize, 4, 6, 8, 10, 12] {
+        let inst = even::build(d).expect("construction");
+        let edges = port_one_distributed(&inst.graph).expect("protocol");
+        let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
+        let theory = Ratio::from(inst.ratio());
+        assert!(
+            measured.eq_exact(theory),
+            "d = {d}: measured {measured}, theory {theory}"
+        );
+        // The forced structure: exactly one full 2-factor, |V| edges.
+        assert_eq!(edges.len(), 2 * d - 1);
+    }
+}
+
+#[test]
+fn odd_rows_exact() {
+    for d in [1usize, 3, 5, 7, 9] {
+        let inst = odd::build(d).expect("construction");
+        let edges = regular_odd_distributed(&inst.graph).expect("protocol");
+        let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
+        let theory = Ratio::from(inst.ratio());
+        assert!(
+            measured.eq_exact(theory),
+            "d = {d}: measured {measured}, theory {theory}"
+        );
+        // The forced structure: (2d-1) edges per component/hub class.
+        assert_eq!(edges.len(), (2 * d - 1) * d);
+    }
+}
+
+#[test]
+fn bounded_degree_rows_exact() {
+    for delta in 2..=10usize {
+        let k = delta / 2;
+        let inst = even::build(2 * k).expect("construction");
+        let edges = bounded_degree_distributed(&inst.graph, delta).expect("protocol");
+        let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
+        let theory = corollary1_bound(delta);
+        assert!(
+            measured.eq_exact(theory),
+            "Δ = {delta}: measured {measured}, theory {theory}"
+        );
+    }
+}
+
+#[test]
+fn theory_ratios_match_paper_table() {
+    // Spot-check the closed forms against the table's entries.
+    use edge_dominating_sets::algorithms::bounded_degree::bounded_degree_ratio;
+    use edge_dominating_sets::algorithms::port_one::port_one_ratio;
+    use edge_dominating_sets::algorithms::regular_odd::regular_odd_ratio;
+    // 4 - 6/(d+1) for odd d.
+    assert_eq!(regular_odd_ratio(3), (10, 4)); // 2.5
+    assert_eq!(regular_odd_ratio(5), (18, 6)); // 3
+    // 4 - 2/d for even d.
+    assert_eq!(port_one_ratio(2), (6, 2)); // 3
+    assert_eq!(port_one_ratio(4), (14, 4)); // 3.5
+    // 4 - 2/(Δ-1) odd, 4 - 2/Δ even.
+    assert_eq!(bounded_degree_ratio(3), (3, 1));
+    assert_eq!(bounded_degree_ratio(4), (7, 2));
+    assert_eq!(bounded_degree_ratio(5), (7, 2));
+    // Upper and lower bounds coincide everywhere.
+    for d in [2usize, 4, 6, 8] {
+        let (ln, ld) = even::ratio(d);
+        let (un, ud) = port_one_ratio(d);
+        assert!(Ratio::new(ln, ld).eq_exact(Ratio::new(un, ud)));
+    }
+    for d in [1usize, 3, 5, 7] {
+        let (ln, ld) = odd::ratio(d);
+        let (un, ud) = regular_odd_ratio(d);
+        assert!(Ratio::new(ln, ld).eq_exact(Ratio::new(un, ud)));
+    }
+    for delta in 2..=9usize {
+        let lower = corollary1_bound(delta);
+        let (un, ud) = bounded_degree_ratio(delta);
+        assert!(lower.eq_exact(Ratio::new(un, ud)));
+    }
+}
+
+#[test]
+fn lower_bound_holds_for_other_algorithms_too() {
+    // The lower bound applies to ANY deterministic algorithm: A(Δ) on the
+    // even construction and Theorem 3 cannot beat it either.
+    for d in [2usize, 4, 6] {
+        let inst = even::build(d).expect("construction");
+        let theory = Ratio::from(inst.ratio());
+        for delta in [d, d + 1, d + 2] {
+            let edges = bounded_degree_distributed(&inst.graph, delta).expect("protocol");
+            let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
+            assert!(
+                measured.ge(theory),
+                "A({delta}) beat the lower bound on d = {d}: {measured} < {theory}"
+            );
+        }
+    }
+}
