@@ -26,7 +26,7 @@
 //! `A(Δ)` protocol's `O(Δ²)` and its factor-4 barrier.
 
 use pn_graph::{EdgeId, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, PortSet, RuntimeError, Simulator};
+use pn_runtime::{collect_send, NodeAlgorithm, PortSet, RuntimeError, Simulator, WrongCount};
 
 /// Cole–Vishkin iterations hard-wired into the schedule. Identifiers are
 /// `u64`, so colours shrink 64-bit → ≤13 → ≤9 → ≤7 → ≤6 values within
@@ -142,37 +142,48 @@ impl NodeAlgorithm for IdMatchingNode {
     type Output = PortSet;
 
     fn send(&mut self, round: usize) -> Vec<IdMmMsg> {
-        let d = self.degree;
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(
+        &mut self,
+        round: usize,
+        outbox: &mut [Option<IdMmMsg>],
+    ) -> Result<(), WrongCount> {
         match self.schedule(round) {
-            Phase::Ident => vec![IdMmMsg::Ident(self.id); d],
-            Phase::ColeVishkin => vec![IdMmMsg::Colors(self.colors.clone()); d],
+            Phase::Ident => outbox.fill(Some(IdMmMsg::Ident(self.id))),
+            Phase::ColeVishkin => {
+                // The colour vector is part of the protocol (children index
+                // the parent's vector); the clone per port is inherent to
+                // the message, not to the engine.
+                outbox.fill(Some(IdMmMsg::Colors(self.colors.clone())));
+            }
             Phase::Propose { forest, color } => {
-                let mut out = vec![IdMmMsg::Nothing; d];
+                outbox.fill(Some(IdMmMsg::Nothing));
                 self.pending = None;
                 if !self.matched && self.colors.get(forest) == Some(&color) {
                     if let Some(&port) = self.out_ports.get(forest) {
                         self.pending = Some(port);
-                        out[port] = IdMmMsg::Propose;
+                        outbox[port] = Some(IdMmMsg::Propose);
                     }
                 }
-                out
             }
             Phase::Respond => {
-                let mut out = vec![IdMmMsg::Nothing; d];
+                outbox.fill(Some(IdMmMsg::Nothing));
                 let incoming = std::mem::take(&mut self.incoming);
                 for &q in &incoming {
-                    out[q] = IdMmMsg::Response(false);
+                    outbox[q] = Some(IdMmMsg::Response(false));
                 }
                 if !self.matched {
                     if let Some(&best) = incoming.iter().min() {
-                        out[best] = IdMmMsg::Response(true);
+                        outbox[best] = Some(IdMmMsg::Response(true));
                         self.matched = true;
                         self.matched_port = Some(best);
                     }
                 }
-                out
             }
         }
+        Ok(())
     }
 
     fn receive(&mut self, round: usize, inbox: &[Option<IdMmMsg>]) -> Option<PortSet> {

@@ -38,10 +38,7 @@ pub fn minimum_edge_dominating_set(g: &SimpleGraph) -> Vec<EdgeId> {
     let dominators: Vec<Vec<EdgeId>> = g
         .edges()
         .map(|(e, u, v)| {
-            let mut dom: Vec<EdgeId> = g
-                .incident_edges(u)
-                .chain(g.incident_edges(v))
-                .collect();
+            let mut dom: Vec<EdgeId> = g.incident_edges(u).chain(g.incident_edges(v)).collect();
             dom.push(e);
             dom.sort_unstable();
             dom.dedup();

@@ -38,8 +38,8 @@
 
 pub mod distributed_mm;
 pub mod exact;
-pub mod randomized_mm;
 pub mod id_based;
 pub mod mmm;
+pub mod randomized_mm;
 pub mod two_approx;
 pub mod weighted;

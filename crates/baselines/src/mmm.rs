@@ -99,9 +99,18 @@ mod tests {
 
     #[test]
     fn known_optima() {
-        assert_eq!(minimum_maximal_matching(&generators::path(4).unwrap()).len(), 1);
-        assert_eq!(minimum_maximal_matching(&generators::cycle(5).unwrap()).len(), 2);
-        assert_eq!(minimum_maximal_matching(&generators::complete(4).unwrap()).len(), 2);
+        assert_eq!(
+            minimum_maximal_matching(&generators::path(4).unwrap()).len(),
+            1
+        );
+        assert_eq!(
+            minimum_maximal_matching(&generators::cycle(5).unwrap()).len(),
+            2
+        );
+        assert_eq!(
+            minimum_maximal_matching(&generators::complete(4).unwrap()).len(),
+            2
+        );
         assert_eq!(minimum_maximal_matching(&generators::petersen()).len(), 3);
     }
 
@@ -136,7 +145,7 @@ mod tests {
     #[test]
     fn maximality_checker_rejects_non_maximal() {
         let g = generators::path(5).unwrap(); // edges 0-1,1-2,2-3,3-4
-        // Empty is a matching but not maximal.
+                                              // Empty is a matching but not maximal.
         assert!(!is_maximal_matching(&g, &[]));
         // Edge 1 (nodes 1-2) alone leaves edge 3-4 undominated.
         assert!(!is_maximal_matching(&g, &[EdgeId::new(1)]));

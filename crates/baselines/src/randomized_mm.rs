@@ -18,7 +18,7 @@
 //! reproducible.
 
 use pn_graph::{EdgeId, Port, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, PortSet, RuntimeError, Simulator};
+use pn_runtime::{collect_send, NodeAlgorithm, PortSet, RuntimeError, Simulator, WrongCount};
 
 /// Messages of the randomised matching protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,45 +93,55 @@ impl NodeAlgorithm for RandMatchingNode {
     type Output = PortSet;
 
     fn send(&mut self, round: usize) -> Vec<RandMmMsg> {
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(
+        &mut self,
+        round: usize,
+        outbox: &mut [Option<RandMmMsg>],
+    ) -> Result<(), WrongCount> {
         let d = self.degree;
         match round % 3 {
             0 => {
                 // New phase: flip the proposer/acceptor coin.
                 self.proposer_role = self.next_rand() & 1 == 1;
-                vec![RandMmMsg::Free(!self.matched); d]
+                outbox.fill(Some(RandMmMsg::Free(!self.matched)));
             }
             1 => {
                 // Proposers offer to a uniformly random free neighbour.
-                let mut out = vec![RandMmMsg::Nothing; d];
+                outbox.fill(Some(RandMmMsg::Nothing));
                 self.pending = None;
                 if !self.matched && self.proposer_role {
-                    let free: Vec<usize> =
-                        (0..d).filter(|&q| self.neighbor_free[q]).collect();
-                    if !free.is_empty() {
-                        let q = free[(self.next_rand() % free.len() as u64) as usize];
+                    let free_count = self.neighbor_free.iter().filter(|&&f| f).count();
+                    if free_count > 0 {
+                        let pick = (self.next_rand() % free_count as u64) as usize;
+                        let q = (0..d)
+                            .filter(|&q| self.neighbor_free[q])
+                            .nth(pick)
+                            .expect("pick < free_count");
                         self.pending = Some(q);
-                        out[q] = RandMmMsg::Propose;
+                        outbox[q] = Some(RandMmMsg::Propose);
                     }
                 }
-                out
             }
             _ => {
-                let mut out = vec![RandMmMsg::Nothing; d];
+                outbox.fill(Some(RandMmMsg::Nothing));
                 let incoming = std::mem::take(&mut self.incoming);
                 for &q in &incoming {
-                    out[q] = RandMmMsg::Response(false);
+                    outbox[q] = Some(RandMmMsg::Response(false));
                 }
                 // Only acceptors take an offer; proposers reject all, so
                 // no node can end the phase on two new edges.
                 if !self.matched && !self.proposer_role && !incoming.is_empty() {
                     let q = incoming[(self.next_rand() % incoming.len() as u64) as usize];
-                    out[q] = RandMmMsg::Response(true);
+                    outbox[q] = Some(RandMmMsg::Response(true));
                     self.matched = true;
                     self.matched_port = Some(q);
                 }
-                out
             }
         }
+        Ok(())
     }
 
     fn receive(&mut self, round: usize, inbox: &[Option<RandMmMsg>]) -> Option<PortSet> {
@@ -226,8 +236,7 @@ mod tests {
             ("star8", generators::star(8).unwrap()),
         ] {
             let pg = ports::shuffled_ports(&g, 5).unwrap();
-            let edges =
-                randomized_matching_distributed(&pg, &seeds(g.node_count(), 42)).unwrap();
+            let edges = randomized_matching_distributed(&pg, &seeds(g.node_count(), 42)).unwrap();
             assert!(
                 is_maximal_matching(&pg.to_simple().unwrap(), &edges),
                 "{name}"
@@ -243,8 +252,7 @@ mod tests {
                 continue;
             }
             let pg = ports::shuffled_ports(&g, salt).unwrap();
-            let edges =
-                randomized_matching_distributed(&pg, &seeds(20, salt * 97 + 1)).unwrap();
+            let edges = randomized_matching_distributed(&pg, &seeds(20, salt * 97 + 1)).unwrap();
             assert!(
                 is_maximal_matching(&pg.to_simple().unwrap(), &edges),
                 "salt {salt}"

@@ -98,7 +98,12 @@ mod tests {
             let d = crate::exact::minimum_edge_dominating_set(&g);
             let mm = eds_to_maximal_matching(&g, &d);
             assert!(is_maximal_matching(&g, &mm), "seed {seed}");
-            assert!(mm.len() <= d.len(), "seed {seed}: {} > {}", mm.len(), d.len());
+            assert!(
+                mm.len() <= d.len(),
+                "seed {seed}: {} > {}",
+                mm.len(),
+                d.len()
+            );
         }
     }
 

@@ -43,7 +43,9 @@ impl EdgeWeights {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         EdgeWeights {
-            weights: (0..g.edge_count()).map(|_| rng.gen_range(1..=max)).collect(),
+            weights: (0..g.edge_count())
+                .map(|_| rng.gen_range(1..=max))
+                .collect(),
         }
     }
 

@@ -72,8 +72,7 @@ fn bench_bounded_degree(c: &mut Criterion) {
         });
     }
     for delta in [3usize, 5, 7] {
-        let g = generators::random_bounded_degree(128, delta, 0.8, delta as u64)
-            .expect("graph");
+        let g = generators::random_bounded_degree(128, delta, 0.8, delta as u64).expect("graph");
         let pg = ports::shuffled_ports(&g, 7).expect("ports");
         group.bench_with_input(BenchmarkId::new("reference_delta", delta), &pg, |b, pg| {
             b.iter(|| bounded_degree_reference(pg, delta).unwrap())

@@ -55,9 +55,11 @@ fn bench_weighted(c: &mut Criterion) {
     for n in [8usize, 10] {
         let g = generators::gnp(n, 0.4, n as u64).expect("graph");
         let w = EdgeWeights::random(&g, 10, 7);
-        group.bench_with_input(BenchmarkId::new("exact_min_weight", n), &(g, w), |b, (g, w)| {
-            b.iter(|| minimum_weight_eds(g, w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_min_weight", n),
+            &(g, w),
+            |b, (g, w)| b.iter(|| minimum_weight_eds(g, w)),
+        );
     }
     let g = generators::random_regular(256, 4, 99).expect("graph");
     let w = EdgeWeights::random(&g, 10, 8);

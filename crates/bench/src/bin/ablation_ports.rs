@@ -33,12 +33,10 @@ enum Algo {
 fn measure(pg: &PortNumberedGraph, algo: Algo) -> usize {
     match algo {
         Algo::PortOne => port_one_reference(pg).len(),
-        Algo::RegularOdd => {
-            regular_odd_reference(pg)
-                .expect("simple graph")
-                .dominating_set
-                .len()
-        }
+        Algo::RegularOdd => regular_odd_reference(pg)
+            .expect("simple graph")
+            .dominating_set
+            .len(),
     }
 }
 

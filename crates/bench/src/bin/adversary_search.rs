@@ -86,7 +86,10 @@ fn main() {
     // 3-regular: K4 under the Theorem 4 algorithm (bound 2.5).
     let k4 = generators::complete(4).unwrap();
     let (worst, opt, count) = worst_case(&k4, |pg| {
-        regular_odd_reference(pg).expect("simple").dominating_set.len()
+        regular_odd_reference(pg)
+            .expect("simple")
+            .dominating_set
+            .len()
     });
     table.row(vec![
         "K4".to_owned(),

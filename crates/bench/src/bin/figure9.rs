@@ -31,12 +31,23 @@ fn main() {
 
     let result = bounded_degree_reference(&pg, delta).expect("algorithm runs");
     println!();
-    println!("Phase I   matching on distinguishable edges: {} edges", result.phase1.len());
+    println!(
+        "Phase I   matching on distinguishable edges: {} edges",
+        result.phase1.len()
+    );
     for (idx, m_i) in result.phase2_added.iter().enumerate() {
-        println!("Phase II  B_{} maximal matching M_{}: {} edges", idx + 2, idx + 2, m_i.len());
+        println!(
+            "Phase II  B_{} maximal matching M_{}: {} edges",
+            idx + 2,
+            idx + 2,
+            m_i.len()
+        );
     }
     println!("Matching M (phases I+II): {} edges", result.matching.len());
-    println!("Phase III 2-matching P: {} edges", result.two_matching.len());
+    println!(
+        "Phase III 2-matching P: {} edges",
+        result.two_matching.len()
+    );
     println!("Output D = M ∪ P: {} edges", result.dominating_set.len());
     println!();
     println!(
@@ -52,7 +63,10 @@ fn main() {
     let analysis = Section7Analysis::build(&pg, &result, &dstar).expect("accounting");
 
     println!();
-    println!("=== Section 7 accounting (D* = greedy maximal matching, {} edges) ===", dstar.len());
+    println!(
+        "=== Section 7 accounting (D* = greedy maximal matching, {} edges) ===",
+        dstar.len()
+    );
     let class_count = |c: EdgeClass| analysis.classes.iter().filter(|&&x| x == c).count();
     println!(
         "edge partition: |M| = {}, |P| = {}, |C| = {}, |F| = {}",
@@ -72,7 +86,10 @@ fn main() {
         2 * analysis.dstar_size,
         2 * analysis.d_size
     );
-    println!("total edge weight w(E) = {} (must be >= 0)", analysis.total_weight);
+    println!(
+        "total edge weight w(E) = {} (must be >= 0)",
+        analysis.total_weight
+    );
     match analysis.verify(&pg, delta) {
         Ok(()) => println!("every inequality of the Section 7 proof holds on this instance"),
         Err(e) => {

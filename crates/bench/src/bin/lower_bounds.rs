@@ -64,8 +64,8 @@ fn figure4(d: usize) {
         .run(|deg: usize| BoundedDegreeNode::new(delta, deg))
         .expect("protocol runs on M");
     let fibers = inst.covering.fibers(inst.target.node_count());
-    let agree = fiber_agreement(&fibers, &on_g.outputs).is_ok()
-        && on_g.outputs[0] == on_m.outputs[0];
+    let agree =
+        fiber_agreement(&fibers, &on_g.outputs).is_ok() && on_g.outputs[0] == on_m.outputs[0];
     println!(
         "indistinguishability: all {} nodes of G output exactly what the \
          single node of M outputs: {}",
@@ -129,9 +129,7 @@ fn figures5to7(d: usize) {
             agree &= on_g.outputs[v.index()] == on_m.outputs[x];
         }
     }
-    println!(
-        "indistinguishability: fibre outputs on G match the quotient M: {agree}"
-    );
+    println!("indistinguishability: fibre outputs on G match the quotient M: {agree}");
     assert!(agree, "covering-map lemma violated");
 
     // The forced cost: the Theorem 4 protocol on this instance pays

@@ -26,7 +26,9 @@ use pn_graph::{generators, ports};
 use pn_runtime::Simulator;
 
 fn main() {
-    println!("Deterministic-ID vs randomized-anonymous vs deterministic-anonymous, identical instances");
+    println!(
+        "Deterministic-ID vs randomized-anonymous vs deterministic-anonymous, identical instances"
+    );
     println!();
     let mut table = Table::new(vec![
         "instance",
@@ -53,7 +55,9 @@ fn main() {
         };
         let pg = ports::shuffled_ports(&g, n as u64).expect("ports");
         let delta = pg.max_degree();
-        let ids: Vec<u64> = (0..g.node_count() as u64).map(|i| i * 1_000_003 % 65_537).collect();
+        let ids: Vec<u64> = (0..g.node_count() as u64)
+            .map(|i| i * 1_000_003 % 65_537)
+            .collect();
         // The modular scramble may collide for large n; fall back to
         // identity-based unique ids.
         let ids = if has_duplicates(&ids) {

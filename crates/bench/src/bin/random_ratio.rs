@@ -42,15 +42,18 @@ fn main() {
         let mut greedy_ratios = Vec::new();
         for seed in 0..samples {
             let n_eff = if (n * d) % 2 == 1 { n + 1 } else { n };
-            let g = generators::random_regular(n_eff, d, seed * 131 + d as u64)
-                .expect("regular graph");
+            let g =
+                generators::random_regular(n_eff, d, seed * 131 + d as u64).expect("regular graph");
             let pg = ports::shuffled_ports(&g, seed).expect("ports");
             let simple = pg.to_simple().expect("simple");
             let opt = eds_baselines::exact::minimum_eds_size(&simple);
             let found = if d % 2 == 0 {
                 port_one_reference(&pg).len()
             } else {
-                regular_odd_reference(&pg).expect("runs").dominating_set.len()
+                regular_odd_reference(&pg)
+                    .expect("runs")
+                    .dominating_set
+                    .len()
             };
             let greedy = eds_baselines::two_approx::two_approximation(&simple).len();
             ratios.push(found as f64 / opt as f64);
@@ -65,7 +68,11 @@ fn main() {
         } else {
             4.0 - 6.0 / (d as f64 + 1.0)
         };
-        let algo = if d % 2 == 0 { "port-1 (Thm 3)" } else { "Thm 4" };
+        let algo = if d % 2 == 0 {
+            "port-1 (Thm 3)"
+        } else {
+            "Thm 4"
+        };
         assert!(
             max(&ratios) <= bound + 1e-9,
             "worst-case bound exceeded at d = {d}"

@@ -23,7 +23,9 @@ use pn_graph::dot::{pn_to_dot, to_dot, EdgeClassStyle};
 use pn_graph::{generators, ports, Endpoint, PnGraphBuilder, Port, SimpleGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "figures".to_owned());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures".to_owned());
     std::fs::create_dir_all(&out_dir)?;
     let write = |name: &str, contents: String| -> std::io::Result<()> {
         let path = format!("{out_dir}/{name}");
@@ -34,7 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Figure 1: the four panels on one graph. ---
     let mut g = SimpleGraph::new(7);
-    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (0, 6)] {
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (0, 6),
+    ] {
         g.add_edge_ids(u, v)?;
     }
     let panel_a: Vec<_> = g
@@ -50,27 +61,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let panel_b = eds_baselines::two_approx::two_approximation(&g);
     write(
         "figure1_b.dot",
-        to_dot(&g, "fig1b", &[EdgeClassStyle::new("maximal matching", "blue", panel_b)]),
+        to_dot(
+            &g,
+            "fig1b",
+            &[EdgeClassStyle::new("maximal matching", "blue", panel_b)],
+        ),
     )?;
     let panel_c = eds_baselines::exact::minimum_edge_dominating_set(&g);
     write(
         "figure1_c.dot",
-        to_dot(&g, "fig1c", &[EdgeClassStyle::new("minimum eds", "red", panel_c)]),
+        to_dot(
+            &g,
+            "fig1c",
+            &[EdgeClassStyle::new("minimum eds", "red", panel_c)],
+        ),
     )?;
     let panel_d = eds_baselines::mmm::minimum_maximal_matching(&g);
     write(
         "figure1_d.dot",
-        to_dot(&g, "fig1d", &[EdgeClassStyle::new("minimum maximal matching", "blue", panel_d)]),
+        to_dot(
+            &g,
+            "fig1d",
+            &[EdgeClassStyle::new(
+                "minimum maximal matching",
+                "blue",
+                panel_d,
+            )],
+        ),
     )?;
 
     // --- Figure 2: the multigraph with ports. ---
     let mut b = PnGraphBuilder::new();
     let s = b.add_node(3);
     let t = b.add_node(4);
-    b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))?;
-    b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))?;
+    b.connect(
+        Endpoint::new(s, Port::new(1)),
+        Endpoint::new(t, Port::new(2)),
+    )?;
+    b.connect(
+        Endpoint::new(s, Port::new(2)),
+        Endpoint::new(t, Port::new(1)),
+    )?;
     b.fix_point(Endpoint::new(s, Port::new(3)))?;
-    b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))?;
+    b.connect(
+        Endpoint::new(t, Port::new(3)),
+        Endpoint::new(t, Port::new(4)),
+    )?;
     let m = b.finish()?;
     write("figure2_multigraph.dot", pn_to_dot(&m, "fig2", &[]))?;
 

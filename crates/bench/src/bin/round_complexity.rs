@@ -48,8 +48,7 @@ fn main() {
         ]);
     }
     for delta in [2usize, 3, 4, 5, 6] {
-        let g =
-            generators::random_bounded_degree(24, delta, 0.8, delta as u64).expect("graph");
+        let g = generators::random_bounded_degree(24, delta, 0.8, delta as u64).expect("graph");
         let pg = ports::shuffled_ports(&g, 3).expect("ports");
         let run = Simulator::new(&pg)
             .run(|deg: usize| BoundedDegreeNode::new(delta, deg))
@@ -72,7 +71,10 @@ fn main() {
     for n in [16usize, 64, 256, 1024] {
         let g = generators::random_regular(n, 4, n as u64).expect("graph");
         let pg = ports::shuffled_ports(&g, 4).expect("ports");
-        let r1 = Simulator::new(&pg).run(PortOneNode::new).expect("runs").rounds;
+        let r1 = Simulator::new(&pg)
+            .run(PortOneNode::new)
+            .expect("runs")
+            .rounds;
         let r2 = Simulator::new(&pg)
             .run(|deg: usize| BoundedDegreeNode::new(5, deg))
             .expect("runs")

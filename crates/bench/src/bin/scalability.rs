@@ -26,7 +26,9 @@ fn main() {
         .map(|x| x.get())
         .unwrap_or(4);
 
-    println!("Scalability of the distributed A({delta}) protocol (parallel driver: {threads} threads)");
+    println!(
+        "Scalability of the distributed A({delta}) protocol (parallel driver: {threads} threads)"
+    );
     println!();
     let mut table = Table::new(vec![
         "nodes", "links", "rounds", "messages", "|D|", "seq (ms)", "par (ms)", "speedup",

@@ -1,0 +1,227 @@
+//! Emits `BENCH_sim.json`: the tracked round-engine throughput numbers.
+//!
+//! For each workload the binary runs the same gossip protocol through
+//! three engines — the preserved pre-optimisation loop
+//! ([`eds_bench::legacy_engine::run_legacy`]), the current sequential
+//! engine ([`pn_runtime::Simulator::run`], `send_into`-based), and the
+//! parallel driver — asserts their [`pn_runtime::Run`]s are
+//! bit-identical, and records rounds/sec and messages/sec plus the
+//! sequential-over-legacy speedup.
+//!
+//! Run with: `cargo run --release -p eds-bench --bin sim_benchmark`
+//! (writes `BENCH_sim.json` into the current directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use eds_bench::legacy_engine::run_legacy;
+use pn_graph::{covering, generators, ports, PortNumberedGraph};
+use pn_runtime::{collect_send, NodeAlgorithm, Run, Simulator, WrongCount};
+
+/// Fixed number of rounds every node runs before halting.
+const ROUNDS: usize = 16;
+
+#[derive(Clone)]
+struct Gossip {
+    degree: usize,
+    acc: u64,
+    left: usize,
+}
+
+impl Gossip {
+    fn new(degree: usize) -> Self {
+        Gossip {
+            degree,
+            acc: degree as u64,
+            left: ROUNDS,
+        }
+    }
+}
+
+impl NodeAlgorithm for Gossip {
+    type Message = u64;
+    type Output = u64;
+
+    fn send(&mut self, round: usize) -> Vec<u64> {
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(&mut self, _round: usize, outbox: &mut [Option<u64>]) -> Result<(), WrongCount> {
+        for (q, slot) in outbox.iter_mut().enumerate() {
+            *slot = Some(self.acc.wrapping_add(q as u64));
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<u64>]) -> Option<u64> {
+        for m in inbox.iter().flatten() {
+            self.acc = self.acc.rotate_left(5).wrapping_add(*m);
+        }
+        self.left -= 1;
+        (self.left == 0).then_some(self.acc)
+    }
+}
+
+/// The same protocol with the pre-PR allocating `send` and no
+/// `send_into` override — the honest baseline for [`run_legacy`]: one
+/// fresh `Vec` per node per round, exactly what algorithms did before
+/// the migration (going through `collect_send` here would handicap the
+/// baseline with an extra buffer and pass).
+#[derive(Clone)]
+struct LegacyGossip(Gossip);
+
+impl LegacyGossip {
+    fn new(degree: usize) -> Self {
+        LegacyGossip(Gossip::new(degree))
+    }
+}
+
+impl NodeAlgorithm for LegacyGossip {
+    type Message = u64;
+    type Output = u64;
+
+    fn send(&mut self, _round: usize) -> Vec<u64> {
+        (0..self.0.degree)
+            .map(|q| self.0.acc.wrapping_add(q as u64))
+            .collect()
+    }
+
+    fn receive(&mut self, round: usize, inbox: &[Option<u64>]) -> Option<u64> {
+        self.0.receive(round, inbox)
+    }
+}
+
+/// Times `f` adaptively: repeats until ~0.5 s of measurement, reports
+/// the best (lowest) seconds per call.
+fn time_best<R>(mut f: impl FnMut() -> R) -> f64 {
+    // Warm-up and calibration.
+    let start = Instant::now();
+    let _ = f();
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.25 / once).ceil() as usize).clamp(1, 1000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn assert_identical(a: &Run<u64>, b: &Run<u64>, what: &str) {
+    assert!(
+        a.outputs == b.outputs
+            && a.halted_at == b.halted_at
+            && a.rounds == b.rounds
+            && a.messages == b.messages,
+        "engines diverged: {what}"
+    );
+}
+
+struct Row {
+    name: &'static str,
+    nodes: usize,
+    ports: usize,
+    rounds: usize,
+    legacy_rps: f64,
+    sequential_rps: f64,
+    parallel4_rps: f64,
+    sequential_mps: f64,
+    speedup: f64,
+}
+
+fn measure(name: &'static str, pg: &PortNumberedGraph) -> Row {
+    let sim = Simulator::new(pg);
+    let seq = sim.run(Gossip::new).expect("sequential run");
+    let old = run_legacy(pg, LegacyGossip::new, 1 << 20).expect("legacy run");
+    let par = sim.run_parallel(Gossip::new, 4).expect("parallel run");
+    assert_identical(&seq, &old, "sequential vs legacy");
+    assert_identical(&seq, &par, "sequential vs parallel");
+
+    let t_seq = time_best(|| sim.run(Gossip::new).unwrap());
+    let t_old = time_best(|| run_legacy(pg, LegacyGossip::new, 1 << 20).unwrap());
+    let t_par = time_best(|| sim.run_parallel(Gossip::new, 4).unwrap());
+
+    let rounds = seq.rounds;
+    let messages = seq.messages as f64;
+    Row {
+        name,
+        nodes: pg.node_count(),
+        ports: pg.port_count(),
+        rounds,
+        legacy_rps: rounds as f64 / t_old,
+        sequential_rps: rounds as f64 / t_seq,
+        parallel4_rps: rounds as f64 / t_par,
+        sequential_mps: messages / t_seq,
+        speedup: t_old / t_seq,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let cycle = ports::canonical_ports(&generators::cycle(100_000).unwrap()).unwrap();
+    rows.push(measure("cycle_100k", &cycle));
+
+    let reg =
+        ports::shuffled_ports(&generators::random_regular(10_000, 3, 10_000).unwrap(), 7).unwrap();
+    rows.push(measure("random_3_regular_10k", &reg));
+
+    let base = ports::shuffled_ports(&generators::petersen(), 3).unwrap();
+    let (lift, _) = covering::cyclic_lift(&base, 1_000);
+    rows.push(measure("petersen_cover_10k", &lift));
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"sim_throughput\",");
+    let _ = writeln!(json, "  \"protocol_rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"engines_bit_identical\": true,");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(json, "      \"ports\": {},", r.ports);
+        let _ = writeln!(json, "      \"rounds\": {},", r.rounds);
+        let _ = writeln!(
+            json,
+            "      \"legacy_rounds_per_sec\": {:.1},",
+            r.legacy_rps
+        );
+        let _ = writeln!(
+            json,
+            "      \"sequential_rounds_per_sec\": {:.1},",
+            r.sequential_rps
+        );
+        let _ = writeln!(
+            json,
+            "      \"parallel4_rounds_per_sec\": {:.1},",
+            r.parallel4_rps
+        );
+        let _ = writeln!(
+            json,
+            "      \"sequential_messages_per_sec\": {:.1},",
+            r.sequential_mps
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_sequential_vs_legacy\": {:.2}",
+            r.speedup
+        );
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "{:<22} legacy {:>10.0} r/s   sequential {:>10.0} r/s   parallel4 {:>10.0} r/s   speedup {:.2}x",
+            r.name, r.legacy_rps, r.sequential_rps, r.parallel4_rps, r.speedup
+        );
+    }
+}

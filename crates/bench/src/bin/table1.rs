@@ -41,7 +41,11 @@ fn main() {
         let (edges, rounds, _) = run_distributed(&inst.graph, PortOneNode::new);
         let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
         let theory = Ratio::from(inst.ratio());
-        let status = if measured.eq_exact(theory) { "exact" } else { "MISMATCH" };
+        let status = if measured.eq_exact(theory) {
+            "exact"
+        } else {
+            "MISMATCH"
+        };
         ok &= measured.eq_exact(theory);
         table.row(vec![
             format!("d-regular (even)"),
@@ -64,7 +68,11 @@ fn main() {
             .expect("protocol runs");
         let measured = Ratio::of_sizes(edges.len(), inst.optimal_size());
         let theory = Ratio::from(inst.ratio());
-        let status = if measured.eq_exact(theory) { "exact" } else { "MISMATCH" };
+        let status = if measured.eq_exact(theory) {
+            "exact"
+        } else {
+            "MISMATCH"
+        };
         ok &= measured.eq_exact(theory);
         table.row(vec![
             format!("d-regular (odd)"),
@@ -105,10 +113,17 @@ fn main() {
         } else {
             format!("4-2/Δ = {:.4}", theory.as_f64())
         };
-        let status = if measured.eq_exact(theory) { "exact" } else { "MISMATCH" };
+        let status = if measured.eq_exact(theory) {
+            "exact"
+        } else {
+            "MISMATCH"
+        };
         ok &= measured.eq_exact(theory);
         table.row(vec![
-            format!("max degree ({})", if delta % 2 == 1 { "odd" } else { "even" }),
+            format!(
+                "max degree ({})",
+                if delta % 2 == 1 { "odd" } else { "even" }
+            ),
             format!("Δ={delta}"),
             label,
             format!("{:.4}", measured.as_f64()),

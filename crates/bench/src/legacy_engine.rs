@@ -1,0 +1,175 @@
+//! The pre-optimisation round engine, preserved verbatim as a
+//! benchmarking baseline.
+//!
+//! This is the simulator loop this repository shipped before the
+//! zero-allocation engine landed in `pn-runtime`: dense `0..n` node scans
+//! every round, a fresh `Vec` per node per round through
+//! [`NodeAlgorithm::send`], full clears of both flat buffers, and
+//! per-port `connection()` endpoint arithmetic in the route phase. The
+//! `sim_benchmark` binary runs it side by side with the new engine so
+//! `BENCH_sim.json` tracks the speedup from a fixed reference point —
+//! do not "optimise" this module.
+
+use pn_graph::{Endpoint, NodeId, PortNumberedGraph};
+use pn_runtime::{AlgorithmFactory, NodeAlgorithm, Run, RuntimeError};
+
+/// Runs `factory`'s algorithm on `g` with the pre-optimisation engine.
+///
+/// Semantically identical to [`pn_runtime::Simulator::run`] (the
+/// benchmark binary asserts it, run by run); only the per-round cost
+/// profile differs.
+///
+/// # Errors
+///
+/// Same conditions as [`pn_runtime::Simulator::run`].
+pub fn run_legacy<F>(
+    g: &PortNumberedGraph,
+    factory: F,
+    max_rounds: usize,
+) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+where
+    F: AlgorithmFactory,
+{
+    type Msg<F> = <<F as AlgorithmFactory>::Algorithm as NodeAlgorithm>::Message;
+    let n = g.node_count();
+    let mut states: Vec<Option<F::Algorithm>> = g
+        .nodes()
+        .map(|v| Some(factory.create(g.degree(v))))
+        .collect();
+    let mut outputs = (0..n).map(|_| None).collect::<Vec<_>>();
+    let mut halted_at = vec![0usize; n];
+    let mut running = n;
+    let mut messages = 0usize;
+    let mut rounds = 0usize;
+
+    // Flattened per-port outboxes/inboxes, rebuilt offsets included —
+    // this is the allocation- and scan-heavy shape being benchmarked.
+    let total_ports = g.port_count();
+    let mut outbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+    let mut inbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+    let mut offsets = Vec::with_capacity(n);
+    let mut acc = 0usize;
+    for v in g.nodes() {
+        offsets.push(acc);
+        acc += g.degree(v);
+    }
+
+    while running > 0 {
+        if rounds >= max_rounds {
+            return Err(RuntimeError::RoundLimitExceeded {
+                limit: max_rounds,
+                still_running: running,
+            });
+        }
+        // Send phase: dense scan, one Vec per running node.
+        for slot in outbox.iter_mut() {
+            *slot = None;
+        }
+        for v in 0..n {
+            if let Some(state) = states[v].as_mut() {
+                let out = state.send(rounds);
+                let d = g.degree(NodeId::new(v));
+                if out.len() != d {
+                    return Err(RuntimeError::WrongMessageCount {
+                        node: NodeId::new(v),
+                        got: out.len(),
+                        expected: d,
+                    });
+                }
+                for (i, m) in out.into_iter().enumerate() {
+                    outbox[offsets[v] + i] = Some(m);
+                }
+            }
+        }
+        // Route phase: full clear plus per-port endpoint arithmetic.
+        for slot in inbox.iter_mut() {
+            *slot = None;
+        }
+        for v in g.nodes() {
+            for i in g.ports(v) {
+                let from = Endpoint::new(v, i);
+                let from_slot = offsets[v.index()] + i.index();
+                if outbox[from_slot].is_none() {
+                    continue;
+                }
+                let to = g.connection(from);
+                let to_slot = offsets[to.node.index()] + to.port.index();
+                inbox[to_slot] = outbox[from_slot].take();
+                messages += 1;
+            }
+        }
+        // Receive phase: dense scan.
+        for v in 0..n {
+            if let Some(state) = states[v].as_mut() {
+                let d = g.degree(NodeId::new(v));
+                let window = &inbox[offsets[v]..offsets[v] + d];
+                if let Some(out) = state.receive(rounds, window) {
+                    outputs[v] = Some(out);
+                    halted_at[v] = rounds + 1;
+                    states[v] = None;
+                    running -= 1;
+                }
+            }
+        }
+        rounds += 1;
+    }
+
+    Ok(Run {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("all nodes halted"))
+            .collect(),
+        rounds: halted_at.iter().copied().max().unwrap_or(0),
+        halted_at,
+        messages,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::{generators, ports};
+    use pn_runtime::Simulator;
+
+    #[derive(Clone)]
+    struct Gossip {
+        degree: usize,
+        acc: u64,
+        left: usize,
+    }
+
+    impl NodeAlgorithm for Gossip {
+        type Message = u64;
+        type Output = u64;
+        fn send(&mut self, _r: usize) -> Vec<u64> {
+            (0..self.degree)
+                .map(|q| self.acc.wrapping_add(q as u64))
+                .collect()
+        }
+        fn receive(&mut self, _r: usize, inbox: &[Option<u64>]) -> Option<u64> {
+            for m in inbox.iter().flatten() {
+                self.acc = self.acc.rotate_left(5).wrapping_add(*m);
+            }
+            self.left -= 1;
+            (self.left == 0).then_some(self.acc)
+        }
+    }
+
+    #[test]
+    fn legacy_engine_matches_new_engine() {
+        let g = generators::random_regular(30, 4, 9).unwrap();
+        let pg = ports::shuffled_ports(&g, 10).unwrap();
+        let factory = |d: usize| Gossip {
+            degree: d,
+            acc: d as u64,
+            left: 7,
+        };
+        let old = run_legacy(&pg, factory, 1_000_000).unwrap();
+        let new = Simulator::new(&pg).run(factory).unwrap();
+        assert_eq!(old.outputs, new.outputs);
+        assert_eq!(old.halted_at, new.halted_at);
+        assert_eq!(old.rounds, new.rounds);
+        assert_eq!(old.messages, new.messages);
+    }
+}

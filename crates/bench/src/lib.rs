@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod legacy_engine;
 pub mod report;
 pub mod workloads;
 
@@ -75,12 +76,8 @@ mod tests {
 
     #[test]
     fn run_distributed_port_one() {
-        let g = pn_graph::ports::canonical_ports(
-            &pn_graph::generators::cycle(6).unwrap(),
-        )
-        .unwrap();
-        let (edges, rounds, messages) =
-            run_distributed(&g, eds_core::port_one::PortOneNode::new);
+        let g = pn_graph::ports::canonical_ports(&pn_graph::generators::cycle(6).unwrap()).unwrap();
+        let (edges, rounds, messages) = run_distributed(&g, eds_core::port_one::PortOneNode::new);
         assert!(!edges.is_empty());
         assert_eq!(rounds, 1);
         assert_eq!(messages, 12);

@@ -176,8 +176,7 @@ impl Section7Analysis {
         }
 
         // Weights.
-        let external_p =
-            |v: NodeId| p_cover[v.index()] && !internal[v.index()];
+        let external_p = |v: NodeId| p_cover[v.index()] && !internal[v.index()];
         let mut weights = vec![0i64; g.edge_count()];
         for (e, shape) in g.edges() {
             let (u, v) = shape.nodes();
@@ -237,12 +236,7 @@ impl Section7Analysis {
         if internal_count != 2 * self.dstar_size {
             return Err("2|D*| != |I|".to_owned());
         }
-        let weighted: usize = self
-            .histogram
-            .iter()
-            .enumerate()
-            .map(|(x, &c)| x * c)
-            .sum();
+        let weighted: usize = self.histogram.iter().enumerate().map(|(x, &c)| x * c).sum();
         if weighted != 2 * self.d_size {
             return Err(format!(
                 "Σ x I_x = {weighted} but 2|D| = {}",
@@ -306,7 +300,10 @@ impl Section7Analysis {
         let [i0, i1, i2, i3, i4] = self.histogram.map(|x| x as i64);
         let rhs = (delta_i - 3) * i3 + (2 * delta_i - 4) * i2 + (2 * delta_i - 2) * (i1 + i0);
         if 2 * i4 > rhs {
-            return Err(format!("aggregate bound violated: 2 I4 = {} > {rhs}", 2 * i4));
+            return Err(format!(
+                "aggregate bound violated: 2 I4 = {} > {rhs}",
+                2 * i4
+            ));
         }
 
         // The final ratio bound |D| <= (4 - 1/k) |D*| with k = ⌊Δ/2⌋
@@ -386,8 +383,7 @@ mod tests {
         let g = generators::path(3).unwrap();
         let pg = ports::canonical_ports(&g).unwrap();
         let result = bounded_degree_reference(&pg, 2).unwrap();
-        let both: Vec<pn_graph::EdgeId> =
-            vec![pn_graph::EdgeId::new(0), pn_graph::EdgeId::new(1)];
+        let both: Vec<pn_graph::EdgeId> = vec![pn_graph::EdgeId::new(0), pn_graph::EdgeId::new(1)];
         assert!(Section7Analysis::build(&pg, &result, &both).is_err());
     }
 

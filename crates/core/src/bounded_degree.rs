@@ -287,9 +287,8 @@ mod tests {
     fn random_bounded_graphs() {
         for delta in [2usize, 3, 4, 5, 6, 7] {
             for seed in 0..4 {
-                let g =
-                    generators::random_bounded_degree(24, delta, 0.7, seed * 13 + delta as u64)
-                        .unwrap();
+                let g = generators::random_bounded_degree(24, delta, 0.7, seed * 13 + delta as u64)
+                    .unwrap();
                 let pg = ports::shuffled_ports(&g, seed).unwrap();
                 run_and_check(&pg, delta);
             }

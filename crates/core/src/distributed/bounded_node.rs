@@ -17,7 +17,7 @@
 //! on every input.
 
 use pn_graph::{EdgeId, GraphError, Port, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, PortSet, Simulator};
+use pn_runtime::{collect_send, NodeAlgorithm, PortSet, Simulator, WrongCount};
 
 use super::common::dn_port_index;
 
@@ -169,47 +169,45 @@ impl BoundedDegreeNode {
     fn edge_in_mij(&self, q: usize, i: u32, j: u32) -> bool {
         let own = (q + 1) as u32;
         let far = self.their_port[q];
-        (self.my_claim[q] && own == i && far == j)
-            || (self.their_claim[q] && far == i && own == j)
+        (self.my_claim[q] && own == i && far == j) || (self.their_claim[q] && far == i && own == j)
     }
 
-    /// Builds the proposal messages for a propose round; the proposer is
+    /// Writes the proposal messages for a propose round; the proposer is
     /// active while `active` holds and its cursor has not run off the
     /// eligible list.
-    fn propose(&mut self, active: bool) -> Vec<BoundedMsg> {
-        let mut out = vec![BoundedMsg::Nothing; self.degree];
+    fn propose_into(&mut self, active: bool, out: &mut [Option<BoundedMsg>]) {
+        out.fill(Some(BoundedMsg::Nothing));
         self.pending = None;
         if active && self.cursor < self.eligible.len() {
             let q = self.eligible[self.cursor];
             self.cursor += 1;
             self.pending = Some(q);
-            out[q] = BoundedMsg::Propose;
+            out[q] = Some(BoundedMsg::Propose);
         }
-        out
     }
 
-    /// Builds the response messages for a respond round. `may_accept`
+    /// Writes the response messages for a respond round. `may_accept`
     /// gates acceptance; on acceptance the chosen port is recorded via
     /// `mark(self, port)`.
-    fn respond(
+    fn respond_into(
         &mut self,
         may_accept: bool,
         mark: impl FnOnce(&mut Self, usize),
-    ) -> Vec<BoundedMsg> {
-        let mut out = vec![BoundedMsg::Nothing; self.degree];
+        out: &mut [Option<BoundedMsg>],
+    ) {
+        out.fill(Some(BoundedMsg::Nothing));
         let incoming = std::mem::take(&mut self.incoming);
         if incoming.is_empty() {
-            return out;
+            return;
         }
         for &q in &incoming {
-            out[q] = BoundedMsg::Response(false);
+            out[q] = Some(BoundedMsg::Response(false));
         }
         if may_accept {
             let best = *incoming.iter().min().expect("non-empty");
-            out[best] = BoundedMsg::Response(true);
+            out[best] = Some(BoundedMsg::Response(true));
             mark(self, best);
         }
-        out
     }
 
     fn record_incoming_proposals(&mut self, inbox: &[Option<BoundedMsg>]) {
@@ -258,41 +256,64 @@ impl NodeAlgorithm for BoundedDegreeNode {
     type Output = PortSet;
 
     fn send(&mut self, round: usize) -> Vec<BoundedMsg> {
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(
+        &mut self,
+        round: usize,
+        outbox: &mut [Option<BoundedMsg>],
+    ) -> Result<(), WrongCount> {
         let d = self.degree;
         match step_at(self.delta, round) {
-            Step::Hello => (0..d)
-                .map(|q| BoundedMsg::Hello {
-                    port: (q + 1) as u32,
-                    degree: d as u32,
-                })
-                .collect(),
-            Step::Claim => (0..d).map(|q| BoundedMsg::Claim(self.my_claim[q])).collect(),
+            Step::Hello => {
+                for (q, slot) in outbox.iter_mut().enumerate() {
+                    *slot = Some(BoundedMsg::Hello {
+                        port: (q + 1) as u32,
+                        degree: d as u32,
+                    });
+                }
+            }
+            Step::Claim => {
+                for (q, slot) in outbox.iter_mut().enumerate() {
+                    *slot = Some(BoundedMsg::Claim(self.my_claim[q]));
+                }
+            }
             Step::Phase1(_) | Step::Phase2Start(_) | Step::Phase3Start => {
-                vec![BoundedMsg::Cover(self.covered_m); d]
+                outbox.fill(Some(BoundedMsg::Cover(self.covered_m)));
             }
             Step::Phase2Propose(_) => {
                 let active = !self.covered_m;
-                self.propose(active)
+                self.propose_into(active, outbox);
             }
             Step::Phase2Respond(_) => {
                 let may_accept = !self.covered_m;
-                self.respond(may_accept, |s, q| {
-                    s.in_m[q] = true;
-                    s.covered_m = true;
-                })
+                self.respond_into(
+                    may_accept,
+                    |s, q| {
+                        s.in_m[q] = true;
+                        s.covered_m = true;
+                    },
+                    outbox,
+                );
             }
             Step::Phase3Propose => {
                 let active = !self.proposer_done;
-                self.propose(active)
+                self.propose_into(active, outbox);
             }
             Step::Phase3Respond(_) => {
                 let may_accept = !self.acceptor_done;
-                self.respond(may_accept, |s, q| {
-                    s.in_p[q] = true;
-                    s.acceptor_done = true;
-                })
+                self.respond_into(
+                    may_accept,
+                    |s, q| {
+                        s.in_p[q] = true;
+                        s.acceptor_done = true;
+                    },
+                    outbox,
+                );
             }
         }
+        Ok(())
     }
 
     fn receive(&mut self, round: usize, inbox: &[Option<BoundedMsg>]) -> Option<PortSet> {
@@ -421,10 +442,8 @@ pub fn bounded_degree_distributed(
         .map_err(|e| GraphError::InvalidParameter {
             detail: format!("simulation failed: {e}"),
         })?;
-    pn_runtime::edge_set_from_outputs(g, &run.outputs).map_err(|e| {
-        GraphError::InvalidParameter {
-            detail: format!("inconsistent output: {e}"),
-        }
+    pn_runtime::edge_set_from_outputs(g, &run.outputs).map_err(|e| GraphError::InvalidParameter {
+        detail: format!("inconsistent output: {e}"),
     })
 }
 
@@ -453,13 +472,9 @@ mod tests {
     fn matches_reference_on_random_bounded() {
         for delta in [2usize, 3, 4, 5, 6] {
             for seed in 0..5 {
-                let g = generators::random_bounded_degree(
-                    18,
-                    delta,
-                    0.75,
-                    seed * 11 + delta as u64,
-                )
-                .unwrap();
+                let g =
+                    generators::random_bounded_degree(18, delta, 0.75, seed * 11 + delta as u64)
+                        .unwrap();
                 let pg = ports::shuffled_ports(&g, seed).unwrap();
                 check_match(&pg, delta, &format!("delta {delta} seed {seed}"));
             }

@@ -69,8 +69,7 @@ mod tests {
                 match (local, global) {
                     (None, None) => {}
                     (Some(i), Some((u, _))) => {
-                        let through =
-                            pg.neighbor_through(v, pn_graph::Port::from_index(i));
+                        let through = pg.neighbor_through(v, pn_graph::Port::from_index(i));
                         assert_eq!(through, u);
                     }
                     other => panic!("disagreement at {v}: {other:?}"),

@@ -13,7 +13,7 @@
 //! Every node halts after round `2 + 2d²` and outputs its selected ports.
 
 use pn_graph::{EdgeId, Port, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, PortSet, RuntimeError, Simulator};
+use pn_runtime::{collect_send, NodeAlgorithm, PortSet, RuntimeError, Simulator, WrongCount};
 
 use super::common::dn_port_index;
 
@@ -79,8 +79,7 @@ impl RegularOddNode {
     fn edge_in_mij(&self, q: usize, i: u32, j: u32) -> bool {
         let own = (q + 1) as u32;
         let far = self.their_port[q];
-        (self.my_claim[q] && own == i && far == j)
-            || (self.their_claim[q] && far == i && own == j)
+        (self.my_claim[q] && own == i && far == j) || (self.their_claim[q] && far == i && own == j)
     }
 
     fn d_degree(&self) -> usize {
@@ -100,25 +99,37 @@ impl NodeAlgorithm for RegularOddNode {
     type Output = PortSet;
 
     fn send(&mut self, round: usize) -> Vec<RegOddMsg> {
-        let d = self.degree;
-        if round == 0 {
-            return (0..d).map(|q| RegOddMsg::Port((q + 1) as u32)).collect();
-        }
-        if round == 1 {
-            return (0..d).map(|q| RegOddMsg::Claim(self.my_claim[q])).collect();
-        }
-        let t = round - 2;
-        if t < d * d {
-            return vec![RegOddMsg::Cover(self.covered); d];
-        }
-        vec![RegOddMsg::DegTwo(self.d_degree() >= 2); d]
+        collect_send(self, round, self.degree)
     }
 
-    fn receive(
+    fn send_into(
         &mut self,
         round: usize,
-        inbox: &[Option<RegOddMsg>],
-    ) -> Option<PortSet> {
+        outbox: &mut [Option<RegOddMsg>],
+    ) -> Result<(), WrongCount> {
+        let d = self.degree;
+        if round == 0 {
+            for (q, slot) in outbox.iter_mut().enumerate() {
+                *slot = Some(RegOddMsg::Port((q + 1) as u32));
+            }
+            return Ok(());
+        }
+        if round == 1 {
+            for (q, slot) in outbox.iter_mut().enumerate() {
+                *slot = Some(RegOddMsg::Claim(self.my_claim[q]));
+            }
+            return Ok(());
+        }
+        let msg = if round - 2 < d * d {
+            RegOddMsg::Cover(self.covered)
+        } else {
+            RegOddMsg::DegTwo(self.d_degree() >= 2)
+        };
+        outbox.fill(Some(msg));
+        Ok(())
+    }
+
+    fn receive(&mut self, round: usize, inbox: &[Option<RegOddMsg>]) -> Option<PortSet> {
         let d = self.degree;
         if d == 0 {
             return Some(PortSet::new());
@@ -198,9 +209,7 @@ impl NodeAlgorithm for RegularOddNode {
 /// the protocol's round schedule is a function of the (common) degree, so
 /// nodes of different degrees would desynchronise. Simulator errors do
 /// not occur on regular inputs.
-pub fn regular_odd_distributed(
-    g: &PortNumberedGraph,
-) -> Result<Vec<EdgeId>, pn_graph::GraphError> {
+pub fn regular_odd_distributed(g: &PortNumberedGraph) -> Result<Vec<EdgeId>, pn_graph::GraphError> {
     if g.regular_degree().is_none() {
         let dmax = g.max_degree();
         let bad = g

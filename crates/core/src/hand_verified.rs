@@ -259,7 +259,10 @@ fn three_phase_walkthrough() {
     // Phase III: the single 2-matching edge {2,3}.
     assert_eq!(edge_nodes(&result.two_matching), vec![(2, 3)]);
     // Output D and its optimality.
-    assert_eq!(edge_nodes(&result.dominating_set), vec![(0, 4), (2, 3), (5, 6)]);
+    assert_eq!(
+        edge_nodes(&result.dominating_set),
+        vec![(0, 4), (2, 3), (5, 6)]
+    );
     // The distributed protocol agrees, as always.
     let distributed = crate::distributed::bounded_degree_distributed(&g, 4).unwrap();
     assert_eq!(result.dominating_set, distributed);

@@ -99,9 +99,7 @@ impl Labels {
                 let i = g
                     .port_toward(v, u)
                     .expect("distinguishable neighbour is adjacent");
-                let j = g
-                    .port_toward(u, v)
-                    .expect("adjacency is symmetric");
+                let j = g.port_toward(u, v).expect("adjacency is symmetric");
                 let slot = (i.index()) * delta + j.index();
                 // Avoid duplicates when i == j and both endpoints name each
                 // other as distinguishable neighbours.
@@ -193,10 +191,7 @@ pub fn uniquely_labelled_edges(g: &PortNumberedGraph, v: NodeId) -> Vec<EdgeId> 
 /// Returns `None` when every incident edge shares its label pair with
 /// another incident edge — by Lemma 1 this can only happen when
 /// `deg(v)` is even.
-pub fn distinguishable_neighbor(
-    g: &PortNumberedGraph,
-    v: NodeId,
-) -> Option<(NodeId, EdgeId)> {
+pub fn distinguishable_neighbor(g: &PortNumberedGraph, v: NodeId) -> Option<(NodeId, EdgeId)> {
     let d = g.degree(v);
     // Label pair of each incident edge, indexed by port.
     let mut pairs: Vec<LabelPair> = Vec::with_capacity(d);
@@ -238,18 +233,28 @@ mod tests {
         let c = bld.add_node(3);
         let d = bld.add_node(2);
         let ep = Endpoint::new;
-        bld.connect(ep(a, Port::new(1)), ep(b, Port::new(2))).unwrap();
-        bld.connect(ep(a, Port::new(2)), ep(c, Port::new(1))).unwrap();
-        bld.connect(ep(b, Port::new(1)), ep(c, Port::new(3))).unwrap();
-        bld.connect(ep(b, Port::new(3)), ep(d, Port::new(1))).unwrap();
-        bld.connect(ep(c, Port::new(2)), ep(d, Port::new(2))).unwrap();
+        bld.connect(ep(a, Port::new(1)), ep(b, Port::new(2)))
+            .unwrap();
+        bld.connect(ep(a, Port::new(2)), ep(c, Port::new(1)))
+            .unwrap();
+        bld.connect(ep(b, Port::new(1)), ep(c, Port::new(3)))
+            .unwrap();
+        bld.connect(ep(b, Port::new(3)), ep(d, Port::new(1)))
+            .unwrap();
+        bld.connect(ep(c, Port::new(2)), ep(d, Port::new(2)))
+            .unwrap();
         bld.finish().unwrap()
     }
 
     #[test]
     fn figure2_like_distinguishable_neighbors() {
         let h = figure2_like();
-        let (a, b, c, d) = (NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3));
+        let (a, b, c, d) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
         let labels = Labels::compute(&h).unwrap();
         // a sees {1,2} twice: no uniquely labelled edge, no DN — the
         // even-degree exception the paper highlights.
@@ -350,8 +355,11 @@ mod tests {
     fn rejects_multigraphs() {
         let mut b = PnGraphBuilder::new();
         let x = b.add_node(2);
-        b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(x, Port::new(1)),
+            Endpoint::new(x, Port::new(2)),
+        )
+        .unwrap();
         let g = b.finish().unwrap();
         assert!(Labels::compute(&g).is_err());
     }
@@ -368,10 +376,7 @@ mod tests {
         let g = generators::cycle(5).unwrap();
         let pg = ports::canonical_ports(&g).unwrap();
         let labels = Labels::compute(&pg).unwrap();
-        let order: Vec<(u32, u32)> = labels
-            .pairs()
-            .map(|(i, j, _)| (i.get(), j.get()))
-            .collect();
+        let order: Vec<(u32, u32)> = labels.pairs().map(|(i, j, _)| (i.get(), j.get())).collect();
         assert_eq!(order, vec![(1, 1), (1, 2), (2, 1), (2, 2)]);
     }
 }

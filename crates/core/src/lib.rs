@@ -50,10 +50,10 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
-#[cfg(test)]
-mod hand_verified;
 pub mod bounded_degree;
 pub mod distributed;
+#[cfg(test)]
+mod hand_verified;
 pub mod labels;
 pub mod port_one;
 pub mod proposals;

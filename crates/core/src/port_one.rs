@@ -11,7 +11,7 @@
 //! `|D| / |D*| ≤ 4 - 2/d`, which Theorem 1 shows is optimal for even `d`.
 
 use pn_graph::{EdgeId, Endpoint, NodeId, Port, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, PortSet};
+use pn_runtime::{collect_send, NodeAlgorithm, PortSet, WrongCount};
 
 /// Centralised reference implementation: all edges touching a port 1.
 ///
@@ -70,15 +70,22 @@ impl NodeAlgorithm for PortOneNode {
     type Message = PortOneMessage;
     type Output = PortSet;
 
-    fn send(&mut self, _round: usize) -> Vec<Self::Message> {
-        (0..self.degree).map(|i| i == 0).collect()
+    fn send(&mut self, round: usize) -> Vec<Self::Message> {
+        collect_send(self, round, self.degree)
     }
 
-    fn receive(
+    fn send_into(
         &mut self,
         _round: usize,
-        inbox: &[Option<Self::Message>],
-    ) -> Option<Self::Output> {
+        outbox: &mut [Option<Self::Message>],
+    ) -> Result<(), WrongCount> {
+        for (i, slot) in outbox.iter_mut().enumerate() {
+            *slot = Some(i == 0);
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<Self::Message>]) -> Option<Self::Output> {
         let mut x = PortSet::new();
         if self.degree >= 1 {
             x.insert(Port::new(1));
@@ -169,7 +176,9 @@ mod tests {
     #[test]
     fn one_round_only() {
         let g = ports::canonical_ports(&generators::torus(4, 4).unwrap()).unwrap();
-        let run = pn_runtime::Simulator::new(&g).run(PortOneNode::new).unwrap();
+        let run = pn_runtime::Simulator::new(&g)
+            .run(PortOneNode::new)
+            .unwrap();
         assert_eq!(run.rounds, 1);
     }
 

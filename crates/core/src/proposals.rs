@@ -117,10 +117,7 @@ pub fn black_white_proposal_matching(
 /// Every node gains at most two incident result edges (one per role), so
 /// the result is a 2-matching; and every eligible edge ends up dominated
 /// (paper Section 7.2).
-pub fn double_cover_two_matching(
-    g: &PortNumberedGraph,
-    eligible: &[bool],
-) -> Vec<EdgeId> {
+pub fn double_cover_two_matching(g: &PortNumberedGraph, eligible: &[bool]) -> Vec<EdgeId> {
     let n = g.node_count();
     let mut proposer_done = vec![false; n]; // proposal accepted
     let mut acceptor_done = vec![false; n]; // accepted someone

@@ -55,9 +55,7 @@ pub struct RegularOddResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn regular_odd_reference(
-    g: &PortNumberedGraph,
-) -> Result<RegularOddResult, GraphError> {
+pub fn regular_odd_reference(g: &PortNumberedGraph) -> Result<RegularOddResult, GraphError> {
     let labels = Labels::compute(g)?;
     regular_odd_with_labels(g, &labels)
 }

@@ -16,7 +16,7 @@
 //! edge-based problem.
 
 use pn_graph::{NodeId, PortNumberedGraph};
-use pn_runtime::{NodeAlgorithm, RuntimeError, Simulator};
+use pn_runtime::{collect_send, NodeAlgorithm, RuntimeError, Simulator, WrongCount};
 
 use crate::proposals::double_cover_two_matching;
 
@@ -105,7 +105,11 @@ impl NodeAlgorithm for VertexCoverNode {
     type Output = bool;
 
     fn send(&mut self, round: usize) -> Vec<VcMsg> {
-        let mut out = vec![VcMsg::Nothing; self.degree];
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(&mut self, round: usize, outbox: &mut [Option<VcMsg>]) -> Result<(), WrongCount> {
+        outbox.fill(Some(VcMsg::Nothing));
         if round.is_multiple_of(2) {
             // Propose round.
             self.pending = None;
@@ -113,23 +117,23 @@ impl NodeAlgorithm for VertexCoverNode {
                 let q = self.cursor;
                 self.cursor += 1;
                 self.pending = Some(q);
-                out[q] = VcMsg::Propose;
+                outbox[q] = Some(VcMsg::Propose);
             }
         } else {
             // Respond round.
             let incoming = std::mem::take(&mut self.incoming);
             for &q in &incoming {
-                out[q] = VcMsg::Response(false);
+                outbox[q] = Some(VcMsg::Response(false));
             }
             if !self.acceptor_done {
                 if let Some(&best) = incoming.iter().min() {
-                    out[best] = VcMsg::Response(true);
+                    outbox[best] = Some(VcMsg::Response(true));
                     self.acceptor_done = true;
                     self.in_p[best] = true;
                 }
             }
         }
-        out
+        Ok(())
     }
 
     fn receive(&mut self, round: usize, inbox: &[Option<VcMsg>]) -> Option<bool> {
@@ -170,9 +174,7 @@ pub fn vertex_cover_distributed(
     delta: usize,
 ) -> Result<Vec<NodeId>, RuntimeError> {
     let run = Simulator::new(g).run(|d: usize| VertexCoverNode::new(delta, d))?;
-    Ok(g.nodes()
-        .filter(|v| run.outputs[v.index()])
-        .collect())
+    Ok(g.nodes().filter(|v| run.outputs[v.index()]).collect())
 }
 
 /// Checks that `cover` is a vertex cover of the underlying graph.
@@ -199,9 +201,9 @@ mod tests {
         assert!(n <= 20, "brute force only");
         (0u32..(1 << n))
             .filter(|mask| {
-                simple.edges().all(|(_, u, v)| {
-                    mask & (1 << u.index()) != 0 || mask & (1 << v.index()) != 0
-                })
+                simple
+                    .edges()
+                    .all(|(_, u, v)| mask & (1 << u.index()) != 0 || mask & (1 << v.index()) != 0)
             })
             .map(u32::count_ones)
             .min()

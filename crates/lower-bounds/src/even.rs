@@ -18,8 +18,8 @@
 
 use pn_graph::ports::two_factor_ports;
 use pn_graph::{
-    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port,
-    PortNumberedGraph, SimpleGraph,
+    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port, PortNumberedGraph,
+    SimpleGraph,
 };
 
 /// The complete Theorem 1 instance for one even degree `d`.
@@ -172,10 +172,7 @@ mod tests {
         // |E| / (2d-1) = |S| edges.
         for d in [2usize, 4, 6] {
             let inst = build(d).unwrap();
-            assert_eq!(
-                inst.graph.edge_count(),
-                (2 * d - 1) * inst.optimal_size()
-            );
+            assert_eq!(inst.graph.edge_count(), (2 * d - 1) * inst.optimal_size());
         }
     }
 
@@ -183,9 +180,7 @@ mod tests {
     fn covering_map_verified() {
         for d in [2usize, 4, 8] {
             let inst = build(d).unwrap();
-            inst.covering
-                .verify(&inst.graph, &inst.target)
-                .unwrap();
+            inst.covering.verify(&inst.graph, &inst.target).unwrap();
             assert_eq!(inst.target.node_count(), 1);
         }
     }

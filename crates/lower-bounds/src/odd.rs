@@ -25,8 +25,8 @@
 
 use pn_graph::factorization::two_factorize_simple;
 use pn_graph::{
-    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port,
-    PortNumberedGraph, SimpleGraph,
+    CoveringMap, EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port, PortNumberedGraph,
+    SimpleGraph,
 };
 
 /// The complete Theorem 2 instance for one odd degree `d`.
@@ -265,10 +265,7 @@ pub fn build(d: usize) -> Result<OddLowerBound, GraphError> {
                 Endpoint::new(xl, Port::new(2 * i as u32 + 2)),
             )?;
         }
-        tb.connect(
-            Endpoint::new(y, Port::new(l as u32)),
-            Endpoint::new(xl, pd),
-        )?;
+        tb.connect(Endpoint::new(y, Port::new(l as u32)), Endpoint::new(xl, pd))?;
     }
     let target = tb.finish()?;
 

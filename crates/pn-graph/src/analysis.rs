@@ -86,7 +86,12 @@ pub fn bipartition(g: &SimpleGraph) -> Option<Vec<bool>> {
             }
         }
     }
-    Some(color.into_iter().map(|c| c.expect("all coloured")).collect())
+    Some(
+        color
+            .into_iter()
+            .map(|c| c.expect("all coloured"))
+            .collect(),
+    )
 }
 
 /// Returns `true` if the graph has no odd cycle.
@@ -261,7 +266,10 @@ mod tests {
         assert_eq!(girth(&generators::cycle(9).unwrap()), Some(9));
         assert_eq!(girth(&generators::complete(4).unwrap()), Some(3));
         assert_eq!(girth(&generators::petersen()), Some(5));
-        assert_eq!(girth(&generators::complete_bipartite(3, 3).unwrap()), Some(4));
+        assert_eq!(
+            girth(&generators::complete_bipartite(3, 3).unwrap()),
+            Some(4)
+        );
         assert_eq!(girth(&generators::hypercube(3).unwrap()), Some(4));
         assert_eq!(girth(&generators::path(6).unwrap()), None);
         assert_eq!(girth(&generators::star(4).unwrap()), None);

@@ -85,11 +85,7 @@ impl CoveringMap {
     ///
     /// Returns [`GraphError::NotACoveringMap`] describing the first
     /// violation found.
-    pub fn verify(
-        &self,
-        h: &PortNumberedGraph,
-        g: &PortNumberedGraph,
-    ) -> Result<(), GraphError> {
+    pub fn verify(&self, h: &PortNumberedGraph, g: &PortNumberedGraph) -> Result<(), GraphError> {
         if self.map.len() != h.node_count() {
             return Err(GraphError::NotACoveringMap {
                 detail: format!(
@@ -218,9 +214,7 @@ pub fn cyclic_lift(g: &PortNumberedGraph, c: usize) -> (PortNumberedGraph, Cover
         }
     }
     let lifted = b.finish().expect("lift connects every port");
-    let map = CoveringMap::new(
-        (0..c * n).map(|idx| NodeId::new(idx % n)).collect(),
-    );
+    let map = CoveringMap::new((0..c * n).map(|idx| NodeId::new(idx % n)).collect());
     (lifted, map)
 }
 
@@ -279,7 +273,7 @@ pub fn simple_lift(
     let has_half_loop = g
         .edges()
         .any(|(_, s)| matches!(s, EdgeShape::HalfLoop { .. }));
-    if has_half_loop && layers % 2 != 0 {
+    if has_half_loop && !layers.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             detail: "directed loops require an even number of layers".to_owned(),
         });
@@ -314,7 +308,9 @@ pub fn simple_lift(
                     a.node.index().min(b.node.index()),
                     a.node.index().max(b.node.index()),
                 );
-                let entry = next_shift.entry((u, v)).or_insert(if u == v { 1 } else { 0 });
+                let entry = next_shift
+                    .entry((u, v))
+                    .or_insert(if u == v { 1 } else { 0 });
                 let s = *entry;
                 let exhausted = if u == v {
                     // Strictly below layers/2 (also keeps clear of the
@@ -425,8 +421,11 @@ mod tests {
         // One node, ports 1<->2 (a loop). The 3-fold lift is a 3-cycle.
         let mut b = PnGraphBuilder::new();
         let x = b.add_node(2);
-        b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(x, Port::new(1)),
+            Endpoint::new(x, Port::new(2)),
+        )
+        .unwrap();
         let g = b.finish().unwrap();
         let (h, f) = cyclic_lift(&g, 3);
         f.verify(&h, &g).unwrap();
@@ -462,19 +461,31 @@ mod tests {
         let mut b1 = PnGraphBuilder::new();
         let a = b1.add_node(2);
         let bb = b1.add_node(2);
-        b1.connect(Endpoint::new(a, Port::new(1)), Endpoint::new(bb, Port::new(1)))
-            .unwrap();
-        b1.connect(Endpoint::new(a, Port::new(2)), Endpoint::new(bb, Port::new(2)))
-            .unwrap();
+        b1.connect(
+            Endpoint::new(a, Port::new(1)),
+            Endpoint::new(bb, Port::new(1)),
+        )
+        .unwrap();
+        b1.connect(
+            Endpoint::new(a, Port::new(2)),
+            Endpoint::new(bb, Port::new(2)),
+        )
+        .unwrap();
         let h = b1.finish().unwrap();
 
         let mut b2 = PnGraphBuilder::new();
         let x = b2.add_node(2);
         let y = b2.add_node(2);
-        b2.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(y, Port::new(2)))
-            .unwrap();
-        b2.connect(Endpoint::new(x, Port::new(2)), Endpoint::new(y, Port::new(1)))
-            .unwrap();
+        b2.connect(
+            Endpoint::new(x, Port::new(1)),
+            Endpoint::new(y, Port::new(2)),
+        )
+        .unwrap();
+        b2.connect(
+            Endpoint::new(x, Port::new(2)),
+            Endpoint::new(y, Port::new(1)),
+        )
+        .unwrap();
         let g = b2.finish().unwrap();
 
         let f = CoveringMap::new(vec![NodeId::new(0), NodeId::new(1)]);
@@ -491,13 +502,22 @@ mod tests {
         let mut bm = PnGraphBuilder::new();
         let s = bm.add_node(3);
         let t = bm.add_node(4);
-        bm.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))
-            .unwrap();
-        bm.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))
-            .unwrap();
+        bm.connect(
+            Endpoint::new(s, Port::new(1)),
+            Endpoint::new(t, Port::new(2)),
+        )
+        .unwrap();
+        bm.connect(
+            Endpoint::new(s, Port::new(2)),
+            Endpoint::new(t, Port::new(1)),
+        )
+        .unwrap();
         bm.fix_point(Endpoint::new(s, Port::new(3))).unwrap();
-        bm.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))
-            .unwrap();
+        bm.connect(
+            Endpoint::new(t, Port::new(3)),
+            Endpoint::new(t, Port::new(4)),
+        )
+        .unwrap();
         let m = bm.finish().unwrap();
         let (c, f) = simple_lift(&m, 4).unwrap();
         assert!(c.is_simple(), "the 4-fold shifted lift must be simple");
@@ -516,8 +536,11 @@ mod tests {
         let u = b.add_node(5);
         let v = b.add_node(5);
         for i in 1..=5u32 {
-            b.connect(Endpoint::new(u, Port::new(i)), Endpoint::new(v, Port::new(i)))
-                .unwrap();
+            b.connect(
+                Endpoint::new(u, Port::new(i)),
+                Endpoint::new(v, Port::new(i)),
+            )
+            .unwrap();
         }
         let m = b.finish().unwrap();
         assert!(simple_lift(&m, 4).is_err());
@@ -533,10 +556,16 @@ mod tests {
         // layers = 4 (pairs {ℓ, ℓ+2} self-coincide); 6 layers work.
         let mut b = PnGraphBuilder::new();
         let v = b.add_node(4);
-        b.connect(Endpoint::new(v, Port::new(1)), Endpoint::new(v, Port::new(2)))
-            .unwrap();
-        b.connect(Endpoint::new(v, Port::new(3)), Endpoint::new(v, Port::new(4)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(v, Port::new(1)),
+            Endpoint::new(v, Port::new(2)),
+        )
+        .unwrap();
+        b.connect(
+            Endpoint::new(v, Port::new(3)),
+            Endpoint::new(v, Port::new(4)),
+        )
+        .unwrap();
         let m = b.finish().unwrap();
         assert!(simple_lift(&m, 4).is_err());
         let (c, f) = simple_lift(&m, 6).unwrap();

@@ -77,11 +77,7 @@ pub fn to_dot(g: &SimpleGraph, name: &str, classes: &[EdgeClassStyle]) -> String
 
 /// Renders a port-numbered graph as DOT with port numbers as head/tail
 /// labels (the paper's Figure 2(b) style), highlighting edge classes.
-pub fn pn_to_dot(
-    g: &PortNumberedGraph,
-    name: &str,
-    classes: &[EdgeClassStyle],
-) -> String {
+pub fn pn_to_dot(g: &PortNumberedGraph, name: &str, classes: &[EdgeClassStyle]) -> String {
     let styles = class_lookup(classes);
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");
@@ -163,11 +159,7 @@ mod tests {
     fn highlighted_classes_render() {
         let g = generators::cycle(4).unwrap();
         let sol: Vec<EdgeId> = vec![EdgeId::new(0), EdgeId::new(2)];
-        let dot = to_dot(
-            &g,
-            "c4",
-            &[EdgeClassStyle::new("matching", "red", sol)],
-        );
+        let dot = to_dot(&g, "c4", &[EdgeClassStyle::new("matching", "red", sol)]);
         assert_eq!(dot.matches("color=\"red\"").count(), 2);
         assert!(dot.contains("// class \"matching\""));
     }
@@ -177,13 +169,22 @@ mod tests {
         let mut b = PnGraphBuilder::new();
         let s = b.add_node(3);
         let t = b.add_node(4);
-        b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))
-            .unwrap();
-        b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(s, Port::new(1)),
+            Endpoint::new(t, Port::new(2)),
+        )
+        .unwrap();
+        b.connect(
+            Endpoint::new(s, Port::new(2)),
+            Endpoint::new(t, Port::new(1)),
+        )
+        .unwrap();
         b.fix_point(Endpoint::new(s, Port::new(3))).unwrap();
-        b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(t, Port::new(3)),
+            Endpoint::new(t, Port::new(4)),
+        )
+        .unwrap();
         let g = b.finish().unwrap();
         let dot = pn_to_dot(&g, "m", &[]);
         assert!(dot.contains("taillabel=\"1\" headlabel=\"2\""));

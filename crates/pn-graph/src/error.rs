@@ -103,7 +103,10 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at node {node} not allowed in a simple graph")
             }
             GraphError::ParallelEdge { u, v } => {
-                write!(f, "parallel edge {{{u}, {v}}} not allowed in a simple graph")
+                write!(
+                    f,
+                    "parallel edge {{{u}, {v}}} not allowed in a simple graph"
+                )
             }
             GraphError::PortAlreadyConnected { endpoint } => {
                 write!(f, "port {endpoint} is already connected")

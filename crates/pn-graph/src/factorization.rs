@@ -127,7 +127,10 @@ pub fn two_factorize(g: &MultiGraph) -> Result<Vec<OrientedTwoFactor>, GraphErro
         }
     };
     if d % 2 != 0 {
-        let v = g.nodes().next().expect("regular graph of odd degree is non-empty");
+        let v = g
+            .nodes()
+            .next()
+            .expect("regular graph of odd degree is non-empty");
         return Err(GraphError::OddDegree { node: v, degree: d });
     }
     let k = d / 2;
@@ -177,7 +180,10 @@ pub fn two_factorize(g: &MultiGraph) -> Result<Vec<OrientedTwoFactor>, GraphErro
                 .collect(),
         });
     }
-    debug_assert!(remaining.iter().all(|&r| !r), "factorisation partitions edges");
+    debug_assert!(
+        remaining.iter().all(|&r| !r),
+        "factorisation partitions edges"
+    );
     Ok(factors)
 }
 

@@ -8,7 +8,7 @@ mod classic;
 mod random;
 
 pub use classic::{
-    circulant, complete, complete_bipartite, crown, cycle, disjoint_union, grid, hypercube,
-    ladder, path, petersen, star, torus, wheel,
+    circulant, complete, complete_bipartite, crown, cycle, disjoint_union, grid, hypercube, ladder,
+    path, petersen, star, torus, wheel,
 };
 pub use random::{gnp, random_bounded_degree, random_geometric, random_regular, random_tree};

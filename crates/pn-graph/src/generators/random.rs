@@ -102,7 +102,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<SimpleGraph, Grap
         }
     }
     Err(GraphError::InvalidParameter {
-        detail: format!("no simple {d}-regular pairing found for n = {n} after {MAX_RESTARTS} restarts"),
+        detail: format!(
+            "no simple {d}-regular pairing found for n = {n} after {MAX_RESTARTS} restarts"
+        ),
     })
 }
 
@@ -181,9 +183,8 @@ pub fn random_tree(n: usize, seed: u64) -> Result<SimpleGraph, GraphError> {
         degree[x] += 1;
     }
     // Standard decoding with a sorted set of leaves.
-    let mut leaves: std::collections::BTreeSet<usize> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .collect();
+    let mut leaves: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&v| degree[v] == 1).collect();
     for &x in &prufer {
         let leaf = *leaves.iter().next().expect("a tree always has a leaf");
         leaves.remove(&leaf);

@@ -27,11 +27,13 @@ pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node identifier from a 0-based index.
+    #[inline]
     pub fn new(index: usize) -> Self {
         NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
     }
 
     /// Returns the 0-based index of this node.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -78,22 +80,26 @@ impl Port {
     /// # Panics
     ///
     /// Panics if `number == 0`; the paper's ports start at 1.
+    #[inline]
     pub fn new(number: u32) -> Self {
         assert!(number >= 1, "port numbers are 1-based");
         Port(number)
     }
 
     /// Creates a port from a 0-based index.
+    #[inline]
     pub fn from_index(index: usize) -> Self {
         Port(u32::try_from(index).expect("port index exceeds u32 range") + 1)
     }
 
     /// Returns the 1-based port number.
+    #[inline]
     pub fn get(self) -> u32 {
         self.0
     }
 
     /// Returns the 0-based index for array access.
+    #[inline]
     pub fn index(self) -> usize {
         (self.0 - 1) as usize
     }
@@ -120,11 +126,13 @@ pub struct EdgeId(u32);
 
 impl EdgeId {
     /// Creates an edge identifier from a 0-based index.
+    #[inline]
     pub fn new(index: usize) -> Self {
         EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
     }
 
     /// Returns the 0-based index of this edge.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -165,6 +173,7 @@ pub struct Endpoint {
 
 impl Endpoint {
     /// Creates an endpoint from a node and a port.
+    #[inline]
     pub fn new(node: NodeId, port: Port) -> Self {
         Endpoint { node, port }
     }

@@ -34,11 +34,12 @@ pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("nodes") {
-            let n = rest.trim().parse::<usize>().map_err(|_| {
-                GraphError::InvalidParameter {
+            let n = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| GraphError::InvalidParameter {
                     detail: format!("line {}: malformed node count {rest:?}", lineno + 1),
-                }
-            })?;
+                })?;
             declared_nodes = Some(n);
             continue;
         }
@@ -52,21 +53,21 @@ pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
             }
         };
         let parse = |s: &str| {
-            s.parse::<usize>().map_err(|_| GraphError::InvalidParameter {
-                detail: format!("line {}: {s:?} is not a node index", lineno + 1),
-            })
+            s.parse::<usize>()
+                .map_err(|_| GraphError::InvalidParameter {
+                    detail: format!("line {}: {s:?} is not a node index", lineno + 1),
+                })
         };
         edges.push((parse(u)?, parse(v)?));
     }
-    let needed = edges
-        .iter()
-        .map(|&(u, v)| u.max(v) + 1)
-        .max()
-        .unwrap_or(0);
+    let needed = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
     let n = match declared_nodes {
         Some(n) if n < needed => {
             return Err(GraphError::InvalidParameter {
-                detail: format!("declared {n} nodes but an edge references node {}", needed - 1),
+                detail: format!(
+                    "declared {n} nodes but an edge references node {}",
+                    needed - 1
+                ),
             })
         }
         Some(n) => n,

@@ -186,17 +186,21 @@ impl PortNumberedGraph {
     }
 
     /// Number of nodes.
+    #[inline]
     pub fn node_count(&self) -> usize {
         self.degrees.len()
     }
 
     /// Number of edges (links and loops together).
+    #[inline]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
     /// Degree `d(v)` of node `v`.
+    #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
+        debug_assert!(v.index() < self.degrees.len(), "node {v} out of range");
         self.degrees[v.index()] as usize
     }
 
@@ -216,28 +220,60 @@ impl PortNumberedGraph {
     }
 
     /// Total number of ports (`Σ_v d(v)`).
+    #[inline]
     pub fn port_count(&self) -> usize {
         self.conn.len()
     }
 
     /// The involution: where is this port wired to?
     ///
-    /// # Panics
-    ///
-    /// Panics if the endpoint is out of range.
+    /// Bounds are validated with `debug_assert!` only — a hot accessor on
+    /// the simulator's routing path. An out-of-range endpoint panics in
+    /// debug builds; in release builds it may silently resolve to another
+    /// node's slot (all callers in this workspace pass validated
+    /// endpoints).
+    #[inline]
     pub fn connection(&self, e: Endpoint) -> Endpoint {
         self.conn[self.slot(e)]
     }
 
     /// The node reached through port `i` of `v` (the *neighbour through
     /// port `i`*; may be `v` itself for loops).
+    #[inline]
     pub fn neighbor_through(&self, v: NodeId, i: Port) -> NodeId {
         self.connection(Endpoint::new(v, i)).node
     }
 
     /// The edge incident to the given endpoint.
+    #[inline]
     pub fn edge_at(&self, e: Endpoint) -> EdgeId {
         self.edge_at_slot[self.slot(e)]
+    }
+
+    /// The precomputed slot-offset table: `slot_offsets()[v]` is the index
+    /// of the first port slot of node `v` in the flat port arena (ports
+    /// are laid out in node order, `slot(v, i) = slot_offsets()[v] + i -
+    /// 1`). Computed once at construction; consumers such as `pn-runtime`
+    /// should borrow this instead of re-deriving prefix sums per run.
+    #[inline]
+    pub fn slot_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat index of endpoint `e` in the port arena — the slot whose
+    /// entry [`PortNumberedGraph::involution`] holds `p(e)`.
+    #[inline]
+    pub fn slot_of(&self, e: Endpoint) -> usize {
+        self.slot(e)
+    }
+
+    /// The raw involution table: entry `s` holds `p(e)` for the endpoint
+    /// `e` with `slot_of(e) == s`. Together with
+    /// [`PortNumberedGraph::slot_offsets`] this is the whole routing
+    /// structure of the graph in two flat slices.
+    #[inline]
+    pub fn involution(&self) -> &[Endpoint] {
+        &self.conn
     }
 
     /// The shape of edge `e`.
@@ -251,6 +287,7 @@ impl PortNumberedGraph {
     }
 
     /// Iterates over all ports of node `v` in increasing order.
+    #[inline]
     pub fn ports(&self, v: NodeId) -> impl Iterator<Item = Port> + '_ {
         (0..self.degree(v)).map(Port::from_index)
     }
@@ -266,7 +303,8 @@ impl PortNumberedGraph {
     /// Iterates over the edge identifiers incident to `v` in port order.
     /// A loop attached to `v` by two ports appears twice.
     pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
-        self.ports(v).map(move |p| self.edge_at(Endpoint::new(v, p)))
+        self.ports(v)
+            .map(move |p| self.edge_at(Endpoint::new(v, p)))
     }
 
     /// Returns `true` if the graph is simple: no loops of either kind and
@@ -290,8 +328,7 @@ impl PortNumberedGraph {
     /// (Section 5 of the paper). Only meaningful in simple graphs, where it
     /// is unique; returns the smallest such port in multigraphs.
     pub fn port_toward(&self, v: NodeId, u: NodeId) -> Option<Port> {
-        self.ports(v)
-            .find(|&p| self.neighbor_through(v, p) == u)
+        self.ports(v).find(|&p| self.neighbor_through(v, p) == u)
     }
 
     /// The two port endpoints of edge `e` (equal for half-loops).
@@ -329,10 +366,11 @@ impl PortNumberedGraph {
         Ok(g)
     }
 
+    #[inline]
     fn slot(&self, e: Endpoint) -> usize {
         let v = e.node.index();
-        assert!(v < self.degrees.len(), "node {} out of range", e.node);
-        assert!(
+        debug_assert!(v < self.degrees.len(), "node {} out of range", e.node);
+        debug_assert!(
             e.port.get() <= self.degrees[v],
             "port {} exceeds degree {} of node {}",
             e.port,
@@ -429,7 +467,10 @@ impl PnGraphBuilder {
     fn check(&self, e: Endpoint) -> Result<(), GraphError> {
         let n = self.degrees.len();
         if e.node.index() >= n {
-            return Err(GraphError::NodeOutOfRange { node: e.node, nodes: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: e.node,
+                nodes: n,
+            });
         }
         if e.port.get() > self.degrees[e.node.index()] {
             return Err(GraphError::PortOutOfRange {
@@ -464,13 +505,22 @@ mod tests {
         let mut b = PnGraphBuilder::new();
         let s = b.add_node(3);
         let t = b.add_node(4);
-        b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))
-            .unwrap();
-        b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(s, Port::new(1)),
+            Endpoint::new(t, Port::new(2)),
+        )
+        .unwrap();
+        b.connect(
+            Endpoint::new(s, Port::new(2)),
+            Endpoint::new(t, Port::new(1)),
+        )
+        .unwrap();
         b.fix_point(Endpoint::new(s, Port::new(3))).unwrap();
-        b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(t, Port::new(3)),
+            Endpoint::new(t, Port::new(4)),
+        )
+        .unwrap();
         b.finish().unwrap()
     }
 
@@ -500,10 +550,16 @@ mod tests {
         let x = b.add_node(1);
         let y = b.add_node(2);
         let z = b.add_node(1);
-        b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(y, Port::new(1)))
-            .unwrap();
-        b.connect(Endpoint::new(y, Port::new(2)), Endpoint::new(z, Port::new(1)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(x, Port::new(1)),
+            Endpoint::new(y, Port::new(1)),
+        )
+        .unwrap();
+        b.connect(
+            Endpoint::new(y, Port::new(2)),
+            Endpoint::new(z, Port::new(1)),
+        )
+        .unwrap();
         let g = b.finish().unwrap();
         assert!(g.is_simple());
         assert_eq!(g.edge_count(), 2);
@@ -533,10 +589,16 @@ mod tests {
         let mut b = PnGraphBuilder::new();
         let u = b.add_node(2);
         let v = b.add_node(2);
-        b.connect(Endpoint::new(u, Port::new(1)), Endpoint::new(v, Port::new(1)))
-            .unwrap();
+        b.connect(
+            Endpoint::new(u, Port::new(1)),
+            Endpoint::new(v, Port::new(1)),
+        )
+        .unwrap();
         let err = b
-            .connect(Endpoint::new(u, Port::new(1)), Endpoint::new(v, Port::new(2)))
+            .connect(
+                Endpoint::new(u, Port::new(1)),
+                Endpoint::new(v, Port::new(2)),
+            )
             .unwrap_err();
         assert!(matches!(err, GraphError::PortAlreadyConnected { .. }));
     }

@@ -15,7 +15,9 @@ use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::factorization::two_factorize_simple;
-use crate::{EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port, PortNumberedGraph, SimpleGraph};
+use crate::{
+    EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port, PortNumberedGraph, SimpleGraph,
+};
 
 /// Assigns ports in adjacency-list order: the `i`-th neighbour added to `v`
 /// is reached through port `i`.
@@ -40,10 +42,7 @@ use crate::{EdgeId, Endpoint, GraphError, NodeId, PnGraphBuilder, Port, PortNumb
 /// # }
 /// ```
 pub fn canonical_ports(g: &SimpleGraph) -> Result<PortNumberedGraph, GraphError> {
-    let orders: Vec<Vec<EdgeId>> = g
-        .nodes()
-        .map(|v| g.incident_edges(v).collect())
-        .collect();
+    let orders: Vec<Vec<EdgeId>> = g.nodes().map(|v| g.incident_edges(v).collect()).collect();
     ports_from_orders(g, &orders)
 }
 
@@ -167,10 +166,7 @@ pub fn two_factor_ports(g: &SimpleGraph) -> Result<PortNumberedGraph, GraphError
 /// The pair of ports `(2i-1, 2i)` assigned to (0-based) factor `i` by the
 /// paper's numbering scheme.
 pub fn factor_ports(i: usize) -> (Port, Port) {
-    (
-        Port::new(2 * i as u32 + 1),
-        Port::new(2 * i as u32 + 2),
-    )
+    (Port::new(2 * i as u32 + 1), Port::new(2 * i as u32 + 2))
 }
 
 /// Verifies that the port-numbered graph `pg` realises the simple graph

@@ -15,8 +15,11 @@ use proptest::prelude::*;
 /// random closed walks (so the parity invariant holds by construction).
 /// Loops and parallel edges occur naturally.
 fn even_multigraph() -> impl Strategy<Value = MultiGraph> {
-    (2usize..10, proptest::collection::vec((0usize..1000, 2usize..6), 1..6)).prop_map(
-        |(n, walks)| {
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..1000, 2usize..6), 1..6),
+    )
+        .prop_map(|(n, walks)| {
             let mut g = MultiGraph::new(n);
             for (seed, len) in walks {
                 // A closed walk visiting pseudo-random nodes.
@@ -30,8 +33,7 @@ fn even_multigraph() -> impl Strategy<Value = MultiGraph> {
                 g.add_edge_ids(prev, start);
             }
             g
-        },
-    )
+        })
 }
 
 fn simple_graph() -> impl Strategy<Value = SimpleGraph> {

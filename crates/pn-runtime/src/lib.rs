@@ -14,6 +14,58 @@
 //!   convention for edge subsets, with the internal-consistency check;
 //! * [`fiber_agreement`] — executable covering-map indistinguishability.
 //!
+//! # The three-phase round engine
+//!
+//! All entry points — [`Simulator::run`], [`Simulator::run_with_inputs`],
+//! and [`Simulator::run_parallel`] — execute the same zero-allocation
+//! round loop over two flat per-port message buffers (`outbox`, `inbox`),
+//! laid out in the graph's slot arena: node `v`'s ports occupy the
+//! contiguous window starting at
+//! [`pn_graph::PortNumberedGraph::slot_offsets`]`()[v]`. Each round is
+//! three phases:
+//!
+//! 1. **Send** — every *active* node writes one message per port into its
+//!    outbox window via [`NodeAlgorithm::send_into`];
+//! 2. **Route** — a permuted buffer move: `inbox[route[s]] =
+//!    outbox[s].take()` for every occupied source slot `s`, where `route`
+//!    is the **routing table** precomputed at [`Simulator`] construction
+//!    (`route[slot(e)] = slot(p(e))`; it equals its own inverse because
+//!    the port map `p` is an involution — see
+//!    [`Simulator::routing_table`]). No `connection()` lookups or
+//!    `Endpoint` arithmetic happen per round, and draining the outbox
+//!    with `take` restores its all-`None` invariant without a full
+//!    buffer clear;
+//! 3. **Receive** — every active node consumes its inbox window through
+//!    [`NodeAlgorithm::receive`] and optionally halts with an output.
+//!
+//! Active nodes live on a **frontier** (a compact vector of still-running
+//! node ids) that the receive phase compacts in place as nodes halt, so
+//! a halted node costs *nothing* in later rounds — long-tail executions
+//! where a few high-degree nodes outlive everyone else run at the cost
+//! of the survivors, not of the graph.
+//!
+//! Execution transcripts ([`RunOptions::record_trace`]) are captured by a
+//! separate traced route phase; with tracing off (the default) the hot
+//! loop contains no formatting and no per-message branching beyond the
+//! occupancy check.
+//!
+//! # Migrating from `send` to `send_into`
+//!
+//! [`NodeAlgorithm::send`] (allocate and return a `Vec` per node per
+//! round) keeps working unchanged: the default
+//! [`NodeAlgorithm::send_into`] delegates to it and enforces the
+//! message-count contract. Hot algorithms should override `send_into` to
+//! write into the engine-owned window directly and implement `send` as
+//! `pn_runtime::collect_send(self, round, degree)` for API
+//! compatibility; see `eds_core::distributed` for migrated examples.
+//! A native `send_into` may leave a slot `None`, which delivers nothing
+//! on that port (the peer receives `None`, as from a halted neighbour).
+//! Silent ports have no representation in the legacy `Vec` API, so an
+//! algorithm that uses them cannot go through [`collect_send`] (it
+//! panics on empty slots by design) — implement `send` as
+//! `unimplemented!` for such protocols and route all callers through
+//! the simulator, which only ever calls `send_into`.
+//!
 //! # Example
 //!
 //! The "port-1" algorithm of Theorem 3 in 15 lines: every node selects
@@ -61,7 +113,7 @@ mod parallel;
 mod simulator;
 mod trace;
 
-pub use algorithm::{AlgorithmFactory, NodeAlgorithm};
+pub use algorithm::{collect_send, AlgorithmFactory, NodeAlgorithm, WrongCount};
 pub use error::RuntimeError;
 pub use output::{edge_set_from_outputs, fiber_agreement, outputs_from_edge_set, PortSet};
 pub use simulator::{Run, RunOptions, Simulator};

@@ -194,10 +194,7 @@ mod tests {
 
     #[test]
     fn fiber_agreement_checks() {
-        let fibers = vec![
-            vec![NodeId::new(0), NodeId::new(1)],
-            vec![NodeId::new(2)],
-        ];
+        let fibers = vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(2)]];
         let ok = vec![5, 5, 7];
         assert!(fiber_agreement(&fibers, &ok).is_ok());
         let bad = vec![5, 6, 7];

@@ -2,10 +2,19 @@
 //!
 //! Each synchronous round is three embarrassingly parallel maps — send
 //! (per node), route (per receiving port, a gather through the
-//! involution), receive (per node) — with a barrier between them, so the
-//! execution parallelises without changing semantics:
-//! [`Simulator::run_parallel`] produces **bit-identical** results to
-//! [`Simulator::run`] (a property the tests assert, not just promise).
+//! precomputed routing table), receive (per node) — with a barrier
+//! between them, so the execution parallelises without changing
+//! semantics: [`Simulator::run_parallel`] produces **bit-identical**
+//! results to [`Simulator::run`] (a property the tests assert, not just
+//! promise).
+//!
+//! The parallel driver shares the [`Simulator`]'s routing table with the
+//! sequential engine: the route phase reads `outbox[route[t]]` for every
+//! receiver slot `t` instead of recomputing `connection()` endpoints per
+//! port per round. Send and receive phases iterate per-chunk active-node
+//! frontiers, so halted nodes cost nothing there; the route phase stays
+//! dense over the slot arena because a gather must also *clear* receiver
+//! slots whose counterpart fell silent.
 //!
 //! Tracing is not supported in parallel mode; use the sequential driver
 //! when a transcript is needed.
@@ -52,23 +61,66 @@ impl<'g> Simulator<'g> {
         let mut messages = 0usize;
         let mut rounds = 0usize;
 
-        // Slot offsets per node; node chunk boundaries with their slot
-        // boundaries.
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        for v in g.nodes() {
-            offsets.push(acc);
-            acc += g.degree(v);
-        }
-        offsets.push(acc);
-        let total_ports = acc;
+        // Shared routing structure: the graph's slot offsets and the
+        // simulator's precomputed slot permutation.
+        let offsets = g.slot_offsets();
+        let route = self.routing_table();
+        let total_ports = g.port_count();
+        let slot_at = |v: usize| {
+            if v == n {
+                total_ports
+            } else {
+                offsets[v]
+            }
+        };
+
+        // Static node chunks, one per thread, with aligned slot chunks.
         let chunk = n.div_ceil(threads);
         let node_bounds: Vec<(usize, usize)> = (0..threads)
             .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
             .collect();
 
+        // Per-chunk active-node frontiers, compacted as nodes halt.
+        let mut frontiers: Vec<Vec<u32>> = node_bounds
+            .iter()
+            .map(|&(lo, hi)| (lo as u32..hi as u32).collect())
+            .collect();
+
         let mut outbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
         let mut inbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+
+        // Splits a flat per-port buffer into one mutable slice per chunk.
+        fn split_slots<'a, T>(
+            mut rest: &'a mut [T],
+            node_bounds: &[(usize, usize)],
+            slot_at: &impl Fn(usize) -> usize,
+        ) -> Vec<&'a mut [T]> {
+            let mut chunks = Vec::with_capacity(node_bounds.len());
+            let mut consumed = 0usize;
+            for &(_, hi) in node_bounds {
+                let (chunk, next) = rest.split_at_mut(slot_at(hi) - consumed);
+                chunks.push(chunk);
+                rest = next;
+                consumed = slot_at(hi);
+            }
+            chunks
+        }
+
+        // Splits the per-node state vector into one slice per chunk.
+        fn split_nodes<'a, T>(
+            mut rest: &'a mut [T],
+            node_bounds: &[(usize, usize)],
+        ) -> Vec<&'a mut [T]> {
+            let mut chunks = Vec::with_capacity(node_bounds.len());
+            let mut consumed = 0usize;
+            for &(_, hi) in node_bounds {
+                let (chunk, next) = rest.split_at_mut(hi - consumed);
+                chunks.push(chunk);
+                rest = next;
+                consumed = hi;
+            }
+            chunks
+        }
 
         while running > 0 {
             if rounds >= self.options().max_rounds {
@@ -78,58 +130,40 @@ impl<'g> Simulator<'g> {
                 });
             }
 
-            // ---- Send phase: parallel over node chunks. ----
+            // ---- Send phase: parallel over chunks, frontier-driven. ----
             let send_results: Vec<Result<(), RuntimeError>> = {
-                let mut state_slices: Vec<&mut [Option<F::Algorithm>]> = Vec::new();
-                let mut out_slices: Vec<&mut [Option<Msg<F>>]> = Vec::new();
-                let mut s_rest = states.as_mut_slice();
-                let mut o_rest = outbox.as_mut_slice();
-                let mut consumed_nodes = 0usize;
-                let mut consumed_slots = 0usize;
-                for &(lo, hi) in &node_bounds {
-                    let (s_chunk, s_next) = s_rest.split_at_mut(hi - consumed_nodes);
-                    let slot_hi = offsets[hi];
-                    let (o_chunk, o_next) = o_rest.split_at_mut(slot_hi - consumed_slots);
-                    state_slices.push(s_chunk);
-                    out_slices.push(o_chunk);
-                    s_rest = s_next;
-                    o_rest = o_next;
-                    consumed_nodes = hi;
-                    consumed_slots = slot_hi;
-                    let _ = lo;
-                }
+                let state_slices = split_nodes(states.as_mut_slice(), &node_bounds);
+                let out_slices = split_slots(outbox.as_mut_slice(), &node_bounds, &slot_at);
                 std::thread::scope(|scope| {
                     let mut handles = Vec::new();
-                    for (((lo, hi), s_chunk), o_chunk) in node_bounds
+                    for (((lo, _), s_chunk), (frontier, o_chunk)) in node_bounds
                         .iter()
                         .copied()
                         .zip(state_slices)
-                        .zip(out_slices)
+                        .zip(frontiers.iter().zip(out_slices))
                     {
-                        let offsets = &offsets;
                         handles.push(scope.spawn(move || {
-                            for slot in o_chunk.iter_mut() {
-                                *slot = None;
-                            }
-                            let base = offsets[lo];
-                            for (idx, state) in s_chunk.iter_mut().enumerate() {
-                                let v = lo + idx;
-                                if let Some(state) = state.as_mut() {
-                                    let out = state.send(rounds);
-                                    let d = offsets[v + 1] - offsets[v];
-                                    if out.len() != d {
-                                        return Err(RuntimeError::WrongMessageCount {
-                                            node: NodeId::new(v),
-                                            got: out.len(),
-                                            expected: d,
-                                        });
-                                    }
-                                    for (i, m) in out.into_iter().enumerate() {
-                                        o_chunk[offsets[v] + i - base] = Some(m);
-                                    }
+                            let slot_base = slot_at(lo);
+                            for &vu in frontier {
+                                let v = vu as usize;
+                                let base = offsets[v] - slot_base;
+                                let d = g.degree(NodeId::new(v));
+                                let window = &mut o_chunk[base..base + d];
+                                // The window may hold the previous round's
+                                // messages (the route gather clones rather
+                                // than drains); reset before writing.
+                                for slot in window.iter_mut() {
+                                    *slot = None;
                                 }
+                                let state = s_chunk[v - lo].as_mut().expect("frontier nodes run");
+                                state.send_into(rounds, window).map_err(|wrong| {
+                                    RuntimeError::WrongMessageCount {
+                                        node: NodeId::new(v),
+                                        got: wrong.got,
+                                        expected: d,
+                                    }
+                                })?;
                             }
-                            let _ = hi;
                             Ok(())
                         }));
                     }
@@ -143,41 +177,22 @@ impl<'g> Simulator<'g> {
                 r?;
             }
 
-            // ---- Route phase: gather, parallel over receiver chunks. ----
+            // ---- Route phase: gather, parallel over receiver slots. ----
             let delivered: usize = {
-                let mut in_slices: Vec<&mut [Option<Msg<F>>]> = Vec::new();
-                let mut i_rest = inbox.as_mut_slice();
-                let mut consumed_slots = 0usize;
-                for &(_, hi) in &node_bounds {
-                    let slot_hi = offsets[hi];
-                    let (chunk_slice, next) = i_rest.split_at_mut(slot_hi - consumed_slots);
-                    in_slices.push(chunk_slice);
-                    i_rest = next;
-                    consumed_slots = slot_hi;
-                }
+                let in_slices = split_slots(inbox.as_mut_slice(), &node_bounds, &slot_at);
                 let outbox_ref = &outbox;
                 std::thread::scope(|scope| {
                     let mut handles = Vec::new();
-                    for ((lo, hi), i_chunk) in node_bounds.iter().copied().zip(in_slices) {
-                        let offsets = &offsets;
+                    for ((lo, _), i_chunk) in node_bounds.iter().copied().zip(in_slices) {
                         handles.push(scope.spawn(move || {
+                            let slot_base = slot_at(lo);
                             let mut count = 0usize;
-                            let base = offsets[lo];
-                            for v in lo..hi {
-                                for i in 0..(offsets[v + 1] - offsets[v]) {
-                                    let here = pn_graph::Endpoint::new(
-                                        NodeId::new(v),
-                                        pn_graph::Port::from_index(i),
-                                    );
-                                    let from = self.graph().connection(here);
-                                    let from_slot =
-                                        offsets[from.node.index()] + from.port.index();
-                                    let m = outbox_ref[from_slot].clone();
-                                    if m.is_some() {
-                                        count += 1;
-                                    }
-                                    i_chunk[offsets[v] + i - base] = m;
+                            for (off, slot) in i_chunk.iter_mut().enumerate() {
+                                let m = outbox_ref[route[slot_base + off] as usize].clone();
+                                if m.is_some() {
+                                    count += 1;
                                 }
+                                *slot = m;
                             }
                             count
                         }));
@@ -190,35 +205,46 @@ impl<'g> Simulator<'g> {
             };
             messages += delivered;
 
-            // ---- Receive phase: parallel over node chunks. ----
+            // ---- Receive phase: parallel over chunks, frontier-driven;
+            // halting nodes clear their outbox window so the gather never
+            // re-delivers a final message. ----
             let halts: Vec<Vec<(usize, Out<F>)>> = {
-                let mut state_slices: Vec<&mut [Option<F::Algorithm>]> = Vec::new();
-                let mut s_rest = states.as_mut_slice();
-                let mut consumed_nodes = 0usize;
-                for &(_, hi) in &node_bounds {
-                    let (chunk_slice, next) = s_rest.split_at_mut(hi - consumed_nodes);
-                    state_slices.push(chunk_slice);
-                    s_rest = next;
-                    consumed_nodes = hi;
-                }
+                let state_slices = split_nodes(states.as_mut_slice(), &node_bounds);
+                let out_slices = split_slots(outbox.as_mut_slice(), &node_bounds, &slot_at);
                 let inbox_ref = &inbox;
                 std::thread::scope(|scope| {
                     let mut handles = Vec::new();
-                    for ((lo, hi), s_chunk) in node_bounds.iter().copied().zip(state_slices) {
-                        let offsets = &offsets;
+                    for (((lo, _), s_chunk), (frontier, o_chunk)) in node_bounds
+                        .iter()
+                        .copied()
+                        .zip(state_slices)
+                        .zip(frontiers.iter_mut().zip(out_slices))
+                    {
                         handles.push(scope.spawn(move || {
+                            let slot_base = slot_at(lo);
                             let mut halts = Vec::new();
-                            for (idx, state_slot) in s_chunk.iter_mut().enumerate() {
-                                let v = lo + idx;
-                                if let Some(state) = state_slot.as_mut() {
-                                    let window = &inbox_ref[offsets[v]..offsets[v + 1]];
-                                    if let Some(out) = state.receive(rounds, window) {
-                                        halts.push((v, out));
-                                        *state_slot = None;
+                            let mut write = 0usize;
+                            for read in 0..frontier.len() {
+                                let vu = frontier[read];
+                                let v = vu as usize;
+                                let base = offsets[v];
+                                let d = g.degree(NodeId::new(v));
+                                let state_slot = &mut s_chunk[v - lo];
+                                let state = state_slot.as_mut().expect("frontier nodes run");
+                                let window = &inbox_ref[base..base + d];
+                                if let Some(out) = state.receive(rounds, window) {
+                                    halts.push((v, out));
+                                    *state_slot = None;
+                                    let local = base - slot_base;
+                                    for slot in o_chunk[local..local + d].iter_mut() {
+                                        *slot = None;
                                     }
+                                } else {
+                                    frontier[write] = vu;
+                                    write += 1;
                                 }
                             }
-                            let _ = hi;
+                            frontier.truncate(write);
                             halts
                         }));
                     }
@@ -297,6 +323,51 @@ mod tests {
                 assert_eq!(par.messages, seq.messages);
                 assert_eq!(par.halted_at, seq.halted_at);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_staggered_halts() {
+        // Nodes halt after `degree + 1` rounds, so low-degree nodes fall
+        // silent while high-degree neighbours keep running — the case
+        // where frontier compaction and outbox clearing must agree
+        // between the sequential and parallel drivers.
+        #[derive(Clone)]
+        struct Staggered {
+            degree: usize,
+            seen: u64,
+            round_count: usize,
+        }
+        impl NodeAlgorithm for Staggered {
+            type Message = u64;
+            type Output = u64;
+            fn send(&mut self, r: usize) -> Vec<u64> {
+                vec![self.seen.wrapping_add(r as u64); self.degree]
+            }
+            fn receive(&mut self, _r: usize, inbox: &[Option<u64>]) -> Option<u64> {
+                for (q, m) in inbox.iter().enumerate() {
+                    match m {
+                        Some(x) => self.seen = self.seen.rotate_left(7) ^ x,
+                        None => self.seen = self.seen.wrapping_mul(31).wrapping_add(q as u64),
+                    }
+                }
+                self.round_count += 1;
+                (self.round_count > self.degree).then_some(self.seen)
+            }
+        }
+        let g = generators::gnp(40, 0.12, 5).unwrap();
+        let pg = ports::shuffled_ports(&g, 6).unwrap();
+        let factory = |d: usize| Staggered {
+            degree: d,
+            seen: d as u64,
+            round_count: 0,
+        };
+        let seq = Simulator::new(&pg).run(factory).unwrap();
+        for threads in [1usize, 2, 5, 16] {
+            let par = Simulator::new(&pg).run_parallel(factory, threads).unwrap();
+            assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
+            assert_eq!(par.messages, seq.messages, "threads = {threads}");
+            assert_eq!(par.halted_at, seq.halted_at, "threads = {threads}");
         }
     }
 

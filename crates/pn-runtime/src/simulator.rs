@@ -1,6 +1,12 @@
-//! The synchronous executor.
+//! The synchronous executor: a zero-allocation three-phase round engine.
+//!
+//! Per-round work is three passes over an **active-node frontier** —
+//! send, route, receive — against two flat per-port message buffers. All
+//! routing arithmetic is precomputed at [`Simulator`] construction into a
+//! flat slot permutation, so the steady-state round loop performs no
+//! allocation, no hashing, and no `Endpoint` arithmetic.
 
-use pn_graph::{Endpoint, NodeId, PortNumberedGraph};
+use pn_graph::{Endpoint, NodeId, Port, PortNumberedGraph};
 
 use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
 use crate::RuntimeError;
@@ -44,6 +50,12 @@ pub struct Run<O> {
 
 /// Deterministic synchronous simulator for one port-numbered graph.
 ///
+/// Construction precomputes the **routing table**: a permutation of the
+/// flat port-slot arena mapping each source slot to the slot of the port
+/// it is wired to (`route[slot(e)] = slot(p(e))`). Because the port map
+/// `p` is an involution, the table is its own inverse; the per-round
+/// route phase is a single permuted buffer move.
+///
 /// # Examples
 ///
 /// Run a toy two-round "ping" algorithm on a cycle:
@@ -75,20 +87,33 @@ pub struct Run<O> {
 pub struct Simulator<'g> {
     graph: &'g PortNumberedGraph,
     options: RunOptions,
+    /// `route[s]` is the flat slot receiving what source slot `s` sends:
+    /// the precomputed image of the port involution over the slot arena.
+    route: Vec<u32>,
 }
 
 impl<'g> Simulator<'g> {
     /// Creates a simulator for `graph` with default options.
     pub fn new(graph: &'g PortNumberedGraph) -> Self {
-        Simulator {
-            graph,
-            options: RunOptions::default(),
-        }
+        Self::with_options(graph, RunOptions::default())
     }
 
     /// Creates a simulator with explicit options.
     pub fn with_options(graph: &'g PortNumberedGraph, options: RunOptions) -> Self {
-        Simulator { graph, options }
+        let offsets = graph.slot_offsets();
+        let route = graph
+            .involution()
+            .iter()
+            .map(|to| {
+                u32::try_from(offsets[to.node.index()] + to.port.index())
+                    .expect("port count exceeds u32 range")
+            })
+            .collect();
+        Simulator {
+            graph,
+            options,
+            route,
+        }
     }
 
     /// The graph this simulator executes on.
@@ -101,6 +126,14 @@ impl<'g> Simulator<'g> {
         &self.options
     }
 
+    /// The precomputed slot-routing permutation: `routing_table()[s]` is
+    /// the destination slot of messages sent from source slot `s` (see
+    /// [`pn_graph::PortNumberedGraph::slot_of`]). The table equals its own
+    /// inverse because the port map is an involution.
+    pub fn routing_table(&self) -> &[u32] {
+        &self.route
+    }
+
     /// Runs the algorithm built by `factory` at every node until all
     /// nodes halt.
     ///
@@ -109,7 +142,10 @@ impl<'g> Simulator<'g> {
     /// * [`RuntimeError::WrongMessageCount`] if a node sends a number of
     ///   messages different from its degree;
     /// * [`RuntimeError::RoundLimitExceeded`] if the round limit is hit.
-    pub fn run<F>(&self, factory: F) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+    pub fn run<F>(
+        &self,
+        factory: F,
+    ) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
     where
         F: AlgorithmFactory,
     {
@@ -164,84 +200,103 @@ impl<'g> Simulator<'g> {
     {
         let g = self.graph;
         let n = g.node_count();
+        let offsets = g.slot_offsets();
+        let route = &self.route;
         let mut states: Vec<Option<A>> = states.into_iter().map(Some).collect();
         let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
         let mut halted_at = vec![0usize; n];
-        let mut running = n;
         let mut messages = 0usize;
         let mut rounds = 0usize;
         let mut trace = self.options.record_trace.then(crate::Trace::new);
 
-        // Flattened per-port outboxes/inboxes.
+        // Flat per-port buffers, allocated once. Invariant at the top of
+        // every round: `outbox` is all-`None` (the route phase drains it)
+        // and the inbox windows of all *running* nodes are all-`None`
+        // (cleared in the receive phase). Halted nodes' windows may hold
+        // stale values; nothing reads them.
         let total_ports = g.port_count();
         let mut outbox: Vec<Option<A::Message>> = (0..total_ports).map(|_| None).collect();
         let mut inbox: Vec<Option<A::Message>> = (0..total_ports).map(|_| None).collect();
-        // Slot offsets per node.
-        let mut offsets = Vec::with_capacity(n);
-        let mut acc = 0usize;
-        for v in g.nodes() {
-            offsets.push(acc);
-            acc += g.degree(v);
-        }
 
-        while running > 0 {
+        // Active-node frontier, ascending; compacted in place as nodes
+        // halt so a halted node costs nothing in later rounds.
+        let mut frontier: Vec<u32> = (0..n as u32).collect();
+
+        while !frontier.is_empty() {
             if rounds >= self.options.max_rounds {
                 return Err(RuntimeError::RoundLimitExceeded {
                     limit: self.options.max_rounds,
-                    still_running: running,
+                    still_running: frontier.len(),
                 });
             }
-            // Send phase.
-            for slot in outbox.iter_mut() {
-                *slot = None;
+
+            // ---- Send phase: every active node writes its window. ----
+            for &vu in &frontier {
+                let v = vu as usize;
+                let base = offsets[v];
+                let d = g.degree(NodeId::new(v));
+                let state = states[v].as_mut().expect("frontier nodes are running");
+                state
+                    .send_into(rounds, &mut outbox[base..base + d])
+                    .map_err(|wrong| RuntimeError::WrongMessageCount {
+                        node: NodeId::new(v),
+                        got: wrong.got,
+                        expected: d,
+                    })?;
             }
-            for v in 0..n {
-                if let Some(state) = states[v].as_mut() {
-                    let out = state.send(rounds);
-                    let d = g.degree(NodeId::new(v));
-                    if out.len() != d {
-                        return Err(RuntimeError::WrongMessageCount {
-                            node: NodeId::new(v),
-                            got: out.len(),
-                            expected: d,
-                        });
+
+            // ---- Route phase: permuted move through the routing table,
+            // draining the outbox (which restores its all-`None`
+            // invariant for free). ----
+            if let Some(t) = trace.as_mut() {
+                // Traced slow path: reconstruct endpoints and format
+                // messages. Only taken when a transcript was requested.
+                for &vu in &frontier {
+                    let v = vu as usize;
+                    let base = offsets[v];
+                    for i in 0..g.degree(NodeId::new(v)) {
+                        let s = base + i;
+                        if let Some(m) = outbox[s].take() {
+                            t.messages.push(crate::MessageEvent {
+                                round: rounds,
+                                from: Endpoint::new(NodeId::new(v), Port::from_index(i)),
+                                to: g.involution()[s],
+                                message: format!("{m:?}"),
+                            });
+                            inbox[route[s] as usize] = Some(m);
+                            messages += 1;
+                        }
                     }
-                    for (i, m) in out.into_iter().enumerate() {
-                        outbox[offsets[v] + i] = Some(m);
+                }
+            } else {
+                for &vu in &frontier {
+                    let v = vu as usize;
+                    let base = offsets[v];
+                    let d = g.degree(NodeId::new(v));
+                    for s in base..base + d {
+                        if let Some(m) = outbox[s].take() {
+                            inbox[route[s] as usize] = Some(m);
+                            messages += 1;
+                        }
                     }
                 }
             }
-            // Route phase: inbox[p(v,i)] = outbox[(v,i)].
-            for slot in inbox.iter_mut() {
-                *slot = None;
-            }
-            for v in g.nodes() {
-                for i in g.ports(v) {
-                    let from = Endpoint::new(v, i);
-                    let from_slot = offsets[v.index()] + i.index();
-                    if outbox[from_slot].is_none() {
-                        continue;
-                    }
-                    let to = g.connection(from);
-                    let to_slot = offsets[to.node.index()] + to.port.index();
-                    if let Some(t) = trace.as_mut() {
-                        t.messages.push(crate::MessageEvent {
-                            round: rounds,
-                            from,
-                            to,
-                            message: format!("{:?}", outbox[from_slot].as_ref().expect("present")),
-                        });
-                    }
-                    inbox[to_slot] = outbox[from_slot].take();
-                    messages += 1;
+
+            // ---- Receive phase: deliver windows, compact the frontier. ----
+            let mut write = 0usize;
+            for read in 0..frontier.len() {
+                let vu = frontier[read];
+                let v = vu as usize;
+                let base = offsets[v];
+                let d = g.degree(NodeId::new(v));
+                let state = states[v].as_mut().expect("frontier nodes are running");
+                let window = &mut inbox[base..base + d];
+                let decision = state.receive(rounds, window);
+                for slot in window.iter_mut() {
+                    *slot = None;
                 }
-            }
-            // Receive phase.
-            for v in 0..n {
-                if let Some(state) = states[v].as_mut() {
-                    let d = g.degree(NodeId::new(v));
-                    let window = &inbox[offsets[v]..offsets[v] + d];
-                    if let Some(out) = state.receive(rounds, window) {
+                match decision {
+                    Some(out) => {
                         if let Some(t) = trace.as_mut() {
                             t.halts.push(crate::HaltEvent {
                                 round: rounds,
@@ -252,10 +307,14 @@ impl<'g> Simulator<'g> {
                         outputs[v] = Some(out);
                         halted_at[v] = rounds + 1;
                         states[v] = None;
-                        running -= 1;
+                    }
+                    None => {
+                        frontier[write] = vu;
+                        write += 1;
                     }
                 }
             }
+            frontier.truncate(write);
             rounds += 1;
         }
 
@@ -347,7 +406,10 @@ mod tests {
             },
         );
         let err = sim.run(|d| Forever { degree: d }).unwrap_err();
-        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 5, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::RoundLimitExceeded { limit: 5, .. }
+        ));
     }
 
     #[test]
@@ -387,7 +449,8 @@ mod tests {
         }
         let mut b = PnGraphBuilder::new();
         let x = b.add_node(1);
-        b.fix_point(pn_graph::Endpoint::new(x, Port::new(1))).unwrap();
+        b.fix_point(pn_graph::Endpoint::new(x, Port::new(1)))
+            .unwrap();
         let g = b.finish().unwrap();
         let run = Simulator::new(&g).run(|d| Echo { degree: d }).unwrap();
         assert_eq!(run.outputs, vec![42]);
@@ -503,5 +566,71 @@ mod tests {
         let run = Simulator::new(&g).run(|_| Never).unwrap();
         assert_eq!(run.rounds, 0);
         assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn routing_table_is_an_involution() {
+        let g = ports::shuffled_ports(&generators::petersen(), 9).unwrap();
+        let sim = Simulator::new(&g);
+        let route = sim.routing_table();
+        assert_eq!(route.len(), g.port_count());
+        for (s, &t) in route.iter().enumerate() {
+            assert_eq!(route[t as usize] as usize, s, "route is its own inverse");
+        }
+        // Spot-check against the graph's involution.
+        for v in g.nodes() {
+            for p in g.ports(v) {
+                let e = pn_graph::Endpoint::new(v, p);
+                assert_eq!(
+                    route[g.slot_of(e)] as usize,
+                    g.slot_of(g.connection(e)),
+                    "route agrees with connection() at {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_send_into_may_leave_slots_empty() {
+        // A node that only ever talks on its first port; the second port
+        // delivers nothing, which the receiver observes as `None`.
+        struct FirstPortOnly {
+            got: Vec<bool>,
+        }
+        impl NodeAlgorithm for FirstPortOnly {
+            type Message = u8;
+            type Output = Vec<bool>;
+            fn send(&mut self, _round: usize) -> Vec<u8> {
+                // Silent ports have no representation in the legacy Vec
+                // API (and `collect_send` would rightly panic), so this
+                // protocol offers `send_into` only.
+                unimplemented!("FirstPortOnly uses silent ports; only send_into is supported")
+            }
+            fn send_into(
+                &mut self,
+                _round: usize,
+                outbox: &mut [Option<u8>],
+            ) -> Result<(), crate::WrongCount> {
+                if let Some(first) = outbox.first_mut() {
+                    *first = Some(1);
+                }
+                Ok(())
+            }
+            fn receive(&mut self, _round: usize, inbox: &[Option<u8>]) -> Option<Vec<bool>> {
+                self.got = inbox.iter().map(Option::is_some).collect();
+                Some(self.got.clone())
+            }
+        }
+        // Path a - b - c: the middle node hears only from the neighbour
+        // whose port 1 points at it.
+        let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+        let run = Simulator::new(&g)
+            .run(|_| FirstPortOnly { got: Vec::new() })
+            .unwrap();
+        // Every delivered message was counted; silent ports were not.
+        assert_eq!(
+            run.messages,
+            run.outputs.iter().flatten().filter(|&&b| b).count()
+        );
     }
 }

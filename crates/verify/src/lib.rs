@@ -25,7 +25,7 @@
 mod properties;
 
 pub use properties::{
-    check_edge_cover, check_edge_dominating_set, check_forest, check_k_matching,
-    check_matching, check_maximal_matching, check_node_disjoint, check_paths_and_cycles,
-    check_star_forest, Violation,
+    check_edge_cover, check_edge_dominating_set, check_forest, check_k_matching, check_matching,
+    check_maximal_matching, check_node_disjoint, check_paths_and_cycles, check_star_forest,
+    Violation,
 };

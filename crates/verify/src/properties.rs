@@ -276,11 +276,7 @@ pub fn check_paths_and_cycles(
 
 /// Checks that two edge sets are node-disjoint (no node incident to edges
 /// of both).
-pub fn check_node_disjoint(
-    g: &SimpleGraph,
-    a: &[EdgeId],
-    b: &[EdgeId],
-) -> Result<(), Violation> {
+pub fn check_node_disjoint(g: &SimpleGraph, a: &[EdgeId], b: &[EdgeId]) -> Result<(), Violation> {
     let da = set_degrees(g, a);
     let db = set_degrees(g, b);
     for v in g.nodes() {
@@ -379,10 +375,7 @@ mod tests {
         // Dropping one edge leaves one path.
         assert_eq!(check_paths_and_cycles(&g, &all[1..]), Ok((1, 0)));
         // Two disjoint edges: two paths.
-        assert_eq!(
-            check_paths_and_cycles(&g, &ids(&[0, 3])),
-            Ok((2, 0))
-        );
+        assert_eq!(check_paths_and_cycles(&g, &ids(&[0, 3])), Ok((2, 0)));
         // Empty set: nothing.
         assert_eq!(check_paths_and_cycles(&g, &[]), Ok((0, 0)));
         // A claw is not a 2-matching.

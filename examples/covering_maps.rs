@@ -59,10 +59,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = PnGraphBuilder::new();
     let s = b.add_node(3);
     let t = b.add_node(4);
-    b.connect(Endpoint::new(s, Port::new(1)), Endpoint::new(t, Port::new(2)))?;
-    b.connect(Endpoint::new(s, Port::new(2)), Endpoint::new(t, Port::new(1)))?;
-    b.connect(Endpoint::new(s, Port::new(3)), Endpoint::new(s, Port::new(3)))?;
-    b.connect(Endpoint::new(t, Port::new(3)), Endpoint::new(t, Port::new(4)))?;
+    b.connect(
+        Endpoint::new(s, Port::new(1)),
+        Endpoint::new(t, Port::new(2)),
+    )?;
+    b.connect(
+        Endpoint::new(s, Port::new(2)),
+        Endpoint::new(t, Port::new(1)),
+    )?;
+    b.connect(
+        Endpoint::new(s, Port::new(3)),
+        Endpoint::new(s, Port::new(3)),
+    )?;
+    b.connect(
+        Endpoint::new(t, Port::new(3)),
+        Endpoint::new(t, Port::new(4)),
+    )?;
     let m = b.finish()?;
     println!(
         "Figure 2 multigraph M: {} nodes, {} edges (2 parallel links, \

@@ -20,21 +20,30 @@ fn show(label: &str, g: &SimpleGraph, edges: &[EdgeId], note: &str) {
             format!("{u}-{v}")
         })
         .collect();
-    println!("({label}) {note}: {{{}}}  [{} edges]", list.join(", "), edges.len());
+    println!(
+        "({label}) {note}: {{{}}}  [{} edges]",
+        list.join(", "),
+        edges.len()
+    );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A graph in the spirit of Figure 1: two triangles joined by a path.
     //   0-1-2 triangle, 2-3 bridge, 3-4-5 triangle, pendant 6 on node 0.
     let mut g = SimpleGraph::new(7);
-    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (0, 6)] {
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (0, 6),
+    ] {
         g.add_edge_ids(u, v)?;
     }
-    println!(
-        "graph: {} nodes, {} edges",
-        g.node_count(),
-        g.edge_count()
-    );
+    println!("graph: {} nodes, {} edges", g.node_count(), g.edge_count());
     println!();
 
     // (a) An edge dominating set that is not a matching: all edges at

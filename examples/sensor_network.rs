@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example sensor_network`
 
-use edge_dominating_sets::algorithms::distributed::{
-    bounded_schedule_length, BoundedDegreeNode,
-};
+use edge_dominating_sets::algorithms::distributed::{bounded_schedule_length, BoundedDegreeNode};
 use edge_dominating_sets::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let network = ports::shuffled_ports(&g, n as u64 ^ 0xcafe)?;
 
-        let run = Simulator::new(&network)
-            .run(|deg: usize| BoundedDegreeNode::new(delta, deg))?;
+        let run = Simulator::new(&network).run(|deg: usize| BoundedDegreeNode::new(delta, deg))?;
         let monitors = edge_set_from_outputs(&network, &run.outputs)?;
         let simple = network.to_simple()?;
         check_edge_dominating_set(&simple, &monitors)?;

@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --example weighted_links`
 
+use edge_dominating_sets::baselines::two_approx;
 use edge_dominating_sets::baselines::weighted::{
     greedy_weighted_eds, minimum_weight_eds, EdgeWeights,
 };
-use edge_dominating_sets::baselines::two_approx;
 use edge_dominating_sets::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -67,15 +67,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--algorithm" => {
-                options.algorithm = it
-                    .next()
-                    .ok_or("--algorithm needs a value")?
-                    .clone();
+                options.algorithm = it.next().ok_or("--algorithm needs a value")?.clone();
             }
             "--delta" => {
                 let v = it.next().ok_or("--delta needs a value")?;
-                options.delta =
-                    Some(v.parse().map_err(|_| format!("bad --delta value {v:?}"))?);
+                options.delta = Some(v.parse().map_err(|_| format!("bad --delta value {v:?}"))?);
             }
             "--ports" => {
                 options.ports = it.next().ok_or("--ports needs a value")?.clone();
@@ -142,8 +138,7 @@ fn run(options: &Options, input: &str) -> Result<String, String> {
         ),
         "vc3" => {
             // Vertex cover mode: different output shape, handle inline.
-            let cover =
-                vertex_cover_distributed(&pg, delta).map_err(|e| e.to_string())?;
+            let cover = vertex_cover_distributed(&pg, delta).map_err(|e| e.to_string())?;
             let mut out = String::new();
             if !options.quiet {
                 out.push_str(&format!(
@@ -161,9 +156,8 @@ fn run(options: &Options, input: &str) -> Result<String, String> {
     };
 
     // Sanity: every algorithm output must be a feasible EDS.
-    eds_verify::check_edge_dominating_set(&simple, &edges).map_err(|e| {
-        format!("internal error: output is not an edge dominating set: {e}")
-    })?;
+    eds_verify::check_edge_dominating_set(&simple, &edges)
+        .map_err(|e| format!("internal error: output is not an edge dominating set: {e}"))?;
 
     let mut out = String::new();
     if !options.quiet {

@@ -60,7 +60,7 @@ pub use pn_runtime as runtime;
 
 /// Frequently used items in one import.
 pub mod prelude {
-    pub use eds_core::bounded_degree::{bounded_degree_reference, bounded_degree_ratio};
+    pub use eds_core::bounded_degree::{bounded_degree_ratio, bounded_degree_reference};
     pub use eds_core::distributed::{bounded_degree_distributed, regular_odd_distributed};
     pub use eds_core::port_one::{port_one_distributed, port_one_reference};
     pub use eds_core::regular_odd::regular_odd_reference;

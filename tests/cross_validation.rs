@@ -62,7 +62,8 @@ fn bounded_degree_full_matrix() {
                 .unwrap_or_else(|e| panic!("{name}: infeasible: {e}"));
             // Ratio bound vs exact optimum.
             let opt = exact::minimum_eds_size(&simple);
-            let (num, den) = edge_dominating_sets::algorithms::bounded_degree::bounded_degree_ratio(delta);
+            let (num, den) =
+                edge_dominating_sets::algorithms::bounded_degree::bounded_degree_ratio(delta);
             assert!(
                 distributed.len() as u64 * den <= num * opt as u64,
                 "{name}: ratio bound violated ({} vs opt {opt}, Δ = {delta})",
@@ -136,9 +137,7 @@ fn outputs_are_internally_consistent_port_sets() {
         .unwrap();
     edge_set_from_outputs(&pg, &run.outputs).unwrap();
     let run = Simulator::new(&pg)
-        .run(|d: usize| {
-            edge_dominating_sets::algorithms::distributed::BoundedDegreeNode::new(5, d)
-        })
+        .run(|d: usize| edge_dominating_sets::algorithms::distributed::BoundedDegreeNode::new(5, d))
         .unwrap();
     edge_set_from_outputs(&pg, &run.outputs).unwrap();
 }

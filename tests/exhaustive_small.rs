@@ -65,10 +65,8 @@ fn regular_odd_all_numberings_of_k4() {
 #[test]
 fn regular_odd_all_numberings_of_k2_pairs() {
     // Two disjoint edges: 1-regular, trivial numberings; ratio exactly 1.
-    let g = generators::disjoint_union(&[
-        generators::path(2).unwrap(),
-        generators::path(2).unwrap(),
-    ]);
+    let g =
+        generators::disjoint_union(&[generators::path(2).unwrap(), generators::path(2).unwrap()]);
     exhaustive_check(&g, |pg, opt| {
         let result = regular_odd_reference(pg).unwrap();
         assert_eq!(result.dominating_set.len(), opt);

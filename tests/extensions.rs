@@ -93,11 +93,7 @@ fn dot_outputs_contain_all_edges() {
 
     let pg = ports::canonical_ports(&g).unwrap();
     let highlighted: Vec<EdgeId> = pg.edges().map(|(e, _)| e).take(3).collect();
-    let pdot = pn_to_dot(
-        &pg,
-        "pp",
-        &[EdgeClassStyle::new("x", "red", highlighted)],
-    );
+    let pdot = pn_to_dot(&pg, "pp", &[EdgeClassStyle::new("x", "red", highlighted)]);
     assert_eq!(pdot.matches(" -- ").count(), pg.edge_count());
     assert_eq!(pdot.matches("color=\"red\"").count(), 3);
     assert_eq!(pdot.matches("taillabel").count(), pg.edge_count());

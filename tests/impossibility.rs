@@ -40,8 +40,11 @@ fn symmetric_cycle(n: usize) -> PortNumberedGraph {
 fn one_node_quotient() -> PortNumberedGraph {
     let mut b = PnGraphBuilder::new();
     let x = b.add_node(2);
-    b.connect(Endpoint::new(x, Port::new(1)), Endpoint::new(x, Port::new(2)))
-        .unwrap();
+    b.connect(
+        Endpoint::new(x, Port::new(1)),
+        Endpoint::new(x, Port::new(2)),
+    )
+    .unwrap();
     b.finish().unwrap()
 }
 
@@ -108,14 +111,20 @@ fn our_protocols_obey_the_impossibility() {
         let c = symmetric_cycle(n);
 
         let run = Simulator::new(&c).run(PortOneNode::new).unwrap();
-        assert!(run.outputs.windows(2).all(|w| w[0] == w[1]), "uniform outputs");
+        assert!(
+            run.outputs.windows(2).all(|w| w[0] == w[1]),
+            "uniform outputs"
+        );
         let edges = edge_set_from_outputs(&c, &run.outputs).unwrap();
         assert!(edges.len() == n, "port-1 selects every edge here");
 
         let run = Simulator::new(&c)
             .run(|d: usize| BoundedDegreeNode::new(2, d))
             .unwrap();
-        assert!(run.outputs.windows(2).all(|w| w[0] == w[1]), "uniform outputs");
+        assert!(
+            run.outputs.windows(2).all(|w| w[0] == w[1]),
+            "uniform outputs"
+        );
         let edges = edge_set_from_outputs(&c, &run.outputs).unwrap();
         assert!(
             edges.is_empty() || edges.len() == n,
@@ -133,8 +142,7 @@ fn asymmetric_numbering_breaks_the_symmetry() {
     let g = generators::cycle(6).unwrap();
     let pg = ports::canonical_ports(&g).unwrap();
     let result =
-        edge_dominating_sets::algorithms::bounded_degree::bounded_degree_reference(&pg, 2)
-            .unwrap();
+        edge_dominating_sets::algorithms::bounded_degree::bounded_degree_reference(&pg, 2).unwrap();
     // Strictly between 0 and all edges: symmetry broken.
     assert!(!result.dominating_set.is_empty());
     assert!(result.dominating_set.len() < pg.edge_count());

@@ -32,7 +32,10 @@ fn workloads() -> Vec<Case> {
         ("hypercube3", generators::hypercube(3).unwrap()),
         ("wheel6", generators::wheel(6).unwrap()),
         ("ladder5", generators::ladder(5).unwrap()),
-        ("circulant10-12", generators::circulant(10, &[1, 2]).unwrap()),
+        (
+            "circulant10-12",
+            generators::circulant(10, &[1, 2]).unwrap(),
+        ),
         ("grid3x4", generators::grid(3, 4).unwrap()),
     ]
     .into_iter()
@@ -87,7 +90,10 @@ fn portfolio_feasibility_and_guarantees() {
             if d % 2 == 1 {
                 let t4 = regular_odd_reference(&pg).unwrap().dominating_set;
                 check_edge_cover(&simple, &t4).unwrap();
-                assert!(t4.len() * (d + 1) <= (4 * d - 2) * opt, "{name}: Thm4 ratio");
+                assert!(
+                    t4.len() * (d + 1) <= (4 * d - 2) * opt,
+                    "{name}: Thm4 ratio"
+                );
             }
         }
 

@@ -67,10 +67,10 @@ fn theory_ratios_match_paper_table() {
     // 4 - 6/(d+1) for odd d.
     assert_eq!(regular_odd_ratio(3), (10, 4)); // 2.5
     assert_eq!(regular_odd_ratio(5), (18, 6)); // 3
-    // 4 - 2/d for even d.
+                                               // 4 - 2/d for even d.
     assert_eq!(port_one_ratio(2), (6, 2)); // 3
     assert_eq!(port_one_ratio(4), (14, 4)); // 3.5
-    // 4 - 2/(Δ-1) odd, 4 - 2/Δ even.
+                                            // 4 - 2/(Δ-1) odd, 4 - 2/Δ even.
     assert_eq!(bounded_degree_ratio(3), (3, 1));
     assert_eq!(bounded_degree_ratio(4), (7, 2));
     assert_eq!(bounded_degree_ratio(5), (7, 2));
