@@ -1,6 +1,14 @@
 //! Workload construction shared by benches and experiment binaries.
+//!
+//! Since the scenario subsystem landed, this module is a thin adapter
+//! over [`eds_scenarios`]: every instance is described by a
+//! [`ScenarioSpec`] (family × seed × port policy) and materialised
+//! through the same registry machinery the conformance tests and the
+//! `scenario_sweep` binary use, so benches measure exactly the graphs
+//! the quality harness validates.
 
-use pn_graph::{generators, ports, GraphError, PortNumberedGraph, SimpleGraph};
+use eds_scenarios::{Family, PortPolicy, ScenarioSpec};
+use pn_graph::{GraphError, PortNumberedGraph, SimpleGraph};
 
 /// A named instance: a port-numbered graph with a human-readable label.
 #[derive(Clone, Debug)]
@@ -9,6 +17,13 @@ pub struct Workload {
     pub name: String,
     /// The instance.
     pub graph: PortNumberedGraph,
+}
+
+fn build(name: String, spec: &ScenarioSpec) -> Result<Workload, GraphError> {
+    Ok(Workload {
+        name,
+        graph: spec.build()?.graph,
+    })
 }
 
 /// Random `d`-regular instances with shuffled ports, one per seed.
@@ -23,12 +38,10 @@ pub fn regular_suite(
 ) -> Result<Vec<Workload>, GraphError> {
     seeds
         .map(|seed| {
-            let g = generators::random_regular(n, d, seed)?;
-            let graph = ports::shuffled_ports(&g, seed ^ 0x5eed)?;
-            Ok(Workload {
-                name: format!("random-regular n={n} d={d} seed={seed}"),
-                graph,
-            })
+            build(
+                format!("random-regular n={n} d={d} seed={seed}"),
+                &ScenarioSpec::new(Family::RandomRegular { n, d }, seed, PortPolicy::Shuffled),
+            )
         })
         .collect()
 }
@@ -46,12 +59,14 @@ pub fn bounded_suite(
 ) -> Result<Vec<Workload>, GraphError> {
     seeds
         .map(|seed| {
-            let g = generators::random_bounded_degree(n, delta, density, seed)?;
-            let graph = ports::shuffled_ports(&g, seed ^ 0xb0bb)?;
-            Ok(Workload {
-                name: format!("random-bounded n={n} Δ={delta} density={density} seed={seed}"),
-                graph,
-            })
+            build(
+                format!("random-bounded n={n} Δ={delta} density={density} seed={seed}"),
+                &ScenarioSpec::new(
+                    Family::RandomBoundedDegree { n, delta, density },
+                    seed,
+                    PortPolicy::Shuffled,
+                ),
+            )
         })
         .collect()
 }
@@ -62,23 +77,20 @@ pub fn bounded_suite(
 ///
 /// Never fails for the built-in parameter choices.
 pub fn classic_suite() -> Result<Vec<Workload>, GraphError> {
-    let named: Vec<(&str, SimpleGraph)> = vec![
-        ("petersen", generators::petersen()),
-        ("hypercube-4", generators::hypercube(4)?),
-        ("torus-6x6", generators::torus(6, 6)?),
-        ("grid-8x8", generators::grid(8, 8)?),
-        ("cycle-48", generators::cycle(48)?),
-        ("crown-6", generators::crown(6)?),
-    ];
-    named
-        .into_iter()
-        .map(|(name, g)| {
-            Ok(Workload {
-                name: name.to_owned(),
-                graph: ports::canonical_ports(&g)?,
-            })
-        })
-        .collect()
+    [
+        Family::Petersen,
+        Family::Hypercube(4),
+        Family::Torus(6, 6),
+        Family::Grid(8, 8),
+        Family::Cycle(48),
+        Family::Crown(6),
+    ]
+    .into_iter()
+    .map(|family| {
+        let spec = ScenarioSpec::new(family, 0, PortPolicy::Canonical);
+        build(spec.family.label(), &spec)
+    })
+    .collect()
 }
 
 /// A geometric "sensor network" instance: random points in the unit
@@ -93,17 +105,13 @@ pub fn sensor_network(
     delta: usize,
     seed: u64,
 ) -> Result<(SimpleGraph, PortNumberedGraph), GraphError> {
-    let radius = (2.0 / (n as f64)).sqrt();
-    let full = generators::random_geometric(n, radius, seed)?;
-    // Truncate to the degree bound, keeping earlier edges.
-    let mut g = SimpleGraph::new(n);
-    for (_, u, v) in full.edges() {
-        if g.degree(u) < delta && g.degree(v) < delta {
-            g.add_edge(u, v)?;
-        }
-    }
-    let pg = ports::shuffled_ports(&g, seed ^ 0x6e0)?;
-    Ok((g, pg))
+    let scenario = ScenarioSpec::new(
+        Family::SensorNetwork { n, delta },
+        seed,
+        PortPolicy::Shuffled,
+    )
+    .build()?;
+    Ok((scenario.simple, scenario.graph))
 }
 
 #[cfg(test)]
@@ -131,5 +139,18 @@ mod tests {
         let (g, pg) = sensor_network(60, 4, 9).unwrap();
         assert!(g.max_degree() <= 4);
         assert_eq!(g.edge_count(), pg.edge_count());
+    }
+
+    #[test]
+    fn suites_agree_with_the_registry_specs() {
+        // The adapter must produce the same graphs as building the spec
+        // directly — benches and the quality sweep measure one substrate.
+        let spec = ScenarioSpec::new(
+            Family::RandomRegular { n: 12, d: 4 },
+            1,
+            PortPolicy::Shuffled,
+        );
+        let via_suite = &regular_suite(12, 4, 1..2).unwrap()[0];
+        assert_eq!(via_suite.graph, spec.build().unwrap().graph);
     }
 }

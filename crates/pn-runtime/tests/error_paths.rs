@@ -1,0 +1,256 @@
+//! Error-path and edge-case tests for the round engine: misbehaving
+//! senders, message delivery to halted nodes, and zero-round runs —
+//! the contracts the quality sweeps rely on when something goes wrong.
+
+use pn_graph::{generators, ports, NodeId, PnGraphBuilder, Port};
+use pn_runtime::{NodeAlgorithm, RunOptions, RuntimeError, Simulator, WrongCount};
+
+/// Sends a fixed number of messages regardless of degree (legacy `send`
+/// path).
+struct FixedCountSender {
+    count: usize,
+}
+
+impl NodeAlgorithm for FixedCountSender {
+    type Message = u8;
+    type Output = ();
+
+    fn send(&mut self, _round: usize) -> Vec<u8> {
+        vec![7; self.count]
+    }
+
+    fn receive(&mut self, _round: usize, _inbox: &[Option<u8>]) -> Option<()> {
+        Some(())
+    }
+}
+
+#[test]
+fn legacy_send_with_too_few_messages_reports_the_node_and_counts() {
+    // Star: hub has degree 3, leaves degree 1. Sending one message
+    // everywhere breaks only at the hub.
+    let g = ports::canonical_ports(&generators::star(3).unwrap()).unwrap();
+    let err = Simulator::new(&g)
+        .run(|_| FixedCountSender { count: 1 })
+        .unwrap_err();
+    match err {
+        RuntimeError::WrongMessageCount {
+            node,
+            got,
+            expected,
+        } => {
+            assert_eq!(node, NodeId::new(0), "the hub is node 0");
+            assert_eq!(got, 1);
+            assert_eq!(expected, 3);
+        }
+        other => panic!("expected WrongMessageCount, got {other}"),
+    }
+}
+
+#[test]
+fn legacy_send_with_too_many_messages_is_rejected() {
+    let g = ports::canonical_ports(&generators::cycle(4).unwrap()).unwrap();
+    let err = Simulator::new(&g)
+        .run(|_| FixedCountSender { count: 5 })
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RuntimeError::WrongMessageCount {
+                got: 5,
+                expected: 2,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+}
+
+/// A native `send_into` that *reports* a wrong count instead of filling
+/// the window — the engine must surface it as `WrongMessageCount`.
+struct LyingNative;
+
+impl NodeAlgorithm for LyingNative {
+    type Message = u8;
+    type Output = ();
+
+    fn send(&mut self, _round: usize) -> Vec<u8> {
+        unreachable!("simulator only calls send_into")
+    }
+
+    fn send_into(&mut self, _round: usize, _outbox: &mut [Option<u8>]) -> Result<(), WrongCount> {
+        Err(WrongCount { got: 99 })
+    }
+
+    fn receive(&mut self, _round: usize, _inbox: &[Option<u8>]) -> Option<()> {
+        Some(())
+    }
+}
+
+#[test]
+fn native_send_into_error_maps_to_wrong_message_count() {
+    let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+    let err = Simulator::new(&g).run(|_| LyingNative).unwrap_err();
+    match err {
+        RuntimeError::WrongMessageCount { node, got, .. } => {
+            assert_eq!(node, NodeId::new(0), "first frontier node fails first");
+            assert_eq!(got, 99);
+        }
+        other => panic!("expected WrongMessageCount, got {other}"),
+    }
+}
+
+/// Halts after a per-node number of rounds, recording everything heard.
+struct TalkUntil {
+    degree: usize,
+    rounds_left: usize,
+    heard: Vec<Vec<Option<u64>>>,
+}
+
+impl NodeAlgorithm for TalkUntil {
+    type Message = u64;
+    type Output = Vec<Vec<Option<u64>>>;
+
+    fn send(&mut self, round: usize) -> Vec<u64> {
+        vec![round as u64 + 10; self.degree]
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<u64>]) -> Option<Self::Output> {
+        self.heard.push(inbox.to_vec());
+        self.rounds_left -= 1;
+        (self.rounds_left == 0).then(|| self.heard.clone())
+    }
+}
+
+#[test]
+fn messages_to_halted_nodes_are_counted_but_never_resurface() {
+    // Path a - b - c. Endpoints halt after round 1; the middle keeps
+    // sending into their (halted) windows for two more rounds.
+    let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+    let lifetime = |d: usize| if d == 1 { 1 } else { 3 };
+    let run = Simulator::new(&g)
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: lifetime(d),
+            heard: Vec::new(),
+        })
+        .unwrap();
+    assert_eq!(run.halted_at, vec![1, 3, 1]);
+    // Round 1: all 4 port messages. Rounds 2 and 3: only the middle
+    // node's 2 ports — delivered into halted windows, still counted.
+    assert_eq!(run.messages, 4 + 2 + 2);
+    // The middle node hears real messages in round 1 and `None` from
+    // the halted endpoints afterwards.
+    let middle = &run.outputs[1];
+    assert_eq!(middle.len(), 3);
+    assert_eq!(middle[0], vec![Some(10), Some(10)]);
+    assert_eq!(middle[1], vec![None, None]);
+    assert_eq!(middle[2], vec![None, None]);
+    // The endpoints' recorded history is untouched by the posthumous
+    // deliveries: exactly one round each.
+    assert_eq!(run.outputs[0].len(), 1);
+    assert_eq!(run.outputs[2].len(), 1);
+}
+
+#[test]
+fn message_delivered_in_the_halting_round_does_not_leak() {
+    // Both nodes of an edge halt in round 1 while messages are in
+    // flight; the run completes cleanly with both messages delivered.
+    let g = ports::canonical_ports(&generators::path(2).unwrap()).unwrap();
+    let run = Simulator::new(&g)
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: 1,
+            heard: Vec::new(),
+        })
+        .unwrap();
+    assert_eq!(run.rounds, 1);
+    assert_eq!(run.messages, 2);
+    assert_eq!(run.outputs[0], vec![vec![Some(10)]]);
+    assert_eq!(run.outputs[1], vec![vec![Some(10)]]);
+}
+
+#[test]
+fn zero_round_limit_fails_immediately_on_nonempty_graphs() {
+    let g = ports::canonical_ports(&generators::cycle(5).unwrap()).unwrap();
+    let sim = Simulator::with_options(
+        &g,
+        RunOptions {
+            max_rounds: 0,
+            ..RunOptions::default()
+        },
+    );
+    let err = sim
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: 1,
+            heard: Vec::new(),
+        })
+        .unwrap_err();
+    match err {
+        RuntimeError::RoundLimitExceeded {
+            limit,
+            still_running,
+        } => {
+            assert_eq!(limit, 0);
+            assert_eq!(still_running, 5, "no node ever ran");
+        }
+        other => panic!("expected RoundLimitExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn zero_round_limit_is_fine_on_the_empty_graph() {
+    // An empty graph needs zero rounds, so a zero budget suffices.
+    let g = pn_graph::PortNumberedGraph::from_involution(vec![], vec![]).unwrap();
+    let sim = Simulator::with_options(
+        &g,
+        RunOptions {
+            max_rounds: 0,
+            ..RunOptions::default()
+        },
+    );
+    let run = sim
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: 1,
+            heard: Vec::new(),
+        })
+        .unwrap();
+    assert_eq!(run.rounds, 0);
+    assert_eq!(run.messages, 0);
+    assert!(run.outputs.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "one input per node")]
+fn run_with_inputs_rejects_wrong_input_length() {
+    let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+    let inputs = vec![1u64, 2]; // three nodes, two inputs
+    let _ = Simulator::new(&g).run_with_inputs(&inputs, |d, &x| TalkUntil {
+        degree: d,
+        rounds_left: (x as usize).max(1),
+        heard: Vec::new(),
+    });
+}
+
+#[test]
+fn half_loop_sender_error_still_reported() {
+    // A one-node graph with a directed loop: the misbehaving sender is
+    // caught even on degenerate wiring.
+    let mut b = PnGraphBuilder::new();
+    let x = b.add_node(1);
+    b.fix_point(pn_graph::Endpoint::new(x, Port::new(1)))
+        .unwrap();
+    let g = b.finish().unwrap();
+    let err = Simulator::new(&g)
+        .run(|_| FixedCountSender { count: 4 })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        RuntimeError::WrongMessageCount {
+            got: 4,
+            expected: 1,
+            ..
+        }
+    ));
+}

@@ -1,0 +1,65 @@
+//! Scenario sweep subsystem: one registry of workloads, one driver that
+//! runs every protocol across it and scores the results against the
+//! paper's guarantees.
+//!
+//! The paper's theorems (3–5, the vertex-cover reduction, and the
+//! identifier/randomised matching baselines) each promise a quality
+//! bound on *every* port-numbered graph in their class. This crate turns
+//! that promise into infrastructure:
+//!
+//! * [`scenario`] — the unified [`Scenario`] model: graph family × size
+//!   × seed × port-numbering policy, covering every generator in
+//!   `pn-graph` (classic, random, geometric), the covering-map lifts of
+//!   Section 2.3, and simple covers of multigraphs;
+//! * [`registry`] — iterator-based scenario sets: [`Registry::full`]
+//!   for sweeps, [`Registry::smoke`] for CI, [`Registry::conformance`]
+//!   for the integration test matrix;
+//! * [`protocol`] — the six distributed protocols behind one interface
+//!   ([`Protocol::ALL`]), all executed through the zero-allocation
+//!   `pn-runtime` engine so every record carries rounds and messages;
+//! * [`sweep`] — the driver: per-(scenario, protocol) records with
+//!   solution size, exact optimum or certified lower bound, the paper's
+//!   bound as a fraction, and feasibility witnesses from `eds-verify`;
+//!   plus `BENCH_sim.json`-style JSON rendering;
+//! * [`small`] — exhaustive enumeration of all connected graphs with
+//!   `n ≤ 6` (one representative per isomorphism class), the substrate
+//!   of the conformance suite.
+//!
+//! # Example
+//!
+//! Sweep the smoke registry and confirm the bounds hold everywhere:
+//!
+//! ```
+//! use eds_scenarios::{sweep, Registry};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let records = sweep::sweep_registry(&Registry::smoke(), &sweep::SweepConfig::default())?;
+//! assert!(records.iter().all(|r| r.is_clean()));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Adding a graph family
+//!
+//! 1. Add a variant to [`scenario::Family`] and wire its generator into
+//!    `Family::simple` (or `ScenarioSpec::build` for covering-style
+//!    constructions), `Family::key` and `Family::label`.
+//! 2. List specs for it in [`Registry::full`] (and
+//!    [`Registry::smoke`]/[`Registry::conformance`] if appropriate).
+//!
+//! Every consumer — the `scenario_sweep` binary, the bench workloads,
+//! and the integration tests — iterates the registry, so no other code
+//! changes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod protocol;
+pub mod registry;
+pub mod scenario;
+pub mod small;
+pub mod sweep;
+
+pub use protocol::{Protocol, ProtocolRun, Solution, SweepError};
+pub use registry::Registry;
+pub use scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
+pub use sweep::{sweep_one, sweep_registry, sweep_scenario, SweepConfig, SweepRecord};

@@ -1,0 +1,316 @@
+//! The protocol portfolio: every distributed algorithm in the workspace
+//! behind one uniform interface, so sweeps and conformance tests can
+//! iterate over "all protocols on all scenarios" without knowing each
+//! crate's entry points.
+//!
+//! All six protocols run through the zero-allocation
+//! [`pn_runtime::Simulator`], so every record carries honest round and
+//! message counts in addition to the solution.
+
+use eds_baselines::distributed_mm::IdMatchingNode;
+use eds_baselines::randomized_mm::{randomized_matching_phases, RandMatchingNode};
+use eds_core::distributed::{BoundedDegreeNode, RegularOddNode};
+use eds_core::port_one::PortOneNode;
+use eds_core::vertex_cover::VertexCoverNode;
+use pn_graph::{EdgeId, GraphError, NodeId};
+use pn_runtime::{edge_set_from_outputs, RuntimeError, Simulator};
+
+use crate::scenario::Scenario;
+
+/// Errors surfaced while executing a protocol on a scenario.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// Graph construction or parameter error.
+    Graph(GraphError),
+    /// Simulator execution or output-consistency error.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Graph(e) => write!(f, "graph error: {e}"),
+            SweepError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<GraphError> for SweepError {
+    fn from(e: GraphError) -> Self {
+        SweepError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for SweepError {
+    fn from(e: RuntimeError) -> Self {
+        SweepError::Runtime(e)
+    }
+}
+
+/// The six distributed protocols of the reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Theorem 3: the one-round anonymous "port 1" algorithm.
+    PortOne,
+    /// Theorem 4: the anonymous protocol for odd-regular graphs.
+    RegularOdd,
+    /// Theorem 5: the anonymous `A(Δ)` protocol for bounded degree.
+    BoundedDegree,
+    /// The Polishchuk–Suomela 3-approximate vertex cover sibling.
+    VertexCover,
+    /// The identifier-model greedy maximal matching baseline.
+    IdMatching,
+    /// The randomised maximal matching baseline.
+    RandMatching,
+}
+
+/// A protocol's solution: an edge set (the five edge-problem protocols)
+/// or a node set (the vertex-cover sibling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Solution {
+    /// Selected edges.
+    Edges(Vec<EdgeId>),
+    /// Selected nodes.
+    Nodes(Vec<NodeId>),
+}
+
+impl Solution {
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Solution::Edges(e) => e.len(),
+            Solution::Nodes(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The edge set, if this is an edge solution.
+    pub fn edges(&self) -> Option<&[EdgeId]> {
+        match self {
+            Solution::Edges(e) => Some(e),
+            Solution::Nodes(_) => None,
+        }
+    }
+}
+
+/// The outcome of one protocol execution on one scenario.
+#[derive(Clone, Debug)]
+pub struct ProtocolRun {
+    /// The solution produced.
+    pub solution: Solution,
+    /// Rounds until the last node halted.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+}
+
+impl Protocol {
+    /// All six protocols, in report order.
+    pub const ALL: [Protocol; 6] = [
+        Protocol::PortOne,
+        Protocol::RegularOdd,
+        Protocol::BoundedDegree,
+        Protocol::VertexCover,
+        Protocol::IdMatching,
+        Protocol::RandMatching,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::PortOne => "port-one",
+            Protocol::RegularOdd => "regular-odd",
+            Protocol::BoundedDegree => "bounded-degree",
+            Protocol::VertexCover => "vertex-cover",
+            Protocol::IdMatching => "id-matching",
+            Protocol::RandMatching => "rand-matching",
+        }
+    }
+
+    /// Returns `true` if the protocol's preconditions hold on the
+    /// scenario: every protocol needs at least one edge, and Theorem 4
+    /// additionally needs an odd-regular graph.
+    pub fn applicable(self, scenario: &Scenario) -> bool {
+        if scenario.simple.is_edgeless() {
+            return false;
+        }
+        match self {
+            Protocol::RegularOdd => scenario.graph.regular_degree().is_some_and(|d| d % 2 == 1),
+            _ => true,
+        }
+    }
+
+    /// Executes the protocol on the scenario through the simulator.
+    ///
+    /// Identifier and randomised baselines derive their per-node inputs
+    /// deterministically from the scenario seed, so sweeps are
+    /// reproducible bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors and output-consistency violations;
+    /// neither occurs when [`Protocol::applicable`] holds.
+    pub fn execute(self, scenario: &Scenario) -> Result<ProtocolRun, SweepError> {
+        let g = &scenario.graph;
+        let sim = Simulator::new(g);
+        let delta = g.max_degree();
+        match self {
+            Protocol::PortOne => {
+                let run = sim.run(PortOneNode::new)?;
+                Ok(ProtocolRun {
+                    solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+            Protocol::RegularOdd => {
+                let run = sim.run(RegularOddNode::new)?;
+                Ok(ProtocolRun {
+                    solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+            Protocol::BoundedDegree => {
+                let run = sim.run(|d: usize| BoundedDegreeNode::new(delta, d))?;
+                Ok(ProtocolRun {
+                    solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+            Protocol::VertexCover => {
+                let run = sim.run(|d: usize| VertexCoverNode::new(delta, d))?;
+                Ok(ProtocolRun {
+                    solution: Solution::Nodes(
+                        g.nodes().filter(|v| run.outputs[v.index()]).collect(),
+                    ),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+            Protocol::IdMatching => {
+                let ids = node_identifiers(g.node_count(), scenario.spec.seed);
+                let run = sim
+                    .run_with_inputs(&ids, |degree, &id| IdMatchingNode::new(delta, degree, id))?;
+                Ok(ProtocolRun {
+                    solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+            Protocol::RandMatching => {
+                let seeds = node_seeds(g.node_count(), scenario.spec.seed);
+                let phases = randomized_matching_phases(g.node_count());
+                let run = sim.run_with_inputs(&seeds, |degree, &seed| {
+                    RandMatchingNode::new(degree, seed, phases)
+                })?;
+                Ok(ProtocolRun {
+                    solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                })
+            }
+        }
+    }
+}
+
+/// Distinct node identifiers for the identifier-model baseline, derived
+/// deterministically from the scenario seed (SplitMix64 over the index
+/// would risk collisions; an affine map cannot collide).
+pub fn node_identifiers(n: usize, seed: u64) -> Vec<u64> {
+    let offset = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (0..n as u64).map(|i| i.wrapping_add(offset)).collect()
+}
+
+/// Per-node randomness seeds for the randomised baseline, derived
+/// deterministically from the scenario seed.
+pub fn node_seeds(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = i
+                .wrapping_add(seed.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Family, PortPolicy, ScenarioSpec};
+
+    #[test]
+    fn applicability_rules() {
+        let petersen = ScenarioSpec::new(Family::Petersen, 0, PortPolicy::Canonical)
+            .build()
+            .unwrap();
+        // Petersen is 3-regular: everything applies.
+        for p in Protocol::ALL {
+            assert!(p.applicable(&petersen), "{}", p.name());
+        }
+        let torus = ScenarioSpec::new(Family::Torus(3, 3), 0, PortPolicy::Canonical)
+            .build()
+            .unwrap();
+        assert!(!Protocol::RegularOdd.applicable(&torus), "4-regular");
+        assert!(Protocol::PortOne.applicable(&torus));
+        let edgeless = ScenarioSpec::new(Family::Gnp { n: 5, p: 0.0 }, 0, PortPolicy::Canonical)
+            .build()
+            .unwrap();
+        for p in Protocol::ALL {
+            assert!(!p.applicable(&edgeless), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn all_protocols_run_on_petersen() {
+        let s = ScenarioSpec::new(Family::Petersen, 3, PortPolicy::Shuffled)
+            .build()
+            .unwrap();
+        for p in Protocol::ALL {
+            let run = p
+                .execute(&s)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(!run.solution.is_empty(), "{}", p.name());
+            assert!(run.rounds >= 1, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn identifiers_are_distinct() {
+        for seed in [0u64, 1, 0xdead_beef] {
+            let ids = node_identifiers(100, seed);
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ids.len());
+        }
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let s = ScenarioSpec::new(
+            Family::RandomRegular { n: 12, d: 3 },
+            5,
+            PortPolicy::Shuffled,
+        )
+        .build()
+        .unwrap();
+        for p in Protocol::ALL {
+            let a = p.execute(&s).unwrap();
+            let b = p.execute(&s).unwrap();
+            assert_eq!(a.solution, b.solution, "{}", p.name());
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Exhaustive enumeration of small connected graphs.
+//!
+//! The conformance suite checks the paper's guarantees on **every**
+//! connected graph with `n ≤ 6` nodes (one representative per
+//! isomorphism class), not just hand-picked instances. Graphs are
+//! encoded as bitmasks over the `n(n-1)/2` node pairs; a graph is kept
+//! iff it is connected and lexicographically minimal under all `n!`
+//! node relabelings (the canonical representative of its class).
+
+use pn_graph::SimpleGraph;
+
+/// Number of connected graphs on `n` unlabelled nodes (OEIS A001349) for
+/// `n = 0..=6` — the counts [`connected_graphs`] must reproduce.
+pub const CONNECTED_COUNTS: [usize; 7] = [1, 1, 1, 2, 6, 21, 112];
+
+/// All permutations of `0..n`, in lexicographic order.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            prefix.push(x);
+            go(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+/// The edge-bit index of the pair `{u, v}` (`u < v`) on `n` nodes: pairs
+/// ordered `(0,1), (0,2), …, (0,n-1), (1,2), …`.
+fn pair_bit(n: usize, u: usize, v: usize) -> usize {
+    debug_assert!(u < v && v < n);
+    // Bits before row u: sum_{k<u} (n-1-k); then offset within the row.
+    u * (2 * n - u - 1) / 2 + (v - u - 1)
+}
+
+/// All node pairs of `0..n` in bit order.
+fn pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+fn is_connected(mask: u32, n: usize, pair_list: &[(usize, usize)]) -> bool {
+    if n == 0 {
+        return true;
+    }
+    let mut adj = vec![0u32; n];
+    for (bit, &(u, v)) in pair_list.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+    }
+    let mut seen: u32 = 1;
+    let mut frontier: u32 = 1;
+    while frontier != 0 {
+        let mut next = 0u32;
+        let mut f = frontier;
+        while f != 0 {
+            let v = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= adj[v] & !seen;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen.count_ones() as usize == n
+}
+
+/// Enumerates all connected simple graphs on `n` nodes (`n ≤ 6`), one
+/// canonical representative per isomorphism class, ordered by edge mask.
+///
+/// # Panics
+///
+/// Panics if `n > 6` (the enumeration is exponential in `n²`).
+pub fn connected_graphs(n: usize) -> Vec<SimpleGraph> {
+    assert!(n <= 6, "exhaustive enumeration is for n <= 6");
+    if n == 0 {
+        return vec![SimpleGraph::new(0)];
+    }
+    let pair_list = pairs(n);
+    let m = pair_list.len();
+    let perms = permutations(n);
+    // For each permutation, the induced map on edge bits.
+    let bit_maps: Vec<Vec<usize>> = perms
+        .iter()
+        .map(|p| {
+            pair_list
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = (p[u].min(p[v]), p[u].max(p[v]));
+                    pair_bit(n, a, b)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    'mask: for mask in 0u32..(1 << m) {
+        if !is_connected(mask, n, &pair_list) {
+            continue;
+        }
+        // Canonical iff no relabeling gives a strictly smaller mask.
+        for bm in &bit_maps {
+            let mut image = 0u32;
+            let mut bits = mask;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                image |= 1 << bm[b];
+            }
+            if image < mask {
+                continue 'mask;
+            }
+        }
+        let mut g = SimpleGraph::new(n);
+        for (bit, &(u, v)) in pair_list.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                g.add_edge_ids(u, v).expect("pairs are distinct");
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// Cached variant of [`connected_graphs`]: the enumeration for each `n`
+/// is computed once per process. Use this from hot loops (the
+/// conformance suite builds hundreds of [`crate::ScenarioSpec`]s backed
+/// by these representatives).
+pub fn connected(n: usize) -> &'static [SimpleGraph] {
+    use std::sync::OnceLock;
+    static CACHE: [OnceLock<Vec<SimpleGraph>>; 7] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!(n <= 6, "exhaustive enumeration is for n <= 6");
+    CACHE[n].get_or_init(|| connected_graphs(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_enumeration_matches_fresh() {
+        assert_eq!(connected(4), &connected_graphs(4)[..]);
+        assert_eq!(connected(4).len(), CONNECTED_COUNTS[4]);
+    }
+
+    #[test]
+    fn counts_match_oeis_up_to_five() {
+        for (n, &expected) in CONNECTED_COUNTS.iter().enumerate().take(6) {
+            assert_eq!(connected_graphs(n).len(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn six_node_count_matches_oeis() {
+        assert_eq!(connected_graphs(6).len(), CONNECTED_COUNTS[6]);
+    }
+
+    #[test]
+    fn representatives_are_connected_and_distinct() {
+        use pn_graph::analysis::connected_components;
+        let graphs = connected_graphs(5);
+        for g in &graphs {
+            assert_eq!(connected_components(g).count, 1);
+        }
+        // Degree-sequence spot check: the 21 graphs on 5 nodes include
+        // the path (2 leaves), the cycle (2-regular) and K5 (4-regular).
+        assert!(graphs.iter().any(|g| g.edge_count() == 4));
+        assert!(graphs.iter().any(|g| g.regular_degree() == Some(2)));
+        assert!(graphs.iter().any(|g| g.regular_degree() == Some(4)));
+    }
+
+    #[test]
+    fn pair_bit_is_a_bijection() {
+        for n in 2..=6 {
+            let mut seen = vec![false; n * (n - 1) / 2];
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let b = pair_bit(n, u, v);
+                    assert!(!seen[b], "collision at ({u},{v})");
+                    seen[b] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

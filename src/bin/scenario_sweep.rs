@@ -1,0 +1,109 @@
+//! `scenario_sweep`: run every protocol across the scenario registry and
+//! emit a JSON quality report (`BENCH_scenarios.json`), the quality
+//! counterpart of the `sim_benchmark` throughput report.
+//!
+//! Usage:
+//!
+//! ```text
+//! scenario_sweep [--smoke] [--out PATH]
+//! ```
+//!
+//! * `--smoke` sweeps the fast CI registry instead of the full matrix;
+//! * `--out PATH` overrides the output path (default
+//!   `BENCH_scenarios.json` in the current directory).
+//!
+//! The process exits non-zero if any record is unclean (an infeasible
+//! solution or a proven approximation-bound violation), so CI can gate
+//! on quality regressions exactly like on test failures.
+
+use std::process::ExitCode;
+
+use edge_dominating_sets::scenarios::{sweep, Registry};
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = "BENCH_scenarios.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: scenario_sweep [--smoke] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let registry = if smoke {
+        Registry::smoke()
+    } else {
+        Registry::full()
+    };
+    let families = registry.family_keys();
+    eprintln!(
+        "sweeping {} scenarios across {} families ({})",
+        registry.len(),
+        families.len(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let records = match sweep::sweep_registry(&registry, &sweep::SweepConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let json = sweep::render_json(&records);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+
+    // Per-protocol summary on stderr: worst certified ratio and bound
+    // compliance, in the spirit of the paper's Table 1.
+    let mut protocols: Vec<&str> = Vec::new();
+    for r in &records {
+        if !protocols.contains(&r.protocol) {
+            protocols.push(r.protocol);
+        }
+    }
+    let mut dirty = 0usize;
+    for p in &protocols {
+        let rs: Vec<_> = records.iter().filter(|r| r.protocol == *p).collect();
+        let worst = rs.iter().filter_map(|r| r.ratio).fold(f64::NAN, f64::max);
+        let certified = rs.iter().filter(|r| r.within_bound == Some(true)).count();
+        let violations = rs.iter().filter(|r| !r.is_clean()).count();
+        dirty += violations;
+        eprintln!(
+            "{p:<16} {:>3} runs   worst ratio {:>5}   bound certified {certified}/{}   violations {violations}",
+            rs.len(),
+            if worst.is_nan() {
+                "-".to_owned()
+            } else {
+                format!("{worst:.3}")
+            },
+            rs.len(),
+        );
+    }
+    eprintln!(
+        "{} records over {} families -> {out}",
+        records.len(),
+        families.len()
+    );
+
+    if dirty > 0 {
+        eprintln!("{dirty} unclean records — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -27,7 +27,9 @@
 //!   with verified covering maps and known optima;
 //! * [`baselines`] ([`eds_baselines`]) — exact branch-and-bound solvers
 //!   and classical baselines;
-//! * [`verify`] ([`eds_verify`]) — structural property checkers.
+//! * [`verify`] ([`eds_verify`]) — structural property checkers;
+//! * [`scenarios`] ([`eds_scenarios`]) — the workload registry and the
+//!   cross-algorithm sweep driver (see the `scenario_sweep` binary).
 //!
 //! # Quick start
 //!
@@ -54,6 +56,7 @@
 pub use eds_baselines as baselines;
 pub use eds_core as algorithms;
 pub use eds_lower_bounds as lower_bounds;
+pub use eds_scenarios as scenarios;
 pub use eds_verify as verify;
 pub use pn_graph as graph;
 pub use pn_runtime as runtime;

@@ -1,5 +1,5 @@
-//! Integration test: every algorithm against every oracle on a matrix of
-//! instances.
+//! Integration test: every algorithm against every oracle on the shared
+//! scenario registry.
 //!
 //! * Feasibility (edge domination) always holds.
 //! * Approximation ratios never exceed the paper's bounds (checked
@@ -7,6 +7,10 @@
 //! * Distributed protocols produce exactly the reference outputs.
 //! * The two exact solvers agree (minimum EDS = minimum maximal
 //!   matching).
+//!
+//! Instances come from [`eds_scenarios::Registry::conformance`]; the
+//! per-test port shufflings are applied on top, so each topology is
+//! exercised under several adversarial numberings.
 
 use edge_dominating_sets::algorithms::bounded_degree::bounded_degree_reference;
 use edge_dominating_sets::algorithms::distributed::{
@@ -16,30 +20,20 @@ use edge_dominating_sets::algorithms::port_one::{port_one_distributed, port_one_
 use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
 use edge_dominating_sets::baselines::{exact, mmm};
 use edge_dominating_sets::prelude::*;
+use edge_dominating_sets::scenarios::{Family, PortPolicy, Registry, ScenarioSpec};
 
+/// The conformance topologies as simple graphs (port numberings are
+/// re-applied per test below).
 fn instances() -> Vec<(String, SimpleGraph)> {
-    let mut out: Vec<(String, SimpleGraph)> = vec![
-        ("petersen".into(), generators::petersen()),
-        ("k4".into(), generators::complete(4).unwrap()),
-        ("k5".into(), generators::complete(5).unwrap()),
-        ("cycle9".into(), generators::cycle(9).unwrap()),
-        ("path8".into(), generators::path(8).unwrap()),
-        ("grid3x4".into(), generators::grid(3, 4).unwrap()),
-        ("crown4".into(), generators::crown(4).unwrap()),
-        ("hypercube3".into(), generators::hypercube(3).unwrap()),
-        ("star7".into(), generators::star(7).unwrap()),
-    ];
-    for seed in 0..4u64 {
-        out.push((
-            format!("gnp seed {seed}"),
-            generators::gnp(10, 0.4, seed).unwrap(),
-        ));
-        out.push((
-            format!("bounded seed {seed}"),
-            generators::random_bounded_degree(14, 4, 0.8, seed).unwrap(),
-        ));
-    }
-    out
+    Registry::conformance()
+        .iter()
+        .map(|spec| {
+            (
+                format!("{}/s{}", spec.family.label(), spec.seed),
+                spec.family.simple(spec.seed).expect("registry builds"),
+            )
+        })
+        .collect()
 }
 
 #[test]
@@ -83,22 +77,24 @@ fn regular_algorithms_on_regular_instances() {
         (12, 6, 4),
         (14, 7, 5),
     ] {
-        let g = generators::random_regular(n, d, seed).unwrap();
-        let pg = ports::shuffled_ports(&g, seed).unwrap();
-        let simple = pg.to_simple().unwrap();
-        let opt = exact::minimum_eds_size(&simple);
+        let case = ScenarioSpec::new(Family::RandomRegular { n, d }, seed, PortPolicy::Shuffled)
+            .build()
+            .unwrap();
+        let pg = &case.graph;
+        let simple = &case.simple;
+        let opt = exact::minimum_eds_size(simple);
         if d % 2 == 0 {
-            let reference = port_one_reference(&pg);
-            let distributed = port_one_distributed(&pg).unwrap();
+            let reference = port_one_reference(pg);
+            let distributed = port_one_distributed(pg).unwrap();
             assert_eq!(reference, distributed);
-            check_edge_dominating_set(&simple, &distributed).unwrap();
+            check_edge_dominating_set(simple, &distributed).unwrap();
             // 4 - 2/d bound.
             assert!(distributed.len() * d <= (4 * d - 2) * opt);
         } else {
-            let reference = regular_odd_reference(&pg).unwrap().dominating_set;
-            let distributed = regular_odd_distributed(&pg).unwrap();
+            let reference = regular_odd_reference(pg).unwrap().dominating_set;
+            let distributed = regular_odd_distributed(pg).unwrap();
             assert_eq!(reference, distributed);
-            check_edge_dominating_set(&simple, &distributed).unwrap();
+            check_edge_dominating_set(simple, &distributed).unwrap();
             // 4 - 6/(d+1) bound.
             assert!(distributed.len() * (d + 1) <= (4 * d - 2) * opt);
         }
@@ -126,20 +122,26 @@ fn exact_solvers_agree() {
 fn outputs_are_internally_consistent_port_sets() {
     // The simulator-level consistency check (Section 2.2) passes for all
     // three protocols on a non-trivial instance.
-    let g = generators::random_regular(12, 5, 9).unwrap();
-    let pg = ports::shuffled_ports(&g, 9).unwrap();
-    let run = Simulator::new(&pg)
+    let case = ScenarioSpec::new(
+        Family::RandomRegular { n: 12, d: 5 },
+        9,
+        PortPolicy::Shuffled,
+    )
+    .build()
+    .unwrap();
+    let pg = &case.graph;
+    let run = Simulator::new(pg)
         .run(edge_dominating_sets::algorithms::port_one::PortOneNode::new)
         .unwrap();
-    edge_set_from_outputs(&pg, &run.outputs).unwrap();
-    let run = Simulator::new(&pg)
+    edge_set_from_outputs(pg, &run.outputs).unwrap();
+    let run = Simulator::new(pg)
         .run(edge_dominating_sets::algorithms::distributed::RegularOddNode::new)
         .unwrap();
-    edge_set_from_outputs(&pg, &run.outputs).unwrap();
-    let run = Simulator::new(&pg)
+    edge_set_from_outputs(pg, &run.outputs).unwrap();
+    let run = Simulator::new(pg)
         .run(|d: usize| edge_dominating_sets::algorithms::distributed::BoundedDegreeNode::new(5, d))
         .unwrap();
-    edge_set_from_outputs(&pg, &run.outputs).unwrap();
+    edge_set_from_outputs(pg, &run.outputs).unwrap();
 }
 
 #[test]
@@ -147,14 +149,14 @@ fn structural_claims_on_all_instances() {
     // Theorem 4 phase structure on odd-regular graphs; Theorem 5 M/P
     // structure everywhere.
     for (n, d, seed) in [(10usize, 3usize, 7u64), (12, 5, 8), (14, 3, 9)] {
-        let g = generators::random_regular(n, d, seed).unwrap();
-        let pg = ports::shuffled_ports(&g, seed).unwrap();
-        let simple = pg.to_simple().unwrap();
-        let result = regular_odd_reference(&pg).unwrap();
-        check_edge_cover(&simple, &result.phase1).unwrap();
-        edge_dominating_sets::verify::check_forest(&simple, &result.phase1).unwrap();
-        check_edge_cover(&simple, &result.dominating_set).unwrap();
-        check_star_forest(&simple, &result.dominating_set).unwrap();
+        let case = ScenarioSpec::new(Family::RandomRegular { n, d }, seed, PortPolicy::Shuffled)
+            .build()
+            .unwrap();
+        let result = regular_odd_reference(&case.graph).unwrap();
+        check_edge_cover(&case.simple, &result.phase1).unwrap();
+        edge_dominating_sets::verify::check_forest(&case.simple, &result.phase1).unwrap();
+        check_edge_cover(&case.simple, &result.dominating_set).unwrap();
+        check_star_forest(&case.simple, &result.dominating_set).unwrap();
     }
     for (name, g) in instances() {
         if g.is_edgeless() {

@@ -1,12 +1,13 @@
 //! Integration test: the full algorithm portfolio against the exact
-//! optimum on a matrix of workloads.
+//! optimum on the shared conformance registry.
 //!
-//! Eight solvers are exercised on every instance — three anonymous
-//! protocols (Theorems 3–5), the vertex-cover sibling, two identifier
-//! baselines (sequential and distributed), the randomised protocol and
-//! the exact solver — with feasibility checked for each and every
-//! approximation guarantee asserted against the branch-and-bound
-//! optimum.
+//! Workloads come from [`eds_scenarios::Registry::conformance`] — the
+//! same matrix the `scenario_sweep` binary and the bench suites consume
+//! — so quality coverage and throughput measurements run on one
+//! substrate. Eight solvers are exercised on every instance: three
+//! anonymous protocols (Theorems 3–5), the vertex-cover sibling, two
+//! identifier baselines (sequential and distributed), the randomised
+//! protocol and the exact solver.
 
 use edge_dominating_sets::algorithms::bounded_degree::{
     bounded_degree_ratio, bounded_degree_reference,
@@ -17,58 +18,29 @@ use edge_dominating_sets::baselines::distributed_mm::id_matching_distributed;
 use edge_dominating_sets::baselines::randomized_mm::randomized_matching_distributed;
 use edge_dominating_sets::baselines::{exact, id_based, mmm, two_approx};
 use edge_dominating_sets::prelude::*;
+use edge_dominating_sets::scenarios::{sweep, Registry, Scenario};
 
-struct Case {
-    name: String,
-    graph: SimpleGraph,
-}
-
-fn workloads() -> Vec<Case> {
-    let mut cases: Vec<Case> = vec![
-        ("petersen", generators::petersen()),
-        ("k5", generators::complete(5).unwrap()),
-        ("cycle10", generators::cycle(10).unwrap()),
-        ("crown4", generators::crown(4).unwrap()),
-        ("hypercube3", generators::hypercube(3).unwrap()),
-        ("wheel6", generators::wheel(6).unwrap()),
-        ("ladder5", generators::ladder(5).unwrap()),
-        (
-            "circulant10-12",
-            generators::circulant(10, &[1, 2]).unwrap(),
-        ),
-        ("grid3x4", generators::grid(3, 4).unwrap()),
-    ]
-    .into_iter()
-    .map(|(n, g)| Case {
-        name: n.to_owned(),
-        graph: g,
-    })
-    .collect();
-    for seed in 0..3u64 {
-        cases.push(Case {
-            name: format!("gnp-{seed}"),
-            graph: generators::gnp(11, 0.35, seed).unwrap(),
-        });
-    }
-    cases
+fn workloads() -> Vec<Scenario> {
+    Registry::conformance()
+        .build_all()
+        .expect("conformance registry builds")
 }
 
 #[test]
 fn portfolio_feasibility_and_guarantees() {
     for case in workloads() {
-        let g = &case.graph;
-        if g.is_edgeless() {
+        if case.simple.is_edgeless() {
             continue;
         }
-        let name = &case.name;
-        let pg = ports::shuffled_ports(g, 0xfeed).unwrap();
-        let simple = pg.to_simple().unwrap();
-        let opt = exact::minimum_eds_size(&simple);
+        let name = case.name();
+        let pg = &case.graph;
+        let simple = &case.simple;
+        let opt = exact::minimum_eds_size(simple);
         let delta = pg.max_degree();
 
         // Anonymous A(Δ): within 4 - 1/k of OPT.
-        let adelta = bounded_degree_reference(&pg, delta).unwrap().dominating_set;
-        check_edge_dominating_set(&simple, &adelta).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let adelta = bounded_degree_reference(pg, delta).unwrap().dominating_set;
+        check_edge_dominating_set(simple, &adelta).unwrap_or_else(|e| panic!("{name}: {e}"));
         let (num, den) = bounded_degree_ratio(delta);
         assert!(
             adelta.len() as u64 * den <= num * opt as u64,
@@ -78,8 +50,8 @@ fn portfolio_feasibility_and_guarantees() {
         // Anonymous port-1: feasible on any graph with min degree >= 1;
         // ratio bound only claimed for regular graphs.
         if simple.min_degree() >= 1 {
-            let p1 = port_one_reference(&pg);
-            check_edge_dominating_set(&simple, &p1).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let p1 = port_one_reference(pg);
+            check_edge_dominating_set(simple, &p1).unwrap_or_else(|e| panic!("{name}: {e}"));
             if let Some(d) = simple.regular_degree() {
                 assert!(p1.len() * d <= (4 * d - 2) * opt, "{name}: port-1 ratio");
             }
@@ -88,8 +60,8 @@ fn portfolio_feasibility_and_guarantees() {
         // Anonymous Theorem 4 on odd-regular graphs.
         if let Some(d) = simple.regular_degree() {
             if d % 2 == 1 {
-                let t4 = regular_odd_reference(&pg).unwrap().dominating_set;
-                check_edge_cover(&simple, &t4).unwrap();
+                let t4 = regular_odd_reference(pg).unwrap().dominating_set;
+                check_edge_cover(simple, &t4).unwrap();
                 assert!(
                     t4.len() * (d + 1) <= (4 * d - 2) * opt,
                     "{name}: Thm4 ratio"
@@ -98,42 +70,42 @@ fn portfolio_feasibility_and_guarantees() {
         }
 
         // Greedy 2-approximation (maximal matching).
-        let greedy = two_approx::two_approximation(&simple);
-        check_maximal_matching(&simple, &greedy).unwrap();
+        let greedy = two_approx::two_approximation(simple);
+        check_maximal_matching(simple, &greedy).unwrap();
         assert!(greedy.len() <= 2 * opt, "{name}: greedy ratio");
 
         // Sequential identifier greedy.
-        let idseq = id_based::id_greedy_matching_default(&simple);
-        check_maximal_matching(&simple, &idseq).unwrap();
+        let idseq = id_based::id_greedy_matching_default(simple);
+        check_maximal_matching(simple, &idseq).unwrap();
         assert!(idseq.len() <= 2 * opt, "{name}: id greedy ratio");
 
         // Distributed identifier matching.
-        let ids: Vec<u64> = (0..g.node_count() as u64).map(|i| i * 31 + 5).collect();
-        let idmm = id_matching_distributed(&pg, delta, &ids).unwrap();
-        check_maximal_matching(&simple, &idmm).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ids: Vec<u64> = (0..pg.node_count() as u64).map(|i| i * 31 + 5).collect();
+        let idmm = id_matching_distributed(pg, delta, &ids).unwrap();
+        check_maximal_matching(simple, &idmm).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(idmm.len() <= 2 * opt, "{name}: id distributed ratio");
 
         // Randomised matching.
-        let seeds: Vec<u64> = (0..g.node_count() as u64)
+        let seeds: Vec<u64> = (0..pg.node_count() as u64)
             .map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0xbeef)
             .collect();
-        let rand = randomized_matching_distributed(&pg, &seeds).unwrap();
-        check_maximal_matching(&simple, &rand).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rand = randomized_matching_distributed(pg, &seeds).unwrap();
+        check_maximal_matching(simple, &rand).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(rand.len() <= 2 * opt, "{name}: randomised ratio");
 
         // Exact solvers agree (Yannakakis–Gavril both directions).
-        let min_mm = mmm::minimum_maximal_matching(&simple);
+        let min_mm = mmm::minimum_maximal_matching(simple);
         assert_eq!(min_mm.len(), opt, "{name}: exact solvers disagree");
         // ... and converting the exact EDS to a maximal matching never
         // grows it (the constructive direction).
-        let eds = exact::minimum_edge_dominating_set(&simple);
-        let converted = two_approx::eds_to_maximal_matching(&simple, &eds);
+        let eds = exact::minimum_edge_dominating_set(simple);
+        let converted = two_approx::eds_to_maximal_matching(simple, &eds);
         assert!(converted.len() <= eds.len(), "{name}: conversion grew");
 
         // Vertex cover sibling: feasible cover.
-        let cover = edge_dominating_sets::algorithms::vertex_cover::vertex_cover_reference(&pg);
+        let cover = edge_dominating_sets::algorithms::vertex_cover::vertex_cover_reference(pg);
         assert!(
-            edge_dominating_sets::algorithms::vertex_cover::is_vertex_cover(&pg, &cover),
+            edge_dominating_sets::algorithms::vertex_cover::is_vertex_cover(pg, &cover),
             "{name}: vertex cover infeasible"
         );
     }
@@ -144,19 +116,50 @@ fn portfolio_sizes_are_ordered_sensibly() {
     // On every instance: OPT <= any maximal matching <= 2 OPT, and
     // OPT <= A(Δ) output.
     for case in workloads() {
-        let g = &case.graph;
-        if g.is_edgeless() {
+        if case.simple.is_edgeless() {
             continue;
         }
-        let pg = ports::canonical_ports(g).unwrap();
-        let simple = pg.to_simple().unwrap();
-        let opt = exact::minimum_eds_size(&simple);
-        let adelta = bounded_degree_reference(&pg, pg.max_degree())
+        let opt = exact::minimum_eds_size(&case.simple);
+        let adelta = bounded_degree_reference(&case.graph, case.graph.max_degree())
             .unwrap()
             .dominating_set;
-        let greedy = two_approx::two_approximation(&simple);
-        assert!(opt <= adelta.len(), "{}", case.name);
-        assert!(opt <= greedy.len(), "{}", case.name);
-        assert!(greedy.len() <= 2 * opt, "{}", case.name);
+        let greedy = two_approx::two_approximation(&case.simple);
+        assert!(opt <= adelta.len(), "{}", case.name());
+        assert!(opt <= greedy.len(), "{}", case.name());
+        assert!(greedy.len() <= 2 * opt, "{}", case.name());
+    }
+}
+
+#[test]
+fn conformance_sweep_is_clean() {
+    // The sweep driver itself — the machinery CI gates on — certifies
+    // every record on the conformance matrix: feasible, and within the
+    // paper's bound against the exact optimum.
+    let records = sweep::sweep_registry(&Registry::conformance(), &sweep::SweepConfig::default())
+        .expect("sweep runs");
+    assert!(!records.is_empty());
+    for r in &records {
+        assert!(
+            r.is_clean(),
+            "{}/{}: {:?}",
+            r.scenario,
+            r.protocol,
+            r.violation
+        );
+        assert!(
+            r.optimum.is_some(),
+            "{}/{}: conformance instances must be exactly solvable",
+            r.scenario,
+            r.protocol
+        );
+        if r.bound.is_some() {
+            assert_eq!(
+                r.within_bound,
+                Some(true),
+                "{}/{}: bound not certified",
+                r.scenario,
+                r.protocol
+            );
+        }
     }
 }
