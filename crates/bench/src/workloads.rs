@@ -1,13 +1,15 @@
 //! Workload construction shared by benches and experiment binaries.
 //!
 //! Since the scenario subsystem landed, this module is a thin adapter
-//! over [`eds_scenarios`]: every instance is described by a
-//! [`ScenarioSpec`] (family × seed × port policy) and materialised
-//! through the same registry machinery the conformance tests and the
-//! `scenario_sweep` binary use, so benches measure exactly the graphs
-//! the quality harness validates.
+//! over [`eds_scenarios`]: every suite is a [`Registry`] of
+//! [`ScenarioSpec`]s materialised through the same machinery the
+//! conformance tests and the `scenario_sweep` binary use, so benches
+//! measure exactly the graphs the quality harness validates. The
+//! [`sweep_suite`] helper pushes a whole suite through the
+//! [`Session`] solver service when a bench wants quality records next
+//! to its timings.
 
-use eds_scenarios::{Family, PortPolicy, ScenarioSpec};
+use eds_scenarios::{Family, PortPolicy, Registry, ScenarioSpec, Session, SweepError, SweepRecord};
 use pn_graph::{GraphError, PortNumberedGraph, SimpleGraph};
 
 /// A named instance: a port-numbered graph with a human-readable label.
@@ -19,11 +21,46 @@ pub struct Workload {
     pub graph: PortNumberedGraph,
 }
 
-fn build(name: String, spec: &ScenarioSpec) -> Result<Workload, GraphError> {
-    Ok(Workload {
-        name,
-        graph: spec.build()?.graph,
-    })
+/// Materialises every spec of a registry into a [`Workload`], naming
+/// each by `label(spec)`.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn materialise(
+    registry: &Registry,
+    label: impl Fn(&ScenarioSpec) -> String,
+) -> Result<Vec<Workload>, GraphError> {
+    registry
+        .iter()
+        .map(|spec| {
+            Ok(Workload {
+                name: label(spec),
+                graph: spec.build()?.graph,
+            })
+        })
+        .collect()
+}
+
+/// Runs a whole suite through the [`Session`] solver service, returning
+/// the quality records (sharded execution, deterministic order).
+///
+/// # Errors
+///
+/// Propagates build and execution errors.
+pub fn sweep_suite(registry: Registry) -> Result<Vec<SweepRecord>, SweepError> {
+    Session::over(registry).collect()
+}
+
+/// The registry behind [`regular_suite`].
+pub fn regular_registry(n: usize, d: usize, seeds: std::ops::Range<u64>) -> Registry {
+    Registry::new(
+        seeds
+            .map(|seed| {
+                ScenarioSpec::new(Family::RandomRegular { n, d }, seed, PortPolicy::Shuffled)
+            })
+            .collect(),
+    )
 }
 
 /// Random `d`-regular instances with shuffled ports, one per seed.
@@ -36,14 +73,29 @@ pub fn regular_suite(
     d: usize,
     seeds: std::ops::Range<u64>,
 ) -> Result<Vec<Workload>, GraphError> {
-    seeds
-        .map(|seed| {
-            build(
-                format!("random-regular n={n} d={d} seed={seed}"),
-                &ScenarioSpec::new(Family::RandomRegular { n, d }, seed, PortPolicy::Shuffled),
-            )
-        })
-        .collect()
+    materialise(&regular_registry(n, d, seeds), |spec| {
+        format!("random-regular n={n} d={d} seed={}", spec.seed)
+    })
+}
+
+/// The registry behind [`bounded_suite`].
+pub fn bounded_registry(
+    n: usize,
+    delta: usize,
+    density: f64,
+    seeds: std::ops::Range<u64>,
+) -> Registry {
+    Registry::new(
+        seeds
+            .map(|seed| {
+                ScenarioSpec::new(
+                    Family::RandomBoundedDegree { n, delta, density },
+                    seed,
+                    PortPolicy::Shuffled,
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Random bounded-degree instances with shuffled ports, one per seed.
@@ -57,18 +109,57 @@ pub fn bounded_suite(
     density: f64,
     seeds: std::ops::Range<u64>,
 ) -> Result<Vec<Workload>, GraphError> {
-    seeds
-        .map(|seed| {
-            build(
-                format!("random-bounded n={n} Δ={delta} density={density} seed={seed}"),
-                &ScenarioSpec::new(
-                    Family::RandomBoundedDegree { n, delta, density },
-                    seed,
-                    PortPolicy::Shuffled,
-                ),
+    materialise(
+        &bounded_registry(n, delta, density, seeds.clone()),
+        |spec| {
+            format!(
+                "random-bounded n={n} Δ={delta} density={density} seed={}",
+                spec.seed
             )
-        })
-        .collect()
+        },
+    )
+}
+
+/// The registry behind [`power_law_suite`].
+pub fn power_law_registry(n: usize, m: usize, seeds: std::ops::Range<u64>) -> Registry {
+    Registry::new(
+        seeds
+            .map(|seed| ScenarioSpec::new(Family::PowerLaw { n, m }, seed, PortPolicy::Shuffled))
+            .collect(),
+    )
+}
+
+/// Heavy-tailed preferential-attachment instances, one per seed — the
+/// workload whose hub degrees stress the `Δ`-parametrised protocols.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn power_law_suite(
+    n: usize,
+    m: usize,
+    seeds: std::ops::Range<u64>,
+) -> Result<Vec<Workload>, GraphError> {
+    materialise(&power_law_registry(n, m, seeds), |spec| {
+        format!("power-law n={n} m={m} seed={}", spec.seed)
+    })
+}
+
+/// The registry behind [`classic_suite`].
+pub fn classic_registry() -> Registry {
+    Registry::new(
+        [
+            Family::Petersen,
+            Family::Hypercube(4),
+            Family::Torus(6, 6),
+            Family::Grid(8, 8),
+            Family::Cycle(48),
+            Family::Crown(6),
+        ]
+        .into_iter()
+        .map(|family| ScenarioSpec::new(family, 0, PortPolicy::Canonical))
+        .collect(),
+    )
 }
 
 /// The classic fixed topologies used across the benches.
@@ -77,20 +168,7 @@ pub fn bounded_suite(
 ///
 /// Never fails for the built-in parameter choices.
 pub fn classic_suite() -> Result<Vec<Workload>, GraphError> {
-    [
-        Family::Petersen,
-        Family::Hypercube(4),
-        Family::Torus(6, 6),
-        Family::Grid(8, 8),
-        Family::Cycle(48),
-        Family::Crown(6),
-    ]
-    .into_iter()
-    .map(|family| {
-        let spec = ScenarioSpec::new(family, 0, PortPolicy::Canonical);
-        build(spec.family.label(), &spec)
-    })
-    .collect()
+    materialise(&classic_registry(), |spec| spec.family.label())
 }
 
 /// A geometric "sensor network" instance: random points in the unit
@@ -132,6 +210,11 @@ mod tests {
         }
         let c = classic_suite().unwrap();
         assert!(c.len() >= 5);
+        let p = power_law_suite(30, 2, 0..2).unwrap();
+        assert_eq!(p.len(), 2);
+        for w in &p {
+            assert!(w.graph.max_degree() > 2, "{}: hubs expected", w.name);
+        }
     }
 
     #[test]
@@ -152,5 +235,14 @@ mod tests {
         );
         let via_suite = &regular_suite(12, 4, 1..2).unwrap()[0];
         assert_eq!(via_suite.graph, spec.build().unwrap().graph);
+    }
+
+    #[test]
+    fn sweep_suite_scores_a_whole_registry() {
+        let records = sweep_suite(power_law_registry(14, 2, 0..2)).unwrap();
+        // Five edge protocols + vertex cover on each seed (power-law
+        // graphs are never odd-regular, so Theorem 4 sits out).
+        assert_eq!(records.len(), 2 * 5);
+        assert!(records.iter().all(|r| r.is_clean()));
     }
 }

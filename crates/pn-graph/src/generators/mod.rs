@@ -11,4 +11,7 @@ pub use classic::{
     circulant, complete, complete_bipartite, crown, cycle, disjoint_union, grid, hypercube, ladder,
     path, petersen, star, torus, wheel,
 };
-pub use random::{gnp, random_bounded_degree, random_geometric, random_regular, random_tree};
+pub use random::{
+    gnp, preferential_attachment, random_bounded_degree, random_geometric, random_regular,
+    random_tree,
+};

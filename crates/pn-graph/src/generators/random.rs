@@ -156,6 +156,54 @@ pub fn random_bounded_degree(
     Ok(g)
 }
 
+/// A power-law (heavy-tailed) graph via Barabási–Albert preferential
+/// attachment: the first `m + 1` nodes form a star, then each new node
+/// attaches to `m` distinct existing nodes chosen with probability
+/// proportional to their current degree. Degrees follow a power law, so
+/// these instances stress the `Δ`-parametrised protocols with hubs far
+/// above the typical degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m == 0` or `n < m + 1`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Result<SimpleGraph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            detail: "preferential attachment needs m >= 1".to_owned(),
+        });
+    }
+    if n < m + 1 {
+        return Err(GraphError::InvalidParameter {
+            detail: format!("preferential attachment needs n >= m + 1 (n = {n}, m = {m})"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SimpleGraph::new(n);
+    // Each accepted edge pushes both endpoints, so sampling an index
+    // uniformly from `endpoints` is degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * m * n);
+    for v in 1..=m {
+        g.add_edge_ids(0, v)?;
+        endpoints.push(0);
+        endpoints.push(v);
+    }
+    for v in (m + 1)..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let u = endpoints[rng.gen_range(0..endpoints.len())];
+            if u != v && !targets.contains(&u) {
+                targets.push(u);
+            }
+        }
+        for u in targets {
+            g.add_edge_ids(u, v)?;
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    Ok(g)
+}
+
 /// A uniformly random labelled tree on `n` nodes via a random Prüfer
 /// sequence.
 ///
@@ -274,6 +322,31 @@ mod tests {
         let g = random_bounded_degree(50, 4, 0.8, 3).unwrap();
         assert!(g.max_degree() <= 4);
         assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(60, 2, 7).unwrap();
+        // m initial star edges plus m per subsequent node.
+        assert_eq!(g.edge_count(), 2 + 2 * (60 - 3));
+        assert!(g.min_degree() >= 1);
+        let comps = connected_components(&g);
+        assert_eq!(comps.count, 1);
+        // Heavy tail: the largest hub dwarfs the minimum attachment
+        // degree (deterministic for the fixed seed).
+        assert!(g.max_degree() >= 3 * 2, "max degree {}", g.max_degree());
+        // Deterministic for a fixed seed.
+        assert_eq!(g, preferential_attachment(60, 2, 7).unwrap());
+        assert_ne!(g, preferential_attachment(60, 2, 8).unwrap());
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_parameters() {
+        assert!(preferential_attachment(5, 0, 1).is_err());
+        assert!(preferential_attachment(2, 2, 1).is_err());
+        // The smallest legal instance is the seed star itself.
+        let g = preferential_attachment(3, 2, 1).unwrap();
+        assert_eq!(g.edge_count(), 2);
     }
 
     #[test]

@@ -45,17 +45,63 @@ impl<'g> Simulator<'g> {
         <F::Algorithm as NodeAlgorithm>::Output: Send,
     {
         let g = self.graph();
+        self.run_parallel_states(
+            g.nodes().map(|v| factory.create(g.degree(v))).collect(),
+            threads,
+        )
+    }
+
+    /// The per-node-inputs sibling of [`Simulator::run_parallel`]: the
+    /// identifier-model entry point ([`Simulator::run_with_inputs`]) on
+    /// `threads` OS threads, again bit-identical to the sequential run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn run_parallel_with_inputs<A, I>(
+        &self,
+        inputs: &[I],
+        factory: impl Fn(usize, &I) -> A,
+        threads: usize,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: Send + Sync,
+        A::Output: Send,
+    {
+        let g = self.graph();
+        assert_eq!(inputs.len(), g.node_count(), "one input per node required");
+        self.run_parallel_states(
+            g.nodes()
+                .map(|v| factory(g.degree(v), &inputs[v.index()]))
+                .collect(),
+            threads,
+        )
+    }
+
+    fn run_parallel_states<A>(
+        &self,
+        states: Vec<A>,
+        threads: usize,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: Send + Sync,
+        A::Output: Send,
+    {
+        let g = self.graph();
         let n = g.node_count();
         let threads = threads.clamp(1, n.max(1));
 
-        type Msg<F> = <<F as AlgorithmFactory>::Algorithm as NodeAlgorithm>::Message;
-        type Out<F> = <<F as AlgorithmFactory>::Algorithm as NodeAlgorithm>::Output;
+        type Msg<A> = <A as NodeAlgorithm>::Message;
+        type Out<A> = <A as NodeAlgorithm>::Output;
 
-        let mut states: Vec<Option<F::Algorithm>> = g
-            .nodes()
-            .map(|v| Some(factory.create(g.degree(v))))
-            .collect();
-        let mut outputs: Vec<Option<Out<F>>> = (0..n).map(|_| None).collect();
+        let mut states: Vec<Option<A>> = states.into_iter().map(Some).collect();
+        let mut outputs: Vec<Option<Out<A>>> = (0..n).map(|_| None).collect();
         let mut halted_at = vec![0usize; n];
         let mut running = n;
         let mut messages = 0usize;
@@ -86,8 +132,8 @@ impl<'g> Simulator<'g> {
             .map(|&(lo, hi)| (lo as u32..hi as u32).collect())
             .collect();
 
-        let mut outbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
-        let mut inbox: Vec<Option<Msg<F>>> = (0..total_ports).map(|_| None).collect();
+        let mut outbox: Vec<Option<Msg<A>>> = (0..total_ports).map(|_| None).collect();
+        let mut inbox: Vec<Option<Msg<A>>> = (0..total_ports).map(|_| None).collect();
 
         // Splits a flat per-port buffer into one mutable slice per chunk.
         fn split_slots<'a, T>(
@@ -208,7 +254,7 @@ impl<'g> Simulator<'g> {
             // ---- Receive phase: parallel over chunks, frontier-driven;
             // halting nodes clear their outbox window so the gather never
             // re-delivers a final message. ----
-            let halts: Vec<Vec<(usize, Out<F>)>> = {
+            let halts: Vec<Vec<(usize, Out<A>)>> = {
                 let state_slices = split_nodes(states.as_mut_slice(), &node_bounds);
                 let out_slices = split_slots(outbox.as_mut_slice(), &node_bounds, &slot_at);
                 let inbox_ref = &inbox;

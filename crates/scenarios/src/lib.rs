@@ -1,6 +1,6 @@
-//! Scenario sweep subsystem: one registry of workloads, one driver that
-//! runs every protocol across it and scores the results against the
-//! paper's guarantees.
+//! Scenario sweep subsystem: one registry of workloads, one solver
+//! service that runs every protocol across it and streams scored
+//! results into pluggable sinks.
 //!
 //! The paper's theorems (3–5, the vertex-cover reduction, and the
 //! identifier/randomised matching baselines) each promise a quality
@@ -9,18 +9,25 @@
 //!
 //! * [`scenario`] — the unified [`Scenario`] model: graph family × size
 //!   × seed × port-numbering policy, covering every generator in
-//!   `pn-graph` (classic, random, geometric), the covering-map lifts of
-//!   Section 2.3, and simple covers of multigraphs;
+//!   `pn-graph` (classic, random, geometric, power-law), the
+//!   covering-map lifts of Section 2.3, simple covers of multigraphs,
+//!   and externally supplied instances ([`Scenario::external`]);
 //! * [`registry`] — iterator-based scenario sets: [`Registry::full`]
 //!   for sweeps, [`Registry::smoke`] for CI, [`Registry::conformance`]
 //!   for the integration test matrix;
 //! * [`protocol`] — the six distributed protocols behind one interface
 //!   ([`Protocol::ALL`]), all executed through the zero-allocation
-//!   `pn-runtime` engine so every record carries rounds and messages;
-//! * [`sweep`] — the driver: per-(scenario, protocol) records with
-//!   solution size, exact optimum or certified lower bound, the paper's
-//!   bound as a fraction, and feasibility witnesses from `eds-verify`;
-//!   plus `BENCH_sim.json`-style JSON rendering;
+//!   `pn-runtime` engine (sequential or parallel, bit-identically);
+//! * [`session`] — the solver service: a builder-style [`Session`]
+//!   wiring scenario source × protocol portfolio × exact-solver budgets
+//!   × pluggable [`BoundProvider`], sharded across threads by default
+//!   with a deterministic in-order merge;
+//! * [`sink`] — where measurements go: [`RecordSink`] implementations
+//!   for in-memory collection ([`VecSink`]), streaming JSON-lines
+//!   reports ([`JsonLinesSink`]), constant-memory aggregation
+//!   ([`AggregateSink`]) and fan-out ([`Tee`]);
+//! * [`sweep`] — the shared vocabulary: [`SweepRecord`],
+//!   [`sweep::paper_bound`], [`SweepConfig`];
 //! * [`small`] — exhaustive enumeration of all connected graphs with
 //!   `n ≤ 6` (one representative per isomorphism class), the substrate
 //!   of the conformance suite.
@@ -30,10 +37,11 @@
 //! Sweep the smoke registry and confirm the bounds hold everywhere:
 //!
 //! ```
-//! use eds_scenarios::{sweep, Registry};
+//! use eds_scenarios::{Registry, Session, VecSink};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let records = sweep::sweep_registry(&Registry::smoke(), &sweep::SweepConfig::default())?;
-//! assert!(records.iter().all(|r| r.is_clean()));
+//! let mut sink = VecSink::new();
+//! Session::over(Registry::smoke()).run(&mut sink)?;
+//! assert!(sink.records.iter().all(|r| r.is_clean()));
 //! # Ok(())
 //! # }
 //! ```
@@ -47,8 +55,8 @@
 //!    [`Registry::smoke`]/[`Registry::conformance`] if appropriate).
 //!
 //! Every consumer — the `scenario_sweep` binary, the bench workloads,
-//! and the integration tests — iterates the registry, so no other code
-//! changes.
+//! and the integration tests — iterates the registry through a
+//! [`Session`], so no other code changes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,10 +64,14 @@
 pub mod protocol;
 pub mod registry;
 pub mod scenario;
+pub mod session;
+pub mod sink;
 pub mod small;
 pub mod sweep;
 
-pub use protocol::{Protocol, ProtocolRun, Solution, SweepError};
+pub use protocol::{ExecOptions, Protocol, ProtocolRun, Solution, SweepError};
 pub use registry::Registry;
 pub use scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
-pub use sweep::{sweep_one, sweep_registry, sweep_scenario, SweepConfig, SweepRecord};
+pub use session::{BoundProvider, Bounds, ExactBounds, Session};
+pub use sink::{AggregateSink, JsonLinesSink, RecordSink, Tee, VecSink};
+pub use sweep::{SweepConfig, SweepRecord};

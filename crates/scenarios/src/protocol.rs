@@ -13,7 +13,7 @@ use eds_core::distributed::{BoundedDegreeNode, RegularOddNode};
 use eds_core::port_one::PortOneNode;
 use eds_core::vertex_cover::VertexCoverNode;
 use pn_graph::{EdgeId, GraphError, NodeId};
-use pn_runtime::{edge_set_from_outputs, RuntimeError, Simulator};
+use pn_runtime::{edge_set_from_outputs, AlgorithmFactory, NodeAlgorithm, RuntimeError, Simulator};
 
 use crate::scenario::Scenario;
 
@@ -110,6 +110,31 @@ pub struct ProtocolRun {
     pub messages: usize,
 }
 
+/// Execution knobs for a single protocol run; the defaults reproduce
+/// [`Protocol::execute`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Claimed degree bound handed to the `Δ`-parametrised protocols
+    /// (`A(Δ)`, the vertex-cover sibling, the identifier matching);
+    /// `None` uses the instance maximum degree. The protocols require
+    /// the claim to cover every node, so values below the instance
+    /// maximum are raised to it.
+    pub delta: Option<usize>,
+    /// Simulator threads: `> 1` routes the run through
+    /// [`Simulator::run_parallel`] (bit-identical results, useful for
+    /// single huge instances), `1` stays on the sequential engine.
+    pub simulator_threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            delta: None,
+            simulator_threads: 1,
+        }
+    }
+}
+
 impl Protocol {
     /// All six protocols, in report order.
     pub const ALL: [Protocol; 6] = [
@@ -146,7 +171,8 @@ impl Protocol {
         }
     }
 
-    /// Executes the protocol on the scenario through the simulator.
+    /// Executes the protocol on the scenario through the simulator with
+    /// default [`ExecOptions`].
     ///
     /// Identifier and randomised baselines derive their per-node inputs
     /// deterministically from the scenario seed, so sweeps are
@@ -157,12 +183,67 @@ impl Protocol {
     /// Propagates simulator errors and output-consistency violations;
     /// neither occurs when [`Protocol::applicable`] holds.
     pub fn execute(self, scenario: &Scenario) -> Result<ProtocolRun, SweepError> {
+        self.execute_with(scenario, &ExecOptions::default())
+    }
+
+    /// Executes the protocol with explicit execution knobs (claimed `Δ`,
+    /// simulator threads). Results are identical across thread counts —
+    /// the parallel engine is bit-compatible with the sequential one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Protocol::execute`].
+    pub fn execute_with(
+        self,
+        scenario: &Scenario,
+        opts: &ExecOptions,
+    ) -> Result<ProtocolRun, SweepError> {
         let g = &scenario.graph;
         let sim = Simulator::new(g);
-        let delta = g.max_degree();
+        let threads = opts.simulator_threads.max(1);
+        // A claimed Δ below the true maximum would violate the node
+        // algorithms' contract (every degree must be ≤ Δ); raise it.
+        let delta = opts.delta.unwrap_or(0).max(g.max_degree());
+
+        fn drive<F>(
+            sim: &Simulator,
+            factory: F,
+            threads: usize,
+        ) -> Result<pn_runtime::Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+        where
+            F: AlgorithmFactory,
+            F::Algorithm: Send,
+            <F::Algorithm as NodeAlgorithm>::Message: Send + Sync,
+            <F::Algorithm as NodeAlgorithm>::Output: Send,
+        {
+            if threads > 1 {
+                sim.run_parallel(factory, threads)
+            } else {
+                sim.run(factory)
+            }
+        }
+
+        fn drive_with_inputs<A, I>(
+            sim: &Simulator,
+            inputs: &[I],
+            factory: impl Fn(usize, &I) -> A,
+            threads: usize,
+        ) -> Result<pn_runtime::Run<A::Output>, RuntimeError>
+        where
+            A: NodeAlgorithm + Send,
+            A::Message: Send + Sync,
+            A::Output: Send,
+        {
+            if threads > 1 {
+                sim.run_parallel_with_inputs(inputs, factory, threads)
+            } else {
+                sim.run_with_inputs(inputs, factory)
+            }
+        }
+
         match self {
             Protocol::PortOne => {
-                let run = sim.run(PortOneNode::new)?;
+                let run = drive(&sim, PortOneNode::new, threads)?;
                 Ok(ProtocolRun {
                     solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
                     rounds: run.rounds,
@@ -170,7 +251,7 @@ impl Protocol {
                 })
             }
             Protocol::RegularOdd => {
-                let run = sim.run(RegularOddNode::new)?;
+                let run = drive(&sim, RegularOddNode::new, threads)?;
                 Ok(ProtocolRun {
                     solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
                     rounds: run.rounds,
@@ -178,7 +259,7 @@ impl Protocol {
                 })
             }
             Protocol::BoundedDegree => {
-                let run = sim.run(|d: usize| BoundedDegreeNode::new(delta, d))?;
+                let run = drive(&sim, |d: usize| BoundedDegreeNode::new(delta, d), threads)?;
                 Ok(ProtocolRun {
                     solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
                     rounds: run.rounds,
@@ -186,7 +267,7 @@ impl Protocol {
                 })
             }
             Protocol::VertexCover => {
-                let run = sim.run(|d: usize| VertexCoverNode::new(delta, d))?;
+                let run = drive(&sim, |d: usize| VertexCoverNode::new(delta, d), threads)?;
                 Ok(ProtocolRun {
                     solution: Solution::Nodes(
                         g.nodes().filter(|v| run.outputs[v.index()]).collect(),
@@ -197,8 +278,12 @@ impl Protocol {
             }
             Protocol::IdMatching => {
                 let ids = node_identifiers(g.node_count(), scenario.spec.seed);
-                let run = sim
-                    .run_with_inputs(&ids, |degree, &id| IdMatchingNode::new(delta, degree, id))?;
+                let run = drive_with_inputs(
+                    &sim,
+                    &ids,
+                    |degree, &id| IdMatchingNode::new(delta, degree, id),
+                    threads,
+                )?;
                 Ok(ProtocolRun {
                     solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
                     rounds: run.rounds,
@@ -208,9 +293,12 @@ impl Protocol {
             Protocol::RandMatching => {
                 let seeds = node_seeds(g.node_count(), scenario.spec.seed);
                 let phases = randomized_matching_phases(g.node_count());
-                let run = sim.run_with_inputs(&seeds, |degree, &seed| {
-                    RandMatchingNode::new(degree, seed, phases)
-                })?;
+                let run = drive_with_inputs(
+                    &sim,
+                    &seeds,
+                    |degree, &seed| RandMatchingNode::new(degree, seed, phases),
+                    threads,
+                )?;
                 Ok(ProtocolRun {
                     solution: Solution::Edges(edge_set_from_outputs(g, &run.outputs)?),
                     rounds: run.rounds,
@@ -294,6 +382,47 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), ids.len());
         }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        let s = ScenarioSpec::new(Family::PowerLaw { n: 30, m: 2 }, 2, PortPolicy::Shuffled)
+            .build()
+            .unwrap();
+        let parallel = ExecOptions {
+            delta: None,
+            simulator_threads: 4,
+        };
+        for p in Protocol::ALL {
+            if !p.applicable(&s) {
+                continue;
+            }
+            let a = p.execute(&s).unwrap();
+            let b = p.execute_with(&s, &parallel).unwrap();
+            assert_eq!(a.solution, b.solution, "{}", p.name());
+            assert_eq!(a.rounds, b.rounds, "{}", p.name());
+            assert_eq!(a.messages, b.messages, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn delta_override_reaches_the_parametrised_protocols() {
+        let s = ScenarioSpec::new(Family::Path(6), 0, PortPolicy::Canonical)
+            .build()
+            .unwrap();
+        // Claiming a looser Δ than the true maximum degree is legal and
+        // changes the protocol's phase schedule (more rounds).
+        let tight = Protocol::BoundedDegree.execute(&s).unwrap();
+        let loose = Protocol::BoundedDegree
+            .execute_with(
+                &s,
+                &ExecOptions {
+                    delta: Some(5),
+                    simulator_threads: 1,
+                },
+            )
+            .unwrap();
+        assert!(loose.rounds > tight.rounds);
     }
 
     #[test]

@@ -122,7 +122,19 @@ impl Registry {
                 seed,
                 PortPolicy::Shuffled,
             ));
+            // Heavy-tailed degrees: hubs far above the typical degree
+            // stress the Δ-parametrised protocols.
+            specs.push(ScenarioSpec::new(
+                Family::PowerLaw { n: 24, m: 2 },
+                seed,
+                PortPolicy::Shuffled,
+            ));
         }
+        specs.push(ScenarioSpec::new(
+            Family::PowerLaw { n: 40, m: 3 },
+            0,
+            PortPolicy::Shuffled,
+        ));
         // A 4-regular random instance under the 2-factor adversary.
         specs.push(ScenarioSpec::new(
             Family::RandomRegular { n: 10, d: 4 },
@@ -175,6 +187,7 @@ impl Registry {
                     0,
                     PortPolicy::Shuffled,
                 ),
+                ScenarioSpec::new(Family::PowerLaw { n: 12, m: 2 }, 0, PortPolicy::Shuffled),
                 ScenarioSpec::new(Family::Figure2Cover { layers: 4 }, 0, PortPolicy::Canonical),
             ],
         }
@@ -217,6 +230,13 @@ impl Registry {
                     delta: 4,
                     density: 0.8,
                 },
+                seed,
+                PortPolicy::Shuffled,
+            ));
+        }
+        for seed in 0..2u64 {
+            specs.push(ScenarioSpec::new(
+                Family::PowerLaw { n: 14, m: 2 },
                 seed,
                 PortPolicy::Shuffled,
             ));

@@ -77,6 +77,15 @@ pub enum Family {
         /// Number of nodes.
         n: usize,
     },
+    /// Barabási–Albert preferential attachment (seeded): heavy-tailed
+    /// degrees, the workload that stresses the `Δ`-parametrised
+    /// protocols with hubs far above the typical degree.
+    PowerLaw {
+        /// Number of nodes.
+        n: usize,
+        /// Edges added per new node.
+        m: usize,
+    },
     /// Random geometric graph in the unit square (seeded), truncated to a
     /// maximum degree so the bounded-degree protocols stay applicable —
     /// the "sensor network" workload.
@@ -112,6 +121,14 @@ pub enum Family {
         /// Index into the canonical enumeration.
         index: usize,
     },
+    /// An externally supplied instance (a CLI input file, a hand-built
+    /// numbering). External scenarios cannot be rebuilt from their spec —
+    /// they enter a session through [`Scenario::external`], which wraps a
+    /// ready-made port-numbered graph.
+    External {
+        /// Display name for reports.
+        name: String,
+    },
 }
 
 impl Family {
@@ -136,10 +153,12 @@ impl Family {
             Family::RandomRegular { .. } => "random-regular",
             Family::RandomBoundedDegree { .. } => "random-bounded",
             Family::RandomTree { .. } => "random-tree",
+            Family::PowerLaw { .. } => "power-law",
             Family::SensorNetwork { .. } => "sensor-network",
             Family::CyclicLift { .. } => "cyclic-lift",
             Family::Figure2Cover { .. } => "figure2-cover",
             Family::SmallConnected { .. } => "small-connected",
+            Family::External { .. } => "external",
         }
     }
 
@@ -168,10 +187,12 @@ impl Family {
                 format!("random-bounded-{n}-D{delta}-q{density}")
             }
             Family::RandomTree { n } => format!("random-tree-{n}"),
+            Family::PowerLaw { n, m } => format!("power-law-{n}-m{m}"),
             Family::SensorNetwork { n, delta } => format!("sensor-{n}-D{delta}"),
             Family::CyclicLift { base, layers } => format!("{}-lift{layers}", base.label()),
             Family::Figure2Cover { layers } => format!("figure2-cover-{layers}"),
             Family::SmallConnected { n, index } => format!("small{n}-{index}"),
+            Family::External { name } => name.clone(),
         }
     }
 
@@ -203,6 +224,7 @@ impl Family {
                 generators::random_bounded_degree(*n, *delta, *density, seed)
             }
             Family::RandomTree { n } => generators::random_tree(*n, seed),
+            Family::PowerLaw { n, m } => generators::preferential_attachment(*n, *m, seed),
             Family::SensorNetwork { n, delta } => {
                 let radius = (2.0 / (*n as f64)).sqrt();
                 let full = generators::random_geometric(*n, radius, seed)?;
@@ -240,6 +262,12 @@ impl Family {
                         ),
                     })
             }
+            Family::External { name } => Err(GraphError::InvalidParameter {
+                detail: format!(
+                    "external scenario {name:?} cannot be rebuilt from its spec; \
+                     construct it with Scenario::external"
+                ),
+            }),
         }
     }
 }
@@ -256,6 +284,9 @@ pub enum PortPolicy {
     /// The paper's 2-factorised adversarial numbering
     /// ([`ports::two_factor_ports`]); requires a `2k`-regular graph.
     TwoFactor,
+    /// The numbering arrived with the graph ([`Scenario::external`]);
+    /// there is no policy to apply.
+    AsGiven,
 }
 
 impl PortPolicy {
@@ -265,6 +296,7 @@ impl PortPolicy {
             PortPolicy::Canonical => "canonical",
             PortPolicy::Shuffled => "shuffled",
             PortPolicy::TwoFactor => "two-factor",
+            PortPolicy::AsGiven => "as-given",
         }
     }
 
@@ -273,12 +305,17 @@ impl PortPolicy {
     /// # Errors
     ///
     /// [`PortPolicy::TwoFactor`] fails on graphs that are not
-    /// `2k`-regular; the other policies cannot fail on well-formed input.
+    /// `2k`-regular and [`PortPolicy::AsGiven`] always fails (the
+    /// numbering of an external scenario cannot be reconstructed); the
+    /// other policies cannot fail on well-formed input.
     pub fn apply(self, g: &SimpleGraph, seed: u64) -> Result<PortNumberedGraph, GraphError> {
         match self {
             PortPolicy::Canonical => ports::canonical_ports(g),
             PortPolicy::Shuffled => ports::shuffled_ports(g, seed ^ 0x5cea_a110),
             PortPolicy::TwoFactor => ports::two_factor_ports(g),
+            PortPolicy::AsGiven => Err(GraphError::InvalidParameter {
+                detail: "as-given numberings arrive with the graph; nothing to apply".to_owned(),
+            }),
         }
     }
 }
@@ -362,6 +399,32 @@ impl Scenario {
     /// The spec's display name.
     pub fn name(&self) -> String {
         self.spec.name()
+    }
+
+    /// Wraps an externally constructed port-numbered graph as a scenario,
+    /// so ad-hoc instances (CLI input files, hand-built numberings) flow
+    /// through the same [`crate::Session`] machinery as registry
+    /// workloads. The `seed` feeds the identifier/randomised baselines'
+    /// per-node inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection errors for graphs that are not simple.
+    pub fn external(
+        name: impl Into<String>,
+        graph: PortNumberedGraph,
+        seed: u64,
+    ) -> Result<Scenario, GraphError> {
+        let simple = graph.to_simple()?;
+        Ok(Scenario {
+            spec: ScenarioSpec::new(
+                Family::External { name: name.into() },
+                seed,
+                PortPolicy::AsGiven,
+            ),
+            graph,
+            simple,
+        })
     }
 }
 
@@ -512,6 +575,28 @@ mod tests {
         );
         let s = spec.build().unwrap();
         assert!(s.simple.max_degree() <= 4);
+    }
+
+    #[test]
+    fn power_law_family_is_heavy_tailed_and_seeded() {
+        let spec = ScenarioSpec::new(Family::PowerLaw { n: 40, m: 2 }, 3, PortPolicy::Shuffled);
+        assert_eq!(spec.family.key(), "power-law");
+        assert_eq!(spec.name(), "power-law-40-m2/shuffled/s3");
+        let s = spec.build().unwrap();
+        assert_eq!(s.simple.edge_count(), 2 + 2 * 37);
+        assert!(s.simple.max_degree() > 2, "hubs expected");
+        assert_eq!(s.graph, spec.build().unwrap().graph);
+    }
+
+    #[test]
+    fn external_scenarios_wrap_ready_made_graphs() {
+        let pg = ports::shuffled_ports(&generators::petersen(), 5).unwrap();
+        let s = Scenario::external("my-input", pg.clone(), 7).unwrap();
+        assert_eq!(s.name(), "my-input/as-given/s7");
+        assert_eq!(s.graph, pg);
+        assert_eq!(s.simple.edge_count(), 15);
+        // The spec is metadata only: external scenarios cannot rebuild.
+        assert!(s.spec.build().is_err());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Record sinks: where a [`crate::Session`] streams its measurements.
+//!
+//! The solver service never returns a `Vec` of records — it drives every
+//! measurement through a [`RecordSink`], so million-record sweeps cost
+//! only what the sink keeps. The built-in sinks cover the common
+//! consumers:
+//!
+//! * [`VecSink`] — collects records in memory (tests, small sweeps);
+//! * [`JsonLinesSink`] — streams one compact JSON object per record to
+//!   any [`std::io::Write`], closing with a summary line
+//!   (`BENCH_scenarios.json` format);
+//! * [`AggregateSink`] — constant-memory per-protocol statistics and the
+//!   stderr summary table, no record retention;
+//! * [`Tee`] — fans one stream out to two sinks (e.g. JSON-lines to disk
+//!   plus a live aggregate).
+//!
+//! Sinks observe records strictly in session order — the sharded
+//! executor merges per-shard results deterministically before any sink
+//! method runs, so a sink never needs to reorder.
+
+use std::io::Write;
+
+use crate::protocol::Solution;
+use crate::sweep::SweepRecord;
+
+/// A consumer of sweep measurements.
+///
+/// [`RecordSink::record`] is called exactly once per (scenario,
+/// protocol) measurement, in deterministic session order. The optional
+/// hooks fire immediately before `record` for the same measurement:
+/// [`RecordSink::violation`] when the record is unclean, and
+/// [`RecordSink::solution`] with the raw solution (sinks that ignore it
+/// pay nothing — solutions are dropped right after the call).
+pub trait RecordSink {
+    /// Consumes one completed measurement.
+    fn record(&mut self, record: SweepRecord);
+
+    /// Observes an unclean measurement (infeasible solution or proven
+    /// bound violation) just before [`RecordSink::record`].
+    fn violation(&mut self, record: &SweepRecord) {
+        let _ = record;
+    }
+
+    /// Observes the raw solution just before [`RecordSink::record`] —
+    /// the hook the `eds` CLI uses to print the selected edges.
+    fn solution(&mut self, record: &SweepRecord, solution: &Solution) {
+        let _ = (record, solution);
+    }
+}
+
+/// Collects records into a vector.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The records seen so far, in session order.
+    pub records: Vec<SweepRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consumes the sink, returning the collected records.
+    pub fn into_records(self) -> Vec<SweepRecord> {
+        self.records
+    }
+}
+
+impl RecordSink for VecSink {
+    fn record(&mut self, record: SweepRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Streams records as JSON lines: one compact object per record, and a
+/// closing summary object emitted by [`JsonLinesSink::finish`]. This is
+/// the `BENCH_scenarios.json` on-disk format; `bench_diff` consumes it.
+///
+/// Write errors are sticky: the first failure is remembered and
+/// re-surfaced by `finish`, so a sweep never silently truncates its
+/// report.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    records: usize,
+    violations: usize,
+    families: Vec<&'static str>,
+    protocols: Vec<&'static str>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer,
+            records: 0,
+            violations: 0,
+            families: Vec::new(),
+            protocols: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Records streamed so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Writes the trailing summary line, flushes, and returns the
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered while streaming, or
+    /// the summary/flush error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        writeln!(
+            self.writer,
+            "{{\"benchmark\":\"scenario_sweep\",\"families\":{},\"protocols\":{},\
+             \"records\":{},\"violations\":{}}}",
+            self.families.len(),
+            self.protocols.len(),
+            self.records,
+            self.violations,
+        )?;
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> RecordSink for JsonLinesSink<W> {
+    fn record(&mut self, record: SweepRecord) {
+        if !self.families.contains(&record.family) {
+            self.families.push(record.family);
+        }
+        if !self.protocols.contains(&record.protocol) {
+            self.protocols.push(record.protocol);
+        }
+        if !record.is_clean() {
+            self.violations += 1;
+        }
+        self.records += 1;
+        if self.error.is_none() {
+            if let Err(e) = writeln!(self.writer, "{}", record.to_json_line()) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Per-protocol aggregate statistics for one protocol.
+#[derive(Clone, Debug)]
+pub struct ProtocolStats {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Measurements observed.
+    pub runs: usize,
+    /// Worst empirical ratio among runs with a known optimum.
+    pub worst_ratio: Option<f64>,
+    /// Runs certified within the paper's bound.
+    pub certified: usize,
+    /// Unclean runs.
+    pub violations: usize,
+}
+
+/// Constant-memory aggregation: per-protocol statistics, family
+/// coverage and a violation count, without retaining any record.
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    stats: Vec<ProtocolStats>,
+    families: Vec<&'static str>,
+    records: usize,
+    violations: usize,
+}
+
+impl AggregateSink {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        AggregateSink::default()
+    }
+
+    /// Records observed.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Unclean records observed.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Distinct family keys, in first-appearance order.
+    pub fn families(&self) -> &[&'static str] {
+        &self.families
+    }
+
+    /// Per-protocol statistics, in first-appearance order.
+    pub fn stats(&self) -> &[ProtocolStats] {
+        &self.stats
+    }
+
+    /// The per-protocol summary table (the `scenario_sweep` stderr
+    /// report, in the spirit of the paper's Table 1).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.stats {
+            let worst = s
+                .worst_ratio
+                .map_or_else(|| "-".to_owned(), |w| format!("{w:.3}"));
+            let _ = writeln!(
+                out,
+                "{:<16} {:>4} runs   worst ratio {worst:>6}   bound certified {}/{}   \
+                 violations {}",
+                s.protocol, s.runs, s.certified, s.runs, s.violations,
+            );
+        }
+        out
+    }
+}
+
+impl RecordSink for AggregateSink {
+    fn record(&mut self, record: SweepRecord) {
+        if !self.families.contains(&record.family) {
+            self.families.push(record.family);
+        }
+        self.records += 1;
+        let clean = record.is_clean();
+        if !clean {
+            self.violations += 1;
+        }
+        let stats = match self
+            .stats
+            .iter_mut()
+            .find(|s| s.protocol == record.protocol)
+        {
+            Some(s) => s,
+            None => {
+                self.stats.push(ProtocolStats {
+                    protocol: record.protocol,
+                    runs: 0,
+                    worst_ratio: None,
+                    certified: 0,
+                    violations: 0,
+                });
+                self.stats.last_mut().expect("just pushed")
+            }
+        };
+        stats.runs += 1;
+        if let Some(r) = record.ratio {
+            stats.worst_ratio = Some(stats.worst_ratio.map_or(r, |w| w.max(r)));
+        }
+        if record.within_bound == Some(true) {
+            stats.certified += 1;
+        }
+        if !clean {
+            stats.violations += 1;
+        }
+    }
+}
+
+/// Fans one record stream out to two sinks, in order (`first` sees each
+/// event before `second`).
+#[derive(Debug, Default)]
+pub struct Tee<A, B> {
+    /// The sink that observes each event first.
+    pub first: A,
+    /// The sink that observes each event second.
+    pub second: B,
+}
+
+impl<A: RecordSink, B: RecordSink> Tee<A, B> {
+    /// Combines two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
+    fn record(&mut self, record: SweepRecord) {
+        self.first.record(record.clone());
+        self.second.record(record);
+    }
+
+    fn violation(&mut self, record: &SweepRecord) {
+        self.first.violation(record);
+        self.second.violation(record);
+    }
+
+    fn solution(&mut self, record: &SweepRecord, solution: &Solution) {
+        self.first.solution(record, solution);
+        self.second.solution(record, solution);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(protocol: &'static str, clean: bool) -> SweepRecord {
+        SweepRecord {
+            scenario: "petersen/shuffled/s0".to_owned(),
+            family: "petersen",
+            policy: "shuffled",
+            seed: 0,
+            nodes: 10,
+            edges: 15,
+            protocol,
+            rounds: 2,
+            messages: 60,
+            size: 6,
+            optimum: Some(3),
+            lower_bound: 3,
+            bound: Some((3, 1)),
+            ratio: Some(2.0),
+            within_bound: Some(clean),
+            violation: None,
+        }
+    }
+
+    #[test]
+    fn json_lines_stream_and_summary() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.record(record("port-one", true));
+        sink.record(record("vertex-cover", false));
+        let buf = sink.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"protocol\":\"port-one\""));
+        assert!(lines[2].contains("\"benchmark\":\"scenario_sweep\""));
+        assert!(lines[2].contains("\"records\":2"));
+        assert!(lines[2].contains("\"violations\":1"));
+    }
+
+    #[test]
+    fn aggregate_counts_per_protocol() {
+        let mut sink = AggregateSink::new();
+        sink.record(record("port-one", true));
+        sink.record(record("port-one", true));
+        sink.record(record("vertex-cover", false));
+        assert_eq!(sink.records(), 3);
+        assert_eq!(sink.violations(), 1);
+        assert_eq!(sink.families(), ["petersen"]);
+        let table = sink.render_table();
+        assert!(table.contains("port-one"), "{table}");
+        assert!(table.contains("2 runs"), "{table}");
+        let stats = sink.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].certified, 2);
+        assert_eq!(stats[1].violations, 1);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut tee = Tee::new(VecSink::new(), AggregateSink::new());
+        tee.record(record("port-one", true));
+        tee.violation(&record("port-one", false));
+        assert_eq!(tee.first.records.len(), 1);
+        assert_eq!(tee.second.records(), 1);
+    }
+}

@@ -1,33 +1,22 @@
-//! The sweep driver: run protocols across a scenario set and record
-//! per-scenario quality, so approximation trajectories are tracked with
-//! the same rigour as throughput.
+//! The sweep record model: what one (scenario, protocol) measurement
+//! looks like, the paper's bound for it, and the exact-solver budgets.
 //!
-//! For every (scenario, protocol) pair the driver records
+//! The machinery that *produces* records lives in [`crate::session`]
+//! (the solver-service API) and the machinery that *consumes* them in
+//! [`crate::sink`]. This module owns the shared vocabulary:
 //!
-//! * the run cost (rounds, messages) from the zero-allocation engine,
-//! * the solution size,
-//! * the exact optimum (branch and bound, when the instance is within
-//!   the [`SweepConfig`] budget) or a certified lower bound (half the
-//!   size of a maximal matching for edge dominating sets, the matching
-//!   size itself for vertex covers — the LP-relaxation folklore bounds),
-//! * the paper's approximation bound for the protocol on that instance
-//!   (as an exact fraction) and whether the run satisfied it,
-//! * a feasibility violation witness from `eds-verify`, if any (a clean
-//!   sweep has none).
-//!
-//! [`render_json`] serialises a record set in the same hand-rolled,
-//! dependency-free JSON style as `BENCH_sim.json`, so quality reports
-//! live next to the throughput reports in CI artifacts.
+//! * [`SweepRecord`] — run cost (rounds, messages), solution size, the
+//!   reference optimum or certified lower bound, the paper's bound as an
+//!   exact fraction, bound compliance, and a feasibility witness;
+//! * [`paper_bound`] — the approximation bound each theorem claims for a
+//!   protocol on an instance class;
+//! * [`SweepConfig`] — budgets for the default exact reference solvers
+//!   (consumed by [`crate::session::ExactBounds`]).
 
-use eds_baselines::exact;
-use eds_baselines::two_approx;
 use eds_core::bounded_degree::bounded_degree_ratio;
 use eds_core::port_one::port_one_ratio;
-use eds_verify::{check_edge_dominating_set, check_maximal_matching};
-use pn_graph::NodeId;
 
-use crate::protocol::{Protocol, Solution, SweepError};
-use crate::registry::Registry;
+use crate::protocol::Protocol;
 use crate::scenario::Scenario;
 
 /// Budgets for the exact reference solvers.
@@ -51,7 +40,7 @@ impl Default for SweepConfig {
 }
 
 /// One (scenario, protocol) measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepRecord {
     /// Scenario display name (`family/policy/seed`).
     pub scenario: String,
@@ -101,6 +90,85 @@ impl SweepRecord {
     pub fn is_clean(&self) -> bool {
         self.violation.is_none() && self.within_bound != Some(false)
     }
+
+    /// Renders the record as one compact JSON object (no trailing
+    /// newline) — the unit of the JSON-lines report format written by
+    /// [`crate::sink::JsonLinesSink`].
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"scenario\":\"{}\",\"family\":\"{}\",\"policy\":\"{}\",\"seed\":{},\
+             \"nodes\":{},\"edges\":{},\"protocol\":\"{}\",\"rounds\":{},\"messages\":{},\
+             \"size\":{}",
+            escape_json(&self.scenario),
+            self.family,
+            self.policy,
+            self.seed,
+            self.nodes,
+            self.edges,
+            self.protocol,
+            self.rounds,
+            self.messages,
+            self.size,
+        );
+        match self.optimum {
+            Some(o) => {
+                let _ = write!(s, ",\"optimum\":{o}");
+            }
+            None => s.push_str(",\"optimum\":null"),
+        }
+        let _ = write!(s, ",\"lower_bound\":{}", self.lower_bound);
+        match self.bound {
+            Some((num, den)) => {
+                let _ = write!(s, ",\"bound\":{:.4}", num as f64 / den as f64);
+            }
+            None => s.push_str(",\"bound\":null"),
+        }
+        match self.ratio {
+            Some(r) => {
+                let _ = write!(s, ",\"ratio\":{r:.4}");
+            }
+            None => s.push_str(",\"ratio\":null"),
+        }
+        match self.within_bound {
+            Some(b) => {
+                let _ = write!(s, ",\"within_bound\":{b}");
+            }
+            None => s.push_str(",\"within_bound\":null"),
+        }
+        match &self.violation {
+            Some(w) => {
+                let _ = write!(s, ",\"violation\":\"{}\"", escape_json(w));
+            }
+            None => s.push_str(",\"violation\":null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (backslash,
+/// double quote, and control characters). Registry scenario names never
+/// need it, but [`crate::Scenario::external`] names are arbitrary.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The paper's approximation bound for `protocol` on `scenario`, as a
@@ -120,239 +188,10 @@ pub fn paper_bound(protocol: Protocol, scenario: &Scenario) -> Option<(u64, u64)
     }
 }
 
-fn vertex_cover_violation(scenario: &Scenario, cover: &[NodeId]) -> Option<String> {
-    let mut in_cover = vec![false; scenario.simple.node_count()];
-    for &v in cover {
-        in_cover[v.index()] = true;
-    }
-    scenario
-        .simple
-        .edges()
-        .find(|&(_, u, v)| !in_cover[u.index()] && !in_cover[v.index()])
-        .map(|(e, u, v)| format!("edge {e} = {{{u}, {v}}} has no endpoint in the cover"))
-}
-
-/// Exact minimum vertex cover size by subset enumeration (small `n`).
-fn exact_min_vertex_cover(scenario: &Scenario) -> usize {
-    let g = &scenario.simple;
-    let n = g.node_count();
-    assert!(
-        n <= 24,
-        "exact VC enumerates 2^n subsets; n = {n} is too big"
-    );
-    (0u64..(1 << n))
-        .filter(|mask| {
-            g.edges()
-                .all(|(_, u, v)| mask & (1 << u.index()) != 0 || mask & (1 << v.index()) != 0)
-        })
-        .map(|mask| mask.count_ones() as usize)
-        .min()
-        .unwrap_or(0)
-}
-
-/// Runs one protocol on one scenario and assembles the record.
-///
-/// # Errors
-///
-/// Propagates execution errors; none occur for applicable protocols on
-/// registry scenarios.
-pub fn sweep_one(
-    scenario: &Scenario,
-    protocol: Protocol,
-    config: &SweepConfig,
-) -> Result<SweepRecord, SweepError> {
-    let run = protocol.execute(scenario)?;
-    let size = run.solution.len();
-    let bound = paper_bound(protocol, scenario);
-
-    // A maximal matching is both an EDS witness (|M| <= 2 OPT_eds, so
-    // OPT_eds >= ceil(|M| / 2)) and a VC witness (OPT_vc >= |M|).
-    let mm = two_approx::two_approximation(&scenario.simple).len();
-
-    let (optimum, lower_bound, violation) = match &run.solution {
-        Solution::Edges(edges) => {
-            let violation = match protocol {
-                Protocol::IdMatching | Protocol::RandMatching => {
-                    check_maximal_matching(&scenario.simple, edges)
-                        .err()
-                        .map(|v| v.to_string())
-                }
-                _ => check_edge_dominating_set(&scenario.simple, edges)
-                    .err()
-                    .map(|v| v.to_string()),
-            };
-            let optimum = (scenario.simple.edge_count() <= config.exact_edge_limit)
-                .then(|| exact::minimum_eds_size(&scenario.simple));
-            let lower_bound = optimum.unwrap_or(mm.div_ceil(2));
-            (optimum, lower_bound, violation)
-        }
-        Solution::Nodes(cover) => {
-            let violation = vertex_cover_violation(scenario, cover);
-            let optimum = (scenario.simple.node_count() <= config.exact_vc_node_limit)
-                .then(|| exact_min_vertex_cover(scenario));
-            let lower_bound = optimum.unwrap_or(mm);
-            (optimum, lower_bound, violation)
-        }
-    };
-
-    let ratio = optimum
-        .filter(|&opt| opt > 0)
-        .map(|opt| size as f64 / opt as f64);
-    let within_bound = bound.and_then(|(num, den)| match optimum {
-        Some(opt) => Some(size as u64 * den <= num * opt as u64),
-        // Without the exact optimum the lower bound can only certify
-        // success, never a violation.
-        None => (size as u64 * den <= num * lower_bound as u64).then_some(true),
-    });
-
-    Ok(SweepRecord {
-        scenario: scenario.name(),
-        family: scenario.spec.family.key(),
-        policy: scenario.spec.policy.name(),
-        seed: scenario.spec.seed,
-        nodes: scenario.simple.node_count(),
-        edges: scenario.simple.edge_count(),
-        protocol: protocol.name(),
-        rounds: run.rounds,
-        messages: run.messages,
-        size,
-        optimum,
-        lower_bound,
-        bound,
-        ratio,
-        within_bound,
-        violation,
-    })
-}
-
-/// Runs every applicable protocol on one scenario.
-///
-/// # Errors
-///
-/// Propagates the first execution error.
-pub fn sweep_scenario(
-    scenario: &Scenario,
-    config: &SweepConfig,
-) -> Result<Vec<SweepRecord>, SweepError> {
-    Protocol::ALL
-        .iter()
-        .filter(|p| p.applicable(scenario))
-        .map(|&p| sweep_one(scenario, p, config))
-        .collect()
-}
-
-/// Runs the full registry through the sweep.
-///
-/// # Errors
-///
-/// Propagates the first build or execution error.
-pub fn sweep_registry(
-    registry: &Registry,
-    config: &SweepConfig,
-) -> Result<Vec<SweepRecord>, SweepError> {
-    let mut records = Vec::new();
-    for spec in registry {
-        let scenario = spec.build()?;
-        records.extend(sweep_scenario(&scenario, config)?);
-    }
-    Ok(records)
-}
-
-fn json_opt_usize(v: Option<usize>) -> String {
-    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
-}
-
-/// Renders the records as a JSON document in the `BENCH_sim.json` house
-/// style (hand-rolled, dependency-free, two-space indent).
-pub fn render_json(records: &[SweepRecord]) -> String {
-    use std::fmt::Write as _;
-
-    let mut families: Vec<&str> = Vec::new();
-    let mut protocols: Vec<&str> = Vec::new();
-    let mut violations = 0usize;
-    for r in records {
-        if !families.contains(&r.family) {
-            families.push(r.family);
-        }
-        if !protocols.contains(&r.protocol) {
-            protocols.push(r.protocol);
-        }
-        if !r.is_clean() {
-            violations += 1;
-        }
-    }
-
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"scenario_sweep\",");
-    let _ = writeln!(json, "  \"families\": {},", families.len());
-    let _ = writeln!(json, "  \"protocols\": {},", protocols.len());
-    let _ = writeln!(json, "  \"records\": {},", records.len());
-    let _ = writeln!(json, "  \"violations\": {violations},");
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 == records.len() { "" } else { "," };
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"scenario\": \"{}\",", r.scenario);
-        let _ = writeln!(json, "      \"family\": \"{}\",", r.family);
-        let _ = writeln!(json, "      \"policy\": \"{}\",", r.policy);
-        let _ = writeln!(json, "      \"seed\": {},", r.seed);
-        let _ = writeln!(json, "      \"nodes\": {},", r.nodes);
-        let _ = writeln!(json, "      \"edges\": {},", r.edges);
-        let _ = writeln!(json, "      \"protocol\": \"{}\",", r.protocol);
-        let _ = writeln!(json, "      \"rounds\": {},", r.rounds);
-        let _ = writeln!(json, "      \"messages\": {},", r.messages);
-        let _ = writeln!(json, "      \"size\": {},", r.size);
-        let _ = writeln!(json, "      \"optimum\": {},", json_opt_usize(r.optimum));
-        let _ = writeln!(json, "      \"lower_bound\": {},", r.lower_bound);
-        let _ = match r.bound {
-            Some((num, den)) => writeln!(json, "      \"bound\": {:.4},", num as f64 / den as f64),
-            None => writeln!(json, "      \"bound\": null,"),
-        };
-        let _ = match r.ratio {
-            Some(x) => writeln!(json, "      \"ratio\": {x:.4},"),
-            None => writeln!(json, "      \"ratio\": null,"),
-        };
-        let _ = match r.within_bound {
-            Some(b) => writeln!(json, "      \"within_bound\": {b},"),
-            None => writeln!(json, "      \"within_bound\": null,"),
-        };
-        let _ = match &r.violation {
-            Some(w) => writeln!(json, "      \"violation\": \"{}\"", w.replace('"', "'")),
-            None => writeln!(json, "      \"violation\": null"),
-        };
-        let _ = writeln!(json, "    }}{comma}");
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-    json
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::{Family, PortPolicy, ScenarioSpec};
-
-    #[test]
-    fn sweep_of_petersen_is_clean_and_bounded() {
-        let s = ScenarioSpec::new(Family::Petersen, 1, PortPolicy::Shuffled)
-            .build()
-            .unwrap();
-        let records = sweep_scenario(&s, &SweepConfig::default()).unwrap();
-        // All six protocols apply to the 3-regular Petersen graph.
-        assert_eq!(records.len(), 6);
-        for r in &records {
-            assert!(r.is_clean(), "{}: {:?}", r.protocol, r.violation);
-            // Edge protocols score against the EDS optimum (3 on
-            // Petersen); the vertex-cover sibling against the VC optimum
-            // (6 on Petersen).
-            let expected_opt = if r.protocol == "vertex-cover" { 6 } else { 3 };
-            assert_eq!(r.optimum, Some(expected_opt), "{}", r.protocol);
-            assert_eq!(r.within_bound, Some(true), "{}", r.protocol);
-            assert!(r.rounds >= 1);
-            assert!(r.messages > 0);
-        }
-    }
 
     #[test]
     fn bound_is_fraction_of_the_right_theorem() {
@@ -376,36 +215,73 @@ mod tests {
     }
 
     #[test]
-    fn lower_bound_fallback_on_large_instances() {
-        let s = ScenarioSpec::new(Family::Torus(5, 5), 0, PortPolicy::Shuffled)
-            .build()
-            .unwrap();
-        // 50 edges: beyond the default exact budget.
-        let config = SweepConfig::default();
-        let r = sweep_one(&s, Protocol::BoundedDegree, &config).unwrap();
-        assert_eq!(r.optimum, None);
-        assert!(r.lower_bound >= 1);
-        assert!(r.violation.is_none());
-        // The A(Δ) output on a 4-regular torus is well within 7/2 of the
-        // matching-based lower bound, so the sweep certifies it.
-        assert_eq!(r.within_bound, Some(true));
+    fn json_line_shape() {
+        let record = SweepRecord {
+            scenario: "petersen/shuffled/s1".to_owned(),
+            family: "petersen",
+            policy: "shuffled",
+            seed: 1,
+            nodes: 10,
+            edges: 15,
+            protocol: "port-one",
+            rounds: 2,
+            messages: 60,
+            size: 6,
+            optimum: Some(3),
+            lower_bound: 3,
+            bound: Some((10, 3)),
+            ratio: Some(2.0),
+            within_bound: Some(true),
+            violation: None,
+        };
+        let line = record.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"scenario\":\"petersen/shuffled/s1\""));
+        assert!(line.contains("\"optimum\":3"));
+        assert!(line.contains("\"bound\":3.3333"));
+        assert!(line.contains("\"within_bound\":true"));
+        assert!(line.contains("\"violation\":null"));
+        let nulls = SweepRecord {
+            optimum: None,
+            bound: None,
+            ratio: None,
+            within_bound: None,
+            violation: Some("edge 3 = {1, 2} not dominated".to_owned()),
+            ..record
+        };
+        let line = nulls.to_json_line();
+        assert!(line.contains("\"optimum\":null"));
+        assert!(line.contains("\"ratio\":null"));
+        assert!(line.contains("\"violation\":\"edge 3 = {1, 2} not dominated\""));
     }
 
     #[test]
-    fn json_report_shape() {
-        let s = ScenarioSpec::new(Family::Complete(4), 0, PortPolicy::Canonical)
-            .build()
-            .unwrap();
-        let records = sweep_scenario(&s, &SweepConfig::default()).unwrap();
-        let json = render_json(&records);
-        assert!(json.contains("\"benchmark\": \"scenario_sweep\""));
-        assert!(json.contains("\"violations\": 0"));
-        assert!(json.contains("\"protocol\": \"port-one\""));
-        // Balanced braces (rough structural sanity).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "unbalanced JSON"
-        );
+    fn json_strings_are_escaped() {
+        // External scenario names are arbitrary — quotes, backslashes
+        // and control characters must not break the JSON line.
+        let record = SweepRecord {
+            scenario: "my\"weird\\name\n/as-given/s0".to_owned(),
+            family: "external",
+            policy: "as-given",
+            seed: 0,
+            nodes: 2,
+            edges: 1,
+            protocol: "port-one",
+            rounds: 1,
+            messages: 2,
+            size: 1,
+            optimum: Some(1),
+            lower_bound: 1,
+            bound: None,
+            ratio: Some(1.0),
+            within_bound: None,
+            violation: None,
+        };
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"scenario\":\"my\\\"weird\\\\name\\n/as-given/s0\""));
+        assert_eq!(escape_json("plain/name/s0"), "plain/name/s0");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 }

@@ -1,0 +1,260 @@
+//! `bench_diff`: compare two `BENCH_scenarios.json` quality reports and
+//! fail on approximation-ratio drift.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff BASELINE CURRENT [--tolerance T]
+//! ```
+//!
+//! Both files are JSON-lines reports written by `scenario_sweep` (one
+//! record per line, a trailing summary line). Records are matched by
+//! `(scenario, protocol)`; for each pair the *quality measure* is the
+//! empirical ratio `size / optimum` when the optimum is known, else
+//! `size / lower_bound`. The exit code is non-zero when any of:
+//!
+//! * a matched record's measure grew by more than the tolerance
+//!   (default 0.05) — the approximation quality regressed;
+//! * a record present in the baseline is missing from the current
+//!   report — coverage regressed;
+//! * a record is unclean (feasibility violation or proven bound
+//!   violation) in the current report but clean in the baseline.
+//!
+//! Records only present in the current report (new scenario families,
+//! new protocols) are reported but never fail the diff, so the gate
+//! stays quiet when coverage grows. CI runs this against the committed
+//! baseline, turning silent quality drift into a red build — the trend
+//! tracking the ROADMAP asks for.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts the raw value of `key` from a single-line JSON object
+/// written by `SweepRecord::to_json_line`. String values are returned
+/// still escaped (`\"`, `\\`, ...), which is fine for the diff: both
+/// reports use the same writer, so keys compare consistently.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        // Scan to the closing quote, skipping backslash escapes.
+        let bytes = quoted.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(&quoted[..i]),
+                _ => i += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Record {
+    size: f64,
+    optimum: Option<f64>,
+    lower_bound: f64,
+    clean: bool,
+}
+
+impl Record {
+    /// The quality measure compared across reports.
+    fn measure(&self) -> Option<f64> {
+        match self.optimum {
+            Some(opt) if opt > 0.0 => Some(self.size / opt),
+            Some(_) => None,
+            None if self.lower_bound > 0.0 => Some(self.size / self.lower_bound),
+            None => None,
+        }
+    }
+}
+
+fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.contains("\"benchmark\":") {
+            continue; // the trailing summary line
+        }
+        let parse = || -> Option<((String, String), Record)> {
+            let scenario = field(line, "scenario")?.to_owned();
+            let protocol = field(line, "protocol")?.to_owned();
+            let size: f64 = field(line, "size")?.parse().ok()?;
+            let optimum = match field(line, "optimum")? {
+                "null" => None,
+                v => Some(v.parse().ok()?),
+            };
+            let lower_bound: f64 = field(line, "lower_bound")?.parse().ok()?;
+            let clean =
+                field(line, "violation")? == "null" && field(line, "within_bound")? != "false";
+            Some((
+                (scenario, protocol),
+                Record {
+                    size,
+                    optimum,
+                    lower_bound,
+                    clean,
+                },
+            ))
+        };
+        match parse() {
+            Some((key, record)) => {
+                records.insert(key, record);
+            }
+            None => {
+                return Err(format!(
+                    "{path}:{}: not a scenario_sweep record line",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no records found"));
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 0.05f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown option: {other}");
+                eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T]");
+                return ExitCode::from(2);
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (parse_report(baseline_path), parse_report(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut drifted = 0usize;
+    let mut improved = 0usize;
+    for (key, base) in &baseline {
+        let Some(cur) = current.get(key) else {
+            eprintln!(
+                "MISSING  {}/{}: record dropped from current report",
+                key.0, key.1
+            );
+            failures += 1;
+            continue;
+        };
+        if base.clean && !cur.clean {
+            eprintln!("UNCLEAN  {}/{}: violation introduced", key.0, key.1);
+            failures += 1;
+        }
+        let (Some(b), Some(c)) = (base.measure(), cur.measure()) else {
+            continue;
+        };
+        if c > b + tolerance {
+            eprintln!(
+                "DRIFT    {}/{}: ratio {b:.4} -> {c:.4} (+{:.4} > tolerance {tolerance})",
+                key.0,
+                key.1,
+                c - b
+            );
+            failures += 1;
+            drifted += 1;
+        } else if c < b - tolerance {
+            improved += 1;
+        }
+    }
+    let added = current.keys().filter(|k| !baseline.contains_key(k)).count();
+
+    eprintln!(
+        "compared {} baseline records against {} current ({added} new): \
+         {drifted} drifted, {improved} improved, {failures} failures",
+        baseline.len(),
+        current.len(),
+    );
+    if failures > 0 {
+        eprintln!("quality drift beyond tolerance {tolerance} — failing");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"scenario\":\"petersen/shuffled/s0\",\"family\":\"petersen\",\
+        \"policy\":\"shuffled\",\"seed\":0,\"nodes\":10,\"edges\":15,\"protocol\":\"port-one\",\
+        \"rounds\":2,\"messages\":60,\"size\":6,\"optimum\":3,\"lower_bound\":3,\"bound\":3.3333,\
+        \"ratio\":2.0000,\"within_bound\":true,\"violation\":null}";
+
+    #[test]
+    fn field_extraction() {
+        assert_eq!(field(LINE, "scenario"), Some("petersen/shuffled/s0"));
+        assert_eq!(field(LINE, "protocol"), Some("port-one"));
+        assert_eq!(field(LINE, "size"), Some("6"));
+        assert_eq!(field(LINE, "optimum"), Some("3"));
+        assert_eq!(field(LINE, "violation"), Some("null"));
+        assert_eq!(field(LINE, "missing"), None);
+        // Escaped quotes inside string values (external scenario names)
+        // do not truncate the extracted key.
+        let escaped = "{\"scenario\":\"my\\\"file\\\\x/as-given/s0\",\"size\":1}";
+        assert_eq!(
+            field(escaped, "scenario"),
+            Some("my\\\"file\\\\x/as-given/s0")
+        );
+        let unterminated = "{\"scenario\":\"oops";
+        assert_eq!(field(unterminated, "scenario"), None);
+    }
+
+    #[test]
+    fn measure_prefers_the_optimum() {
+        let r = Record {
+            size: 6.0,
+            optimum: Some(3.0),
+            lower_bound: 2.0,
+            clean: true,
+        };
+        assert_eq!(r.measure(), Some(2.0));
+        let lb = Record { optimum: None, ..r };
+        assert_eq!(lb.measure(), Some(3.0));
+    }
+
+    #[test]
+    fn parse_report_round_trip() {
+        let path = std::env::temp_dir().join("bench_diff_test_report.json");
+        let summary = "{\"benchmark\":\"scenario_sweep\",\"families\":1,\"protocols\":1,\
+            \"records\":1,\"violations\":0}";
+        std::fs::write(&path, format!("{LINE}\n{summary}\n")).unwrap();
+        let report = parse_report(path.to_str().unwrap()).unwrap();
+        assert_eq!(report.len(), 1);
+        let record = &report[&("petersen/shuffled/s0".to_owned(), "port-one".to_owned())];
+        assert!(record.clean);
+        assert_eq!(record.measure(), Some(2.0));
+        std::fs::remove_file(&path).ok();
+    }
+}

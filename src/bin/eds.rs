@@ -4,12 +4,19 @@
 //! optional `nodes <n>` header) from a file or stdin, runs the chosen
 //! algorithm, and prints the selected edges plus statistics.
 //!
+//! The six distributed protocols run through the
+//! [`edge_dominating_sets::scenarios::Session`] solver service — the
+//! same machinery as the `scenario_sweep` quality harness — so the CLI
+//! reports honest round/message counts and the paper's bound check on
+//! every invocation. The two centralised baselines (`greedy`, `exact`)
+//! run directly.
+//!
 //! ```text
 //! usage: eds [options] [FILE]
 //!
-//!   --algorithm <name>   port1 | thm4 | adelta | greedy | exact | vc3
-//!                        (default: adelta)
-//!   --delta <k>          degree bound for adelta/vc3 (default: max degree)
+//!   --algorithm <name>   port1 | thm4 | adelta | vc3 | idmm | randmm
+//!                        | greedy | exact   (default: adelta)
+//!   --delta <k>          claimed degree bound for adelta/vc3/idmm
 //!   --ports <spec>       canonical | random:<seed> | factorized
 //!   --quiet              print only the edge list
 //!   --help               this text
@@ -24,19 +31,18 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use edge_dominating_sets::algorithms::distributed::{
-    bounded_degree_distributed, regular_odd_distributed,
-};
-use edge_dominating_sets::algorithms::port_one::port_one_distributed;
-use edge_dominating_sets::algorithms::vertex_cover::vertex_cover_distributed;
 use edge_dominating_sets::baselines::{exact, two_approx};
 use edge_dominating_sets::graph::{io, ports, EdgeId, PortNumberedGraph, SimpleGraph};
+use edge_dominating_sets::scenarios::{
+    Protocol, RecordSink, Scenario, Session, Solution, SweepRecord,
+};
 
 const USAGE: &str = "usage: eds [options] [FILE]
 
-  --algorithm <name>   port1 | thm4 | adelta | greedy | exact | vc3
-                       (default: adelta)
-  --delta <k>          degree bound for adelta/vc3 (default: max degree)
+  --algorithm <name>   port1 | thm4 | adelta | vc3 | idmm | randmm
+                       | greedy | exact   (default: adelta)
+  --delta <k>          claimed degree bound for adelta/vc3/idmm
+                       (default: max degree)
   --ports <spec>       canonical | random:<seed> | factorized
                        (default: canonical; factorized = the adversarial
                        2-factorised numbering, 2k-regular graphs only)
@@ -44,7 +50,9 @@ const USAGE: &str = "usage: eds [options] [FILE]
   --help               this text
 
 Reads an edge list (`u v` per line, `#` comments, optional `nodes <n>`
-header) from FILE or stdin and prints an edge dominating set.";
+header) from FILE or stdin and prints an edge dominating set. The
+distributed algorithms run through the scenario Session service and
+report rounds, messages, and the paper's approximation-bound check.";
 
 #[derive(Debug)]
 struct Options {
@@ -92,71 +100,190 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn number_ports(g: &SimpleGraph, spec: &str) -> Result<PortNumberedGraph, String> {
+/// Applies the `--ports` spec; returns the graph and the seed embedded
+/// in a `random:<seed>` spec (reused for the identifier/randomised
+/// baselines' per-node inputs).
+fn number_ports(g: &SimpleGraph, spec: &str) -> Result<(PortNumberedGraph, u64), String> {
     if spec == "canonical" {
-        return ports::canonical_ports(g).map_err(|e| e.to_string());
+        return ports::canonical_ports(g)
+            .map(|pg| (pg, 0))
+            .map_err(|e| e.to_string());
     }
     if spec == "factorized" {
         // The adversarial 2-factorised numbering (2k-regular graphs only).
-        return ports::two_factor_ports(g).map_err(|e| e.to_string());
+        return ports::two_factor_ports(g)
+            .map(|pg| (pg, 0))
+            .map_err(|e| e.to_string());
     }
     if let Some(seed) = spec.strip_prefix("random:") {
         let seed: u64 = seed
             .parse()
             .map_err(|_| format!("bad seed in --ports {spec:?}"))?;
-        return ports::shuffled_ports(g, seed).map_err(|e| e.to_string());
+        return ports::shuffled_ports(g, seed)
+            .map(|pg| (pg, seed))
+            .map_err(|e| e.to_string());
     }
     Err(format!("unknown --ports spec {spec:?}"))
 }
 
-fn run(options: &Options, input: &str) -> Result<String, String> {
-    let g = io::parse_edge_list(input).map_err(|e| e.to_string())?;
-    let pg = number_ports(&g, &options.ports)?;
-    let simple = pg.to_simple().map_err(|e| e.to_string())?;
-    let delta = options.delta.unwrap_or_else(|| pg.max_degree());
-
-    let (label, edges): (&str, Vec<EdgeId>) = match options.algorithm.as_str() {
-        "port1" => (
-            "Theorem 3 (port-1, O(1) rounds)",
-            port_one_distributed(&pg).map_err(|e| e.to_string())?,
-        ),
-        "thm4" => (
-            "Theorem 4 (O(d^2) rounds)",
-            regular_odd_distributed(&pg).map_err(|e| e.to_string())?,
-        ),
-        "adelta" => (
+/// The protocol behind an `--algorithm` name, with its display label.
+fn protocol_for(name: &str) -> Option<(Protocol, &'static str)> {
+    match name {
+        "port1" => Some((Protocol::PortOne, "Theorem 3 (port-1, O(1) rounds)")),
+        "thm4" => Some((Protocol::RegularOdd, "Theorem 4 (O(d^2) rounds)")),
+        "adelta" => Some((
+            Protocol::BoundedDegree,
             "Theorem 5 A(delta) (O(delta^2) rounds)",
-            bounded_degree_distributed(&pg, delta).map_err(|e| e.to_string())?,
-        ),
-        "greedy" => (
-            "greedy maximal matching (2-approximation)",
-            two_approx::two_approximation(&simple),
-        ),
-        "exact" => (
-            "exact branch and bound",
-            exact::minimum_edge_dominating_set(&simple),
-        ),
-        "vc3" => {
-            // Vertex cover mode: different output shape, handle inline.
-            let cover = vertex_cover_distributed(&pg, delta).map_err(|e| e.to_string())?;
-            let mut out = String::new();
-            if !options.quiet {
-                out.push_str(&format!(
-                    "# vertex cover (3-approximation), {} nodes of {}\n",
-                    cover.len(),
-                    pg.node_count()
-                ));
+        )),
+        "vc3" => Some((Protocol::VertexCover, "vertex cover (3-approximation)")),
+        "idmm" => Some((
+            Protocol::IdMatching,
+            "identifier greedy maximal matching (2-approximation)",
+        )),
+        "randmm" => Some((
+            Protocol::RandMatching,
+            "randomised maximal matching (2-approximation)",
+        )),
+        _ => None,
+    }
+}
+
+/// Captures the single measurement a CLI session produces.
+#[derive(Default)]
+struct Capture {
+    record: Option<SweepRecord>,
+    solution: Option<Solution>,
+}
+
+impl RecordSink for Capture {
+    fn record(&mut self, record: SweepRecord) {
+        self.record = Some(record);
+    }
+
+    fn solution(&mut self, _record: &SweepRecord, solution: &Solution) {
+        self.solution = Some(solution.clone());
+    }
+}
+
+fn run_protocol(
+    options: &Options,
+    scenario: Scenario,
+    protocol: Protocol,
+    label: &str,
+) -> Result<String, String> {
+    if scenario.simple.is_edgeless() {
+        // Nothing to dominate: every algorithm's answer is the empty
+        // set. Succeed with empty output, like the centralised
+        // baselines do.
+        let mut out = String::new();
+        if !options.quiet {
+            out.push_str(&format!(
+                "# {label}: 0 of 0 edges selected (graph: {} nodes, no edges)\n",
+                scenario.simple.node_count()
+            ));
+        }
+        return Ok(out);
+    }
+    if !protocol.applicable(&scenario) {
+        return Err(format!(
+            "{} requires an odd-regular graph; this input is not regular of odd degree",
+            options.algorithm
+        ));
+    }
+
+    let mut session = Session::new().sequential().protocols(&[protocol]);
+    if let Some(delta) = options.delta {
+        session = session.delta_hint(delta);
+    }
+    let graph = scenario.graph.clone();
+    let mut capture = Capture::default();
+    session
+        .scenarios(vec![scenario])
+        .run(&mut capture)
+        .map_err(|e| e.to_string())?;
+    let record = capture.record.ok_or("protocol produced no record")?;
+    if let Some(v) = &record.violation {
+        return Err(format!("internal error: output is infeasible: {v}"));
+    }
+
+    let mut out = String::new();
+    if !options.quiet {
+        let bound = match (record.bound, record.within_bound) {
+            (Some((num, den)), Some(true)) => {
+                format!(
+                    ", within the {:.2}-approximation bound",
+                    num as f64 / den as f64
+                )
             }
+            (Some((num, den)), Some(false)) => {
+                format!(
+                    ", VIOLATES the {:.2}-approximation bound",
+                    num as f64 / den as f64
+                )
+            }
+            (Some((num, den)), None) => {
+                format!(
+                    ", bound {:.2} not certifiable here",
+                    num as f64 / den as f64
+                )
+            }
+            (None, _) => String::new(),
+        };
+        out.push_str(&format!(
+            "# {label}: {} of {} {} selected (graph: {} nodes, max degree {}; \
+             {} rounds, {} messages{bound})\n",
+            record.size,
+            if matches!(capture.solution, Some(Solution::Nodes(_))) {
+                graph.node_count()
+            } else {
+                graph.edge_count()
+            },
+            if matches!(capture.solution, Some(Solution::Nodes(_))) {
+                "nodes"
+            } else {
+                "edges"
+            },
+            graph.node_count(),
+            graph.max_degree(),
+            record.rounds,
+            record.messages,
+        ));
+    }
+    match capture.solution.ok_or("protocol produced no solution")? {
+        Solution::Edges(edges) => {
+            for e in edges {
+                let (u, v) = graph.edge(e).nodes();
+                out.push_str(&format!("{} {}\n", u.index(), v.index()));
+            }
+        }
+        Solution::Nodes(cover) => {
             for v in cover {
                 out.push_str(&format!("{}\n", v.index()));
             }
-            return Ok(out);
         }
+    }
+    Ok(out)
+}
+
+fn run_baseline(
+    options: &Options,
+    pg: &PortNumberedGraph,
+    simple: &SimpleGraph,
+) -> Result<String, String> {
+    let (label, edges): (&str, Vec<EdgeId>) = match options.algorithm.as_str() {
+        "greedy" => (
+            "greedy maximal matching (2-approximation)",
+            two_approx::two_approximation(simple),
+        ),
+        "exact" => (
+            "exact branch and bound",
+            exact::minimum_edge_dominating_set(simple),
+        ),
         other => return Err(format!("unknown algorithm {other:?}\n\n{USAGE}")),
     };
 
     // Sanity: every algorithm output must be a feasible EDS.
-    eds_verify::check_edge_dominating_set(&simple, &edges)
+    eds_verify::check_edge_dominating_set(simple, &edges)
         .map_err(|e| format!("internal error: output is not an edge dominating set: {e}"))?;
 
     let mut out = String::new();
@@ -174,6 +301,23 @@ fn run(options: &Options, input: &str) -> Result<String, String> {
         out.push_str(&format!("{} {}\n", u.index(), v.index()));
     }
     Ok(out)
+}
+
+fn run(options: &Options, input: &str) -> Result<String, String> {
+    let g = io::parse_edge_list(input).map_err(|e| e.to_string())?;
+    let (pg, seed) = number_ports(&g, &options.ports)?;
+
+    match protocol_for(&options.algorithm) {
+        Some((protocol, label)) => {
+            let name = options.file.as_deref().unwrap_or("stdin");
+            let scenario = Scenario::external(name, pg, seed).map_err(|e| e.to_string())?;
+            run_protocol(options, scenario, protocol, label)
+        }
+        None => {
+            let simple = pg.to_simple().map_err(|e| e.to_string())?;
+            run_baseline(options, &pg, &simple)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -239,17 +383,50 @@ mod tests {
 
     #[test]
     fn runs_all_algorithms() {
-        // Path input for the degree-agnostic algorithms.
+        // Path input for the degree-agnostic algorithms — including the
+        // two matching baselines the CLI previously omitted.
         let path = "0 1\n1 2\n2 3\n";
-        for algo in ["port1", "adelta", "greedy", "exact", "vc3"] {
+        for algo in [
+            "port1", "adelta", "vc3", "idmm", "randmm", "greedy", "exact",
+        ] {
             let o = opts(&["--algorithm", algo, "--quiet"]);
             let out = run(&o, path).unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(!out.is_empty(), "{algo} output");
         }
-        // Theorem 4 needs a regular graph: a 5-cycle.
-        let cycle = "0 1\n1 2\n2 3\n3 4\n4 0\n";
+        // Theorem 4 needs an odd-regular graph: a 5-cycle is 2-regular,
+        // so use the complete graph K4 (3-regular).
+        let k4 = "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n";
         let o = opts(&["--algorithm", "thm4", "--quiet"]);
-        assert!(!run(&o, cycle).unwrap().is_empty());
+        assert!(!run(&o, k4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn matching_baselines_output_matchings() {
+        // idmm/randmm outputs are matchings: no two printed edges share
+        // a node.
+        let input = "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n";
+        for algo in ["idmm", "randmm"] {
+            let o = opts(&["--algorithm", algo, "--quiet"]);
+            let out = run(&o, input).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for line in out.lines() {
+                for tok in line.split_whitespace() {
+                    assert!(seen.insert(tok.to_owned()), "{algo}: node {tok} repeated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_header_reports_rounds_and_bound() {
+        let o = opts(&["--algorithm", "port1"]);
+        let cycle = "0 1\n1 2\n2 3\n3 4\n4 0\n";
+        let out = run(&o, cycle).unwrap();
+        let header = out.lines().next().unwrap();
+        assert!(header.contains("rounds"), "{header}");
+        assert!(header.contains("messages"), "{header}");
+        // 2-regular: Theorem 3's 4 - 2/2 = 3 bound applies and holds.
+        assert!(header.contains("3.00-approximation"), "{header}");
     }
 
     #[test]
@@ -257,6 +434,9 @@ mod tests {
         let o = opts(&["--algorithm", "thm4", "--quiet"]);
         let err = run(&o, "0 1\n1 2\n2 3\n").unwrap_err();
         assert!(err.contains("not regular"), "{err}");
+        // Even-regular inputs are rejected too (Theorem 4 is odd-only).
+        let square = "0 1\n1 2\n2 3\n3 0\n";
+        assert!(run(&o, square).is_err());
     }
 
     #[test]
@@ -267,6 +447,14 @@ mod tests {
             run(&o, input).unwrap().lines().count()
         };
         assert!(count("exact") <= count("adelta"));
+    }
+
+    #[test]
+    fn delta_hint_is_honoured() {
+        // A looser claimed Δ still yields a feasible output.
+        let input = "0 1\n1 2\n2 3\n";
+        let o = opts(&["--algorithm", "adelta", "--delta", "4", "--quiet"]);
+        assert!(!run(&o, input).unwrap().is_empty());
     }
 
     #[test]
@@ -294,5 +482,17 @@ mod tests {
     fn malformed_input_reports_error() {
         let o = opts(&["--quiet"]);
         assert!(run(&o, "0\n").is_err());
+    }
+
+    #[test]
+    fn edgeless_input_yields_empty_output() {
+        // Isolated nodes: the empty set dominates everything. The
+        // distributed algorithms agree with the centralised baselines:
+        // empty output, success.
+        for algo in ["port1", "adelta", "vc3", "idmm", "greedy", "exact"] {
+            let o = opts(&["--algorithm", algo, "--quiet"]);
+            let out = run(&o, "nodes 3\n").unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.is_empty(), "{algo}: {out:?}");
+        }
     }
 }

@@ -1,32 +1,49 @@
 //! `scenario_sweep`: run every protocol across the scenario registry and
-//! emit a JSON quality report (`BENCH_scenarios.json`), the quality
-//! counterpart of the `sim_benchmark` throughput report.
+//! stream a JSON-lines quality report (`BENCH_scenarios.json`), the
+//! quality counterpart of the `sim_benchmark` throughput report.
 //!
 //! Usage:
 //!
 //! ```text
-//! scenario_sweep [--smoke] [--out PATH]
+//! scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]
 //! ```
 //!
 //! * `--smoke` sweeps the fast CI registry instead of the full matrix;
 //! * `--out PATH` overrides the output path (default
-//!   `BENCH_scenarios.json` in the current directory).
+//!   `BENCH_scenarios.json` in the current directory);
+//! * `--threads N` sets the shard count (default: all cores);
+//! * `--sequential` disables sharding (output is byte-identical either
+//!   way — the sharded executor merges deterministically).
 //!
-//! The process exits non-zero if any record is unclean (an infeasible
+//! The sweep runs through the [`eds_scenarios::Session`] solver service
+//! with two sinks: a streaming [`JsonLinesSink`] writing each record to
+//! disk as it completes (no in-memory record accumulation), and an
+//! [`AggregateSink`] producing the per-protocol stderr summary. The
+//! process exits non-zero if any record is unclean (an infeasible
 //! solution or a proven approximation-bound violation), so CI can gate
 //! on quality regressions exactly like on test failures.
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
-use edge_dominating_sets::scenarios::{sweep, Registry};
+use edge_dominating_sets::scenarios::{AggregateSink, JsonLinesSink, Registry, Session, Tee};
 
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut out = "BENCH_scenarios.json".to_owned();
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--sequential" => threads = Some(1),
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => {
+                    eprintln!("--threads requires a number");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match args.next() {
                 Some(path) => out = path,
                 None => {
@@ -36,7 +53,9 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: scenario_sweep [--smoke] [--out PATH]");
+                eprintln!(
+                    "usage: scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -47,62 +66,51 @@ fn main() -> ExitCode {
     } else {
         Registry::full()
     };
-    let families = registry.family_keys();
     eprintln!(
         "sweeping {} scenarios across {} families ({})",
         registry.len(),
-        families.len(),
+        registry.family_keys().len(),
         if smoke { "smoke" } else { "full" },
     );
 
-    let records = match sweep::sweep_registry(&registry, &sweep::SweepConfig::default()) {
-        Ok(r) => r,
+    let file = match std::fs::File::create(&out) {
+        Ok(f) => f,
         Err(e) => {
-            eprintln!("sweep failed: {e}");
+            eprintln!("cannot create {out}: {e}");
             return ExitCode::from(1);
         }
     };
+    let mut sink = Tee::new(
+        JsonLinesSink::new(BufWriter::new(file)),
+        AggregateSink::new(),
+    );
 
-    let json = sweep::render_json(&records);
-    if let Err(e) = std::fs::write(&out, &json) {
+    let mut session = Session::over(registry);
+    if let Some(n) = threads {
+        session = session.threads(n);
+    }
+    if let Err(e) = session.run(&mut sink) {
+        eprintln!("sweep failed: {e}");
+        return ExitCode::from(1);
+    }
+
+    let aggregate = sink.second;
+    if let Err(e) = sink.first.finish() {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::from(1);
     }
 
     // Per-protocol summary on stderr: worst certified ratio and bound
     // compliance, in the spirit of the paper's Table 1.
-    let mut protocols: Vec<&str> = Vec::new();
-    for r in &records {
-        if !protocols.contains(&r.protocol) {
-            protocols.push(r.protocol);
-        }
-    }
-    let mut dirty = 0usize;
-    for p in &protocols {
-        let rs: Vec<_> = records.iter().filter(|r| r.protocol == *p).collect();
-        let worst = rs.iter().filter_map(|r| r.ratio).fold(f64::NAN, f64::max);
-        let certified = rs.iter().filter(|r| r.within_bound == Some(true)).count();
-        let violations = rs.iter().filter(|r| !r.is_clean()).count();
-        dirty += violations;
-        eprintln!(
-            "{p:<16} {:>3} runs   worst ratio {:>5}   bound certified {certified}/{}   violations {violations}",
-            rs.len(),
-            if worst.is_nan() {
-                "-".to_owned()
-            } else {
-                format!("{worst:.3}")
-            },
-            rs.len(),
-        );
-    }
+    eprint!("{}", aggregate.render_table());
     eprintln!(
         "{} records over {} families -> {out}",
-        records.len(),
-        families.len()
+        aggregate.records(),
+        aggregate.families().len()
     );
 
-    if dirty > 0 {
-        eprintln!("{dirty} unclean records — failing");
+    if aggregate.violations() > 0 {
+        eprintln!("{} unclean records — failing", aggregate.violations());
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -29,7 +29,8 @@
 //!   and classical baselines;
 //! * [`verify`] ([`eds_verify`]) — structural property checkers;
 //! * [`scenarios`] ([`eds_scenarios`]) — the workload registry and the
-//!   cross-algorithm sweep driver (see the `scenario_sweep` binary).
+//!   streaming solver service (`Session`/`RecordSink`, sharded across
+//!   threads; see the `scenario_sweep` and `bench_diff` binaries).
 //!
 //! # Quick start
 //!

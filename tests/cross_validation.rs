@@ -20,7 +20,9 @@ use edge_dominating_sets::algorithms::port_one::{port_one_distributed, port_one_
 use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
 use edge_dominating_sets::baselines::{exact, mmm};
 use edge_dominating_sets::prelude::*;
-use edge_dominating_sets::scenarios::{Family, PortPolicy, Registry, ScenarioSpec};
+use edge_dominating_sets::scenarios::{
+    BoundProvider, Bounds, Family, PortPolicy, Registry, Scenario, ScenarioSpec, Session,
+};
 
 /// The conformance topologies as simple graphs (port numberings are
 /// re-applied per test below).
@@ -115,6 +117,73 @@ fn exact_solvers_agree() {
         if !g.is_edgeless() {
             assert!(mmm::is_maximal_matching(&g, &matching));
         }
+    }
+}
+
+/// The two exact solvers, cross-validated through the solver service:
+/// a session with the default provider (branch-and-bound EDS) and one
+/// with a minimum-maximal-matching provider must agree on every optimum
+/// and every bound verdict — Yannakakis–Gavril through the plugin API.
+#[test]
+fn session_bound_providers_cross_validate() {
+    struct MmmBounds;
+    impl BoundProvider for MmmBounds {
+        fn eds_bounds(&self, scenario: &Scenario) -> Bounds {
+            let opt = mmm::minimum_maximal_matching(&scenario.simple).len();
+            Bounds {
+                optimum: Some(opt),
+                lower_bound: opt,
+            }
+        }
+        fn vc_bounds(&self, scenario: &Scenario) -> Bounds {
+            // Same fallback as the default provider: a maximal matching
+            // lower-bounds any vertex cover. No claimed optimum, so VC
+            // records are compared on the lower bound only.
+            Bounds {
+                optimum: None,
+                lower_bound: mmm::minimum_maximal_matching(&scenario.simple).len(),
+            }
+        }
+    }
+
+    // Restrict to the edge-objective protocols so both providers claim
+    // exact optima for every record.
+    let edge_protocols = [
+        edge_dominating_sets::scenarios::Protocol::PortOne,
+        edge_dominating_sets::scenarios::Protocol::RegularOdd,
+        edge_dominating_sets::scenarios::Protocol::BoundedDegree,
+        edge_dominating_sets::scenarios::Protocol::IdMatching,
+        edge_dominating_sets::scenarios::Protocol::RandMatching,
+    ];
+    let default = Session::over(Registry::conformance())
+        .protocols(&edge_protocols)
+        .collect()
+        .unwrap();
+    let via_mmm = Session::over(Registry::conformance())
+        .protocols(&edge_protocols)
+        .bounds(MmmBounds)
+        .collect()
+        .unwrap();
+    assert_eq!(default.len(), via_mmm.len());
+    for (a, b) in default.iter().zip(&via_mmm) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(
+            a.optimum, b.optimum,
+            "{}/{}: min EDS != min maximal matching",
+            a.scenario, a.protocol
+        );
+        assert_eq!(
+            a.within_bound, b.within_bound,
+            "{}/{}",
+            a.scenario, a.protocol
+        );
+        assert!(
+            a.is_clean() && b.is_clean(),
+            "{}/{}",
+            a.scenario,
+            a.protocol
+        );
     }
 }
 

@@ -13,7 +13,9 @@ use edge_dominating_sets::algorithms::port_one::port_one_reference;
 use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
 use edge_dominating_sets::baselines::exact::minimum_eds_size;
 use edge_dominating_sets::prelude::*;
-use edge_dominating_sets::scenarios::{small, sweep, Family, PortPolicy, Protocol, ScenarioSpec};
+use edge_dominating_sets::scenarios::{
+    small, Family, PortPolicy, RecordSink, ScenarioSpec, Session, SweepRecord,
+};
 use pn_graph::ports::{all_port_orders, ports_from_orders};
 
 fn exhaustive_check(g: &SimpleGraph, check: impl Fn(&PortNumberedGraph, usize)) {
@@ -123,17 +125,17 @@ fn bounded_degree_all_numberings_of_triangle_with_tails() {
 /// The full conformance sweep over **every** connected graph with
 /// `n ≤ 6` nodes (one representative per isomorphism class, 143 graphs
 /// in total), each under the canonical numbering and two adversarial
-/// shuffles, for all six protocols.
+/// shuffles, for all six protocols — one sharded [`Session`] run, with
+/// an asserting sink consuming the stream.
 ///
-/// For every applicable (graph, numbering, protocol) triple the sweep
-/// driver checks feasibility through `eds-verify` and the paper's
-/// approximation bound against the `eds_baselines::exact` optimum; this
-/// test asserts zero violations — the theorems hold with nothing swept
+/// For every applicable (graph, numbering, protocol) triple the solver
+/// service checks feasibility through `eds-verify` and the paper's
+/// approximation bound against the `eds_baselines::exact` optimum; the
+/// sink asserts zero violations — the theorems hold with nothing swept
 /// under the rug on the entire class of small inputs.
 #[test]
 fn all_connected_graphs_up_to_six_nodes_conform() {
-    let config = sweep::SweepConfig::default();
-    let mut checked = 0usize;
+    let mut specs = Vec::new();
     for n in 1..=6usize {
         let graphs = small::connected(n);
         assert_eq!(
@@ -148,48 +150,57 @@ fn all_connected_graphs_up_to_six_nodes_conform() {
                 (1, PortPolicy::Shuffled),
                 (2, PortPolicy::Shuffled),
             ] {
-                let scenario = ScenarioSpec::new(family.clone(), seed, policy)
-                    .build()
-                    .unwrap();
-                if scenario.simple.is_edgeless() {
-                    continue;
-                }
-                for protocol in Protocol::ALL {
-                    if !protocol.applicable(&scenario) {
-                        continue;
-                    }
-                    let r = sweep::sweep_one(&scenario, protocol, &config)
-                        .unwrap_or_else(|e| panic!("{}/{}: {e}", scenario.name(), protocol.name()));
-                    assert!(
-                        r.violation.is_none(),
-                        "{}/{}: infeasible: {:?}",
-                        r.scenario,
-                        r.protocol,
-                        r.violation
-                    );
-                    assert!(
-                        r.optimum.is_some(),
-                        "{}/{}: small instances are exactly solvable",
-                        r.scenario,
-                        r.protocol
-                    );
-                    if r.bound.is_some() {
-                        assert_eq!(
-                            r.within_bound,
-                            Some(true),
-                            "{}/{}: bound violated (size {} vs optimum {:?})",
-                            r.scenario,
-                            r.protocol,
-                            r.size,
-                            r.optimum
-                        );
-                    }
-                    checked += 1;
-                }
+                specs.push(ScenarioSpec::new(family.clone(), seed, policy));
             }
         }
     }
+
+    /// Panics on the first nonconforming record; counts the clean ones.
+    #[derive(Default)]
+    struct AssertConformance {
+        checked: usize,
+    }
+    impl RecordSink for AssertConformance {
+        fn record(&mut self, r: SweepRecord) {
+            assert!(
+                r.violation.is_none(),
+                "{}/{}: infeasible: {:?}",
+                r.scenario,
+                r.protocol,
+                r.violation
+            );
+            assert!(
+                r.optimum.is_some(),
+                "{}/{}: small instances are exactly solvable",
+                r.scenario,
+                r.protocol
+            );
+            if r.bound.is_some() {
+                assert_eq!(
+                    r.within_bound,
+                    Some(true),
+                    "{}/{}: bound violated (size {} vs optimum {:?})",
+                    r.scenario,
+                    r.protocol,
+                    r.size,
+                    r.optimum
+                );
+            }
+            self.checked += 1;
+        }
+    }
+
+    let mut sink = AssertConformance::default();
+    Session::new()
+        .specs(specs)
+        .run(&mut sink)
+        .expect("conformance session runs");
     // 143 connected graphs x 3 numberings x (up to) 6 protocols; most
-    // triples are applicable, so the sweep is four-digit deep.
-    assert!(checked > 2000, "only {checked} conformance checks ran");
+    // triples are applicable, so the sweep is four-digit deep. (Edgeless
+    // scenarios contribute nothing: no protocol is applicable there.)
+    assert!(
+        sink.checked > 2000,
+        "only {} conformance checks ran",
+        sink.checked
+    );
 }

@@ -17,7 +17,7 @@
 use edge_dominating_sets::baselines::exact;
 use edge_dominating_sets::prelude::*;
 use edge_dominating_sets::scenarios::{
-    relabel_nodes, sweep, Family, PortPolicy, Protocol, ScenarioSpec,
+    relabel_nodes, Family, PortPolicy, Protocol, ScenarioSpec, Session,
 };
 
 /// Anonymous protocols: solution quality (feasibility + ratio vs the
@@ -25,7 +25,7 @@ use edge_dominating_sets::scenarios::{
 /// port permutations.
 #[test]
 fn anonymous_quality_is_invariant_under_port_permutations() {
-    let config = sweep::SweepConfig::default();
+    let session = Session::new();
     for family in [
         Family::Petersen,
         Family::Grid(3, 4),
@@ -55,7 +55,7 @@ fn anonymous_quality_is_invariant_under_port_permutations() {
                 if !protocol.applicable(&scenario) {
                     continue;
                 }
-                let r = sweep::sweep_one(&scenario, protocol, &config).unwrap();
+                let r = session.measure(&scenario, protocol).unwrap();
                 assert!(
                     r.violation.is_none(),
                     "{}/{} seed {seed}: {:?}",

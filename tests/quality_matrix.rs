@@ -18,7 +18,7 @@ use edge_dominating_sets::baselines::distributed_mm::id_matching_distributed;
 use edge_dominating_sets::baselines::randomized_mm::randomized_matching_distributed;
 use edge_dominating_sets::baselines::{exact, id_based, mmm, two_approx};
 use edge_dominating_sets::prelude::*;
-use edge_dominating_sets::scenarios::{sweep, Registry, Scenario};
+use edge_dominating_sets::scenarios::{Registry, Scenario, Session};
 
 fn workloads() -> Vec<Scenario> {
     Registry::conformance()
@@ -132,11 +132,13 @@ fn portfolio_sizes_are_ordered_sensibly() {
 
 #[test]
 fn conformance_sweep_is_clean() {
-    // The sweep driver itself — the machinery CI gates on — certifies
+    // The solver service itself — the machinery CI gates on — certifies
     // every record on the conformance matrix: feasible, and within the
-    // paper's bound against the exact optimum.
-    let records = sweep::sweep_registry(&Registry::conformance(), &sweep::SweepConfig::default())
-        .expect("sweep runs");
+    // paper's bound against the exact optimum. The session runs sharded
+    // (the default), so this also exercises the deterministic merge.
+    let records = Session::over(Registry::conformance())
+        .collect()
+        .expect("session runs");
     assert!(!records.is_empty());
     for r in &records {
         assert!(
