@@ -6,6 +6,7 @@
 
 mod classic;
 mod random;
+mod streamed;
 
 pub use classic::{
     circulant, complete, complete_bipartite, crown, cycle, disjoint_union, grid, hypercube, ladder,
@@ -15,3 +16,4 @@ pub use random::{
     gnp, preferential_attachment, random_bounded_degree, random_geometric, random_regular,
     random_tree,
 };
+pub use streamed::{streamed_cubic, streamed_cycle};

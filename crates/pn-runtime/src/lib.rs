@@ -44,6 +44,15 @@
 //! where a few high-degree nodes outlive everyone else run at the cost
 //! of the survivors, not of the graph.
 //!
+//! [`Simulator::run_parallel`] executes the same loop on a **persistent
+//! worker pool**: workers are spawned once per run, own contiguous node
+//! chunks (states, slot ranges, per-chunk frontiers), and synchronise
+//! phases through an epoch barrier — two barrier waits per round,
+//! cross-chunk messages moved through per-pair mailboxes, results
+//! bit-identical to the sequential engine at every thread count. The
+//! `parallel` module docs describe the full design (sharing discipline,
+//! quiescent chunks, barrier poisoning).
+//!
 //! Execution transcripts ([`RunOptions::record_trace`]) are captured by a
 //! separate traced route phase; with tracing off (the default) the hot
 //! loop contains no formatting and no per-message branching beyond the

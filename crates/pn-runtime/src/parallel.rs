@@ -1,23 +1,71 @@
-//! Multi-threaded execution of the synchronous simulator.
+//! Multi-threaded execution of the synchronous simulator: a **persistent
+//! worker pool** with epoch-barrier phase synchronisation.
 //!
-//! Each synchronous round is three embarrassingly parallel maps — send
-//! (per node), route (per receiving port, a gather through the
-//! precomputed routing table), receive (per node) — with a barrier
-//! between them, so the execution parallelises without changing
-//! semantics: [`Simulator::run_parallel`] produces **bit-identical**
-//! results to [`Simulator::run`] (a property the tests assert, not just
-//! promise).
+//! # Execution model
 //!
-//! The parallel driver shares the [`Simulator`]'s routing table with the
-//! sequential engine: the route phase reads `outbox[route[t]]` for every
-//! receiver slot `t` instead of recomputing `connection()` endpoints per
-//! port per round. Send and receive phases iterate per-chunk active-node
-//! frontiers, so halted nodes cost nothing there; the route phase stays
-//! dense over the slot arena because a gather must also *clear* receiver
-//! slots whose counterpart fell silent.
+//! [`Simulator::run_parallel`] spawns `threads - 1` OS threads **once per
+//! run** (the calling thread seats the remaining worker) and moves the
+//! whole round loop inside that scope. Nodes are partitioned into one
+//! contiguous chunk per worker; each worker exclusively owns its chunk's
+//! algorithm states, outbox and inbox slot ranges, output/halt slots and
+//! an **active-node frontier** (compacted in place as its nodes halt,
+//! exactly like the sequential engine). Workers advance in lock step
+//! through a shared [`PoolBarrier`] — an epoch counter plus a poisoning
+//! flag — so the steady-state cost of a round is **two barrier waits**,
+//! not the `3 × threads` thread spawns of the previous scoped-spawn
+//! design:
 //!
-//! Tracing is not supported in parallel mode; use the sequential driver
-//! when a transcript is needed.
+//! 1. **send + route (fused)** — the worker writes each frontier node's
+//!    outbox window ([`NodeAlgorithm::send_into`]) and immediately
+//!    gathers: every written slot is **moved** (`take()`) through the
+//!    precomputed routing table. A message staying inside the chunk
+//!    lands directly in the worker's own inbox range; a message crossing
+//!    chunks is moved into a per-(sender, receiver) **mailbox** handed
+//!    over wholesale (one lock per worker pair per round, buffers
+//!    swapped so capacity is reused). No message is ever cloned, and
+//!    draining the outbox restores its all-`None` invariant for free,
+//!    mirroring the sequential engine. The two sub-phases need no
+//!    barrier between them because no worker reads another's inbox or
+//!    mailboxes until the next phase.
+//! 2. *barrier* — all routed messages become visible.
+//! 3. **receive** — the worker drains the mailboxes addressed to it into
+//!    its inbox range, delivers each frontier node's inbox window,
+//!    clears it, records halts into its chunk's output slots and
+//!    compacts its frontier. It then publishes the chunk's remaining
+//!    node count.
+//! 4. *barrier* — every worker sums the published counts, agreeing on
+//!    termination (and on [`RunOptions::max_rounds`]) without any
+//!    coordinator thread.
+//!
+//! A chunk whose nodes have all halted is **quiescent**: its frontier is
+//! empty, so its worker touches no slot in any phase and costs only the
+//! two barrier waits per round. (An explicit per-chunk flag is not
+//! needed — the frontier *is* the flag, and unlike a dense receiver-side
+//! gather there is no per-port route range left to skip: routing is
+//! sender-side and frontier-driven.)
+//!
+//! [`RunOptions::max_rounds`]: crate::RunOptions::max_rounds
+//! [`RunOptions::record_trace`]: crate::RunOptions::record_trace
+//!
+//! Chunks are contiguous node ranges on purpose: for structured
+//! workloads (cycles, grids, lifts) most edges stay within a chunk, so
+//! the bulk of the traffic takes the direct in-chunk move and the
+//! mailboxes carry only the boundary.
+//!
+//! `threads == 1` (or a single-node graph) bypasses the pool entirely
+//! and runs the sequential engine — bit-identical by construction and
+//! honouring [`RunOptions::record_trace`]. With two or more workers
+//! tracing is not supported; use the sequential driver when a transcript
+//! is needed.
+//!
+//! [`Simulator::run_parallel`] produces **bit-identical** [`Run`]s to
+//! [`Simulator::run`] for every thread count — outputs, halt rounds and
+//! message totals (per-worker counters merged in deterministic chunk
+//! order at the end). The equivalence suite asserts this, not just
+//! promises it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use pn_graph::NodeId;
 
@@ -25,10 +73,175 @@ use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
 use crate::simulator::{Run, Simulator};
 use crate::RuntimeError;
 
+/// A reusable epoch barrier for the worker pool.
+///
+/// Functionally `std::sync::Barrier` plus two things the pool needs:
+/// a spin-then-block fast path (a simulation phase on a large chunk
+/// takes far longer than a few hundred spins, so blocking is the
+/// exception on balanced chunks) and **poisoning** — when a worker
+/// panics inside a user algorithm, its drop guard poisons the barrier
+/// and every peer unblocks with an error instead of deadlocking on a
+/// rendezvous that can never complete.
+struct PoolBarrier {
+    size: usize,
+    /// Spin iterations before yielding/blocking: zero on a single-CPU
+    /// host, where spinning only steals the releaser's timeslice.
+    spin_limit: u32,
+    arrived: AtomicUsize,
+    epoch: AtomicU64,
+    poisoned: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Returned by [`PoolBarrier::wait`] when a peer worker panicked.
+struct BarrierPoisoned;
+
+impl PoolBarrier {
+    fn new(size: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        PoolBarrier {
+            size,
+            spin_limit: if cores > 1 { 128 } else { 0 },
+            arrived: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `size` workers have arrived (or the barrier is
+    /// poisoned). The last arriver resets the count *before* bumping the
+    /// epoch, so the barrier is immediately reusable.
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Release);
+            // Serialise with sleepers' predicate check, then wake them.
+            drop(self.lock.lock().expect("pool barrier lock"));
+            self.cv.notify_all();
+        } else {
+            let mut spins = 0u32;
+            loop {
+                if self.epoch.load(Ordering::Acquire) != epoch
+                    || self.poisoned.load(Ordering::Acquire)
+                {
+                    break;
+                }
+                spins += 1;
+                if spins < self.spin_limit {
+                    std::hint::spin_loop();
+                } else if self.spin_limit > 0 && spins < self.spin_limit + 32 {
+                    // Oversubscribed multi-core hosts: give the releaser
+                    // a slot. On a single core, skip straight to the
+                    // condvar — one block beats 32 scheduler round-trips.
+                    std::thread::yield_now();
+                } else {
+                    let guard = self.lock.lock().expect("pool barrier lock");
+                    let _guard = self
+                        .cv
+                        .wait_while(guard, |()| {
+                            self.epoch.load(Ordering::Acquire) == epoch
+                                && !self.poisoned.load(Ordering::Acquire)
+                        })
+                        .expect("pool barrier lock");
+                    break;
+                }
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Marks the barrier unusable and wakes every sleeper. Called from a
+    /// panicking worker's drop guard.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        drop(self.lock.lock().expect("pool barrier lock"));
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons the barrier if dropped during a panic, so peer workers
+/// unblock instead of deadlocking; the panic itself propagates through
+/// the scope join.
+struct PoisonOnPanic<'a>(&'a PoolBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// One staged cross-chunk message batch: `(destination slot, message)`
+/// pairs, exchanged wholesale between a sender and a receiver chunk.
+type Mailbox<M> = Mutex<Vec<(u32, M)>>;
+
+/// Everything the workers share by reference.
+struct SharedCtx<'a, A: NodeAlgorithm> {
+    graph: &'a pn_graph::PortNumberedGraph,
+    offsets: &'a [usize],
+    route: &'a [u32],
+    /// Chunk slot boundaries, ascending, `workers + 1` entries; chunk
+    /// `w` owns slots `slot_bounds[w]..slot_bounds[w + 1]`.
+    slot_bounds: Vec<usize>,
+    /// Cross-chunk message handoff: `mailboxes[sender * workers + dest]`
+    /// is written (swapped in) by `sender` in the route phase and
+    /// drained by `dest` in the receive phase — never both in the same
+    /// phase, so every lock is uncontended in the steady state.
+    mailboxes: Vec<Mailbox<A::Message>>,
+    barrier: PoolBarrier,
+    /// Set by a worker whose chunk produced a [`RuntimeError`]; every
+    /// worker checks it after the route barrier and aborts the run.
+    failed: AtomicBool,
+    /// Per-chunk remaining-node counts, republished every round after
+    /// the receive phase; their sum is the termination condition every
+    /// worker computes identically.
+    chunk_running: Vec<AtomicUsize>,
+    max_rounds: usize,
+    total_nodes: usize,
+}
+
+impl<A: NodeAlgorithm> SharedCtx<'_, A> {
+    /// The chunk owning `slot` (binary search over the chunk bounds).
+    #[inline]
+    fn worker_of_slot(&self, slot: usize) -> usize {
+        self.slot_bounds.partition_point(|&b| b <= slot) - 1
+    }
+}
+
+/// One worker's private seat: the chunk slices it exclusively owns.
+struct Seat<'a, A: NodeAlgorithm> {
+    index: usize,
+    /// First node of the chunk.
+    lo: usize,
+    /// First slot of the chunk.
+    slot_base: usize,
+    states: &'a mut [Option<A>],
+    outputs: &'a mut [Option<A::Output>],
+    halted_at: &'a mut [usize],
+    outbox: &'a mut [Option<A::Message>],
+    inbox: &'a mut [Option<A::Message>],
+    frontier: Vec<u32>,
+    /// Per-destination-chunk staging buffers for cross-chunk messages,
+    /// swapped into the shared mailboxes once per round (capacities
+    /// ping-pong between the two sides, so steady-state rounds allocate
+    /// nothing).
+    outbound: Vec<Vec<(u32, A::Message)>>,
+}
+
 impl<'g> Simulator<'g> {
-    /// Runs the algorithm on `threads` OS threads (clamped to at least
-    /// 1). Results are identical to [`Simulator::run`]; wall-clock time
-    /// shrinks for large graphs.
+    /// Runs the algorithm on a pool of `threads` persistent workers
+    /// (clamped to at least 1 and at most the node count). Results are
+    /// bit-identical to [`Simulator::run`]; wall-clock time shrinks for
+    /// large graphs on multi-core hosts.
     ///
     /// # Errors
     ///
@@ -41,7 +254,7 @@ impl<'g> Simulator<'g> {
     where
         F: AlgorithmFactory,
         F::Algorithm: Send,
-        <F::Algorithm as NodeAlgorithm>::Message: Send + Sync,
+        <F::Algorithm as NodeAlgorithm>::Message: Send,
         <F::Algorithm as NodeAlgorithm>::Output: Send,
     {
         let g = self.graph();
@@ -53,7 +266,7 @@ impl<'g> Simulator<'g> {
 
     /// The per-node-inputs sibling of [`Simulator::run_parallel`]: the
     /// identifier-model entry point ([`Simulator::run_with_inputs`]) on
-    /// `threads` OS threads, again bit-identical to the sequential run.
+    /// the worker pool, again bit-identical to the sequential run.
     ///
     /// # Errors
     ///
@@ -70,7 +283,7 @@ impl<'g> Simulator<'g> {
     ) -> Result<Run<A::Output>, RuntimeError>
     where
         A: NodeAlgorithm + Send,
-        A::Message: Send + Sync,
+        A::Message: Send,
         A::Output: Send,
     {
         let g = self.graph();
@@ -90,27 +303,24 @@ impl<'g> Simulator<'g> {
     ) -> Result<Run<A::Output>, RuntimeError>
     where
         A: NodeAlgorithm + Send,
-        A::Message: Send + Sync,
+        A::Message: Send,
         A::Output: Send,
     {
         let g = self.graph();
         let n = g.node_count();
-        let threads = threads.clamp(1, n.max(1));
+        let workers = threads.clamp(1, n.max(1));
+        if workers <= 1 {
+            // Not worth a pool: the sequential engine *is* the
+            // single-worker pool, without the barriers (and it honours
+            // `record_trace`, making `run_parallel(_, 1)` behave exactly
+            // like `run`).
+            return self.run_states(states);
+        }
 
         type Msg<A> = <A as NodeAlgorithm>::Message;
         type Out<A> = <A as NodeAlgorithm>::Output;
 
-        let mut states: Vec<Option<A>> = states.into_iter().map(Some).collect();
-        let mut outputs: Vec<Option<Out<A>>> = (0..n).map(|_| None).collect();
-        let mut halted_at = vec![0usize; n];
-        let mut running = n;
-        let mut messages = 0usize;
-        let mut rounds = 0usize;
-
-        // Shared routing structure: the graph's slot offsets and the
-        // simulator's precomputed slot permutation.
         let offsets = g.slot_offsets();
-        let route = self.routing_table();
         let total_ports = g.port_count();
         let slot_at = |v: usize| {
             if v == n {
@@ -120,192 +330,95 @@ impl<'g> Simulator<'g> {
             }
         };
 
-        // Static node chunks, one per thread, with aligned slot chunks.
-        let chunk = n.div_ceil(threads);
-        let node_bounds: Vec<(usize, usize)> = (0..threads)
+        // Static node chunks, one per worker, with aligned slot chunks.
+        let chunk = n.div_ceil(workers);
+        let node_bounds: Vec<(usize, usize)> = (0..workers)
             .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
             .collect();
+        let slot_bounds: Vec<usize> = (0..=workers).map(|t| slot_at((t * chunk).min(n))).collect();
 
-        // Per-chunk active-node frontiers, compacted as nodes halt.
-        let mut frontiers: Vec<Vec<u32>> = node_bounds
-            .iter()
-            .map(|&(lo, hi)| (lo as u32..hi as u32).collect())
-            .collect();
-
+        let mut states: Vec<Option<A>> = states.into_iter().map(Some).collect();
+        let mut outputs: Vec<Option<Out<A>>> = (0..n).map(|_| None).collect();
+        let mut halted_at = vec![0usize; n];
         let mut outbox: Vec<Option<Msg<A>>> = (0..total_ports).map(|_| None).collect();
         let mut inbox: Vec<Option<Msg<A>>> = (0..total_ports).map(|_| None).collect();
 
-        // Splits a flat per-port buffer into one mutable slice per chunk.
-        fn split_slots<'a, T>(
-            mut rest: &'a mut [T],
-            node_bounds: &[(usize, usize)],
-            slot_at: &impl Fn(usize) -> usize,
-        ) -> Vec<&'a mut [T]> {
-            let mut chunks = Vec::with_capacity(node_bounds.len());
-            let mut consumed = 0usize;
-            for &(_, hi) in node_bounds {
-                let (chunk, next) = rest.split_at_mut(slot_at(hi) - consumed);
-                chunks.push(chunk);
-                rest = next;
-                consumed = slot_at(hi);
-            }
-            chunks
-        }
+        let shared = SharedCtx::<A> {
+            graph: g,
+            offsets,
+            route: self.routing_table(),
+            slot_bounds,
+            mailboxes: (0..workers * workers)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            barrier: PoolBarrier::new(workers),
+            failed: AtomicBool::new(false),
+            chunk_running: node_bounds
+                .iter()
+                .map(|&(lo, hi)| AtomicUsize::new(hi - lo))
+                .collect(),
+            max_rounds: self.options().max_rounds,
+            total_nodes: n,
+        };
 
-        // Splits the per-node state vector into one slice per chunk.
-        fn split_nodes<'a, T>(
-            mut rest: &'a mut [T],
-            node_bounds: &[(usize, usize)],
-        ) -> Vec<&'a mut [T]> {
-            let mut chunks = Vec::with_capacity(node_bounds.len());
-            let mut consumed = 0usize;
-            for &(_, hi) in node_bounds {
-                let (chunk, next) = rest.split_at_mut(hi - consumed);
-                chunks.push(chunk);
-                rest = next;
-                consumed = hi;
-            }
-            chunks
-        }
-
-        while running > 0 {
-            if rounds >= self.options().max_rounds {
-                return Err(RuntimeError::RoundLimitExceeded {
-                    limit: self.options().max_rounds,
-                    still_running: running,
+        // Carve each worker's seat out of the flat buffers.
+        let mut seats: Vec<Seat<A>> = Vec::with_capacity(workers);
+        {
+            let mut states_rest = states.as_mut_slice();
+            let mut outputs_rest = outputs.as_mut_slice();
+            let mut halted_rest = halted_at.as_mut_slice();
+            let mut outbox_rest = outbox.as_mut_slice();
+            let mut inbox_rest = inbox.as_mut_slice();
+            let mut node_consumed = 0usize;
+            let mut slot_consumed = 0usize;
+            for (index, &(lo, hi)) in node_bounds.iter().enumerate() {
+                let (seat_states, next) = states_rest.split_at_mut(hi - node_consumed);
+                states_rest = next;
+                let (seat_outputs, next) = outputs_rest.split_at_mut(hi - node_consumed);
+                outputs_rest = next;
+                let (seat_halted, next) = halted_rest.split_at_mut(hi - node_consumed);
+                halted_rest = next;
+                let (seat_outbox, next) = outbox_rest.split_at_mut(slot_at(hi) - slot_consumed);
+                outbox_rest = next;
+                let (seat_inbox, next) = inbox_rest.split_at_mut(slot_at(hi) - slot_consumed);
+                inbox_rest = next;
+                node_consumed = hi;
+                let slot_base = slot_consumed;
+                slot_consumed = slot_at(hi);
+                seats.push(Seat {
+                    index,
+                    lo,
+                    slot_base,
+                    states: seat_states,
+                    outputs: seat_outputs,
+                    halted_at: seat_halted,
+                    outbox: seat_outbox,
+                    inbox: seat_inbox,
+                    frontier: (lo as u32..hi as u32).collect(),
+                    outbound: (0..workers).map(|_| Vec::new()).collect(),
                 });
             }
+        }
 
-            // ---- Send phase: parallel over chunks, frontier-driven. ----
-            let send_results: Vec<Result<(), RuntimeError>> = {
-                let state_slices = split_nodes(states.as_mut_slice(), &node_bounds);
-                let out_slices = split_slots(outbox.as_mut_slice(), &node_bounds, &slot_at);
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (((lo, _), s_chunk), (frontier, o_chunk)) in node_bounds
-                        .iter()
-                        .copied()
-                        .zip(state_slices)
-                        .zip(frontiers.iter().zip(out_slices))
-                    {
-                        handles.push(scope.spawn(move || {
-                            let slot_base = slot_at(lo);
-                            for &vu in frontier {
-                                let v = vu as usize;
-                                let base = offsets[v] - slot_base;
-                                let d = g.degree(NodeId::new(v));
-                                let window = &mut o_chunk[base..base + d];
-                                // The window may hold the previous round's
-                                // messages (the route gather clones rather
-                                // than drains); reset before writing.
-                                for slot in window.iter_mut() {
-                                    *slot = None;
-                                }
-                                let state = s_chunk[v - lo].as_mut().expect("frontier nodes run");
-                                state.send_into(rounds, window).map_err(|wrong| {
-                                    RuntimeError::WrongMessageCount {
-                                        node: NodeId::new(v),
-                                        got: wrong.got,
-                                        expected: d,
-                                    }
-                                })?;
-                            }
-                            Ok(())
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("send thread panicked"))
-                        .collect()
-                })
-            };
-            for r in send_results {
-                r?;
+        let results: Vec<Result<usize, RuntimeError>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let mut seats = seats.into_iter();
+            let seat0 = seats.next().expect("at least one worker");
+            let handles: Vec<_> = seats
+                .map(|seat| scope.spawn(move || run_worker(seat, shared)))
+                .collect();
+            let mut results = vec![run_worker(seat0, shared)];
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
             }
+            results
+        });
 
-            // ---- Route phase: gather, parallel over receiver slots. ----
-            let delivered: usize = {
-                let in_slices = split_slots(inbox.as_mut_slice(), &node_bounds, &slot_at);
-                let outbox_ref = &outbox;
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for ((lo, _), i_chunk) in node_bounds.iter().copied().zip(in_slices) {
-                        handles.push(scope.spawn(move || {
-                            let slot_base = slot_at(lo);
-                            let mut count = 0usize;
-                            for (off, slot) in i_chunk.iter_mut().enumerate() {
-                                let m = outbox_ref[route[slot_base + off] as usize].clone();
-                                if m.is_some() {
-                                    count += 1;
-                                }
-                                *slot = m;
-                            }
-                            count
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("route thread panicked"))
-                        .sum()
-                })
-            };
-            messages += delivered;
-
-            // ---- Receive phase: parallel over chunks, frontier-driven;
-            // halting nodes clear their outbox window so the gather never
-            // re-delivers a final message. ----
-            let halts: Vec<Vec<(usize, Out<A>)>> = {
-                let state_slices = split_nodes(states.as_mut_slice(), &node_bounds);
-                let out_slices = split_slots(outbox.as_mut_slice(), &node_bounds, &slot_at);
-                let inbox_ref = &inbox;
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (((lo, _), s_chunk), (frontier, o_chunk)) in node_bounds
-                        .iter()
-                        .copied()
-                        .zip(state_slices)
-                        .zip(frontiers.iter_mut().zip(out_slices))
-                    {
-                        handles.push(scope.spawn(move || {
-                            let slot_base = slot_at(lo);
-                            let mut halts = Vec::new();
-                            let mut write = 0usize;
-                            for read in 0..frontier.len() {
-                                let vu = frontier[read];
-                                let v = vu as usize;
-                                let base = offsets[v];
-                                let d = g.degree(NodeId::new(v));
-                                let state_slot = &mut s_chunk[v - lo];
-                                let state = state_slot.as_mut().expect("frontier nodes run");
-                                let window = &inbox_ref[base..base + d];
-                                if let Some(out) = state.receive(rounds, window) {
-                                    halts.push((v, out));
-                                    *state_slot = None;
-                                    let local = base - slot_base;
-                                    for slot in o_chunk[local..local + d].iter_mut() {
-                                        *slot = None;
-                                    }
-                                } else {
-                                    frontier[write] = vu;
-                                    write += 1;
-                                }
-                            }
-                            frontier.truncate(write);
-                            halts
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("receive thread panicked"))
-                        .collect()
-                })
-            };
-            for (v, out) in halts.into_iter().flatten() {
-                outputs[v] = Some(out);
-                halted_at[v] = rounds + 1;
-                running -= 1;
-            }
-            rounds += 1;
+        // First error in chunk order: chunks hold ascending node ids, so
+        // this is the same node the sequential engine would report.
+        let mut messages = 0usize;
+        for r in results {
+            messages += r?;
         }
 
         Ok(Run {
@@ -321,8 +434,166 @@ impl<'g> Simulator<'g> {
     }
 }
 
+/// The pool worker: runs its chunk of every round until global
+/// termination, an error, or barrier poisoning. Returns the number of
+/// messages this worker routed.
+fn run_worker<A>(mut seat: Seat<A>, sh: &SharedCtx<A>) -> Result<usize, RuntimeError>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: Send,
+{
+    let _poison_guard = PoisonOnPanic(&sh.barrier);
+    let g = sh.graph;
+    let workers = sh.chunk_running.len();
+    let mut rounds = 0usize;
+    let mut running = sh.total_nodes;
+    let mut messages = 0usize;
+    let mut my_error: Option<RuntimeError> = None;
+
+    while running > 0 {
+        if rounds >= sh.max_rounds {
+            // Every worker reaches this conclusion in the same round;
+            // only the first seat materialises the error.
+            if seat.index == 0 {
+                my_error = Some(RuntimeError::RoundLimitExceeded {
+                    limit: sh.max_rounds,
+                    still_running: running,
+                });
+            }
+            break;
+        }
+
+        // ---- Send + route (fused), frontier-driven: each node's
+        // freshly written window is gathered while still cache-hot.
+        // Gathering before an abort is harmless — everything it touches
+        // (own inbox, private staging) dies with the aborted run, and
+        // the mailbox handoff below only happens on success. ----
+        let mut sent_ok = true;
+        let slot_base = seat.slot_base;
+        let route = sh.route;
+        for &vu in &seat.frontier {
+            let v = vu as usize;
+            let base = sh.offsets[v];
+            let d = g.degree(NodeId::new(v));
+            let local = base - slot_base;
+            let state = seat.states[v - seat.lo]
+                .as_mut()
+                .expect("frontier nodes run");
+            let window = &mut seat.outbox[local..local + d];
+            if let Err(wrong) = state.send_into(rounds, window) {
+                my_error = Some(RuntimeError::WrongMessageCount {
+                    node: NodeId::new(v),
+                    got: wrong.got,
+                    expected: d,
+                });
+                sh.failed.store(true, Ordering::Release);
+                sent_ok = false;
+                break;
+            }
+            for (off, slot) in window.iter_mut().enumerate() {
+                if let Some(m) = slot.take() {
+                    messages += 1;
+                    let dest = route[base + off] as usize;
+                    // In-chunk destinations (the common case under
+                    // contiguous chunking) land directly; the wrapping
+                    // subtraction folds the range test into the slice
+                    // lookup.
+                    match seat.inbox.get_mut(dest.wrapping_sub(slot_base)) {
+                        Some(target) => *target = Some(m),
+                        None => {
+                            seat.outbound[sh.worker_of_slot(dest)].push((dest as u32, m));
+                        }
+                    }
+                }
+            }
+        }
+        if sent_ok {
+            // Hand the staged cross-chunk messages over wholesale: one
+            // uncontended lock per destination chunk, buffers swapped so
+            // both sides keep their capacity.
+            for (dest_worker, staged) in seat.outbound.iter_mut().enumerate() {
+                if staged.is_empty() {
+                    continue;
+                }
+                let mut mailbox = sh.mailboxes[seat.index * workers + dest_worker]
+                    .lock()
+                    .expect("mailbox lock");
+                std::mem::swap(&mut *mailbox, staged);
+            }
+        }
+        if sh.barrier.wait().is_err() {
+            return Ok(0); // a peer panicked; the scope join re-raises it
+        }
+        if sh.failed.load(Ordering::Acquire) {
+            // Workers without a local error abort quietly; the caller
+            // surfaces the first chunk's error.
+            return match my_error {
+                Some(e) => Err(e),
+                None => Ok(0),
+            };
+        }
+
+        // ---- Receive phase: drain mailboxes, then own chunk only. ----
+        for sender in 0..workers {
+            if sender == seat.index {
+                continue;
+            }
+            let mut mailbox = sh.mailboxes[sender * workers + seat.index]
+                .lock()
+                .expect("mailbox lock");
+            for (dest, m) in mailbox.drain(..) {
+                seat.inbox[dest as usize - seat.slot_base] = Some(m);
+            }
+        }
+        let mut write = 0usize;
+        for read in 0..seat.frontier.len() {
+            let vu = seat.frontier[read];
+            let v = vu as usize;
+            let base = sh.offsets[v];
+            let d = g.degree(NodeId::new(v));
+            let local = base - seat.slot_base;
+            let state_slot = &mut seat.states[v - seat.lo];
+            let state = state_slot.as_mut().expect("frontier nodes run");
+            let window = &mut seat.inbox[local..local + d];
+            let decision = state.receive(rounds, window);
+            for slot in window.iter_mut() {
+                *slot = None;
+            }
+            match decision {
+                Some(out) => {
+                    seat.outputs[v - seat.lo] = Some(out);
+                    seat.halted_at[v - seat.lo] = rounds + 1;
+                    *state_slot = None;
+                }
+                None => {
+                    seat.frontier[write] = vu;
+                    write += 1;
+                }
+            }
+        }
+        seat.frontier.truncate(write);
+        sh.chunk_running[seat.index].store(seat.frontier.len(), Ordering::Release);
+        if sh.barrier.wait().is_err() {
+            return Ok(0);
+        }
+        running = sh
+            .chunk_running
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        rounds += 1;
+    }
+
+    match my_error {
+        Some(e) => Err(e),
+        None => Ok(messages),
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::PoolBarrier;
     use crate::{NodeAlgorithm, Simulator};
     use pn_graph::{generators, ports};
 
@@ -376,8 +647,8 @@ mod tests {
     fn parallel_matches_sequential_with_staggered_halts() {
         // Nodes halt after `degree + 1` rounds, so low-degree nodes fall
         // silent while high-degree neighbours keep running — the case
-        // where frontier compaction and outbox clearing must agree
-        // between the sequential and parallel drivers.
+        // where frontier compaction and the drained-outbox invariant
+        // must agree between the sequential and pool drivers.
         #[derive(Clone)]
         struct Staggered {
             degree: usize,
@@ -475,5 +746,103 @@ mod tests {
             .run_parallel(|d: usize| Liar { degree: d }, 3)
             .unwrap_err();
         assert!(matches!(err, crate::RuntimeError::WrongMessageCount { .. }));
+    }
+
+    #[test]
+    fn parallel_round_limit() {
+        struct Forever {
+            degree: usize,
+        }
+        impl NodeAlgorithm for Forever {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _r: usize) -> Vec<()> {
+                vec![(); self.degree]
+            }
+            fn receive(&mut self, _r: usize, _i: &[Option<()>]) -> Option<()> {
+                None
+            }
+        }
+        let g = ports::canonical_ports(&generators::cycle(12).unwrap()).unwrap();
+        let sim = Simulator::with_options(
+            &g,
+            crate::RunOptions {
+                max_rounds: 7,
+                ..crate::RunOptions::default()
+            },
+        );
+        for threads in [2usize, 4] {
+            let err = sim
+                .run_parallel(|d: usize| Forever { degree: d }, threads)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    crate::RuntimeError::RoundLimitExceeded {
+                        limit: 7,
+                        still_running: 12
+                    }
+                ),
+                "threads = {threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_algorithm_propagates_without_deadlock() {
+        struct Bomb {
+            degree: usize,
+            armed: bool,
+        }
+        impl NodeAlgorithm for Bomb {
+            type Message = ();
+            type Output = ();
+            fn send(&mut self, _r: usize) -> Vec<()> {
+                vec![(); self.degree]
+            }
+            fn receive(&mut self, _r: usize, _i: &[Option<()>]) -> Option<()> {
+                assert!(!self.armed, "bomb went off");
+                Some(())
+            }
+        }
+        let g = ports::canonical_ports(&generators::cycle(16).unwrap()).unwrap();
+        let sim = Simulator::new(&g);
+        let armed = std::sync::atomic::AtomicBool::new(true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_parallel(
+                |d: usize| Bomb {
+                    degree: d,
+                    armed: armed.swap(false, std::sync::atomic::Ordering::Relaxed),
+                },
+                4,
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate, not deadlock");
+    }
+
+    #[test]
+    fn pool_barrier_epochs_and_poisoning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let barrier = PoolBarrier::new(3);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert!(barrier.wait().is_ok());
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 150);
+        // Poisoning unblocks a waiter that would otherwise sleep forever.
+        let barrier = PoolBarrier::new(2);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| barrier.wait().is_err());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            barrier.poison();
+            assert!(h.join().unwrap(), "waiter observed the poison");
+        });
     }
 }

@@ -194,7 +194,7 @@ impl<'g> Simulator<'g> {
         )
     }
 
-    fn run_states<A>(&self, states: Vec<A>) -> Result<Run<A::Output>, RuntimeError>
+    pub(crate) fn run_states<A>(&self, states: Vec<A>) -> Result<Run<A::Output>, RuntimeError>
     where
         A: NodeAlgorithm,
     {

@@ -186,3 +186,100 @@ fn engines_agree_on_edgeless_graphs() {
     let g = ports::canonical_ports(&pn_graph::SimpleGraph::new(5)).unwrap();
     check_all_paths(&g);
 }
+
+// ---- Pool-engine edge cases: each asserted against the sequential
+// `Run`, covering the corners of the chunk layout and the round loop. ----
+
+#[test]
+fn pool_with_more_threads_than_nodes() {
+    // The pool clamps to one worker per node; the surplus spawns nothing
+    // and empty tail chunks must neither panic nor change results.
+    for n in [1usize, 2, 3, 5] {
+        let g = ports::canonical_ports(&generators::path(n).unwrap()).unwrap();
+        let sim = Simulator::new(&g);
+        let seq = sim.run(Churn::new).unwrap();
+        for threads in [n + 1, 2 * n + 3, 64] {
+            let par = sim.run_parallel(Churn::new, threads).unwrap();
+            assert_identical(&seq, &par, &format!("n = {n}, threads = {threads}"));
+        }
+    }
+}
+
+#[test]
+fn pool_with_one_thread_is_bit_identical_to_run() {
+    // threads == 1 takes the sequential engine verbatim — including the
+    // trace, which the multi-worker pool does not produce.
+    let g = ports::shuffled_ports(&generators::gnp(24, 0.2, 3).unwrap(), 4).unwrap();
+    let sim = Simulator::new(&g);
+    let seq = sim.run(Churn::new).unwrap();
+    let par = sim.run_parallel(Churn::new, 1).unwrap();
+    assert_identical(&seq, &par, "threads = 1");
+    assert!(par.trace.is_none(), "no trace was requested");
+    let sim = Simulator::with_options(
+        &g,
+        pn_runtime::RunOptions {
+            record_trace: true,
+            ..pn_runtime::RunOptions::default()
+        },
+    );
+    let traced = sim.run_parallel(Churn::new, 1).unwrap();
+    assert!(
+        traced.trace.is_some(),
+        "the single-worker pool honours record_trace like run()"
+    );
+}
+
+#[test]
+fn pool_when_every_node_halts_in_round_zero() {
+    // One round, then global quiescence: the termination agreement must
+    // fire on the very first barrier epoch.
+    struct OneShot {
+        degree: usize,
+    }
+    impl NodeAlgorithm for OneShot {
+        type Message = u8;
+        type Output = usize;
+        fn send(&mut self, _r: usize) -> Vec<u8> {
+            vec![7; self.degree]
+        }
+        fn receive(&mut self, _r: usize, inbox: &[Option<u8>]) -> Option<usize> {
+            Some(inbox.iter().flatten().count())
+        }
+    }
+    let g = ports::shuffled_ports(&generators::torus(5, 5).unwrap(), 9).unwrap();
+    let sim = Simulator::new(&g);
+    let seq = sim.run(|d: usize| OneShot { degree: d }).unwrap();
+    assert_eq!(seq.rounds, 1);
+    for threads in [2usize, 3, 8] {
+        let par = sim
+            .run_parallel(|d: usize| OneShot { degree: d }, threads)
+            .unwrap();
+        assert_eq!(par.outputs, seq.outputs, "threads = {threads}");
+        assert_eq!(par.halted_at, seq.halted_at, "threads = {threads}");
+        assert_eq!(par.rounds, 1, "threads = {threads}");
+        assert_eq!(par.messages, seq.messages, "threads = {threads}");
+    }
+}
+
+#[test]
+fn pool_with_isolated_nodes() {
+    // A degree-0 node has an empty port window: it must still run its
+    // receive schedule (observing an empty inbox) and halt on time.
+    let mut g = pn_graph::SimpleGraph::new(7);
+    // Nodes 0-2 a triangle, node 3 isolated, nodes 4-5 an edge, node 6
+    // isolated — isolated nodes in the middle and at the chunk tail.
+    g.add_edge_ids(0, 1).unwrap();
+    g.add_edge_ids(1, 2).unwrap();
+    g.add_edge_ids(2, 0).unwrap();
+    g.add_edge_ids(4, 5).unwrap();
+    let pg = ports::canonical_ports(&g).unwrap();
+    let sim = Simulator::new(&pg);
+    let seq = sim.run(Churn::new).unwrap();
+    // Churn halts after degree + 2 rounds: isolated nodes after 2.
+    assert_eq!(seq.halted_at[3], 2);
+    assert_eq!(seq.halted_at[6], 2);
+    for threads in [2usize, 3, 7, 20] {
+        let par = sim.run_parallel(Churn::new, threads).unwrap();
+        assert_identical(&seq, &par, &format!("threads = {threads}"));
+    }
+}

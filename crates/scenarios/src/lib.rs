@@ -69,7 +69,9 @@ pub mod sink;
 pub mod small;
 pub mod sweep;
 
-pub use protocol::{ExecOptions, Protocol, ProtocolRun, Solution, SweepError};
+pub use protocol::{
+    recommended_simulator_threads, ExecOptions, Protocol, ProtocolRun, Solution, SweepError,
+};
 pub use registry::Registry;
 pub use scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
 pub use session::{BoundProvider, Bounds, ExactBounds, Session};

@@ -112,7 +112,7 @@ pub struct ProtocolRun {
 
 /// Execution knobs for a single protocol run; the defaults reproduce
 /// [`Protocol::execute`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Claimed degree bound handed to the `Δ`-parametrised protocols
     /// (`A(Δ)`, the vertex-cover sibling, the identifier matching);
@@ -133,6 +133,39 @@ impl Default for ExecOptions {
             simulator_threads: 1,
         }
     }
+}
+
+impl ExecOptions {
+    /// Execution defaults for single huge instances: the sequential
+    /// engine's knobs except that the simulator runs on
+    /// [`recommended_simulator_threads`] workers. The registry attaches
+    /// this to its million-node specs.
+    pub fn scaled() -> Self {
+        ExecOptions {
+            delta: None,
+            simulator_threads: recommended_simulator_threads(),
+        }
+    }
+}
+
+/// A sensible simulator thread count for single huge instances: the
+/// host's available parallelism, capped at 8 (the pool's barrier
+/// synchronisation outgrows the gains beyond that for these workloads).
+/// On a single-core host this is 1, which routes runs through the
+/// sequential engine — results are bit-identical either way.
+///
+/// Nested-parallelism guidance: a [`crate::Session`] shards *scenarios*
+/// across threads while the simulator shards *nodes* of one scenario —
+/// don't multiply both by default. Reserve simulator threads for
+/// workloads that dwarf the rest of the registry (the million-node
+/// families); the transient oversubscription while a sharded sweep
+/// crosses such a scenario is benign, but a dedicated huge-instance
+/// sweep should run with `Session::threads(1)` and let the simulator
+/// have the cores.
+pub fn recommended_simulator_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZero::get)
+        .clamp(1, 8)
 }
 
 impl Protocol {

@@ -18,6 +18,7 @@
 //! (sweep binary, benches, conformance tests) picks it up from the
 //! registry without further changes.
 
+use crate::protocol::ExecOptions;
 use crate::scenario::{Family, PortPolicy, Scenario, ScenarioSpec};
 use pn_graph::GraphError;
 
@@ -166,6 +167,20 @@ impl Registry {
                 0,
                 PortPolicy::Canonical,
             ));
+        }
+
+        // The million-node scale tier: streamed generation (flat
+        // involution, no intermediate structures) and per-spec execution
+        // defaults routing the runs through the parallel simulator
+        // engine — the workloads where the paper's O(Δ)-round bounds
+        // meet a host that actually needs to shard nodes.
+        for family in [
+            Family::MillionCycle { n: 1_000_000 },
+            Family::MillionRegular { n: 1_000_000 },
+        ] {
+            specs.push(
+                ScenarioSpec::new(family, 0, PortPolicy::Shuffled).with_exec(ExecOptions::scaled()),
+            );
         }
         Registry { specs }
     }
@@ -318,10 +333,49 @@ mod tests {
         assert!(r.len() >= 40, "full registry has {} specs", r.len());
         let keys = r.family_keys();
         assert!(keys.len() >= 8, "only {} families: {keys:?}", keys.len());
-        let scenarios = r.build_all().unwrap();
-        assert_eq!(scenarios.len(), r.len());
+        // Build everything below the million tier (building two
+        // 1,000,000-node graphs in unoptimised test runs is the release
+        // sweep's job; the streamed construction itself is covered at
+        // small n by the scenario tests).
+        let modest = r.filter(|s| {
+            !matches!(
+                s.family,
+                Family::MillionCycle { .. } | Family::MillionRegular { .. }
+            )
+        });
+        let scenarios = modest.build_all().unwrap();
+        assert_eq!(scenarios.len(), modest.len());
         for s in &scenarios {
             assert_eq!(s.simple.edge_count(), s.graph.edge_count(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn full_registry_carries_the_scaled_million_tier() {
+        let r = Registry::full();
+        let million: Vec<_> = r
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.family,
+                    Family::MillionCycle { .. } | Family::MillionRegular { .. }
+                )
+            })
+            .collect();
+        assert_eq!(million.len(), 2, "one spec per streamed family");
+        for spec in million {
+            let exec = spec.exec.expect("million tier carries exec defaults");
+            assert_eq!(exec, ExecOptions::scaled());
+            assert!(exec.simulator_threads >= 1);
+            // Small clones of the same families build; the registry
+            // instances themselves are exercised by the release sweep.
+            let small = match spec.family {
+                Family::MillionCycle { .. } => Family::MillionCycle { n: 100 },
+                _ => Family::MillionRegular { n: 100 },
+            };
+            ScenarioSpec::new(small, spec.seed, spec.policy)
+                .build()
+                .unwrap();
         }
     }
 

@@ -11,6 +11,8 @@ use pn_graph::{
     PortNumberedGraph, SimpleGraph,
 };
 
+use crate::protocol::ExecOptions;
+
 /// A graph family from the `pn-graph` generator catalogue, with its size
 /// parameters. Every generator in `pn_graph::generators` is reachable,
 /// plus the covering-map constructions of `pn_graph::covering` (cyclic
@@ -112,6 +114,27 @@ pub enum Family {
         /// Number of layers (must be even and at least 4).
         layers: usize,
     },
+    /// The million-node scale tier: an `n`-node cycle emitted straight
+    /// into the flat port-numbered representation
+    /// ([`generators::streamed_cycle`] — no adjacency lists, no builder,
+    /// one `O(n)` pass), the workload that needs the parallel simulator
+    /// engine to measure. The port numbering is part of the streamed
+    /// construction: [`PortPolicy::Canonical`] fixes the role order,
+    /// [`PortPolicy::Shuffled`] applies a seeded per-node permutation.
+    MillionCycle {
+        /// Number of nodes (any `n ≥ 3`; the registry instance uses
+        /// `1_000_000`).
+        n: usize,
+    },
+    /// The 3-regular sibling of [`Family::MillionCycle`]: a Hamiltonian
+    /// cycle plus a seeded perfect matching
+    /// ([`generators::streamed_cubic`]), odd-regular so the Theorem 4
+    /// protocol joins the portfolio at scale.
+    MillionRegular {
+        /// Number of nodes (even, `n ≥ 4`; the registry instance uses
+        /// `1_000_000`).
+        n: usize,
+    },
     /// The `index`-th connected graph on `n ≤ 6` nodes in the exhaustive
     /// enumeration of [`crate::small::connected`] — the substrate of the
     /// n ≤ 6 conformance suite.
@@ -157,6 +180,8 @@ impl Family {
             Family::SensorNetwork { .. } => "sensor-network",
             Family::CyclicLift { .. } => "cyclic-lift",
             Family::Figure2Cover { .. } => "figure2-cover",
+            Family::MillionCycle { .. } => "million-cycle",
+            Family::MillionRegular { .. } => "million-regular",
             Family::SmallConnected { .. } => "small-connected",
             Family::External { .. } => "external",
         }
@@ -191,6 +216,8 @@ impl Family {
             Family::SensorNetwork { n, delta } => format!("sensor-{n}-D{delta}"),
             Family::CyclicLift { base, layers } => format!("{}-lift{layers}", base.label()),
             Family::Figure2Cover { layers } => format!("figure2-cover-{layers}"),
+            Family::MillionCycle { n } => format!("million-cycle-{n}"),
+            Family::MillionRegular { n } => format!("million-regular-{n}"),
             Family::SmallConnected { n, index } => format!("small{n}-{index}"),
             Family::External { name } => name.clone(),
         }
@@ -248,6 +275,10 @@ impl Family {
                 covering::simple_lift(&figure2_multigraph(), *layers)?
                     .0
                     .to_simple()
+            }
+            Family::MillionCycle { n } => generators::streamed_cycle(*n, None)?.to_simple(),
+            Family::MillionRegular { n } => {
+                generators::streamed_cubic(*n, seed, false)?.to_simple()
             }
             Family::SmallConnected { n, index } => {
                 let graphs = crate::small::connected(*n);
@@ -320,7 +351,8 @@ impl PortPolicy {
     }
 }
 
-/// A cheap description of one workload: family × seed × port policy.
+/// A cheap description of one workload: family × seed × port policy,
+/// optionally carrying execution defaults for the runs it hosts.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// The graph family and its size parameters.
@@ -329,6 +361,13 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// The port-numbering policy.
     pub policy: PortPolicy,
+    /// Execution defaults for this workload (claimed `Δ`, simulator
+    /// threads). `None` inherits the session's settings; the registry
+    /// sets this on workloads that *need* specific knobs — the
+    /// million-node families default to the parallel simulator engine.
+    /// Session-level overrides ([`crate::Session::simulator_threads`],
+    /// [`crate::Session::delta_hint`]) win over spec defaults.
+    pub exec: Option<ExecOptions>,
 }
 
 impl ScenarioSpec {
@@ -338,7 +377,15 @@ impl ScenarioSpec {
             family,
             seed,
             policy,
+            exec: None,
         }
+    }
+
+    /// Attaches execution defaults (claimed `Δ`, simulator threads) to
+    /// the spec; see [`ScenarioSpec::exec`].
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = Some(exec);
+        self
     }
 
     /// A unique display name: `label/policy/seed`.
@@ -369,6 +416,18 @@ impl ScenarioSpec {
             Family::Figure2Cover { layers } => {
                 covering::simple_lift(&figure2_multigraph(), *layers)?.0
             }
+            // The streamed scale tier assembles its flat involution
+            // directly; the port policy selects the construction's own
+            // numbering (canonical role order or a seeded per-node
+            // permutation) instead of re-numbering a simple graph.
+            Family::MillionCycle { n } => {
+                let shuffle = self.streamed_shuffle()?;
+                generators::streamed_cycle(*n, shuffle.then_some(self.seed))?
+            }
+            Family::MillionRegular { n } => {
+                let shuffle = self.streamed_shuffle()?;
+                generators::streamed_cubic(*n, self.seed, shuffle)?
+            }
             f => {
                 let g = f.simple(self.seed)?;
                 self.policy.apply(&g, self.seed)?
@@ -380,6 +439,23 @@ impl ScenarioSpec {
             graph,
             simple,
         })
+    }
+
+    /// Whether the streamed families should apply their seeded per-node
+    /// numbering; only the canonical and shuffled policies are
+    /// meaningful for a construction that emits its numbering directly.
+    fn streamed_shuffle(&self) -> Result<bool, GraphError> {
+        match self.policy {
+            PortPolicy::Canonical => Ok(false),
+            PortPolicy::Shuffled => Ok(true),
+            PortPolicy::TwoFactor | PortPolicy::AsGiven => Err(GraphError::InvalidParameter {
+                detail: format!(
+                    "the streamed {} family numbers its ports during generation; \
+                     only the canonical and shuffled policies apply",
+                    self.family.key()
+                ),
+            }),
+        }
     }
 }
 
@@ -586,6 +662,64 @@ mod tests {
         assert_eq!(s.simple.edge_count(), 2 + 2 * 37);
         assert!(s.simple.max_degree() > 2, "hubs expected");
         assert_eq!(s.graph, spec.build().unwrap().graph);
+    }
+
+    #[test]
+    fn streamed_families_build_under_both_policies() {
+        // Small instances of the million-scale families: the streamed
+        // construction must produce valid, simple, correctly-sized
+        // graphs under both supported numberings and reject the rest.
+        for policy in [PortPolicy::Canonical, PortPolicy::Shuffled] {
+            let cycle = ScenarioSpec::new(Family::MillionCycle { n: 60 }, 3, policy)
+                .build()
+                .unwrap();
+            assert_eq!(cycle.graph.regular_degree(), Some(2));
+            assert_eq!(cycle.simple.edge_count(), 60);
+            let cubic = ScenarioSpec::new(Family::MillionRegular { n: 60 }, 3, policy)
+                .build()
+                .unwrap();
+            assert_eq!(cubic.graph.regular_degree(), Some(3));
+            assert!(cubic.graph.is_simple());
+            assert_eq!(cubic.simple.edge_count(), 90);
+        }
+        let spec = ScenarioSpec::new(Family::MillionCycle { n: 12 }, 0, PortPolicy::TwoFactor);
+        assert!(spec.build().is_err(), "streamed numbering is built in");
+        assert_eq!(
+            ScenarioSpec::new(Family::MillionRegular { n: 20 }, 1, PortPolicy::Shuffled).name(),
+            "million-regular-20/shuffled/s1"
+        );
+    }
+
+    #[test]
+    fn streamed_family_simple_matches_the_built_graph() {
+        for family in [
+            Family::MillionCycle { n: 24 },
+            Family::MillionRegular { n: 24 },
+        ] {
+            let spec = ScenarioSpec::new(family, 5, PortPolicy::Shuffled);
+            let scenario = spec.build().unwrap();
+            // Family::simple and the built scenario agree on the edge
+            // set (the numbering is not part of the simple projection).
+            let simple = spec.family.simple(5).unwrap();
+            assert_eq!(simple.edge_count(), scenario.simple.edge_count());
+            for (_, u, v) in simple.edges() {
+                assert!(scenario.simple.has_edge(u, v), "{}: {u}-{v}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_exec_defaults_are_attached_and_compared() {
+        let plain = ScenarioSpec::new(Family::MillionCycle { n: 12 }, 0, PortPolicy::Shuffled);
+        assert_eq!(plain.exec, None);
+        let scaled = plain.clone().with_exec(ExecOptions {
+            delta: None,
+            simulator_threads: 4,
+        });
+        assert_eq!(scaled.exec.unwrap().simulator_threads, 4);
+        assert_ne!(plain, scaled);
+        // The exec knobs are metadata: the built graphs are identical.
+        assert_eq!(plain.build().unwrap().graph, scaled.build().unwrap().graph);
     }
 
     #[test]

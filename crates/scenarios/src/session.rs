@@ -187,7 +187,11 @@ pub struct Session {
     protocols: Vec<Protocol>,
     bounds: Arc<dyn BoundProvider>,
     threads: usize,
-    exec: ExecOptions,
+    /// Session-level execution overrides. `None` defers to each spec's
+    /// own [`ScenarioSpec::exec`] defaults (and to [`ExecOptions::default`]
+    /// beyond that); `Some` wins over both.
+    delta: Option<usize>,
+    simulator_threads: Option<usize>,
 }
 
 impl Default for Session {
@@ -205,7 +209,8 @@ impl Session {
             protocols: Protocol::ALL.to_vec(),
             bounds: Arc::new(ExactBounds::default()),
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
-            exec: ExecOptions::default(),
+            delta: None,
+            simulator_threads: None,
         }
     }
 
@@ -267,18 +272,37 @@ impl Session {
     }
 
     /// Routes every protocol run through the parallel simulator engine
-    /// with this many threads (default 1: sequential engine). Useful for
-    /// single huge instances; results are bit-identical either way.
+    /// with this many threads (`1` forces the sequential engine). The
+    /// default defers to each spec's [`ScenarioSpec::exec`] defaults —
+    /// the registry's million-node workloads carry
+    /// [`ExecOptions::scaled`] — and runs everything else sequentially.
+    /// Results are bit-identical across all settings.
+    ///
+    /// Sessions shard *scenarios* across [`Session::threads`] while the
+    /// simulator shards *nodes* within one scenario; don't multiply both
+    /// by default (see
+    /// [`crate::protocol::recommended_simulator_threads`]).
     pub fn simulator_threads(mut self, threads: usize) -> Self {
-        self.exec.simulator_threads = threads.max(1);
+        self.simulator_threads = Some(threads.max(1));
         self
     }
 
     /// Overrides the claimed degree bound handed to the `Δ`-parametrised
     /// protocols (default: each instance's maximum degree).
     pub fn delta_hint(mut self, delta: usize) -> Self {
-        self.exec.delta = Some(delta);
+        self.delta = Some(delta);
         self
+    }
+
+    /// The effective execution knobs for one scenario: session-level
+    /// overrides win, then the spec's own defaults, then
+    /// [`ExecOptions::default`].
+    fn exec_for(&self, scenario: &Scenario) -> ExecOptions {
+        let spec = scenario.spec.exec.unwrap_or_default();
+        ExecOptions {
+            delta: self.delta.or(spec.delta),
+            simulator_threads: self.simulator_threads.unwrap_or(spec.simulator_threads),
+        }
     }
 
     /// Measures one protocol on one scenario with this session's
@@ -443,14 +467,15 @@ impl Session {
         scenario: &Scenario,
         protocol: Protocol,
     ) -> Result<Measurement, SweepError> {
-        let run = protocol.execute_with(scenario, &self.exec)?;
+        let exec = self.exec_for(scenario);
+        let run = protocol.execute_with(scenario, &exec)?;
         let size = run.solution.len();
         // Score the run against the bound for the Δ the protocol was
         // actually parametrised with: a delta hint above the instance
         // maximum loosens A(Δ)'s theorem to 4 - 1/⌊Δ'/2⌋ (hints below
         // the maximum are raised to it by the executor, so the default
         // bound applies there).
-        let bound = match (protocol, self.exec.delta) {
+        let bound = match (protocol, exec.delta) {
             (Protocol::BoundedDegree, Some(claimed)) => {
                 let effective = claimed.max(scenario.simple.max_degree());
                 (effective >= 1).then(|| eds_core::bounded_degree::bounded_degree_ratio(effective))

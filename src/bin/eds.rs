@@ -18,6 +18,10 @@
 //!                        | greedy | exact   (default: adelta)
 //!   --delta <k>          claimed degree bound for adelta/vc3/idmm
 //!   --ports <spec>       canonical | random:<seed> | factorized
+//!   --simulator-threads <n>
+//!                        run the distributed algorithms on n parallel
+//!                        simulator workers (default 1: sequential;
+//!                        results are bit-identical either way)
 //!   --quiet              print only the edge list
 //!   --help               this text
 //! ```
@@ -46,6 +50,11 @@ const USAGE: &str = "usage: eds [options] [FILE]
   --ports <spec>       canonical | random:<seed> | factorized
                        (default: canonical; factorized = the adversarial
                        2-factorised numbering, 2k-regular graphs only)
+  --simulator-threads <n>
+                       run the distributed algorithms on n parallel
+                       simulator workers (default 1: sequential engine;
+                       results are bit-identical either way — use for
+                       huge inputs on multi-core hosts)
   --quiet              print only the edge list
   --help               this text
 
@@ -59,6 +68,7 @@ struct Options {
     algorithm: String,
     delta: Option<usize>,
     ports: String,
+    simulator_threads: Option<usize>,
     quiet: bool,
     file: Option<String>,
 }
@@ -68,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         algorithm: "adelta".to_owned(),
         delta: None,
         ports: "canonical".to_owned(),
+        simulator_threads: None,
         quiet: false,
         file: None,
     };
@@ -83,6 +94,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--ports" => {
                 options.ports = it.next().ok_or("--ports needs a value")?.clone();
+            }
+            "--simulator-threads" => {
+                let v = it.next().ok_or("--simulator-threads needs a value")?;
+                options.simulator_threads = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --simulator-threads value {v:?}"))?,
+                );
             }
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
@@ -191,9 +209,14 @@ fn run_protocol(
         ));
     }
 
+    // One input graph, so the session itself stays sequential; node-level
+    // parallelism (if requested) belongs to the simulator engine.
     let mut session = Session::new().sequential().protocols(&[protocol]);
     if let Some(delta) = options.delta {
         session = session.delta_hint(delta);
+    }
+    if let Some(threads) = options.simulator_threads {
+        session = session.simulator_threads(threads);
     }
     let graph = scenario.graph.clone();
     let mut capture = Capture::default();
@@ -455,6 +478,24 @@ mod tests {
         let input = "0 1\n1 2\n2 3\n";
         let o = opts(&["--algorithm", "adelta", "--delta", "4", "--quiet"]);
         assert!(!run(&o, input).unwrap().is_empty());
+    }
+
+    #[test]
+    fn simulator_threads_flag_is_bit_identical() {
+        // The parallel simulator engine must not change any output or
+        // statistic the CLI reports.
+        let input = "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n0 3\n1 4\n";
+        for algo in ["port1", "adelta", "vc3", "idmm", "randmm"] {
+            let seq = run(&opts(&["--algorithm", algo]), input).unwrap();
+            let par = run(
+                &opts(&["--algorithm", algo, "--simulator-threads", "4"]),
+                input,
+            )
+            .unwrap();
+            assert_eq!(seq, par, "{algo}");
+        }
+        let args = vec!["--simulator-threads".to_owned(), "zero".to_owned()];
+        assert!(parse_args(&args).is_err(), "non-numeric value rejected");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]
+//!                [--simulator-threads N]
 //! ```
 //!
 //! * `--smoke` sweeps the fast CI registry instead of the full matrix;
@@ -13,7 +14,20 @@
 //!   `BENCH_scenarios.json` in the current directory);
 //! * `--threads N` sets the shard count (default: all cores);
 //! * `--sequential` disables sharding (output is byte-identical either
-//!   way — the sharded executor merges deterministically).
+//!   way — the sharded executor merges deterministically);
+//! * `--simulator-threads N` routes every protocol run through the
+//!   parallel simulator engine on `N` pool workers (`1` forces the
+//!   sequential engine). By default each workload decides for itself:
+//!   the registry's million-node specs carry scaled execution defaults,
+//!   everything else runs sequentially.
+//!
+//! Nested-parallelism guidance: `--threads` shards *scenarios* across a
+//! session's workers while `--simulator-threads` shards the *nodes* of
+//! one scenario across the simulator's pool — don't multiply both. For
+//! registry sweeps keep the default (scenario sharding); when measuring
+//! a single huge instance, pass `--sequential --simulator-threads N` so
+//! the simulator gets the cores. Either way the output is bit-identical
+//! to the fully sequential run.
 //!
 //! The sweep runs through the [`eds_scenarios::Session`] solver service
 //! with two sinks: a streaming [`JsonLinesSink`] writing each record to
@@ -32,6 +46,7 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut out = "BENCH_scenarios.json".to_owned();
     let mut threads: Option<usize> = None;
+    let mut simulator_threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,6 +56,13 @@ fn main() -> ExitCode {
                 Some(n) => threads = Some(n),
                 None => {
                     eprintln!("--threads requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--simulator-threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => simulator_threads = Some(n),
+                None => {
+                    eprintln!("--simulator-threads requires a number");
                     return ExitCode::from(2);
                 }
             },
@@ -54,7 +76,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]"
+                    "usage: scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential] \
+                     [--simulator-threads N]"
                 );
                 return ExitCode::from(2);
             }
@@ -88,6 +111,9 @@ fn main() -> ExitCode {
     let mut session = Session::over(registry);
     if let Some(n) = threads {
         session = session.threads(n);
+    }
+    if let Some(n) = simulator_threads {
+        session = session.simulator_threads(n);
     }
     if let Err(e) = session.run(&mut sink) {
         eprintln!("sweep failed: {e}");
