@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the certified LP lower-bound pipeline:
+//! the exact-rational seeded simplex across sparse, regular and
+//! heavy-tailed instances, the matching-seed fallback, and the
+//! independent certificate checker. The interesting curve is simplex
+//! cost vs edge count — it informs the `LpBudget` default that gates
+//! which sweep instances get LP bounds rather than folklore bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_lp::{eds_dual_certificate, vc_dual_certificate, LpBudget};
+use pn_graph::generators;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_dual");
+    let budget = LpBudget::default();
+    for n in [12usize, 24, 48] {
+        let g = generators::random_regular(n, 3, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("eds_regular3", n), &g, |b, g| {
+            b.iter(|| eds_dual_certificate(g, &budget))
+        });
+        group.bench_with_input(BenchmarkId::new("vc_regular3", n), &g, |b, g| {
+            b.iter(|| vc_dual_certificate(g, &budget))
+        });
+    }
+    for n in [24usize, 48] {
+        let g = generators::preferential_attachment(n, 2, n as u64).expect("graph");
+        group.bench_with_input(BenchmarkId::new("eds_power_law", n), &g, |b, g| {
+            b.iter(|| eds_dual_certificate(g, &budget))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fallback_and_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_support");
+    // The matching-seed path is what million-edge sweep instances pay.
+    let big = generators::random_regular(2048, 3, 7).expect("graph");
+    group.bench_function("matching_seed_2048", |b| {
+        b.iter(|| eds_dual_certificate(&big, &LpBudget::disabled()))
+    });
+    // The checker is the trusted base — it must stay cheap enough to
+    // run on every certificate a sweep emits.
+    let g = generators::random_regular(48, 3, 11).expect("graph");
+    let cert = eds_dual_certificate(&g, &LpBudget::default());
+    group.bench_function("verify_48", |b| b.iter(|| cert.verify(&g).is_ok()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_fallback_and_checker);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! Dual certificates: self-contained, independently checkable proofs
+//! that a lower bound is genuine.
+//!
+//! A [`DualCertificate`] carries one rational weight per edge. By weak
+//! LP duality, any **feasible** dual solution's objective value is a
+//! lower bound on the fractional primal optimum, hence on the integral
+//! optimum — so trusting a bound only requires checking feasibility,
+//! not re-running (or trusting) the solver. [`DualCertificate::verify`]
+//! is that check, and it is deliberately *not* built on the solver's
+//! constraint rows: it accumulates per-node incident weight sums and
+//! derives each constraint from them, so a bug in the row construction
+//! and a bug in the checker would have to conspire across two different
+//! formulations to let a wrong bound through.
+//!
+//! The two objectives:
+//!
+//! * [`DualObjective::EdgeDomination`] — a fractional packing where
+//!   every **closed edge neighbourhood** carries weight ≤ 1 (the dual
+//!   of the EDS covering LP). In a simple graph the neighbourhood sum
+//!   of `e = {u, v}` equals `load(u) + load(v) − y_e`, where `load(w)`
+//!   is the incident weight sum at `w` — the identity the checker uses.
+//! * [`DualObjective::VertexCover`] — a fractional matching: every
+//!   node carries incident weight ≤ 1 (the dual of the VC covering
+//!   LP).
+
+use std::fmt;
+
+use pn_graph::{EdgeId, SimpleGraph};
+
+use crate::rational::{checked_sum, Rational};
+
+/// Which primal optimum the certificate bounds from below.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DualObjective {
+    /// Minimum edge dominating set: weights form a fractional packing of
+    /// closed edge neighbourhoods.
+    EdgeDomination,
+    /// Minimum vertex cover: weights form a fractional matching.
+    VertexCover,
+}
+
+impl DualObjective {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DualObjective::EdgeDomination => "eds",
+            DualObjective::VertexCover => "vc",
+        }
+    }
+}
+
+/// How the certificate was produced (diagnostics only — verification
+/// never consults this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertificateSource {
+    /// The exact simplex solve ran to optimality.
+    Simplex,
+    /// The maximal-matching seed (the solve was skipped or abandoned:
+    /// over budget, or exact arithmetic overflowed).
+    MatchingSeed,
+}
+
+/// A feasible dual solution packaged as a checkable lower-bound proof.
+#[derive(Clone, Debug)]
+pub struct DualCertificate {
+    /// The objective this bounds.
+    pub objective: DualObjective,
+    /// How it was produced.
+    pub source: CertificateSource,
+    /// One weight per edge, indexed by [`EdgeId`].
+    pub weights: Vec<Rational>,
+    /// The dual objective `Σ_e weights[e]`.
+    pub value: Rational,
+    /// `⌈value⌉`: the certified integral lower bound.
+    pub bound: usize,
+}
+
+/// Why a certificate failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The weight vector does not match the graph's edge count.
+    WrongLength {
+        /// Weights supplied.
+        weights: usize,
+        /// Edges in the graph.
+        edges: usize,
+    },
+    /// A weight is negative.
+    NegativeWeight {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A dual constraint is violated.
+    ConstraintViolated {
+        /// Human-readable witness.
+        detail: String,
+    },
+    /// The claimed objective value is not the sum of the weights.
+    ValueMismatch,
+    /// The claimed integral bound is not `⌈value⌉`.
+    BoundMismatch,
+    /// Exact arithmetic overflowed while checking (the certificate is
+    /// not trustworthy in that case either).
+    Overflow,
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::WrongLength { weights, edges } => {
+                write!(f, "{weights} weights for {edges} edges")
+            }
+            CertificateError::NegativeWeight { edge } => {
+                write!(f, "negative weight on edge {edge}")
+            }
+            CertificateError::ConstraintViolated { detail } => {
+                write!(f, "dual constraint violated: {detail}")
+            }
+            CertificateError::ValueMismatch => {
+                write!(f, "claimed value is not the weight sum")
+            }
+            CertificateError::BoundMismatch => {
+                write!(f, "claimed bound is not the value's ceiling")
+            }
+            CertificateError::Overflow => write!(f, "exact arithmetic overflowed during checking"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+impl DualCertificate {
+    /// Verifies the certificate against `g` from scratch: weight shape
+    /// and sign, every dual constraint, the claimed objective value,
+    /// and the claimed integral bound. A certificate that passes proves
+    /// `bound ≤ OPT` for its objective on `g` by weak duality —
+    /// independently of how it was produced.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CertificateError`] encountered.
+    pub fn verify(&self, g: &SimpleGraph) -> Result<(), CertificateError> {
+        if self.weights.len() != g.edge_count() {
+            return Err(CertificateError::WrongLength {
+                weights: self.weights.len(),
+                edges: g.edge_count(),
+            });
+        }
+        for (i, w) in self.weights.iter().enumerate() {
+            if w.is_negative() {
+                return Err(CertificateError::NegativeWeight {
+                    edge: EdgeId::new(i),
+                });
+            }
+        }
+
+        // Per-node incident weight sums — the common substrate of both
+        // constraint families.
+        let mut load = vec![Rational::ZERO; g.node_count()];
+        for (e, u, v) in g.edges() {
+            let w = self.weights[e.index()];
+            for node in [u, v] {
+                load[node.index()] = load[node.index()]
+                    .checked_add(w)
+                    .ok_or(CertificateError::Overflow)?;
+            }
+        }
+
+        match self.objective {
+            DualObjective::EdgeDomination => {
+                // Σ_{f ∈ N[e]} y_f = load(u) + load(v) − y_e for a
+                // simple graph (e is the only edge on both endpoints).
+                for (e, u, v) in g.edges() {
+                    let total = load[u.index()]
+                        .checked_add(load[v.index()])
+                        .and_then(|s| s.checked_sub(self.weights[e.index()]))
+                        .ok_or(CertificateError::Overflow)?;
+                    if total > Rational::ONE {
+                        return Err(CertificateError::ConstraintViolated {
+                            detail: format!(
+                                "closed neighbourhood of edge {e} = {{{u}, {v}}} carries {total}"
+                            ),
+                        });
+                    }
+                }
+            }
+            DualObjective::VertexCover => {
+                for v in g.nodes() {
+                    if load[v.index()] > Rational::ONE {
+                        return Err(CertificateError::ConstraintViolated {
+                            detail: format!("node {v} carries {}", load[v.index()]),
+                        });
+                    }
+                }
+            }
+        }
+
+        let total = checked_sum(&self.weights).ok_or(CertificateError::Overflow)?;
+        if total != self.value {
+            return Err(CertificateError::ValueMismatch);
+        }
+        if self.value.ceil_to_usize() != Some(self.bound) {
+            return Err(CertificateError::BoundMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::generators;
+
+    fn uniform_certificate(
+        g: &SimpleGraph,
+        objective: DualObjective,
+        weight: Rational,
+    ) -> DualCertificate {
+        let weights = vec![weight; g.edge_count()];
+        let value = checked_sum(&weights).unwrap();
+        DualCertificate {
+            objective,
+            source: CertificateSource::MatchingSeed,
+            weights,
+            value,
+            bound: value.ceil_to_usize().unwrap(),
+        }
+    }
+
+    #[test]
+    fn uniform_packing_on_a_cycle_verifies() {
+        // C6: every closed edge neighbourhood has 3 edges; y = 1/3 is
+        // tight-feasible with value 2.
+        let g = generators::cycle(6).unwrap();
+        let c = uniform_certificate(&g, DualObjective::EdgeDomination, Rational::new(1, 3));
+        assert_eq!(c.bound, 2);
+        c.verify(&g).unwrap();
+        // y = 1/2 oversubscribes each neighbourhood (3/2 > 1).
+        let bad = uniform_certificate(&g, DualObjective::EdgeDomination, Rational::new(1, 2));
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::ConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn fractional_matching_constraints_are_per_node() {
+        let g = generators::cycle(5).unwrap();
+        let c = uniform_certificate(&g, DualObjective::VertexCover, Rational::new(1, 2));
+        assert_eq!(c.value, Rational::new(5, 2));
+        assert_eq!(c.bound, 3);
+        c.verify(&g).unwrap();
+        // A star cannot carry 1/2 on every edge: the hub overflows.
+        let star = generators::star(3).unwrap();
+        let bad = uniform_certificate(&star, DualObjective::VertexCover, Rational::new(1, 2));
+        assert!(matches!(
+            bad.verify(&star),
+            Err(CertificateError::ConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_value_and_bound_mismatches_are_caught() {
+        let g = generators::cycle(6).unwrap();
+        let good = uniform_certificate(&g, DualObjective::EdgeDomination, Rational::new(1, 3));
+
+        let mut short = good.clone();
+        short.weights.pop();
+        assert!(matches!(
+            short.verify(&g),
+            Err(CertificateError::WrongLength { .. })
+        ));
+
+        let mut negative = good.clone();
+        negative.weights[0] = Rational::new(-1, 3);
+        assert!(matches!(
+            negative.verify(&g),
+            Err(CertificateError::NegativeWeight { .. })
+        ));
+
+        let mut inflated = good.clone();
+        inflated.value = Rational::integer(3);
+        inflated.bound = 3;
+        assert_eq!(inflated.verify(&g), Err(CertificateError::ValueMismatch));
+
+        let mut rounded_up = good.clone();
+        rounded_up.bound = 3;
+        assert_eq!(rounded_up.verify(&g), Err(CertificateError::BoundMismatch));
+    }
+
+    #[test]
+    fn edgeless_graph_certifies_zero() {
+        let g = SimpleGraph::new(4);
+        let c = uniform_certificate(&g, DualObjective::EdgeDomination, Rational::ONE);
+        assert_eq!(c.bound, 0);
+        c.verify(&g).unwrap();
+    }
+}

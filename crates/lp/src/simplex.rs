@@ -1,0 +1,258 @@
+//! An exact-rational primal simplex for **packing LPs**:
+//!
+//! ```text
+//!     maximise   Σ_j y_j
+//!     subject to Σ_{j ∈ row_i} y_j ≤ 1   for every constraint row i
+//!                y ≥ 0
+//! ```
+//!
+//! This is the shape of both duals this crate certifies: the EDS
+//! covering LP's dual (one row per edge, listing its closed edge
+//! neighbourhood) and the vertex cover LP's dual, the fractional
+//! matching polytope (one row per node, listing its incident edges).
+//! Constraint rows arrive **sparse** (column index lists); the solver
+//! expands them into a dense tableau — at the budgeted sizes
+//! (≲ 200 variables) the dense pivots are far below a millisecond.
+//!
+//! The slack basis (`y = 0`) is trivially feasible, so no phase-1 is
+//! needed. Pivoting runs in two stages:
+//!
+//! 1. **Seed stage** — the caller may supply a preference list of
+//!    variables (the edges of a maximal matching); these are pivoted
+//!    into the basis first, reproducing the classical matching-based
+//!    dual solution before any general pivoting happens.
+//! 2. **Bland stage** — lowest-index entering/leaving rule, which
+//!    terminates on every input (no cycling), run to optimality.
+//!
+//! All arithmetic is checked [`Rational`] work: an `i128` overflow or an
+//! exhausted pivot budget abandons the solve (`None`) — the caller falls
+//! back to the seed certificate rather than trusting a partial tableau.
+
+use crate::rational::Rational;
+
+/// A packing LP instance: `rows[i]` lists the variables of constraint
+/// `i` (all coefficients are 1, every right-hand side is 1, the
+/// objective is the all-ones vector).
+#[derive(Clone, Debug)]
+pub struct PackingLp {
+    /// Number of variables.
+    pub variables: usize,
+    /// Sparse 0/1 constraint rows (variable index lists, each ≤ 1).
+    pub rows: Vec<Vec<usize>>,
+}
+
+/// Why a solve was abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveAbort {
+    /// An intermediate value left the `i128` fraction range.
+    Overflow,
+    /// The pivot budget was exhausted.
+    PivotBudget,
+    /// An entering column had no bounding row (the LP is unbounded —
+    /// impossible for the graph duals, where every variable appears in
+    /// at least one constraint).
+    Unbounded,
+}
+
+/// The optimum of a packing LP: the variable values and the objective.
+#[derive(Clone, Debug)]
+pub struct PackingOptimum {
+    /// One value per variable, all in `[0, 1]`.
+    pub values: Vec<Rational>,
+    /// `Σ_j values[j]`.
+    pub value: Rational,
+}
+
+/// Maximises the packing LP exactly.
+///
+/// `seed` is a list of variable indices to pivot into the basis first
+/// (deduplicated, out-of-range entries ignored): seeding with the edges
+/// of a maximal matching starts the solve at the classical
+/// matching-based dual point, and the Bland stage can only improve on
+/// it.
+///
+/// # Errors
+///
+/// [`SolveAbort::Overflow`] when exact arithmetic leaves the `i128`
+/// range; [`SolveAbort::PivotBudget`] when the pivot cap (linear in the
+/// tableau size) is exhausted; [`SolveAbort::Unbounded`] when a
+/// variable appears in no constraint. None occur on the graph LPs this
+/// crate builds at budgeted sizes.
+pub fn maximise(lp: &PackingLp, seed: &[usize]) -> Result<PackingOptimum, SolveAbort> {
+    let n = lp.variables;
+    let m = lp.rows.len();
+    if n == 0 {
+        return Ok(PackingOptimum {
+            values: Vec::new(),
+            value: Rational::ZERO,
+        });
+    }
+    // Dense tableau: m constraint rows × (n structural + m slack + rhs),
+    // plus the objective row. Slack basis start.
+    let cols = n + m + 1;
+    let rhs = n + m;
+    let mut t = vec![vec![Rational::ZERO; cols]; m + 1];
+    for (i, row) in lp.rows.iter().enumerate() {
+        for &j in row {
+            if j < n {
+                t[i][j] = Rational::ONE;
+            }
+        }
+        t[i][n + i] = Rational::ONE;
+        t[i][rhs] = Rational::ONE;
+    }
+    // Objective row: reduced costs, starting at -1 per structural
+    // variable; t[m][rhs] accumulates the objective value.
+    for cost in t[m].iter_mut().take(n) {
+        *cost = Rational::integer(-1);
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    let budget = 64 * (m + n).max(16);
+    let mut pivots = 0usize;
+
+    // Seed stage: bring the preferred variables in, one pivot each.
+    let mut seen = vec![false; n];
+    for &j in seed {
+        if j >= n || seen[j] {
+            continue;
+        }
+        seen[j] = true;
+        if !t[m][j].is_negative() {
+            continue; // already at its reduced-cost optimum
+        }
+        pivot_column(&mut t, &mut basis, j, rhs, m)?;
+        pivots += 1;
+    }
+
+    // Bland stage: lowest-index entering column with negative reduced
+    // cost, lowest-basis-index leaving row — terminates without cycling.
+    while let Some(enter) = (0..n + m).find(|&j| t[m][j].is_negative()) {
+        if pivots >= budget {
+            return Err(SolveAbort::PivotBudget);
+        }
+        pivot_column(&mut t, &mut basis, enter, rhs, m)?;
+        pivots += 1;
+    }
+
+    // Read the structural values off the basis.
+    let mut values = vec![Rational::ZERO; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = t[i][rhs];
+        }
+    }
+    let value = crate::rational::checked_sum(&values).ok_or(SolveAbort::Overflow)?;
+    Ok(PackingOptimum { values, value })
+}
+
+/// One pivot on column `enter`: Bland ratio test (lowest basis index on
+/// ties), then row elimination. Errors on overflow or when no row bounds
+/// the entering column (unbounded — impossible for the graph duals,
+/// where every variable appears in some constraint).
+fn pivot_column(
+    t: &mut [Vec<Rational>],
+    basis: &mut [usize],
+    enter: usize,
+    rhs: usize,
+    m: usize,
+) -> Result<(), SolveAbort> {
+    let mut leave: Option<(usize, Rational)> = None;
+    for i in 0..m {
+        if !t[i][enter].is_positive() {
+            continue;
+        }
+        let ratio = t[i][rhs]
+            .checked_div(t[i][enter])
+            .ok_or(SolveAbort::Overflow)?;
+        let better = match &leave {
+            None => true,
+            Some((r, best)) => ratio < *best || (ratio == *best && basis[i] < basis[*r]),
+        };
+        if better {
+            leave = Some((i, ratio));
+        }
+    }
+    let Some((row, _)) = leave else {
+        return Err(SolveAbort::Unbounded);
+    };
+
+    // Normalise the pivot row.
+    let pivot = t[row][enter];
+    for x in t[row].iter_mut() {
+        *x = x.checked_div(pivot).ok_or(SolveAbort::Overflow)?;
+    }
+    // Eliminate the entering column from every other row.
+    for i in 0..t.len() {
+        if i == row || t[i][enter].is_zero() {
+            continue;
+        }
+        let factor = t[i][enter];
+        for j in 0..t[i].len() {
+            let delta = t[row][j].checked_mul(factor).ok_or(SolveAbort::Overflow)?;
+            t[i][j] = t[i][j].checked_sub(delta).ok_or(SolveAbort::Overflow)?;
+        }
+    }
+    basis[row] = enter;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(rows: Vec<Vec<usize>>, n: usize) -> PackingOptimum {
+        maximise(&PackingLp { variables: n, rows }, &[]).unwrap()
+    }
+
+    #[test]
+    fn empty_lp() {
+        let opt = solve(Vec::new(), 0);
+        assert_eq!(opt.value, Rational::ZERO);
+    }
+
+    #[test]
+    fn single_variable() {
+        // max y0 s.t. y0 ≤ 1.
+        let opt = solve(vec![vec![0]], 1);
+        assert_eq!(opt.value, Rational::ONE);
+        assert_eq!(opt.values, vec![Rational::ONE]);
+    }
+
+    #[test]
+    fn fractional_matching_on_a_triangle() {
+        // Nodes {a,b,c}, edges 0=ab, 1=bc, 2=ca; rows are node stars.
+        // Optimum: y = 1/2 everywhere, value 3/2.
+        let opt = solve(vec![vec![0, 2], vec![0, 1], vec![1, 2]], 3);
+        assert_eq!(opt.value, Rational::new(3, 2));
+        for v in &opt.values {
+            assert_eq!(*v, Rational::new(1, 2));
+        }
+    }
+
+    #[test]
+    fn shared_constraint_caps_the_sum() {
+        // Two variables sharing one row: value 1.
+        let opt = solve(vec![vec![0, 1]], 2);
+        assert_eq!(opt.value, Rational::ONE);
+    }
+
+    #[test]
+    fn seeding_reaches_the_same_optimum() {
+        let lp = PackingLp {
+            variables: 3,
+            rows: vec![vec![0, 2], vec![0, 1], vec![1, 2]],
+        };
+        for seed in [vec![], vec![0], vec![2, 2, 99], vec![1, 0, 2]] {
+            let opt = maximise(&lp, &seed).unwrap();
+            assert_eq!(opt.value, Rational::new(3, 2), "seed {seed:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_constraints_are_independent() {
+        // max y0 + y1, y0 ≤ 1, y1 ≤ 1.
+        let opt = solve(vec![vec![0], vec![1]], 2);
+        assert_eq!(opt.value, Rational::integer(2));
+    }
+}

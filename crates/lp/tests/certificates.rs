@@ -1,0 +1,110 @@
+//! Property tests for the LP bound pipeline on random instances:
+//! every certificate the pipeline emits — simplex-solved or
+//! matching-seeded — must pass the independent feasibility checker,
+//! dominate the folklore matching bound, and (checked against the exact
+//! branch-and-bound solver on the EDS side) never exceed the true
+//! optimum. Gnp, random-regular and power-law (preferential attachment)
+//! models cover sparse, regular and heavy-tailed degree profiles.
+
+use eds_lp::{
+    eds_dual_certificate, vc_dual_certificate, CertificateSource, DualObjective, LpBudget,
+};
+use pn_graph::matching::greedy_maximal_matching;
+use pn_graph::{generators, SimpleGraph};
+use proptest::prelude::*;
+
+fn folklore(g: &SimpleGraph, objective: DualObjective) -> usize {
+    let mm = greedy_maximal_matching(g).len();
+    match objective {
+        DualObjective::EdgeDomination => mm.div_ceil(2),
+        DualObjective::VertexCover => mm,
+    }
+}
+
+/// The shared assertion battery: verification, the folklore sandwich
+/// floor, and (for EDS, where the exact solver is affordable) the
+/// optimum ceiling.
+fn assert_certified(g: &SimpleGraph, label: &str) {
+    let budget = LpBudget::default();
+    let eds = eds_dual_certificate(g, &budget);
+    eds.verify(g)
+        .unwrap_or_else(|e| panic!("{label}: infeasible EDS certificate: {e}"));
+    assert!(
+        eds.bound >= folklore(g, DualObjective::EdgeDomination),
+        "{label}: EDS bound {} below folklore {}",
+        eds.bound,
+        folklore(g, DualObjective::EdgeDomination)
+    );
+    if g.edge_count() > 0 && g.edge_count() <= budget.max_edges {
+        assert_eq!(eds.source, CertificateSource::Simplex, "{label}");
+    }
+    let opt = eds_baselines::exact::minimum_eds_size(g);
+    assert!(
+        eds.bound <= opt,
+        "{label}: EDS bound {} exceeds optimum {opt}",
+        eds.bound
+    );
+
+    let vc = vc_dual_certificate(g, &budget);
+    vc.verify(g)
+        .unwrap_or_else(|e| panic!("{label}: infeasible VC certificate: {e}"));
+    assert!(
+        vc.bound >= folklore(g, DualObjective::VertexCover),
+        "{label}: VC bound {} below folklore {}",
+        vc.bound,
+        folklore(g, DualObjective::VertexCover)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnp_certificates_are_feasible_and_sandwiched(
+        n in 2usize..=12,
+        tenths in 1u32..=8,
+        seed in 0u64..10_000,
+    ) {
+        let g = generators::gnp(n, f64::from(tenths) / 10.0, seed).expect("gnp builds");
+        assert_certified(&g, &format!("gnp({n}, 0.{tenths}, {seed})"));
+    }
+
+    #[test]
+    fn regular_certificates_are_feasible_and_sandwiched(
+        half in 2usize..=6,
+        d in 2usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        // n even and > d so the pairing model can build d-regular.
+        let n = 2 * half;
+        prop_assume!(n > d);
+        let g = generators::random_regular(n, d, seed).expect("regular builds");
+        assert_certified(&g, &format!("regular({n}, {d}, {seed})"));
+    }
+
+    #[test]
+    fn power_law_certificates_are_feasible_and_sandwiched(
+        n in 5usize..=14,
+        m in 1usize..=3,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(m < n);
+        let g = generators::preferential_attachment(n, m, seed).expect("power law builds");
+        assert_certified(&g, &format!("power-law({n}, {m}, {seed})"));
+    }
+
+    #[test]
+    fn seed_certificates_remain_feasible_beyond_budget(
+        n in 2usize..=12,
+        tenths in 1u32..=8,
+        seed in 0u64..10_000,
+    ) {
+        // A zero budget forces the matching-seed path: still a valid,
+        // checkable certificate, exactly the folklore bound.
+        let g = generators::gnp(n, f64::from(tenths) / 10.0, seed).expect("gnp builds");
+        let c = eds_dual_certificate(&g, &LpBudget::disabled());
+        c.verify(&g).expect("seed certificate is feasible");
+        prop_assert_eq!(c.source, CertificateSource::MatchingSeed);
+        prop_assert_eq!(c.bound, folklore(&g, DualObjective::EdgeDomination));
+    }
+}

@@ -212,6 +212,26 @@ impl SimpleGraph {
         self.adj[v.index()].iter().map(|&(_, e)| e)
     }
 
+    /// The closed edge neighbourhood `N[e]`: every edge sharing an
+    /// endpoint with `e`, plus `e` itself, each listed once in
+    /// ascending [`EdgeId`] order. This is the constraint row of the
+    /// edge-domination covering LP (an edge is dominated exactly by the
+    /// members of its closed neighbourhood).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an edge of the graph.
+    pub fn closed_edge_neighborhood(&self, e: EdgeId) -> Vec<EdgeId> {
+        let (u, v) = self.endpoints(e);
+        let mut out: Vec<EdgeId> = self
+            .incident_edges(u)
+            .chain(self.incident_edges(v))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Sum of all degrees (`2 |E|` by the handshake lemma).
     pub fn degree_sum(&self) -> usize {
         self.adj.iter().map(Vec::len).sum()
@@ -239,6 +259,25 @@ mod tests {
         assert_eq!(g.degree_sum(), 6);
         assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
         assert!(!g.has_edge(NodeId::new(0), NodeId::new(0)));
+    }
+
+    #[test]
+    fn closed_edge_neighborhood_dedups_and_sorts() {
+        // Path 0-1-2-3: the middle edge's closed neighbourhood is all
+        // three edges; an end edge's is itself plus the middle.
+        let mut g = SimpleGraph::new(4);
+        let e01 = g.add_edge_ids(0, 1).unwrap();
+        let e12 = g.add_edge_ids(1, 2).unwrap();
+        let e23 = g.add_edge_ids(2, 3).unwrap();
+        assert_eq!(g.closed_edge_neighborhood(e12), vec![e01, e12, e23]);
+        assert_eq!(g.closed_edge_neighborhood(e01), vec![e01, e12]);
+        // A triangle edge sees every edge exactly once despite both
+        // endpoints touching the third edge's endpoints.
+        let mut t = SimpleGraph::new(3);
+        let a = t.add_edge_ids(0, 1).unwrap();
+        let b = t.add_edge_ids(1, 2).unwrap();
+        let c = t.add_edge_ids(2, 0).unwrap();
+        assert_eq!(t.closed_edge_neighborhood(a), vec![a, b, c]);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   wiring scenario source × protocol portfolio × exact-solver budgets
 //!   × pluggable [`BoundProvider`], sharded across threads by default
 //!   with a deterministic in-order merge;
+//! * [`bounds`] — the additional bound providers: [`LpBounds`]
+//!   (certified, independently checked LP-relaxation dual bounds from
+//!   `eds-lp`, never looser than the folklore matching bounds) and
+//!   [`MmBounds`] (matching bounds only, constant cost);
 //! * [`sink`] — where measurements go: [`RecordSink`] implementations
 //!   for in-memory collection ([`VecSink`]), streaming JSON-lines
 //!   reports ([`JsonLinesSink`]), constant-memory aggregation
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod protocol;
 pub mod registry;
 pub mod scenario;
@@ -69,6 +74,7 @@ pub mod sink;
 pub mod small;
 pub mod sweep;
 
+pub use bounds::{BoundsMode, LpBounds, MmBounds};
 pub use protocol::{
     recommended_simulator_threads, ExecOptions, Protocol, ProtocolRun, Solution, SweepError,
 };

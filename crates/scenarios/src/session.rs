@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -79,6 +80,12 @@ pub trait BoundProvider: Send + Sync {
     fn eds_bounds(&self, scenario: &Scenario) -> Bounds;
     /// Bounds for the minimum vertex cover objective.
     fn vc_bounds(&self, scenario: &Scenario) -> Bounds;
+    /// A short stable name recorded in every [`SweepRecord`] this
+    /// provider scores (`"exact"`, `"lp"`, `"mm"`, ...), so reports are
+    /// self-describing about where their reference bounds came from.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// The default provider: exact branch-and-bound within the
@@ -125,10 +132,14 @@ impl BoundProvider for ExactBounds {
             lower_bound,
         }
     }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
 }
 
 /// Exact minimum vertex cover size by subset enumeration (small `n`).
-fn exact_min_vertex_cover(scenario: &Scenario) -> usize {
+pub(crate) fn exact_min_vertex_cover(scenario: &Scenario) -> usize {
     let g = &scenario.simple;
     let n = g.node_count();
     assert!(
@@ -162,6 +173,34 @@ fn vertex_cover_violation(scenario: &Scenario, cover: &[NodeId]) -> Option<Strin
 struct Measurement {
     record: SweepRecord,
     solution: Solution,
+}
+
+/// Lazily memoised per-scenario reference bounds. A scenario's bounds
+/// are protocol-independent, so a session queries its provider at most
+/// once per objective per scenario — not once per record — which
+/// matters when the provider runs an exact solver or the LP simplex.
+struct ScenarioBounds<'a> {
+    provider: &'a dyn BoundProvider,
+    eds: OnceCell<Bounds>,
+    vc: OnceCell<Bounds>,
+}
+
+impl<'a> ScenarioBounds<'a> {
+    fn new(provider: &'a dyn BoundProvider) -> Self {
+        ScenarioBounds {
+            provider,
+            eds: OnceCell::new(),
+            vc: OnceCell::new(),
+        }
+    }
+
+    fn eds(&self, scenario: &Scenario) -> Bounds {
+        *self.eds.get_or_init(|| self.provider.eds_bounds(scenario))
+    }
+
+    fn vc(&self, scenario: &Scenario) -> Bounds {
+        *self.vc.get_or_init(|| self.provider.vc_bounds(scenario))
+    }
 }
 
 /// What a session enumerates.
@@ -319,7 +358,9 @@ impl Session {
         scenario: &Scenario,
         protocol: Protocol,
     ) -> Result<SweepRecord, SweepError> {
-        self.measure_one(scenario, protocol).map(|m| m.record)
+        let bounds = ScenarioBounds::new(self.bounds.as_ref());
+        self.measure_one(scenario, protocol, &bounds)
+            .map(|m| m.record)
     }
 
     /// Runs the session, streaming every measurement into `sink` in
@@ -455,10 +496,11 @@ impl Session {
     }
 
     fn measure_scenario(&self, scenario: &Scenario) -> Result<Vec<Measurement>, SweepError> {
+        let bounds = ScenarioBounds::new(self.bounds.as_ref());
         self.protocols
             .iter()
             .filter(|p| p.applicable(scenario))
-            .map(|&p| self.measure_one(scenario, p))
+            .map(|&p| self.measure_one(scenario, p, &bounds))
             .collect()
     }
 
@@ -466,6 +508,7 @@ impl Session {
         &self,
         scenario: &Scenario,
         protocol: Protocol,
+        bounds: &ScenarioBounds<'_>,
     ) -> Result<Measurement, SweepError> {
         let exec = self.exec_for(scenario);
         let run = protocol.execute_with(scenario, &exec)?;
@@ -495,12 +538,11 @@ impl Session {
                         .err()
                         .map(|v| v.to_string()),
                 };
-                (self.bounds.eds_bounds(scenario), violation)
+                (bounds.eds(scenario), violation)
             }
-            Solution::Nodes(cover) => (
-                self.bounds.vc_bounds(scenario),
-                vertex_cover_violation(scenario, cover),
-            ),
+            Solution::Nodes(cover) => {
+                (bounds.vc(scenario), vertex_cover_violation(scenario, cover))
+            }
         };
 
         let ratio = reference
@@ -528,6 +570,7 @@ impl Session {
                 size,
                 optimum: reference.optimum,
                 lower_bound: reference.lower_bound,
+                bounds: self.bounds.name(),
                 bound,
                 ratio,
                 within_bound,
@@ -662,6 +705,49 @@ mod tests {
         // A claimed optimum of 1 proves every protocol out of bounds —
         // the provider's verdict, not the checker's.
         assert!(records.iter().any(|r| r.within_bound == Some(false)));
+    }
+
+    #[test]
+    fn provider_is_queried_once_per_objective_per_scenario() {
+        // Bounds are protocol-independent: however many protocols run
+        // on a scenario, the provider pays for each objective once.
+        #[derive(Clone, Default)]
+        struct Counting {
+            eds: Arc<AtomicUsize>,
+            vc: Arc<AtomicUsize>,
+        }
+        impl BoundProvider for Counting {
+            fn eds_bounds(&self, _s: &Scenario) -> Bounds {
+                self.eds.fetch_add(1, Ordering::Relaxed);
+                Bounds {
+                    optimum: None,
+                    lower_bound: 1,
+                }
+            }
+            fn vc_bounds(&self, _s: &Scenario) -> Bounds {
+                self.vc.fetch_add(1, Ordering::Relaxed);
+                Bounds {
+                    optimum: None,
+                    lower_bound: 1,
+                }
+            }
+        }
+        let counting = Counting::default();
+        let records = Session::new()
+            .specs(vec![ScenarioSpec::new(
+                Family::Petersen,
+                0,
+                PortPolicy::Canonical,
+            )])
+            .bounds(counting.clone())
+            .sequential()
+            .collect()
+            .unwrap();
+        // All six protocols ran (five edge objectives, one vertex cover)
+        // but each objective's bounds were computed exactly once.
+        assert_eq!(records.len(), 6);
+        assert_eq!(counting.eds.load(Ordering::Relaxed), 1);
+        assert_eq!(counting.vc.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -174,8 +174,10 @@ pub struct ProtocolStats {
 pub struct AggregateSink {
     stats: Vec<ProtocolStats>,
     families: Vec<&'static str>,
+    providers: Vec<&'static str>,
     records: usize,
     violations: usize,
+    bound_inversions: usize,
 }
 
 impl AggregateSink {
@@ -197,6 +199,20 @@ impl AggregateSink {
     /// Distinct family keys, in first-appearance order.
     pub fn families(&self) -> &[&'static str] {
         &self.families
+    }
+
+    /// Distinct bound-provider names observed, in first-appearance
+    /// order (a single-provider sweep reports exactly one).
+    pub fn bound_providers(&self) -> &[&'static str] {
+        &self.providers
+    }
+
+    /// Records whose certified lower bound exceeded their claimed
+    /// optimum — an impossible combination for a sound provider, so any
+    /// non-zero count is a bound-provider bug. The `lp-bounds-smoke` CI
+    /// job gates on this staying zero.
+    pub fn bound_inversions(&self) -> usize {
+        self.bound_inversions
     }
 
     /// Per-protocol statistics, in first-appearance order.
@@ -228,6 +244,12 @@ impl RecordSink for AggregateSink {
     fn record(&mut self, record: SweepRecord) {
         if !self.families.contains(&record.family) {
             self.families.push(record.family);
+        }
+        if !self.providers.contains(&record.bounds) {
+            self.providers.push(record.bounds);
+        }
+        if record.optimum.is_some_and(|opt| record.lower_bound > opt) {
+            self.bound_inversions += 1;
         }
         self.records += 1;
         let clean = record.is_clean();
@@ -316,6 +338,7 @@ mod tests {
             size: 6,
             optimum: Some(3),
             lower_bound: 3,
+            bounds: "exact",
             bound: Some((3, 1)),
             ratio: Some(2.0),
             within_bound: Some(clean),
@@ -347,6 +370,8 @@ mod tests {
         assert_eq!(sink.records(), 3);
         assert_eq!(sink.violations(), 1);
         assert_eq!(sink.families(), ["petersen"]);
+        assert_eq!(sink.bound_providers(), ["exact"]);
+        assert_eq!(sink.bound_inversions(), 0);
         let table = sink.render_table();
         assert!(table.contains("port-one"), "{table}");
         assert!(table.contains("2 runs"), "{table}");
@@ -354,6 +379,12 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].certified, 2);
         assert_eq!(stats[1].violations, 1);
+        // An inverted bound (lower bound above the claimed optimum) is
+        // counted as a provider bug.
+        let mut inverted = record("port-one", true);
+        inverted.lower_bound = 9;
+        sink.record(inverted);
+        assert_eq!(sink.bound_inversions(), 1);
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct SweepRecord {
     /// Certified lower bound on the optimum (equals the optimum when the
     /// exact solver ran).
     pub lower_bound: usize,
+    /// Name of the [`crate::BoundProvider`] that supplied `optimum` and
+    /// `lower_bound` (`"exact"`, `"lp"`, `"mm"`, ...), so every report
+    /// is self-describing about its reference bounds.
+    pub bounds: &'static str,
     /// The paper's approximation bound for this protocol on this
     /// instance, as a fraction `(num, den)`; `None` when the paper
     /// claims no bound for the instance class (e.g. Theorem 3 on
@@ -119,7 +123,11 @@ impl SweepRecord {
             }
             None => s.push_str(",\"optimum\":null"),
         }
-        let _ = write!(s, ",\"lower_bound\":{}", self.lower_bound);
+        let _ = write!(
+            s,
+            ",\"lower_bound\":{},\"bounds\":\"{}\"",
+            self.lower_bound, self.bounds
+        );
         match self.bound {
             Some((num, den)) => {
                 let _ = write!(s, ",\"bound\":{:.4}", num as f64 / den as f64);
@@ -229,6 +237,7 @@ mod tests {
             size: 6,
             optimum: Some(3),
             lower_bound: 3,
+            bounds: "exact",
             bound: Some((10, 3)),
             ratio: Some(2.0),
             within_bound: Some(true),
@@ -239,6 +248,7 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.contains("\"scenario\":\"petersen/shuffled/s1\""));
         assert!(line.contains("\"optimum\":3"));
+        assert!(line.contains("\"bounds\":\"exact\""));
         assert!(line.contains("\"bound\":3.3333"));
         assert!(line.contains("\"within_bound\":true"));
         assert!(line.contains("\"violation\":null"));
@@ -273,6 +283,7 @@ mod tests {
             size: 1,
             optimum: Some(1),
             lower_bound: 1,
+            bounds: "exact",
             bound: None,
             ratio: Some(1.0),
             within_bound: None,

@@ -18,7 +18,11 @@
 //! * a record present in the baseline is missing from the current
 //!   report — coverage regressed;
 //! * a record is unclean (feasibility violation or proven bound
-//!   violation) in the current report but clean in the baseline.
+//!   violation) in the current report but clean in the baseline;
+//! * a matched record's certified `lower_bound` **decreased** — bound
+//!   tightness regressed (exact integers, no tolerance): the LP
+//!   provider must never certify less than the baseline did. Increases
+//!   are reported as tightening, never as failures.
 //!
 //! Records only present in the current report (new scenario families,
 //! new protocols) are reported but never fail the diff, so the gate
@@ -159,6 +163,8 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     let mut drifted = 0usize;
     let mut improved = 0usize;
+    let mut loosened = 0usize;
+    let mut tightened = 0usize;
     for (key, base) in &baseline {
         let Some(cur) = current.get(key) else {
             eprintln!(
@@ -171,6 +177,18 @@ fn main() -> ExitCode {
         if base.clean && !cur.clean {
             eprintln!("UNCLEAN  {}/{}: violation introduced", key.0, key.1);
             failures += 1;
+        }
+        // Certified lower bounds are exact integers: any decrease is a
+        // tightness regression, gated without tolerance.
+        if cur.lower_bound < base.lower_bound {
+            eprintln!(
+                "LOOSER   {}/{}: certified lower bound {} -> {}",
+                key.0, key.1, base.lower_bound, cur.lower_bound
+            );
+            failures += 1;
+            loosened += 1;
+        } else if cur.lower_bound > base.lower_bound {
+            tightened += 1;
         }
         let (Some(b), Some(c)) = (base.measure(), cur.measure()) else {
             continue;
@@ -192,7 +210,8 @@ fn main() -> ExitCode {
 
     eprintln!(
         "compared {} baseline records against {} current ({added} new): \
-         {drifted} drifted, {improved} improved, {failures} failures",
+         {drifted} drifted, {improved} improved, bounds {tightened} tightened / \
+         {loosened} loosened, {failures} failures",
         baseline.len(),
         current.len(),
     );
@@ -209,7 +228,8 @@ mod tests {
 
     const LINE: &str = "{\"scenario\":\"petersen/shuffled/s0\",\"family\":\"petersen\",\
         \"policy\":\"shuffled\",\"seed\":0,\"nodes\":10,\"edges\":15,\"protocol\":\"port-one\",\
-        \"rounds\":2,\"messages\":60,\"size\":6,\"optimum\":3,\"lower_bound\":3,\"bound\":3.3333,\
+        \"rounds\":2,\"messages\":60,\"size\":6,\"optimum\":3,\"lower_bound\":3,\
+        \"bounds\":\"lp\",\"bound\":3.3333,\
         \"ratio\":2.0000,\"within_bound\":true,\"violation\":null}";
 
     #[test]
@@ -218,6 +238,8 @@ mod tests {
         assert_eq!(field(LINE, "protocol"), Some("port-one"));
         assert_eq!(field(LINE, "size"), Some("6"));
         assert_eq!(field(LINE, "optimum"), Some("3"));
+        assert_eq!(field(LINE, "lower_bound"), Some("3"));
+        assert_eq!(field(LINE, "bounds"), Some("lp"));
         assert_eq!(field(LINE, "violation"), Some("null"));
         assert_eq!(field(LINE, "missing"), None);
         // Escaped quotes inside string values (external scenario names)

@@ -18,6 +18,10 @@
 //!                        | greedy | exact   (default: adelta)
 //!   --delta <k>          claimed degree bound for adelta/vc3/idmm
 //!   --ports <spec>       canonical | random:<seed> | factorized
+//!   --bounds <provider>  exact | lp | mm — the reference-bound
+//!                        provider scoring the run (default: exact;
+//!                        lp = certified LP dual bounds on instances
+//!                        beyond the exact budget)
 //!   --simulator-threads <n>
 //!                        run the distributed algorithms on n parallel
 //!                        simulator workers (default 1: sequential;
@@ -38,7 +42,7 @@ use std::process::ExitCode;
 use edge_dominating_sets::baselines::{exact, two_approx};
 use edge_dominating_sets::graph::{io, ports, EdgeId, PortNumberedGraph, SimpleGraph};
 use edge_dominating_sets::scenarios::{
-    Protocol, RecordSink, Scenario, Session, Solution, SweepRecord,
+    BoundsMode, Protocol, RecordSink, Scenario, Session, Solution, SweepRecord,
 };
 
 const USAGE: &str = "usage: eds [options] [FILE]
@@ -50,6 +54,11 @@ const USAGE: &str = "usage: eds [options] [FILE]
   --ports <spec>       canonical | random:<seed> | factorized
                        (default: canonical; factorized = the adversarial
                        2-factorised numbering, 2k-regular graphs only)
+  --bounds <provider>  exact | lp | mm (default: exact). Selects the
+                       reference-bound provider scoring the run: lp
+                       certifies tighter LP-relaxation dual bounds on
+                       instances beyond the exact-solver budget, mm uses
+                       the constant-cost matching bounds only
   --simulator-threads <n>
                        run the distributed algorithms on n parallel
                        simulator workers (default 1: sequential engine;
@@ -68,6 +77,7 @@ struct Options {
     algorithm: String,
     delta: Option<usize>,
     ports: String,
+    bounds: BoundsMode,
     simulator_threads: Option<usize>,
     quiet: bool,
     file: Option<String>,
@@ -78,6 +88,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         algorithm: "adelta".to_owned(),
         delta: None,
         ports: "canonical".to_owned(),
+        bounds: BoundsMode::Exact,
         simulator_threads: None,
         quiet: false,
         file: None,
@@ -94,6 +105,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--ports" => {
                 options.ports = it.next().ok_or("--ports needs a value")?.clone();
+            }
+            "--bounds" => {
+                let v = it.next().ok_or("--bounds needs a value")?;
+                options.bounds = BoundsMode::parse(v).ok_or_else(|| {
+                    format!(
+                        "bad --bounds value {v:?} (expected one of {})",
+                        BoundsMode::NAMES.join(", ")
+                    )
+                })?;
             }
             "--simulator-threads" => {
                 let v = it.next().ok_or("--simulator-threads needs a value")?;
@@ -211,7 +231,8 @@ fn run_protocol(
 
     // One input graph, so the session itself stays sequential; node-level
     // parallelism (if requested) belongs to the simulator engine.
-    let mut session = Session::new().sequential().protocols(&[protocol]);
+    let session = Session::new().sequential().protocols(&[protocol]);
+    let (mut session, _lp) = options.bounds.install(session);
     if let Some(delta) = options.delta {
         session = session.delta_hint(delta);
     }
@@ -496,6 +517,27 @@ mod tests {
         }
         let args = vec!["--simulator-threads".to_owned(), "zero".to_owned()];
         assert!(parse_args(&args).is_err(), "non-numeric value rejected");
+    }
+
+    #[test]
+    fn bounds_provider_flag_selects_the_scorer() {
+        // Port-1 selects 8 of C9's 9 edges. The folklore matching bound
+        // (2) cannot certify 8 ≤ 3·2, but the exact optimum and the LP
+        // dual bound (both 3) can — the provider choice is visible in
+        // the verdict, not just accepted and ignored.
+        let cycle9 = "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n7 8\n8 0\n";
+        for (mode, verdict) in [
+            ("exact", "within the 3.00-approximation bound"),
+            ("lp", "within the 3.00-approximation bound"),
+            ("mm", "bound 3.00 not certifiable here"),
+        ] {
+            let o = opts(&["--algorithm", "port1", "--bounds", mode]);
+            let out = run(&o, cycle9).unwrap_or_else(|e| panic!("{mode}: {e}"));
+            let header = out.lines().next().unwrap();
+            assert!(header.contains(verdict), "{mode}: {header}");
+        }
+        let args = vec!["--bounds".to_owned(), "float".to_owned()];
+        assert!(parse_args(&args).is_err(), "unknown provider rejected");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]
-//!                [--simulator-threads N]
+//!                [--simulator-threads N] [--bounds exact|lp|mm]
 //! ```
 //!
 //! * `--smoke` sweeps the fast CI registry instead of the full matrix;
@@ -19,7 +19,22 @@
 //!   parallel simulator engine on `N` pool workers (`1` forces the
 //!   sequential engine). By default each workload decides for itself:
 //!   the registry's million-node specs carry scaled execution defaults,
-//!   everything else runs sequentially.
+//!   everything else runs sequentially;
+//! * `--bounds` selects the reference bound provider: `lp` (exact
+//!   optima within budget, certified LP-relaxation dual bounds beyond,
+//!   each backed by an independently verified `DualCertificate` — the
+//!   default, and the provider of the committed `BENCH_scenarios.json`
+//!   baseline, so regenerate-and-diff works with no flags), `exact`
+//!   (branch and bound within budget, folklore matching bounds
+//!   beyond), or `mm` (matching bounds only, constant cost). Every
+//!   record names its provider in the `bounds` JSON field.
+//!
+//! Under `--bounds lp` two extra gates arm: the process exits non-zero
+//! if any dual certificate fails the independent feasibility check, or
+//! if any record carries a certified lower bound above its exact
+//! optimum (either would be a bound-provider bug — this is the CI
+//! `lp-bounds-smoke` contract). The inversion gate is active for every
+//! provider.
 //!
 //! Nested-parallelism guidance: `--threads` shards *scenarios* across a
 //! session's workers while `--simulator-threads` shards the *nodes* of
@@ -40,18 +55,42 @@
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use edge_dominating_sets::scenarios::{AggregateSink, JsonLinesSink, Registry, Session, Tee};
+use edge_dominating_sets::scenarios::{
+    AggregateSink, BoundsMode, JsonLinesSink, Registry, Session, Tee,
+};
 
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut out = "BENCH_scenarios.json".to_owned();
     let mut threads: Option<usize> = None;
     let mut simulator_threads: Option<usize> = None;
+    // The committed baseline is generated with the LP provider, so the
+    // no-flags sweep regenerates it compatibly.
+    let mut bounds = BoundsMode::Lp;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--sequential" => threads = Some(1),
+            "--bounds" => match args.next() {
+                Some(mode) => match BoundsMode::parse(&mode) {
+                    Some(m) => bounds = m,
+                    None => {
+                        eprintln!(
+                            "unknown --bounds mode {mode:?} (expected one of {})",
+                            BoundsMode::NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "--bounds requires a mode ({})",
+                        BoundsMode::NAMES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => threads = Some(n),
                 None => {
@@ -77,7 +116,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential] \
-                     [--simulator-threads N]"
+                     [--simulator-threads N] [--bounds exact|lp|mm]"
                 );
                 return ExitCode::from(2);
             }
@@ -108,7 +147,9 @@ fn main() -> ExitCode {
         AggregateSink::new(),
     );
 
-    let mut session = Session::over(registry);
+    // In LP mode the returned handle shares the provider's
+    // infeasible-certificate counter, which gates the exit code below.
+    let (mut session, lp) = bounds.install(Session::over(registry));
     if let Some(n) = threads {
         session = session.threads(n);
     }
@@ -130,13 +171,34 @@ fn main() -> ExitCode {
     // compliance, in the spirit of the paper's Table 1.
     eprint!("{}", aggregate.render_table());
     eprintln!(
-        "{} records over {} families -> {out}",
+        "{} records over {} families (bounds: {}) -> {out}",
         aggregate.records(),
-        aggregate.families().len()
+        aggregate.families().len(),
+        aggregate.bound_providers().join("+"),
     );
 
+    let mut failed = false;
     if aggregate.violations() > 0 {
         eprintln!("{} unclean records — failing", aggregate.violations());
+        failed = true;
+    }
+    if aggregate.bound_inversions() > 0 {
+        eprintln!(
+            "{} records with lower_bound > optimum (bound-provider bug) — failing",
+            aggregate.bound_inversions()
+        );
+        failed = true;
+    }
+    if let Some(lp) = &lp {
+        if lp.infeasible_certificates() > 0 {
+            eprintln!(
+                "{} dual certificates failed independent verification — failing",
+                lp.infeasible_certificates()
+            );
+            failed = true;
+        }
+    }
+    if failed {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

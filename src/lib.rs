@@ -27,6 +27,9 @@
 //!   with verified covering maps and known optima;
 //! * [`baselines`] ([`eds_baselines`]) — exact branch-and-bound solvers
 //!   and classical baselines;
+//! * [`lp`] ([`eds_lp`]) — certified LP lower bounds: exact rational
+//!   arithmetic, the matching-seeded simplex for the covering LPs'
+//!   duals, and independently checkable dual certificates;
 //! * [`verify`] ([`eds_verify`]) — structural property checkers;
 //! * [`scenarios`] ([`eds_scenarios`]) — the workload registry and the
 //!   streaming solver service (`Session`/`RecordSink`, sharded across
@@ -57,6 +60,7 @@
 pub use eds_baselines as baselines;
 pub use eds_core as algorithms;
 pub use eds_lower_bounds as lower_bounds;
+pub use eds_lp as lp;
 pub use eds_scenarios as scenarios;
 pub use eds_verify as verify;
 pub use pn_graph as graph;

@@ -12,10 +12,12 @@ use edge_dominating_sets::algorithms::bounded_degree::{
 use edge_dominating_sets::algorithms::port_one::port_one_reference;
 use edge_dominating_sets::algorithms::regular_odd::regular_odd_reference;
 use edge_dominating_sets::baselines::exact::minimum_eds_size;
+use edge_dominating_sets::lp::{eds_dual_certificate, vc_dual_certificate, LpBudget};
 use edge_dominating_sets::prelude::*;
 use edge_dominating_sets::scenarios::{
     small, Family, PortPolicy, RecordSink, ScenarioSpec, Session, SweepRecord,
 };
+use pn_graph::matching::greedy_maximal_matching;
 use pn_graph::ports::{all_port_orders, ports_from_orders};
 
 fn exhaustive_check(g: &SimpleGraph, check: impl Fn(&PortNumberedGraph, usize)) {
@@ -120,6 +122,74 @@ fn bounded_degree_all_numberings_of_triangle_with_tails() {
         let (num, den) = bounded_degree_ratio(3);
         assert!(result.dominating_set.len() as u64 * den <= num * opt as u64);
     });
+}
+
+/// The LP bound sandwich over **every** connected graph with `n ≤ 6`
+/// nodes (all 143 isomorphism classes): the certified LP dual bound
+/// must dominate the folklore matching bound and never exceed the
+/// exact optimum —
+///
+/// ```text
+///     ⌈|MM|/2⌉  ≤  lp_bound  ≤  OPT_eds      (and |MM| ≤ lp ≤ OPT_vc)
+/// ```
+///
+/// with every certificate passing the independent feasibility checker.
+/// The strictness counter documents that the LP is not vacuously equal
+/// to the fallback on this class.
+#[test]
+fn lp_bound_sandwich_on_all_connected_graphs_up_to_six_nodes() {
+    let budget = LpBudget::default();
+    let mut graphs = 0usize;
+    let mut eds_strictly_tighter = 0usize;
+    for n in 1..=6usize {
+        for (index, g) in small::connected(n).iter().enumerate() {
+            graphs += 1;
+            let mm = greedy_maximal_matching(g).len();
+
+            let eds = eds_dual_certificate(g, &budget);
+            eds.verify(g)
+                .unwrap_or_else(|e| panic!("n={n} #{index}: infeasible EDS certificate: {e}"));
+            let opt = minimum_eds_size(g);
+            assert!(
+                mm.div_ceil(2) <= eds.bound && eds.bound <= opt,
+                "n={n} #{index}: EDS sandwich broken: ⌈{mm}/2⌉ ≤ {} ≤ {opt}",
+                eds.bound
+            );
+            if eds.bound > mm.div_ceil(2) {
+                eds_strictly_tighter += 1;
+            }
+
+            let vc = vc_dual_certificate(g, &budget);
+            vc.verify(g)
+                .unwrap_or_else(|e| panic!("n={n} #{index}: infeasible VC certificate: {e}"));
+            let vc_opt = brute_force_min_vertex_cover(g);
+            assert!(
+                mm <= vc.bound && vc.bound <= vc_opt,
+                "n={n} #{index}: VC sandwich broken: {mm} ≤ {} ≤ {vc_opt}",
+                vc.bound
+            );
+        }
+    }
+    assert_eq!(graphs, 143, "the exhaustive enumeration shrank");
+    assert!(
+        eds_strictly_tighter >= 20,
+        "LP strictly tighter than ⌈|MM|/2⌉ on only {eds_strictly_tighter}/143 graphs"
+    );
+}
+
+/// Exact minimum vertex cover by subset enumeration — affordable at
+/// `n ≤ 6` (64 subsets), and independent of the session machinery.
+fn brute_force_min_vertex_cover(g: &SimpleGraph) -> usize {
+    let n = g.node_count();
+    assert!(n <= 16);
+    (0u32..(1 << n))
+        .filter(|mask| {
+            g.edges()
+                .all(|(_, u, v)| mask & (1 << u.index()) != 0 || mask & (1 << v.index()) != 0)
+        })
+        .map(|mask| mask.count_ones() as usize)
+        .min()
+        .unwrap_or(0)
 }
 
 /// The full conformance sweep over **every** connected graph with
