@@ -258,6 +258,33 @@ impl NodeAlgorithm for IdMatchingNode {
             }
         }
     }
+
+    fn corrupt(&mut self, entropy: u64) {
+        // Garble the matching bookkeeping and the learned labels; round 0
+        // re-derives `out_ports` from the real `Ident` exchange before
+        // anything reads them. Two fields stay intact by contract: `id`
+        // (global uniqueness is what makes the forest orientation acyclic)
+        // and `colors` (the Cole–Vishkin step requires a proper colouring
+        // along forest edges — an invariant no single node can re-satisfy
+        // locally, so scrambling it would break `cv_step`'s precondition
+        // rather than model a recoverable fault).
+        if self.degree == 0 {
+            return;
+        }
+        let mut next = pn_runtime::entropy_stream(entropy);
+        for x in &mut self.their_id {
+            *x = next();
+        }
+        self.out_ports = (0..self.degree).filter(|_| next() & 1 == 0).collect();
+        self.matched = next() & 1 == 0;
+        self.matched_port = (next() & 1 == 0).then(|| (next() % self.degree as u64) as usize);
+        self.pending = (next() & 1 == 0).then(|| (next() % self.degree as u64) as usize);
+        self.incoming = (0..self.degree).filter(|_| next() & 1 == 0).collect();
+    }
+
+    fn reset(&mut self) {
+        *self = IdMatchingNode::new(self.delta, self.degree, self.id);
+    }
 }
 
 /// Runs the identifier-model maximal matching on `g` with the given
@@ -376,5 +403,38 @@ mod tests {
     fn duplicate_ids_rejected() {
         let g = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
         let _ = id_matching_distributed(&g, 2, &[1, 1, 2]);
+    }
+
+    #[test]
+    fn corrupt_then_reset_restores_the_initial_state() {
+        let mut node = IdMatchingNode::new(4, 3, 42);
+        let fresh = format!("{node:?}");
+        node.corrupt(0xfeed_cafe);
+        assert_ne!(format!("{node:?}"), fresh, "corruption must change state");
+        node.reset();
+        assert_eq!(format!("{node:?}"), fresh, "reset must restore it");
+    }
+
+    #[test]
+    fn corrupted_epochs_stay_well_defined() {
+        use pn_runtime::{ChurnEvent, ChurnSimulator};
+        let g = ports::shuffled_ports(&generators::petersen(), 4).unwrap();
+        let mut sim = ChurnSimulator::new(&g, |v, d| {
+            IdMatchingNode::new(3, d, v.index() as u64 * 7 + 3)
+        })
+        .unwrap();
+        let burst: Vec<_> = (0..10)
+            .map(|v| ChurnEvent::Corrupt {
+                v: pn_graph::NodeId::new(v),
+                entropy: 0x9e37 ^ (v as u64) << 3,
+            })
+            .collect();
+        sim.apply_burst(&burst).unwrap();
+        let epoch = sim.stabilize().unwrap(); // must complete, never panic
+        assert_eq!(epoch.corrupted, 10);
+        // After the corruption drains, the next epoch converges cleanly.
+        let clean = sim.stabilize().unwrap();
+        let edges = pn_runtime::edge_set_from_outputs(&g, &clean.outputs).unwrap();
+        assert!(is_maximal_matching(&g.to_simple().unwrap(), &edges));
     }
 }

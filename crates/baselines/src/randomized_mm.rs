@@ -37,6 +37,9 @@ pub enum RandMmMsg {
 #[derive(Clone, Debug)]
 pub struct RandMatchingNode {
     degree: usize,
+    /// The construction-time seed, retained so `reset` can re-derive the
+    /// whole initial state.
+    seed: u64,
     rng: u64,
     phases: usize,
     matched: bool,
@@ -55,6 +58,7 @@ impl RandMatchingNode {
     pub fn new(degree: usize, seed: u64, phases: usize) -> Self {
         RandMatchingNode {
             degree,
+            seed,
             rng: seed ^ 0x9e37_79b9_7f4a_7c15,
             phases,
             matched: false,
@@ -185,6 +189,30 @@ impl NodeAlgorithm for RandMatchingNode {
             }
         }
     }
+
+    fn corrupt(&mut self, entropy: u64) {
+        // Everything soft is garbleable: the xorshift state accepts any
+        // word (`next_rand` guards against 0), the matching bookkeeping
+        // is bits, and port references stay < degree. `degree`, `seed`,
+        // and `phases` define the schedule and the reset state.
+        if self.degree == 0 {
+            return;
+        }
+        let mut next = pn_runtime::entropy_stream(entropy);
+        self.rng = next();
+        self.matched = next() & 1 == 0;
+        self.matched_port = (next() & 1 == 0).then(|| (next() % self.degree as u64) as usize);
+        self.proposer_role = next() & 1 == 0;
+        for b in &mut self.neighbor_free {
+            *b = next() & 1 == 0;
+        }
+        self.pending = (next() & 1 == 0).then(|| (next() % self.degree as u64) as usize);
+        self.incoming = (0..self.degree).filter(|_| next() & 1 == 0).collect();
+    }
+
+    fn reset(&mut self) {
+        *self = RandMatchingNode::new(self.degree, self.seed, self.phases);
+    }
 }
 
 /// Runs the randomised matching on `g` with per-node `seeds` for
@@ -303,5 +331,39 @@ mod tests {
         let large = randomized_matching_phases(16 * 1024);
         // 10 extra doublings -> 80 extra phases.
         assert_eq!(large - small, 8 * 10);
+    }
+
+    #[test]
+    fn corrupt_then_reset_restores_the_initial_state() {
+        let mut node = RandMatchingNode::new(3, 99, 7);
+        let fresh = format!("{node:?}");
+        node.corrupt(0xdead_beef);
+        assert_ne!(format!("{node:?}"), fresh, "corruption must change state");
+        node.reset();
+        assert_eq!(format!("{node:?}"), fresh, "reset must restore it");
+    }
+
+    #[test]
+    fn corrupted_epochs_stay_well_defined() {
+        use pn_runtime::{ChurnEvent, ChurnSimulator};
+        let g = ports::shuffled_ports(&generators::petersen(), 2).unwrap();
+        let phases = randomized_matching_phases(10);
+        let s = seeds(10, 11);
+        let mut sim =
+            ChurnSimulator::new(&g, |v, d| RandMatchingNode::new(d, s[v.index()], phases)).unwrap();
+        let burst: Vec<_> = (0..10)
+            .map(|v| ChurnEvent::Corrupt {
+                v: pn_graph::NodeId::new(v),
+                entropy: v as u64 * 77 + 5,
+            })
+            .collect();
+        sim.apply_burst(&burst).unwrap();
+        let epoch = sim.stabilize().unwrap(); // must complete, never panic
+        assert_eq!(epoch.corrupted, 10);
+        // The queue drains: the next epoch is the clean baseline again.
+        let clean = sim.stabilize().unwrap();
+        assert_eq!(clean.corrupted, 0);
+        let edges = pn_runtime::edge_set_from_outputs(&g, &clean.outputs).unwrap();
+        assert!(is_maximal_matching(&g.to_simple().unwrap(), &edges));
     }
 }

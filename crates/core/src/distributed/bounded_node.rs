@@ -416,6 +416,38 @@ impl NodeAlgorithm for BoundedDegreeNode {
             }
         }
     }
+
+    fn corrupt(&mut self, entropy: u64) {
+        // Garble every soft field within its safe range: learned labels
+        // (`their_port`/`their_degree`) are only compared, claims and
+        // membership bits are free flips, and every port reference
+        // (`eligible`, `pending`, `incoming`) stays < degree so the
+        // proposal machinery cannot index out of bounds. `delta` and
+        // `degree` define the `A(Δ)` schedule and stay intact.
+        if self.degree == 0 {
+            return;
+        }
+        let mut next = pn_runtime::entropy_stream(entropy);
+        for q in 0..self.degree {
+            self.their_port[q] = (next() % (self.delta as u64 + 1)) as u32;
+            self.their_degree[q] = (next() % (self.delta as u64 + 1)) as u32;
+            self.my_claim[q] = next() & 1 == 0;
+            self.their_claim[q] = next() & 1 == 0;
+            self.in_m[q] = next() & 1 == 0;
+            self.in_p[q] = next() & 1 == 0;
+        }
+        self.covered_m = next() & 1 == 0;
+        self.eligible = (0..self.degree).filter(|_| next() & 1 == 0).collect();
+        self.cursor = (next() % (self.degree as u64 + 1)) as usize;
+        self.pending = (next() & 1 == 0).then(|| (next() % self.degree as u64) as usize);
+        self.incoming = (0..self.degree).filter(|_| next() & 1 == 0).collect();
+        self.proposer_done = next() & 1 == 0;
+        self.acceptor_done = next() & 1 == 0;
+    }
+
+    fn reset(&mut self) {
+        *self = BoundedDegreeNode::new(self.delta, self.degree);
+    }
 }
 
 /// Runs the distributed `A(Δ)` protocol on `g` and returns the edge
@@ -547,5 +579,35 @@ mod tests {
                 other => panic!("last round is {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn corrupt_then_reset_restores_the_initial_state() {
+        let mut node = BoundedDegreeNode::new(5, 4);
+        let fresh = format!("{node:?}");
+        node.corrupt(0x5eed_1e55);
+        assert_ne!(format!("{node:?}"), fresh, "corruption must change state");
+        node.reset();
+        assert_eq!(format!("{node:?}"), fresh, "reset must restore it");
+    }
+
+    #[test]
+    fn corrupted_epochs_stay_well_defined() {
+        use pn_runtime::{ChurnEvent, ChurnSimulator};
+        let g = ports::shuffled_ports(&generators::petersen(), 9).unwrap();
+        let mut sim = ChurnSimulator::new(&g, |_, d| BoundedDegreeNode::new(3, d)).unwrap();
+        let burst: Vec<_> = (0..10)
+            .map(|v| ChurnEvent::Corrupt {
+                v: pn_graph::NodeId::new(v),
+                entropy: v as u64 * 31 + 7,
+            })
+            .collect();
+        sim.apply_burst(&burst).unwrap();
+        let epoch = sim.stabilize().unwrap(); // must complete, never panic
+        assert_eq!(epoch.corrupted, 10);
+        // Once the corruption drains, the next epoch dominates again.
+        let clean = sim.stabilize().unwrap();
+        let edges = pn_runtime::edge_set_from_outputs(&g, &clean.outputs).unwrap();
+        assert!(crate::bounded_degree::dominates_all_edges(&g, &edges));
     }
 }

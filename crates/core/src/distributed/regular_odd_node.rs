@@ -198,6 +198,27 @@ impl NodeAlgorithm for RegularOddNode {
         }
         None
     }
+
+    fn corrupt(&mut self, entropy: u64) {
+        // All soft state is flippable: `their_port` values are only ever
+        // compared in `edge_in_mij`, claims and `in_d` are plain bits,
+        // and no receive path indexes by them. The schedule parameter
+        // `degree` stays intact.
+        let mut next = pn_runtime::entropy_stream(entropy);
+        for p in &mut self.their_port {
+            *p = (next() % (self.degree as u64 + 1)) as u32;
+        }
+        for q in 0..self.degree {
+            self.my_claim[q] = next() & 1 == 0;
+            self.their_claim[q] = next() & 1 == 0;
+            self.in_d[q] = next() & 1 == 0;
+        }
+        self.covered = next() & 1 == 0;
+    }
+
+    fn reset(&mut self) {
+        *self = RegularOddNode::new(self.degree);
+    }
 }
 
 /// Runs the distributed Theorem 4 protocol on `g` and returns the edge
@@ -305,5 +326,31 @@ mod tests {
         let run = Simulator::new(&pg).run(RegularOddNode::new).unwrap();
         assert_eq!(run.rounds, 1);
         assert!(run.outputs.iter().all(PortSet::is_empty));
+    }
+
+    #[test]
+    fn corrupt_then_reset_restores_the_initial_state() {
+        let mut node = RegularOddNode::new(3);
+        let fresh = format!("{node:?}");
+        node.corrupt(0xabad_1dea);
+        assert_ne!(format!("{node:?}"), fresh, "corruption must change state");
+        node.reset();
+        assert_eq!(format!("{node:?}"), fresh, "reset must restore it");
+    }
+
+    #[test]
+    fn corrupted_epochs_stay_well_defined() {
+        use pn_runtime::{ChurnEvent, ChurnSimulator};
+        let g = ports::shuffled_ports(&generators::petersen(), 5).unwrap();
+        let mut sim = ChurnSimulator::new(&g, |_, d| RegularOddNode::new(d)).unwrap();
+        let burst: Vec<_> = (0..10)
+            .map(|v| ChurnEvent::Corrupt {
+                v: pn_graph::NodeId::new(v),
+                entropy: v as u64 * 53 + 29,
+            })
+            .collect();
+        sim.apply_burst(&burst).unwrap();
+        let epoch = sim.stabilize().unwrap(); // must complete, never panic
+        assert_eq!(epoch.corrupted, 10);
     }
 }

@@ -27,7 +27,10 @@
 //!   executable on concrete instances;
 //! * [`vertex_cover`] — the Polishchuk–Suomela local 3-approximation for
 //!   vertex cover (reference \[21\]), whose 2-matching machinery Phase III
-//!   reuses.
+//!   reuses;
+//! * [`repair`] — incremental witness repair under churn: local rules that
+//!   restore maximal matchings, edge dominating sets and vertex covers
+//!   after dynamic-graph events, with round/message accounting.
 //!
 //! # Quick start
 //!
@@ -58,4 +61,5 @@ pub mod labels;
 pub mod port_one;
 pub mod proposals;
 pub mod regular_odd;
+pub mod repair;
 pub mod vertex_cover;

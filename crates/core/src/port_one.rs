@@ -85,6 +85,10 @@ impl NodeAlgorithm for PortOneNode {
         Ok(())
     }
 
+    // `corrupt`/`reset` keep the trait's no-op defaults: the node's only
+    // field is its degree, which is structural — a stateless one-round
+    // protocol is trivially self-stabilizing.
+
     fn receive(&mut self, _round: usize, inbox: &[Option<Self::Message>]) -> Option<Self::Output> {
         let mut x = PortSet::new();
         if self.degree >= 1 {

@@ -1,0 +1,461 @@
+//! Incremental repair of solution witnesses under churn.
+//!
+//! When the topology changes (edge insert/delete, crash, join) or a node's
+//! stored output is corrupted, re-running a protocol from scratch costs its
+//! full round schedule. The paper's structures are *local*, though: a
+//! maximal matching, an edge dominating set, or a vertex cover damaged at a
+//! few nodes can be repaired by rules that only inspect the neighbourhoods
+//! of the damaged region. This module implements those rules on
+//! *witnesses* — topology-independent descriptions of a solution — so the
+//! churn harness can measure recovery cost separately from protocol cost.
+//!
+//! Witnesses use node identities rather than [`pn_graph::EdgeId`]s because
+//! edge identifiers are not stable across mutations: an edge set is a
+//! `BTreeSet<(usize, usize)>` of normalised endpoint pairs, a node set a
+//! `BTreeSet<usize>`. All rules are deterministic (processing in ascending
+//! node order), so repaired witnesses are reproducible bit-for-bit.
+//!
+//! Accounting mirrors the message-passing model: each *round* is one
+//! synchronous pass of a local rule over the damaged frontier, and each
+//! scan of a node's neighbourhood costs `deg(v)` *messages*. For a single
+//! edge event the frontier has constant size, so repair takes `O(1)` rounds
+//! — the bound the `churn_sweep` smoke gate asserts.
+
+use std::collections::BTreeSet;
+
+use pn_graph::{NodeId, SimpleGraph};
+
+/// An edge witness: normalised `(min, max)` endpoint pairs.
+pub type EdgeWitness = BTreeSet<(usize, usize)>;
+
+/// A node witness (e.g. a vertex cover).
+pub type NodeWitness = BTreeSet<usize>;
+
+/// Normalises an endpoint pair for storage in an [`EdgeWitness`].
+#[must_use]
+pub fn edge_key(u: usize, v: usize) -> (usize, usize) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Cost and damage accounting for one repair invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Synchronous local-rule passes until the witness was feasible again.
+    pub rounds: usize,
+    /// Neighbourhood scans, charged `deg(v)` per scanned node per pass.
+    pub messages: usize,
+    /// Violations present at the quiescence point *before* repair:
+    /// ghost/conflicting witness entries plus uncovered edges discovered
+    /// while patching.
+    pub transient_violations: usize,
+}
+
+/// Repairs `witness` into a maximal matching of `g`.
+///
+/// Drops entries that are no longer edges of `g` (ghosts) or that share an
+/// endpoint with an earlier entry (conflicts, e.g. after corruption), then
+/// greedily re-matches the freed and `touched` nodes against their
+/// lowest-indexed free neighbours. If the witness was a maximal matching
+/// before the damage and `touched` contains every endpoint of inserted or
+/// deleted edges plus *both* endpoints of any pair removed externally
+/// (e.g. both ends of a pair wiped by corruption — the freed partner must
+/// be rescanned too), the result is again a maximal matching of `g`.
+pub fn repair_maximal_matching(
+    g: &SimpleGraph,
+    witness: &mut EdgeWitness,
+    touched: &NodeWitness,
+) -> RepairOutcome {
+    let n = g.node_count();
+    let mut outcome = RepairOutcome::default();
+    let mut mate: Vec<Option<usize>> = vec![None; n];
+    let mut drops: Vec<(usize, usize)> = Vec::new();
+    for &(u, v) in witness.iter() {
+        let ghost = u >= n || v >= n || !g.has_edge(NodeId::new(u), NodeId::new(v));
+        if ghost || mate[u].is_some() || mate[v].is_some() {
+            drops.push((u, v));
+        } else {
+            mate[u] = Some(v);
+            mate[v] = Some(u);
+        }
+    }
+    let mut frontier: BTreeSet<usize> = touched.iter().copied().filter(|&v| v < n).collect();
+    outcome.transient_violations += drops.len();
+    for (u, v) in drops {
+        witness.remove(&(u, v));
+        if u < n {
+            frontier.insert(u);
+        }
+        if v < n {
+            frontier.insert(v);
+        }
+    }
+    if frontier.is_empty() {
+        return outcome;
+    }
+    // One synchronous pass over the frontier restores maximality: matchings
+    // only grow, so a node left free after its scan has no free neighbour.
+    outcome.rounds = 1;
+    let mut matched_any = false;
+    for &u in &frontier {
+        if mate[u].is_some() {
+            continue;
+        }
+        let neighbours = g.neighbors(NodeId::new(u));
+        outcome.messages += neighbours.len();
+        let candidate = neighbours
+            .iter()
+            .map(|&(v, _)| v.index())
+            .filter(|&v| mate[v].is_none())
+            .min();
+        if let Some(v) = candidate {
+            mate[u] = Some(v);
+            mate[v] = Some(u);
+            witness.insert(edge_key(u, v));
+            outcome.transient_violations += 1; // the edge {u, v} was uncovered
+            matched_any = true;
+        }
+    }
+    if matched_any {
+        // A verification pass that observes quiescence.
+        outcome.rounds += 1;
+    }
+    outcome
+}
+
+/// Repairs `witness` into an edge dominating set of `g`.
+///
+/// Drops ghost entries, then scans the `touched` nodes and the endpoints of
+/// dropped entries: every incident edge with neither endpoint covered by a
+/// witness edge is added to the witness. Locality is sound because an edge
+/// can only lose domination when a witness edge at one of its endpoints is
+/// dropped, or when the edge itself is newly inserted — both put an
+/// endpoint on the scanned frontier.
+pub fn repair_edge_dominating(
+    g: &SimpleGraph,
+    witness: &mut EdgeWitness,
+    touched: &NodeWitness,
+) -> RepairOutcome {
+    let n = g.node_count();
+    let mut outcome = RepairOutcome::default();
+    let mut drops: Vec<(usize, usize)> = Vec::new();
+    for &(u, v) in witness.iter() {
+        if u >= n || v >= n || !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+            drops.push((u, v));
+        }
+    }
+    let mut frontier: BTreeSet<usize> = touched.iter().copied().filter(|&v| v < n).collect();
+    outcome.transient_violations += drops.len();
+    for (u, v) in drops {
+        witness.remove(&(u, v));
+        if u < n {
+            frontier.insert(u);
+        }
+        if v < n {
+            frontier.insert(v);
+        }
+    }
+    if frontier.is_empty() {
+        return outcome;
+    }
+    let mut covered = vec![false; n];
+    for &(u, v) in witness.iter() {
+        covered[u] = true;
+        covered[v] = true;
+    }
+    outcome.rounds = 1;
+    let mut added_any = false;
+    for &u in &frontier {
+        let neighbours = g.neighbors(NodeId::new(u));
+        outcome.messages += neighbours.len();
+        for &(v, _) in neighbours {
+            let v = v.index();
+            if !covered[u] && !covered[v] {
+                witness.insert(edge_key(u, v));
+                covered[u] = true;
+                covered[v] = true;
+                outcome.transient_violations += 1; // {u, v} was undominated
+                added_any = true;
+            }
+        }
+    }
+    if added_any {
+        outcome.rounds += 1;
+    }
+    outcome
+}
+
+/// Repairs `cover` into a vertex cover of `g`.
+///
+/// Drops out-of-range entries, then scans the `touched` nodes: for every
+/// incident edge with neither endpoint in the cover, *both* endpoints are
+/// added (the classic 2-approximate patching rule, which keeps the
+/// maintained cover within a constant factor).
+pub fn repair_vertex_cover(
+    g: &SimpleGraph,
+    cover: &mut NodeWitness,
+    touched: &NodeWitness,
+) -> RepairOutcome {
+    let n = g.node_count();
+    let mut outcome = RepairOutcome::default();
+    let ghosts: Vec<usize> = cover.iter().copied().filter(|&v| v >= n).collect();
+    outcome.transient_violations += ghosts.len();
+    for v in ghosts {
+        cover.remove(&v);
+    }
+    let frontier: BTreeSet<usize> = touched.iter().copied().filter(|&v| v < n).collect();
+    if frontier.is_empty() {
+        return outcome;
+    }
+    outcome.rounds = 1;
+    let mut added_any = false;
+    for &u in &frontier {
+        let neighbours = g.neighbors(NodeId::new(u));
+        outcome.messages += neighbours.len();
+        for &(v, _) in neighbours {
+            let v = v.index();
+            if !cover.contains(&u) && !cover.contains(&v) {
+                cover.insert(u);
+                cover.insert(v);
+                outcome.transient_violations += 1; // {u, v} was uncovered
+                added_any = true;
+            }
+        }
+    }
+    if added_any {
+        outcome.rounds += 1;
+    }
+    outcome
+}
+
+/// Checks that `witness` is a matching of `g` (pairwise disjoint edges).
+#[must_use]
+pub fn is_matching_witness(g: &SimpleGraph, witness: &EdgeWitness) -> bool {
+    let n = g.node_count();
+    let mut used = vec![false; n];
+    for &(u, v) in witness.iter() {
+        if u >= n || v >= n || !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+            return false;
+        }
+        if used[u] || used[v] {
+            return false;
+        }
+        used[u] = true;
+        used[v] = true;
+    }
+    true
+}
+
+/// Checks that `witness` is maximal: no edge of `g` has both endpoints free.
+#[must_use]
+pub fn is_maximal_witness(g: &SimpleGraph, witness: &EdgeWitness) -> bool {
+    let n = g.node_count();
+    let mut used = vec![false; n];
+    for &(u, v) in witness.iter() {
+        if u < n {
+            used[u] = true;
+        }
+        if v < n {
+            used[v] = true;
+        }
+    }
+    g.edges()
+        .all(|(_, u, v)| used[u.index()] || used[v.index()])
+}
+
+/// Checks that `witness` dominates every edge of `g` and consists of edges
+/// of `g`.
+#[must_use]
+pub fn is_dominating_witness(g: &SimpleGraph, witness: &EdgeWitness) -> bool {
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    for &(u, v) in witness.iter() {
+        if u >= n || v >= n || !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+            return false;
+        }
+        covered[u] = true;
+        covered[v] = true;
+    }
+    g.edges()
+        .all(|(_, u, v)| covered[u.index()] || covered[v.index()])
+}
+
+/// Checks that `cover` is a vertex cover of `g`.
+#[must_use]
+pub fn is_cover_witness(g: &SimpleGraph, cover: &NodeWitness) -> bool {
+    g.edges()
+        .all(|(_, u, v)| cover.contains(&u.index()) || cover.contains(&v.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::generators;
+
+    fn matching_witness(g: &SimpleGraph) -> EdgeWitness {
+        // Greedy maximal matching, ascending edge order.
+        let mut used = vec![false; g.node_count()];
+        let mut w = EdgeWitness::new();
+        for (_, u, v) in g.edges() {
+            if !used[u.index()] && !used[v.index()] {
+                used[u.index()] = true;
+                used[v.index()] = true;
+                w.insert(edge_key(u.index(), v.index()));
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn static_graph_needs_no_repair() {
+        let g = generators::petersen();
+        let mut w = matching_witness(&g);
+        let before = w.clone();
+        let outcome = repair_maximal_matching(&g, &mut w, &NodeWitness::new());
+        assert_eq!(outcome, RepairOutcome::default());
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn edge_insertion_is_repaired_locally() {
+        let mut g = generators::cycle(8).unwrap();
+        let mut w = matching_witness(&g);
+        assert!(is_maximal_witness(&g, &w));
+        // A chord between two matched nodes needs no new matching edge; a
+        // chord between the two free nodes does.
+        let free: Vec<usize> = (0..8)
+            .filter(|&v| !w.iter().any(|&(a, b)| a == v || b == v))
+            .collect();
+        if free.len() >= 2 {
+            g.add_edge_ids(free[0], free[1]).unwrap();
+            let touched: NodeWitness = [free[0], free[1]].into_iter().collect();
+            let outcome = repair_maximal_matching(&g, &mut w, &touched);
+            assert!(outcome.rounds <= 2);
+            assert!(outcome.transient_violations >= 1);
+        }
+        assert!(is_matching_witness(&g, &w));
+        assert!(is_maximal_witness(&g, &w));
+    }
+
+    #[test]
+    fn ghost_entries_are_dropped_and_endpoints_rematched() {
+        let g = generators::cycle(6).unwrap();
+        let mut w = matching_witness(&g);
+        // Simulate a deleted edge by injecting a pair that is not in g.
+        w.insert(edge_key(0, 3));
+        let outcome = repair_maximal_matching(&g, &mut w, &NodeWitness::new());
+        assert!(outcome.transient_violations >= 1);
+        assert!(is_matching_witness(&g, &w));
+        assert!(is_maximal_witness(&g, &w));
+    }
+
+    #[test]
+    fn corruption_scramble_recovers_matching() {
+        let g = generators::random_bounded_degree(20, 4, 0.7, 11).unwrap();
+        let mut w = matching_witness(&g);
+        // Corruption at node 0..5: their stored pairs vanish. The contract
+        // requires `touched` to include every endpoint of an externally
+        // dropped pair — the freed partners, not just the corrupted nodes.
+        let corrupted: NodeWitness = (0..5).collect();
+        let mut touched = corrupted.clone();
+        w.retain(|&(u, v)| {
+            let keep = !corrupted.contains(&u) && !corrupted.contains(&v);
+            if !keep {
+                touched.insert(u);
+                touched.insert(v);
+            }
+            keep
+        });
+        let outcome = repair_maximal_matching(&g, &mut w, &touched);
+        assert!(outcome.rounds <= 2, "local repair is O(1) rounds");
+        assert!(is_matching_witness(&g, &w));
+        assert!(is_maximal_witness(&g, &w));
+        assert!(outcome.messages > 0);
+    }
+
+    #[test]
+    fn dominating_witness_repair_covers_new_edges() {
+        let mut g = generators::grid(4, 4).unwrap();
+        let mut w = matching_witness(&g); // maximal matching dominates
+        assert!(is_dominating_witness(&g, &w));
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(NodeId::new(0), a).unwrap();
+        let touched: NodeWitness = [0, a.index(), b.index()].into_iter().collect();
+        let outcome = repair_edge_dominating(&g, &mut w, &touched);
+        assert!(outcome.transient_violations >= 1);
+        assert!(outcome.rounds <= 2);
+        assert!(is_dominating_witness(&g, &w));
+    }
+
+    #[test]
+    fn dominating_witness_repair_after_deletion() {
+        let g = generators::cycle(9).unwrap();
+        let mut w = EdgeWitness::new();
+        w.insert(edge_key(0, 1));
+        w.insert(edge_key(3, 4));
+        w.insert(edge_key(6, 7));
+        assert!(is_dominating_witness(&g, &w));
+        // Pretend {3,4} was deleted from an earlier graph: ghost entry.
+        w.remove(&edge_key(3, 4));
+        w.insert(edge_key(3, 5)); // not an edge of the cycle → ghost
+        let touched: NodeWitness = [3, 5].into_iter().collect();
+        let outcome = repair_edge_dominating(&g, &mut w, &touched);
+        assert!(outcome.transient_violations >= 1);
+        assert!(is_dominating_witness(&g, &w));
+    }
+
+    #[test]
+    fn vertex_cover_repair_patches_uncovered_edges() {
+        let mut g = generators::star(5).unwrap();
+        let mut c: NodeWitness = [0].into_iter().collect(); // hub covers all
+        assert!(is_cover_witness(&g, &c));
+        let v = g.add_node();
+        g.add_edge_ids(1, v.index()).unwrap();
+        let touched: NodeWitness = [1, v.index()].into_iter().collect();
+        let outcome = repair_vertex_cover(&g, &mut c, &touched);
+        assert_eq!(outcome.transient_violations, 1);
+        assert!(is_cover_witness(&g, &c));
+        // The patch adds both endpoints (2-approximate rule).
+        assert!(c.contains(&1) && c.contains(&v.index()));
+    }
+
+    #[test]
+    fn vertex_cover_repair_after_corruption() {
+        let g = generators::random_bounded_degree(16, 4, 0.8, 3).unwrap();
+        let mut c: NodeWitness = (0..16).collect(); // trivially a cover
+                                                    // Corruption wipes membership at half the nodes.
+        for v in 0..8 {
+            c.remove(&v);
+        }
+        let touched: NodeWitness = (0..8).collect();
+        let outcome = repair_vertex_cover(&g, &mut c, &touched);
+        assert!(outcome.rounds <= 2);
+        assert!(is_cover_witness(&g, &c));
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let g = generators::random_bounded_degree(24, 5, 0.6, 7).unwrap();
+        let make = || {
+            let mut w = matching_witness(&g);
+            let corrupted: NodeWitness = [2, 9, 17].into_iter().collect();
+            let mut touched = corrupted.clone();
+            w.retain(|&(u, v)| {
+                let keep = !corrupted.contains(&u) && !corrupted.contains(&v);
+                if !keep {
+                    touched.insert(u);
+                    touched.insert(v);
+                }
+                keep
+            });
+            let outcome = repair_maximal_matching(&g, &mut w, &touched);
+            (w, outcome)
+        };
+        assert_eq!(make(), make());
+    }
+}

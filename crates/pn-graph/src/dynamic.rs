@@ -1,0 +1,366 @@
+//! A mutable port-numbered topology for dynamic-graph (churn) runs.
+//!
+//! [`crate::PortNumberedGraph`] is deliberately immutable: its flat slot
+//! arena, routing table, and derived edge list are what make the
+//! simulator's round loop allocation-free, and none of them survive an
+//! edge mutation cheaply. [`DynamicTopology`] is the mutable counterpart
+//! the fault-injection harness edits between protocol epochs: a plain
+//! adjacency-with-ports structure supporting edge insertion/deletion,
+//! node joins, and crash isolation, which [`DynamicTopology::freeze`]s
+//! back into a fully validated `PortNumberedGraph` whenever a protocol
+//! needs to run.
+//!
+//! # Port semantics under mutation
+//!
+//! Ports are assigned **densely in arrival order**: inserting an edge
+//! appends a new highest-numbered port at both endpoints; deleting one
+//! moves each endpoint's highest port into the vacated slot (a
+//! swap-remove) so degrees stay equal to port counts with no holes. Port
+//! numbers are therefore *not* stable across deletions — which is the
+//! honest model: the paper's algorithms may depend on port numbers
+//! arbitrarily, and a topology change is exactly an adversarial
+//! renumbering of the affected nodes. Protocols restarted after a churn
+//! event must re-converge from the new numbering; nothing in this module
+//! tries to preserve the old one.
+//!
+//! The structure maintains **simple** topologies only: self-loops and
+//! parallel edges are rejected with the same structured errors as
+//! [`crate::SimpleGraph`]. (The multigraph covers of the lower-bound
+//! machinery never churn.)
+
+use crate::{Endpoint, GraphError, NodeId, Port, PortNumberedGraph};
+
+/// A mutable simple topology with dense per-node port assignments.
+///
+/// See the [module docs](self) for the mutation semantics.
+///
+/// # Examples
+///
+/// ```
+/// use pn_graph::{DynamicTopology, NodeId};
+/// # fn main() -> Result<(), pn_graph::GraphError> {
+/// let mut t = DynamicTopology::new(3);
+/// t.insert_edge(NodeId::new(0), NodeId::new(1))?;
+/// t.insert_edge(NodeId::new(1), NodeId::new(2))?;
+/// t.delete_edge(NodeId::new(0), NodeId::new(1))?;
+/// let g = t.freeze()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynamicTopology {
+    /// `ports[v][i]` is the peer endpoint wired to port `i + 1` of `v`.
+    ports: Vec<Vec<Endpoint>>,
+}
+
+impl DynamicTopology {
+    /// An edgeless topology on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynamicTopology {
+            ports: vec![Vec::new(); n],
+        }
+    }
+
+    /// Copies the wiring of an existing port-numbered graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotSimple`] if `g` has loops of either kind
+    /// — the dynamic layer maintains simple topologies only.
+    pub fn from_graph(g: &PortNumberedGraph) -> Result<Self, GraphError> {
+        let mut ports = Vec::with_capacity(g.node_count());
+        for v in g.nodes() {
+            let mut row = Vec::with_capacity(g.degree(v));
+            for i in 0..g.degree(v) {
+                let peer = g.connection(Endpoint::new(v, Port::from_index(i)));
+                if peer.node == v {
+                    return Err(GraphError::NotSimple {
+                        detail: format!("loop at node {v}"),
+                    });
+                }
+                row.push(peer);
+            }
+            ports.push(row);
+        }
+        Ok(DynamicTopology { ports })
+    }
+
+    /// Number of nodes (including isolated ones).
+    pub fn node_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.ports.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Current degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v.index()].len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.ports.len() && self.ports[u.index()].iter().any(|peer| peer.node == v)
+    }
+
+    /// Appends a fresh isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.ports.push(Vec::new());
+        NodeId::new(self.ports.len() - 1)
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() >= self.ports.len() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                nodes: self.ports.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Inserts the edge `{u, v}`, appending a new highest port at each
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] for an unknown node,
+    /// [`GraphError::LoopNotAllowed`] if `u == v`, and
+    /// [`GraphError::ParallelEdge`] if the edge already exists.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::LoopNotAllowed { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        let pu = Port::from_index(self.ports[u.index()].len());
+        let pv = Port::from_index(self.ports[v.index()].len());
+        self.ports[u.index()].push(Endpoint::new(v, pv));
+        self.ports[v.index()].push(Endpoint::new(u, pu));
+        Ok(())
+    }
+
+    /// Unwires port `i` of `v` by swap-remove: the node's highest port
+    /// moves into slot `i` and its peer is re-pointed at the new number.
+    /// The peer of the *removed* port is left untouched (the caller
+    /// removes it separately).
+    fn remove_port(&mut self, v: NodeId, i: usize) {
+        let row = &mut self.ports[v.index()];
+        let last = row.len() - 1;
+        row.swap_remove(i);
+        if i < last {
+            // The moved port kept its peer; tell the peer the new number.
+            let moved_peer = self.ports[v.index()][i];
+            self.ports[moved_peer.node.index()][moved_peer.port.index()] =
+                Endpoint::new(v, Port::from_index(i));
+        }
+    }
+
+    /// Deletes the edge `{u, v}`. Each endpoint's highest-numbered port
+    /// is swap-removed into the vacated slot, so the surviving ports of
+    /// `u` and `v` are renumbered (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] for an unknown node, or
+    /// [`GraphError::InvalidParameter`] if the edge does not exist.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let Some(i) = self.ports[u.index()].iter().position(|peer| peer.node == v) else {
+            return Err(GraphError::InvalidParameter {
+                detail: format!("edge {{{u}, {v}}} does not exist"),
+            });
+        };
+        let j = self.ports[u.index()][i].port.index();
+        // Removing (u, i) can move u's highest port down and re-point its
+        // peer entry — never (v, j): (v, j)'s peer is (u, i), and the
+        // moved port is u's old highest, distinct from i.
+        self.remove_port(u, i);
+        self.remove_port(v, j);
+        Ok(())
+    }
+
+    /// Crashes `v`: deletes every incident edge, leaving the node in
+    /// place with degree 0. Returns the former neighbours (the nodes a
+    /// repair pass must revisit), in the port order they occupied.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] for an unknown node.
+    pub fn isolate(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        self.check_node(v)?;
+        let neighbors: Vec<NodeId> = self.ports[v.index()].iter().map(|p| p.node).collect();
+        for &u in &neighbors {
+            self.delete_edge(v, u)?;
+        }
+        Ok(neighbors)
+    }
+
+    /// The current neighbours of `v`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.ports[v.index()].iter().map(|p| p.node)
+    }
+
+    /// Snapshots the current topology into a validated
+    /// [`PortNumberedGraph`] — the form a protocol epoch runs on. The
+    /// flat involution is rebuilt from the port lists and passes through
+    /// [`PortNumberedGraph::from_involution`], so a wiring bug in the
+    /// mutable layer surfaces as a structured error here, never as a
+    /// misrouted message inside the simulator.
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`PortNumberedGraph::from_involution`]
+    /// (unreachable while the mutation invariants hold).
+    pub fn freeze(&self) -> Result<PortNumberedGraph, GraphError> {
+        let degrees: Vec<u32> = self.ports.iter().map(|row| row.len() as u32).collect();
+        let involution: Vec<Endpoint> = self.ports.iter().flatten().copied().collect();
+        let g = PortNumberedGraph::from_involution(degrees, involution)?;
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, ports};
+
+    fn petersen_topology() -> DynamicTopology {
+        let g = ports::canonical_ports(&generators::petersen()).unwrap();
+        DynamicTopology::from_graph(&g).unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_static_graph() {
+        let g = ports::shuffled_ports(&generators::petersen(), 3).unwrap();
+        let t = DynamicTopology::from_graph(&g).unwrap();
+        let frozen = t.freeze().unwrap();
+        assert_eq!(frozen, g);
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity_on_the_edge_set() {
+        let mut t = petersen_topology();
+        let before = t.freeze().unwrap().to_simple().unwrap();
+        let (u, v) = (NodeId::new(0), NodeId::new(7));
+        assert!(!t.has_edge(u, v));
+        t.insert_edge(u, v).unwrap();
+        assert!(t.has_edge(u, v) && t.has_edge(v, u));
+        t.delete_edge(v, u).unwrap();
+        let after = t.freeze().unwrap().to_simple().unwrap();
+        for a in before.nodes() {
+            for b in before.nodes() {
+                assert_eq!(before.has_edge(a, b), after.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn delete_renumbers_densely_and_freeze_validates() {
+        // Star: deleting the centre's port 1 moves its highest port down.
+        let mut t = DynamicTopology::new(5);
+        for leaf in 1..5 {
+            t.insert_edge(NodeId::new(0), NodeId::new(leaf)).unwrap();
+        }
+        t.delete_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(t.degree(NodeId::new(0)), 3);
+        assert_eq!(t.degree(NodeId::new(1)), 0);
+        let g = t.freeze().unwrap();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn isolate_reports_the_neighbors() {
+        let mut t = petersen_topology();
+        let hit = t.isolate(NodeId::new(0)).unwrap();
+        assert_eq!(hit.len(), 3);
+        assert_eq!(t.degree(NodeId::new(0)), 0);
+        for u in hit {
+            assert_eq!(t.degree(u), 2);
+        }
+        assert_eq!(t.freeze().unwrap().edge_count(), 12);
+    }
+
+    #[test]
+    fn join_attaches_fresh_nodes() {
+        let mut t = petersen_topology();
+        let v = t.add_node();
+        assert_eq!(v.index(), 10);
+        t.insert_edge(v, NodeId::new(2)).unwrap();
+        let g = t.freeze().unwrap();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.degree(v), 1);
+    }
+
+    #[test]
+    fn structured_errors_for_bad_mutations() {
+        let mut t = DynamicTopology::new(2);
+        assert!(matches!(
+            t.insert_edge(NodeId::new(0), NodeId::new(0)),
+            Err(GraphError::LoopNotAllowed { .. })
+        ));
+        t.insert_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(matches!(
+            t.insert_edge(NodeId::new(1), NodeId::new(0)),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+        assert!(matches!(
+            t.insert_edge(NodeId::new(0), NodeId::new(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            DynamicTopology::new(3).delete_edge(NodeId::new(0), NodeId::new(1)),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn heavy_churn_preserves_the_involution_invariant() {
+        // Deterministic mutation storm; freeze() validates after each.
+        let mut t = DynamicTopology::new(12);
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let mut step = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..400 {
+            let u = NodeId::new((step() % 12) as usize);
+            let v = NodeId::new((step() % 12) as usize);
+            if u == v {
+                continue;
+            }
+            if t.has_edge(u, v) {
+                t.delete_edge(u, v).unwrap();
+            } else {
+                t.insert_edge(u, v).unwrap();
+            }
+            let g = t.freeze().unwrap();
+            assert_eq!(g.edge_count(), t.edge_count());
+        }
+    }
+}

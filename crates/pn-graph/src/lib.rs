@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod covering;
 pub mod dot;
+pub mod dynamic;
 mod error;
 pub mod euler;
 pub mod factorization;
@@ -61,6 +62,7 @@ mod simple;
 pub mod transform;
 
 pub use covering::CoveringMap;
+pub use dynamic::DynamicTopology;
 pub use error::GraphError;
 pub use ids::{EdgeId, Endpoint, NodeId, Port};
 pub use multi::MultiGraph;

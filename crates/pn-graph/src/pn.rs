@@ -109,9 +109,25 @@ impl PortNumberedGraph {
                 ),
             });
         }
-        // Validate ranges.
-        for (slot, &target) in involution.iter().enumerate() {
-            let _ = slot;
+        Self::check_tables(&degrees, &offsets, &involution)?;
+        let (edges, edge_at_slot) = Self::derive_edges(&degrees, &offsets, &involution);
+        Ok(PortNumberedGraph {
+            degrees,
+            offsets,
+            conn: involution,
+            edges,
+            edge_at_slot,
+        })
+    }
+
+    /// The structural checks behind [`PortNumberedGraph::from_involution`]:
+    /// every involution target in range, and `p(p(x)) = x` everywhere.
+    fn check_tables(
+        degrees: &[u32],
+        offsets: &[usize],
+        involution: &[Endpoint],
+    ) -> Result<(), GraphError> {
+        for &target in involution {
             let node = target.node;
             if node.index() >= degrees.len() {
                 return Err(GraphError::NodeOutOfRange {
@@ -126,7 +142,6 @@ impl PortNumberedGraph {
                 });
             }
         }
-        // Validate the involution property p(p(x)) = x.
         for v in 0..degrees.len() {
             for i in 0..degrees[v] as usize {
                 let here = Endpoint::new(NodeId::new(v), Port::from_index(i));
@@ -138,14 +153,45 @@ impl PortNumberedGraph {
                 }
             }
         }
-        let (edges, edge_at_slot) = Self::derive_edges(&degrees, &offsets, &involution);
-        Ok(PortNumberedGraph {
-            degrees,
-            offsets,
-            conn: involution,
-            edges,
-            edge_at_slot,
-        })
+        Ok(())
+    }
+
+    /// Re-runs the construction-time structural validation against the
+    /// stored tables: involution targets in range and `p(p(x)) = x` for
+    /// every port.
+    ///
+    /// Graphs built through the safe constructors already hold these
+    /// invariants, so this is a defense-in-depth check for graphs that
+    /// crossed a trust boundary — external ingestion
+    /// (`eds_scenarios::Scenario::external`) and the churn harness's
+    /// [`crate::DynamicTopology::freeze`] both call it so a malformed
+    /// port map surfaces as a structured error at ingestion time instead
+    /// of as a debug-assert (or silent misrouting in release builds)
+    /// deep inside the simulator.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`PortNumberedGraph::from_involution`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.offsets.len() != self.degrees.len() {
+            return Err(GraphError::InvalidParameter {
+                detail: format!(
+                    "offset table has {} entries for {} nodes",
+                    self.offsets.len(),
+                    self.degrees.len()
+                ),
+            });
+        }
+        let total: usize = self.degrees.iter().map(|&d| d as usize).sum();
+        if self.conn.len() != total {
+            return Err(GraphError::InvalidParameter {
+                detail: format!(
+                    "involution table has {} entries but the graph has {total} ports",
+                    self.conn.len()
+                ),
+            });
+        }
+        Self::check_tables(&self.degrees, &self.offsets, &self.conn)
     }
 
     fn offsets_for(degrees: &[u32]) -> Vec<usize> {

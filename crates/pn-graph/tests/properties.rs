@@ -230,3 +230,85 @@ proptest! {
         prop_assert_eq!(g.edge_count(), n * d / 2);
     }
 }
+
+/// BFS connectivity on the simple projection.
+fn is_connected(g: &SimpleGraph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::from([NodeId::new(0)]);
+    seen[0] = true;
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streamed cycle emits a valid involution (checked by the
+    /// structural validator), is 2-regular, connected, and projects to
+    /// exactly the classic cycle — with or without the port shuffle.
+    #[test]
+    fn streamed_cycle_valid(n in 3usize..40, shuffle_seed in 0u64..1001) {
+        // The shim has no Option strategy; the top of the range means None.
+        let shuffle = (shuffle_seed < 1000).then_some(shuffle_seed);
+        let g = generators::streamed_cycle(n, shuffle).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.regular_degree(), Some(2));
+        let simple = g.to_simple().unwrap();
+        prop_assert!(is_connected(&simple));
+        // Same topology as the classic generator; only the intermediate
+        // structures (and the numbering) differ.
+        let classic = generators::cycle(n).unwrap();
+        prop_assert_eq!(simple.edge_count(), classic.edge_count());
+        for v in simple.nodes() {
+            prop_assert!(simple.has_edge(v, NodeId::new((v.index() + 1) % n)));
+        }
+    }
+
+    /// The streamed cubic generator emits a valid involution, is
+    /// 3-regular, simple and connected (it contains a Hamiltonian
+    /// cycle by construction), deterministically per seed.
+    #[test]
+    fn streamed_cubic_valid(half in 2usize..24, seed in 0u64..1000, shuffle_bit in 0u8..2) {
+        let shuffle = shuffle_bit == 1;
+        let n = 2 * half;
+        let g = generators::streamed_cubic(n, seed, shuffle).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.regular_degree(), Some(3));
+        let simple = g.to_simple().unwrap();
+        prop_assert_eq!(simple.edge_count(), 3 * n / 2);
+        prop_assert!(is_connected(&simple));
+        // Fixed seed ⇒ fixed graph.
+        let again = generators::streamed_cubic(n, seed, shuffle).unwrap();
+        prop_assert_eq!(g, again);
+    }
+
+    /// Sampled prefixes of the degree/involution tables stay internally
+    /// consistent: every endpoint the prefix references points back
+    /// through the involution, so streaming consumers that stop early
+    /// never observe a dangling half-edge.
+    #[test]
+    fn streamed_tables_have_consistent_prefixes(
+        n in 3usize..40,
+        seed in 0u64..1000,
+        frac in 0.1f64..1.0,
+    ) {
+        let g = generators::streamed_cycle(n, Some(seed)).unwrap();
+        let inv = g.involution();
+        let prefix = ((inv.len() as f64 * frac) as usize).max(1);
+        for (slot, &e) in inv.iter().take(prefix).enumerate() {
+            // The involution is its own inverse on every sampled slot.
+            let back = g.connection(e);
+            prop_assert_eq!(g.slot_of(back), slot);
+        }
+    }
+}

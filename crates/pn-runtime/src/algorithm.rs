@@ -91,6 +91,46 @@ pub trait NodeAlgorithm {
     /// Consumes the incoming messages for this round (index 0 = port 1;
     /// `None` marks a halted neighbour). Returns `Some(output)` to halt.
     fn receive(&mut self, round: usize, inbox: &[Option<Self::Message>]) -> Option<Self::Output>;
+
+    /// Adversarially scrambles the node's *soft* state — the fault model
+    /// of the churn harness ([`crate::ChurnSimulator`]). `entropy` is a
+    /// deterministic seed; implementations derive every flipped bit from
+    /// it so corrupted runs stay reproducible.
+    ///
+    /// Contract: only protocol **values** may be garbled (claims,
+    /// cursors, pending proposals, learned labels), never the structural
+    /// configuration (degree, `Δ`, round schedule), and the corrupted
+    /// state must never make `send_into`/`receive` panic or index out of
+    /// bounds — a corrupted node may output garbage, but the execution
+    /// must stay well-defined so recovery can be measured. The default
+    /// is a no-op: a stateless algorithm has nothing to corrupt.
+    fn corrupt(&mut self, entropy: u64) {
+        let _ = entropy;
+    }
+
+    /// Restores the node to its initial state (as constructed, before
+    /// any round ran) — the self-stabilizing restart the churn harness
+    /// applies when a corrupted epoch fails to converge. Implementations
+    /// rebuild all soft state from the construction-time parameters they
+    /// retain. The default is a no-op, correct exactly for algorithms
+    /// whose `corrupt` is also the no-op.
+    fn reset(&mut self) {}
+}
+
+/// A deterministic stream of scramble words for
+/// [`NodeAlgorithm::corrupt`] implementations: a SplitMix64 sequence
+/// seeded with the event's entropy. Protocols draw one word per state
+/// field they garble, so the same `Corrupt` event always produces the
+/// same corrupted state — churn runs stay bit-reproducible.
+pub fn entropy_stream(entropy: u64) -> impl FnMut() -> u64 {
+    let mut x = entropy;
+    move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 }
 
 /// Builds the allocating [`NodeAlgorithm::send`] result out of a native

@@ -116,13 +116,15 @@
 #![forbid(unsafe_code)]
 
 mod algorithm;
+mod churn;
 mod error;
 mod output;
 mod parallel;
 mod simulator;
 mod trace;
 
-pub use algorithm::{collect_send, AlgorithmFactory, NodeAlgorithm, WrongCount};
+pub use algorithm::{collect_send, entropy_stream, AlgorithmFactory, NodeAlgorithm, WrongCount};
+pub use churn::{ChurnError, ChurnEvent, ChurnSimulator, Epoch, EventSchedule};
 pub use error::RuntimeError;
 pub use output::{edge_set_from_outputs, fiber_agreement, outputs_from_edge_set, PortSet};
 pub use simulator::{Run, RunOptions, Simulator};

@@ -296,7 +296,7 @@ impl<'g> Simulator<'g> {
         )
     }
 
-    fn run_parallel_states<A>(
+    pub(crate) fn run_parallel_states<A>(
         &self,
         states: Vec<A>,
         threads: usize,

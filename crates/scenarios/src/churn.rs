@@ -1,0 +1,724 @@
+//! The dynamic-scenario runner: deterministic fault injection, epoch
+//! re-stabilisation, and incremental witness repair.
+//!
+//! A [`crate::Family::Churn`] workload evolves its base topology through
+//! a seeded [`EventSchedule`] (edge inserts/deletes, crashes, joins,
+//! adversarial state corruption). Between bursts the protocol re-runs to
+//! quiescence on the [`pn_runtime::ChurnSimulator`], and in parallel a
+//! cheap *witness* — the maintained matching / dominating set / cover —
+//! is repaired locally with the [`eds_core::repair`] rules instead of
+//! being recomputed. Feasibility is re-checked with `eds-verify` at
+//! every quiescence point; corruption that garbles a quiescent output
+//! triggers one clean recovery epoch, whose rounds are charged to
+//! [`ChurnStats::recovery_rounds`].
+//!
+//! Everything is deterministic: the schedule is materialised from the
+//! scenario seed with the same SplitMix64 stream the runtime exposes
+//! ([`pn_runtime::entropy_stream`]), and epochs are bit-identical across
+//! simulator thread counts, so churn records are reproducible bit for
+//! bit — the property the `churn_sweep` smoke gate asserts.
+
+use std::collections::BTreeSet;
+
+use eds_baselines::distributed_mm::IdMatchingNode;
+use eds_baselines::randomized_mm::{randomized_matching_phases, RandMatchingNode};
+use eds_core::distributed::BoundedDegreeNode;
+use eds_core::port_one::PortOneNode;
+use eds_core::repair::{
+    self, edge_key, is_cover_witness, is_dominating_witness, is_matching_witness,
+    is_maximal_witness, EdgeWitness, NodeWitness, RepairOutcome,
+};
+use eds_core::vertex_cover::VertexCoverNode;
+use eds_verify::{check_edge_dominating_set, check_maximal_matching};
+use pn_graph::{DynamicTopology, GraphError, NodeId, PortNumberedGraph, SimpleGraph};
+use pn_runtime::{
+    edge_set_from_outputs, entropy_stream, ChurnError, ChurnEvent, ChurnSimulator, EventSchedule,
+    NodeAlgorithm, PortSet, RuntimeError,
+};
+
+use crate::protocol::{node_identifiers, node_seeds, ExecOptions, Protocol, Solution, SweepError};
+use crate::scenario::{Family, Scenario};
+use crate::sweep::ChurnStats;
+
+/// Domain separator for the event-materialisation entropy stream, so
+/// schedules never correlate with the port shuffles or node seeds that
+/// share the scenario seed.
+const CHURN_SALT: u64 = 0x6368_7572_6e5f_6576; // "churn_ev"
+
+/// How many candidate draws an event gets before it is skipped (the
+/// topology may have no room left, e.g. no insertable pair under the
+/// degree cap).
+const EVENT_TRIES: usize = 16;
+
+/// A deterministic fault-injection plan: `bursts` quiescence-separated
+/// event bursts, each with up to `edge_events` topology events and
+/// `corruptions` state corruptions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Number of event bursts (each followed by re-stabilisation).
+    pub bursts: usize,
+    /// Topology events (insert/delete/crash/join) attempted per burst.
+    pub edge_events: usize,
+    /// State corruptions injected per burst.
+    pub corruptions: usize,
+}
+
+impl ChurnPlan {
+    /// Creates a plan.
+    pub fn new(bursts: usize, edge_events: usize, corruptions: usize) -> Self {
+        ChurnPlan {
+            bursts,
+            edge_events,
+            corruptions,
+        }
+    }
+
+    /// The label fragment used in scenario names (`b3e2c1`).
+    pub fn tag(&self) -> String {
+        format!("b{}e{}c{}", self.bursts, self.edge_events, self.corruptions)
+    }
+}
+
+/// A materialised schedule: the concrete events, the per-burst damage
+/// frontiers, and the topology bookkeeping the factories need.
+pub struct MaterializedChurn {
+    /// The event bursts, ready for [`ChurnSimulator::apply_burst`].
+    pub schedule: EventSchedule,
+    /// Per burst: the nodes whose neighbourhood an event touched
+    /// (endpoints of inserted/deleted edges, crashed nodes plus their
+    /// ex-neighbours, joined nodes plus their attachment targets).
+    pub touched: Vec<BTreeSet<usize>>,
+    /// Per burst: the corrupted nodes.
+    pub corrupted: Vec<Vec<usize>>,
+    /// The final topology after every burst (protocol-independent).
+    pub final_graph: PortNumberedGraph,
+    /// The largest degree any node reaches at any point of the schedule;
+    /// the `Δ`-parametrised protocols are instantiated with (at least)
+    /// this claim.
+    pub degree_cap: usize,
+    /// The node count after all joins — identifier and seed tables are
+    /// sized to this.
+    pub max_nodes: usize,
+}
+
+/// Materialises the plan into concrete events against the evolving
+/// topology, deterministically from `seed`. Events that find no valid
+/// target within a bounded number of draws are skipped (e.g. no
+/// insertable pair under the degree cap), so the realised
+/// [`EventSchedule::event_count`] may be below the plan's nominal count.
+///
+/// # Errors
+///
+/// Propagates topology errors; none occur for simple base graphs.
+pub fn materialize(
+    base: &PortNumberedGraph,
+    plan: &ChurnPlan,
+    seed: u64,
+) -> Result<MaterializedChurn, GraphError> {
+    let mut topo = DynamicTopology::from_graph(base)?;
+    let mut crashed = vec![false; topo.node_count()];
+    let cap = topo.max_degree().max(2);
+    let base_edges = topo.edge_count();
+    let mut next = entropy_stream(seed ^ CHURN_SALT);
+    let mut schedule = EventSchedule::new();
+    let mut touched_per_burst = Vec::with_capacity(plan.bursts);
+    let mut corrupted_per_burst = Vec::with_capacity(plan.bursts);
+
+    for _ in 0..plan.bursts {
+        let mut burst = Vec::new();
+        let mut touched = BTreeSet::new();
+        let mut corrupted = Vec::new();
+        for _ in 0..plan.edge_events {
+            for _ in 0..EVENT_TRIES {
+                let n = topo.node_count() as u64;
+                match next() % 8 {
+                    // Inserts get the largest share so the graph does not
+                    // drain to edgeless under long schedules.
+                    0..=2 => {
+                        let u = NodeId::new((next() % n) as usize);
+                        let v = NodeId::new((next() % n) as usize);
+                        if u != v
+                            && !topo.has_edge(u, v)
+                            && topo.degree(u) < cap
+                            && topo.degree(v) < cap
+                        {
+                            topo.insert_edge(u, v)?;
+                            crashed[u.index()] = false;
+                            crashed[v.index()] = false;
+                            touched.insert(u.index());
+                            touched.insert(v.index());
+                            burst.push(ChurnEvent::InsertEdge { u, v });
+                            break;
+                        }
+                    }
+                    3..=4 => {
+                        let u = NodeId::new((next() % n) as usize);
+                        let d = topo.degree(u);
+                        if d > 0 && topo.edge_count() > 1 {
+                            let v = topo
+                                .neighbors(u)
+                                .nth((next() % d as u64) as usize)
+                                .expect("degree-checked");
+                            topo.delete_edge(u, v)?;
+                            touched.insert(u.index());
+                            touched.insert(v.index());
+                            burst.push(ChurnEvent::DeleteEdge { u, v });
+                            break;
+                        }
+                    }
+                    5 => {
+                        let v = NodeId::new((next() % n) as usize);
+                        // Crash only while the graph can afford it.
+                        if topo.degree(v) > 0 && topo.edge_count() > base_edges / 2 {
+                            let gone = topo.isolate(v)?;
+                            crashed[v.index()] = true;
+                            touched.insert(v.index());
+                            touched.extend(gone.iter().map(|u| u.index()));
+                            burst.push(ChurnEvent::Crash { v });
+                            break;
+                        }
+                    }
+                    _ => {
+                        // Join: a fresh node attaching to 1–2 targets
+                        // with headroom under the cap.
+                        let want = 1 + (next() % 2) as usize;
+                        let mut attach = Vec::new();
+                        for _ in 0..EVENT_TRIES {
+                            let t = NodeId::new((next() % n) as usize);
+                            if topo.degree(t) < cap && !crashed[t.index()] && !attach.contains(&t) {
+                                attach.push(t);
+                                if attach.len() == want {
+                                    break;
+                                }
+                            }
+                        }
+                        if !attach.is_empty() {
+                            let fresh = topo.add_node();
+                            crashed.push(false);
+                            for &t in &attach {
+                                topo.insert_edge(fresh, t)?;
+                            }
+                            touched.insert(fresh.index());
+                            touched.extend(attach.iter().map(|u| u.index()));
+                            burst.push(ChurnEvent::Join { attach });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        for _ in 0..plan.corruptions {
+            let v = NodeId::new((next() % topo.node_count() as u64) as usize);
+            let entropy = next();
+            touched.insert(v.index());
+            corrupted.push(v.index());
+            burst.push(ChurnEvent::Corrupt { v, entropy });
+        }
+        schedule.push_burst(burst);
+        touched_per_burst.push(touched);
+        corrupted_per_burst.push(corrupted);
+    }
+
+    Ok(MaterializedChurn {
+        final_graph: topo.freeze()?,
+        degree_cap: cap,
+        max_nodes: topo.node_count(),
+        schedule,
+        touched: touched_per_burst,
+        corrupted: corrupted_per_burst,
+    })
+}
+
+/// The witness family a protocol's output maintains under churn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WitnessKind {
+    /// A maximal matching (identifier/randomised baselines).
+    Matching,
+    /// An edge dominating set (port-one, `A(Δ)`).
+    Dominating,
+    /// A vertex cover.
+    Cover,
+}
+
+impl WitnessKind {
+    fn of(protocol: Protocol) -> WitnessKind {
+        match protocol {
+            Protocol::IdMatching | Protocol::RandMatching => WitnessKind::Matching,
+            Protocol::VertexCover => WitnessKind::Cover,
+            _ => WitnessKind::Dominating,
+        }
+    }
+}
+
+/// The maintained witness: node-pair edges or a node set.
+enum Witness {
+    Edges(EdgeWitness),
+    Cover(NodeWitness),
+}
+
+impl Witness {
+    fn from_solution(g: &PortNumberedGraph, solution: &Solution) -> Witness {
+        match solution {
+            Solution::Edges(edges) => Witness::Edges(
+                edges
+                    .iter()
+                    .map(|&e| {
+                        let (u, v) = g.edge(e).nodes();
+                        edge_key(u.index(), v.index())
+                    })
+                    .collect(),
+            ),
+            Solution::Nodes(cover) => Witness::Cover(cover.iter().map(|v| v.index()).collect()),
+        }
+    }
+
+    /// Corruption wipes the witness entries stored at `v`; every freed
+    /// partner joins the repair frontier per the repair contract.
+    fn scramble_at(&mut self, v: usize, touched: &mut BTreeSet<usize>) {
+        touched.insert(v);
+        match self {
+            Witness::Edges(w) => {
+                w.retain(|&(a, b)| {
+                    let hit = a == v || b == v;
+                    if hit {
+                        touched.insert(a);
+                        touched.insert(b);
+                    }
+                    !hit
+                });
+            }
+            Witness::Cover(c) => {
+                c.remove(&v);
+            }
+        }
+    }
+
+    fn repair(
+        &mut self,
+        simple: &SimpleGraph,
+        touched: &BTreeSet<usize>,
+        kind: WitnessKind,
+    ) -> RepairOutcome {
+        match (self, kind) {
+            (Witness::Edges(w), WitnessKind::Matching) => {
+                repair::repair_maximal_matching(simple, w, touched)
+            }
+            (Witness::Edges(w), WitnessKind::Dominating) => {
+                repair::repair_edge_dominating(simple, w, touched)
+            }
+            (Witness::Cover(c), _) => repair::repair_vertex_cover(simple, c, touched),
+            (Witness::Edges(_), WitnessKind::Cover) => unreachable!("edge witness for cover"),
+        }
+    }
+
+    fn feasible(&self, simple: &SimpleGraph, kind: WitnessKind) -> bool {
+        match (self, kind) {
+            (Witness::Edges(w), WitnessKind::Matching) => {
+                is_matching_witness(simple, w) && is_maximal_witness(simple, w)
+            }
+            (Witness::Edges(w), WitnessKind::Dominating) => is_dominating_witness(simple, w),
+            (Witness::Cover(c), _) => is_cover_witness(simple, c),
+            (Witness::Edges(_), WitnessKind::Cover) => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Witness::Edges(w) => w.len(),
+            Witness::Cover(c) => c.len(),
+        }
+    }
+}
+
+/// `eds-verify` feasibility of a quiescent output on the epoch's graph.
+fn solution_violation(simple: &SimpleGraph, kind: WitnessKind, s: &Solution) -> Option<String> {
+    match (kind, s) {
+        (WitnessKind::Matching, Solution::Edges(edges)) => check_maximal_matching(simple, edges)
+            .err()
+            .map(|v| v.to_string()),
+        (WitnessKind::Dominating, Solution::Edges(edges)) => {
+            check_edge_dominating_set(simple, edges)
+                .err()
+                .map(|v| v.to_string())
+        }
+        (WitnessKind::Cover, Solution::Nodes(cover)) => {
+            let mut in_cover = vec![false; simple.node_count()];
+            for &v in cover {
+                in_cover[v.index()] = true;
+            }
+            simple
+                .edges()
+                .find(|&(_, u, v)| !in_cover[u.index()] && !in_cover[v.index()])
+                .map(|(e, u, v)| format!("edge {e} = {{{u}, {v}}} has no endpoint in the cover"))
+        }
+        _ => Some("solution shape does not match the protocol's witness kind".to_owned()),
+    }
+}
+
+/// The outcome of one protocol surviving one churn schedule.
+pub struct ChurnRun {
+    /// The final quiescent solution (on [`ChurnRun::final_graph`]).
+    pub solution: Solution,
+    /// Rounds across every epoch, recovery epochs included.
+    pub rounds: usize,
+    /// Messages across every epoch.
+    pub messages: usize,
+    /// Fault-injection accounting for the record.
+    pub stats: ChurnStats,
+    /// First feasibility violation that survived repair and recovery;
+    /// `None` means every quiescence point verified clean.
+    pub violation: Option<String>,
+    /// The topology after the last burst.
+    pub final_graph: PortNumberedGraph,
+    /// Its simple projection.
+    pub final_simple: SimpleGraph,
+    /// The `Δ` claim the parametrised protocols actually ran with.
+    pub claimed_delta: usize,
+    /// Size of the incrementally maintained witness after the last
+    /// repair (compare against `solution.len()` from re-stabilisation).
+    pub witness_size: usize,
+}
+
+fn churn_err(e: ChurnError) -> SweepError {
+    match e {
+        ChurnError::Graph(e) => SweepError::Graph(e),
+        ChurnError::Runtime(e) => SweepError::Runtime(e),
+    }
+}
+
+/// Runs `protocol` through the scenario's churn schedule: initial
+/// stabilisation, then per burst — apply events, re-stabilise, verify
+/// the quiescent output, incrementally repair the witness, and recover
+/// with one clean epoch when corruption garbled the output.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for non-churn scenarios, inapplicable
+/// protocols, and propagated simulator errors.
+///
+/// # Panics
+///
+/// Does not panic on any [`crate::Registry::churn`] workload.
+pub fn run_churn(
+    scenario: &Scenario,
+    protocol: Protocol,
+    exec: &ExecOptions,
+) -> Result<ChurnRun, SweepError> {
+    let Family::Churn { plan, .. } = &scenario.spec.family else {
+        return Err(SweepError::Graph(GraphError::InvalidParameter {
+            detail: format!("{} is not a churn scenario", scenario.name()),
+        }));
+    };
+    let mat = materialize(&scenario.graph, plan, scenario.spec.seed)?;
+    let delta = exec.delta.unwrap_or(0).max(mat.degree_cap);
+    let threads = exec.simulator_threads.max(1);
+    let seed = scenario.spec.seed;
+    let kind = WitnessKind::of(protocol);
+
+    let edges_of = |g: &PortNumberedGraph, outputs: &[PortSet]| {
+        edge_set_from_outputs(g, outputs).map(Solution::Edges)
+    };
+    match protocol {
+        Protocol::PortOne => drive(
+            scenario,
+            &mat,
+            |_, d| PortOneNode::new(d),
+            threads,
+            delta,
+            kind,
+            edges_of,
+        ),
+        Protocol::BoundedDegree => drive(
+            scenario,
+            &mat,
+            |_, d| BoundedDegreeNode::new(delta, d),
+            threads,
+            delta,
+            kind,
+            edges_of,
+        ),
+        Protocol::VertexCover => drive(
+            scenario,
+            &mat,
+            |_, d| VertexCoverNode::new(delta, d),
+            threads,
+            delta,
+            kind,
+            |g: &PortNumberedGraph, outputs: &[bool]| {
+                Ok(Solution::Nodes(
+                    g.nodes().filter(|v| outputs[v.index()]).collect(),
+                ))
+            },
+        ),
+        Protocol::IdMatching => {
+            let ids = node_identifiers(mat.max_nodes, seed);
+            drive(
+                scenario,
+                &mat,
+                move |v: NodeId, d| IdMatchingNode::new(delta, d, ids[v.index()]),
+                threads,
+                delta,
+                kind,
+                edges_of,
+            )
+        }
+        Protocol::RandMatching => {
+            let seeds = node_seeds(mat.max_nodes, seed);
+            // The phase budget is fixed up front for the largest node
+            // count the schedule can reach, so every epoch runs the same
+            // deterministic schedule.
+            let phases = randomized_matching_phases(mat.max_nodes);
+            drive(
+                scenario,
+                &mat,
+                move |v: NodeId, d| RandMatchingNode::new(d, seeds[v.index()], phases),
+                threads,
+                delta,
+                kind,
+                edges_of,
+            )
+        }
+        Protocol::RegularOdd => Err(SweepError::Graph(GraphError::InvalidParameter {
+            detail: "regular-odd requires a static odd-regular graph; churn breaks regularity"
+                .to_owned(),
+        })),
+    }
+}
+
+/// The generic epoch loop shared by every protocol.
+#[allow(clippy::too_many_arguments)]
+fn drive<A, F, S>(
+    scenario: &Scenario,
+    mat: &MaterializedChurn,
+    factory: F,
+    threads: usize,
+    claimed_delta: usize,
+    kind: WitnessKind,
+    to_solution: S,
+) -> Result<ChurnRun, SweepError>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: Send,
+    F: Fn(NodeId, usize) -> A,
+    S: Fn(&PortNumberedGraph, &[A::Output]) -> Result<Solution, RuntimeError>,
+{
+    let mut sim = ChurnSimulator::new(&scenario.graph, factory)?.simulator_threads(threads);
+    let mut rounds = 0;
+    let mut messages = 0;
+    let mut stats = ChurnStats {
+        events_applied: mat.schedule.event_count(),
+        ..ChurnStats::default()
+    };
+
+    // Epoch 0: the churn-free baseline.
+    let initial = sim.stabilize().map_err(churn_err)?;
+    rounds += initial.rounds;
+    messages += initial.messages;
+    let mut solution = to_solution(&initial.graph, &initial.outputs)?;
+    let mut simple = initial.graph.to_simple()?;
+    let mut violation =
+        solution_violation(&simple, kind, &solution).map(|v| format!("epoch 0: {v}"));
+    let mut witness = Witness::from_solution(&initial.graph, &solution);
+    let mut final_graph = initial.graph;
+
+    for (b, burst) in mat.schedule.bursts().iter().enumerate() {
+        sim.apply_burst(burst).map_err(churn_err)?;
+        let epoch = sim.stabilize().map_err(churn_err)?;
+        rounds += epoch.rounds;
+        messages += epoch.messages;
+        simple = epoch.graph.to_simple()?;
+
+        // Incremental maintenance: wipe corrupted nodes' stored entries,
+        // then repair locally around the damage frontier.
+        let mut touched = mat.touched[b].clone();
+        for &v in &mat.corrupted[b] {
+            witness.scramble_at(v, &mut touched);
+        }
+        let outcome = witness.repair(&simple, &touched, kind);
+        let mut burst_violations = outcome.transient_violations;
+        let mut burst_recovery = outcome.rounds;
+        stats.repair_messages += outcome.messages;
+        if !witness.feasible(&simple, kind) && violation.is_none() {
+            violation = Some(format!(
+                "burst {b}: incrementally repaired witness infeasible at quiescence"
+            ));
+        }
+
+        // Re-stabilised output, verified at the quiescence point. A
+        // corrupted node can halt with garbage, so on corrupted epochs
+        // even extracting the output may fail the runtime's port
+        // consistency check — that too is an observable transient.
+        let (mut epoch_solution, mut epoch_violation) =
+            match to_solution(&epoch.graph, &epoch.outputs) {
+                Ok(s) => {
+                    let v = solution_violation(&simple, kind, &s);
+                    (Some(s), v)
+                }
+                Err(e) if epoch.corrupted > 0 => (None, Some(e.to_string())),
+                Err(e) => return Err(SweepError::Runtime(e)),
+            };
+        if epoch_violation.is_some() && epoch.corrupted > 0 {
+            // Corruption garbled the quiescent output: the transient is
+            // observable, and one clean epoch (the injected state has
+            // drained) restores feasibility — self-stabilisation.
+            burst_violations += 1;
+            let recovery = sim.stabilize().map_err(churn_err)?;
+            rounds += recovery.rounds;
+            messages += recovery.messages;
+            burst_recovery += recovery.rounds;
+            let recovered = to_solution(&recovery.graph, &recovery.outputs)?;
+            epoch_violation = solution_violation(&simple, kind, &recovered);
+            epoch_solution = Some(recovered);
+        }
+        if violation.is_none() {
+            violation = epoch_violation.map(|v| format!("burst {b}: {v}"));
+        }
+        stats.recovery_rounds = stats.recovery_rounds.max(burst_recovery);
+        stats.max_transient_violation = stats.max_transient_violation.max(burst_violations);
+        solution = epoch_solution.expect("recovered or propagated above");
+        final_graph = epoch.graph;
+    }
+
+    Ok(ChurnRun {
+        witness_size: witness.len(),
+        final_simple: simple,
+        solution,
+        rounds,
+        messages,
+        stats,
+        violation,
+        final_graph,
+        claimed_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PortPolicy, ScenarioSpec};
+
+    fn churn_spec(base: Family, plan: ChurnPlan, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            Family::Churn {
+                base: Box::new(base),
+                plan,
+            },
+            seed,
+            PortPolicy::Shuffled,
+        )
+    }
+
+    #[test]
+    fn materialization_is_deterministic_and_capped() {
+        let scenario = churn_spec(Family::Petersen, ChurnPlan::new(4, 3, 2), 7)
+            .build()
+            .unwrap();
+        let a = materialize(&scenario.graph, &ChurnPlan::new(4, 3, 2), 7).unwrap();
+        let b = materialize(&scenario.graph, &ChurnPlan::new(4, 3, 2), 7).unwrap();
+        assert_eq!(a.schedule.bursts(), b.schedule.bursts());
+        assert_eq!(a.final_graph, b.final_graph);
+        assert_eq!(a.touched, b.touched);
+        assert!(a.schedule.event_count() > 0);
+        assert_eq!(a.schedule.len(), 4);
+        assert!(a.final_graph.max_degree() <= a.degree_cap);
+        assert!(a.max_nodes >= 10);
+    }
+
+    #[test]
+    fn empty_plan_is_the_static_run() {
+        let spec = churn_spec(Family::Petersen, ChurnPlan::new(0, 0, 0), 1);
+        let scenario = spec.build().unwrap();
+        let run = run_churn(&scenario, Protocol::BoundedDegree, &ExecOptions::default()).unwrap();
+        let static_run = Protocol::BoundedDegree.execute(&scenario).unwrap();
+        assert_eq!(run.solution, static_run.solution);
+        assert_eq!(run.rounds, static_run.rounds);
+        assert_eq!(run.messages, static_run.messages);
+        assert_eq!(run.stats, ChurnStats::default());
+        assert_eq!(run.violation, None);
+        assert_eq!(run.final_graph, scenario.graph);
+    }
+
+    #[test]
+    fn churn_is_bit_identical_across_simulator_threads() {
+        let scenario = churn_spec(Family::Grid(3, 4), ChurnPlan::new(3, 3, 2), 5)
+            .build()
+            .unwrap();
+        for protocol in [Protocol::BoundedDegree, Protocol::IdMatching] {
+            let baseline = run_churn(&scenario, protocol, &ExecOptions::default()).unwrap();
+            for threads in [2usize, 4] {
+                let opts = ExecOptions {
+                    delta: None,
+                    simulator_threads: threads,
+                };
+                let run = run_churn(&scenario, protocol, &opts).unwrap();
+                assert_eq!(run.solution, baseline.solution, "threads = {threads}");
+                assert_eq!(run.rounds, baseline.rounds, "threads = {threads}");
+                assert_eq!(run.messages, baseline.messages, "threads = {threads}");
+                assert_eq!(run.stats, baseline.stats, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_quiescence_point_is_feasible_and_recovery_is_bounded() {
+        for (base, seed) in [
+            (Family::Petersen, 0u64),
+            (Family::Grid(3, 4), 1),
+            (
+                Family::RandomBoundedDegree {
+                    n: 16,
+                    delta: 4,
+                    density: 0.8,
+                },
+                2,
+            ),
+        ] {
+            let scenario = churn_spec(base, ChurnPlan::new(4, 3, 2), seed)
+                .build()
+                .unwrap();
+            for protocol in [
+                Protocol::PortOne,
+                Protocol::BoundedDegree,
+                Protocol::VertexCover,
+                Protocol::IdMatching,
+                Protocol::RandMatching,
+            ] {
+                let run = run_churn(&scenario, protocol, &ExecOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+                assert_eq!(run.violation, None, "{}", protocol.name());
+                assert!(run.stats.events_applied > 0);
+                // Incremental repair is local: at most two passes per
+                // burst, plus at most one full clean epoch when
+                // corruption garbled the output.
+                let epoch_bound = run.rounds; // recovery is never more than the whole run
+                assert!(
+                    run.stats.recovery_rounds <= epoch_bound,
+                    "{}",
+                    protocol.name()
+                );
+                assert!(!run.solution.is_empty(), "{}", protocol.name());
+                assert!(run.witness_size > 0, "{}", protocol.name());
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_alone_keeps_the_topology_static() {
+        let scenario = churn_spec(Family::Petersen, ChurnPlan::new(2, 0, 3), 9)
+            .build()
+            .unwrap();
+        let run = run_churn(&scenario, Protocol::VertexCover, &ExecOptions::default()).unwrap();
+        assert_eq!(run.final_graph, scenario.graph);
+        assert_eq!(run.violation, None);
+        assert_eq!(run.stats.events_applied, 6);
+    }
+
+    #[test]
+    fn regular_odd_is_rejected_and_inapplicable() {
+        let spec = churn_spec(Family::Petersen, ChurnPlan::new(1, 1, 0), 0);
+        let scenario = spec.build().unwrap();
+        assert!(!Protocol::RegularOdd.applicable(&scenario));
+        assert!(run_churn(&scenario, Protocol::RegularOdd, &ExecOptions::default()).is_err());
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`protocol`] — the six distributed protocols behind one interface
 //!   ([`Protocol::ALL`]), all executed through the zero-allocation
 //!   `pn-runtime` engine (sequential or parallel, bit-identically);
+//! * [`churn`] — dynamic scenarios: deterministic fault injection
+//!   ([`ChurnPlan`]), epoch-barrier re-stabilisation on the runtime's
+//!   churn simulator, and incremental witness repair with
+//!   self-stabilisation accounting ([`ChurnStats`]);
 //! * [`session`] — the solver service: a builder-style [`Session`]
 //!   wiring scenario source × protocol portfolio × exact-solver budgets
 //!   × pluggable [`BoundProvider`], sharded across threads by default
@@ -66,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod churn;
 pub mod protocol;
 pub mod registry;
 pub mod scenario;
@@ -75,6 +80,7 @@ pub mod small;
 pub mod sweep;
 
 pub use bounds::{BoundsMode, LpBounds, MmBounds};
+pub use churn::{materialize, run_churn, ChurnPlan, ChurnRun, MaterializedChurn};
 pub use protocol::{
     recommended_simulator_threads, ExecOptions, Protocol, ProtocolRun, Solution, SweepError,
 };
@@ -82,4 +88,4 @@ pub use registry::Registry;
 pub use scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
 pub use session::{BoundProvider, Bounds, ExactBounds, Session};
 pub use sink::{AggregateSink, JsonLinesSink, RecordSink, Tee, VecSink};
-pub use sweep::{SweepConfig, SweepRecord};
+pub use sweep::{ChurnStats, SweepConfig, SweepRecord};

@@ -198,6 +198,13 @@ impl Protocol {
         if scenario.simple.is_edgeless() {
             return false;
         }
+        // Churn breaks regularity as soon as an edge event fires, so
+        // Theorem 4's precondition cannot survive the schedule.
+        if matches!(scenario.spec.family, crate::scenario::Family::Churn { .. })
+            && self == Protocol::RegularOdd
+        {
+            return false;
+        }
         match self {
             Protocol::RegularOdd => scenario.graph.regular_degree().is_some_and(|d| d % 2 == 1),
             _ => true,

@@ -11,13 +11,18 @@
 //!   used by the `scenario_sweep --smoke` CI job;
 //! * [`Registry::conformance`] — small instances on which the exact
 //!   branch-and-bound optimum is cheap, used by the integration test
-//!   suite (`tests/quality_matrix.rs`, `tests/cross_validation.rs`).
+//!   suite (`tests/quality_matrix.rs`, `tests/cross_validation.rs`);
+//! * [`Registry::churn`] — dynamic workloads: deterministic fault
+//!   injection (edge churn, crashes, joins, state corruption) with
+//!   epoch re-stabilisation, used by the `scenario_sweep --churn`
+//!   smoke gate.
 //!
 //! To add a family: add a [`Family`] variant (and its builder) in
 //! [`crate::scenario`], then list specs for it here — every consumer
 //! (sweep binary, benches, conformance tests) picks it up from the
 //! registry without further changes.
 
+use crate::churn::ChurnPlan;
 use crate::protocol::ExecOptions;
 use crate::scenario::{Family, PortPolicy, Scenario, ScenarioSpec};
 use pn_graph::GraphError;
@@ -182,7 +187,75 @@ impl Registry {
                 ScenarioSpec::new(family, 0, PortPolicy::Shuffled).with_exec(ExecOptions::scaled()),
             );
         }
+
+        // Dynamic workloads: the full matrix carries a taste of churn so
+        // report diffs notice regressions in the fault-injection path;
+        // the dedicated gate lives in `Registry::churn`.
+        specs.push(ScenarioSpec::new(
+            Family::Churn {
+                base: Box::new(Family::Petersen),
+                plan: ChurnPlan::new(3, 2, 1),
+            },
+            0,
+            PortPolicy::Shuffled,
+        ));
+        specs.push(ScenarioSpec::new(
+            Family::Churn {
+                base: Box::new(Family::Grid(3, 4)),
+                plan: ChurnPlan::new(3, 3, 2),
+            },
+            1,
+            PortPolicy::Shuffled,
+        ));
         Registry { specs }
+    }
+
+    /// The dynamic-scenario gate: every protocol survives edge churn,
+    /// crashes, joins and adversarial state corruption, re-converging to
+    /// a feasible solution at every quiescence point. Consumed by
+    /// `scenario_sweep --churn` (the `churn-smoke` CI job) and the churn
+    /// integration tests.
+    pub fn churn() -> Self {
+        Registry {
+            specs: vec![
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::Petersen),
+                        plan: ChurnPlan::new(3, 2, 1),
+                    },
+                    0,
+                    PortPolicy::Shuffled,
+                ),
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::Grid(3, 4)),
+                        plan: ChurnPlan::new(3, 3, 2),
+                    },
+                    1,
+                    PortPolicy::Shuffled,
+                ),
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::RandomBoundedDegree {
+                            n: 16,
+                            delta: 4,
+                            density: 0.8,
+                        }),
+                        plan: ChurnPlan::new(4, 3, 2),
+                    },
+                    2,
+                    PortPolicy::Shuffled,
+                ),
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::Cycle(12)),
+                        plan: ChurnPlan::new(2, 2, 1),
+                    },
+                    0,
+                    PortPolicy::Canonical,
+                ),
+            ],
+        }
     }
 
     /// A fast subset spanning ≥ 8 distinct families — the CI smoke set.

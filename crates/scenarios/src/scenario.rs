@@ -152,6 +152,18 @@ pub enum Family {
         /// Display name for reports.
         name: String,
     },
+    /// A dynamic workload: the `base` family under a deterministic,
+    /// seeded fault-injection schedule ([`crate::churn::ChurnPlan`] —
+    /// edge inserts/deletes, crashes, joins, state corruption). The spec
+    /// builds the *initial* graph; the [`crate::churn`] runner evolves
+    /// it burst by burst, re-stabilising and incrementally repairing the
+    /// solution witness at every quiescence point.
+    Churn {
+        /// The family supplying the initial topology.
+        base: Box<Family>,
+        /// The fault-injection plan (bursts × events per burst).
+        plan: crate::churn::ChurnPlan,
+    },
 }
 
 impl Family {
@@ -184,6 +196,7 @@ impl Family {
             Family::MillionRegular { .. } => "million-regular",
             Family::SmallConnected { .. } => "small-connected",
             Family::External { .. } => "external",
+            Family::Churn { .. } => "churn",
         }
     }
 
@@ -220,6 +233,7 @@ impl Family {
             Family::MillionRegular { n } => format!("million-regular-{n}"),
             Family::SmallConnected { n, index } => format!("small{n}-{index}"),
             Family::External { name } => name.clone(),
+            Family::Churn { base, plan } => format!("churn({})-{}", base.label(), plan.tag()),
         }
     }
 
@@ -299,6 +313,9 @@ impl Family {
                      construct it with Scenario::external"
                 ),
             }),
+            // The spec describes the *initial* topology; the churn runner
+            // owns the evolution.
+            Family::Churn { base, .. } => base.simple(seed),
         }
     }
 }
@@ -428,6 +445,18 @@ impl ScenarioSpec {
                 let shuffle = self.streamed_shuffle()?;
                 generators::streamed_cubic(*n, self.seed, shuffle)?
             }
+            // A churn scenario builds exactly like its base; the spec's
+            // Churn wrapper is what routes the session to the dynamic
+            // runner.
+            Family::Churn { base, .. } => {
+                let inner = ScenarioSpec {
+                    family: (**base).clone(),
+                    seed: self.seed,
+                    policy: self.policy,
+                    exec: self.exec,
+                };
+                inner.build()?.graph
+            }
             f => {
                 let g = f.simple(self.seed)?;
                 self.policy.apply(&g, self.seed)?
@@ -483,14 +512,23 @@ impl Scenario {
     /// workloads. The `seed` feeds the identifier/randomised baselines'
     /// per-node inputs.
     ///
+    /// External instances are untrusted: the port tables are structurally
+    /// validated first (consistent offsets, in-range endpoints, an
+    /// involutive connection map), so a malformed hand-built numbering
+    /// surfaces as a structured [`GraphError`] here instead of corrupting
+    /// a simulation downstream.
+    ///
     /// # Errors
     ///
-    /// Propagates projection errors for graphs that are not simple.
+    /// Returns the [`PortNumberedGraph::validate`] error for malformed
+    /// or non-involutive port maps, and propagates projection errors for
+    /// graphs that are not simple.
     pub fn external(
         name: impl Into<String>,
         graph: PortNumberedGraph,
         seed: u64,
     ) -> Result<Scenario, GraphError> {
+        graph.validate()?;
         let simple = graph.to_simple()?;
         Ok(Scenario {
             spec: ScenarioSpec::new(
@@ -731,6 +769,17 @@ mod tests {
         assert_eq!(s.simple.edge_count(), 15);
         // The spec is metadata only: external scenarios cannot rebuild.
         assert!(s.spec.build().is_err());
+        // The untrusted input was structurally validated on the way in.
+        assert!(s.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn external_rejects_non_simple_instances() {
+        // The Figure 2 multigraph has valid port tables but parallel
+        // links and loops: it fails the simple projection with a
+        // structured error instead of entering a session.
+        let err = Scenario::external("fig2", figure2_multigraph(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::NotSimple { .. }), "{err:?}");
     }
 
     #[test]

@@ -56,9 +56,10 @@ use eds_baselines::two_approx;
 use eds_verify::{check_edge_dominating_set, check_maximal_matching};
 use pn_graph::NodeId;
 
+use crate::churn::run_churn;
 use crate::protocol::{ExecOptions, Protocol, Solution, SweepError};
 use crate::registry::Registry;
-use crate::scenario::{Scenario, ScenarioSpec};
+use crate::scenario::{Family, Scenario, ScenarioSpec};
 use crate::sink::RecordSink;
 use crate::sweep::{paper_bound, SweepConfig, SweepRecord};
 
@@ -496,12 +497,86 @@ impl Session {
     }
 
     fn measure_scenario(&self, scenario: &Scenario) -> Result<Vec<Measurement>, SweepError> {
+        if matches!(scenario.spec.family, Family::Churn { .. }) {
+            return self.measure_churn(scenario);
+        }
         let bounds = ScenarioBounds::new(self.bounds.as_ref());
         self.protocols
             .iter()
             .filter(|p| p.applicable(scenario))
             .map(|&p| self.measure_one(scenario, p, &bounds))
             .collect()
+    }
+
+    /// Measures a dynamic scenario: every applicable protocol survives
+    /// the same materialised event schedule (it depends only on the spec,
+    /// not the protocol), and the final quiescent solution is scored on
+    /// the final topology exactly like a static record — plus the flat
+    /// churn accounting fields.
+    fn measure_churn(&self, scenario: &Scenario) -> Result<Vec<Measurement>, SweepError> {
+        let exec = self.exec_for(scenario);
+        let bounds = ScenarioBounds::new(self.bounds.as_ref());
+        let mut final_scenario: Option<Scenario> = None;
+        let mut measurements = Vec::new();
+        for &protocol in self.protocols.iter().filter(|p| p.applicable(scenario)) {
+            let run = run_churn(scenario, protocol, &exec)?;
+            let size = run.solution.len();
+            // The schedule is protocol-independent, so the final graph
+            // is too; build the scored scenario (and its exact/LP
+            // reference bounds) once.
+            if final_scenario.is_none() {
+                final_scenario = Some(Scenario {
+                    spec: scenario.spec.clone(),
+                    graph: run.final_graph.clone(),
+                    simple: run.final_simple.clone(),
+                });
+            }
+            let fs = final_scenario.as_ref().expect("just inserted");
+            let bound = match protocol {
+                // The protocol was parametrised with the schedule's
+                // degree cap; A(Δ)'s theorem holds for that claim.
+                Protocol::BoundedDegree => Some(eds_core::bounded_degree::bounded_degree_ratio(
+                    run.claimed_delta,
+                )),
+                _ => paper_bound(protocol, fs),
+            };
+            let reference = match &run.solution {
+                Solution::Edges(_) => bounds.eds(fs),
+                Solution::Nodes(_) => bounds.vc(fs),
+            };
+            let ratio = reference
+                .optimum
+                .filter(|&opt| opt > 0)
+                .map(|opt| size as f64 / opt as f64);
+            let within_bound = bound.and_then(|(num, den)| match reference.optimum {
+                Some(opt) => Some(size as u64 * den <= num * opt as u64),
+                None => (size as u64 * den <= num * reference.lower_bound as u64).then_some(true),
+            });
+            measurements.push(Measurement {
+                record: SweepRecord {
+                    scenario: scenario.name(),
+                    family: scenario.spec.family.key(),
+                    policy: scenario.spec.policy.name(),
+                    seed: scenario.spec.seed,
+                    nodes: fs.simple.node_count(),
+                    edges: fs.simple.edge_count(),
+                    protocol: protocol.name(),
+                    rounds: run.rounds,
+                    messages: run.messages,
+                    size,
+                    optimum: reference.optimum,
+                    lower_bound: reference.lower_bound,
+                    bounds: self.bounds.name(),
+                    bound,
+                    ratio,
+                    within_bound,
+                    violation: run.violation,
+                    churn: Some(run.stats),
+                },
+                solution: run.solution,
+            });
+        }
+        Ok(measurements)
     }
 
     fn measure_one(
@@ -575,6 +650,7 @@ impl Session {
                 ratio,
                 within_bound,
                 violation,
+                churn: None,
             },
             solution: run.solution,
         })

@@ -343,6 +343,7 @@ mod tests {
             ratio: Some(2.0),
             within_bound: Some(clean),
             violation: None,
+            churn: None,
         }
     }
 

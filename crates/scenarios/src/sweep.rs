@@ -86,6 +86,27 @@ pub struct SweepRecord {
     /// Feasibility violation witness from `eds-verify`; `None` means the
     /// solution is structurally sound.
     pub violation: Option<String>,
+    /// Churn accounting for dynamic scenarios ([`crate::Family::Churn`]);
+    /// `None` on static workloads, so legacy reports parse unchanged.
+    pub churn: Option<ChurnStats>,
+}
+
+/// Fault-injection accounting for one churn run, emitted as flat extra
+/// fields on the record's JSON line (after `violation`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Total events applied across all bursts.
+    pub events_applied: usize,
+    /// Worst-case recovery cost of a single burst: incremental-repair
+    /// passes plus the rounds of any clean re-stabilisation epoch that
+    /// corruption forced.
+    pub recovery_rounds: usize,
+    /// Largest number of violations observed at any quiescence point
+    /// *before* repair (ghost/conflicting witness entries, uncovered
+    /// edges, infeasible corrupted outputs).
+    pub max_transient_violation: usize,
+    /// Total neighbourhood-scan messages spent on incremental repair.
+    pub repair_messages: usize,
 }
 
 impl SweepRecord {
@@ -151,6 +172,14 @@ impl SweepRecord {
                 let _ = write!(s, ",\"violation\":\"{}\"", escape_json(w));
             }
             None => s.push_str(",\"violation\":null"),
+        }
+        if let Some(c) = &self.churn {
+            let _ = write!(
+                s,
+                ",\"events_applied\":{},\"recovery_rounds\":{},\
+                 \"max_transient_violation\":{},\"repair_messages\":{}",
+                c.events_applied, c.recovery_rounds, c.max_transient_violation, c.repair_messages,
+            );
         }
         s.push('}');
         s
@@ -242,6 +271,7 @@ mod tests {
             ratio: Some(2.0),
             within_bound: Some(true),
             violation: None,
+            churn: None,
         };
         let line = record.to_json_line();
         assert!(line.starts_with('{') && line.ends_with('}'));
@@ -267,6 +297,46 @@ mod tests {
     }
 
     #[test]
+    fn churn_fields_are_flat_and_optional() {
+        let mut record = SweepRecord {
+            scenario: "churn(petersen)-b3e2c1/shuffled/s0".to_owned(),
+            family: "churn",
+            policy: "shuffled",
+            seed: 0,
+            nodes: 10,
+            edges: 15,
+            protocol: "id-matching",
+            rounds: 40,
+            messages: 900,
+            size: 4,
+            optimum: Some(3),
+            lower_bound: 3,
+            bounds: "exact",
+            bound: Some((2, 1)),
+            ratio: None,
+            within_bound: Some(true),
+            violation: None,
+            churn: None,
+        };
+        // Static records carry no churn keys at all.
+        assert!(!record.to_json_line().contains("events_applied"));
+        record.churn = Some(ChurnStats {
+            events_applied: 9,
+            recovery_rounds: 2,
+            max_transient_violation: 3,
+            repair_messages: 27,
+        });
+        let line = record.to_json_line();
+        // Flat fields, after `violation`, still one valid JSON line.
+        assert!(line.ends_with(
+            "\"violation\":null,\"events_applied\":9,\"recovery_rounds\":2,\
+             \"max_transient_violation\":3,\"repair_messages\":27}"
+        ));
+        assert!(!line.contains('\n'));
+        assert!(record.is_clean());
+    }
+
+    #[test]
     fn json_strings_are_escaped() {
         // External scenario names are arbitrary — quotes, backslashes
         // and control characters must not break the JSON line.
@@ -288,6 +358,7 @@ mod tests {
             ratio: Some(1.0),
             within_bound: None,
             violation: None,
+            churn: None,
         };
         let line = record.to_json_line();
         assert!(!line.contains('\n'));

@@ -253,6 +253,49 @@ mod tests {
         assert_eq!(field(unterminated, "scenario"), None);
     }
 
+    /// A dynamic-scenario record: same prefix as a static record plus
+    /// the flat churn accounting fields.
+    const CHURN_LINE: &str = "{\"scenario\":\"churn(petersen)-b3e2c1/shuffled/s0\",\
+        \"family\":\"churn\",\"policy\":\"shuffled\",\"seed\":0,\"nodes\":12,\"edges\":12,\
+        \"protocol\":\"bounded-degree\",\"rounds\":24,\"messages\":700,\"size\":5,\
+        \"optimum\":4,\"lower_bound\":4,\"bounds\":\"lp\",\"bound\":3.5000,\
+        \"ratio\":1.2500,\"within_bound\":true,\"violation\":null,\
+        \"events_applied\":9,\"recovery_rounds\":2,\"max_transient_violation\":3,\
+        \"repair_messages\":35}";
+
+    #[test]
+    fn churn_fields_do_not_confuse_extraction() {
+        // The added fields are extractable...
+        assert_eq!(field(CHURN_LINE, "events_applied"), Some("9"));
+        assert_eq!(field(CHURN_LINE, "repair_messages"), Some("35"));
+        // ...and never shadow the legacy keys the diff relies on:
+        // "recovery_rounds" must not satisfy a "rounds" lookup, nor
+        // "max_transient_violation" a "violation" lookup.
+        assert_eq!(field(CHURN_LINE, "rounds"), Some("24"));
+        assert_eq!(field(CHURN_LINE, "violation"), Some("null"));
+        assert_eq!(field(CHURN_LINE, "messages"), Some("700"));
+    }
+
+    #[test]
+    fn mixed_legacy_and_churn_reports_parse() {
+        // A current report may mix static (legacy-shaped) and churn
+        // records; both shapes parse, so diffing against a pre-churn
+        // baseline keeps working.
+        let path = std::env::temp_dir().join("bench_diff_test_mixed.json");
+        let summary = "{\"benchmark\":\"scenario_sweep\",\"families\":2,\"protocols\":2,\
+            \"records\":2,\"violations\":0}";
+        std::fs::write(&path, format!("{LINE}\n{CHURN_LINE}\n{summary}\n")).unwrap();
+        let report = parse_report(path.to_str().unwrap()).unwrap();
+        assert_eq!(report.len(), 2);
+        let churn = &report[&(
+            "churn(petersen)-b3e2c1/shuffled/s0".to_owned(),
+            "bounded-degree".to_owned(),
+        )];
+        assert!(churn.clean);
+        assert_eq!(churn.measure(), Some(1.25));
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn measure_prefers_the_optimum() {
         let r = Record {

@@ -5,11 +5,18 @@
 //! Usage:
 //!
 //! ```text
-//! scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential]
-//!                [--simulator-threads N] [--bounds exact|lp|mm]
+//! scenario_sweep [--smoke | --churn] [--out PATH] [--threads N]
+//!                [--sequential] [--simulator-threads N]
+//!                [--bounds exact|lp|mm]
 //! ```
 //!
 //! * `--smoke` sweeps the fast CI registry instead of the full matrix;
+//! * `--churn` sweeps the dynamic-scenario gate ([`Registry::churn`]):
+//!   every protocol survives edge churn, crashes, joins and adversarial
+//!   state corruption, and the run fails if any record carries a
+//!   violation — i.e. if any protocol failed to re-converge to a
+//!   feasible solution at some quiescence point (the CI `churn-smoke`
+//!   contract);
 //! * `--out PATH` overrides the output path (default
 //!   `BENCH_scenarios.json` in the current directory);
 //! * `--threads N` sets the shard count (default: all cores);
@@ -51,6 +58,15 @@
 //! process exits non-zero if any record is unclean (an infeasible
 //! solution or a proven approximation-bound violation), so CI can gate
 //! on quality regressions exactly like on test failures.
+//!
+//! The report is written crash-safely: records stream into `PATH.tmp`,
+//! which is fsynced and atomically renamed onto `PATH` only after the
+//! sweep finishes. A sweep killed mid-run (or failing its gates) leaves
+//! any previously committed report untouched, so `bench_diff` never
+//! sees a truncated baseline. Targets that can't be atomically replaced
+//! (`--out /dev/stdout`, FIFOs, other non-regular files) are written
+//! straight through instead — renaming over a device node would replace
+//! the device, not the report.
 
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -61,6 +77,7 @@ use edge_dominating_sets::scenarios::{
 
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut churn = false;
     let mut out = "BENCH_scenarios.json".to_owned();
     let mut threads: Option<usize> = None;
     let mut simulator_threads: Option<usize> = None;
@@ -71,6 +88,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--churn" => churn = true,
             "--sequential" => threads = Some(1),
             "--bounds" => match args.next() {
                 Some(mode) => match BoundsMode::parse(&mode) {
@@ -115,30 +133,49 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: scenario_sweep [--smoke] [--out PATH] [--threads N] [--sequential] \
-                     [--simulator-threads N] [--bounds exact|lp|mm]"
+                    "usage: scenario_sweep [--smoke | --churn] [--out PATH] [--threads N] \
+                     [--sequential] [--simulator-threads N] [--bounds exact|lp|mm]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
+    if smoke && churn {
+        eprintln!("--smoke and --churn select different registries; pass at most one");
+        return ExitCode::from(2);
+    }
 
-    let registry = if smoke {
-        Registry::smoke()
+    let (registry, label) = if churn {
+        (Registry::churn(), "churn")
+    } else if smoke {
+        (Registry::smoke(), "smoke")
     } else {
-        Registry::full()
+        (Registry::full(), "full")
     };
     eprintln!(
-        "sweeping {} scenarios across {} families ({})",
+        "sweeping {} scenarios across {} families ({label})",
         registry.len(),
         registry.family_keys().len(),
-        if smoke { "smoke" } else { "full" },
     );
 
-    let file = match std::fs::File::create(&out) {
+    // Stream into a sibling temp file; the committed report is replaced
+    // only by the atomic rename after a fully successful sweep. Streams
+    // and devices (`--out /dev/stdout`, FIFOs) can't be atomically
+    // replaced — and renaming over them would swap out the node itself —
+    // so anything that isn't a regular file is written straight through.
+    let atomic = match std::fs::symlink_metadata(&out) {
+        Ok(meta) => meta.is_file(),
+        Err(_) => true,
+    };
+    let tmp = if atomic {
+        format!("{out}.tmp")
+    } else {
+        out.clone()
+    };
+    let file = match std::fs::File::create(&tmp) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("cannot create {out}: {e}");
+            eprintln!("cannot create {tmp}: {e}");
             return ExitCode::from(1);
         }
     };
@@ -158,12 +195,31 @@ fn main() -> ExitCode {
     }
     if let Err(e) = session.run(&mut sink) {
         eprintln!("sweep failed: {e}");
+        if atomic {
+            let _ = std::fs::remove_file(&tmp);
+        }
         return ExitCode::from(1);
     }
 
     let aggregate = sink.second;
-    if let Err(e) = sink.first.finish() {
+    // Flush the summary line, fsync, and only then swap the report in.
+    let committed = sink
+        .first
+        .finish()
+        .and_then(|w| w.into_inner().map_err(|e| e.into_error()))
+        .and_then(|f| if atomic { f.sync_all() } else { Ok(()) })
+        .and_then(|()| {
+            if atomic {
+                std::fs::rename(&tmp, &out)
+            } else {
+                Ok(())
+            }
+        });
+    if let Err(e) = committed {
         eprintln!("cannot write {out}: {e}");
+        if atomic {
+            let _ = std::fs::remove_file(&tmp);
+        }
         return ExitCode::from(1);
     }
 
