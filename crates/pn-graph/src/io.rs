@@ -9,10 +9,18 @@ use crate::{GraphError, NodeId, SimpleGraph};
 
 /// Parses an edge list into a [`SimpleGraph`].
 ///
+/// Equivalent to [`parse_edge_list_capped`] with the largest cap the
+/// node-id representation supports (`u32::MAX` nodes). Callers feeding
+/// **untrusted** input should prefer the capped variant with a realistic
+/// limit: the format itself lets a two-line file declare billions of
+/// nodes, and the cap is what turns that into a structured error instead
+/// of a giant allocation.
+///
 /// # Errors
 ///
-/// Returns [`GraphError::InvalidParameter`] on malformed lines, and the
-/// usual construction errors for loops or duplicate edges.
+/// Returns [`GraphError::InvalidParameter`] on malformed lines or node
+/// indices outside the representable range, and the usual construction
+/// errors for loops or duplicate edges. Never panics, for any input.
 ///
 /// # Examples
 ///
@@ -26,6 +34,37 @@ use crate::{GraphError, NodeId, SimpleGraph};
 /// # }
 /// ```
 pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
+    parse_edge_list_capped(text, u32::MAX as usize)
+}
+
+/// Parses an edge list, rejecting inputs that would exceed `max_nodes`.
+///
+/// This is the ingestion path for untrusted input (the `eds` CLI and the
+/// `eds-serve` daemon): a declared node count or edge endpoint at or
+/// above `max_nodes` is a structured [`GraphError::InvalidParameter`],
+/// reported *before* any allocation proportional to it happens. The cap
+/// is clamped to `u32::MAX` (the node-id representation limit), so the
+/// historical panic sites — `NodeId::new` on an oversized index, and the
+/// `max + 1` node-count overflow on `usize::MAX` — are unreachable.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] on malformed lines, out-of-range
+/// indices, or an over-cap node count; loop/parallel-edge construction
+/// errors propagate unchanged. Never panics, for any input.
+pub fn parse_edge_list_capped(text: &str, max_nodes: usize) -> Result<SimpleGraph, GraphError> {
+    let cap = max_nodes.min(u32::MAX as usize);
+    let check = |idx: usize, lineno: usize| {
+        if idx >= cap {
+            return Err(GraphError::InvalidParameter {
+                detail: format!(
+                    "line {}: node index {idx} exceeds the limit of {cap} nodes",
+                    lineno + 1
+                ),
+            });
+        }
+        Ok(idx)
+    };
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut declared_nodes: Option<usize> = None;
     for (lineno, raw) in text.lines().enumerate() {
@@ -40,6 +79,14 @@ pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
                 .map_err(|_| GraphError::InvalidParameter {
                     detail: format!("line {}: malformed node count {rest:?}", lineno + 1),
                 })?;
+            if n > cap {
+                return Err(GraphError::InvalidParameter {
+                    detail: format!(
+                        "line {}: declared node count {n} exceeds the limit of {cap} nodes",
+                        lineno + 1
+                    ),
+                });
+            }
             declared_nodes = Some(n);
             continue;
         }
@@ -58,8 +105,9 @@ pub fn parse_edge_list(text: &str) -> Result<SimpleGraph, GraphError> {
                     detail: format!("line {}: {s:?} is not a node index", lineno + 1),
                 })
         };
-        edges.push((parse(u)?, parse(v)?));
+        edges.push((check(parse(u)?, lineno)?, check(parse(v)?, lineno)?));
     }
+    // Safe: every index is < cap <= u32::MAX, so `+ 1` cannot overflow.
     let needed = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
     let n = match declared_nodes {
         Some(n) if n < needed => {
@@ -148,5 +196,39 @@ mod tests {
     fn empty_input() {
         let g = parse_edge_list("").unwrap();
         assert_eq!(g.node_count(), 0);
+    }
+
+    /// The historical panic sites: an endpoint at `usize::MAX` used to
+    /// overflow the `max + 1` node count in debug builds, and anything
+    /// above `u32::MAX` used to trip the `NodeId::new` expect. Both are
+    /// structured errors now, for any input.
+    #[test]
+    fn oversized_indices_are_structured_errors() {
+        let huge = format!("0 {}\n", usize::MAX);
+        assert!(matches!(
+            parse_edge_list(&huge),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        let above_u32 = format!("0 {}\n", u64::from(u32::MAX) + 1);
+        assert!(matches!(
+            parse_edge_list(&above_u32),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        let huge_header = format!("nodes {}\n", usize::MAX);
+        assert!(matches!(
+            parse_edge_list(&huge_header),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn cap_rejects_before_allocating() {
+        // A cap of 10 turns a 1e9-node declaration into an error.
+        assert!(parse_edge_list_capped("nodes 1000000000\n", 10).is_err());
+        assert!(parse_edge_list_capped("0 999\n", 10).is_err());
+        let g = parse_edge_list_capped("0 9\n", 10).unwrap();
+        assert_eq!(g.node_count(), 10);
+        // Index == cap is out of range (indices are 0-based).
+        assert!(parse_edge_list_capped("0 10\n", 10).is_err());
     }
 }

@@ -120,6 +120,7 @@ mod churn;
 mod error;
 mod output;
 mod parallel;
+mod pool;
 mod simulator;
 mod trace;
 
@@ -127,5 +128,6 @@ pub use algorithm::{collect_send, entropy_stream, AlgorithmFactory, NodeAlgorith
 pub use churn::{ChurnError, ChurnEvent, ChurnSimulator, Epoch, EventSchedule};
 pub use error::RuntimeError;
 pub use output::{edge_set_from_outputs, fiber_agreement, outputs_from_edge_set, PortSet};
+pub use pool::{SubmitError, WorkerPool};
 pub use simulator::{Run, RunOptions, Simulator};
 pub use trace::{HaltEvent, MessageEvent, Trace};

@@ -74,6 +74,7 @@ pub mod churn;
 pub mod protocol;
 pub mod registry;
 pub mod scenario;
+pub mod serve;
 pub mod session;
 pub mod sink;
 pub mod small;
@@ -86,6 +87,7 @@ pub use protocol::{
 };
 pub use registry::Registry;
 pub use scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
+pub use serve::{canonical_form, CanonicalForm, ServeConfig, Server, StatsSnapshot};
 pub use session::{BoundProvider, Bounds, ExactBounds, Session};
 pub use sink::{AggregateSink, JsonLinesSink, RecordSink, Tee, VecSink};
 pub use sweep::{ChurnStats, SweepConfig, SweepRecord};

@@ -151,9 +151,17 @@ impl SweepRecord {
         );
         match self.bound {
             Some((num, den)) => {
-                let _ = write!(s, ",\"bound\":{:.4}", num as f64 / den as f64);
+                // The float is for human eyes and plotting; `{:.4}` (and
+                // f64 itself, above 2^53) loses exactness, so the exact
+                // integer fraction rides alongside and is what
+                // `bench_diff` compares.
+                let _ = write!(
+                    s,
+                    ",\"bound\":{:.4},\"bound_num\":{num},\"bound_den\":{den}",
+                    num as f64 / den as f64
+                );
             }
-            None => s.push_str(",\"bound\":null"),
+            None => s.push_str(",\"bound\":null,\"bound_num\":null,\"bound_den\":null"),
         }
         match self.ratio {
             Some(r) => {
@@ -188,8 +196,9 @@ impl SweepRecord {
 
 /// Escapes a string for embedding in a JSON string literal (backslash,
 /// double quote, and control characters). Registry scenario names never
-/// need it, but [`crate::Scenario::external`] names are arbitrary.
-fn escape_json(s: &str) -> String {
+/// need it, but [`crate::Scenario::external`] names are arbitrary. Also
+/// used by the serve layer's wire frames.
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -280,6 +289,8 @@ mod tests {
         assert!(line.contains("\"optimum\":3"));
         assert!(line.contains("\"bounds\":\"exact\""));
         assert!(line.contains("\"bound\":3.3333"));
+        assert!(line.contains("\"bound_num\":10"));
+        assert!(line.contains("\"bound_den\":3"));
         assert!(line.contains("\"within_bound\":true"));
         assert!(line.contains("\"violation\":null"));
         let nulls = SweepRecord {
@@ -292,8 +303,43 @@ mod tests {
         };
         let line = nulls.to_json_line();
         assert!(line.contains("\"optimum\":null"));
+        assert!(line.contains("\"bound\":null"));
+        assert!(line.contains("\"bound_num\":null"));
+        assert!(line.contains("\"bound_den\":null"));
         assert!(line.contains("\"ratio\":null"));
         assert!(line.contains("\"violation\":\"edge 3 = {1, 2} not dominated\""));
+    }
+
+    /// The float `bound` field rounds to 4 decimals; the exact fields
+    /// must survive fractions the float cannot represent.
+    #[test]
+    fn exact_bound_fields_survive_float_truncation() {
+        let record = SweepRecord {
+            scenario: "big/canonical/s0".to_owned(),
+            family: "big",
+            policy: "canonical",
+            seed: 0,
+            nodes: 4,
+            edges: 3,
+            protocol: "vertex-cover",
+            rounds: 1,
+            messages: 6,
+            size: 2,
+            optimum: Some(1),
+            lower_bound: 1,
+            bounds: "exact",
+            bound: Some((u64::MAX, u64::MAX - 2)),
+            ratio: Some(2.0),
+            within_bound: Some(true),
+            violation: None,
+            churn: None,
+        };
+        let line = record.to_json_line();
+        // Both fractions collapse to 1.0000 in the float rendering...
+        assert!(line.contains("\"bound\":1.0000"));
+        // ...but the exact integers are preserved verbatim.
+        assert!(line.contains(&format!("\"bound_num\":{}", u64::MAX)));
+        assert!(line.contains(&format!("\"bound_den\":{}", u64::MAX - 2)));
     }
 
     #[test]

@@ -65,6 +65,12 @@ struct Record {
     optimum: Option<f64>,
     lower_bound: f64,
     clean: bool,
+    /// The paper bound as an exact fraction (`bound_num`/`bound_den`),
+    /// when the report carries the exact fields (reports predating them
+    /// parse with `None`). Compared verbatim — the float `bound` field
+    /// is rounded to 4 decimals and cannot distinguish large
+    /// certificates.
+    bound_exact: Option<(u128, u128)>,
 }
 
 impl Record {
@@ -79,13 +85,51 @@ impl Record {
     }
 }
 
+/// Parses a JSON-lines quality report, diagnosing truncation.
+///
+/// `scenario_sweep` writes reports crash-safely (tmp + rename), but a
+/// report produced by other means — a copy truncated mid-transfer, a
+/// sweep on a pre-atomic version killed mid-write — can end without the
+/// trailing summary line or mid-record. Every such shape gets a clear
+/// diagnostic naming the file and the fix, instead of a panic or a
+/// silently confusing `MISSING`-everything diff.
 fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = BTreeMap::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.contains("\"benchmark\":") {
-            continue; // the trailing summary line
+    let mut record_lines = 0usize;
+    let mut summary: Option<(usize, usize)> = None; // (lineno, declared record count)
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let last_lineno = lines.last().map(|&(i, _)| i);
+    for &(lineno, line) in &lines {
+        if field(line, "benchmark").is_some() {
+            if let Some((first, _)) = summary {
+                return Err(format!(
+                    "{path}:{}: second summary line (first at line {}) — \
+                     concatenated or corrupt report",
+                    lineno + 1,
+                    first + 1
+                ));
+            }
+            let declared = field(line, "records")
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    format!("{path}:{}: summary line has no record count", lineno + 1)
+                })?;
+            summary = Some((lineno, declared));
+            continue;
+        }
+        if let Some((summary_lineno, _)) = summary {
+            return Err(format!(
+                "{path}:{}: record after the summary line (line {}) — \
+                 the summary must be last; concatenated or corrupt report",
+                lineno + 1,
+                summary_lineno + 1
+            ));
         }
         let parse = || -> Option<((String, String), Record)> {
             let scenario = field(line, "scenario")?.to_owned();
@@ -98,6 +142,13 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
             let lower_bound: f64 = field(line, "lower_bound")?.parse().ok()?;
             let clean =
                 field(line, "violation")? == "null" && field(line, "within_bound")? != "false";
+            // Optional: reports predating the exact fields lack them.
+            let bound_exact = match (field(line, "bound_num"), field(line, "bound_den")) {
+                (Some(num), Some(den)) if num != "null" && den != "null" => {
+                    Some((num.parse().ok()?, den.parse().ok()?))
+                }
+                _ => None,
+            };
             Some((
                 (scenario, protocol),
                 Record {
@@ -105,12 +156,22 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
                     optimum,
                     lower_bound,
                     clean,
+                    bound_exact,
                 },
             ))
         };
         match parse() {
             Some((key, record)) => {
+                record_lines += 1;
                 records.insert(key, record);
+            }
+            None if Some(lineno) == last_lineno => {
+                return Err(format!(
+                    "{path}:{}: unparseable final line — the report looks cut \
+                     mid-record (writer killed mid-line?); regenerate it with \
+                     scenario_sweep",
+                    lineno + 1
+                ))
             }
             None => {
                 return Err(format!(
@@ -119,6 +180,20 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
                 ))
             }
         }
+    }
+    let Some((_, declared)) = summary else {
+        return Err(format!(
+            "{path}: missing the trailing summary line — the report is \
+             truncated (sweep killed mid-write?); regenerate it with \
+             scenario_sweep"
+        ));
+    };
+    if declared != record_lines {
+        return Err(format!(
+            "{path}: summary declares {declared} records but the file holds \
+             {record_lines} — truncated or corrupt report; regenerate it with \
+             scenario_sweep"
+        ));
     }
     if records.is_empty() {
         return Err(format!("{path}: no records found"));
@@ -189,6 +264,18 @@ fn main() -> ExitCode {
             loosened += 1;
         } else if cur.lower_bound > base.lower_bound {
             tightened += 1;
+        }
+        // Exact paper-bound fractions, compared verbatim: a change means
+        // protocol/bound semantics shifted. Reported (the float field
+        // rounds to 4 decimals and can hide it) but never failed — the
+        // drift and within_bound gates own correctness.
+        if let (Some(b), Some(c)) = (base.bound_exact, cur.bound_exact) {
+            if b != c {
+                eprintln!(
+                    "BOUND    {}/{}: exact paper bound {}/{} -> {}/{}",
+                    key.0, key.1, b.0, b.1, c.0, c.1
+                );
+            }
         }
         let (Some(b), Some(c)) = (base.measure(), cur.measure()) else {
             continue;
@@ -303,6 +390,7 @@ mod tests {
             optimum: Some(3.0),
             lower_bound: 2.0,
             clean: true,
+            bound_exact: None,
         };
         assert_eq!(r.measure(), Some(2.0));
         let lb = Record { optimum: None, ..r };
@@ -320,6 +408,94 @@ mod tests {
         let record = &report[&("petersen/shuffled/s0".to_owned(), "port-one".to_owned())];
         assert!(record.clean);
         assert_eq!(record.measure(), Some(2.0));
+        // A pre-exact-fields baseline parses with no exact bound.
+        assert_eq!(record.bound_exact, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A `SweepRecord` with a bound fraction the 4-decimal float cannot
+    /// represent survives the full writer -> report -> `bench_diff`
+    /// parser round trip exactly.
+    #[test]
+    fn exact_bounds_round_trip_through_the_report() {
+        use edge_dominating_sets::scenarios::SweepRecord;
+        let record = SweepRecord {
+            scenario: "big/canonical/s0".to_owned(),
+            family: "big",
+            policy: "canonical",
+            seed: 0,
+            nodes: 4,
+            edges: 3,
+            protocol: "vertex-cover",
+            rounds: 1,
+            messages: 6,
+            size: 2,
+            optimum: Some(1),
+            lower_bound: 1,
+            bounds: "exact",
+            bound: Some((u64::MAX, u64::MAX - 2)),
+            ratio: Some(2.0),
+            within_bound: Some(true),
+            violation: None,
+            churn: None,
+        };
+        let path = std::env::temp_dir().join("bench_diff_test_exact.json");
+        let summary = "{\"benchmark\":\"scenario_sweep\",\"families\":1,\"protocols\":1,\
+            \"records\":1,\"violations\":0}";
+        std::fs::write(&path, format!("{}\n{summary}\n", record.to_json_line())).unwrap();
+        let report = parse_report(path.to_str().unwrap()).unwrap();
+        let parsed = &report[&("big/canonical/s0".to_owned(), "vertex-cover".to_owned())];
+        // u64::MAX and u64::MAX - 2 both round to the same f64; only the
+        // exact fields can distinguish them — and they do.
+        assert_eq!(
+            parsed.bound_exact,
+            Some((u128::from(u64::MAX), u128::from(u64::MAX) - 2))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summaryless_report_is_diagnosed_as_truncated() {
+        let path = std::env::temp_dir().join("bench_diff_test_nosummary.json");
+        std::fs::write(&path, format!("{LINE}\n")).unwrap();
+        let err = parse_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("missing the trailing summary line"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_count_mismatch_is_diagnosed_as_truncated() {
+        let path = std::env::temp_dir().join("bench_diff_test_count.json");
+        let summary = "{\"benchmark\":\"scenario_sweep\",\"families\":3,\"protocols\":3,\
+            \"records\":3,\"violations\":0}";
+        // Summary claims 3 records; the file holds 1 (lines lost).
+        std::fs::write(&path, format!("{LINE}\n{summary}\n")).unwrap();
+        let err = parse_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("declares 3 records"), "{err}");
+        assert!(err.contains("holds 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_record_cut_is_diagnosed() {
+        let path = std::env::temp_dir().join("bench_diff_test_cut.json");
+        // The writer died mid-line: the final record is cut short.
+        let cut = &LINE[..60];
+        std::fs::write(&path, format!("{LINE}\n{cut}")).unwrap();
+        let err = parse_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("cut mid-record"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_after_summary_is_diagnosed() {
+        let path = std::env::temp_dir().join("bench_diff_test_after.json");
+        let summary = "{\"benchmark\":\"scenario_sweep\",\"families\":1,\"protocols\":1,\
+            \"records\":1,\"violations\":0}";
+        std::fs::write(&path, format!("{summary}\n{LINE}\n")).unwrap();
+        let err = parse_report(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("record after the summary"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

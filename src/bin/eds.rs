@@ -347,8 +347,14 @@ fn run_baseline(
     Ok(out)
 }
 
+/// The largest instance the CLI ingests (2^27 nodes ≈ the million-node
+/// families with two orders of magnitude of headroom). A malicious or
+/// corrupt file declaring more is a structured parse error, not a
+/// multi-gigabyte allocation.
+const MAX_INPUT_NODES: usize = 1 << 27;
+
 fn run(options: &Options, input: &str) -> Result<String, String> {
-    let g = io::parse_edge_list(input).map_err(|e| e.to_string())?;
+    let g = io::parse_edge_list_capped(input, MAX_INPUT_NODES).map_err(|e| e.to_string())?;
     let (pg, seed) = number_ports(&g, &options.ports)?;
 
     match protocol_for(&options.algorithm) {
@@ -565,6 +571,42 @@ mod tests {
     fn malformed_input_reports_error() {
         let o = opts(&["--quiet"]);
         assert!(run(&o, "0\n").is_err());
+    }
+
+    /// Regression: every malformed-input shape must come back as a
+    /// structured `Err` (non-zero exit in `main`), never a panic or a
+    /// giant allocation. These same paths are the daemon's request
+    /// parser.
+    #[test]
+    fn hostile_inputs_are_structured_errors() {
+        let cases: &[&str] = &[
+            // Out-of-range endpoints: used to overflow the node count
+            // (usize::MAX) or trip the NodeId::new expect (> u32::MAX).
+            "0 18446744073709551615\n",
+            "0 4294967296\n",
+            // A two-line file declaring billions of nodes: caught by the
+            // CLI ingestion cap before any allocation.
+            "nodes 18446744073709551615\n",
+            "nodes 999999999999\n",
+            "0 999999999\n",
+            // Garbage shapes.
+            "0 1 2\n",
+            "a b\n",
+            "nodes x\n",
+            "-1 0\n",
+            "0.5 1\n",
+            "nodes 1\n0 1\n",
+            // Structural errors (loop, parallel edge).
+            "0 0\n",
+            "0 1\n1 0\n",
+        ];
+        for algo in ["port1", "vc3", "greedy"] {
+            for input in cases {
+                let o = opts(&["--algorithm", algo, "--quiet"]);
+                let err = run(&o, input).expect_err(&format!("{algo}: {input:?} must be rejected"));
+                assert!(!err.is_empty(), "{algo}: {input:?} produced an empty error");
+            }
+        }
     }
 
     #[test]

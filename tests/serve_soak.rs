@@ -1,0 +1,303 @@
+//! Soak test for the `eds-serve` daemon layer: many concurrent unix-
+//! socket clients hammering one server with a mix of solve requests,
+//! cache-hitting duplicates, PN-isomorphic relabelings and malformed
+//! frames.
+//!
+//! Checked invariants:
+//!
+//! * **No lost or duplicated responses** — every client gets exactly one
+//!   response per frame, in request order, with the right `id` echoed.
+//! * **Bounded memory** — the canonical-result cache never exceeds its
+//!   configured capacity, however many distinct instances stream past.
+//! * **Cache coherence under renumbering** — a response served from
+//!   cache for a node-relabeled instance is byte-identical to a fresh
+//!   solve of that same instance on a cold server.
+//! * **Graceful shutdown under load** — a `shutdown` frame mid-stream
+//!   drains every in-flight solve; late frames get structured refusals
+//!   and every connection ends with a reason frame, not a hang.
+//! * **Throughput** (release builds only) — ≥ 1000 requests/second
+//!   sustained on smoke-tier instances.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use edge_dominating_sets::scenarios::{ServeConfig, Server};
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eds-serve-{tag}-{}.sock", std::process::id()))
+}
+
+fn connect(path: &PathBuf) -> (BufReader<UnixStream>, UnixStream) {
+    // The accept loop polls; retry briefly so a slow bind never flakes.
+    for _ in 0..100 {
+        if let Ok(stream) = UnixStream::connect(path) {
+            let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+            return (reader, stream);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("socket {} never came up", path.display());
+}
+
+fn read_line(reader: &mut BufReader<UnixStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.ends_with('\n'), "response not newline-terminated");
+    line.trim_end().to_owned()
+}
+
+/// The heart of the soak: `CLIENTS` threads, each sending `ROUNDS`
+/// bursts of frames over one connection — a rotating mix of fresh
+/// instances, repeats (cache hits), node-relabeled repeats and
+/// malformed garbage — and checking every response as it arrives.
+#[test]
+fn concurrent_clients_lose_nothing_and_memory_stays_bounded() {
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 12;
+    let config = ServeConfig {
+        solver_threads: 2,
+        cache_capacity: 16,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config);
+    let path = socket_path("soak");
+    server.listen_unix(&path).expect("bind socket");
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let path = &path;
+            scope.spawn(move || {
+                let (mut reader, mut writer) = connect(path);
+                let mut expected: Vec<(String, &str)> = Vec::new();
+                for round in 0..ROUNDS {
+                    let id = format!("\"c{client}-r{round}\"");
+                    let frame = match round % 6 {
+                        // A small rotating pool of instances: repeats
+                        // across clients and rounds exercise the cache
+                        // and in-batch dedup.
+                        0 => format!(
+                            "{{\"id\":{id},\"spec\":\"cycle:{}\",\"protocols\":[\"vc3\"]}}",
+                            5 + (client + round) % 4
+                        ),
+                        1 => format!(
+                            "{{\"id\":{id},\"spec\":\"path:{}\",\"protocols\":[\"vc3\",\"port-one\"]}}",
+                            4 + round % 3
+                        ),
+                        // The same 5-cycle in two labelings: these two
+                        // frames share one cache entry.
+                        2 => format!(
+                            "{{\"id\":{id},\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,0]],\"protocols\":[\"vc3\"]}}"
+                        ),
+                        3 => format!(
+                            "{{\"id\":{id},\"edges\":[[3,1],[1,4],[4,0],[0,2],[2,3]],\"protocols\":[\"vc3\"]}}"
+                        ),
+                        // Malformed traffic interleaved with real work.
+                        4 => format!("{{\"id\":{id},\"edges\":[[0,0]]}}"),
+                        _ => "not json at all".to_owned(),
+                    };
+                    let want = match round % 6 {
+                        4 => "\"kind\":\"graph\"",
+                        5 => "\"kind\":\"parse\"",
+                        _ => "\"ok\":true",
+                    };
+                    expected.push((
+                        if round % 6 == 5 { "null".to_owned() } else { id },
+                        want,
+                    ));
+                    writer.write_all(frame.as_bytes()).expect("send frame");
+                    writer.write_all(b"\n").expect("send frame");
+                }
+                // Responses arrive strictly in request order.
+                for (id, want) in expected {
+                    let line = read_line(&mut reader);
+                    assert!(
+                        line.contains(&format!("\"id\":{id}")),
+                        "client {client}: response out of order or lost: {line}"
+                    );
+                    assert!(line.contains(want), "client {client}: {line}");
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.frames,
+        (CLIENTS * ROUNDS) as u64,
+        "every sent frame was read"
+    );
+    assert_eq!(
+        stats.responses, stats.frames,
+        "exactly one response per frame, none lost, none duplicated"
+    );
+    assert!(
+        stats.cache_entries <= 16,
+        "cache exceeded its capacity: {} entries",
+        stats.cache_entries
+    );
+    assert!(
+        stats.cache_hits > 0,
+        "repeated instances must hit the cache"
+    );
+    assert_eq!(stats.pool_panics, 0, "no contained panics under load");
+
+    server.begin_shutdown();
+    server.finish();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+/// A relabeled instance answered from cache must be byte-identical to a
+/// fresh solve of the same bytes on a cold server — over the socket,
+/// exactly as clients see it.
+#[test]
+fn socket_cache_hits_are_byte_identical_under_renumbering() {
+    // The same 6-cycle twice: identity labels, then an arbitrary
+    // permutation of the node names.
+    let original =
+        "{\"id\":\"q\",\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]],\"protocols\":[\"vc3\",\"port-one\"]}";
+    let relabeled =
+        "{\"id\":\"q\",\"edges\":[[2,5],[5,0],[0,4],[4,1],[1,3],[3,2]],\"protocols\":[\"vc3\",\"port-one\"]}";
+
+    let ask = |server: &Server, tag: &str, frames: &[&str]| -> Vec<String> {
+        let path = socket_path(tag);
+        server.listen_unix(&path).expect("bind socket");
+        let (mut reader, mut writer) = connect(&path);
+        let mut out = Vec::new();
+        for frame in frames {
+            writer.write_all(frame.as_bytes()).expect("send");
+            writer.write_all(b"\n").expect("send");
+            out.push(read_line(&mut reader));
+        }
+        out
+    };
+
+    let cold = Server::new(ServeConfig::default());
+    let fresh = ask(&cold, "cold", &[relabeled]).remove(0);
+    cold.begin_shutdown();
+    cold.finish();
+
+    let warm = Server::new(ServeConfig::default());
+    let answers = ask(&warm, "warm", &[original, relabeled]);
+    assert!(
+        warm.stats().cache_hits >= 1,
+        "relabeling must hit the cache"
+    );
+    warm.begin_shutdown();
+    warm.finish();
+
+    assert_eq!(
+        answers[1], fresh,
+        "cached response differs from a fresh solve of the same instance"
+    );
+    assert!(fresh.contains("\"ok\":true"), "{fresh}");
+}
+
+/// Shutdown mid-stream: in-flight solves drain, late frames are refused
+/// with a structured `shutdown` error, and every connection is closed
+/// with a reason frame.
+#[test]
+fn shutdown_under_load_drains_and_refuses_cleanly() {
+    let server = Server::new(ServeConfig {
+        solver_threads: 2,
+        ..ServeConfig::default()
+    });
+    let path = socket_path("shutdown");
+    server.listen_unix(&path).expect("bind socket");
+
+    let (mut reader, mut writer) = connect(&path);
+    writer
+        .write_all(b"{\"id\":1,\"spec\":\"cycle:7\",\"protocols\":[\"vc3\"]}\n")
+        .expect("send solve");
+    writer
+        .write_all(b"{\"id\":2,\"op\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let first = read_line(&mut reader);
+    assert!(
+        first.contains("\"ok\":true"),
+        "in-flight solve drained: {first}"
+    );
+    let second = read_line(&mut reader);
+    assert!(second.contains("\"shutdown\":true"), "{second}");
+    // The server half-closed our read side; it still flushes the final
+    // reason frame before the connection ends.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain connection");
+    assert!(
+        rest.contains("\"kind\":\"shutdown\""),
+        "connection must end with a reason frame, got {rest:?}"
+    );
+    server.finish();
+
+    let stats = server.stats();
+    assert_eq!(stats.pool_panics, 0);
+    // The reason frame rides outside the request/response pairing: the
+    // counters still balance exactly.
+    assert_eq!(stats.responses, stats.frames);
+}
+
+/// Release-only throughput gate: smoke-tier requests (a handful of tiny
+/// instances, so the steady state is cache hits — the intended serving
+/// regime) must sustain at least 1000 requests/second on one core.
+#[cfg(not(debug_assertions))]
+#[test]
+fn sustains_a_thousand_requests_per_second() {
+    use std::time::Instant;
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 500;
+    let server = Server::new(ServeConfig {
+        solver_threads: 1,
+        ..ServeConfig::default()
+    });
+    let path = socket_path("throughput");
+    server.listen_unix(&path).expect("bind socket");
+
+    // Warm the cache with the instance pool.
+    {
+        let (mut reader, mut writer) = connect(&path);
+        for size in 5..9 {
+            writer
+                .write_all(
+                    format!("{{\"id\":0,\"spec\":\"cycle:{size}\",\"protocols\":[\"vc3\"]}}\n")
+                        .as_bytes(),
+                )
+                .expect("warm");
+            read_line(&mut reader);
+        }
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let path = &path;
+            scope.spawn(move || {
+                let (mut reader, mut writer) = connect(path);
+                for i in 0..REQUESTS {
+                    let size = 5 + (client + i) % 4;
+                    writer
+                        .write_all(
+                            format!(
+                                "{{\"id\":{i},\"spec\":\"cycle:{size}\",\"protocols\":[\"vc3\"]}}\n"
+                            )
+                            .as_bytes(),
+                        )
+                        .expect("send");
+                    let line = read_line(&mut reader);
+                    assert!(line.contains("\"ok\":true"), "{line}");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total = (CLIENTS * REQUESTS) as f64;
+    let rate = total / elapsed.as_secs_f64();
+    assert!(
+        rate >= 1000.0,
+        "sustained only {rate:.0} req/s over {total} requests ({elapsed:?})"
+    );
+    server.begin_shutdown();
+    server.finish();
+}
