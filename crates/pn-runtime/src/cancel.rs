@@ -1,0 +1,101 @@
+//! Cooperative cancellation for simulation runs.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle shared between the
+//! party that may abort a run (a serve-daemon timeout, a ctrl-C
+//! handler) and the round loop that must notice. The engines check it
+//! once per round — between rounds, never mid-phase — so a cancelled
+//! run aborts at a consistent barrier with
+//! [`RuntimeError::Cancelled`](crate::RuntimeError::Cancelled) and no
+//! partially delivered round is ever observable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared flag (plus an optional wall-clock deadline) polled by the
+/// round loop.
+///
+/// Cloning shares the underlying state: cancelling any clone cancels
+/// them all. A default token never fires until [`CancelToken::cancel`]
+/// is called.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only on [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been *requested* (flag only — does not
+    /// consult the deadline clock).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Polls the token: true once cancelled or past the deadline. A
+    /// deadline crossing latches the flag, so subsequent polls are a
+    /// single atomic load.
+    pub fn check(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn plain_token_fires_only_on_cancel() {
+        let token = CancelToken::new();
+        assert!(!token.check());
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.check());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_latches() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!token.is_cancelled(), "flag untouched before first poll");
+        assert!(token.check());
+        assert!(token.is_cancelled(), "deadline crossing latched the flag");
+
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.check());
+    }
+}

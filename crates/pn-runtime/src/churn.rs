@@ -318,6 +318,7 @@ where
     /// [`ChurnError::Runtime`] if the epoch fails — for corrupted
     /// epochs, only after the reset-recovery re-run also failed.
     pub fn stabilize(&mut self) -> Result<Epoch<A::Output>, ChurnError> {
+        crate::metrics::metrics().churn_epochs.inc();
         let g = self.topo.freeze()?;
         let corrupted = self.pending_corrupt.len();
         let sim = Simulator::with_options(&g, self.options);

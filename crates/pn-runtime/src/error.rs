@@ -38,6 +38,15 @@ pub enum RuntimeError {
         /// The counterpart port missing from the output.
         counterpart_port: Port,
     },
+    /// The run was aborted between rounds by a
+    /// [`CancelToken`](crate::CancelToken) — a caller-requested
+    /// cancellation or an expired deadline.
+    Cancelled {
+        /// Rounds fully executed before cancellation was observed.
+        after_rounds: usize,
+        /// Number of nodes still running at the abort point.
+        still_running: usize,
+    },
     /// An output referenced a port beyond the node's degree.
     OutputPortOutOfRange {
         /// The offending node.
@@ -76,6 +85,13 @@ impl fmt::Display for RuntimeError {
                 f,
                 "output is inconsistent: node {node} selected port {port} but \
                  node {counterpart} did not select port {counterpart_port}"
+            ),
+            RuntimeError::Cancelled {
+                after_rounds,
+                still_running,
+            } => write!(
+                f,
+                "run cancelled after {after_rounds} rounds with {still_running} nodes still running"
             ),
             RuntimeError::OutputPortOutOfRange { node, port, degree } => write!(
                 f,

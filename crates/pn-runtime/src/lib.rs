@@ -116,8 +116,10 @@
 #![forbid(unsafe_code)]
 
 mod algorithm;
+mod cancel;
 mod churn;
 mod error;
+mod metrics;
 mod output;
 mod parallel;
 mod pool;
@@ -125,6 +127,7 @@ mod simulator;
 mod trace;
 
 pub use algorithm::{collect_send, entropy_stream, AlgorithmFactory, NodeAlgorithm, WrongCount};
+pub use cancel::CancelToken;
 pub use churn::{ChurnError, ChurnEvent, ChurnSimulator, Epoch, EventSchedule};
 pub use error::RuntimeError;
 pub use output::{edge_set_from_outputs, fiber_agreement, outputs_from_edge_set, PortSet};

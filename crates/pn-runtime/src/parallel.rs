@@ -70,8 +70,9 @@ use std::sync::{Condvar, Mutex};
 use pn_graph::NodeId;
 
 use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
+use crate::metrics::RunFlush;
 use crate::simulator::{Run, Simulator};
-use crate::RuntimeError;
+use crate::{CancelToken, RuntimeError};
 
 /// A reusable epoch barrier for the worker pool.
 ///
@@ -207,6 +208,10 @@ struct SharedCtx<'a, A: NodeAlgorithm> {
     chunk_running: Vec<AtomicUsize>,
     max_rounds: usize,
     total_nodes: usize,
+    /// The run's cancellation token; polled by worker 0 each round and
+    /// propagated through `failed`, so every worker aborts at the same
+    /// barrier.
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<A: NodeAlgorithm> SharedCtx<'_, A> {
@@ -359,6 +364,7 @@ impl<'g> Simulator<'g> {
                 .collect(),
             max_rounds: self.options().max_rounds,
             total_nodes: n,
+            cancel: self.cancel(),
         };
 
         // Carve each worker's seat out of the flat buffers.
@@ -450,6 +456,9 @@ where
     let mut running = sh.total_nodes;
     let mut messages = 0usize;
     let mut my_error: Option<RuntimeError> = None;
+    // Per-worker telemetry aggregate, flushed on any exit path; worker 0
+    // accounts for the run itself and the shared per-round series.
+    let mut stats = RunFlush::new(seat.index == 0);
 
     while running > 0 {
         if rounds >= sh.max_rounds {
@@ -462,6 +471,18 @@ where
                 });
             }
             break;
+        }
+        if seat.index == 0 {
+            stats.frontier.observe(running as u64);
+            // Cancellation rides the `failed` flag: every worker aborts
+            // at this round's first barrier, exactly like a local error.
+            if sh.cancel.is_some_and(CancelToken::check) {
+                my_error = Some(RuntimeError::Cancelled {
+                    after_rounds: rounds,
+                    still_running: running,
+                });
+                sh.failed.store(true, Ordering::Release);
+            }
         }
 
         // ---- Send + route (fused), frontier-driven: each node's
@@ -583,6 +604,11 @@ where
             .map(|c| c.load(Ordering::Acquire))
             .sum();
         rounds += 1;
+        stats.barrier_waits += 2;
+        stats.messages = messages as u64;
+        if seat.index == 0 {
+            stats.rounds = rounds as u64;
+        }
     }
 
     match my_error {

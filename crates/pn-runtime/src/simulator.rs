@@ -9,7 +9,8 @@
 use pn_graph::{Endpoint, NodeId, Port, PortNumberedGraph};
 
 use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
-use crate::RuntimeError;
+use crate::metrics::RunFlush;
+use crate::{CancelToken, RuntimeError};
 
 /// Configuration for a simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +91,8 @@ pub struct Simulator<'g> {
     /// `route[s]` is the flat slot receiving what source slot `s` sends:
     /// the precomputed image of the port involution over the slot arena.
     route: Vec<u32>,
+    /// Polled between rounds when set; see [`Simulator::cancel_token`].
+    cancel: Option<CancelToken>,
 }
 
 impl<'g> Simulator<'g> {
@@ -113,7 +116,22 @@ impl<'g> Simulator<'g> {
             graph,
             options,
             route,
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative [`CancelToken`]: the round loops (both
+    /// engines) poll it between rounds and abort with
+    /// [`RuntimeError::Cancelled`] once it fires, so a caller-side
+    /// timeout stops a run mid-solve instead of merely gating entry.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The installed cancellation token, if any.
+    pub(crate) fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The graph this simulator executes on.
@@ -208,6 +226,9 @@ impl<'g> Simulator<'g> {
         let mut messages = 0usize;
         let mut rounds = 0usize;
         let mut trace = self.options.record_trace.then(crate::Trace::new);
+        // Per-run telemetry aggregate: plain locals in the loop, folded
+        // into the global registry once on drop (any exit path).
+        let mut stats = RunFlush::new(true);
 
         // Flat per-port buffers, allocated once. Invariant at the top of
         // every round: `outbox` is all-`None` (the route phase drains it)
@@ -229,6 +250,15 @@ impl<'g> Simulator<'g> {
                     still_running: frontier.len(),
                 });
             }
+            if let Some(cancel) = self.cancel() {
+                if cancel.check() {
+                    return Err(RuntimeError::Cancelled {
+                        after_rounds: rounds,
+                        still_running: frontier.len(),
+                    });
+                }
+            }
+            stats.frontier.observe(frontier.len() as u64);
 
             // ---- Send phase: every active node writes its window. ----
             for &vu in &frontier {
@@ -316,6 +346,8 @@ impl<'g> Simulator<'g> {
             }
             frontier.truncate(write);
             rounds += 1;
+            stats.rounds = rounds as u64;
+            stats.messages = messages as u64;
         }
 
         Ok(Run {

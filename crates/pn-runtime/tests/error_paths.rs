@@ -254,3 +254,87 @@ fn half_loop_sender_error_still_reported() {
         }
     ));
 }
+
+/// A node that never halts: the substrate for cancellation tests.
+struct Chatter {
+    degree: usize,
+}
+
+impl NodeAlgorithm for Chatter {
+    type Message = u8;
+    type Output = ();
+    fn send(&mut self, _round: usize) -> Vec<u8> {
+        vec![0; self.degree]
+    }
+    fn receive(&mut self, _round: usize, _inbox: &[Option<u8>]) -> Option<()> {
+        None
+    }
+}
+
+#[test]
+fn pre_cancelled_token_aborts_before_the_first_round() {
+    let g = ports::canonical_ports(&generators::cycle(5).unwrap()).unwrap();
+    let token = pn_runtime::CancelToken::new();
+    token.cancel();
+    let err = Simulator::new(&g)
+        .cancel_token(token)
+        .run(|d| Chatter { degree: d })
+        .unwrap_err();
+    match err {
+        RuntimeError::Cancelled {
+            after_rounds,
+            still_running,
+        } => {
+            assert_eq!(after_rounds, 0);
+            assert_eq!(still_running, 5);
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+}
+
+#[test]
+fn expired_deadline_cancels_mid_run_on_both_engines() {
+    use std::time::{Duration, Instant};
+
+    let g = ports::canonical_ports(&generators::cycle(8).unwrap()).unwrap();
+    for threads in [1usize, 3] {
+        let token =
+            pn_runtime::CancelToken::with_deadline(Instant::now() + Duration::from_millis(5));
+        let sim = Simulator::new(&g).cancel_token(token);
+        let result = if threads > 1 {
+            sim.run_parallel(|d: usize| Chatter { degree: d }, threads)
+        } else {
+            sim.run(|d| Chatter { degree: d })
+        };
+        match result.unwrap_err() {
+            RuntimeError::Cancelled { still_running, .. } => {
+                assert_eq!(still_running, 8, "threads={threads}: nobody ever halts")
+            }
+            other => panic!("threads={threads}: expected Cancelled, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn uncancelled_token_changes_nothing() {
+    let g = ports::canonical_ports(&generators::path(4).unwrap()).unwrap();
+    let token = pn_runtime::CancelToken::new();
+    let with = Simulator::new(&g)
+        .cancel_token(token)
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: 3,
+            heard: Vec::new(),
+        })
+        .unwrap();
+    let without = Simulator::new(&g)
+        .run(|d| TalkUntil {
+            degree: d,
+            rounds_left: 3,
+            heard: Vec::new(),
+        })
+        .unwrap();
+    assert_eq!(with.outputs, without.outputs);
+    assert_eq!(with.rounds, without.rounds);
+    assert_eq!(with.messages, without.messages);
+}

@@ -71,6 +71,8 @@
 
 pub mod bounds;
 pub mod churn;
+mod http;
+mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod scenario;

@@ -1,0 +1,49 @@
+//! The session layer's global-registry telemetry series.
+//!
+//! Counters here describe solver-service work — scenarios measured,
+//! records emitted, reference-bound queries — and live in the
+//! process-global [`eds_telemetry::global`] registry next to the
+//! runtime's series. The serve daemon's per-server request counters
+//! deliberately do *not* live here: see `serve::ServerMetrics`.
+
+use std::sync::{Arc, OnceLock};
+
+use eds_telemetry::Counter;
+
+/// Handles to the session series in the global registry.
+pub(crate) struct SessionMetrics {
+    /// `eds_session_scenarios_total`.
+    pub scenarios: Arc<Counter>,
+    /// `eds_session_records_total`.
+    pub records: Arc<Counter>,
+    /// `eds_session_bound_calls_total`.
+    pub bound_calls: Arc<Counter>,
+    /// `eds_session_bound_fallbacks_total`.
+    pub bound_fallbacks: Arc<Counter>,
+}
+
+/// The one-time-registered handle set.
+pub(crate) fn session_metrics() -> &'static SessionMetrics {
+    static METRICS: OnceLock<SessionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = eds_telemetry::global();
+        SessionMetrics {
+            scenarios: registry.counter(
+                "eds_session_scenarios_total",
+                "Scenarios measured by solver sessions.",
+            ),
+            records: registry.counter(
+                "eds_session_records_total",
+                "Sweep records emitted to sinks.",
+            ),
+            bound_calls: registry.counter(
+                "eds_session_bound_calls_total",
+                "Reference-bound provider queries (per objective per scenario).",
+            ),
+            bound_fallbacks: registry.counter(
+                "eds_session_bound_fallbacks_total",
+                "Bound queries answered without an exact optimum (folklore fallback).",
+            ),
+        }
+    })
+}

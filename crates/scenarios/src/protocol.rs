@@ -13,7 +13,9 @@ use eds_core::distributed::{BoundedDegreeNode, RegularOddNode};
 use eds_core::port_one::PortOneNode;
 use eds_core::vertex_cover::VertexCoverNode;
 use pn_graph::{EdgeId, GraphError, NodeId};
-use pn_runtime::{edge_set_from_outputs, AlgorithmFactory, NodeAlgorithm, RuntimeError, Simulator};
+use pn_runtime::{
+    edge_set_from_outputs, AlgorithmFactory, CancelToken, NodeAlgorithm, RuntimeError, Simulator,
+};
 
 use crate::scenario::Scenario;
 
@@ -238,8 +240,28 @@ impl Protocol {
         scenario: &Scenario,
         opts: &ExecOptions,
     ) -> Result<ProtocolRun, SweepError> {
+        self.execute_with_cancel(scenario, opts, None)
+    }
+
+    /// [`Protocol::execute_with`] plus a cooperative [`CancelToken`]:
+    /// the simulator polls the token between rounds and aborts with
+    /// [`RuntimeError::Cancelled`] once it fires, so a caller-side
+    /// timeout interrupts a solve mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Protocol::execute`], plus the cancellation error.
+    pub fn execute_with_cancel(
+        self,
+        scenario: &Scenario,
+        opts: &ExecOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ProtocolRun, SweepError> {
         let g = &scenario.graph;
-        let sim = Simulator::new(g);
+        let mut sim = Simulator::new(g);
+        if let Some(token) = cancel {
+            sim = sim.cancel_token(token.clone());
+        }
         let threads = opts.simulator_threads.max(1);
         // A claimed Δ below the true maximum would violate the node
         // algorithms' contract (every degree must be ≤ Δ); raise it.

@@ -2,13 +2,20 @@
 //!
 //! A [`Server`] accepts **JSON-lines solve requests** — one frame per
 //! line — over any byte stream ([`Server::serve_stream`], used for
-//! stdin/stdout) and over a unix socket ([`Server::listen_unix`]), and
-//! answers every frame with exactly one response frame. Concurrent
-//! clients multiplex onto one persistent [`pn_runtime::WorkerPool`];
-//! small instances batch into shared [`Session`] runs; results are
-//! cached under a **canonical form of the port-numbered graph**, so two
-//! clients submitting PN-isomorphic instances (same graph up to node
-//! relabeling, ports preserved) share one solve.
+//! stdin/stdout), over a unix socket ([`Server::listen_unix`]), and
+//! over HTTP/1.1 ([`Server::listen_http`], the `http` module:
+//! `POST /solve` carries one frame per request body and the response
+//! body is byte-identical to the line the stream transports would
+//! write), and answers every frame with exactly one response frame.
+//! Concurrent clients multiplex onto one persistent
+//! [`pn_runtime::WorkerPool`]; small instances batch into shared
+//! [`Session`] runs; results are cached under a **canonical form of
+//! the port-numbered graph**, so two clients submitting PN-isomorphic
+//! instances (same graph up to node relabeling, ports preserved) share
+//! one solve. Everything the server does is measured: a per-server
+//! `eds-telemetry` [`Registry`] backs the `stats` frame and the HTTP
+//! `/metrics` endpoint (frames, responses by outcome kind, cache
+//! traffic, queue depth, batch sizes, request latency).
 //!
 //! # Wire format
 //!
@@ -63,7 +70,11 @@
 //! ([`ServeConfig::queue_capacity`]); submission blocks, propagating
 //! backpressure to the sockets. Each request carries a deadline; a job
 //! still queued past it is answered with a `timeout` error frame
-//! instead of occupying a worker. Graceful shutdown (a `shutdown` frame
+//! instead of occupying a worker, and a job already *running* is
+//! cancelled cooperatively mid-solve — the deadline arms a
+//! [`CancelToken`] the simulator polls at round barriers, so oversized
+//! instances under short timeouts answer `timeout` frames too instead
+//! of holding a worker. Graceful shutdown (a `shutdown` frame
 //! or [`Server::shutdown`]) stops accepting frames and connections,
 //! half-closes client sockets (read side), drains every queued and
 //! in-flight solve, flushes every response, and only then returns.
@@ -74,11 +85,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use eds_telemetry::{Counter, Gauge, Histogram, Registry};
 use pn_graph::{ports, Endpoint, NodeId, PortNumberedGraph, SimpleGraph};
-use pn_runtime::{SubmitError, WorkerPool};
+use pn_runtime::{CancelToken, RuntimeError, SubmitError, WorkerPool};
 
 use crate::bounds::BoundsMode;
-use crate::protocol::{Protocol, Solution};
+use crate::protocol::{Protocol, Solution, SweepError};
 use crate::scenario::{relabel_nodes, Family, PortPolicy, Scenario, ScenarioSpec};
 use crate::session::Session;
 use crate::sink::RecordSink;
@@ -584,6 +596,10 @@ pub struct ServeConfig {
     /// Simulator threads per protocol run (1 = sequential engine; the
     /// pool already parallelises across requests).
     pub simulator_threads: usize,
+    /// Read deadline on HTTP connections: a client that stalls
+    /// mid-header or mid-body longer than this is disconnected, so a
+    /// slow-loris peer cannot pin a connection slot.
+    pub http_read_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -603,22 +619,135 @@ impl Default for ServeConfig {
             canonical_limit: 4096,
             default_timeout: Duration::from_secs(10),
             simulator_threads: 1,
+            http_read_timeout: Duration::from_secs(30),
         }
     }
 }
 
-/// Monotonic counters exported through `{"op":"stats"}` frames and
-/// [`Server::stats`]. All relaxed atomics: the numbers are diagnostics,
-/// not synchronisation.
-#[derive(Debug, Default)]
-struct Stats {
-    frames: AtomicU64,
-    responses: AtomicU64,
-    errors: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    timeouts: AtomicU64,
-    connections: AtomicU64,
+/// Response outcome kinds in counter-registration order: index 0 is
+/// the `ok` outcome, the rest mirror the wire format's error kinds.
+const OUTCOME_KINDS: [&str; 8] = [
+    "ok",
+    "parse",
+    "graph",
+    "unsupported",
+    "timeout",
+    "shutdown",
+    "overload",
+    "internal",
+];
+
+/// The server's registry-backed telemetry, exported three ways: the
+/// Prometheus text of [`Server::render_metrics`], the JSON of
+/// `{"op":"stats"}` frames, and the [`StatsSnapshot`] API. Each server
+/// owns a private [`Registry`] (rather than sharing
+/// [`eds_telemetry::global`]) so multiple servers in one process — the
+/// test suites construct many — keep independent series.
+pub(crate) struct ServerMetrics {
+    registry: Registry,
+    /// `eds_serve_frames_total`.
+    pub(crate) frames: Arc<Counter>,
+    /// `eds_serve_responses_total{kind=...}`, indexed as
+    /// [`OUTCOME_KINDS`].
+    responses: [Arc<Counter>; OUTCOME_KINDS.len()],
+    /// `eds_serve_cache_{hits,misses,evictions}_total`.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    /// `eds_serve_connections_total` / `eds_serve_rejected_connections_total`.
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) rejected_connections: Arc<Counter>,
+    /// `eds_serve_cache_entries` / `eds_serve_queue_depth`, sampled
+    /// gauges refreshed by [`Core::refresh_gauges`].
+    cache_entries: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    /// `eds_serve_batch_jobs` / `eds_serve_request_latency_us`.
+    batch_jobs: Arc<Histogram>,
+    latency: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let responses = OUTCOME_KINDS.map(|kind| {
+            registry.counter_with(
+                "eds_serve_responses_total",
+                "Response frames delivered, by outcome kind.",
+                &[("kind", kind)],
+            )
+        });
+        ServerMetrics {
+            frames: registry.counter(
+                "eds_serve_frames_total",
+                "Request frames read, including malformed ones.",
+            ),
+            responses,
+            cache_hits: registry.counter(
+                "eds_serve_cache_hits_total",
+                "Requests answered from the canonical-form cache.",
+            ),
+            cache_misses: registry.counter(
+                "eds_serve_cache_misses_total",
+                "Requests that went to the solve pool.",
+            ),
+            cache_evictions: registry.counter(
+                "eds_serve_cache_evictions_total",
+                "Cached canonical results dropped by FIFO eviction.",
+            ),
+            connections: registry.counter(
+                "eds_serve_connections_total",
+                "Connections accepted over the server's lifetime.",
+            ),
+            rejected_connections: registry.counter(
+                "eds_serve_rejected_connections_total",
+                "Connections refused with an overload frame at accept time.",
+            ),
+            cache_entries: registry.gauge(
+                "eds_serve_cache_entries",
+                "Canonical results currently cached.",
+            ),
+            queue_depth: registry.gauge(
+                "eds_serve_queue_depth",
+                "Solve jobs currently queued in the pool.",
+            ),
+            batch_jobs: registry
+                .histogram("eds_serve_batch_jobs", "Jobs folded into one pool batch."),
+            latency: registry.histogram(
+                "eds_serve_request_latency_us",
+                "Per-request latency from frame read to response, in microseconds.",
+            ),
+            registry,
+        }
+    }
+
+    /// The response counter for one outgoing frame, picked by its
+    /// `"kind"` member (`ok` when absent — success frames carry none).
+    fn response_counter(&self, frame: &str) -> &Counter {
+        let kind = frame
+            .split_once("\"kind\":\"")
+            .and_then(|(_, rest)| rest.split('"').next())
+            .unwrap_or("ok");
+        let at = OUTCOME_KINDS.iter().position(|&k| k == kind);
+        // Unknown kinds land on `internal`; that only happens if a new
+        // wire kind forgets to claim a slot above.
+        &self.responses[at.unwrap_or(OUTCOME_KINDS.len() - 1)]
+    }
+
+    /// Total responses delivered for one outcome kind (0 for unknown).
+    fn kind_total(&self, kind: &str) -> u64 {
+        OUTCOME_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map_or(0, |at| self.responses[at].get())
+    }
+
+    fn responses_total(&self) -> u64 {
+        self.responses.iter().map(|counter| counter.get()).sum()
+    }
+
+    fn errors_total(&self) -> u64 {
+        self.responses_total() - self.kind_total("ok")
+    }
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -683,16 +812,20 @@ impl Cache {
             .cloned()
     }
 
-    fn insert(&self, key: String, entry: CacheEntry) {
+    /// Inserts one entry and returns how many it FIFO-evicted.
+    fn insert(&self, key: String, entry: CacheEntry) -> u64 {
         let mut state = self.state.lock().expect("cache lock poisoned");
+        let mut evicted = 0;
         if state.map.insert(key.clone(), entry).is_none() {
             state.order.push_back(key);
             while state.order.len() > self.capacity {
-                if let Some(evicted) = state.order.pop_front() {
-                    state.map.remove(&evicted);
+                if let Some(victim) = state.order.pop_front() {
+                    state.map.remove(&victim);
+                    evicted += 1;
                 }
             }
         }
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -1260,7 +1393,7 @@ fn prepare(req: &SolveRequest, config: &ServeConfig) -> Result<Prepared, Reject>
 // Response rendering.
 // ---------------------------------------------------------------------
 
-fn error_frame(id_json: &str, kind: &str, message: &str) -> String {
+pub(crate) fn error_frame(id_json: &str, kind: &str, message: &str) -> String {
     format!(
         "{{\"id\":{id_json},\"ok\":false,\"kind\":\"{kind}\",\"error\":\"{}\"}}",
         escape_json(message)
@@ -1349,23 +1482,27 @@ struct ConnState {
     emitted: u64,
     /// Responses waiting for their turn, keyed by sequence number.
     ready: BTreeMap<u64, String>,
+    /// When each in-flight request was read, for the latency
+    /// histogram. Bounded by the client window, like `ready`.
+    started: HashMap<u64, Instant>,
     reader_done: bool,
     writer_dead: bool,
 }
 
-struct ConnShared {
+pub(crate) struct ConnShared {
     state: Mutex<ConnState>,
     cv: Condvar,
     core: Arc<Core>,
 }
 
 impl ConnShared {
-    fn new(core: Arc<Core>) -> Arc<ConnShared> {
+    pub(crate) fn new(core: Arc<Core>) -> Arc<ConnShared> {
         Arc::new(ConnShared {
             state: Mutex::new(ConnState {
                 submitted: 0,
                 emitted: 0,
                 ready: BTreeMap::new(),
+                started: HashMap::new(),
                 reader_done: false,
                 writer_dead: false,
             }),
@@ -1377,7 +1514,7 @@ impl ConnShared {
     /// Allocates the next sequence number, blocking while the in-flight
     /// window is full. Returns `None` once the writer is dead (client
     /// gone — reading further frames is pointless).
-    fn alloc(&self, window: usize) -> Option<u64> {
+    pub(crate) fn alloc(&self, window: usize) -> Option<u64> {
         let mut state = self.state.lock().expect("conn lock poisoned");
         loop {
             if state.writer_dead {
@@ -1386,21 +1523,43 @@ impl ConnShared {
             if state.submitted - state.emitted < window as u64 {
                 let seq = state.submitted;
                 state.submitted += 1;
+                state.started.insert(seq, Instant::now());
                 return Some(seq);
             }
             state = self.cv.wait(state).expect("conn lock poisoned");
         }
     }
 
-    /// Queues one response frame for ordered delivery.
-    fn deliver(&self, seq: u64, frame: String) {
-        self.core.stats.responses.fetch_add(1, Ordering::Relaxed);
-        if frame.contains("\"ok\":false") {
-            self.core.stats.errors.fetch_add(1, Ordering::Relaxed);
-        }
+    /// Blocks until the response for `seq` arrives and removes it —
+    /// the synchronous delivery path the HTTP transport uses instead
+    /// of a writer thread. Advances the in-flight window by one.
+    pub(crate) fn await_response(&self, seq: u64) -> String {
         let mut state = self.state.lock().expect("conn lock poisoned");
-        state.ready.insert(seq, frame);
-        self.cv.notify_all();
+        loop {
+            if let Some(frame) = state.ready.remove(&seq) {
+                state.emitted += 1;
+                self.cv.notify_all();
+                return frame;
+            }
+            state = self.cv.wait(state).expect("conn lock poisoned");
+        }
+    }
+
+    /// Queues one response frame for ordered delivery, counting it
+    /// under its outcome kind and closing the request's latency timer.
+    pub(crate) fn deliver(&self, seq: u64, frame: String) {
+        self.core.metrics.response_counter(&frame).inc();
+        let started = {
+            let mut state = self.state.lock().expect("conn lock poisoned");
+            let started = state.started.remove(&seq);
+            state.ready.insert(seq, frame);
+            self.cv.notify_all();
+            started
+        };
+        if let Some(at) = started {
+            let micros = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.core.metrics.latency.observe(micros);
+        }
     }
 
     fn reader_done(&self) {
@@ -1451,6 +1610,7 @@ impl ConnShared {
                         let mut state = self.state.lock().expect("conn lock poisoned");
                         state.writer_dead = true;
                         state.ready.clear();
+                        state.started.clear();
                         self.cv.notify_all();
                         return Err(err);
                     }
@@ -1523,37 +1683,45 @@ fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> FrameRead {
 // The server core: shared state reachable from readers and workers.
 // ---------------------------------------------------------------------
 
-struct Core {
-    config: ServeConfig,
+pub(crate) struct Core {
+    pub(crate) config: ServeConfig,
     cache: Cache,
-    stats: Stats,
+    pub(crate) metrics: ServerMetrics,
     shutting_down: AtomicBool,
     shutdown_lock: Mutex<()>,
     shutdown_cv: Condvar,
     pool: std::sync::OnceLock<WorkerPool<SolveJob>>,
     #[cfg(unix)]
     conns: Mutex<HashMap<u64, std::os::unix::net::UnixStream>>,
-    #[cfg(unix)]
-    next_conn: AtomicU64,
+    /// Live HTTP connections, half-closed on shutdown like the unix
+    /// ones (see `crate::http`).
+    pub(crate) tcp_conns: Mutex<HashMap<u64, std::net::TcpStream>>,
+    pub(crate) next_conn: AtomicU64,
     #[cfg(unix)]
     socket_path: Mutex<Option<std::path::PathBuf>>,
 }
 
 impl Core {
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Flips the shutdown flag and half-closes every registered socket
     /// (read side), unblocking their readers. Idempotent; callable from
     /// connection threads (it joins nothing).
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
         #[cfg(unix)]
         {
             let conns = self.conns.lock().expect("conn registry poisoned");
+            for stream in conns.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+        }
+        {
+            let conns = self.tcp_conns.lock().expect("tcp conn registry poisoned");
             for stream in conns.values() {
                 let _ = stream.shutdown(std::net::Shutdown::Read);
             }
@@ -1567,21 +1735,39 @@ impl Core {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
+        self.refresh_gauges();
+        let m = &self.metrics;
         StatsSnapshot {
-            frames: self.stats.frames.load(Ordering::Relaxed),
-            responses: self.stats.responses.load(Ordering::Relaxed),
-            errors: self.stats.errors.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
-            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
-            connections: self.stats.connections.load(Ordering::Relaxed),
+            frames: m.frames.get(),
+            responses: m.responses_total(),
+            errors: m.errors_total(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            timeouts: m.kind_total("timeout"),
+            connections: m.connections.get(),
             cache_entries: self.cache.len() as u64,
             pool_pending: self.pool().pending() as u64,
             pool_panics: self.pool().panics() as u64,
         }
     }
 
-    fn stats_frame(&self, id_json: &str) -> String {
+    /// Syncs the sampled gauges (cache size, queue depth) with live
+    /// state, so renders and snapshots reflect the call instant.
+    fn refresh_gauges(&self) {
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+        self.metrics.queue_depth.set(self.pool().pending() as i64);
+    }
+
+    /// This server's Prometheus series followed by the process-global
+    /// registry (runtime and session series).
+    pub(crate) fn render_metrics(&self) -> String {
+        self.refresh_gauges();
+        let mut out = self.metrics.registry.render();
+        eds_telemetry::global().render_into(&mut out);
+        out
+    }
+
+    pub(crate) fn stats_frame(&self, id_json: &str) -> String {
         let s = self.snapshot();
         format!(
             "{{\"id\":{id_json},\"ok\":true,\"stats\":{{\"frames\":{},\"responses\":{},\
@@ -1645,11 +1831,12 @@ impl RecordSink for BatchSink {
 /// the cache, and runs everything left through shared [`Session`]s —
 /// one per (protocol set, bounds, delta) signature.
 fn solve_batch(core: &Arc<Core>, jobs: Vec<SolveJob>) {
+    core.metrics.batch_jobs.observe(jobs.len() as u64);
+    core.metrics.queue_depth.set(core.pool().pending() as i64);
     let now = Instant::now();
     let mut groups: HashMap<String, Vec<SolveJob>> = HashMap::new();
     for job in jobs {
         if job.deadline < now {
-            core.stats.timeouts.fetch_add(1, Ordering::Relaxed);
             let frame = error_frame(&job.id_json, "timeout", "request timed out while queued");
             job.conn.deliver(job.seq, frame);
             continue;
@@ -1684,7 +1871,7 @@ fn solve_group(core: &Arc<Core>, group: Vec<SolveJob>) {
         // A sibling batch may have populated the cache since submission.
         if let Some(entry) = core.cache.get(&key) {
             for job in jobs {
-                core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                core.metrics.cache_hits.inc();
                 answer_ok(&job, &entry);
             }
         } else {
@@ -1714,6 +1901,17 @@ fn solve_group(core: &Arc<Core>, group: Vec<SolveJob>) {
     }
     let (session, _lp) = bounds.install(session);
 
+    // The group runs under one cooperative deadline — the latest job
+    // deadline present. The simulator polls the token between rounds,
+    // so a runaway instance stops mid-solve instead of holding a
+    // worker until completion.
+    let deadline = to_solve
+        .iter()
+        .flat_map(|(_, jobs)| jobs.iter().map(|job| job.deadline))
+        .max()
+        .expect("group is non-empty");
+    let session = session.cancel_token(CancelToken::with_deadline(deadline));
+
     let mut sink = BatchSink::default();
     match session.run(&mut sink) {
         Ok(()) => {
@@ -1726,17 +1924,23 @@ fn solve_group(core: &Arc<Core>, group: Vec<SolveJob>) {
             for (key, jobs) in to_solve {
                 let name = jobs[0].scenario.name();
                 let entry: CacheEntry = Arc::new(per.remove(&name).unwrap_or_default());
-                core.cache.insert(key, entry.clone());
+                let evicted = core.cache.insert(key, entry.clone());
+                core.metrics.cache_evictions.add(evicted);
                 for job in jobs {
                     answer_ok(&job, &entry);
                 }
             }
         }
         Err(err) => {
-            let message = format!("sweep failed: {err}");
+            let (kind, message) =
+                if matches!(&err, SweepError::Runtime(RuntimeError::Cancelled { .. })) {
+                    ("timeout", format!("request timed out mid-solve: {err}"))
+                } else {
+                    ("internal", format!("sweep failed: {err}"))
+                };
             for (_, jobs) in to_solve {
                 for job in jobs {
-                    let frame = error_frame(&job.id_json, "internal", &message);
+                    let frame = error_frame(&job.id_json, kind, &message);
                     job.conn.deliver(job.seq, frame);
                 }
             }
@@ -1759,7 +1963,7 @@ fn answer_ok(job: &SolveJob, entry: &[(SweepRecord, Solution)]) {
 // Frame dispatch.
 // ---------------------------------------------------------------------
 
-fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8]) {
+pub(crate) fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8]) {
     let Ok(text) = std::str::from_utf8(line) else {
         conn.deliver(
             seq,
@@ -1816,7 +2020,7 @@ fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8])
                 }
             };
             if let Some(entry) = core.cache.get(&prepared.key) {
-                core.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                core.metrics.cache_hits.inc();
                 let frame = render_ok(
                     &req.id_json,
                     &req.protocols,
@@ -1827,7 +2031,7 @@ fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8])
                 conn.deliver(seq, frame);
                 return;
             }
-            core.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            core.metrics.cache_misses.inc();
             let job = SolveJob {
                 key: prepared.key,
                 scenario: prepared.scenario,
@@ -1840,12 +2044,16 @@ fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8])
                 conn: Arc::clone(conn),
                 seq,
             };
-            if let Err(SubmitError::Closed(job) | SubmitError::Full(job)) = core.pool().submit(job)
-            {
-                conn.deliver(
-                    job.seq,
-                    error_frame(&job.id_json, "shutdown", "solve pool is closed"),
-                );
+            match core.pool().submit(job) {
+                Ok(()) => {
+                    core.metrics.queue_depth.set(core.pool().pending() as i64);
+                }
+                Err(SubmitError::Closed(job) | SubmitError::Full(job)) => {
+                    conn.deliver(
+                        job.seq,
+                        error_frame(&job.id_json, "shutdown", "solve pool is closed"),
+                    );
+                }
             }
         }
     }
@@ -1860,11 +2068,9 @@ fn handle_frame(core: &Arc<Core>, conn: &Arc<ConnShared>, seq: u64, line: &[u8])
 /// ([`Server::serve_stream`] for stdio/tests, [`Server::listen_unix`]
 /// for sockets).
 pub struct Server {
-    core: Arc<Core>,
-    #[cfg(unix)]
-    accept: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    #[cfg(unix)]
-    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    pub(crate) core: Arc<Core>,
+    pub(crate) accept: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -1873,14 +2079,14 @@ impl Server {
         let cache = Cache::new(config.cache_capacity);
         let core = Arc::new(Core {
             cache,
-            stats: Stats::default(),
+            metrics: ServerMetrics::new(),
             shutting_down: AtomicBool::new(false),
             shutdown_lock: Mutex::new(()),
             shutdown_cv: Condvar::new(),
             pool: std::sync::OnceLock::new(),
             #[cfg(unix)]
             conns: Mutex::new(HashMap::new()),
-            #[cfg(unix)]
+            tcp_conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             #[cfg(unix)]
             socket_path: Mutex::new(None),
@@ -1900,9 +2106,7 @@ impl Server {
         core.pool.set(pool).ok().expect("pool set once");
         Server {
             core,
-            #[cfg(unix)]
             accept: Mutex::new(Vec::new()),
-            #[cfg(unix)]
             conn_threads: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -1910,6 +2114,14 @@ impl Server {
     /// A point-in-time snapshot of the server's counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.snapshot()
+    }
+
+    /// Renders the server's telemetry in Prometheus text exposition
+    /// format: this server's request/cache series followed by the
+    /// process-global registry (runtime and session series). This is
+    /// the body behind the HTTP transport's `GET /metrics`.
+    pub fn render_metrics(&self) -> String {
+        self.core.render_metrics()
     }
 
     /// Whether a shutdown has been requested (frame or API).
@@ -1933,7 +2145,7 @@ impl Server {
         R: io::Read,
         W: Write + Send,
     {
-        self.core.stats.connections.fetch_add(1, Ordering::Relaxed);
+        self.core.metrics.connections.inc();
         run_connection(&self.core, reader, writer)
     }
 
@@ -1968,25 +2180,23 @@ impl Server {
     /// trigger it) from the owning thread.
     pub fn finish(&self) {
         self.core.begin_shutdown();
+        let handles: Vec<_> = {
+            let mut accept = self.accept.lock().expect("accept lock poisoned");
+            accept.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = {
+            let mut conns = self.conn_threads.lock().expect("conn threads poisoned");
+            conns.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
         #[cfg(unix)]
-        {
-            let handles: Vec<_> = {
-                let mut accept = self.accept.lock().expect("accept lock poisoned");
-                accept.drain(..).collect()
-            };
-            for handle in handles {
-                let _ = handle.join();
-            }
-            let handles: Vec<_> = {
-                let mut conns = self.conn_threads.lock().expect("conn threads poisoned");
-                conns.drain(..).collect()
-            };
-            for handle in handles {
-                let _ = handle.join();
-            }
-            if let Some(path) = self.socket_path_take().filter(|p| p.exists()) {
-                let _ = std::fs::remove_file(path);
-            }
+        if let Some(path) = self.socket_path_take().filter(|p| p.exists()) {
+            let _ = std::fs::remove_file(path);
         }
         self.core.pool().drain();
     }
@@ -2045,6 +2255,7 @@ impl Server {
 
                     let active = core.conns.lock().expect("conn registry poisoned").len();
                     if active >= core.config.max_clients {
+                        core.metrics.rejected_connections.inc();
                         let mut stream = stream;
                         let frame = error_frame(
                             "null",
@@ -2109,7 +2320,7 @@ where
             let Some(seq) = conn.alloc(core.config.client_window.max(1)) else {
                 break;
             };
-            core.stats.frames.fetch_add(1, Ordering::Relaxed);
+            core.metrics.frames.inc();
             match read {
                 FrameRead::Eof | FrameRead::Failed => unreachable!("handled above"),
                 FrameRead::TooLong => {
@@ -2144,7 +2355,7 @@ where
 
 #[cfg(unix)]
 fn serve_socket_conn(core: Arc<Core>, stream: std::os::unix::net::UnixStream, conn_id: u64) {
-    core.stats.connections.fetch_add(1, Ordering::Relaxed);
+    core.metrics.connections.inc();
     if let Ok(reader) = stream.try_clone() {
         let _ = run_connection(&core, reader, stream);
     }
@@ -2427,6 +2638,56 @@ mod tests {
             "expired-in-queue jobs must answer with a timeout frame: {}",
             lines[0]
         );
+        server.finish();
+    }
+
+    #[test]
+    fn long_solves_are_cancelled_mid_run() {
+        let server = Server::new(quick_config());
+        // id-matching needs many rounds on a long identifier-ordered
+        // cycle — far beyond the 25 ms budget — so the deadline fires
+        // mid-solve and the cooperative token aborts the simulator.
+        let lines = serve(
+            &server,
+            "{\"id\":1,\"spec\":\"cycle:50000\",\"protocols\":[\"id-matching\"],\"timeout_ms\":25}\n",
+        );
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("\"kind\":\"timeout\"") && lines[0].contains("timed out"),
+            "over-budget solves must answer with a timeout frame: {}",
+            lines[0]
+        );
+        let stats = server.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.errors, 1);
+        server.finish();
+    }
+
+    #[test]
+    fn metrics_render_tracks_request_outcomes() {
+        let server = Server::new(quick_config());
+        let input = concat!("{\"id\":1,\"op\":\"ping\"}\n", "not json\n");
+        let lines = serve(&server, input);
+        assert_eq!(lines.len(), 2);
+        let text = server.render_metrics();
+        assert!(
+            text.contains("# TYPE eds_serve_responses_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("eds_serve_frames_total 2"), "{text}");
+        assert!(
+            text.contains("eds_serve_responses_total{kind=\"ok\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eds_serve_responses_total{kind=\"parse\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eds_serve_request_latency_us_count 2"),
+            "{text}"
+        );
+        assert!(text.contains("eds_serve_connections_total 1"), "{text}");
         server.finish();
     }
 

@@ -56,7 +56,10 @@ use eds_baselines::two_approx;
 use eds_verify::{check_edge_dominating_set, check_maximal_matching};
 use pn_graph::NodeId;
 
+use pn_runtime::CancelToken;
+
 use crate::churn::run_churn;
+use crate::metrics::session_metrics;
 use crate::protocol::{ExecOptions, Protocol, Solution, SweepError};
 use crate::registry::Registry;
 use crate::scenario::{Family, Scenario, ScenarioSpec};
@@ -196,11 +199,27 @@ impl<'a> ScenarioBounds<'a> {
     }
 
     fn eds(&self, scenario: &Scenario) -> Bounds {
-        *self.eds.get_or_init(|| self.provider.eds_bounds(scenario))
+        *self
+            .eds
+            .get_or_init(|| Self::counted(self.provider.eds_bounds(scenario)))
     }
 
     fn vc(&self, scenario: &Scenario) -> Bounds {
-        *self.vc.get_or_init(|| self.provider.vc_bounds(scenario))
+        *self
+            .vc
+            .get_or_init(|| Self::counted(self.provider.vc_bounds(scenario)))
+    }
+
+    /// Telemetry tap on each provider query: every call counts, and a
+    /// query the provider could not answer with an exact optimum counts
+    /// as a fallback to the certified lower bound.
+    fn counted(bounds: Bounds) -> Bounds {
+        let metrics = session_metrics();
+        metrics.bound_calls.inc();
+        if bounds.optimum.is_none() {
+            metrics.bound_fallbacks.inc();
+        }
+        bounds
     }
 }
 
@@ -232,6 +251,7 @@ pub struct Session {
     /// beyond that); `Some` wins over both.
     delta: Option<usize>,
     simulator_threads: Option<usize>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Session {
@@ -251,6 +271,7 @@ impl Session {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             delta: None,
             simulator_threads: None,
+            cancel: None,
         }
     }
 
@@ -331,6 +352,17 @@ impl Session {
     /// protocols (default: each instance's maximum degree).
     pub fn delta_hint(mut self, delta: usize) -> Self {
         self.delta = Some(delta);
+        self
+    }
+
+    /// Installs a cooperative cancellation token: every protocol run the
+    /// session drives polls it between simulator rounds and aborts with
+    /// a [`SweepError::Runtime`] carrying
+    /// [`pn_runtime::RuntimeError::Cancelled`] once it fires — so a
+    /// caller-side deadline stops a solve mid-run instead of merely
+    /// gating admission.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -497,6 +529,7 @@ impl Session {
     }
 
     fn measure_scenario(&self, scenario: &Scenario) -> Result<Vec<Measurement>, SweepError> {
+        session_metrics().scenarios.inc();
         if matches!(scenario.spec.family, Family::Churn { .. }) {
             return self.measure_churn(scenario);
         }
@@ -586,7 +619,7 @@ impl Session {
         bounds: &ScenarioBounds<'_>,
     ) -> Result<Measurement, SweepError> {
         let exec = self.exec_for(scenario);
-        let run = protocol.execute_with(scenario, &exec)?;
+        let run = protocol.execute_with_cancel(scenario, &exec, self.cancel.as_ref())?;
         let size = run.solution.len();
         // Score the run against the bound for the Δ the protocol was
         // actually parametrised with: a delta hint above the instance
@@ -660,6 +693,7 @@ impl Session {
 /// Feeds one scenario's measurements into the sink, firing the optional
 /// hooks in the documented order.
 fn emit<S: RecordSink + ?Sized>(sink: &mut S, batch: Vec<Measurement>) {
+    session_metrics().records.add(batch.len() as u64);
     for m in batch {
         sink.solution(&m.record, &m.solution);
         if !m.record.is_clean() {

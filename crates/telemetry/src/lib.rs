@@ -1,0 +1,685 @@
+//! Process-wide observability for the edge-dominating-set stack: a
+//! metric **registry** of lock-free counters, gauges and fixed-bucket
+//! histograms, plus a Prometheus text-exposition renderer. Zero
+//! external dependencies, `no_std`-adjacent in spirit: every metric is
+//! a handful of `AtomicU64`s and every read is wait-free.
+//!
+//! # Design
+//!
+//! * **Registration is get-or-create.** [`Registry::counter`] (and
+//!   friends) return an [`Arc`] handle; asking twice for the same
+//!   `(name, labels)` pair returns the *same* underlying metric, so
+//!   call sites never need to coordinate. Handles stay valid for the
+//!   life of the process — hot paths clone the `Arc` once and never
+//!   touch the registry lock again.
+//! * **Histograms are log2-spaced.** [`Histogram`] owns
+//!   [`BUCKETS`] atomic buckets with upper bounds `1, 2, 4, …,
+//!   2^(BUCKETS-2)` and a final `+Inf` bucket, covering seven decimal
+//!   orders of magnitude in 264 bytes. Snapshots ([`HistogramSnapshot`])
+//!   are plain arrays and merge with a single loop, so per-thread or
+//!   per-run aggregates can be folded into one series.
+//! * **Hot loops aggregate locally.** [`LocalHistogram`] and plain
+//!   `u64` locals accumulate during a run and [`LocalHistogram::flush`]
+//!   once at the end — the simulator's inner loop performs no atomic
+//!   operations per message (the ≤2 % overhead budget of the
+//!   acceptance gate).
+//! * **Two registries by convention.** Library-wide series (simulator
+//!   rounds, session records, …) live in the process-global
+//!   [`global()`] registry. Components that are instantiated many
+//!   times per process and assert exact counts (the serve daemon's
+//!   per-[`Server`] stats, notably under `cargo test`'s in-process
+//!   parallelism) own a private `Registry` and render both when asked.
+//!
+//! [`Server`]: ../eds_scenarios/struct.Server.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of histogram buckets, including the final `+Inf` bucket.
+///
+/// Bucket `i < BUCKETS - 1` counts observations `v` with
+/// `v <= 2^i`; the last bucket catches everything larger.
+pub const BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+///
+/// All operations are relaxed atomics: counters are statistics, not
+/// synchronisation, and readers only ever see a value that was true at
+/// some recent instant.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero (for standalone use; registry users
+    /// call [`Registry::counter`]).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (queue depths,
+/// resident entries, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (which may make the gauge negative; rendering is
+    /// signed).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the bucket an observation lands in: the smallest `i` with
+/// `v <= 2^i`, saturating into the `+Inf` bucket.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        let bits = (u64::BITS - (v - 1).leading_zeros()) as usize;
+        bits.min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` as a Prometheus `le` label value.
+fn bucket_bound(i: usize) -> String {
+    if i == BUCKETS - 1 {
+        "+Inf".to_owned()
+    } else {
+        (1u64 << i).to_string()
+    }
+}
+
+/// A fixed-bucket histogram with log2-spaced bounds.
+///
+/// Observations are unsigned integers in whatever unit the series
+/// declares (this crate's convention: microseconds for latencies,
+/// plain counts otherwise). Each observation is two relaxed
+/// `fetch_add`s; hot loops should prefer a [`LocalHistogram`] flushed
+/// once per run.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Starts a timer whose drop records the elapsed wall time in
+    /// microseconds.
+    pub fn time(&self) -> Scope<'_> {
+        Scope {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds a snapshot (typically a per-thread aggregate) into this
+    /// histogram.
+    pub fn merge(&self, snapshot: &HistogramSnapshot) {
+        for (bucket, &count) in self.buckets.iter().zip(&snapshot.buckets) {
+            if count > 0 {
+                bucket.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        if snapshot.sum > 0 {
+            self.sum.fetch_add(snapshot.sum, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain-integer copy of a [`Histogram`]'s state; merge-able.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (non-cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// A thread-local histogram: no atomics, observe in a hot loop and
+/// [`flush`](LocalHistogram::flush) once at the end.
+#[derive(Clone, Debug, Default)]
+pub struct LocalHistogram {
+    snapshot: HistogramSnapshot,
+}
+
+impl LocalHistogram {
+    /// Creates an empty local histogram.
+    pub fn new() -> Self {
+        LocalHistogram::default()
+    }
+
+    /// Records one observation (plain integer arithmetic).
+    pub fn observe(&mut self, v: u64) {
+        self.snapshot.buckets[bucket_index(v)] += 1;
+        self.snapshot.sum += v;
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.snapshot.count()
+    }
+
+    /// Folds the accumulated observations into `target` and resets
+    /// this local to empty.
+    pub fn flush(&mut self, target: &Histogram) {
+        if self.snapshot.count() > 0 {
+            target.merge(&self.snapshot);
+            self.snapshot = HistogramSnapshot::default();
+        }
+    }
+}
+
+/// An RAII latency timer: created by [`Histogram::time`], records the
+/// elapsed wall time in **microseconds** when dropped.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Scope<'_> {
+    /// Elapsed time so far, without stopping the timer.
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        self.histogram.observe(self.elapsed_micros());
+    }
+}
+
+/// The concrete metric behind a registry entry.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered series: a metric plus its label set.
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A family groups every series sharing a metric name (they differ
+/// only by labels), carrying the HELP text and type once.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<Series>,
+}
+
+/// A collection of named metrics with get-or-create registration and
+/// Prometheus text rendering.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name` (no labels), registering it with
+    /// `help` on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Returns the counter `name` with the given label pairs,
+    /// registering it on first use.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Returns the gauge `name` (no labels), registering it on first
+    /// use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Returns the gauge `name` with the given label pairs.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Returns the histogram `name` (no labels), registering it on
+    /// first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Returns the histogram `name` with the given label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => family,
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(series) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return series.metric.clone();
+        }
+        let metric = make();
+        if let Some(first) = family.series.first() {
+            assert_eq!(
+                first.metric.type_name(),
+                metric.type_name(),
+                "metric family {name} mixes types"
+            );
+        }
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Renders every registered series in the Prometheus text
+    /// exposition format (families sorted by name, stable series
+    /// order within a family).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders into an existing buffer — lets callers concatenate
+    /// several registries into one exposition.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+        for index in order {
+            let family = &families[index];
+            let kind = match family.series.first() {
+                Some(series) => series.metric.type_name(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        render_line(
+                            out,
+                            &family.name,
+                            &series.labels,
+                            None,
+                            &c.get().to_string(),
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        render_line(
+                            out,
+                            &family.name,
+                            &series.labels,
+                            None,
+                            &g.get().to_string(),
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, count) in snap.buckets.iter().enumerate() {
+                            cumulative += count;
+                            render_line(
+                                out,
+                                &format!("{}_bucket", family.name),
+                                &series.labels,
+                                Some(("le", &bucket_bound(i))),
+                                &cumulative.to_string(),
+                            );
+                        }
+                        render_line(
+                            out,
+                            &format!("{}_sum", family.name),
+                            &series.labels,
+                            None,
+                            &snap.sum.to_string(),
+                        );
+                        render_line(
+                            out,
+                            &format!("{}_count", family.name),
+                            &series.labels,
+                            None,
+                            &cumulative.to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Escapes a HELP string per the exposition format.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    use std::fmt::Write;
+
+    out.push_str(name);
+    let mut first = true;
+    let mut write_label = |out: &mut String, key: &str, val: &str| {
+        out.push(if first { '{' } else { ',' });
+        first = false;
+        let _ = write!(out, "{key}=\"{}\"", escape_label(val));
+    };
+    for (key, val) in labels {
+        write_label(out, key, val);
+    }
+    if let Some((key, val)) = extra {
+        write_label(out, key, val);
+    }
+    if !first {
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// The process-global registry: library-wide series that every
+/// component shares (simulator totals, session totals). Components
+/// needing isolated counts own a private [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let registry = Registry::new();
+        let c = registry.counter("requests_total", "Requests seen.");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same metric.
+        assert_eq!(registry.counter("requests_total", "ignored").get(), 5);
+
+        let g = registry.gauge("depth", "Queue depth.");
+        g.set(7);
+        g.sub(9);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_indices_are_log2_spaced() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 30), 30);
+        assert_eq!(bucket_index((1 << 30) + 1), 31);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_snapshots_merge() {
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(3);
+        h.observe(100);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum, 104);
+
+        let mut local = LocalHistogram::new();
+        local.observe(2);
+        local.observe(2);
+        local.flush(&h);
+        assert_eq!(h.snapshot().count(), 5);
+        assert_eq!(h.snapshot().sum, 108);
+        // Flushing resets the local.
+        assert_eq!(local.count(), 0);
+
+        let mut merged = HistogramSnapshot::default();
+        merged.merge(&h.snapshot());
+        merged.merge(&h.snapshot());
+        assert_eq!(merged.count(), 10);
+    }
+
+    #[test]
+    fn scope_records_a_latency() {
+        let h = Histogram::new();
+        {
+            let _timer = h.time();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert!(snap.sum >= 1_000, "timer recorded {} us", snap.sum);
+    }
+
+    #[test]
+    fn renders_prometheus_text() {
+        let registry = Registry::new();
+        registry
+            .counter_with("responses_total", "Responses by kind.", &[("kind", "ok")])
+            .add(3);
+        registry
+            .counter_with(
+                "responses_total",
+                "Responses by kind.",
+                &[("kind", "parse")],
+            )
+            .inc();
+        registry.gauge("depth", "Queue depth.").set(2);
+        let h = registry.histogram("latency_us", "Latency.");
+        h.observe(1);
+        h.observe(5);
+
+        let text = registry.render();
+        assert!(text.contains("# HELP responses_total Responses by kind.\n"));
+        assert!(text.contains("# TYPE responses_total counter\n"));
+        assert!(text.contains("responses_total{kind=\"ok\"} 3\n"));
+        assert!(text.contains("responses_total{kind=\"parse\"} 1\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth 2\n"));
+        assert!(text.contains("# TYPE latency_us histogram\n"));
+        assert!(text.contains("latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("latency_us_bucket{le=\"8\"} 2\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("latency_us_sum 6\n"));
+        assert!(text.contains("latency_us_count 2\n"));
+        // Families are sorted by name.
+        let depth = text.find("# HELP depth").expect("depth family");
+        let latency = text.find("# HELP latency_us").expect("latency family");
+        let responses = text
+            .find("# HELP responses_total")
+            .expect("responses family");
+        assert!(depth < latency && latency < responses);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_mismatch_panics() {
+        let registry = Registry::new();
+        registry.gauge("x", "");
+        registry.counter("x", "");
+    }
+}

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_diff BASELINE CURRENT [--tolerance T]
+//! bench_diff BASELINE CURRENT [--tolerance T] [--stats]
 //! ```
 //!
 //! Both files are JSON-lines reports written by `scenario_sweep` (one
@@ -29,6 +29,12 @@
 //! stays quiet when coverage grows. CI runs this against the committed
 //! baseline, turning silent quality drift into a red build — the trend
 //! tracking the ROADMAP asks for.
+//!
+//! `--stats` publishes the diff tallies (records compared, drift,
+//! improvements, bound moves, failures) as `bench_diff_*` series in the
+//! process-global telemetry registry and dumps it to stderr in the same
+//! Prometheus text format `eds-serve` exposes on `/metrics`, so a CI
+//! wrapper can scrape the diff outcome without parsing the prose.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -203,6 +209,7 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
 
 fn main() -> ExitCode {
     let mut tolerance = 0.05f64;
+    let mut stats = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -214,16 +221,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--stats" => stats = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown option: {other}");
-                eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T]");
+                eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T] [--stats]");
                 return ExitCode::from(2);
             }
             path => files.push(path.to_owned()),
         }
     }
     let [baseline_path, current_path] = files.as_slice() else {
-        eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T]");
+        eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T] [--stats]");
         return ExitCode::from(2);
     };
 
@@ -240,6 +248,7 @@ fn main() -> ExitCode {
     let mut improved = 0usize;
     let mut loosened = 0usize;
     let mut tightened = 0usize;
+    let mut missing = 0usize;
     for (key, base) in &baseline {
         let Some(cur) = current.get(key) else {
             eprintln!(
@@ -247,6 +256,7 @@ fn main() -> ExitCode {
                 key.0, key.1
             );
             failures += 1;
+            missing += 1;
             continue;
         };
         if base.clean && !cur.clean {
@@ -302,6 +312,53 @@ fn main() -> ExitCode {
         baseline.len(),
         current.len(),
     );
+    if stats {
+        let registry = eds_telemetry::global();
+        let tally = |name, help, value: usize| {
+            registry.counter(name, help).add(value as u64);
+        };
+        tally(
+            "bench_diff_records_compared_total",
+            "Baseline records matched against the current report.",
+            baseline.len(),
+        );
+        tally(
+            "bench_diff_records_added_total",
+            "Records only present in the current report.",
+            added,
+        );
+        tally(
+            "bench_diff_records_missing_total",
+            "Baseline records dropped from the current report.",
+            missing,
+        );
+        tally(
+            "bench_diff_drifted_total",
+            "Records whose quality measure grew beyond the tolerance.",
+            drifted,
+        );
+        tally(
+            "bench_diff_improved_total",
+            "Records whose quality measure shrank beyond the tolerance.",
+            improved,
+        );
+        tally(
+            "bench_diff_bounds_tightened_total",
+            "Records whose certified lower bound increased.",
+            tightened,
+        );
+        tally(
+            "bench_diff_bounds_loosened_total",
+            "Records whose certified lower bound decreased.",
+            loosened,
+        );
+        tally(
+            "bench_diff_failures_total",
+            "Gate failures across all categories.",
+            failures,
+        );
+        eprint!("{}", registry.render());
+    }
     if failures > 0 {
         eprintln!("quality drift beyond tolerance {tolerance} — failing");
         return ExitCode::from(1);

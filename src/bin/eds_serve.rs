@@ -1,16 +1,19 @@
 //! `eds-serve` — the solver-as-a-service daemon.
 //!
 //! Accepts JSON-lines solve requests (see `eds_scenarios::serve` for the
-//! wire format) on stdin and, with `--socket PATH`, on a unix socket.
-//! Every frame gets exactly one response frame; malformed input is a
-//! structured error, never a panic. Concurrent clients share one
-//! persistent worker pool and a canonical-form result cache, so two
-//! clients submitting PN-isomorphic instances share one solve.
+//! wire format) on stdin, with `--socket PATH` on a unix socket, and
+//! with `--http ADDR` over HTTP/1.1 (`POST /solve` plus `/metrics`,
+//! `/healthz` and `/statz`). Every frame gets exactly one response
+//! frame; malformed input is a structured error, never a panic.
+//! Concurrent clients share one persistent worker pool and a
+//! canonical-form result cache, so two clients submitting
+//! PN-isomorphic instances share one solve.
 //!
 //! ```text
 //! echo '{"id":1,"spec":"cycle:9","protocols":["vc3"]}' | eds-serve
 //! eds-serve --socket /tmp/eds.sock            # socket only, run until a shutdown frame
 //! eds-serve --socket /tmp/eds.sock --stdin    # both transports
+//! eds-serve --http 127.0.0.1:8080             # HTTP API + Prometheus /metrics
 //! ```
 
 use std::io::{self, Write};
@@ -24,9 +27,12 @@ const USAGE: &str = "eds-serve: JSON-lines edge-dominating-set solver daemon
 USAGE:
     eds-serve [OPTIONS]                 serve stdin/stdout
     eds-serve --socket PATH [OPTIONS]   also (or only) serve a unix socket
+    eds-serve --http ADDR [OPTIONS]     also (or only) serve HTTP/1.1
 
 OPTIONS:
     --socket PATH          bind a unix socket and accept concurrent clients
+    --http ADDR            bind a TCP address (e.g. 127.0.0.1:8080) and serve
+                           POST /solve, GET /metrics, GET /healthz, GET /statz
     --stdin                serve stdin/stdout too (default unless --socket given)
     --threads N            solver pool threads (default: available cores)
     --batch N              max requests batched into one shared session (default 8)
@@ -45,6 +51,7 @@ in-flight solves and exit gracefully.";
 
 struct Options {
     socket: Option<std::path::PathBuf>,
+    http: Option<String>,
     stdin: bool,
     quiet: bool,
     config: ServeConfig,
@@ -53,6 +60,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut options = Options {
         socket: None,
+        http: None,
         stdin: false,
         quiet: false,
         config: ServeConfig::default(),
@@ -74,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--stdin" => explicit_stdin = true,
             "--quiet" => options.quiet = true,
             "--socket" => options.socket = Some(value("--socket")?.into()),
+            "--http" => options.http = Some(value("--http")?.to_owned()),
             "--threads" => {
                 options.config.solver_threads = number("--threads", value("--threads")?)?.max(1)
             }
@@ -106,7 +115,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
-    options.stdin = explicit_stdin || options.socket.is_none();
+    options.stdin = explicit_stdin || (options.socket.is_none() && options.http.is_none());
     Ok(Some(options))
 }
 
@@ -133,6 +142,20 @@ fn main() -> ExitCode {
         }
         if !options.quiet {
             eprintln!("eds-serve: listening on {}", path.display());
+        }
+    }
+
+    if let Some(addr) = &options.http {
+        match server.listen_http(addr.as_str()) {
+            Ok(bound) => {
+                if !options.quiet {
+                    eprintln!("eds-serve: serving http on {bound}");
+                }
+            }
+            Err(err) => {
+                eprintln!("eds-serve: cannot bind {addr}: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 //! ```text
 //! scenario_sweep [--smoke | --churn] [--out PATH] [--threads N]
 //!                [--sequential] [--simulator-threads N]
-//!                [--bounds exact|lp|mm]
+//!                [--bounds exact|lp|mm] [--stats]
 //! ```
 //!
 //! * `--smoke` sweeps the fast CI registry instead of the full matrix;
@@ -34,7 +34,11 @@
 //!   baseline, so regenerate-and-diff works with no flags), `exact`
 //!   (branch and bound within budget, folklore matching bounds
 //!   beyond), or `mm` (matching bounds only, constant cost). Every
-//!   record names its provider in the `bounds` JSON field.
+//!   record names its provider in the `bounds` JSON field;
+//! * `--stats` dumps the process-global telemetry registry (simulator
+//!   rounds and messages, session scenario/fallback counters) to stderr
+//!   after the summary, in the same Prometheus text format `eds-serve`
+//!   exposes on `/metrics`.
 //!
 //! Under `--bounds lp` two extra gates arm: the process exits non-zero
 //! if any dual certificate fails the independent feasibility check, or
@@ -78,6 +82,7 @@ use edge_dominating_sets::scenarios::{
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut churn = false;
+    let mut stats = false;
     let mut out = "BENCH_scenarios.json".to_owned();
     let mut threads: Option<usize> = None;
     let mut simulator_threads: Option<usize> = None;
@@ -89,6 +94,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--churn" => churn = true,
+            "--stats" => stats = true,
             "--sequential" => threads = Some(1),
             "--bounds" => match args.next() {
                 Some(mode) => match BoundsMode::parse(&mode) {
@@ -134,7 +140,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: scenario_sweep [--smoke | --churn] [--out PATH] [--threads N] \
-                     [--sequential] [--simulator-threads N] [--bounds exact|lp|mm]"
+                     [--sequential] [--simulator-threads N] [--bounds exact|lp|mm] [--stats]"
                 );
                 return ExitCode::from(2);
             }
@@ -232,6 +238,12 @@ fn main() -> ExitCode {
         aggregate.families().len(),
         aggregate.bound_providers().join("+"),
     );
+    if stats {
+        // The runtime and the session publish into the process-global
+        // registry as the sweep runs; render the snapshot in the same
+        // Prometheus text format `eds-serve` exposes on `/metrics`.
+        eprint!("{}", eds_telemetry::global().render());
+    }
 
     let mut failed = false;
     if aggregate.violations() > 0 {

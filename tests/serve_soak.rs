@@ -238,6 +238,132 @@ fn shutdown_under_load_drains_and_refuses_cleanly() {
     assert_eq!(stats.responses, stats.frames);
 }
 
+/// The HTTP transport answers with the very bytes the unix-socket
+/// transport emits — same response frames, HTTP framing aside — and
+/// its `/metrics` series reconcile exactly with the request traffic.
+#[test]
+fn http_solves_match_the_socket_path_and_metrics_reconcile() {
+    use std::net::TcpStream;
+
+    let frames = [
+        "{\"id\":\"a\",\"spec\":\"cycle:6\",\"protocols\":[\"vc3\",\"port-one\"]}",
+        "{\"id\":\"b\",\"edges\":[[0,1],[1,2],[2,0]],\"protocols\":[\"vc3\"]}",
+        "{\"id\":\"c\",\"edges\":[[0,0]]}",
+        "not json",
+    ];
+
+    // The baseline: the same frames over a unix socket on a cold server.
+    let sock_server = Server::new(ServeConfig {
+        solver_threads: 2,
+        ..ServeConfig::default()
+    });
+    let path = socket_path("http-vs-sock");
+    sock_server.listen_unix(&path).expect("bind socket");
+    let (mut reader, mut writer) = connect(&path);
+    let mut socket_lines = Vec::new();
+    for frame in frames {
+        writer.write_all(frame.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        socket_lines.push(read_line(&mut reader));
+    }
+    sock_server.begin_shutdown();
+    sock_server.finish();
+
+    // One keep-alive HTTP connection sends one request per frame, then
+    // reads the telemetry endpoints.
+    let http_server = Server::new(ServeConfig {
+        solver_threads: 2,
+        ..ServeConfig::default()
+    });
+    let addr = http_server.listen_http("127.0.0.1:0").expect("bind http");
+    let stream = TcpStream::connect(addr).expect("connect http");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("client deadline");
+    let mut http_writer = stream.try_clone().expect("clone stream");
+    let mut http_reader = BufReader::new(stream);
+
+    let mut request = |method: &str, target: &str, body: Option<&str>| -> (u16, String) {
+        let mut raw = format!("{method} {target} HTTP/1.1\r\n");
+        if let Some(body) = body {
+            raw.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        raw.push_str("\r\n");
+        if let Some(body) = body {
+            raw.push_str(body);
+        }
+        http_writer.write_all(raw.as_bytes()).expect("send request");
+        let mut status_line = String::new();
+        http_reader
+            .read_line(&mut status_line)
+            .expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+        let mut length = 0usize;
+        loop {
+            let mut header = String::new();
+            http_reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end().to_ascii_lowercase();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(value) = header.strip_prefix("content-length:") {
+                length = value.trim().parse().expect("numeric length");
+            }
+        }
+        let mut body = vec![0u8; length];
+        http_reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("UTF-8 body"))
+    };
+
+    for (frame, socket_line) in frames.iter().zip(&socket_lines) {
+        let (status, body) = request("POST", "/solve", Some(frame));
+        assert_eq!(
+            body.trim_end(),
+            socket_line,
+            "HTTP payload differs from the socket path for {frame}"
+        );
+        let expected = if socket_line.contains("\"ok\":true") {
+            200
+        } else {
+            400
+        };
+        assert_eq!(status, expected, "{body}");
+    }
+
+    // /metrics and /statz reconcile with exactly the traffic sent: 4
+    // frames — 2 ok, 1 graph error, 1 parse error — each timed.
+    let (status, metrics) = request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for needle in [
+        "eds_serve_frames_total 4",
+        "eds_serve_responses_total{kind=\"ok\"} 2",
+        "eds_serve_responses_total{kind=\"graph\"} 1",
+        "eds_serve_responses_total{kind=\"parse\"} 1",
+        "eds_serve_responses_total{kind=\"timeout\"} 0",
+        "eds_serve_request_latency_us_count 4",
+        "eds_serve_cache_misses_total 2",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+
+    let (status, statz) = request("GET", "/statz", None);
+    assert_eq!(status, 200);
+    assert!(
+        statz.contains("\"frames\":4") && statz.contains("\"errors\":2"),
+        "{statz}"
+    );
+
+    http_server.begin_shutdown();
+    http_server.finish();
+}
+
 /// Release-only throughput gate: smoke-tier requests (a handful of tiny
 /// instances, so the steady state is cache hits — the intended serving
 /// regime) must sustain at least 1000 requests/second on one core.
