@@ -28,7 +28,85 @@
 //! [`crate::SimpleGraph`]. (The multigraph covers of the lower-bound
 //! machinery never churn.)
 
+use std::collections::BTreeMap;
+
 use crate::{Endpoint, GraphError, NodeId, Port, PortNumberedGraph};
+
+/// The mutation capability a churn engine needs, abstracted over storage.
+///
+/// [`DynamicTopology`] implements it with a dense per-node port table —
+/// right for the bench-tier graphs that are mutated heavily and frozen
+/// every epoch. [`StreamedDynamicTopology`] implements it as a sparse
+/// delta overlay over a borrowed immutable base, so churn over a
+/// million-node streamed graph never materialises a second full copy:
+/// only the port rows an event actually touches are ever allocated.
+///
+/// Both implementations share the dense-port mutation semantics described
+/// in the [module docs](self) — insertion appends highest ports, deletion
+/// swap-removes — so a schedule materialised on one replays identically
+/// on the other.
+pub trait DynTopology {
+    /// Number of nodes (including isolated ones).
+    fn node_count(&self) -> usize;
+
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+
+    /// Current degree of `v`.
+    fn degree(&self, v: NodeId) -> usize;
+
+    /// Maximum degree over all nodes.
+    fn max_degree(&self) -> usize;
+
+    /// Whether `{u, v}` is currently an edge. Out-of-range nodes are
+    /// simply not endpoints.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// The peer on port `i` (0-based) of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `i >= degree(v)`.
+    fn nth_neighbor(&self, v: NodeId, i: usize) -> NodeId;
+
+    /// Calls `f` once per neighbour of `v`, in port order.
+    fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(NodeId));
+
+    /// Appends a fresh isolated node and returns its id.
+    fn add_node(&mut self) -> NodeId;
+
+    /// Inserts the edge `{u, v}` (see [`DynamicTopology::insert_edge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`], [`GraphError::LoopNotAllowed`], or
+    /// [`GraphError::ParallelEdge`], as for the dense implementation.
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError>;
+
+    /// Deletes the edge `{u, v}` (see [`DynamicTopology::delete_edge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] or [`GraphError::InvalidParameter`]
+    /// if the edge does not exist.
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError>;
+
+    /// Crashes `v`: deletes every incident edge and returns the former
+    /// neighbours in port order (see [`DynamicTopology::isolate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] for an unknown node.
+    fn isolate(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError>;
+
+    /// Snapshots the current topology into a validated
+    /// [`PortNumberedGraph`] (see [`DynamicTopology::freeze`]).
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`PortNumberedGraph::from_involution`].
+    fn freeze(&self) -> Result<PortNumberedGraph, GraphError>;
+}
 
 /// A mutable simple topology with dense per-node port assignments.
 ///
@@ -242,6 +320,300 @@ impl DynamicTopology {
     }
 }
 
+impl DynTopology for DynamicTopology {
+    fn node_count(&self) -> usize {
+        DynamicTopology::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        DynamicTopology::edge_count(self)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        DynamicTopology::degree(self, v)
+    }
+
+    fn max_degree(&self) -> usize {
+        DynamicTopology::max_degree(self)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        DynamicTopology::has_edge(self, u, v)
+    }
+
+    fn nth_neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.ports[v.index()][i].node
+    }
+
+    fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for p in &self.ports[v.index()] {
+            f(p.node);
+        }
+    }
+
+    fn add_node(&mut self) -> NodeId {
+        DynamicTopology::add_node(self)
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        DynamicTopology::insert_edge(self, u, v)
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        DynamicTopology::delete_edge(self, u, v)
+    }
+
+    fn isolate(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        DynamicTopology::isolate(self, v)
+    }
+
+    fn freeze(&self) -> Result<PortNumberedGraph, GraphError> {
+        DynamicTopology::freeze(self)
+    }
+}
+
+/// A churn overlay over a borrowed, immutable [`PortNumberedGraph`].
+///
+/// The base graph is never copied: a node's port row lives in the sparse
+/// `overlay` map only once a mutation touches it (directly, or indirectly
+/// when a swap-removed port at a neighbour re-points a peer entry), and
+/// joined nodes live in a short `appended` tail. Reads fall through to
+/// the base for untouched rows, so memory stays proportional to the
+/// damage, not the graph — the property that makes million-node churn
+/// affordable. [`StreamedDynamicTopology::freeze`] streams the base plus
+/// overlay into one fresh involution without intermediate copies.
+///
+/// Mutation semantics (dense ports, swap-remove deletion) are identical
+/// to [`DynamicTopology`]; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct StreamedDynamicTopology<'g> {
+    base: &'g PortNumberedGraph,
+    /// Materialised port rows for base nodes a mutation has touched.
+    overlay: BTreeMap<usize, Vec<Endpoint>>,
+    /// Port rows for nodes joined after construction; node id is
+    /// `base.node_count() + index`.
+    appended: Vec<Vec<Endpoint>>,
+    edges: usize,
+}
+
+impl<'g> StreamedDynamicTopology<'g> {
+    /// Wraps `base` with an empty overlay. Infallible: the base is
+    /// already a validated simple port-numbered graph.
+    pub fn new(base: &'g PortNumberedGraph) -> Self {
+        StreamedDynamicTopology {
+            base,
+            overlay: BTreeMap::new(),
+            appended: Vec::new(),
+            edges: base.edge_count(),
+        }
+    }
+
+    /// Number of base-node port rows the overlay has materialised — the
+    /// memory footprint the streaming contract bounds.
+    pub fn overlay_rows(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Number of nodes (including isolated and joined ones).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count() + self.appended.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Current degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let base_n = self.base.node_count();
+        if v.index() >= base_n {
+            self.appended[v.index() - base_n].len()
+        } else if let Some(row) = self.overlay.get(&v.index()) {
+            row.len()
+        } else {
+            self.base.degree(v)
+        }
+    }
+
+    /// The peer endpoint wired to port `i` of `v`.
+    fn port_entry(&self, v: usize, i: usize) -> Endpoint {
+        let base_n = self.base.node_count();
+        if v >= base_n {
+            self.appended[v - base_n][i]
+        } else if let Some(row) = self.overlay.get(&v) {
+            row[i]
+        } else {
+            self.base
+                .connection(Endpoint::new(NodeId::new(v), Port::from_index(i)))
+        }
+    }
+
+    /// The mutable row of `v`, materialising it from the base on first
+    /// touch.
+    fn row_mut(&mut self, v: usize) -> &mut Vec<Endpoint> {
+        let base_n = self.base.node_count();
+        if v >= base_n {
+            &mut self.appended[v - base_n]
+        } else {
+            let base = self.base;
+            self.overlay.entry(v).or_insert_with(|| {
+                (0..base.degree(NodeId::new(v)))
+                    .map(|i| base.connection(Endpoint::new(NodeId::new(v), Port::from_index(i))))
+                    .collect()
+            })
+        }
+    }
+
+    /// Whether `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return false;
+        }
+        (0..self.degree(u)).any(|i| self.port_entry(u.index(), i).node == v)
+    }
+
+    /// The current neighbours of `v`, in port order.
+    pub fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for i in 0..self.degree(v) {
+            f(self.port_entry(v.index(), i).node);
+        }
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() >= self.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                nodes: self.node_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Unwires port `i` of `v` by swap-remove, mirroring
+    /// [`DynamicTopology`]'s renumbering exactly. Re-pointing the moved
+    /// port's peer may materialise that peer's row — overlay growth stays
+    /// proportional to the damage neighbourhood.
+    fn remove_port(&mut self, v: NodeId, i: usize) {
+        let row = self.row_mut(v.index());
+        let last = row.len() - 1;
+        row.swap_remove(i);
+        if i < last {
+            let moved_peer = self.row_mut(v.index())[i];
+            self.row_mut(moved_peer.node.index())[moved_peer.port.index()] =
+                Endpoint::new(v, Port::from_index(i));
+        }
+    }
+}
+
+impl DynTopology for StreamedDynamicTopology<'_> {
+    fn node_count(&self) -> usize {
+        StreamedDynamicTopology::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        StreamedDynamicTopology::edge_count(self)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        StreamedDynamicTopology::degree(self, v)
+    }
+
+    /// Exact, in `O(node_count + overlay)`: untouched rows read the base
+    /// degree in constant time.
+    fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        StreamedDynamicTopology::has_edge(self, u, v)
+    }
+
+    fn nth_neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.port_entry(v.index(), i).node
+    }
+
+    fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        StreamedDynamicTopology::visit_neighbors(self, v, f)
+    }
+
+    fn add_node(&mut self) -> NodeId {
+        self.appended.push(Vec::new());
+        NodeId::new(self.base.node_count() + self.appended.len() - 1)
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::LoopNotAllowed { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        let pu = Port::from_index(self.degree(u));
+        let pv = Port::from_index(self.degree(v));
+        self.row_mut(u.index()).push(Endpoint::new(v, pv));
+        self.row_mut(v.index()).push(Endpoint::new(u, pu));
+        self.edges += 1;
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let Some(i) = (0..self.degree(u)).find(|&i| self.port_entry(u.index(), i).node == v) else {
+            return Err(GraphError::InvalidParameter {
+                detail: format!("edge {{{u}, {v}}} does not exist"),
+            });
+        };
+        let j = self.port_entry(u.index(), i).port.index();
+        // As in the dense implementation: removing (u, i) can re-point
+        // the peer of u's old highest port, never (v, j) itself.
+        self.remove_port(u, i);
+        self.remove_port(v, j);
+        self.edges -= 1;
+        Ok(())
+    }
+
+    fn isolate(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        self.check_node(v)?;
+        let neighbors: Vec<NodeId> = (0..self.degree(v))
+            .map(|i| self.port_entry(v.index(), i).node)
+            .collect();
+        for &u in &neighbors {
+            self.delete_edge(v, u)?;
+        }
+        Ok(neighbors)
+    }
+
+    /// Streams base + overlay into one fresh involution — the single
+    /// full-size allocation of the streamed path, paid only when a
+    /// protocol epoch actually needs a frozen graph.
+    fn freeze(&self) -> Result<PortNumberedGraph, GraphError> {
+        let n = self.node_count();
+        let mut degrees: Vec<u32> = Vec::with_capacity(n);
+        let mut involution: Vec<Endpoint> = Vec::new();
+        for v in 0..n {
+            let d = self.degree(NodeId::new(v));
+            degrees.push(d as u32);
+            for i in 0..d {
+                involution.push(self.port_entry(v, i));
+            }
+        }
+        let g = PortNumberedGraph::from_involution(degrees, involution)?;
+        g.validate()?;
+        Ok(g)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +707,87 @@ mod tests {
             DynamicTopology::new(3).delete_edge(NodeId::new(0), NodeId::new(1)),
             Err(GraphError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn streamed_overlay_matches_dense_under_mutation() {
+        // Replay the same mutation sequence on the dense and streamed
+        // implementations; the frozen graphs must be identical, because
+        // both use the same dense-port swap-remove semantics.
+        let base = ports::shuffled_ports(
+            &generators::random_bounded_degree(64, 5, 0.6, 9).unwrap(),
+            4,
+        )
+        .unwrap();
+        let mut dense = DynamicTopology::from_graph(&base).unwrap();
+        let mut streamed = StreamedDynamicTopology::new(&base);
+        assert_eq!(streamed.edge_count(), dense.edge_count());
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut step = || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for round in 0..200 {
+            let u = NodeId::new((step() % 64) as usize);
+            let v = NodeId::new((step() % 64) as usize);
+            if u == v {
+                continue;
+            }
+            assert_eq!(dense.has_edge(u, v), streamed.has_edge(u, v));
+            if dense.has_edge(u, v) {
+                dense.delete_edge(u, v).unwrap();
+                DynTopology::delete_edge(&mut streamed, u, v).unwrap();
+            } else {
+                dense.insert_edge(u, v).unwrap();
+                DynTopology::insert_edge(&mut streamed, u, v).unwrap();
+            }
+            if round % 40 == 17 {
+                let w = NodeId::new((step() % 64) as usize);
+                assert_eq!(
+                    dense.isolate(w).unwrap(),
+                    DynTopology::isolate(&mut streamed, w).unwrap()
+                );
+            }
+            assert_eq!(dense.edge_count(), streamed.edge_count());
+        }
+        let j = DynTopology::add_node(&mut streamed);
+        assert_eq!(dense.add_node(), j);
+        dense.insert_edge(j, NodeId::new(3)).unwrap();
+        DynTopology::insert_edge(&mut streamed, j, NodeId::new(3)).unwrap();
+        assert_eq!(
+            DynTopology::max_degree(&streamed),
+            dense.max_degree(),
+            "exact max degree over base + overlay"
+        );
+        assert_eq!(
+            DynTopology::freeze(&streamed).unwrap(),
+            dense.freeze().unwrap()
+        );
+    }
+
+    #[test]
+    fn streamed_overlay_stays_sparse() {
+        // One edge deletion on a 4096-node cycle touches the two
+        // endpoints plus at most the re-pointed peers — never O(n) rows.
+        let base = ports::canonical_ports(&generators::cycle(4096).unwrap()).unwrap();
+        let mut t = StreamedDynamicTopology::new(&base);
+        assert_eq!(t.overlay_rows(), 0);
+        DynTopology::delete_edge(&mut t, NodeId::new(100), NodeId::new(101)).unwrap();
+        assert!(
+            t.overlay_rows() <= 4,
+            "overlay materialised {} rows for one deletion",
+            t.overlay_rows()
+        );
+        assert_eq!(t.edge_count(), 4095);
+        assert_eq!(t.degree(NodeId::new(100)), 1);
+        let g = DynTopology::freeze(&t).unwrap();
+        assert_eq!(g.edge_count(), 4095);
+        assert!(!g
+            .to_simple()
+            .unwrap()
+            .has_edge(NodeId::new(100), NodeId::new(101)));
     }
 
     #[test]

@@ -42,8 +42,9 @@
 //! states. [`Epoch::reset_recovery`] records that the fallback fired;
 //! its rounds count toward recovery like any others.
 
-use pn_graph::{DynamicTopology, GraphError, NodeId, PortNumberedGraph};
+use pn_graph::{DynTopology, DynamicTopology, GraphError, NodeId, PortNumberedGraph};
 
+use crate::cancel::CancelToken;
 use crate::{NodeAlgorithm, RunOptions, RuntimeError, Simulator};
 
 /// One fault-injection event, applied at an epoch barrier.
@@ -187,19 +188,27 @@ pub struct Epoch<O> {
 /// protocols can look up per-node inputs; anonymous protocols ignore the
 /// node id. Nodes created by [`ChurnEvent::Join`] get fresh ids past the
 /// original range — factories must be total over them.
-pub struct ChurnSimulator<A, F>
+///
+/// The topology parameter `T` defaults to the dense
+/// [`DynamicTopology`]; [`ChurnSimulator::with_topology`] accepts any
+/// [`DynTopology`] — in particular
+/// [`pn_graph::StreamedDynamicTopology`], which lets million-node
+/// streamed graphs churn without a second full materialisation.
+pub struct ChurnSimulator<A, F, T = DynamicTopology>
 where
     F: Fn(NodeId, usize) -> A,
+    T: DynTopology,
 {
-    topo: DynamicTopology,
+    topo: T,
     factory: F,
     options: RunOptions,
     threads: usize,
     crashed: Vec<bool>,
     pending_corrupt: Vec<(NodeId, u64)>,
+    cancel: Option<CancelToken>,
 }
 
-impl<A, F> ChurnSimulator<A, F>
+impl<A, F> ChurnSimulator<A, F, DynamicTopology>
 where
     A: NodeAlgorithm + Send,
     A::Message: Send,
@@ -214,14 +223,35 @@ where
     /// [`GraphError::NotSimple`] if `g` has loops — the dynamic layer
     /// maintains simple topologies only.
     pub fn new(g: &PortNumberedGraph, factory: F) -> Result<Self, GraphError> {
-        Ok(ChurnSimulator {
-            topo: DynamicTopology::from_graph(g)?,
+        Ok(Self::with_topology(
+            DynamicTopology::from_graph(g)?,
+            factory,
+        ))
+    }
+}
+
+impl<A, F, T> ChurnSimulator<A, F, T>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: Send,
+    F: Fn(NodeId, usize) -> A,
+    T: DynTopology,
+{
+    /// A churn simulator over an existing mutable topology (dense or
+    /// streamed) with default options and the sequential per-epoch
+    /// engine. Every node starts alive.
+    pub fn with_topology(topo: T, factory: F) -> Self {
+        let n = topo.node_count();
+        ChurnSimulator {
+            topo,
             factory,
             options: RunOptions::default(),
             threads: 1,
-            crashed: vec![false; g.node_count()],
+            crashed: vec![false; n],
             pending_corrupt: Vec::new(),
-        })
+            cancel: None,
+        }
     }
 
     /// Overrides the per-epoch run options.
@@ -239,9 +269,30 @@ where
         self
     }
 
+    /// Polls `token` at every epoch barrier and once per round inside
+    /// each epoch. A deadline firing mid-epoch aborts the run at the
+    /// next round boundary with a structured
+    /// [`RuntimeError::Cancelled`]; the reset-recovery fallback is never
+    /// attempted for a cancelled epoch.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The current (mutable) topology.
-    pub fn topology(&self) -> &DynamicTopology {
+    pub fn topology(&self) -> &T {
         &self.topo
+    }
+
+    /// Drops any queued corruption without running an epoch, returning
+    /// how many corrupt events were discarded. The repair-only recovery
+    /// rung uses this: corruption damage is healed in the *witness* (the
+    /// scrambled node outputs are re-legalised locally), so carrying the
+    /// queue into a later full epoch would double-apply the fault.
+    pub fn clear_corruption(&mut self) -> usize {
+        let n = self.pending_corrupt.len();
+        self.pending_corrupt.clear();
+        n
     }
 
     /// Whether `v` is currently crashed (isolated and not yet revived).
@@ -319,9 +370,22 @@ where
     /// epochs, only after the reset-recovery re-run also failed.
     pub fn stabilize(&mut self) -> Result<Epoch<A::Output>, ChurnError> {
         crate::metrics::metrics().churn_epochs.inc();
+        if let Some(token) = &self.cancel {
+            if token.check() {
+                // The deadline fired at the barrier: nothing ran yet.
+                return Err(RuntimeError::Cancelled {
+                    after_rounds: 0,
+                    still_running: self.topo.node_count(),
+                }
+                .into());
+            }
+        }
         let g = self.topo.freeze()?;
         let corrupted = self.pending_corrupt.len();
-        let sim = Simulator::with_options(&g, self.options);
+        let mut sim = Simulator::with_options(&g, self.options);
+        if let Some(token) = &self.cancel {
+            sim = sim.cancel_token(token.clone());
+        }
         let run_epoch = |states: Vec<A>| {
             if self.threads > 1 {
                 sim.run_parallel_states(states, self.threads)
@@ -331,6 +395,9 @@ where
         };
         let (run, reset_recovery) = match run_epoch(self.build_states(&g, false)) {
             Ok(run) => (run, false),
+            // A cancelled epoch is a timeout, not scrambled bookkeeping —
+            // retrying from reset would just burn the rest of the budget.
+            Err(e @ RuntimeError::Cancelled { .. }) => return Err(e.into()),
             Err(_) if corrupted > 0 => {
                 // Self-stabilizing restart: rebuild, scramble identically,
                 // reset back to initial states, and re-run clean.
@@ -532,6 +599,94 @@ mod tests {
             s.stabilize(),
             Err(ChurnError::Runtime(RuntimeError::WrongMessageCount { .. }))
         ));
+    }
+
+    #[test]
+    fn cancelled_barrier_yields_structured_timeout() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = sim().cancel_token(token);
+        match s.stabilize() {
+            Err(ChurnError::Runtime(RuntimeError::Cancelled {
+                after_rounds,
+                still_running,
+            })) => {
+                assert_eq!(after_rounds, 0);
+                assert_eq!(still_running, 6);
+            }
+            other => panic!("expected a cancelled epoch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_corrupted_epoch_skips_reset_recovery() {
+        // Corruption is queued AND the token is already cancelled: the
+        // epoch must report the timeout, not attempt the reset re-run.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = sim().cancel_token(token);
+        s.apply_burst(&[ChurnEvent::Corrupt {
+            v: NodeId::new(0),
+            entropy: u64::MAX,
+        }])
+        .unwrap();
+        assert!(matches!(
+            s.stabilize(),
+            Err(ChurnError::Runtime(RuntimeError::Cancelled { .. }))
+        ));
+    }
+
+    #[test]
+    fn clear_corruption_discards_the_queue() {
+        let mut s = sim();
+        s.apply_burst(&[ChurnEvent::Corrupt {
+            v: NodeId::new(0),
+            entropy: 41,
+        }])
+        .unwrap();
+        assert_eq!(s.clear_corruption(), 1);
+        let epoch = s.stabilize().unwrap();
+        assert_eq!(epoch.corrupted, 0);
+        assert_eq!(epoch.outputs[0], 2, "the fault never reached the run");
+    }
+
+    #[test]
+    fn streamed_topology_churns_identically_to_dense() {
+        let g = ports::canonical_ports(&generators::cycle(6).unwrap()).unwrap();
+        let mut schedule = EventSchedule::new();
+        schedule
+            .push_burst(vec![
+                ChurnEvent::DeleteEdge {
+                    u: NodeId::new(0),
+                    v: NodeId::new(1),
+                },
+                ChurnEvent::InsertEdge {
+                    u: NodeId::new(0),
+                    v: NodeId::new(3),
+                },
+            ])
+            .push_burst(vec![
+                ChurnEvent::Crash { v: NodeId::new(2) },
+                ChurnEvent::Join {
+                    attach: vec![NodeId::new(4)],
+                },
+            ]);
+        let dense = sim().run(&schedule).unwrap();
+        let factory = |_: NodeId, d: usize| Echo {
+            degree: d,
+            token: 1,
+        };
+        let streamed =
+            ChurnSimulator::with_topology(pn_graph::StreamedDynamicTopology::new(&g), factory)
+                .run(&schedule)
+                .unwrap();
+        assert_eq!(dense.len(), streamed.len());
+        for (d, s) in dense.iter().zip(&streamed) {
+            assert_eq!(d.graph, s.graph);
+            assert_eq!(d.outputs, s.outputs);
+            assert_eq!(d.rounds, s.rounds);
+            assert_eq!(d.messages, s.messages);
+        }
     }
 
     #[test]

@@ -26,16 +26,22 @@ use eds_core::distributed::BoundedDegreeNode;
 use eds_core::port_one::PortOneNode;
 use eds_core::repair::{
     self, edge_key, is_cover_witness, is_dominating_witness, is_matching_witness,
-    is_maximal_witness, EdgeWitness, NodeWitness, RepairOutcome,
+    is_maximal_witness, khop_ball, splice_edge_witness, splice_node_witness, AdjacencyView,
+    EdgeWitness, NodeWitness, RecoveryPolicy, RecoveryTier, RepairOutcome,
 };
 use eds_core::vertex_cover::VertexCoverNode;
 use eds_verify::{check_edge_dominating_set, check_maximal_matching};
-use pn_graph::{DynamicTopology, GraphError, NodeId, PortNumberedGraph, SimpleGraph};
+use pn_graph::ports::canonical_ports;
+use pn_graph::{
+    DynTopology, DynamicTopology, GraphError, NodeId, PortNumberedGraph, SimpleGraph,
+    StreamedDynamicTopology,
+};
 use pn_runtime::{
-    edge_set_from_outputs, entropy_stream, ChurnError, ChurnEvent, ChurnSimulator, EventSchedule,
-    NodeAlgorithm, PortSet, RuntimeError,
+    edge_set_from_outputs, entropy_stream, CancelToken, ChurnError, ChurnEvent, ChurnSimulator,
+    EventSchedule, NodeAlgorithm, PortSet, RuntimeError, Simulator,
 };
 
+use crate::metrics::repair_metrics;
 use crate::protocol::{node_identifiers, node_seeds, ExecOptions, Protocol, Solution, SweepError};
 use crate::scenario::{Family, Scenario};
 use crate::sweep::ChurnStats;
@@ -44,6 +50,10 @@ use crate::sweep::ChurnStats;
 /// schedules never correlate with the port shuffles or node seeds that
 /// share the scenario seed.
 const CHURN_SALT: u64 = 0x6368_7572_6e5f_6576; // "churn_ev"
+
+/// Domain separator for the sampled-epoch audit stream — audit decisions
+/// never correlate with the event draws above.
+const AUDIT_SALT: u64 = 0x6175_6469_745f_6570; // "audit_ep"
 
 /// How many candidate draws an event gets before it is skipped (the
 /// topology may have no room left, e.g. no insertable pair under the
@@ -116,6 +126,34 @@ pub fn materialize(
     seed: u64,
 ) -> Result<MaterializedChurn, GraphError> {
     let mut topo = DynamicTopology::from_graph(base)?;
+    materialize_on(&mut topo, plan, seed)
+}
+
+/// [`materialize`] over a streaming delta overlay: the schedule is drawn
+/// against a [`StreamedDynamicTopology`] that borrows `base` instead of
+/// copying it, so million-node bases materialise in memory proportional
+/// to the events, not the graph. The drawn schedule is bit-identical to
+/// the dense path's (both follow the same mutation semantics).
+///
+/// # Errors
+///
+/// Propagates topology errors; none occur for simple base graphs.
+pub fn materialize_streamed(
+    base: &PortNumberedGraph,
+    plan: &ChurnPlan,
+    seed: u64,
+) -> Result<MaterializedChurn, GraphError> {
+    let mut topo = StreamedDynamicTopology::new(base);
+    materialize_on(&mut topo, plan, seed)
+}
+
+/// The topology-generic schedule drawer shared by [`materialize`] and
+/// [`materialize_streamed`].
+fn materialize_on<T: DynTopology>(
+    topo: &mut T,
+    plan: &ChurnPlan,
+    seed: u64,
+) -> Result<MaterializedChurn, GraphError> {
     let mut crashed = vec![false; topo.node_count()];
     let cap = topo.max_degree().max(2);
     let base_edges = topo.edge_count();
@@ -155,10 +193,7 @@ pub fn materialize(
                         let u = NodeId::new((next() % n) as usize);
                         let d = topo.degree(u);
                         if d > 0 && topo.edge_count() > 1 {
-                            let v = topo
-                                .neighbors(u)
-                                .nth((next() % d as u64) as usize)
-                                .expect("degree-checked");
+                            let v = topo.nth_neighbor(u, (next() % d as u64) as usize);
                             topo.delete_edge(u, v)?;
                             touched.insert(u.index());
                             touched.insert(v.index());
@@ -293,32 +328,51 @@ impl Witness {
         }
     }
 
-    fn repair(
+    fn repair<V: AdjacencyView + ?Sized>(
         &mut self,
-        simple: &SimpleGraph,
+        view: &V,
         touched: &BTreeSet<usize>,
         kind: WitnessKind,
     ) -> RepairOutcome {
         match (self, kind) {
             (Witness::Edges(w), WitnessKind::Matching) => {
-                repair::repair_maximal_matching(simple, w, touched)
+                repair::repair_maximal_matching(view, w, touched)
             }
             (Witness::Edges(w), WitnessKind::Dominating) => {
-                repair::repair_edge_dominating(simple, w, touched)
+                repair::repair_edge_dominating(view, w, touched)
             }
-            (Witness::Cover(c), _) => repair::repair_vertex_cover(simple, c, touched),
+            (Witness::Cover(c), _) => repair::repair_vertex_cover(view, c, touched),
             (Witness::Edges(_), WitnessKind::Cover) => unreachable!("edge witness for cover"),
         }
     }
 
-    fn feasible(&self, simple: &SimpleGraph, kind: WitnessKind) -> bool {
+    fn feasible<V: AdjacencyView + ?Sized>(&self, view: &V, kind: WitnessKind) -> bool {
         match (self, kind) {
             (Witness::Edges(w), WitnessKind::Matching) => {
-                is_matching_witness(simple, w) && is_maximal_witness(simple, w)
+                is_matching_witness(view, w) && is_maximal_witness(view, w)
             }
-            (Witness::Edges(w), WitnessKind::Dominating) => is_dominating_witness(simple, w),
-            (Witness::Cover(c), _) => is_cover_witness(simple, c),
+            (Witness::Edges(w), WitnessKind::Dominating) => is_dominating_witness(view, w),
+            (Witness::Cover(c), _) => is_cover_witness(view, c),
             (Witness::Edges(_), WitnessKind::Cover) => false,
+        }
+    }
+
+    /// Projects the witness back onto a concrete graph as a [`Solution`]
+    /// — the final artifact of a repair-first run whose last burst never
+    /// re-stabilised. Edge pairs are resolved to [`pn_graph::EdgeId`]s by
+    /// one pass over the graph's edge list.
+    fn to_solution(&self, g: &PortNumberedGraph) -> Solution {
+        match self {
+            Witness::Edges(w) => Solution::Edges(
+                g.edges()
+                    .filter(|(_, shape)| {
+                        let (u, v) = shape.nodes();
+                        w.contains(&edge_key(u.index(), v.index()))
+                    })
+                    .map(|(e, _)| e)
+                    .collect(),
+            ),
+            Witness::Cover(c) => Solution::Nodes(c.iter().map(|&v| NodeId::new(v)).collect()),
         }
     }
 
@@ -386,10 +440,9 @@ fn churn_err(e: ChurnError) -> SweepError {
     }
 }
 
-/// Runs `protocol` through the scenario's churn schedule: initial
-/// stabilisation, then per burst — apply events, re-stabilise, verify
-/// the quiescent output, incrementally repair the witness, and recover
-/// with one clean epoch when corruption garbled the output.
+/// Runs `protocol` through the scenario's churn schedule with the
+/// default [`RecoveryPolicy`] and no cancellation — see
+/// [`run_churn_with`].
 ///
 /// # Errors
 ///
@@ -404,46 +457,130 @@ pub fn run_churn(
     protocol: Protocol,
     exec: &ExecOptions,
 ) -> Result<ChurnRun, SweepError> {
-    let Family::Churn { plan, .. } = &scenario.spec.family else {
+    run_churn_with(scenario, protocol, exec, &RecoveryPolicy::default(), None)
+}
+
+/// Runs `protocol` through the scenario's churn schedule under an
+/// explicit recovery policy: initial stabilisation, then per burst the
+/// escalation ladder — (1) local witness repair when the damage frontier
+/// is small, (2) a protocol re-run confined to the k-hop ball around the
+/// frontier when repair leaves residual infeasibility, (3) full
+/// re-stabilisation as the last resort, with a capped retry-from-reset
+/// budget. A seeded fraction of epochs is *audited*: the full
+/// re-stabilisation runs anyway and the repaired witness must be
+/// feasible, port-consistent, and within the protocol's paper bound of
+/// the fresh output — any divergence fails the run with a structured
+/// report.
+///
+/// Streamed bases (`MillionCycle`/`MillionRegular` under
+/// [`Family::Churn`]) churn through a [`StreamedDynamicTopology`] delta
+/// overlay, so no second full copy of the graph is ever materialised;
+/// repair-only epochs touch memory proportional to the damage frontier.
+///
+/// `cancel` is polled at every epoch barrier and once per round inside
+/// full epochs; a deadline firing mid-run yields a structured
+/// [`RuntimeError::Cancelled`].
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for non-churn scenarios, inapplicable
+/// protocols, cancellation, and propagated simulator errors.
+pub fn run_churn_with(
+    scenario: &Scenario,
+    protocol: Protocol,
+    exec: &ExecOptions,
+    policy: &RecoveryPolicy,
+    cancel: Option<&CancelToken>,
+) -> Result<ChurnRun, SweepError> {
+    let Family::Churn { base, plan } = &scenario.spec.family else {
         return Err(SweepError::Graph(GraphError::InvalidParameter {
             detail: format!("{} is not a churn scenario", scenario.name()),
         }));
     };
-    let mat = materialize(&scenario.graph, plan, scenario.spec.seed)?;
+    let streamed = matches!(
+        **base,
+        Family::MillionCycle { .. } | Family::MillionRegular { .. }
+    );
+    if streamed {
+        let mat = materialize_streamed(&scenario.graph, plan, scenario.spec.seed)?;
+        let topo = StreamedDynamicTopology::new(&scenario.graph);
+        run_on(scenario, mat, topo, protocol, exec, policy, cancel)
+    } else {
+        let mat = materialize(&scenario.graph, plan, scenario.spec.seed)?;
+        let topo = DynamicTopology::from_graph(&scenario.graph)?;
+        run_on(scenario, mat, topo, protocol, exec, policy, cancel)
+    }
+}
+
+/// Recovery context threaded through the epoch loop.
+struct RecoveryCtx<'a> {
+    policy: &'a RecoveryPolicy,
+    cancel: Option<&'a CancelToken>,
+    /// The paper-bound ratio `(num, den)` the audit holds the repaired
+    /// witness to, against the freshly re-stabilised size (sound because
+    /// the optimum is never larger than the fresh solution). `None`
+    /// where no per-instance ratio exists (port-one needs regularity,
+    /// which churn breaks).
+    bound: Option<(u64, u64)>,
+    seed: u64,
+}
+
+/// Protocol dispatch over an already-materialised schedule and topology.
+fn run_on<T>(
+    scenario: &Scenario,
+    mat: MaterializedChurn,
+    topo: T,
+    protocol: Protocol,
+    exec: &ExecOptions,
+    policy: &RecoveryPolicy,
+    cancel: Option<&CancelToken>,
+) -> Result<ChurnRun, SweepError>
+where
+    T: DynTopology + AdjacencyView,
+{
     let delta = exec.delta.unwrap_or(0).max(mat.degree_cap);
     let threads = exec.simulator_threads.max(1);
     let seed = scenario.spec.seed;
     let kind = WitnessKind::of(protocol);
+    let ctx = |bound: Option<(u64, u64)>| RecoveryCtx {
+        policy,
+        cancel,
+        bound,
+        seed,
+    };
 
     let edges_of = |g: &PortNumberedGraph, outputs: &[PortSet]| {
         edge_set_from_outputs(g, outputs).map(Solution::Edges)
     };
     match protocol {
         Protocol::PortOne => drive(
-            scenario,
-            &mat,
+            mat,
+            topo,
             |_, d| PortOneNode::new(d),
             threads,
             delta,
             kind,
+            &ctx(None),
             edges_of,
         ),
         Protocol::BoundedDegree => drive(
-            scenario,
-            &mat,
+            mat,
+            topo,
             |_, d| BoundedDegreeNode::new(delta, d),
             threads,
             delta,
             kind,
+            &ctx(Some(eds_core::bounded_degree::bounded_degree_ratio(delta))),
             edges_of,
         ),
         Protocol::VertexCover => drive(
-            scenario,
-            &mat,
+            mat,
+            topo,
             |_, d| VertexCoverNode::new(delta, d),
             threads,
             delta,
             kind,
+            &ctx(Some((3, 1))),
             |g: &PortNumberedGraph, outputs: &[bool]| {
                 Ok(Solution::Nodes(
                     g.nodes().filter(|v| outputs[v.index()]).collect(),
@@ -453,12 +590,13 @@ pub fn run_churn(
         Protocol::IdMatching => {
             let ids = node_identifiers(mat.max_nodes, seed);
             drive(
-                scenario,
-                &mat,
+                mat,
+                topo,
                 move |v: NodeId, d| IdMatchingNode::new(delta, d, ids[v.index()]),
                 threads,
                 delta,
                 kind,
+                &ctx(Some((2, 1))),
                 edges_of,
             )
         }
@@ -469,12 +607,13 @@ pub fn run_churn(
             // deterministic schedule.
             let phases = randomized_matching_phases(mat.max_nodes);
             drive(
-                scenario,
-                &mat,
+                mat,
+                topo,
                 move |v: NodeId, d| RandMatchingNode::new(d, seeds[v.index()], phases),
                 threads,
                 delta,
                 kind,
+                &ctx(Some((2, 1))),
                 edges_of,
             )
         }
@@ -485,15 +624,201 @@ pub fn run_churn(
     }
 }
 
-/// The generic epoch loop shared by every protocol.
+/// One verified full epoch: stabilise, extract and feasibility-check the
+/// quiescent output, and — when corruption garbled it — retry with clean
+/// reset epochs up to `max_retries` times.
+struct VerifiedEpoch {
+    graph: PortNumberedGraph,
+    simple: SimpleGraph,
+    solution: Solution,
+    violation: Option<String>,
+    rounds: usize,
+    messages: usize,
+    recovery_rounds: usize,
+    transients: usize,
+}
+
+fn stabilize_verified<A, F, S, T>(
+    sim: &mut ChurnSimulator<A, F, T>,
+    to_solution: &S,
+    kind: WitnessKind,
+    max_retries: usize,
+) -> Result<VerifiedEpoch, SweepError>
+where
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: Send,
+    F: Fn(NodeId, usize) -> A,
+    S: Fn(&PortNumberedGraph, &[A::Output]) -> Result<Solution, RuntimeError>,
+    T: DynTopology,
+{
+    let epoch = sim.stabilize().map_err(churn_err)?;
+    let mut rounds = epoch.rounds;
+    let mut messages = epoch.messages;
+    let mut recovery_rounds = epoch.rounds;
+    let mut transients = 0;
+    let corrupted = epoch.corrupted;
+    let simple = epoch.graph.to_simple()?;
+    // A corrupted node can halt with garbage, so on corrupted epochs even
+    // extracting the output may fail the runtime's port consistency check
+    // — that too is an observable transient.
+    let (mut solution, mut violation) = match to_solution(&epoch.graph, &epoch.outputs) {
+        Ok(s) => {
+            let v = solution_violation(&simple, kind, &s);
+            (Some(s), v)
+        }
+        Err(e) if corrupted > 0 => (None, Some(e.to_string())),
+        Err(e) => return Err(SweepError::Runtime(e)),
+    };
+    let mut retries = 0;
+    while violation.is_some() && corrupted > 0 && retries < max_retries {
+        // Corruption garbled the quiescent output: the transient is
+        // observable, and a clean epoch (the injected state has drained)
+        // restores feasibility — self-stabilisation, within the policy's
+        // retry budget.
+        retries += 1;
+        transients += 1;
+        let recovery = sim.stabilize().map_err(churn_err)?;
+        rounds += recovery.rounds;
+        messages += recovery.messages;
+        recovery_rounds += recovery.rounds;
+        let recovered =
+            to_solution(&recovery.graph, &recovery.outputs).map_err(SweepError::Runtime)?;
+        violation = solution_violation(&simple, kind, &recovered);
+        solution = Some(recovered);
+    }
+    Ok(VerifiedEpoch {
+        graph: epoch.graph,
+        simple,
+        solution: solution.unwrap_or(Solution::Edges(Vec::new())),
+        violation,
+        rounds,
+        messages,
+        recovery_rounds,
+        transients,
+    })
+}
+
+/// The cost of an accepted ball re-run: the confined epoch itself plus
+/// the seam-repair pass that re-legalises the splice.
+struct BallCost {
+    rounds: usize,
+    messages: usize,
+    repair: RepairOutcome,
+}
+
+/// Rung 2 of the ladder: re-run the protocol on the `radius`-hop ball
+/// around the damage frontier only. The ball's rim (nodes at exactly
+/// `radius` hops, including crashed boundary nodes) participates as
+/// frozen virtual inputs — rim outputs are never spliced back. Interior
+/// outputs replace the witness's interior entries
+/// ([`splice_edge_witness`]/[`splice_node_witness`]), and one local
+/// repair pass settles the seam.
+///
+/// `Ok(None)` means the rung produced no usable re-run (empty interior,
+/// or the confined epoch failed) — the caller escalates to a full
+/// re-stabilisation. Only cancellation propagates as an error.
 #[allow(clippy::too_many_arguments)]
-fn drive<A, F, S>(
-    scenario: &Scenario,
-    mat: &MaterializedChurn,
+fn ball_rerun<V, A, F, S>(
+    view: &V,
+    witness: &mut Witness,
+    touched: &BTreeSet<usize>,
+    kind: WitnessKind,
+    radius: usize,
+    factory: &F,
+    to_solution: &S,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<BallCost>, SweepError>
+where
+    V: AdjacencyView + ?Sized,
+    A: NodeAlgorithm + Send,
+    A::Message: Send,
+    A::Output: Send,
+    F: Fn(NodeId, usize) -> A,
+    S: Fn(&PortNumberedGraph, &[A::Output]) -> Result<Solution, RuntimeError>,
+{
+    let ball = khop_ball(view, touched, radius.max(1));
+    let interior = ball.interior();
+    if interior.is_empty() {
+        return Ok(None);
+    }
+    // The induced subgraph on the ball, global ids -> dense local ids.
+    let index: std::collections::BTreeMap<usize, usize> = ball
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let mut local = SimpleGraph::new(ball.nodes.len());
+    for (i, &v) in ball.nodes.iter().enumerate() {
+        let mut wired = true;
+        view.for_each_neighbor(v, &mut |u| {
+            if let Some(&j) = index.get(&u) {
+                if i < j && local.add_edge_ids(i, j).is_err() {
+                    wired = false;
+                }
+            }
+        });
+        if !wired {
+            return Ok(None);
+        }
+    }
+    let Ok(ports) = canonical_ports(&local) else {
+        return Ok(None);
+    };
+    let mut ball_sim = Simulator::new(&ports);
+    if let Some(token) = cancel {
+        ball_sim = ball_sim.cancel_token(token.clone());
+    }
+    let run =
+        match ball_sim.run_with_inputs(&ball.nodes, |d, &global| factory(NodeId::new(global), d)) {
+            Ok(run) => run,
+            Err(e @ RuntimeError::Cancelled { .. }) => return Err(SweepError::Runtime(e)),
+            Err(_) => return Ok(None),
+        };
+    let Ok(local_solution) = to_solution(&ports, &run.outputs) else {
+        return Ok(None);
+    };
+    match (&mut *witness, &local_solution) {
+        (Witness::Edges(w), Solution::Edges(edges)) => {
+            let replacement: EdgeWitness = edges
+                .iter()
+                .map(|&e| {
+                    let (u, v) = ports.edge(e).nodes();
+                    edge_key(ball.nodes[u.index()], ball.nodes[v.index()])
+                })
+                .collect();
+            splice_edge_witness(w, &interior, &replacement);
+        }
+        (Witness::Cover(c), Solution::Nodes(nodes)) => {
+            let replacement: NodeWitness = nodes.iter().map(|v| ball.nodes[v.index()]).collect();
+            splice_node_witness(c, &interior, &replacement);
+        }
+        _ => return Ok(None),
+    }
+    // Re-legalise the seam: spliced interior entries may conflict with
+    // kept boundary-crossing ones; one local pass over the ball settles
+    // it (or reports residual damage, and the caller escalates).
+    let ball_set: BTreeSet<usize> = ball.nodes.iter().copied().collect();
+    let seam = witness.repair(view, &ball_set, kind);
+    Ok(Some(BallCost {
+        rounds: run.rounds,
+        messages: run.messages,
+        repair: seam,
+    }))
+}
+
+/// The generic epoch loop shared by every protocol: the recovery ladder
+/// with sampled-epoch audits.
+#[allow(clippy::too_many_arguments)]
+fn drive<A, F, S, T>(
+    mat: MaterializedChurn,
+    topo: T,
     factory: F,
     threads: usize,
     claimed_delta: usize,
     kind: WitnessKind,
+    ctx: &RecoveryCtx<'_>,
     to_solution: S,
 ) -> Result<ChurnRun, SweepError>
 where
@@ -502,87 +827,191 @@ where
     A::Output: Send,
     F: Fn(NodeId, usize) -> A,
     S: Fn(&PortNumberedGraph, &[A::Output]) -> Result<Solution, RuntimeError>,
+    T: DynTopology + AdjacencyView,
 {
-    let mut sim = ChurnSimulator::new(&scenario.graph, factory)?.simulator_threads(threads);
+    let mut sim = ChurnSimulator::with_topology(topo, &factory).simulator_threads(threads);
+    if let Some(token) = ctx.cancel {
+        sim = sim.cancel_token(token.clone());
+    }
     let mut rounds = 0;
     let mut messages = 0;
     let mut stats = ChurnStats {
         events_applied: mat.schedule.event_count(),
         ..ChurnStats::default()
     };
+    // The audit stream advances once per burst regardless of outcome, so
+    // audit decisions are independent of recovery-tier history.
+    let mut audit_next = entropy_stream(ctx.seed ^ AUDIT_SALT);
 
-    // Epoch 0: the churn-free baseline.
-    let initial = sim.stabilize().map_err(churn_err)?;
+    // Epoch 0: the churn-free baseline (always a full stabilisation).
+    let initial = stabilize_verified(&mut sim, &to_solution, kind, 0)?;
     rounds += initial.rounds;
     messages += initial.messages;
-    let mut solution = to_solution(&initial.graph, &initial.outputs)?;
-    let mut simple = initial.graph.to_simple()?;
-    let mut violation =
-        solution_violation(&simple, kind, &solution).map(|v| format!("epoch 0: {v}"));
-    let mut witness = Witness::from_solution(&initial.graph, &solution);
-    let mut final_graph = initial.graph;
+    let mut violation = initial.violation.map(|v| format!("epoch 0: {v}"));
+    let mut witness = Witness::from_solution(&initial.graph, &initial.solution);
+    let mut solution = initial.solution;
+    // Whether `solution` is a quiescent protocol output on the *current*
+    // topology (false once a burst recovers without re-stabilising).
+    let mut solution_current = true;
 
     for (b, burst) in mat.schedule.bursts().iter().enumerate() {
+        if let Some(token) = ctx.cancel {
+            if token.check() {
+                return Err(SweepError::Runtime(RuntimeError::Cancelled {
+                    after_rounds: rounds,
+                    still_running: DynTopology::node_count(sim.topology()),
+                }));
+            }
+        }
         sim.apply_burst(burst).map_err(churn_err)?;
-        let epoch = sim.stabilize().map_err(churn_err)?;
-        rounds += epoch.rounds;
-        messages += epoch.messages;
-        simple = epoch.graph.to_simple()?;
+        let audit = ctx.policy.audits_epoch(audit_next());
 
-        // Incremental maintenance: wipe corrupted nodes' stored entries,
-        // then repair locally around the damage frontier.
+        // Damage frontier: event-adjacent nodes plus corruption fallout
+        // (scrambling frees witness partners, which must be rescanned).
         let mut touched = mat.touched[b].clone();
         for &v in &mat.corrupted[b] {
             witness.scramble_at(v, &mut touched);
         }
-        let outcome = witness.repair(&simple, &touched, kind);
+        let frontier_nodes = touched.len();
+        let n_now = DynTopology::node_count(sim.topology());
+        repair_metrics()
+            .frontier_nodes
+            .observe(frontier_nodes as u64);
+
+        // Rung 1: local witness repair, always attempted first — even an
+        // escalated burst reuses the re-legalised entries.
+        let outcome = witness.repair(sim.topology(), &touched, kind);
+        stats.repair_messages += outcome.messages;
+        repair_metrics()
+            .repair_rounds
+            .observe(outcome.rounds as u64);
         let mut burst_violations = outcome.transient_violations;
         let mut burst_recovery = outcome.rounds;
-        stats.repair_messages += outcome.messages;
-        if !witness.feasible(&simple, kind) && violation.is_none() {
-            violation = Some(format!(
-                "burst {b}: incrementally repaired witness infeasible at quiescence"
-            ));
+        let mut witness_ok = witness.feasible(sim.topology(), kind);
+
+        let mut tier = if ctx.policy.repair_applies(frontier_nodes, n_now) {
+            if witness_ok {
+                RecoveryTier::Repair
+            } else {
+                RecoveryTier::BallRerun
+            }
+        } else {
+            RecoveryTier::Full
+        };
+
+        if tier == RecoveryTier::BallRerun {
+            // Rung 2: a protocol epoch confined to the k-hop ball.
+            if let Some(cost) = ball_rerun(
+                sim.topology(),
+                &mut witness,
+                &touched,
+                kind,
+                ctx.policy.ball_radius,
+                &factory,
+                &to_solution,
+                ctx.cancel,
+            )? {
+                rounds += cost.rounds;
+                messages += cost.messages;
+                burst_recovery += cost.rounds + cost.repair.rounds;
+                burst_violations += cost.repair.transient_violations;
+                stats.repair_messages += cost.repair.messages;
+                witness_ok = witness.feasible(sim.topology(), kind);
+            }
+            if !witness_ok {
+                tier = RecoveryTier::Full;
+            }
         }
 
-        // Re-stabilised output, verified at the quiescence point. A
-        // corrupted node can halt with garbage, so on corrupted epochs
-        // even extracting the output may fail the runtime's port
-        // consistency check — that too is an observable transient.
-        let (mut epoch_solution, mut epoch_violation) =
-            match to_solution(&epoch.graph, &epoch.outputs) {
-                Ok(s) => {
-                    let v = solution_violation(&simple, kind, &s);
-                    (Some(s), v)
-                }
-                Err(e) if epoch.corrupted > 0 => (None, Some(e.to_string())),
-                Err(e) => return Err(SweepError::Runtime(e)),
+        if tier == RecoveryTier::Full {
+            // Rung 3: full re-stabilisation, the last resort.
+            let ep =
+                stabilize_verified(&mut sim, &to_solution, kind, ctx.policy.max_reset_retries)?;
+            rounds += ep.rounds;
+            messages += ep.messages;
+            burst_recovery += ep.recovery_rounds;
+            burst_violations += ep.transients;
+            if violation.is_none() {
+                violation = ep.violation.map(|v| format!("burst {b}: {v}"));
+            }
+            if !witness.feasible(&ep.simple, kind) {
+                // The incremental witness is beyond local repair: re-seed
+                // it from the fresh quiescent output.
+                burst_violations += 1;
+                witness = Witness::from_solution(&ep.graph, &ep.solution);
+            }
+            solution = ep.solution;
+            solution_current = true;
+        } else if audit {
+            // Trust-but-verify: run the full re-stabilisation anyway and
+            // hold the repaired witness to the same contract. Audit cost
+            // counts toward run totals but never toward recovery rounds —
+            // it is instrumentation, not recovery.
+            repair_metrics().audits.inc();
+            let ep =
+                stabilize_verified(&mut sim, &to_solution, kind, ctx.policy.max_reset_retries)?;
+            rounds += ep.rounds;
+            messages += ep.messages;
+            burst_violations += ep.transients;
+            if violation.is_none() {
+                violation = ep.violation.map(|v| format!("burst {b}: {v}"));
+            }
+            let divergence = if !witness.feasible(&ep.simple, kind) {
+                Some("repaired witness infeasible on the frozen epoch graph".to_owned())
+            } else if let Some((num, den)) = ctx.bound {
+                let w = witness.len() as u64;
+                let f = ep.solution.len() as u64;
+                (w * den > num * f).then(|| {
+                    format!(
+                        "repaired witness size {w} outside {num}/{den} of the \
+                         re-stabilised size {f}"
+                    )
+                })
+            } else {
+                None
             };
-        if epoch_violation.is_some() && epoch.corrupted > 0 {
-            // Corruption garbled the quiescent output: the transient is
-            // observable, and one clean epoch (the injected state has
-            // drained) restores feasibility — self-stabilisation.
-            burst_violations += 1;
-            let recovery = sim.stabilize().map_err(churn_err)?;
-            rounds += recovery.rounds;
-            messages += recovery.messages;
-            burst_recovery += recovery.rounds;
-            let recovered = to_solution(&recovery.graph, &recovery.outputs)?;
-            epoch_violation = solution_violation(&simple, kind, &recovered);
-            epoch_solution = Some(recovered);
+            if let Some(d) = divergence {
+                repair_metrics().divergences.inc();
+                if violation.is_none() {
+                    violation = Some(format!("burst {b}: audit divergence: {d}"));
+                }
+            }
+            solution = ep.solution;
+            solution_current = true;
+        } else {
+            // Repair-only (or ball) epoch accepted: the protocol never
+            // re-ran on the full topology. Corruption damage was healed
+            // in the witness, so drop the queued corrupt events — a
+            // later full epoch must not replay the fault.
+            sim.clear_corruption();
+            solution_current = false;
         }
-        if violation.is_none() {
-            violation = epoch_violation.map(|v| format!("burst {b}: {v}"));
+
+        if tier >= RecoveryTier::BallRerun {
+            stats.escalations += 1;
+            repair_metrics().escalations.inc();
         }
+        stats.recovery_tier = stats.recovery_tier.max(tier.index());
+        stats.frontier_nodes = stats.frontier_nodes.max(frontier_nodes);
         stats.recovery_rounds = stats.recovery_rounds.max(burst_recovery);
         stats.max_transient_violation = stats.max_transient_violation.max(burst_violations);
-        solution = epoch_solution.expect("recovered or propagated above");
-        final_graph = epoch.graph;
+    }
+
+    let final_graph = mat.final_graph;
+    let final_simple = final_graph.to_simple()?;
+    if !solution_current {
+        // The last burst recovered without re-stabilising: the witness
+        // *is* the live artifact; project it back onto the final graph.
+        solution = witness.to_solution(&final_graph);
+    }
+    if violation.is_none() {
+        violation =
+            solution_violation(&final_simple, kind, &solution).map(|v| format!("final: {v}"));
     }
 
     Ok(ChurnRun {
         witness_size: witness.len(),
-        final_simple: simple,
+        final_simple,
         solution,
         rounds,
         messages,

@@ -21,7 +21,11 @@
 //! [`crate::ServeConfig::max_frame_bytes`], reads carry the
 //! [`crate::ServeConfig::http_read_timeout`] deadline, and beyond
 //! [`crate::ServeConfig::max_clients`] concurrent connections new
-//! clients get a `503` with an `overload` frame. Malformed input is
+//! clients get a `503` with an `overload` frame. Every `503` —
+//! overload, shutdown, draining `/healthz` — carries a `Retry-After`
+//! header derived from the live solve-queue depth, and overload frames
+//! embed the same hint as a `retry_ms` field, so well-behaved clients
+//! back off for as long as the queue actually needs. Malformed input is
 //! answered with a structured error response or a clean disconnect —
 //! never a panic, never a hang. Keep-alive (and therefore pipelining)
 //! is supported; requests on one connection are processed strictly in
@@ -33,7 +37,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::serve::{error_frame, handle_frame, ConnShared, Core, Server};
+use crate::serve::{error_frame, handle_frame, overload_frame, ConnShared, Core, Server};
 
 /// Hard cap on one request head: request line plus all headers.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -86,21 +90,23 @@ impl Server {
                     if active >= core.config.max_clients {
                         core.metrics.rejected_connections.inc();
                         let mut stream = stream;
-                        let body = json_body(error_frame(
+                        let retry_ms = core.retry_hint_ms();
+                        let body = json_body(overload_frame(
                             "null",
-                            "overload",
                             &format!(
                                 "server is at its limit of {} concurrent clients",
                                 core.config.max_clients
                             ),
+                            retry_ms,
                         ));
-                        let _ = write_response(
+                        let _ = write_response_with_retry(
                             &mut stream,
                             503,
                             "Service Unavailable",
                             "application/json",
                             &body,
                             true,
+                            Some(retry_ms),
                         );
                         continue;
                     }
@@ -345,10 +351,30 @@ fn write_response<W: Write>(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_with_retry(writer, status, reason, content_type, body, close, None)
+}
+
+/// [`write_response`] plus an optional back-off hint: `retry_after_ms`
+/// renders as a `Retry-After` header in whole seconds (rounded up, so a
+/// sub-second hint never becomes `Retry-After: 0`), as RFC 9110
+/// prescribes for `503` responses.
+#[allow(clippy::too_many_arguments)]
+fn write_response_with_retry<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    retry_after_ms: Option<u64>,
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
+    let retry_after = retry_after_ms
+        .map(|ms| format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)))
+        .unwrap_or_default();
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n{retry_after}\r\n",
         body.len(),
     );
     writer.write_all(head.as_bytes())?;
@@ -477,24 +503,29 @@ fn serve_one_request<R: BufRead>(
             handle_frame(core, conn, seq, &body);
             let frame = conn.await_response(seq);
             let (status, reason) = status_for(&frame);
-            write_response(
+            // A 503 asks the client to come back: advertise how long,
+            // from the live queue depth (RFC 9110 Retry-After).
+            let retry = (status == 503).then(|| core.retry_hint_ms());
+            write_response_with_retry(
                 writer,
                 status,
                 reason,
                 "application/json",
                 &json_body(frame),
                 close,
+                retry,
             )
         }
         ("GET", "/healthz") => {
             if core.is_shutting_down() {
-                write_response(
+                write_response_with_retry(
                     writer,
                     503,
                     "Service Unavailable",
                     "text/plain; charset=utf-8",
                     "shutting down\n",
                     close,
+                    Some(core.retry_hint_ms()),
                 )
             } else {
                 write_response(

@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use eds_telemetry::Counter;
+use eds_telemetry::{Counter, Histogram};
 
 /// Handles to the session series in the global registry.
 pub(crate) struct SessionMetrics {
@@ -43,6 +43,52 @@ pub(crate) fn session_metrics() -> &'static SessionMetrics {
             bound_fallbacks: registry.counter(
                 "eds_session_bound_fallbacks_total",
                 "Bound queries answered without an exact optimum (folklore fallback).",
+            ),
+        }
+    })
+}
+
+/// Handles to the churn-recovery repair series in the global registry.
+pub(crate) struct RepairMetrics {
+    /// `eds_repair_frontier_nodes` — damage-frontier size per burst.
+    pub frontier_nodes: Arc<Histogram>,
+    /// `eds_repair_rounds` — local repair passes per burst.
+    pub repair_rounds: Arc<Histogram>,
+    /// `eds_repair_escalations_total` — bursts escalated past the
+    /// repair-only rung (ball re-run or full re-stabilisation).
+    pub escalations: Arc<Counter>,
+    /// `eds_repair_audits_total` — sampled-epoch audits executed.
+    pub audits: Arc<Counter>,
+    /// `eds_repair_audit_divergence_total` — audits where the repaired
+    /// witness diverged from the full re-stabilisation contract.
+    pub divergences: Arc<Counter>,
+}
+
+/// The one-time-registered repair handle set.
+pub(crate) fn repair_metrics() -> &'static RepairMetrics {
+    static METRICS: OnceLock<RepairMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = eds_telemetry::global();
+        RepairMetrics {
+            frontier_nodes: registry.histogram(
+                "eds_repair_frontier_nodes",
+                "Damage-frontier sizes (nodes) per churn burst.",
+            ),
+            repair_rounds: registry.histogram(
+                "eds_repair_rounds",
+                "Local witness-repair passes per churn burst.",
+            ),
+            escalations: registry.counter(
+                "eds_repair_escalations_total",
+                "Churn bursts escalated past repair-only recovery.",
+            ),
+            audits: registry.counter(
+                "eds_repair_audits_total",
+                "Sampled-epoch audits executed against full re-stabilisation.",
+            ),
+            divergences: registry.counter(
+                "eds_repair_audit_divergence_total",
+                "Sampled-epoch audits where the repaired witness diverged.",
             ),
         }
     })

@@ -258,6 +258,40 @@ impl Registry {
         }
     }
 
+    /// The streamed-tier churn gate: the same burst/event/corruption mix
+    /// as [`Registry::churn`], but over the million-scale streamed bases
+    /// — churn materialises as a delta overlay on the borrowed base
+    /// graph, never a second full copy. Consumed by
+    /// `scenario_sweep --churn-scale` (the `churn-scale-smoke` CI job at
+    /// a reduced `n`) and the churn-scale integration tests. Repair-first
+    /// recovery is the point: the driver is expected to run these with
+    /// [`eds_core::repair::RecoveryPolicy::repair_first`] and fail on any
+    /// escalation to full re-stabilisation.
+    pub fn churn_scale(n: usize) -> Self {
+        Registry {
+            specs: vec![
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::MillionCycle { n }),
+                        plan: ChurnPlan::new(2, 2, 1),
+                    },
+                    0,
+                    PortPolicy::Canonical,
+                )
+                .with_exec(ExecOptions::scaled()),
+                ScenarioSpec::new(
+                    Family::Churn {
+                        base: Box::new(Family::MillionRegular { n }),
+                        plan: ChurnPlan::new(2, 2, 1),
+                    },
+                    1,
+                    PortPolicy::Canonical,
+                )
+                .with_exec(ExecOptions::scaled()),
+            ],
+        }
+    }
+
     /// A fast subset spanning ≥ 8 distinct families — the CI smoke set.
     pub fn smoke() -> Self {
         Registry {

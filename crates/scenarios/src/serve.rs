@@ -1400,6 +1400,19 @@ pub(crate) fn error_frame(id_json: &str, kind: &str, message: &str) -> String {
     )
 }
 
+/// An `overload` error frame carrying a machine-readable back-off hint:
+/// `retry_ms` tells the rejected client how long to wait before
+/// reconnecting (derived from the live queue depth via
+/// [`Core::retry_hint_ms`]). The HTTP transport mirrors the same hint as
+/// a `Retry-After` header.
+pub(crate) fn overload_frame(id_json: &str, message: &str, retry_ms: u64) -> String {
+    format!(
+        "{{\"id\":{id_json},\"ok\":false,\"kind\":\"overload\",\"error\":\"{}\",\
+         \"retry_ms\":{retry_ms}}}",
+        escape_json(message)
+    )
+}
+
 /// Maps a witness on the canonical graph back to the client's node
 /// labels: node `v` of the canonical graph is node `perm[v]` of the
 /// submitted instance.
@@ -1732,6 +1745,20 @@ impl Core {
 
     fn pool(&self) -> &WorkerPool<SolveJob> {
         self.pool.get().expect("pool installed at construction")
+    }
+
+    /// How long an overloaded client should back off before retrying,
+    /// estimated from the live solve-pool queue depth: a per-job latency
+    /// allowance per queued job, floored at one allowance so an idle but
+    /// client-saturated server still asks for a pause, and capped so a
+    /// deep queue never tells clients to go away for minutes.
+    pub(crate) fn retry_hint_ms(&self) -> u64 {
+        /// Per queued job: the rough budget of one small cached solve.
+        const PER_JOB_MS: u64 = 250;
+        const CAP_MS: u64 = 30_000;
+        (self.pool().pending() as u64 + 1)
+            .saturating_mul(PER_JOB_MS)
+            .min(CAP_MS)
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -2257,13 +2284,13 @@ impl Server {
                     if active >= core.config.max_clients {
                         core.metrics.rejected_connections.inc();
                         let mut stream = stream;
-                        let frame = error_frame(
+                        let frame = overload_frame(
                             "null",
-                            "overload",
                             &format!(
                                 "server is at its limit of {} concurrent clients",
                                 core.config.max_clients
                             ),
+                            core.retry_hint_ms(),
                         );
                         let _ = stream.write_all(frame.as_bytes());
                         let _ = stream.write_all(b"\n");
@@ -2405,6 +2432,30 @@ mod tests {
             .lines()
             .map(str::to_owned)
             .collect()
+    }
+
+    // -- backpressure hints ------------------------------------------
+
+    #[test]
+    fn overload_frame_carries_the_retry_hint() {
+        let frame = overload_frame("7", "too many clients", 1250);
+        assert_eq!(
+            frame,
+            "{\"id\":7,\"ok\":false,\"kind\":\"overload\",\
+             \"error\":\"too many clients\",\"retry_ms\":1250}"
+        );
+        JsonParser::parse(&frame).expect("overload frames are valid JSON");
+    }
+
+    #[test]
+    fn retry_hint_grows_with_queue_depth_and_stays_capped() {
+        let server = Server::new(quick_config());
+        // An idle queue still asks for one slot's worth of backoff, and
+        // the hint can never exceed the 30 s cap however deep the
+        // backlog reports.
+        let idle = server.core.retry_hint_ms();
+        assert!(idle >= 250, "idle hint {idle}");
+        assert!(idle <= 30_000, "hint above cap: {idle}");
     }
 
     // -- JSON parser -------------------------------------------------

@@ -58,13 +58,14 @@ use pn_graph::NodeId;
 
 use pn_runtime::CancelToken;
 
-use crate::churn::run_churn;
+use crate::churn::run_churn_with;
 use crate::metrics::session_metrics;
 use crate::protocol::{ExecOptions, Protocol, Solution, SweepError};
 use crate::registry::Registry;
 use crate::scenario::{Family, Scenario, ScenarioSpec};
 use crate::sink::RecordSink;
 use crate::sweep::{paper_bound, SweepConfig, SweepRecord};
+use eds_core::repair::RecoveryPolicy;
 
 /// Reference bounds for one objective on one scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -252,6 +253,7 @@ pub struct Session {
     delta: Option<usize>,
     simulator_threads: Option<usize>,
     cancel: Option<CancelToken>,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for Session {
@@ -272,6 +274,7 @@ impl Session {
             delta: None,
             simulator_threads: None,
             cancel: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -363,6 +366,16 @@ impl Session {
     /// gating admission.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the churn-recovery escalation policy for every dynamic
+    /// scenario the session drives (default: [`RecoveryPolicy::default`]
+    /// — repair when the frontier stays under a quarter of the graph,
+    /// audit a quarter of the repaired epochs). Static scenarios ignore
+    /// it.
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 
@@ -552,7 +565,13 @@ impl Session {
         let mut final_scenario: Option<Scenario> = None;
         let mut measurements = Vec::new();
         for &protocol in self.protocols.iter().filter(|p| p.applicable(scenario)) {
-            let run = run_churn(scenario, protocol, &exec)?;
+            let run = run_churn_with(
+                scenario,
+                protocol,
+                &exec,
+                &self.recovery,
+                self.cancel.as_ref(),
+            )?;
             let size = run.solution.len();
             // The schedule is protocol-independent, so the final graph
             // is too; build the scored scenario (and its exact/LP

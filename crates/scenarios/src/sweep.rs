@@ -107,6 +107,15 @@ pub struct ChurnStats {
     pub max_transient_violation: usize,
     /// Total neighbourhood-scan messages spent on incremental repair.
     pub repair_messages: usize,
+    /// Highest recovery rung any burst reached: 0 none, 1 repair-only,
+    /// 2 ball re-run, 3 full re-stabilisation
+    /// ([`eds_core::repair::RecoveryTier`] indices).
+    pub recovery_tier: usize,
+    /// Largest damage frontier (event-adjacent plus corruption-scrambled
+    /// nodes) any single burst produced.
+    pub frontier_nodes: usize,
+    /// Bursts escalated past the repair-only rung.
+    pub escalations: usize,
 }
 
 impl SweepRecord {
@@ -185,8 +194,15 @@ impl SweepRecord {
             let _ = write!(
                 s,
                 ",\"events_applied\":{},\"recovery_rounds\":{},\
-                 \"max_transient_violation\":{},\"repair_messages\":{}",
-                c.events_applied, c.recovery_rounds, c.max_transient_violation, c.repair_messages,
+                 \"max_transient_violation\":{},\"repair_messages\":{},\
+                 \"recovery_tier\":{},\"frontier_nodes\":{},\"escalations\":{}",
+                c.events_applied,
+                c.recovery_rounds,
+                c.max_transient_violation,
+                c.repair_messages,
+                c.recovery_tier,
+                c.frontier_nodes,
+                c.escalations,
             );
         }
         s.push('}');
@@ -371,12 +387,16 @@ mod tests {
             recovery_rounds: 2,
             max_transient_violation: 3,
             repair_messages: 27,
+            recovery_tier: 1,
+            frontier_nodes: 4,
+            escalations: 0,
         });
         let line = record.to_json_line();
         // Flat fields, after `violation`, still one valid JSON line.
         assert!(line.ends_with(
             "\"violation\":null,\"events_applied\":9,\"recovery_rounds\":2,\
-             \"max_transient_violation\":3,\"repair_messages\":27}"
+             \"max_transient_violation\":3,\"repair_messages\":27,\
+             \"recovery_tier\":1,\"frontier_nodes\":4,\"escalations\":0}"
         ));
         assert!(!line.contains('\n'));
         assert!(record.is_clean());

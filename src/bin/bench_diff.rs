@@ -22,7 +22,13 @@
 //! * a matched record's certified `lower_bound` **decreased** — bound
 //!   tightness regressed (exact integers, no tolerance): the LP
 //!   provider must never certify less than the baseline did. Increases
-//!   are reported as tightening, never as failures.
+//!   are reported as tightening, never as failures;
+//! * a matched churn record's `escalations` count or `recovery_tier`
+//!   **increased** — the same scenario now escalates past repair-only
+//!   recovery more (or higher) than it used to, so the incremental
+//!   repair path regressed (exact integers, no tolerance). Records
+//!   missing the fields on either side — static records, pre-recovery
+//!   baselines — are skipped, never failed.
 //!
 //! Records only present in the current report (new scenario families,
 //! new protocols) are reported but never fail the diff, so the gate
@@ -77,6 +83,12 @@ struct Record {
     /// is rounded to 4 decimals and cannot distinguish large
     /// certificates.
     bound_exact: Option<(u128, u128)>,
+    /// Churn bursts escalated past repair-only recovery; `None` on
+    /// static records and reports predating the recovery fields.
+    escalations: Option<u64>,
+    /// Highest recovery rung reached (0 none … 3 full re-stabilisation);
+    /// `None` with the same tolerance as `escalations`.
+    recovery_tier: Option<u64>,
 }
 
 impl Record {
@@ -155,6 +167,10 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
                 }
                 _ => None,
             };
+            // Optional churn-recovery accounting: static records and
+            // pre-recovery reports simply lack the keys.
+            let escalations = field(line, "escalations").and_then(|v| v.parse().ok());
+            let recovery_tier = field(line, "recovery_tier").and_then(|v| v.parse().ok());
             Some((
                 (scenario, protocol),
                 Record {
@@ -163,6 +179,8 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
                     lower_bound,
                     clean,
                     bound_exact,
+                    escalations,
+                    recovery_tier,
                 },
             ))
         };
@@ -249,6 +267,7 @@ fn main() -> ExitCode {
     let mut loosened = 0usize;
     let mut tightened = 0usize;
     let mut missing = 0usize;
+    let mut escalated = 0usize;
     for (key, base) in &baseline {
         let Some(cur) = current.get(key) else {
             eprintln!(
@@ -287,6 +306,28 @@ fn main() -> ExitCode {
                 );
             }
         }
+        // Churn-recovery accounting, exact integers: the same scenario
+        // escalating past repair-only recovery more often (or to a
+        // higher rung) than the baseline means the incremental repair
+        // path regressed. Absent fields — static records, pre-recovery
+        // baselines — never gate.
+        if let (Some(b), Some(c)) = (base.escalations, cur.escalations) {
+            if c > b {
+                eprintln!("ESCALATE {}/{}: churn escalations {b} -> {c}", key.0, key.1);
+                failures += 1;
+                escalated += 1;
+            }
+        }
+        if let (Some(b), Some(c)) = (base.recovery_tier, cur.recovery_tier) {
+            if c > b {
+                eprintln!(
+                    "TIER     {}/{}: worst recovery tier {b} -> {c}",
+                    key.0, key.1
+                );
+                failures += 1;
+                escalated += 1;
+            }
+        }
         let (Some(b), Some(c)) = (base.measure(), cur.measure()) else {
             continue;
         };
@@ -308,7 +349,7 @@ fn main() -> ExitCode {
     eprintln!(
         "compared {} baseline records against {} current ({added} new): \
          {drifted} drifted, {improved} improved, bounds {tightened} tightened / \
-         {loosened} loosened, {failures} failures",
+         {loosened} loosened, {escalated} recovery regressions, {failures} failures",
         baseline.len(),
         current.len(),
     );
@@ -351,6 +392,11 @@ fn main() -> ExitCode {
             "bench_diff_bounds_loosened_total",
             "Records whose certified lower bound decreased.",
             loosened,
+        );
+        tally(
+            "bench_diff_recovery_regressions_total",
+            "Churn records whose escalation count or recovery tier grew.",
+            escalated,
         );
         tally(
             "bench_diff_failures_total",
@@ -405,13 +451,15 @@ mod tests {
         \"optimum\":4,\"lower_bound\":4,\"bounds\":\"lp\",\"bound\":3.5000,\
         \"ratio\":1.2500,\"within_bound\":true,\"violation\":null,\
         \"events_applied\":9,\"recovery_rounds\":2,\"max_transient_violation\":3,\
-        \"repair_messages\":35}";
+        \"repair_messages\":35,\"recovery_tier\":1,\"frontier_nodes\":4,\"escalations\":0}";
 
     #[test]
     fn churn_fields_do_not_confuse_extraction() {
         // The added fields are extractable...
         assert_eq!(field(CHURN_LINE, "events_applied"), Some("9"));
         assert_eq!(field(CHURN_LINE, "repair_messages"), Some("35"));
+        assert_eq!(field(CHURN_LINE, "recovery_tier"), Some("1"));
+        assert_eq!(field(CHURN_LINE, "escalations"), Some("0"));
         // ...and never shadow the legacy keys the diff relies on:
         // "recovery_rounds" must not satisfy a "rounds" lookup, nor
         // "max_transient_violation" a "violation" lookup.
@@ -437,6 +485,14 @@ mod tests {
         )];
         assert!(churn.clean);
         assert_eq!(churn.measure(), Some(1.25));
+        // Recovery fields parse on churn records and stay absent —
+        // never defaulted — on static ones, so the gate can't fire
+        // against a pre-recovery baseline.
+        assert_eq!(churn.escalations, Some(0));
+        assert_eq!(churn.recovery_tier, Some(1));
+        let static_record = &report[&("petersen/shuffled/s0".to_owned(), "port-one".to_owned())];
+        assert_eq!(static_record.escalations, None);
+        assert_eq!(static_record.recovery_tier, None);
         std::fs::remove_file(&path).ok();
     }
 
@@ -448,6 +504,8 @@ mod tests {
             lower_bound: 2.0,
             clean: true,
             bound_exact: None,
+            escalations: None,
+            recovery_tier: None,
         };
         assert_eq!(r.measure(), Some(2.0));
         let lb = Record { optimum: None, ..r };

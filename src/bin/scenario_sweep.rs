@@ -5,8 +5,8 @@
 //! Usage:
 //!
 //! ```text
-//! scenario_sweep [--smoke | --churn] [--out PATH] [--threads N]
-//!                [--sequential] [--simulator-threads N]
+//! scenario_sweep [--smoke | --churn | --churn-scale [N]] [--out PATH]
+//!                [--threads N] [--sequential] [--simulator-threads N]
 //!                [--bounds exact|lp|mm] [--stats]
 //! ```
 //!
@@ -16,6 +16,14 @@
 //!   state corruption, and the run fails if any record carries a
 //!   violation — i.e. if any protocol failed to re-converge to a
 //!   feasible solution at some quiescence point (the CI `churn-smoke`
+//!   contract);
+//! * `--churn-scale [N]` sweeps the streamed-tier churn gate
+//!   ([`Registry::churn_scale`], default `N` = 1,000,000 nodes) under
+//!   the repair-first recovery policy with every epoch audited against a
+//!   full re-stabilisation. Beyond the violation gate, the run fails if
+//!   any burst escalated past repair-only recovery or reached the full
+//!   re-stabilisation rung — on the streamed tier, local witness repair
+//!   is the contract, not a fast path (the CI `churn-scale-smoke`
 //!   contract);
 //! * `--out PATH` overrides the output path (default
 //!   `BENCH_scenarios.json` in the current directory);
@@ -75,13 +83,32 @@
 use std::io::BufWriter;
 use std::process::ExitCode;
 
+use edge_dominating_sets::algorithms::repair::RecoveryPolicy;
 use edge_dominating_sets::scenarios::{
-    AggregateSink, BoundsMode, JsonLinesSink, Registry, Session, Tee,
+    AggregateSink, BoundsMode, JsonLinesSink, RecordSink, Registry, Session, SweepRecord, Tee,
 };
+
+/// Tracks the churn-recovery fields that gate `--churn-scale`: the
+/// streamed tier must recover by local repair alone.
+#[derive(Default)]
+struct ScaleGate {
+    escalations: usize,
+    worst_tier: usize,
+}
+
+impl RecordSink for ScaleGate {
+    fn record(&mut self, record: SweepRecord) {
+        if let Some(c) = &record.churn {
+            self.escalations += c.escalations;
+            self.worst_tier = self.worst_tier.max(c.recovery_tier);
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut churn = false;
+    let mut churn_scale: Option<usize> = None;
     let mut stats = false;
     let mut out = "BENCH_scenarios.json".to_owned();
     let mut threads: Option<usize> = None;
@@ -89,11 +116,21 @@ fn main() -> ExitCode {
     // The committed baseline is generated with the LP provider, so the
     // no-flags sweep regenerates it compatibly.
     let mut bounds = BoundsMode::Lp;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--churn" => churn = true,
+            "--churn-scale" => {
+                // The node count is optional: `--churn-scale 131072`
+                // shrinks the tier for CI; bare `--churn-scale` runs the
+                // full million.
+                let n = args.peek().and_then(|v| v.parse::<usize>().ok());
+                if n.is_some() {
+                    args.next();
+                }
+                churn_scale = Some(n.unwrap_or(1_000_000));
+            }
             "--stats" => stats = true,
             "--sequential" => threads = Some(1),
             "--bounds" => match args.next() {
@@ -139,19 +176,24 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: scenario_sweep [--smoke | --churn] [--out PATH] [--threads N] \
-                     [--sequential] [--simulator-threads N] [--bounds exact|lp|mm] [--stats]"
+                    "usage: scenario_sweep [--smoke | --churn | --churn-scale [N]] \
+                     [--out PATH] [--threads N] [--sequential] [--simulator-threads N] \
+                     [--bounds exact|lp|mm] [--stats]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
-    if smoke && churn {
-        eprintln!("--smoke and --churn select different registries; pass at most one");
+    if usize::from(smoke) + usize::from(churn) + usize::from(churn_scale.is_some()) > 1 {
+        eprintln!(
+            "--smoke, --churn and --churn-scale select different registries; pass at most one"
+        );
         return ExitCode::from(2);
     }
 
-    let (registry, label) = if churn {
+    let (registry, label) = if let Some(n) = churn_scale {
+        (Registry::churn_scale(n), "churn-scale")
+    } else if churn {
         (Registry::churn(), "churn")
     } else if smoke {
         (Registry::smoke(), "smoke")
@@ -187,12 +229,17 @@ fn main() -> ExitCode {
     };
     let mut sink = Tee::new(
         JsonLinesSink::new(BufWriter::new(file)),
-        AggregateSink::new(),
+        Tee::new(AggregateSink::new(), ScaleGate::default()),
     );
 
     // In LP mode the returned handle shares the provider's
     // infeasible-certificate counter, which gates the exit code below.
     let (mut session, lp) = bounds.install(Session::over(registry));
+    if churn_scale.is_some() {
+        // The streamed tier runs repair-first with every epoch audited:
+        // any escalation or audit divergence fails the run below.
+        session = session.recovery_policy(RecoveryPolicy::repair_first());
+    }
     if let Some(n) = threads {
         session = session.threads(n);
     }
@@ -207,7 +254,8 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
 
-    let aggregate = sink.second;
+    let aggregate = sink.second.first;
+    let gate = sink.second.second;
     // Flush the summary line, fsync, and only then swap the report in.
     let committed = sink
         .first
@@ -246,6 +294,14 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    if churn_scale.is_some() && (gate.escalations > 0 || gate.worst_tier >= 3) {
+        eprintln!(
+            "streamed churn escalated past repair-only recovery \
+             ({} escalations, worst tier {}) — failing",
+            gate.escalations, gate.worst_tier
+        );
+        failed = true;
+    }
     if aggregate.violations() > 0 {
         eprintln!("{} unclean records — failing", aggregate.violations());
         failed = true;

@@ -1,0 +1,296 @@
+//! Property-based tests (proptest) for the incremental witness-repair
+//! kernel: on **every** connected graph with n ≤ 6 nodes, under a random
+//! single damage event (edge delete, edge insert, node crash, witness
+//! corruption), each repair routine restores a witness that independent
+//! brute-force oracles accept — and repair stays local, growing the
+//! witness by at most two entries per frontier node.
+//!
+//! The oracles here deliberately do not reuse the repair module's own
+//! `is_*_witness` checkers: feasibility is re-derived from first
+//! principles over the damaged graph's edge list, and size is compared
+//! against exhaustively computed optima (≤ 15 edges / 6 nodes, so 2^15
+//! subsets at worst).
+
+use std::collections::BTreeSet;
+
+use edge_dominating_sets::algorithms::repair::{
+    repair_edge_dominating, repair_maximal_matching, repair_vertex_cover,
+};
+use edge_dominating_sets::graph::SimpleGraph;
+use edge_dominating_sets::scenarios::small::connected;
+use proptest::prelude::*;
+
+type EdgeSet = BTreeSet<(usize, usize)>;
+type NodeSet = BTreeSet<usize>;
+
+fn key(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
+}
+
+/// The damaged graph's edges as sorted node pairs.
+fn edge_pairs(g: &SimpleGraph) -> Vec<(usize, usize)> {
+    g.edges()
+        .map(|(_, u, v)| key(u.index(), v.index()))
+        .collect()
+}
+
+/// Rebuilds a graph on the same node set from an explicit edge list.
+fn graph_from(n: usize, edges: &[(usize, usize)]) -> SimpleGraph {
+    let mut g = SimpleGraph::new(n);
+    for &(u, v) in edges {
+        g.add_edge_ids(u, v).expect("valid edge");
+    }
+    g
+}
+
+// -----------------------------------------------------------------
+// Brute-force oracles.
+// -----------------------------------------------------------------
+
+/// Every witness pair is an edge of `g` and no two share an endpoint.
+fn oracle_is_matching(edges: &[(usize, usize)], witness: &EdgeSet) -> bool {
+    let all: EdgeSet = edges.iter().copied().collect();
+    let mut used = NodeSet::new();
+    witness
+        .iter()
+        .all(|&(u, v)| all.contains(&(u, v)) && used.insert(u) && used.insert(v))
+}
+
+/// No graph edge has both endpoints unmatched.
+fn oracle_is_maximal(edges: &[(usize, usize)], witness: &EdgeSet) -> bool {
+    let used: NodeSet = witness.iter().flat_map(|&(u, v)| [u, v]).collect();
+    edges
+        .iter()
+        .all(|&(u, v)| used.contains(&u) || used.contains(&v))
+}
+
+/// Every witness pair is an edge and every graph edge shares an endpoint
+/// with some witness edge.
+fn oracle_is_dominating(edges: &[(usize, usize)], witness: &EdgeSet) -> bool {
+    let all: EdgeSet = edges.iter().copied().collect();
+    if !witness.iter().all(|e| all.contains(e)) {
+        return false;
+    }
+    let touched: NodeSet = witness.iter().flat_map(|&(u, v)| [u, v]).collect();
+    edges
+        .iter()
+        .all(|&(u, v)| touched.contains(&u) || touched.contains(&v))
+}
+
+/// Every graph edge has an endpoint in the cover.
+fn oracle_is_cover(edges: &[(usize, usize)], cover: &NodeSet) -> bool {
+    edges
+        .iter()
+        .all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+}
+
+/// Minimum edge dominating set by subset enumeration.
+fn brute_min_eds(edges: &[(usize, usize)]) -> usize {
+    let m = edges.len();
+    (0..=m)
+        .find(|&k| {
+            subsets(m, k).any(|mask| {
+                let chosen: EdgeSet = pick(edges, mask).collect();
+                oracle_is_dominating(edges, &chosen)
+            })
+        })
+        .expect("the full edge set dominates")
+}
+
+/// Minimum vertex cover by subset enumeration over ≤ 6 nodes.
+fn brute_min_vc(n: usize, edges: &[(usize, usize)]) -> usize {
+    (0..=n)
+        .find(|&k| {
+            subsets(n, k).any(|mask| {
+                let cover: NodeSet = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                oracle_is_cover(edges, &cover)
+            })
+        })
+        .expect("the full node set covers")
+}
+
+/// All bitmasks over `m` items with exactly `k` bits set.
+fn subsets(m: usize, k: usize) -> impl Iterator<Item = u32> {
+    (0u32..(1 << m)).filter(move |mask| mask.count_ones() as usize == k)
+}
+
+fn pick(edges: &[(usize, usize)], mask: u32) -> impl Iterator<Item = (usize, usize)> + '_ {
+    edges
+        .iter()
+        .enumerate()
+        .filter(move |(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &e)| e)
+}
+
+// -----------------------------------------------------------------
+// Damage model: one event against (graph, witness).
+// -----------------------------------------------------------------
+
+/// The state handed to a repair routine after one damage event.
+struct Damaged {
+    graph: SimpleGraph,
+    edges: Vec<(usize, usize)>,
+    touched: NodeSet,
+}
+
+/// Applies one seeded single event: 0 deletes an edge, 1 inserts an
+/// edge between a non-adjacent pair, 2 crashes a node (drops all its
+/// edges), 3 corrupts a node's witness entries (graph unchanged).
+/// Events that don't apply (insert on a complete graph, delete on an
+/// edgeless one) fall through to corruption, which always applies.
+fn damage(
+    base: &SimpleGraph,
+    edge_witness: Option<&mut EdgeSet>,
+    cover: Option<&mut NodeSet>,
+    event: usize,
+    pick: u64,
+) -> Damaged {
+    let n = base.node_count();
+    let edges = edge_pairs(base);
+    let non_adjacent: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .filter(|e| !edges.contains(e))
+        .collect();
+    match event {
+        0 if !edges.is_empty() => {
+            let (u, v) = edges[pick as usize % edges.len()];
+            let kept: Vec<_> = edges.iter().copied().filter(|&e| e != (u, v)).collect();
+            Damaged {
+                graph: graph_from(n, &kept),
+                edges: kept,
+                touched: NodeSet::from([u, v]),
+            }
+        }
+        1 if !non_adjacent.is_empty() => {
+            let (u, v) = non_adjacent[pick as usize % non_adjacent.len()];
+            let mut grown = edges.clone();
+            grown.push((u, v));
+            grown.sort_unstable();
+            Damaged {
+                graph: graph_from(n, &grown),
+                edges: grown,
+                touched: NodeSet::from([u, v]),
+            }
+        }
+        2 => {
+            let victim = pick as usize % n;
+            let mut touched = NodeSet::from([victim]);
+            let kept: Vec<_> = edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| {
+                    if u == victim || v == victim {
+                        touched.insert(u);
+                        touched.insert(v);
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            Damaged {
+                graph: graph_from(n, &kept),
+                edges: kept,
+                touched,
+            }
+        }
+        _ => {
+            // Corruption: wipe the victim's witness entries; freed
+            // partners join the frontier exactly as the churn runner's
+            // scramble does.
+            let victim = pick as usize % n;
+            let mut touched = NodeSet::from([victim]);
+            if let Some(w) = edge_witness {
+                w.retain(|&(u, v)| {
+                    if u == victim || v == victim {
+                        touched.insert(u);
+                        touched.insert(v);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if let Some(c) = cover {
+                c.remove(&victim);
+            }
+            Damaged {
+                graph: graph_from(n, &edges),
+                edges,
+                touched,
+            }
+        }
+    }
+}
+
+/// Strategy: one connected representative (n ≤ 6), an event selector,
+/// and a pick seed.
+fn instance() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (
+        2usize..=6,
+        proptest::num::u64::ANY,
+        0usize..4,
+        proptest::num::u64::ANY,
+    )
+        .prop_map(|(n, idx, event, pick)| (n, idx as usize % connected(n).len(), event, pick))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `repair_maximal_matching` restores a maximal matching after any
+    /// single event, and the result obeys the 2·OPT edge-domination
+    /// bound any maximal matching carries.
+    #[test]
+    fn matching_repair_matches_the_oracle((n, idx, event, pick) in instance()) {
+        let base = &connected(n)[idx];
+        let mut witness = EdgeSet::new();
+        let everyone: NodeSet = (0..n).collect();
+        repair_maximal_matching(base, &mut witness, &everyone);
+        let d = damage(base, Some(&mut witness), None, event, pick);
+        let before = witness.len();
+        repair_maximal_matching(&d.graph, &mut witness, &d.touched);
+        prop_assert!(oracle_is_matching(&d.edges, &witness), "{witness:?} on {:?}", d.edges);
+        prop_assert!(oracle_is_maximal(&d.edges, &witness), "{witness:?} on {:?}", d.edges);
+        prop_assert!(witness.len() <= before + 2 * d.touched.len());
+        if !d.edges.is_empty() {
+            prop_assert!(witness.len() <= 2 * brute_min_eds(&d.edges));
+        } else {
+            prop_assert!(witness.is_empty());
+        }
+    }
+
+    /// `repair_edge_dominating` restores edge domination after any
+    /// single event, growing by at most one entry per frontier node.
+    #[test]
+    fn dominating_repair_matches_the_oracle((n, idx, event, pick) in instance()) {
+        let base = &connected(n)[idx];
+        let mut witness = EdgeSet::new();
+        let everyone: NodeSet = (0..n).collect();
+        repair_edge_dominating(base, &mut witness, &everyone);
+        let d = damage(base, Some(&mut witness), None, event, pick);
+        let before = witness.len();
+        repair_edge_dominating(&d.graph, &mut witness, &d.touched);
+        prop_assert!(oracle_is_dominating(&d.edges, &witness), "{witness:?} on {:?}", d.edges);
+        prop_assert!(witness.len() <= before + 2 * d.touched.len());
+    }
+
+    /// `repair_vertex_cover` restores a vertex cover after any single
+    /// event, growing by at most two entries per frontier node, and
+    /// never strays past the 3·OPT paper bound the audits enforce.
+    #[test]
+    fn cover_repair_matches_the_oracle((n, idx, event, pick) in instance()) {
+        let base = &connected(n)[idx];
+        let mut cover = NodeSet::new();
+        let everyone: NodeSet = (0..n).collect();
+        repair_vertex_cover(base, &mut cover, &everyone);
+        let d = damage(base, None, Some(&mut cover), event, pick);
+        let before = cover.len();
+        repair_vertex_cover(&d.graph, &mut cover, &d.touched);
+        prop_assert!(oracle_is_cover(&d.edges, &cover), "{cover:?} on {:?}", d.edges);
+        prop_assert!(cover.len() <= before + 2 * d.touched.len());
+        if !d.edges.is_empty() {
+            prop_assert!(cover.len() <= 3 * brute_min_vc(n, &d.edges));
+        }
+    }
+}
