@@ -10,12 +10,22 @@
 //! best parallel configuration over sequential (the thread-scaling
 //! curve). `host_threads` records the measuring host's available
 //! parallelism — on a single-core host the parallel curve measures pure
-//! pool overhead and the best ratio is expected to sit just below 1.
+//! pool overhead (`parallel_fields_overhead_only` is emitted `true` and
+//! the best ratio is expected to sit just below 1).
+//!
+//! On top of the generic curve, every workload measures the **bit-packed
+//! tier**: a bool-message gossip through the packed bridge engine
+//! (`run_packed`, verified bit-identical against the generic engine on
+//! the same protocol) and, on regular graphs whose window fits a word,
+//! the native 4-bit OR-gossip [`pn_runtime::WordKernel`]
+//! (`run_packed_kernel`, verified against its scalar twin) — the
+//! messages/sec headline the ROADMAP's raw-speed item tracks.
 //!
 //! Usage:
 //!
 //! ```text
-//! sim_benchmark [--reduced] [--check-parallel] [--out PATH]
+//! sim_benchmark [--reduced] [--check-parallel] [--rounds N]
+//!               [--streamed N] [--out PATH]
 //! ```
 //!
 //! * `--reduced` measures only the ≥100k-node workload (the CI
@@ -27,6 +37,16 @@
 //!   skipped (with a notice) when the host has fewer than four cores,
 //!   where a 4-thread pool competes with itself for timeslices (and on
 //!   one core beating sequential is physically impossible);
+//! * `--rounds N` sets the protocol's fixed halting round (default 16;
+//!   recorded as `protocol_rounds` — reports with different values are
+//!   not comparable, which the perf gate checks);
+//! * `--streamed N` switches to the lean streamed-kernel mode for the
+//!   10M–100M tier: an `N`-node streamed cycle, the OR-gossip word
+//!   kernel only (the scalar-twin verification runs when `N` ≤ 2M; at
+//!   larger sizes the twin alone would dominate the wall clock), no
+//!   legacy/parallel curves — the mode the nightly 100M smoke runs,
+//!   with a few GB of RAM instead of a materialised scenario. Writes
+//!   `BENCH_sim_streamed.json` unless `--out` overrides;
 //! * `--out PATH` overrides the report path (default `BENCH_sim.json`
 //!   in the current directory).
 
@@ -36,10 +56,14 @@ use std::time::Instant;
 
 use eds_bench::legacy_engine::run_legacy;
 use pn_graph::{covering, generators, ports, PortNumberedGraph};
-use pn_runtime::{collect_send, NodeAlgorithm, Run, Simulator, WrongCount};
+use pn_runtime::{
+    collect_send, kernel_reference_run, NodeAlgorithm, OrGossipKernel, Run, Simulator, WordKernel,
+    WrongCount,
+};
 
-/// Fixed number of rounds every node runs before halting.
-const ROUNDS: usize = 16;
+/// Default number of rounds every node runs before halting
+/// (`--rounds` overrides).
+const DEFAULT_ROUNDS: usize = 16;
 
 /// The parallel thread counts of the scaling curve.
 const THREAD_CURVE: [usize; 4] = [1, 2, 4, 8];
@@ -56,11 +80,11 @@ struct Gossip {
 }
 
 impl Gossip {
-    fn new(degree: usize) -> Self {
+    fn new(degree: usize, rounds: usize) -> Self {
         Gossip {
             degree,
             acc: degree as u64,
-            left: ROUNDS,
+            left: rounds,
         }
     }
 }
@@ -98,8 +122,8 @@ impl NodeAlgorithm for Gossip {
 struct LegacyGossip(Gossip);
 
 impl LegacyGossip {
-    fn new(degree: usize) -> Self {
-        LegacyGossip(Gossip::new(degree))
+    fn new(degree: usize, rounds: usize) -> Self {
+        LegacyGossip(Gossip::new(degree, rounds))
     }
 }
 
@@ -115,6 +139,52 @@ impl NodeAlgorithm for LegacyGossip {
 
     fn receive(&mut self, round: usize, inbox: &[Option<u64>]) -> Option<u64> {
         self.0.receive(round, inbox)
+    }
+}
+
+/// A `bool`-message gossip for the packed **bridge** measurement: same
+/// round structure as [`Gossip`], but a 2-bit lane alphabet so the
+/// packed engine is eligible. Compared against itself on the generic
+/// engine — bridge vs generic on the *same* protocol is the honest
+/// speedup.
+#[derive(Clone)]
+struct ParityGossip {
+    degree: usize,
+    flag: bool,
+    left: usize,
+}
+
+impl ParityGossip {
+    fn new(degree: usize, rounds: usize) -> Self {
+        ParityGossip {
+            degree,
+            flag: degree % 2 == 1,
+            left: rounds,
+        }
+    }
+}
+
+impl NodeAlgorithm for ParityGossip {
+    type Message = bool;
+    type Output = bool;
+
+    fn send(&mut self, round: usize) -> Vec<bool> {
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(&mut self, _round: usize, outbox: &mut [Option<bool>]) -> Result<(), WrongCount> {
+        for slot in outbox.iter_mut() {
+            *slot = Some(self.flag);
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<bool>]) -> Option<bool> {
+        for m in inbox.iter().flatten() {
+            self.flag ^= m;
+        }
+        self.left -= 1;
+        (self.left == 0).then_some(self.flag)
     }
 }
 
@@ -137,7 +207,7 @@ fn time_best<R>(mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn assert_identical(a: &Run<u64>, b: &Run<u64>, what: &str) {
+fn assert_identical<O: PartialEq>(a: &Run<O>, b: &Run<O>, what: &str) {
     assert!(
         a.outputs == b.outputs
             && a.halted_at == b.halted_at
@@ -158,6 +228,14 @@ struct Row {
     /// One rate per [`THREAD_CURVE`] entry.
     parallel_rps: [f64; THREAD_CURVE.len()],
     sequential_mps: f64,
+    /// The bool-message gossip through the packed bridge engine.
+    packed_bridge_rps: f64,
+    /// ... and through the generic engine (same protocol) — the
+    /// denominator of the honest bridge speedup.
+    bridge_generic_rps: f64,
+    /// The native word kernel, when the graph is regular and the 4-bit
+    /// window fits a word.
+    kernel_mps: Option<f64>,
     speedup_sequential_vs_legacy: Option<f64>,
     speedup_parallel_best_vs_sequential: f64,
 }
@@ -170,30 +248,72 @@ impl Row {
             .map(|i| self.parallel_rps[i])
             .expect("threads on the curve")
     }
+
+    fn speedup_packed_bridge(&self) -> f64 {
+        self.packed_bridge_rps / self.bridge_generic_rps
+    }
+
+    /// The raw-speed headline: word-kernel messages/sec over the generic
+    /// engine's messages/sec on the same graph and round count.
+    fn speedup_kernel_vs_sequential_mps(&self) -> Option<f64> {
+        self.kernel_mps.map(|k| k / self.sequential_mps)
+    }
 }
 
-fn measure(name: &'static str, pg: &PortNumberedGraph, with_legacy: bool) -> Row {
+fn measure(name: &'static str, pg: &PortNumberedGraph, with_legacy: bool, rounds: usize) -> Row {
     let sim = Simulator::new(pg);
-    let seq = sim.run(Gossip::new).expect("sequential run");
+    let gossip = |d: usize| Gossip::new(d, rounds);
+    let legacy_gossip = |d: usize| LegacyGossip::new(d, rounds);
+    let parity = |d: usize| ParityGossip::new(d, rounds);
+    let seq = sim.run(gossip).expect("sequential run");
     let old = with_legacy.then(|| {
-        let old = run_legacy(pg, LegacyGossip::new, 1 << 20).expect("legacy run");
+        let old = run_legacy(pg, legacy_gossip, 1 << 20).expect("legacy run");
         assert_identical(&seq, &old, "sequential vs legacy");
         old
     });
     for threads in THREAD_CURVE {
-        let par = sim
-            .run_parallel(Gossip::new, threads)
-            .expect("parallel run");
+        let par = sim.run_parallel(gossip, threads).expect("parallel run");
         assert_identical(&seq, &par, &format!("sequential vs parallel({threads})"));
     }
 
-    let t_seq = time_best(|| sim.run(Gossip::new).unwrap());
-    let t_old = old.map(|_| time_best(|| run_legacy(pg, LegacyGossip::new, 1 << 20).unwrap()));
+    // The packed tier: bridge vs generic on the bool gossip (always
+    // eligible: 2-bit lanes), kernel vs scalar twin on regular graphs.
+    assert!(sim.packed_eligible::<bool>(), "bool gossip must pack");
+    let parity_generic = sim.run(parity).expect("generic parity run");
+    let parity_packed = sim.run_packed(parity).expect("packed parity run");
+    assert_identical(&parity_generic, &parity_packed, "generic vs packed bridge");
+    let parity_packed2 = sim
+        .run_packed_parallel(parity, 2)
+        .expect("packed parallel parity run");
+    assert_identical(
+        &parity_generic,
+        &parity_packed2,
+        "generic vs packed parallel(2)",
+    );
+    let kernel = OrGossipKernel { rounds };
+    let kernel_ok = pg
+        .regular_degree()
+        .is_some_and(|d| d > 0 && d as u32 * kernel.lane_bits() <= 64);
+    let kernel_run = kernel_ok.then(|| {
+        let fast = sim.run_packed_kernel(&kernel).expect("kernel run");
+        let slow = kernel_reference_run(&sim, &kernel).expect("kernel twin run");
+        assert_identical(&fast, &slow, "word kernel vs scalar twin");
+        fast
+    });
+
+    let t_seq = time_best(|| sim.run(gossip).unwrap());
+    let t_old = old.map(|_| time_best(|| run_legacy(pg, legacy_gossip, 1 << 20).unwrap()));
     let mut parallel_rps = [0.0; THREAD_CURVE.len()];
     for (slot, threads) in parallel_rps.iter_mut().zip(THREAD_CURVE) {
-        let t = time_best(|| sim.run_parallel(Gossip::new, threads).unwrap());
+        let t = time_best(|| sim.run_parallel(gossip, threads).unwrap());
         *slot = seq.rounds as f64 / t;
     }
+    let t_bridge = time_best(|| sim.run_packed(parity).unwrap());
+    let t_bridge_generic = time_best(|| sim.run(parity).unwrap());
+    let kernel_mps = kernel_run.map(|run| {
+        let t = time_best(|| sim.run_packed_kernel(&kernel).unwrap());
+        run.messages as f64 / t
+    });
 
     let rounds = seq.rounds;
     let sequential_rps = rounds as f64 / t_seq;
@@ -210,17 +330,27 @@ fn measure(name: &'static str, pg: &PortNumberedGraph, with_legacy: bool) -> Row
         sequential_rps,
         parallel_rps,
         sequential_mps: seq.messages as f64 / t_seq,
+        packed_bridge_rps: rounds as f64 / t_bridge,
+        bridge_generic_rps: rounds as f64 / t_bridge_generic,
+        kernel_mps,
         speedup_sequential_vs_legacy: t_old.map(|t| t / t_seq),
         speedup_parallel_best_vs_sequential: best_parallel / sequential_rps,
     }
 }
 
-fn render_json(rows: &[Row], host_threads: usize) -> String {
+fn render_json(rows: &[Row], host_threads: usize, rounds: usize) -> String {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"sim_throughput\",");
-    let _ = writeln!(json, "  \"protocol_rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"protocol_rounds\": {rounds},");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    // On one core the parallel engine cannot beat sequential; its
+    // fields then measure pool overhead, not concurrency.
+    let _ = writeln!(
+        json,
+        "  \"parallel_fields_overhead_only\": {},",
+        host_threads == 1
+    );
     // `engines_bit_identical` covers exactly the engines this run
     // compared; under `--reduced` the legacy engine is skipped, which
     // `legacy_engine_compared` records.
@@ -254,6 +384,25 @@ fn render_json(rows: &[Row], host_threads: usize) -> String {
             "      \"sequential_messages_per_sec\": {:.1},",
             r.sequential_mps
         );
+        let _ = writeln!(
+            json,
+            "      \"packed_bridge_rounds_per_sec\": {:.1},",
+            r.packed_bridge_rps
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_packed_bridge_vs_generic\": {:.2},",
+            r.speedup_packed_bridge()
+        );
+        if let Some(mps) = r.kernel_mps {
+            let _ = writeln!(json, "      \"packed_kernel_messages_per_sec\": {mps:.1},");
+        }
+        if let Some(speedup) = r.speedup_kernel_vs_sequential_mps() {
+            let _ = writeln!(
+                json,
+                "      \"speedup_packed_kernel_vs_sequential\": {speedup:.2},"
+            );
+        }
         if let Some(speedup) = r.speedup_sequential_vs_legacy {
             let _ = writeln!(
                 json,
@@ -272,17 +421,80 @@ fn render_json(rows: &[Row], host_threads: usize) -> String {
     json
 }
 
+/// The lean `--streamed N` mode: one streamed cycle, word kernel only.
+fn run_streamed(n: usize, rounds: usize, out: &str, host_threads: usize) -> ExitCode {
+    eprintln!(
+        "streamed kernel mode: {n}-node cycle, {rounds} rounds, host_threads = {host_threads}"
+    );
+    let pg = match generators::streamed_cycle(n, None) {
+        Ok(pg) => pg,
+        Err(e) => {
+            eprintln!("streamed cycle generation failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let sim = Simulator::new(&pg);
+    let kernel = OrGossipKernel { rounds };
+    // The scalar twin moves one message at a time; past ~2M nodes it
+    // would dominate the wall clock, and the packed-conformance suite
+    // already proves identity at smaller sizes.
+    let verified = n <= 2_000_000;
+    let fast = sim.run_packed_kernel(&kernel).expect("kernel run");
+    if verified {
+        let slow = kernel_reference_run(&sim, &kernel).expect("kernel twin run");
+        assert_identical(&fast, &slow, "word kernel vs scalar twin (streamed)");
+    }
+    let t = time_best(|| sim.run_packed_kernel(&kernel).unwrap());
+    let mps = fast.messages as f64 / t;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"sim_streamed_kernel\",");
+    let _ = writeln!(json, "  \"protocol_rounds\": {rounds},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"nodes\": {n},");
+    let _ = writeln!(json, "  \"ports\": {},", pg.port_count());
+    let _ = writeln!(json, "  \"messages\": {},", fast.messages);
+    let _ = writeln!(json, "  \"kernel_verified_vs_scalar_twin\": {verified},");
+    let _ = writeln!(json, "  \"packed_kernel_messages_per_sec\": {mps:.1}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(out, &json).expect("write streamed benchmark report");
+    print!("{json}");
+    eprintln!(
+        "streamed_cycle_{n}: kernel {:.3} B msgs/s ({} messages in {t:.3}s best)",
+        mps / 1e9,
+        fast.messages
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut reduced = false;
     let mut check_parallel = false;
-    let mut out = "BENCH_sim.json".to_owned();
+    let mut rounds = DEFAULT_ROUNDS;
+    let mut streamed: Option<usize> = None;
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--reduced" => reduced = true,
             "--check-parallel" => check_parallel = true,
+            "--rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => rounds = n,
+                _ => {
+                    eprintln!("--rounds requires a number >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--streamed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => streamed = Some(n),
+                None => {
+                    eprintln!("--streamed requires a node count");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match args.next() {
-                Some(path) => out = path,
+                Some(path) => out = Some(path),
                 None => {
                     eprintln!("--out requires a path");
                     return ExitCode::from(2);
@@ -290,13 +502,21 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: sim_benchmark [--reduced] [--check-parallel] [--out PATH]");
+                eprintln!(
+                    "usage: sim_benchmark [--reduced] [--check-parallel] [--rounds N] \
+                     [--streamed N] [--out PATH]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
 
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if let Some(n) = streamed {
+        let out = out.unwrap_or_else(|| "BENCH_sim_streamed.json".to_owned());
+        return run_streamed(n, rounds, &out, host_threads);
+    }
+    let out = out.unwrap_or_else(|| "BENCH_sim.json".to_owned());
     let with_legacy = !reduced;
     let mut graphs: Vec<(&'static str, PortNumberedGraph)> = Vec::new();
 
@@ -315,18 +535,35 @@ fn main() -> ExitCode {
 
     let rows: Vec<Row> = graphs
         .iter()
-        .map(|(name, pg)| measure(name, pg, with_legacy))
+        .map(|(name, pg)| measure(name, pg, with_legacy, rounds))
         .collect();
 
-    let json = render_json(&rows, host_threads);
+    let json = render_json(&rows, host_threads, rounds);
     std::fs::write(&out, &json).expect("write benchmark report");
     print!("{json}");
+    // The summary leads with the host's parallelism: it decides how to
+    // read every parallel number below.
+    if host_threads == 1 {
+        eprintln!(
+            "host_threads = 1: parallel fields measure worker-pool overhead only \
+             (best-parallel/seq < 1 is expected, not a regression)"
+        );
+    } else {
+        eprintln!("host_threads = {host_threads}");
+    }
     for r in &rows {
         let legacy = r
             .legacy_rps
             .map_or("      (skipped)".to_owned(), |v| format!("{v:>10.0} r/s"));
+        let kernel = r.kernel_mps.map_or("(n/a)".to_owned(), |v| {
+            format!(
+                "{:.2} B msgs/s ({:.1}x seq)",
+                v / 1e9,
+                r.speedup_kernel_vs_sequential_mps().unwrap_or(0.0)
+            )
+        });
         eprintln!(
-            "{:<22} legacy {legacy}   sequential {:>10.0} r/s   parallel 1/2/4/8 {:>8.0}/{:>8.0}/{:>8.0}/{:>8.0} r/s   best-parallel/seq {:.2}x",
+            "[host_threads={host_threads}] {:<22} legacy {legacy}   sequential {:>10.0} r/s   parallel 1/2/4/8 {:>8.0}/{:>8.0}/{:>8.0}/{:>8.0} r/s   best-parallel/seq {:.2}x   bridge {:.2}x   kernel {kernel}",
             r.name,
             r.sequential_rps,
             r.parallel_rps[0],
@@ -334,6 +571,7 @@ fn main() -> ExitCode {
             r.parallel_rps[2],
             r.parallel_rps[3],
             r.speedup_parallel_best_vs_sequential,
+            r.speedup_packed_bridge(),
         );
     }
 
@@ -357,7 +595,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "check-parallel: {name} at {ratio:.2}x on the first pass — remeasuring once"
                 );
-                let retry = measure(name, pg, false);
+                let retry = measure(name, pg, false, rounds);
                 ratio = ratio.max(retry.parallel_at(4) / retry.sequential_rps);
             }
             if ratio < BREAK_EVEN_TOLERANCE {

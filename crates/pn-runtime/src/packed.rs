@@ -1,0 +1,1478 @@
+//! Bit-packed fixed-degree execution: the raw-speed tier for 10M–100M
+//! node graphs exchanging tiny enum messages over bounded-degree ports.
+//!
+//! The generic three-phase engine ([`Simulator::run`]) moves messages as
+//! individual `Option<M>` values — one load, one branch and one store
+//! per port per round. Every protocol in this workspace, however, sends
+//! messages drawn from an alphabet of a handful of symbols over degrees
+//! of 2–8, so a whole port window fits comfortably inside one machine
+//! word. This module exploits that:
+//!
+//! # Word layout
+//!
+//! A message is encoded as a **lane**: a `b`-bit code with `b` a power
+//! of two (so lanes never straddle word boundaries), code `0` reserved
+//! for *no message* (an empty `send_into` slot or a halted neighbour)
+//! and codes `1..2^b` for the live alphabet — the [`PackedMessage`]
+//! contract. The flat port-slot arena of the graph becomes two `Vec<u64>`
+//! bit arenas (`out`, `in`) holding `64 / b` lanes per word; node `v`'s
+//! window is the `degree(v)` consecutive lanes starting at its slot
+//! offset, exactly mirroring the generic engine's layout.
+//!
+//! # CSR permutation contract
+//!
+//! At construction the nodes are relayouted by the **stable degree
+//! sort** ([`pn_graph::PortNumberedGraph::degree_sorted_permutation`]):
+//! equal-degree nodes become uniform runs of equal-width windows, which
+//! keeps route-plan gather entries shared across lanes and gives the
+//! chunked parallel path word-aligned chunk boundaries. The permutation
+//! is applied to states on entry and **inverted on output**: `outputs`,
+//! `halted_at` and all error node ids are reported in original node
+//! order, so callers never observe the relayout.
+//!
+//! # The packed round
+//!
+//! 1. **Send** — each frontier node's `send_into` runs against a scratch
+//!    window of `Option<M>` (the *bridge*: unchanged node algorithms,
+//!    bit-identical behaviour) and the slots are encoded into the `out`
+//!    arena; occupancy is counted here, which equals the generic
+//!    engine's per-`take()` message count.
+//! 2. **Route** — a precomputed **gather plan**: for every destination
+//!    word, a short list of `(source word, shift, mask)` entries rebuilt
+//!    from the port involution. Each destination word is reassembled in
+//!    a register with `acc |= ((src >> shr) << shl) & mask`, so on
+//!    structured layouts (canonical cycles, uniform-degree runs) a word
+//!    of 16–64 lanes moves in 2–4 operations and the inbox needs no
+//!    clearing — it is fully overwritten every round.
+//! 3. **Receive** — lanes are decoded back into the scratch window and
+//!    handed to `receive`; halting nodes zero their `out` lanes (the
+//!    packed analogue of leaving the frontier) and the frontier is
+//!    compacted in place exactly like the generic engine.
+//!
+//! # Eligibility rules
+//!
+//! The packed path is chosen automatically when (see
+//! [`Simulator::packed_eligible`]):
+//!
+//! * the message type reports a lane width for the graph's maximum
+//!   degree ([`PackedMessage::lane_bits`] is `Some`),
+//! * the widest port window fits one word (`Δ · b ≤ 64`),
+//! * no execution transcript was requested
+//!   ([`crate::RunOptions::record_trace`] is off), and
+//! * ports and nodes fit `u32` lane indices.
+//!
+//! Anything else (the identifier-model baseline's unbounded messages, a
+//! traced run, a hub beyond the word budget) falls back to the generic
+//! engine, which remains the **conformance oracle**: the packed path
+//! must produce bit-identical [`Run`]s — outputs, halt rounds, round and
+//! message totals — and the equivalence suites assert it property-based
+//! across the whole protocol portfolio.
+//!
+//! # Native word kernels
+//!
+//! The bridge path still executes scalar node code; its win is the route
+//! phase and memory traffic. For regular graphs there is a second tier:
+//! [`WordKernel`] programs keep the whole node state as one `b`-bit
+//! token per node and advance 8–64 nodes per operation through SWAR
+//! spread/fold ladders ([`Simulator::run_packed_kernel`]), with a scalar
+//! twin ([`kernel_reference_run`]) on the generic engine as the oracle.
+//! This is the tier that reaches ≥10⁹ messages/second sequentially.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pn_graph::{NodeId, PortNumberedGraph};
+
+use crate::algorithm::{AlgorithmFactory, NodeAlgorithm};
+use crate::metrics::RunFlush;
+use crate::parallel::{PoisonOnPanic, PoolBarrier};
+use crate::simulator::Run;
+use crate::{RuntimeError, Simulator};
+
+/// A message type encodable into fixed-width bit lanes.
+///
+/// # Contract
+///
+/// * [`PackedMessage::lane_bits`] returns the lane width `b` (a power of
+///   two dividing 64) sufficient for **every** message the protocol can
+///   produce on a graph of the given maximum degree, or `None` when the
+///   alphabet cannot be bounded (unbounded payloads).
+/// * [`PackedMessage::encode`] maps a message to a code in `1..2^b`
+///   (code `0` is reserved for *no message*).
+/// * [`PackedMessage::decode`] inverts `encode` **exactly** — the packed
+///   engine's bit-identity with the generic engine rests on
+///   `decode(encode(m)) == Some(m)` for every reachable `m`. `decode(0)`
+///   must be `None`.
+///
+/// Both directions receive the same `max_degree` the width was computed
+/// for, so port numbers and degrees can be folded into the code space.
+pub trait PackedMessage: Sized + Clone {
+    /// Lane width in bits for a graph of maximum degree `max_degree`, or
+    /// `None` if the alphabet does not pack.
+    fn lane_bits(max_degree: usize) -> Option<u32>;
+    /// The nonzero lane code of this message (`< 2^lane_bits`).
+    fn encode(&self, max_degree: usize) -> u64;
+    /// The message for a lane code; `None` exactly for code `0`.
+    fn decode(code: u64, max_degree: usize) -> Option<Self>;
+}
+
+/// The lane width needed to host codes `1..=max_code`: the bit length of
+/// `max_code` rounded up to a power of two, or `None` beyond 64 bits.
+/// Convenience for [`PackedMessage::lane_bits`] implementations.
+pub fn lane_width_for(max_code: u64) -> Option<u32> {
+    let bits = (64 - max_code.leading_zeros()).max(1);
+    let b = bits.next_power_of_two();
+    (b <= 64).then_some(b)
+}
+
+impl PackedMessage for bool {
+    fn lane_bits(_max_degree: usize) -> Option<u32> {
+        Some(2)
+    }
+
+    fn encode(&self, _max_degree: usize) -> u64 {
+        if *self {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn decode(code: u64, _max_degree: usize) -> Option<Self> {
+        match code {
+            1 => Some(false),
+            2 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// One gather entry of the route plan: `dest |= ((words[src] >> shr)
+/// << shl) & mask`. Exactly one of `shr`/`shl` is nonzero (or both are
+/// zero for an aligned move).
+#[derive(Clone, Copy, Debug)]
+struct GatherEntry {
+    src: u32,
+    shr: u8,
+    shl: u8,
+    mask: u64,
+}
+
+/// The packed execution layout for one graph at one lane width: the
+/// degree-sorted permutation, permuted window offsets and the
+/// destination-word gather plan derived from the port involution.
+struct PackedLayout {
+    bits: u32,
+    /// Lanes per word (`64 / bits`).
+    lpw: u32,
+    lane_mask: u64,
+    /// Arena length in words.
+    words: usize,
+    /// `perm[new] = old` — the stable degree sort.
+    perm: Vec<u32>,
+    /// Permuted window offsets in lanes, `n + 1` entries.
+    offsets: Vec<u32>,
+    /// `plan[plan_index[w]..plan_index[w+1]]` rebuilds dest word `w`.
+    plan: Vec<GatherEntry>,
+    plan_index: Vec<u32>,
+}
+
+impl PackedLayout {
+    /// Builds the layout. `degree_sort` is disabled by the kernel path
+    /// (regular graphs — the sort is the identity there anyway).
+    fn new(g: &PortNumberedGraph, bits: u32, degree_sort: bool) -> Self {
+        let n = g.node_count();
+        let lanes = g.port_count();
+        let lpw = 64 / bits;
+        let lane_mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        let perm: Vec<u32> = if degree_sort {
+            g.degree_sorted_permutation()
+        } else {
+            (0..n as u32).collect()
+        };
+        let mut inv = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &old in &perm {
+            acc += g.degree(NodeId::new(old as usize)) as u32;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc as usize, lanes);
+
+        // The permuted lane involution, then folded into the per-word
+        // gather plan (the route vector itself is not retained: the
+        // steady-state round only needs the plan).
+        let old_offsets = g.slot_offsets();
+        let conn = g.involution();
+        let mut route = vec![0u32; lanes];
+        for new_v in 0..n {
+            let old_v = perm[new_v] as usize;
+            let base_new = offsets[new_v] as usize;
+            let base_old = old_offsets[old_v];
+            let d = (offsets[new_v + 1] - offsets[new_v]) as usize;
+            for i in 0..d {
+                let partner = conn[base_old + i];
+                route[base_new + i] =
+                    offsets[inv[partner.node.index()] as usize] + partner.port.index() as u32;
+            }
+        }
+
+        let words = lanes.div_ceil(lpw as usize);
+        let mut plan = Vec::new();
+        let mut plan_index = Vec::with_capacity(words + 1);
+        plan_index.push(0u32);
+        let mut bucket: Vec<GatherEntry> = Vec::with_capacity(lpw as usize);
+        for w in 0..words {
+            bucket.clear();
+            let lo = w * lpw as usize;
+            let hi = (lo + lpw as usize).min(lanes);
+            for (j, t) in (lo..hi).enumerate() {
+                let s = route[t] as usize;
+                let src = (s / lpw as usize) as u32;
+                let s_bit = (s % lpw as usize) as u32 * bits;
+                let t_bit = j as u32 * bits;
+                let (shr, shl) = if s_bit >= t_bit {
+                    ((s_bit - t_bit) as u8, 0u8)
+                } else {
+                    (0u8, (t_bit - s_bit) as u8)
+                };
+                let mask = lane_mask << t_bit;
+                match bucket
+                    .iter_mut()
+                    .find(|e| e.src == src && e.shr == shr && e.shl == shl)
+                {
+                    Some(e) => e.mask |= mask,
+                    None => bucket.push(GatherEntry {
+                        src,
+                        shr,
+                        shl,
+                        mask,
+                    }),
+                }
+            }
+            plan.extend_from_slice(&bucket);
+            plan_index.push(u32::try_from(plan.len()).expect("plan fits u32"));
+        }
+
+        PackedLayout {
+            bits,
+            lpw,
+            lane_mask,
+            words,
+            perm,
+            offsets,
+            plan,
+            plan_index,
+        }
+    }
+
+    #[inline]
+    fn word_of(&self, lane: usize) -> usize {
+        lane / self.lpw as usize
+    }
+
+    #[inline]
+    fn bit_of(&self, lane: usize) -> u32 {
+        (lane % self.lpw as usize) as u32 * self.bits
+    }
+
+    /// Executes the gather plan for destination word `w` against the
+    /// `out` arena.
+    #[inline]
+    fn gather(&self, out: &[u64], w: usize) -> u64 {
+        let lo = self.plan_index[w] as usize;
+        let hi = self.plan_index[w + 1] as usize;
+        let mut acc = 0u64;
+        for e in &self.plan[lo..hi] {
+            acc |= ((out[e.src as usize] >> e.shr) << e.shl) & e.mask;
+        }
+        acc
+    }
+
+    /// The same gather against an atomic arena (chunked parallel path).
+    #[inline]
+    fn gather_atomic(&self, out: &[AtomicU64], w: usize) -> u64 {
+        let lo = self.plan_index[w] as usize;
+        let hi = self.plan_index[w + 1] as usize;
+        let mut acc = 0u64;
+        for e in &self.plan[lo..hi] {
+            acc |= ((out[e.src as usize].load(Ordering::Relaxed) >> e.shr) << e.shl) & e.mask;
+        }
+        acc
+    }
+}
+
+/// Checks the packed-path eligibility rules for message type `M` on this
+/// simulator's graph (see the module docs); used by
+/// [`Simulator::run_packed`] to fall back and by callers that want to
+/// know which engine will run.
+fn eligible_bits<M: PackedMessage>(g: &PortNumberedGraph, record_trace: bool) -> Option<u32> {
+    if record_trace {
+        return None;
+    }
+    let delta = g.max_degree();
+    let bits = M::lane_bits(delta)?;
+    let ok = bits.is_power_of_two()
+        && bits <= 64
+        && (delta as u64) * u64::from(bits) <= 64
+        && g.port_count() < u32::MAX as usize
+        && g.node_count() < u32::MAX as usize;
+    ok.then_some(bits)
+}
+
+impl<'g> Simulator<'g> {
+    /// Returns `true` if the packed fixed-degree path will be used for
+    /// message type `M` on this graph under the current options — the
+    /// eligibility rules in the [`crate::packed`](self) module docs.
+    pub fn packed_eligible<M: PackedMessage>(&self) -> bool {
+        eligible_bits::<M>(self.graph(), self.options().record_trace).is_some()
+    }
+
+    /// Runs the algorithm through the **bit-packed engine** when the
+    /// eligibility rules hold, and transparently falls back to the
+    /// generic sequential engine ([`Simulator::run`]) otherwise. Results
+    /// are bit-identical either way — the generic engine is the packed
+    /// path's conformance oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_packed<F>(
+        &self,
+        factory: F,
+    ) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+    where
+        F: AlgorithmFactory,
+        <F::Algorithm as NodeAlgorithm>::Message: PackedMessage,
+    {
+        let g = self.graph();
+        self.run_packed_states(
+            g.nodes()
+                .map(|v| factory.create(g.degree(v)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The per-node-inputs sibling of [`Simulator::run_packed`] (the
+    /// identifier-model entry point on the packed engine), with the same
+    /// transparent fallback.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn run_packed_with_inputs<A, I>(
+        &self,
+        inputs: &[I],
+        factory: impl Fn(usize, &I) -> A,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm,
+        A::Message: PackedMessage,
+    {
+        let g = self.graph();
+        assert_eq!(inputs.len(), g.node_count(), "one input per node required");
+        self.run_packed_states(
+            g.nodes()
+                .map(|v| factory(g.degree(v), &inputs[v.index()]))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The sequential packed round loop (bridge driver).
+    fn run_packed_states<A>(&self, states: Vec<A>) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm,
+        A::Message: PackedMessage,
+    {
+        let g = self.graph();
+        let Some(bits) = eligible_bits::<A::Message>(g, self.options().record_trace) else {
+            return self.run_states(states);
+        };
+        let delta = g.max_degree();
+        let n = g.node_count();
+        let layout = PackedLayout::new(g, bits, true);
+
+        // Apply the CSR permutation to the states; outputs are written
+        // back through `perm` so the relayout is invisible to callers.
+        let mut pool: Vec<Option<A>> = states.into_iter().map(Some).collect();
+        let mut states: Vec<Option<A>> = layout
+            .perm
+            .iter()
+            .map(|&old| pool[old as usize].take())
+            .collect();
+        drop(pool);
+
+        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+        let mut halted_at = vec![0usize; n];
+        let mut out_words = vec![0u64; layout.words];
+        let mut in_words = vec![0u64; layout.words];
+        let mut scratch: Vec<Option<A::Message>> = (0..delta).map(|_| None).collect();
+        let mut frontier: Vec<u32> = (0..n as u32).collect();
+        let mut rounds = 0usize;
+        let mut messages = 0usize;
+        let mut stats = RunFlush::new(true);
+
+        while !frontier.is_empty() {
+            if rounds >= self.options().max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: self.options().max_rounds,
+                    still_running: frontier.len(),
+                });
+            }
+            if let Some(cancel) = self.cancel() {
+                if cancel.check() {
+                    return Err(RuntimeError::Cancelled {
+                        after_rounds: rounds,
+                        still_running: frontier.len(),
+                    });
+                }
+            }
+            stats.frontier.observe(frontier.len() as u64);
+
+            // ---- Send: scalar bridge into the packed outbox. ----
+            for &vu in &frontier {
+                let v = vu as usize;
+                let base = layout.offsets[v] as usize;
+                let d = (layout.offsets[v + 1] - layout.offsets[v]) as usize;
+                let window = &mut scratch[..d];
+                for slot in window.iter_mut() {
+                    *slot = None;
+                }
+                let state = states[v].as_mut().expect("frontier nodes are running");
+                state.send_into(rounds, window).map_err(|wrong| {
+                    RuntimeError::WrongMessageCount {
+                        node: NodeId::new(layout.perm[v] as usize),
+                        got: wrong.got,
+                        expected: d,
+                    }
+                })?;
+                for (i, slot) in window.iter_mut().enumerate() {
+                    let lane = base + i;
+                    let code = match slot.take() {
+                        Some(m) => {
+                            messages += 1;
+                            let c = m.encode(delta);
+                            debug_assert!(
+                                c != 0 && c <= layout.lane_mask,
+                                "encode() must produce a nonzero code within the lane"
+                            );
+                            c
+                        }
+                        None => 0,
+                    };
+                    let w = layout.word_of(lane);
+                    let bit = layout.bit_of(lane);
+                    out_words[w] = (out_words[w] & !(layout.lane_mask << bit)) | (code << bit);
+                }
+            }
+
+            // ---- Route: word-level gather plan. ----
+            for (w, word) in in_words.iter_mut().enumerate() {
+                *word = layout.gather(&out_words, w);
+            }
+
+            // ---- Receive: decode windows, compact the frontier. ----
+            let mut write = 0usize;
+            for read in 0..frontier.len() {
+                let vu = frontier[read];
+                let v = vu as usize;
+                let base = layout.offsets[v] as usize;
+                let d = (layout.offsets[v + 1] - layout.offsets[v]) as usize;
+                for (i, slot) in scratch[..d].iter_mut().enumerate() {
+                    let lane = base + i;
+                    let code =
+                        (in_words[layout.word_of(lane)] >> layout.bit_of(lane)) & layout.lane_mask;
+                    *slot = A::Message::decode(code, delta);
+                }
+                let state = states[v].as_mut().expect("frontier nodes are running");
+                match state.receive(rounds, &scratch[..d]) {
+                    Some(out) => {
+                        let old = layout.perm[v] as usize;
+                        outputs[old] = Some(out);
+                        halted_at[old] = rounds + 1;
+                        states[v] = None;
+                        // A halted node's lanes must read as "no
+                        // message" from now on.
+                        for lane in base..base + d {
+                            let w = layout.word_of(lane);
+                            out_words[w] &= !(layout.lane_mask << layout.bit_of(lane));
+                        }
+                    }
+                    None => {
+                        frontier[write] = vu;
+                        write += 1;
+                    }
+                }
+            }
+            frontier.truncate(write);
+            rounds += 1;
+            stats.rounds = rounds as u64;
+            stats.messages = messages as u64;
+        }
+
+        Ok(Run {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
+            rounds: halted_at.iter().copied().max().unwrap_or(0),
+            halted_at,
+            messages,
+            trace: None,
+        })
+    }
+
+    /// The chunked-parallel packed engine: the bridge driver sharded
+    /// over word-aligned node chunks on the PR-4 pool machinery
+    /// (epoch [`PoolBarrier`], three waits per round: send → route →
+    /// receive). Falls back to [`Simulator::run_parallel`] when the
+    /// eligibility rules fail and to the sequential packed engine for
+    /// `threads <= 1`. Bit-identical to every other engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_packed_parallel<F>(
+        &self,
+        factory: F,
+        threads: usize,
+    ) -> Result<Run<<F::Algorithm as NodeAlgorithm>::Output>, RuntimeError>
+    where
+        F: AlgorithmFactory,
+        F::Algorithm: Send,
+        <F::Algorithm as NodeAlgorithm>::Message: PackedMessage + Send,
+        <F::Algorithm as NodeAlgorithm>::Output: Send,
+    {
+        let g = self.graph();
+        let states: Vec<F::Algorithm> = g.nodes().map(|v| factory.create(g.degree(v))).collect();
+        if eligible_bits::<<F::Algorithm as NodeAlgorithm>::Message>(g, self.options().record_trace)
+            .is_none()
+        {
+            return self.run_parallel_states(states, threads);
+        }
+        if threads <= 1 || g.node_count() < 2 {
+            return self.run_packed_states(states);
+        }
+        self.run_packed_parallel_states(states, threads)
+    }
+
+    /// The per-node-inputs sibling of [`Simulator::run_packed_parallel`],
+    /// with the same fallbacks (generic parallel when ineligible,
+    /// sequential packed for one thread).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the node count.
+    pub fn run_packed_parallel_with_inputs<A, I>(
+        &self,
+        inputs: &[I],
+        factory: impl Fn(usize, &I) -> A,
+        threads: usize,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: PackedMessage + Send,
+        A::Output: Send,
+    {
+        let g = self.graph();
+        assert_eq!(inputs.len(), g.node_count(), "one input per node required");
+        let states: Vec<A> = g
+            .nodes()
+            .map(|v| factory(g.degree(v), &inputs[v.index()]))
+            .collect();
+        if eligible_bits::<A::Message>(g, self.options().record_trace).is_none() {
+            return self.run_parallel_states(states, threads);
+        }
+        if threads <= 1 || g.node_count() < 2 {
+            return self.run_packed_states(states);
+        }
+        self.run_packed_parallel_states(states, threads)
+    }
+
+    fn run_packed_parallel_states<A>(
+        &self,
+        states: Vec<A>,
+        threads: usize,
+    ) -> Result<Run<A::Output>, RuntimeError>
+    where
+        A: NodeAlgorithm + Send,
+        A::Message: PackedMessage,
+        A::Output: Send,
+    {
+        let g = self.graph();
+        let bits = eligible_bits::<A::Message>(g, self.options().record_trace)
+            .expect("caller checked eligibility");
+        let delta = g.max_degree();
+        let n = g.node_count();
+        let layout = &PackedLayout::new(g, bits, true);
+
+        // Word-aligned chunk boundaries in the permuted node order: a
+        // chunk owns whole arena words, so its send phase and halt
+        // zeroing never touch a word shared with a peer.
+        let mut bounds = vec![0usize];
+        for c in 1..threads {
+            let mut v = c * n / threads;
+            while v < n && !layout.offsets[v].is_multiple_of(layout.lpw) {
+                v += 1;
+            }
+            if v > *bounds.last().expect("nonempty") && v < n {
+                bounds.push(v);
+            }
+        }
+        bounds.push(n);
+        let workers = bounds.len() - 1;
+        if workers < 2 {
+            return self.run_packed_states(states);
+        }
+
+        // Permute states and split them into per-chunk vectors.
+        let mut pool: Vec<Option<A>> = states.into_iter().map(Some).collect();
+        let mut permuted: Vec<Option<A>> = layout
+            .perm
+            .iter()
+            .map(|&old| pool[old as usize].take())
+            .collect();
+        drop(pool);
+        let mut chunk_states: Vec<Vec<Option<A>>> = Vec::with_capacity(workers);
+        for w in (0..workers).rev() {
+            chunk_states.push(permuted.split_off(bounds[w]));
+        }
+        chunk_states.reverse();
+
+        let out: Vec<AtomicU64> = (0..layout.words).map(|_| AtomicU64::new(0)).collect();
+        let inb: Vec<AtomicU64> = (0..layout.words).map(|_| AtomicU64::new(0)).collect();
+        let barrier = PoolBarrier::new(workers);
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let chunk_running: Vec<AtomicUsize> = bounds
+            .windows(2)
+            .map(|w| AtomicUsize::new(w[1] - w[0]))
+            .collect();
+        // Word ranges for the route phase: chunk `w` rebuilds the dest
+        // words its own lanes live in (word-aligned by construction;
+        // the last chunk also owns the tail word).
+        let word_bounds: Vec<usize> = (0..=workers)
+            .map(|w| {
+                if w == workers {
+                    layout.words
+                } else {
+                    layout.offsets[bounds[w]] as usize / layout.lpw as usize
+                }
+            })
+            .collect();
+
+        let fail_with = |e: RuntimeError| {
+            let mut slot = error.lock().expect("packed error slot");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            failed.store(true, Ordering::Release);
+        };
+
+        struct ChunkOut<O> {
+            lo: usize,
+            outputs: Vec<Option<O>>,
+            halted_at: Vec<usize>,
+            messages: u64,
+        }
+
+        let max_rounds = self.options().max_rounds;
+        let cancel = self.cancel();
+        let worker_loop = |seat: usize,
+                           mut states: Vec<Option<A>>|
+         -> Option<ChunkOut<A::Output>> {
+            let _guard = PoisonOnPanic(&barrier);
+            let lo = bounds[seat];
+            let hi = bounds[seat + 1];
+            let mut outputs: Vec<Option<A::Output>> = (lo..hi).map(|_| None).collect();
+            let mut halted_at = vec![0usize; hi - lo];
+            let mut scratch: Vec<Option<A::Message>> = (0..delta).map(|_| None).collect();
+            let mut frontier: Vec<u32> = (lo as u32..hi as u32).collect();
+            let mut messages = 0u64;
+            let mut rounds = 0usize;
+            let mut total_running = n;
+            let mut stats = RunFlush::new(seat == 0);
+
+            loop {
+                if total_running == 0 {
+                    return Some(ChunkOut {
+                        lo,
+                        outputs,
+                        halted_at,
+                        messages,
+                    });
+                }
+                if rounds >= max_rounds {
+                    fail_with(RuntimeError::RoundLimitExceeded {
+                        limit: max_rounds,
+                        still_running: total_running,
+                    });
+                }
+                if seat == 0 {
+                    stats.frontier.observe(total_running as u64);
+                    if let Some(token) = cancel {
+                        if token.check() {
+                            fail_with(RuntimeError::Cancelled {
+                                after_rounds: rounds,
+                                still_running: total_running,
+                            });
+                        }
+                    }
+                }
+
+                // ---- Send into own (word-aligned) outbox range. ----
+                if !failed.load(Ordering::Acquire) {
+                    'send: for &vu in &frontier {
+                        let v = vu as usize;
+                        let base = layout.offsets[v] as usize;
+                        let d = (layout.offsets[v + 1] - layout.offsets[v]) as usize;
+                        let window = &mut scratch[..d];
+                        for slot in window.iter_mut() {
+                            *slot = None;
+                        }
+                        let state = states[v - lo].as_mut().expect("frontier nodes run");
+                        if let Err(wrong) = state.send_into(rounds, window) {
+                            fail_with(RuntimeError::WrongMessageCount {
+                                node: NodeId::new(layout.perm[v] as usize),
+                                got: wrong.got,
+                                expected: d,
+                            });
+                            break 'send;
+                        }
+                        for (i, slot) in window.iter_mut().enumerate() {
+                            let lane = base + i;
+                            let code = match slot.take() {
+                                Some(m) => {
+                                    messages += 1;
+                                    m.encode(delta)
+                                }
+                                None => 0,
+                            };
+                            let w = layout.word_of(lane);
+                            let bit = layout.bit_of(lane);
+                            let old = out[w].load(Ordering::Relaxed);
+                            out[w].store(
+                                (old & !(layout.lane_mask << bit)) | (code << bit),
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
+                stats.barrier_waits += 1;
+                if barrier.wait().is_err() || failed.load(Ordering::Acquire) {
+                    return None;
+                }
+
+                // ---- Route own destination-word range. ----
+                for (w, slot) in inb
+                    .iter()
+                    .enumerate()
+                    .take(word_bounds[seat + 1])
+                    .skip(word_bounds[seat])
+                {
+                    slot.store(layout.gather_atomic(&out, w), Ordering::Relaxed);
+                }
+                stats.barrier_waits += 1;
+                if barrier.wait().is_err() {
+                    return None;
+                }
+
+                // ---- Receive own chunk, compact own frontier. ----
+                let mut write = 0usize;
+                for read in 0..frontier.len() {
+                    let vu = frontier[read];
+                    let v = vu as usize;
+                    let base = layout.offsets[v] as usize;
+                    let d = (layout.offsets[v + 1] - layout.offsets[v]) as usize;
+                    for (i, slot) in scratch[..d].iter_mut().enumerate() {
+                        let lane = base + i;
+                        let code = (inb[layout.word_of(lane)].load(Ordering::Relaxed)
+                            >> layout.bit_of(lane))
+                            & layout.lane_mask;
+                        *slot = A::Message::decode(code, delta);
+                    }
+                    let state = states[v - lo].as_mut().expect("frontier nodes run");
+                    match state.receive(rounds, &scratch[..d]) {
+                        Some(outv) => {
+                            outputs[v - lo] = Some(outv);
+                            halted_at[v - lo] = rounds + 1;
+                            states[v - lo] = None;
+                            for lane in base..base + d {
+                                let w = layout.word_of(lane);
+                                let bit = layout.bit_of(lane);
+                                let old = out[w].load(Ordering::Relaxed);
+                                out[w].store(old & !(layout.lane_mask << bit), Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            frontier[write] = vu;
+                            write += 1;
+                        }
+                    }
+                }
+                frontier.truncate(write);
+                chunk_running[seat].store(frontier.len(), Ordering::Relaxed);
+                stats.barrier_waits += 1;
+                if barrier.wait().is_err() {
+                    return None;
+                }
+                total_running = chunk_running
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum();
+                rounds += 1;
+                if seat == 0 {
+                    stats.rounds = rounds as u64;
+                    stats.messages = messages;
+                }
+            }
+        };
+
+        let results: Vec<Option<ChunkOut<A::Output>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers - 1);
+            let mut iter = chunk_states.into_iter();
+            let first = iter.next().expect("at least two chunks");
+            for (seat, chunk) in iter.enumerate() {
+                let worker_loop = &worker_loop;
+                handles.push(scope.spawn(move || worker_loop(seat + 1, chunk)));
+            }
+            let mut results = vec![worker_loop(0, first)];
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+            results
+        });
+
+        if failed.load(Ordering::Acquire) || results.iter().any(Option::is_none) {
+            return Err(error
+                .lock()
+                .expect("packed error slot")
+                .take()
+                .expect("failure recorded an error"));
+        }
+
+        let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+        let mut halted_at = vec![0usize; n];
+        let mut messages = 0usize;
+        for chunk in results.into_iter().flatten() {
+            messages += chunk.messages as usize;
+            for (off, (out_v, halt)) in chunk.outputs.into_iter().zip(chunk.halted_at).enumerate() {
+                let old = layout.perm[chunk.lo + off] as usize;
+                outputs[old] = out_v;
+                halted_at[old] = halt;
+            }
+        }
+        Ok(Run {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("all nodes halted"))
+                .collect(),
+            rounds: halted_at.iter().copied().max().unwrap_or(0),
+            halted_at,
+            messages,
+            trace: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Native word kernels: whole-word SWAR execution for regular graphs.
+// ---------------------------------------------------------------------
+
+/// A program advanced entirely in packed word arithmetic: per-node state
+/// is one nonzero `b`-bit **token**, broadcast on every port each round
+/// and folded with a lane-local combine; every node halts at a fixed
+/// horizon. This is the tier that moves 8–64 node-ports per operation
+/// (see the module docs) — gossip/flooding-style aggregations such as
+/// the OR-reachability benchmark kernel.
+///
+/// # Contract
+///
+/// * [`WordKernel::lane_bits`] is a power of two `<= 64`; tokens and all
+///   [`WordKernel::combine`] results fit in `b` bits and stay **nonzero**
+///   (`0` still means *no message* in the arenas).
+/// * `combine` is applied to whole 64-bit words and must be
+///   **lane-local** (bit lane `i` of the result depends only on bit lane
+///   `i` of the operands — bitwise ops like OR/AND qualify),
+///   **associative** and **commutative** (the word path folds port
+///   windows as a shift tree, the scalar twin folds them left to right),
+///   with `combine(0, 0) == 0` (tail lanes must stay empty).
+/// * [`WordKernel::horizon`] is the fixed halting round, `>= 1`.
+pub trait WordKernel {
+    /// Token width in bits: a power of two, at most 64.
+    fn lane_bits(&self) -> u32;
+    /// Number of rounds every node runs before halting (`>= 1`).
+    fn horizon(&self) -> usize;
+    /// The initial (nonzero) token of node `v`.
+    fn init(&self, v: usize) -> u64;
+    /// Lane-local associative commutative fold of two token words.
+    fn combine(&self, acc: u64, incoming: u64) -> u64;
+}
+
+#[inline]
+fn ones_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Replicates the `period`-bit value `v` across all 64 bits
+/// (`period` must divide 64, `v < 2^period`).
+#[inline]
+fn repeat_mask(v: u64, period: u32) -> u64 {
+    if period == 64 {
+        v
+    } else {
+        v.wrapping_mul(u64::MAX / ((1u64 << period) - 1))
+    }
+}
+
+/// Folds every `w_bits`-wide window of `x` (holding `w_bits / b` lanes)
+/// into the window's low `b` bits via a shift tree of `combine`s; all
+/// other bits are cleared. Requires `b | w_bits | 64`, powers of two.
+#[cfg(test)]
+fn fold_windows<K: WordKernel + ?Sized>(kernel: &K, mut x: u64, w_bits: u32, b: u32) -> u64 {
+    let mut s = b;
+    while s < w_bits {
+        x = kernel.combine(x, x >> s);
+        s <<= 1;
+    }
+    x & repeat_mask(ones_mask(b), w_bits)
+}
+
+/// Gathers the low `b` bits of each `w_bits`-wide window into
+/// consecutive `b`-bit lanes at the bottom of the word: the output's low
+/// `(64 / w_bits) * b` bits are the window values in order, the rest
+/// zero. Precondition: every window holds only its low `b` bits.
+#[cfg(test)]
+fn compact_windows(mut x: u64, w_bits: u32, b: u32) -> u64 {
+    let mut valid = b;
+    let mut stride = w_bits;
+    while stride < 64 {
+        x |= x >> (stride - valid);
+        stride <<= 1;
+        valid <<= 1;
+        x &= repeat_mask(ones_mask(valid), stride);
+    }
+    x
+}
+
+/// The inverse of [`compact_windows`]: spreads the low
+/// `(64 / w_bits) * b` bits of `x` (consecutive `b`-bit lanes) into the
+/// low `b` bits of consecutive `w_bits`-wide windows.
+#[cfg(test)]
+fn spread_windows(mut x: u64, w_bits: u32, b: u32) -> u64 {
+    // Replay the compaction ladder in reverse: the step that merged
+    // `stride`-blocks (low `valid` bits live) into `2*stride`-blocks is
+    // undone by splitting each `2*stride`-block back into halves.
+    let steps = (64 / w_bits).trailing_zeros();
+    for i in (0..steps).rev() {
+        let stride = w_bits << i;
+        let valid = b << i;
+        let low = x & repeat_mask(ones_mask(valid), stride << 1);
+        let high = x & repeat_mask(ones_mask(valid) << valid, stride << 1);
+        x = low | (high << (stride - valid));
+    }
+    x & repeat_mask(ones_mask(b), w_bits)
+}
+
+impl<'g> Simulator<'g> {
+    /// Runs a [`WordKernel`] on a **regular** graph through the native
+    /// packed engine: `horizon` rounds of broadcast-and-fold executed as
+    /// word operations (SWAR spread/fold ladders when the window width
+    /// `d * b` is a power of two, a per-lane loop otherwise), returning
+    /// a [`Run`] with the final token of each node as its output. The
+    /// scalar twin on the generic engine is [`kernel_reference_run`];
+    /// the two are bit-identical by the [`WordKernel`] contract.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::RoundLimitExceeded`] when the horizon exceeds
+    ///   [`RunOptions::max_rounds`](crate::RunOptions::max_rounds);
+    /// * [`RuntimeError::Cancelled`] if a cancel token fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph is not regular, when the kernel violates
+    /// its width contract (`b` not a power of two, `d * b > 64`), or
+    /// when `horizon() == 0`.
+    pub fn run_packed_kernel<K: WordKernel + ?Sized>(
+        &self,
+        kernel: &K,
+    ) -> Result<Run<u64>, RuntimeError> {
+        let g = self.graph();
+        let n = g.node_count();
+        if n == 0 {
+            return Ok(Run {
+                outputs: Vec::new(),
+                halted_at: Vec::new(),
+                rounds: 0,
+                messages: 0,
+                trace: None,
+            });
+        }
+        let d = g
+            .regular_degree()
+            .expect("run_packed_kernel requires a regular graph");
+        let b = kernel.lane_bits();
+        assert!(
+            b.is_power_of_two() && b <= 64,
+            "WordKernel lane width must be a power of two <= 64"
+        );
+        let horizon = kernel.horizon();
+        assert!(horizon >= 1, "WordKernel horizon must be at least 1");
+        let w_bits = u32::try_from(d).ok().and_then(|d| d.checked_mul(b));
+        let w_bits = w_bits
+            .filter(|&w| w <= 64)
+            .expect("WordKernel window (degree * lane bits) must fit one machine word");
+
+        let mut stats = RunFlush::new(true);
+        let max_rounds = self.options().max_rounds;
+        let port_count = g.port_count();
+        let layout = PackedLayout::new(g, b, false);
+        let mut out_words = vec![0u64; layout.words];
+        let mut in_words = vec![0u64; layout.words];
+        let lane_mask = layout.lane_mask;
+
+        let check_round = |r: usize, stats: &mut RunFlush| -> Result<(), RuntimeError> {
+            if r >= max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    still_running: n,
+                });
+            }
+            if let Some(cancel) = self.cancel() {
+                if cancel.check() {
+                    return Err(RuntimeError::Cancelled {
+                        after_rounds: r,
+                        still_running: n,
+                    });
+                }
+            }
+            stats.frontier.observe(n as u64);
+            Ok(())
+        };
+
+        let outputs: Vec<u64> = if d > 0 && w_bits.is_power_of_two() {
+            // SWAR path: `w_bits | 64`, so node windows never straddle
+            // words and each out word holds `64 / w_bits` whole windows.
+            // The shift/mask ladders of the spread/fold/compact steps
+            // depend only on `(w_bits, b)`, so they are materialised
+            // once here — `repeat_mask` hides a 64-bit hardware division
+            // that must not run per word per round.
+            let tpw = (64 / b) as usize; // tokens per token word
+            let sub_bits = (64 / d) as u32; // token bits feeding one out word
+            let sub_mask = ones_mask(sub_bits);
+            let mut mult = 0u64; // broadcast multiplier: token -> window
+            for j in 0..d as u32 {
+                mult |= 1u64 << (j * b);
+            }
+            // Spread ladder: replay of the compaction ladder in reverse,
+            // as (low_mask, high_mask, shift) triples, final mask last.
+            let spread_steps: Vec<(u64, u64, u32)> = (0..(64 / w_bits).trailing_zeros())
+                .rev()
+                .map(|i| {
+                    let stride = w_bits << i;
+                    let valid = b << i;
+                    let low = repeat_mask(ones_mask(valid), stride << 1);
+                    let high = repeat_mask(ones_mask(valid) << valid, stride << 1);
+                    (low, high, stride - valid)
+                })
+                .collect();
+            let window_mask = repeat_mask(ones_mask(b), w_bits);
+            // Fold ladder: combine shifts b, 2b, ... below w_bits.
+            let fold_steps: Vec<u32> = std::iter::successors(Some(b), |s| Some(s << 1))
+                .take_while(|&s| s < w_bits)
+                .collect();
+            // Compact ladder: (shift, mask) pairs doubling the stride.
+            let compact_steps: Vec<(u32, u64)> =
+                std::iter::successors(Some((w_bits, b)), |&(stride, valid)| {
+                    Some((stride << 1, valid << 1))
+                })
+                .take_while(|&(stride, _)| stride < 64)
+                .map(|(stride, valid)| {
+                    (
+                        stride - valid,
+                        repeat_mask(ones_mask(valid << 1), stride << 1),
+                    )
+                })
+                .collect();
+            let spread = |mut x: u64| {
+                for &(low, high, shift) in &spread_steps {
+                    x = (x & low) | ((x & high) << shift);
+                }
+                x & window_mask
+            };
+            let mut tokens = vec![0u64; n.div_ceil(tpw)];
+            for v in 0..n {
+                let t = kernel.init(v);
+                debug_assert!(t != 0 && t <= lane_mask, "init token out of range");
+                tokens[v / tpw] |= t << ((v % tpw) as u32 * b);
+            }
+            for r in 0..horizon {
+                check_round(r, &mut stats)?;
+                for (tw, &token) in tokens.iter().enumerate() {
+                    for k in 0..d {
+                        let w = tw * d + k;
+                        if w >= layout.words {
+                            break;
+                        }
+                        let sub = (token >> (k as u32 * sub_bits)) & sub_mask;
+                        out_words[w] = spread(sub).wrapping_mul(mult);
+                    }
+                }
+                for (w, word) in in_words.iter_mut().enumerate() {
+                    *word = layout.gather(&out_words, w);
+                }
+                for (tw, token) in tokens.iter_mut().enumerate() {
+                    let mut packed = 0u64;
+                    for k in 0..d {
+                        let w = tw * d + k;
+                        if w >= layout.words {
+                            break;
+                        }
+                        let mut x = in_words[w];
+                        for &s in &fold_steps {
+                            x = kernel.combine(x, x >> s);
+                        }
+                        x &= window_mask;
+                        for &(shift, mask) in &compact_steps {
+                            x |= x >> shift;
+                            x &= mask;
+                        }
+                        packed |= x << (k as u32 * sub_bits);
+                    }
+                    *token = kernel.combine(*token, packed);
+                }
+                stats.rounds = (r + 1) as u64;
+                stats.messages = ((r + 1) * port_count) as u64;
+            }
+            (0..n)
+                .map(|v| (tokens[v / tpw] >> ((v % tpw) as u32 * b)) & lane_mask)
+                .collect()
+        } else {
+            // Per-lane path: windows may straddle words (non-power-of-two
+            // window widths, e.g. cubic graphs) but individual lanes
+            // never do, so tokens move one lane at a time.
+            let mut tokens: Vec<u64> = (0..n)
+                .map(|v| {
+                    let t = kernel.init(v);
+                    debug_assert!(t != 0 && t <= lane_mask, "init token out of range");
+                    t
+                })
+                .collect();
+            for r in 0..horizon {
+                check_round(r, &mut stats)?;
+                for (v, &t) in tokens.iter().enumerate() {
+                    for lane in layout.offsets[v] as usize..layout.offsets[v + 1] as usize {
+                        let w = layout.word_of(lane);
+                        let bit = layout.bit_of(lane);
+                        out_words[w] = (out_words[w] & !(lane_mask << bit)) | (t << bit);
+                    }
+                }
+                for (w, word) in in_words.iter_mut().enumerate() {
+                    *word = layout.gather(&out_words, w);
+                }
+                for (v, token) in tokens.iter_mut().enumerate() {
+                    let mut acc = *token;
+                    for lane in layout.offsets[v] as usize..layout.offsets[v + 1] as usize {
+                        let code =
+                            (in_words[layout.word_of(lane)] >> layout.bit_of(lane)) & lane_mask;
+                        acc = kernel.combine(acc, code);
+                    }
+                    *token = acc;
+                }
+                stats.rounds = (r + 1) as u64;
+                stats.messages = ((r + 1) * port_count) as u64;
+            }
+            tokens
+        };
+
+        Ok(Run {
+            outputs,
+            halted_at: vec![horizon; n],
+            rounds: horizon,
+            messages: horizon * port_count,
+            trace: None,
+        })
+    }
+}
+
+/// The scalar twin of a [`WordKernel`]: a [`NodeAlgorithm`] holding one
+/// token, broadcasting it on every port and folding incoming codes left
+/// to right — the generic engine runs it as the conformance oracle for
+/// [`Simulator::run_packed_kernel`] (see [`kernel_reference_run`]).
+pub struct KernelNode<'k, K: WordKernel + ?Sized> {
+    kernel: &'k K,
+    token: u64,
+    remaining: usize,
+    degree: usize,
+}
+
+impl<'k, K: WordKernel + ?Sized> NodeAlgorithm for KernelNode<'k, K> {
+    type Message = u64;
+    type Output = u64;
+
+    fn send(&mut self, _round: usize) -> Vec<u64> {
+        vec![self.token; self.degree]
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<u64>]) -> Option<u64> {
+        for m in inbox.iter().flatten() {
+            self.token = self.kernel.combine(self.token, *m);
+        }
+        self.remaining -= 1;
+        (self.remaining == 0).then_some(self.token)
+    }
+}
+
+/// Runs `kernel`'s scalar twin ([`KernelNode`]) through the generic
+/// engine of `sim` — the reference a [`Simulator::run_packed_kernel`]
+/// result must be bit-identical to (outputs, `halted_at`, rounds and
+/// message totals alike).
+///
+/// # Errors
+///
+/// Same as [`Simulator::run`].
+pub fn kernel_reference_run<K: WordKernel + ?Sized>(
+    sim: &Simulator<'_>,
+    kernel: &K,
+) -> Result<Run<u64>, RuntimeError> {
+    let g = sim.graph();
+    let inputs: Vec<u64> = (0..g.node_count()).map(|v| kernel.init(v)).collect();
+    sim.run_with_inputs(&inputs, |degree, &token| KernelNode {
+        kernel,
+        token,
+        remaining: kernel.horizon(),
+        degree,
+    })
+}
+
+/// The benchmark kernel: 4-bit OR-gossip. Tokens are nonzero nibbles
+/// seeded from the node index; each round every node ORs in its
+/// neighbours' tokens — after `horizon` rounds a node's output is the
+/// OR of all tokens within distance `horizon`.
+#[derive(Clone, Copy, Debug)]
+pub struct OrGossipKernel {
+    /// Fixed halting round.
+    pub rounds: usize,
+}
+
+impl WordKernel for OrGossipKernel {
+    fn lane_bits(&self) -> u32 {
+        4
+    }
+
+    fn horizon(&self) -> usize {
+        self.rounds
+    }
+
+    fn init(&self, v: usize) -> u64 {
+        (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % 15 + 1
+    }
+
+    fn combine(&self, acc: u64, incoming: u64) -> u64 {
+        acc | incoming
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pn_graph::{generators, ports};
+
+    #[test]
+    fn lane_width_rounds_to_power_of_two() {
+        assert_eq!(lane_width_for(1), Some(1));
+        assert_eq!(lane_width_for(2), Some(2));
+        assert_eq!(lane_width_for(3), Some(2));
+        assert_eq!(lane_width_for(4), Some(4));
+        assert_eq!(lane_width_for(15), Some(4));
+        assert_eq!(lane_width_for(16), Some(8));
+        assert_eq!(lane_width_for(255), Some(8));
+        assert_eq!(lane_width_for(256), Some(16));
+        assert_eq!(lane_width_for(u64::MAX), Some(64));
+    }
+
+    #[test]
+    fn bool_codec_round_trips() {
+        for m in [false, true] {
+            let code = m.encode(7);
+            assert_ne!(code, 0);
+            assert_eq!(<bool as PackedMessage>::decode(code, 7), Some(m));
+        }
+        assert_eq!(<bool as PackedMessage>::decode(0, 7), None);
+    }
+
+    #[test]
+    fn repeat_mask_replicates_periods() {
+        assert_eq!(repeat_mask(0xF, 8), 0x0F0F_0F0F_0F0F_0F0F);
+        assert_eq!(repeat_mask(1, 4), 0x1111_1111_1111_1111);
+        assert_eq!(repeat_mask(0xAB, 64), 0xAB);
+    }
+
+    #[test]
+    fn spread_is_inverse_of_compact() {
+        struct Or;
+        impl WordKernel for Or {
+            fn lane_bits(&self) -> u32 {
+                4
+            }
+            fn horizon(&self) -> usize {
+                1
+            }
+            fn init(&self, _v: usize) -> u64 {
+                1
+            }
+            fn combine(&self, a: u64, b: u64) -> u64 {
+                a | b
+            }
+        }
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for (w_bits, b) in [(8u32, 4u32), (16, 4), (16, 8), (32, 4), (64, 4), (8, 8)] {
+            let tokens_bits = 64 / w_bits * b;
+            x = x.rotate_left(11);
+            let low = x & ones_mask(tokens_bits);
+            let spread = spread_windows(low, w_bits, b);
+            // Every window holds only its low b bits.
+            assert_eq!(spread & !repeat_mask(ones_mask(b), w_bits), 0);
+            assert_eq!(compact_windows(spread, w_bits, b), low, "w={w_bits} b={b}");
+            // Folding a spread word (one lane live per window) is the
+            // identity on the window values.
+            assert_eq!(fold_windows(&Or, spread, w_bits, b), spread);
+        }
+    }
+
+    #[test]
+    fn fold_ors_all_lanes_of_each_window() {
+        struct Or;
+        impl WordKernel for Or {
+            fn lane_bits(&self) -> u32 {
+                4
+            }
+            fn horizon(&self) -> usize {
+                1
+            }
+            fn init(&self, _v: usize) -> u64 {
+                1
+            }
+            fn combine(&self, a: u64, b: u64) -> u64 {
+                a | b
+            }
+        }
+        // Two 8-bit windows per 16 bits: lanes {1,2} fold to 3, {4,8} to C.
+        let x = 0x2184_2184_2184_2184u64; // windows: 21, 84 repeated
+        let folded = fold_windows(&Or, x, 8, 4);
+        assert_eq!(folded, 0x030C_030C_030C_030C & repeat_mask(0xF, 8));
+    }
+
+    #[test]
+    fn packed_bridge_matches_generic_on_small_graphs() {
+        struct Parity {
+            degree: usize,
+            flag: bool,
+            left: usize,
+        }
+        impl NodeAlgorithm for Parity {
+            type Message = bool;
+            type Output = bool;
+            fn send(&mut self, _r: usize) -> Vec<bool> {
+                vec![self.flag; self.degree]
+            }
+            fn receive(&mut self, _r: usize, inbox: &[Option<bool>]) -> Option<bool> {
+                for m in inbox.iter().flatten() {
+                    self.flag ^= m;
+                }
+                self.left -= 1;
+                (self.left == 0).then_some(self.flag)
+            }
+        }
+        for g in [
+            ports::canonical_ports(&generators::cycle(17).unwrap()).unwrap(),
+            ports::shuffled_ports(&generators::petersen(), 5).unwrap(),
+            ports::canonical_ports(&generators::path(9).unwrap()).unwrap(),
+        ] {
+            let sim = Simulator::new(&g);
+            let factory = |d: usize| Parity {
+                degree: d,
+                flag: d % 2 == 1,
+                left: 1 + d % 3,
+            };
+            let generic = sim.run(factory).unwrap();
+            let packed = sim.run_packed(factory).unwrap();
+            assert!(sim.packed_eligible::<bool>());
+            assert_eq!(generic.outputs, packed.outputs);
+            assert_eq!(generic.halted_at, packed.halted_at);
+            assert_eq!(generic.rounds, packed.rounds);
+            assert_eq!(generic.messages, packed.messages);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_twin_on_both_paths() {
+        // d = 2 (SWAR, window 8) and d = 3 (per-lane, window 12).
+        let kernel = OrGossipKernel { rounds: 5 };
+        for g in [
+            ports::canonical_ports(&generators::cycle(67).unwrap()).unwrap(),
+            ports::shuffled_ports(&generators::petersen(), 3).unwrap(),
+        ] {
+            let sim = Simulator::new(&g);
+            let fast = sim.run_packed_kernel(&kernel).unwrap();
+            let slow = kernel_reference_run(&sim, &kernel).unwrap();
+            assert_eq!(fast.outputs, slow.outputs);
+            assert_eq!(fast.halted_at, slow.halted_at);
+            assert_eq!(fast.rounds, slow.rounds);
+            assert_eq!(fast.messages, slow.messages);
+        }
+    }
+
+    #[test]
+    fn kernel_respects_round_limit_and_cancellation() {
+        let g = ports::canonical_ports(&generators::cycle(8).unwrap()).unwrap();
+        let kernel = OrGossipKernel { rounds: 10 };
+        let sim = Simulator::with_options(
+            &g,
+            crate::RunOptions {
+                max_rounds: 3,
+                ..Default::default()
+            },
+        );
+        let err = sim.run_packed_kernel(&kernel).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::RoundLimitExceeded {
+                limit: 3,
+                still_running: 8
+            }
+        ));
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let sim = Simulator::new(&g).cancel_token(token);
+        let err = sim.run_packed_kernel(&kernel).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Cancelled {
+                after_rounds: 0,
+                ..
+            }
+        ));
+    }
+}

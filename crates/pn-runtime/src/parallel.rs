@@ -83,7 +83,7 @@ use crate::{CancelToken, RuntimeError};
 /// panics inside a user algorithm, its drop guard poisons the barrier
 /// and every peer unblocks with an error instead of deadlocking on a
 /// rendezvous that can never complete.
-struct PoolBarrier {
+pub(crate) struct PoolBarrier {
     size: usize,
     /// Spin iterations before yielding/blocking: zero on a single-CPU
     /// host, where spinning only steals the releaser's timeslice.
@@ -96,10 +96,10 @@ struct PoolBarrier {
 }
 
 /// Returned by [`PoolBarrier::wait`] when a peer worker panicked.
-struct BarrierPoisoned;
+pub(crate) struct BarrierPoisoned;
 
 impl PoolBarrier {
-    fn new(size: usize) -> Self {
+    pub(crate) fn new(size: usize) -> Self {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         PoolBarrier {
             size,
@@ -115,7 +115,7 @@ impl PoolBarrier {
     /// Blocks until all `size` workers have arrived (or the barrier is
     /// poisoned). The last arriver resets the count *before* bumping the
     /// epoch, so the barrier is immediately reusable.
-    fn wait(&self) -> Result<(), BarrierPoisoned> {
+    pub(crate) fn wait(&self) -> Result<(), BarrierPoisoned> {
         let epoch = self.epoch.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
             self.arrived.store(0, Ordering::Relaxed);
@@ -161,7 +161,7 @@ impl PoolBarrier {
 
     /// Marks the barrier unusable and wakes every sleeper. Called from a
     /// panicking worker's drop guard.
-    fn poison(&self) {
+    pub(crate) fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
         drop(self.lock.lock().expect("pool barrier lock"));
         self.cv.notify_all();
@@ -171,7 +171,7 @@ impl PoolBarrier {
 /// Poisons the barrier if dropped during a panic, so peer workers
 /// unblock instead of deadlocking; the panic itself propagates through
 /// the scope join.
-struct PoisonOnPanic<'a>(&'a PoolBarrier);
+pub(crate) struct PoisonOnPanic<'a>(pub(crate) &'a PoolBarrier);
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {

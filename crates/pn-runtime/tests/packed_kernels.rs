@@ -1,0 +1,293 @@
+//! Property tests for the bit-packed execution tier: the packed bridge
+//! ([`Simulator::run_packed`], sequential and chunked-parallel) and the
+//! native word kernels ([`Simulator::run_packed_kernel`]) must be
+//! **bit-identical** to the generic engine on every graph the
+//! eligibility rules admit.
+//!
+//! The inputs cover the packed layout's awkward corners: random
+//! bounded-degree graphs under shuffled port numberings, staggered
+//! halting (the frontier compacts while word lanes of halted nodes go
+//! quiet), node counts that are not multiples of the 64-bit word
+//! capacity (partial tail words), degree-0 nodes (empty lane windows),
+//! and half-loop multigraphs (lanes routed back to their own word).
+//! Because every node's output hashes its full inbox history — port by
+//! port, `None`s included — a single mis-gathered lane anywhere in the
+//! run changes the asserted `Run`.
+
+use pn_graph::{generators, ports, Endpoint, PnGraphBuilder, Port, PortNumberedGraph};
+use pn_runtime::{
+    collect_send, kernel_reference_run, lane_width_for, NodeAlgorithm, OrGossipKernel,
+    PackedMessage, Run, Simulator, WrongCount,
+};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A three-code message alphabet (2 coding bits rounded up to a 4-bit
+/// lane): wide enough to catch lane-extraction bugs a bool would mask,
+/// small enough to pack on every bounded-degree graph below.
+#[derive(Clone, Debug, PartialEq)]
+enum Tri {
+    A,
+    B(bool),
+}
+
+impl PackedMessage for Tri {
+    fn lane_bits(_max_degree: usize) -> Option<u32> {
+        lane_width_for(3)
+    }
+
+    fn encode(&self, _max_degree: usize) -> u64 {
+        match self {
+            Tri::A => 1,
+            Tri::B(false) => 2,
+            Tri::B(true) => 3,
+        }
+    }
+
+    fn decode(code: u64, _max_degree: usize) -> Option<Self> {
+        match code {
+            1 => Some(Tri::A),
+            2 => Some(Tri::B(false)),
+            3 => Some(Tri::B(true)),
+            _ => None,
+        }
+    }
+}
+
+/// The workhorse protocol: sends a per-port [`Tri`] derived from an
+/// accumulator, hashes every received `(port, Option<Tri>)` pair into
+/// the accumulator — so the output pins the whole route history — and
+/// halts after `degree + 2` rounds: halting staggers by degree and the
+/// frontier compacts while high-degree nodes keep observing the `None`s
+/// of silent neighbours.
+#[derive(Clone)]
+struct StaggerTri {
+    degree: usize,
+    acc: u64,
+    round_count: usize,
+}
+
+impl StaggerTri {
+    fn new(degree: usize) -> Self {
+        StaggerTri {
+            degree,
+            acc: (degree as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            round_count: 0,
+        }
+    }
+}
+
+impl NodeAlgorithm for StaggerTri {
+    type Message = Tri;
+    type Output = u64;
+
+    fn send(&mut self, round: usize) -> Vec<Tri> {
+        collect_send(self, round, self.degree)
+    }
+
+    fn send_into(&mut self, _round: usize, outbox: &mut [Option<Tri>]) -> Result<(), WrongCount> {
+        for (q, slot) in outbox.iter_mut().enumerate() {
+            *slot = Some(match (self.acc >> (q % 60)) & 3 {
+                0 => Tri::A,
+                1 => Tri::B(false),
+                _ => Tri::B(true),
+            });
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self, _round: usize, inbox: &[Option<Tri>]) -> Option<u64> {
+        for (q, m) in inbox.iter().enumerate() {
+            let code = match m {
+                None => 0u64,
+                Some(t) => t.encode(self.degree),
+            };
+            self.acc = self
+                .acc
+                .rotate_left(7)
+                .wrapping_mul(31)
+                .wrapping_add(code ^ (q as u64) << 8);
+        }
+        self.round_count += 1;
+        (self.round_count > self.degree + 1).then_some(self.acc)
+    }
+}
+
+fn assert_identical<O: PartialEq + std::fmt::Debug>(a: &Run<O>, b: &Run<O>, what: &str) {
+    assert_eq!(a.outputs, b.outputs, "{what}: outputs differ");
+    assert_eq!(a.halted_at, b.halted_at, "{what}: halted_at differs");
+    assert_eq!(a.rounds, b.rounds, "{what}: rounds differ");
+    assert_eq!(a.messages, b.messages, "{what}: messages differ");
+}
+
+/// Generic engine vs packed bridge (sequential and chunked-parallel).
+fn check_bridge(pg: &PortNumberedGraph) {
+    let sim = Simulator::new(pg);
+    assert!(sim.packed_eligible::<Tri>(), "Tri packs on bounded degree");
+    let generic = sim.run(StaggerTri::new).unwrap();
+    let packed = sim.run_packed(StaggerTri::new).unwrap();
+    assert_identical(&generic, &packed, "generic vs packed bridge");
+    for threads in [2usize, 5] {
+        let par = sim.run_packed_parallel(StaggerTri::new, threads).unwrap();
+        assert_identical(
+            &generic,
+            &par,
+            &format!("generic vs packed parallel({threads})"),
+        );
+    }
+}
+
+/// Word kernel vs its scalar twin on the generic engine.
+fn check_kernel(pg: &PortNumberedGraph, rounds: usize) {
+    let sim = Simulator::new(pg);
+    let kernel = OrGossipKernel { rounds };
+    let fast = sim.run_packed_kernel(&kernel).unwrap();
+    let slow = kernel_reference_run(&sim, &kernel).unwrap();
+    assert_identical(&fast, &slow, "word kernel vs scalar twin");
+}
+
+/// A seeded bounded-degree multigraph with half-loops: random stubs
+/// paired up, a seed-dependent share turned into fixed points of the
+/// involution (messages routed straight back into the sender's word).
+fn loopy_multigraph(n: usize, seed: u64) -> PortNumberedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = PnGraphBuilder::new();
+    let mut stubs: Vec<Endpoint> = Vec::new();
+    for _ in 0..n {
+        let d = rng.gen_range(1usize..=4);
+        let node = b.add_node(d);
+        for p in 0..d {
+            stubs.push(Endpoint::new(node, Port::from_index(p)));
+        }
+    }
+    stubs.shuffle(&mut rng);
+    while stubs.len() >= 2 {
+        let a = stubs.pop().unwrap();
+        if rng.gen_bool(0.2) {
+            b.fix_point(a).unwrap();
+            continue;
+        }
+        let c = stubs.pop().unwrap();
+        b.connect(a, c).unwrap();
+    }
+    if let Some(last) = stubs.pop() {
+        b.fix_point(last).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random bounded-degree simple graphs, shuffled ports, node counts
+    /// straddling the 64-bit word capacity (partial tail words at
+    /// `n % 64 != 0` and `port_count % 16 != 0`).
+    #[test]
+    fn bridge_matches_generic_on_gnp(n in 50usize..130, p in 0.02f64..0.12, gseed in 0u64..500, pseed in 0u64..500) {
+        let g = generators::gnp(n, p, gseed).unwrap();
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        check_bridge(&pg);
+    }
+
+    /// Half-loop multigraphs: lanes gathered from the sender's own
+    /// word, plus parallel edges and link-loops.
+    #[test]
+    fn bridge_matches_generic_on_loopy_multigraphs(n in 1usize..90, seed in 0u64..10_000) {
+        let pg = loopy_multigraph(n, seed);
+        check_bridge(&pg);
+    }
+
+    /// Word kernels on random regular graphs: even degrees take the
+    /// SWAR ladder path (power-of-two windows), odd degrees the
+    /// per-lane path — both against the scalar twin.
+    #[test]
+    fn kernel_matches_scalar_twin_on_regular(n0 in 60usize..130, d in 2usize..5, gseed in 0u64..500, pseed in 0u64..500, rounds in 1usize..6) {
+        let n = if (n0 * d) % 2 == 1 { n0 + 1 } else { n0 };
+        let g = generators::random_regular(n, d, gseed).unwrap();
+        let pg = ports::shuffled_ports(&g, pseed).unwrap();
+        check_kernel(&pg, rounds);
+    }
+}
+
+#[test]
+fn bridge_handles_degree_zero_nodes() {
+    // Isolated nodes have empty lane windows in the packed layout; they
+    // must still run their receive schedule and halt on time, in the
+    // middle of a word and at the tail.
+    let mut g = pn_graph::SimpleGraph::new(7);
+    g.add_edge_ids(0, 1).unwrap();
+    g.add_edge_ids(1, 2).unwrap();
+    g.add_edge_ids(2, 0).unwrap();
+    g.add_edge_ids(4, 5).unwrap();
+    let pg = ports::canonical_ports(&g).unwrap();
+    check_bridge(&pg);
+    let run = Simulator::new(&pg).run_packed(StaggerTri::new).unwrap();
+    // StaggerTri halts after degree + 2 rounds: isolated nodes after 2.
+    assert_eq!(run.halted_at[3], 2);
+    assert_eq!(run.halted_at[6], 2);
+}
+
+#[test]
+fn bridge_handles_all_nodes_in_one_partial_word() {
+    // n = 3 with 4-bit lanes: the entire graph lives in a fraction of
+    // one word on both arenas.
+    let pg = ports::canonical_ports(&generators::path(3).unwrap()).unwrap();
+    check_bridge(&pg);
+}
+
+#[test]
+fn kernel_handles_edgeless_regular_graphs() {
+    // Degree 0 is regular: no lanes, no messages, outputs are the init
+    // tokens and every node halts at the horizon.
+    let pg = ports::canonical_ports(&pn_graph::SimpleGraph::new(5)).unwrap();
+    let sim = Simulator::new(&pg);
+    let kernel = OrGossipKernel { rounds: 3 };
+    let fast = sim.run_packed_kernel(&kernel).unwrap();
+    let slow = kernel_reference_run(&sim, &kernel).unwrap();
+    assert_identical(&fast, &slow, "edgeless kernel vs twin");
+    assert_eq!(fast.messages, 0);
+    assert_eq!(fast.rounds, 3);
+}
+
+#[test]
+fn kernel_handles_odd_tail_cycles() {
+    // 257 = 4 * 64 + 1: one token in the fifth word; 67 exercises the
+    // d = 2 SWAR path with a ragged final out word.
+    for n in [67usize, 257] {
+        let pg = ports::canonical_ports(&generators::cycle(n).unwrap()).unwrap();
+        check_kernel(&pg, 5);
+    }
+}
+
+#[test]
+fn kernel_handles_half_loop_multigraphs() {
+    // A 2-regular multigraph where some nodes are their own neighbour
+    // through half-loops: build n nodes of degree 2, wire a seeded mix
+    // of half-loops and a chain.
+    let mut b = PnGraphBuilder::new();
+    let mut stubs: Vec<Endpoint> = Vec::new();
+    for _ in 0..70 {
+        let node = b.add_node(2);
+        stubs.push(Endpoint::new(node, Port::from_index(0)));
+        stubs.push(Endpoint::new(node, Port::from_index(1)));
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    stubs.shuffle(&mut rng);
+    while stubs.len() >= 2 {
+        let a = stubs.pop().unwrap();
+        if rng.gen_bool(0.3) {
+            b.fix_point(a).unwrap();
+            continue;
+        }
+        let c = stubs.pop().unwrap();
+        b.connect(a, c).unwrap();
+    }
+    if let Some(last) = stubs.pop() {
+        b.fix_point(last).unwrap();
+    }
+    let pg = b.finish().unwrap();
+    assert_eq!(pg.regular_degree(), Some(2));
+    check_kernel(&pg, 4);
+    check_bridge(&pg);
+}

@@ -1077,8 +1077,8 @@ mod tests {
             let baseline = run_churn(&scenario, protocol, &ExecOptions::default()).unwrap();
             for threads in [2usize, 4] {
                 let opts = ExecOptions {
-                    delta: None,
                     simulator_threads: threads,
+                    ..ExecOptions::default()
                 };
                 let run = run_churn(&scenario, protocol, &opts).unwrap();
                 assert_eq!(run.solution, baseline.solution, "threads = {threads}");

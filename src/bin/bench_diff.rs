@@ -1,11 +1,33 @@
 //! `bench_diff`: compare two `BENCH_scenarios.json` quality reports and
-//! fail on approximation-ratio drift.
+//! fail on approximation-ratio drift — or, with `--sim`, two
+//! `BENCH_sim.json` throughput reports and fail on perf regression.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_diff BASELINE CURRENT [--tolerance T] [--stats]
+//! bench_diff --sim BASELINE CURRENT [--tolerance T]
 //! ```
+//!
+//! # `--sim`: the perf-regression gate
+//!
+//! Compares two `sim_benchmark` reports workload by workload. The gate
+//! fails (exit 1) when a gated throughput metric drops by more than the
+//! tolerance (default 0.15, i.e. >15% slower):
+//! `sequential_rounds_per_sec` always, `packed_bridge_rounds_per_sec`
+//! and `packed_kernel_messages_per_sec` when both reports carry them.
+//! Parallel fields are never gated — they measure pool overhead on
+//! small hosts and `--check-parallel` owns the break-even floor.
+//! Workloads only in the baseline are skipped with a notice, never
+//! failed: CI measures the `--reduced` subset against the full
+//! committed baseline by design (perf gate, not coverage gate).
+//!
+//! Reports from different worlds do not gate: when `host_threads` or
+//! `protocol_rounds` differ between the two reports the diff prints a
+//! notice and exits 0 (self-skip) — a laptop regenerating the
+//! CI-committed baseline must not fail, and neither report is wrong.
+//! Mismatched `benchmark` kinds (e.g. a streamed-kernel report against
+//! the throughput baseline) are a usage error, exit 2.
 //!
 //! Both files are JSON-lines reports written by `scenario_sweep` (one
 //! record per line, a trailing summary line). Records are matched by
@@ -52,7 +74,9 @@ use std::process::ExitCode;
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
+    // JSON-lines records put no space after the colon; the
+    // pretty-printed sim report puts one.
+    let rest = line[start..].trim_start();
     if let Some(quoted) = rest.strip_prefix('"') {
         // Scan to the closing quote, skipping backslash escapes.
         let bytes = quoted.as_bytes();
@@ -225,33 +249,204 @@ fn parse_report(path: &str) -> Result<BTreeMap<(String, String), Record>, String
     Ok(records)
 }
 
+/// One workload's gated metrics from a `BENCH_sim.json` report.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct SimWorkload {
+    sequential_rps: f64,
+    /// Packed-tier metrics; absent in reports predating the packed
+    /// engine (and the kernel on non-regular workloads), so each is
+    /// gated only when both reports carry it.
+    packed_bridge_rps: Option<f64>,
+    kernel_mps: Option<f64>,
+}
+
+/// A parsed `BENCH_sim.json` throughput report.
+#[derive(Clone, Debug)]
+struct SimReport {
+    benchmark: String,
+    protocol_rounds: u64,
+    host_threads: u64,
+    /// Workloads in file order, keyed by name.
+    workloads: Vec<(String, SimWorkload)>,
+}
+
+/// Parses the pretty-printed (one field per line) `sim_benchmark`
+/// report. Line-based like the JSON-lines parser: a `"name"` line opens
+/// a workload, metric lines attach to the last opened one.
+fn parse_sim_report(path: &str) -> Result<SimReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut benchmark = None;
+    let mut protocol_rounds = None;
+    let mut host_threads = None;
+    let mut workloads: Vec<(String, SimWorkload)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = field(line, "benchmark") {
+            benchmark = Some(v.to_owned());
+        } else if let Some(v) = field(line, "protocol_rounds") {
+            protocol_rounds = v.parse().ok();
+        } else if let Some(v) = field(line, "host_threads") {
+            host_threads = v.parse().ok();
+        } else if let Some(v) = field(line, "name") {
+            workloads.push((v.to_owned(), SimWorkload::default()));
+        } else if let Some((_, w)) = workloads.last_mut() {
+            if let Some(v) = field(line, "sequential_rounds_per_sec") {
+                w.sequential_rps = v
+                    .parse()
+                    .map_err(|_| format!("{path}: bad sequential_rounds_per_sec: {v}"))?;
+            } else if let Some(v) = field(line, "packed_bridge_rounds_per_sec") {
+                w.packed_bridge_rps = v.parse().ok();
+            } else if let Some(v) = field(line, "packed_kernel_messages_per_sec") {
+                w.kernel_mps = v.parse().ok();
+            }
+        }
+    }
+    let benchmark = benchmark.ok_or_else(|| format!("{path}: no \"benchmark\" field"))?;
+    if workloads.is_empty() {
+        return Err(format!("{path}: no workloads found"));
+    }
+    if let Some((name, _)) = workloads.iter().find(|(_, w)| w.sequential_rps <= 0.0) {
+        return Err(format!(
+            "{path}: workload {name} has no sequential_rounds_per_sec"
+        ));
+    }
+    Ok(SimReport {
+        benchmark,
+        protocol_rounds: protocol_rounds
+            .ok_or_else(|| format!("{path}: no \"protocol_rounds\" field"))?,
+        host_threads: host_threads.ok_or_else(|| format!("{path}: no \"host_threads\" field"))?,
+        workloads,
+    })
+}
+
+/// The `--sim` comparison proper: failure messages (empty = gate
+/// passes) plus the improvement count, separated from I/O and exit
+/// codes for testability. Workloads only in the baseline are skipped
+/// with a notice, not failed: the CI gate measures the `--reduced`
+/// subset against the full committed baseline by design — this is a
+/// perf gate, not a coverage gate.
+fn sim_diff(baseline: &SimReport, current: &SimReport, tolerance: f64) -> (Vec<String>, usize) {
+    let mut failures = Vec::new();
+    let mut improved = 0usize;
+    for (name, base) in &baseline.workloads {
+        let Some((_, cur)) = current.workloads.iter().find(|(n, _)| n == name) else {
+            eprintln!("sim diff: {name} not in the current report — skipped (reduced run?)");
+            continue;
+        };
+        let mut gate = |metric: &str, b: f64, c: f64| {
+            if c < b * (1.0 - tolerance) {
+                failures.push(format!(
+                    "SLOWER   {name}: {metric} {b:.1} -> {c:.1} ({:+.1}% > tolerance {:.0}%)",
+                    (c / b - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            } else if c > b * (1.0 + tolerance) {
+                improved += 1;
+            }
+        };
+        gate(
+            "sequential_rounds_per_sec",
+            base.sequential_rps,
+            cur.sequential_rps,
+        );
+        if let (Some(b), Some(c)) = (base.packed_bridge_rps, cur.packed_bridge_rps) {
+            gate("packed_bridge_rounds_per_sec", b, c);
+        }
+        if let (Some(b), Some(c)) = (base.kernel_mps, cur.kernel_mps) {
+            gate("packed_kernel_messages_per_sec", b, c);
+        }
+    }
+    (failures, improved)
+}
+
+fn run_sim_mode(baseline_path: &str, current_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, current) = match (
+        parse_sim_report(baseline_path),
+        parse_sim_report(current_path),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.benchmark != current.benchmark {
+        eprintln!(
+            "sim diff: benchmark kind mismatch ({} vs {}) — not comparable",
+            baseline.benchmark, current.benchmark
+        );
+        return ExitCode::from(2);
+    }
+    // Different hosts or round counts measure different things; neither
+    // report is wrong, so the gate self-skips instead of failing.
+    if baseline.host_threads != current.host_threads {
+        eprintln!(
+            "sim diff: host_threads mismatch (baseline {}, current {}) — \
+             throughput not comparable across hosts, gate skipped",
+            baseline.host_threads, current.host_threads
+        );
+        return ExitCode::SUCCESS;
+    }
+    if baseline.protocol_rounds != current.protocol_rounds {
+        eprintln!(
+            "sim diff: protocol_rounds mismatch (baseline {}, current {}) — \
+             gate skipped",
+            baseline.protocol_rounds, current.protocol_rounds
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (failures, improved) = sim_diff(&baseline, &current, tolerance);
+    for f in &failures {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "sim diff: compared {} workloads at tolerance {:.0}%: {} regressions, \
+         {improved} improvements",
+        baseline.workloads.len(),
+        tolerance * 100.0,
+        failures.len(),
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("throughput regressed beyond tolerance — failing");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
-    let mut tolerance = 0.05f64;
+    let mut tolerance: Option<f64> = None;
     let mut stats = false;
+    let mut sim = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(t) => tolerance = t,
+                Some(t) => tolerance = Some(t),
                 None => {
                     eprintln!("--tolerance requires a number");
                     return ExitCode::from(2);
                 }
             },
             "--stats" => stats = true,
+            "--sim" => sim = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown option: {other}");
-                eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T] [--stats]");
+                eprintln!("usage: bench_diff [--sim] BASELINE CURRENT [--tolerance T] [--stats]");
                 return ExitCode::from(2);
             }
             path => files.push(path.to_owned()),
         }
     }
     let [baseline_path, current_path] = files.as_slice() else {
-        eprintln!("usage: bench_diff BASELINE CURRENT [--tolerance T] [--stats]");
+        eprintln!("usage: bench_diff [--sim] BASELINE CURRENT [--tolerance T] [--stats]");
         return ExitCode::from(2);
     };
+    if sim {
+        return run_sim_mode(baseline_path, current_path, tolerance.unwrap_or(0.15));
+    }
+    let tolerance = tolerance.unwrap_or(0.05);
 
     let (baseline, current) = match (parse_report(baseline_path), parse_report(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -601,6 +796,78 @@ mod tests {
         let err = parse_report(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("cut mid-record"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A miniature pretty-printed `sim_benchmark` report.
+    fn sim_report_text(seq: f64, bridge: f64, kernel: f64) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"sim_throughput\",\n  \"protocol_rounds\": 16,\n  \
+             \"host_threads\": 1,\n  \"parallel_fields_overhead_only\": true,\n  \
+             \"workloads\": [\n    {{\n      \"name\": \"cycle_100k\",\n      \
+             \"nodes\": 100000,\n      \"rounds\": 16,\n      \
+             \"sequential_rounds_per_sec\": {seq:.1},\n      \
+             \"parallel1_rounds_per_sec\": 500.0,\n      \
+             \"packed_bridge_rounds_per_sec\": {bridge:.1},\n      \
+             \"packed_kernel_messages_per_sec\": {kernel:.1}\n    }}\n  ]\n}}\n"
+        )
+    }
+
+    fn parse_sim_text(text: &str, tag: &str) -> SimReport {
+        let path = std::env::temp_dir().join(format!("bench_diff_test_sim_{tag}.json"));
+        std::fs::write(&path, text).unwrap();
+        let report = parse_sim_report(path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        report
+    }
+
+    #[test]
+    fn sim_report_parses_pretty_printed_fields() {
+        let report = parse_sim_text(&sim_report_text(550.0, 400.0, 6.0e8), "parse");
+        assert_eq!(report.benchmark, "sim_throughput");
+        assert_eq!(report.protocol_rounds, 16);
+        assert_eq!(report.host_threads, 1);
+        assert_eq!(report.workloads.len(), 1);
+        let (name, w) = &report.workloads[0];
+        assert_eq!(name, "cycle_100k");
+        assert_eq!(w.sequential_rps, 550.0);
+        assert_eq!(w.packed_bridge_rps, Some(400.0));
+        assert_eq!(w.kernel_mps, Some(6.0e8));
+    }
+
+    #[test]
+    fn sim_diff_gates_drops_and_tolerates_noise() {
+        let base = parse_sim_text(&sim_report_text(550.0, 400.0, 6.0e8), "base");
+        // Within 15%: no failure; a >15% gain counts as improvement.
+        let ok = parse_sim_text(&sim_report_text(500.0, 380.0, 8.0e8), "ok");
+        let (failures, improved) = sim_diff(&base, &ok, 0.15);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(improved, 1);
+        // A >15% sequential drop fails; so does a kernel drop.
+        let slow = parse_sim_text(&sim_report_text(550.0, 400.0, 4.0e8), "slow");
+        let (failures, _) = sim_diff(&base, &slow, 0.15);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("packed_kernel_messages_per_sec"));
+        // A workload missing from the current report is skipped, not
+        // failed: the CI gate runs the --reduced subset against the
+        // full committed baseline.
+        let mut dropped = slow.clone();
+        dropped.workloads.clear();
+        dropped
+            .workloads
+            .push(("other".to_owned(), SimWorkload::default()));
+        let (failures, _) = sim_diff(&base, &dropped, 0.15);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn sim_diff_skips_packed_fields_absent_from_a_report() {
+        // A pre-packed baseline gates only the sequential rate.
+        let mut base = parse_sim_text(&sim_report_text(550.0, 400.0, 6.0e8), "prepacked");
+        base.workloads[0].1.packed_bridge_rps = None;
+        base.workloads[0].1.kernel_mps = None;
+        let cur = parse_sim_text(&sim_report_text(540.0, 1.0, 1.0), "cur");
+        let (failures, _) = sim_diff(&base, &cur, 0.15);
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

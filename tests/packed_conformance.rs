@@ -1,0 +1,88 @@
+//! Integration test: the bit-packed engine tier against the generic
+//! conformance oracle, across the full conformance registry and all six
+//! protocols.
+//!
+//! [`PackedPolicy::Force`] routes every eligible run through the packed
+//! bridge (sequential, and the chunked-parallel path when the simulator
+//! is multi-threaded); [`PackedPolicy::Never`] pins the generic engine.
+//! The two must produce identical [`ProtocolRun`]s — solution, round
+//! count and message count — on every (scenario, protocol) pair, or the
+//! packed tier has drifted from the oracle. `Auto` is additionally
+//! pinned to the `Never` results, since it is the default every sweep
+//! runs under.
+//!
+//! The million-node streamed smoke (release builds only — debug builds
+//! would spend minutes on it) drives the native word kernel over a
+//! streamed cycle and checks it against its scalar twin on the generic
+//! engine, covering the 10M–100M tier's code path at CI-feasible size.
+
+use edge_dominating_sets::scenarios::{ExecOptions, PackedPolicy, Protocol, Registry, Scenario};
+
+fn workloads() -> Vec<Scenario> {
+    Registry::conformance()
+        .build_all()
+        .expect("conformance registry builds")
+}
+
+fn opts(packed: PackedPolicy, threads: usize) -> ExecOptions {
+    ExecOptions {
+        simulator_threads: threads,
+        packed,
+        ..ExecOptions::default()
+    }
+}
+
+#[test]
+fn packed_force_is_bit_identical_to_generic_on_conformance_registry() {
+    for case in workloads() {
+        for protocol in Protocol::ALL {
+            if !protocol.applicable(&case) {
+                continue;
+            }
+            let name = format!("{}/{}", case.name(), protocol.name());
+            let oracle = protocol
+                .execute_with(&case, &opts(PackedPolicy::Never, 1))
+                .unwrap_or_else(|e| panic!("{name}: generic run failed: {e}"));
+            for (label, options) in [
+                ("auto", opts(PackedPolicy::Auto, 1)),
+                ("forced", opts(PackedPolicy::Force, 1)),
+                ("forced parallel", opts(PackedPolicy::Force, 3)),
+            ] {
+                let packed = protocol
+                    .execute_with(&case, &options)
+                    .unwrap_or_else(|e| panic!("{name}: {label} run failed: {e}"));
+                assert_eq!(
+                    oracle.solution, packed.solution,
+                    "{name}: {label} solution diverged"
+                );
+                assert_eq!(
+                    oracle.rounds, packed.rounds,
+                    "{name}: {label} rounds diverged"
+                );
+                assert_eq!(
+                    oracle.messages, packed.messages,
+                    "{name}: {label} messages diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The streamed smoke: a million-node cycle through the native word
+/// kernel, verified against the scalar twin. Release builds only.
+#[cfg(not(debug_assertions))]
+#[test]
+fn streamed_million_node_kernel_matches_scalar_twin() {
+    use pn_runtime::{kernel_reference_run, OrGossipKernel, Simulator};
+
+    let pg = pn_graph::generators::streamed_cycle(1_000_000, None).expect("streamed cycle");
+    let sim = Simulator::new(&pg);
+    let kernel = OrGossipKernel { rounds: 8 };
+    let fast = sim.run_packed_kernel(&kernel).expect("kernel run");
+    let slow = kernel_reference_run(&sim, &kernel).expect("scalar twin run");
+    assert_eq!(fast.outputs, slow.outputs, "outputs diverged");
+    assert_eq!(fast.halted_at, slow.halted_at, "halted_at diverged");
+    assert_eq!(fast.rounds, slow.rounds);
+    assert_eq!(fast.messages, slow.messages);
+    assert_eq!(fast.messages, 8 * pg.port_count());
+}
